@@ -1,0 +1,161 @@
+// Ablation bench for the design choices DESIGN.md section 7 calls out:
+//
+//  1. Coloring priority rules: the paper's literal "length / uncolored
+//     degree" versus the most-constrained-first family this repository
+//     defaults to, versus simpler rules.
+//  2. Ordered-AAPC phase ordering: utilization-ranked (Fig. 5) versus
+//     scheduling the requests in arbitrary (source-major) order versus
+//     AAPC grouping with unranked phase order.
+//  3. Greedy request-order sensitivity: distribution of greedy degrees
+//     over random shuffles of one pattern (Fig. 3 generalized).
+//
+// Usage: ablation_heuristics [--trials=25] [--seed=7]
+
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "aapc/torus_aapc.hpp"
+#include "patterns/named.hpp"
+#include "patterns/random.hpp"
+#include "sched/coloring.hpp"
+#include "sched/greedy.hpp"
+#include "sched/ordered_aapc.hpp"
+#include "topo/torus.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace optdm;
+
+void coloring_priority_ablation(const topo::TorusNetwork& net,
+                                std::int64_t trials, util::Rng& rng) {
+  std::cout << "\n(1) coloring priority rules — average degree, " << trials
+            << " random patterns per density\n\n";
+  using sched::ColoringPriority;
+  const struct {
+    const char* label;
+    ColoringPriority rule;
+  } rules[] = {
+      {"deg*len (default)", ColoringPriority::kDegreeTimesLength},
+      {"deg only", ColoringPriority::kDegreeOnly},
+      {"len/deg (paper text)", ColoringPriority::kLengthOverDegree},
+      {"1/deg", ColoringPriority::kInverseDegree},
+      {"len only", ColoringPriority::kLengthOnly},
+      {"len/static-deg", ColoringPriority::kStaticLengthOverDegree},
+  };
+
+  util::Table table({"rule", "400 conns", "1600 conns", "3200 conns",
+                     "all-to-all"});
+  const int densities[] = {400, 1600, 3200};
+
+  // Pre-draw patterns so every rule sees identical instances.
+  std::vector<std::vector<core::RequestSet>> batches;
+  for (const int conns : densities) {
+    std::vector<core::RequestSet> batch;
+    for (std::int64_t t = 0; t < trials; ++t)
+      batch.push_back(patterns::random_pattern(64, conns, rng));
+    batches.push_back(std::move(batch));
+  }
+  const auto a2a = patterns::all_to_all(64);
+
+  for (const auto& rule : rules) {
+    std::vector<std::string> cells{rule.label};
+    for (const auto& batch : batches) {
+      util::Accumulator acc;
+      for (const auto& requests : batch)
+        acc.add(sched::coloring(net, requests, rule.rule).degree());
+      cells.push_back(util::Table::fmt(acc.mean()));
+    }
+    cells.push_back(util::Table::fmt(
+        std::int64_t{sched::coloring(net, a2a, rule.rule).degree()}));
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout);
+}
+
+void aapc_ordering_ablation(const topo::TorusNetwork& net,
+                            const aapc::TorusAapc& aapc, std::int64_t trials,
+                            util::Rng& rng) {
+  std::cout << "\n(2) ordered-AAPC phase ordering — average degree, "
+            << trials << " random patterns per density\n\n";
+
+  // "unranked": group requests by AAPC phase but keep phases in index
+  // order instead of ranking by utilization.
+  const auto unranked = [&](const core::RequestSet& requests) {
+    std::vector<std::pair<int, std::size_t>> keyed;
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      keyed.emplace_back(aapc.phase_of(requests[i]), i);
+    std::stable_sort(keyed.begin(), keyed.end());
+    std::vector<core::Path> paths;
+    paths.reserve(requests.size());
+    for (const auto& [phase, i] : keyed) paths.push_back(aapc.route(requests[i]));
+    return sched::greedy_paths(net, paths).degree();
+  };
+  // "no grouping": greedy over the raw order with default routes.
+  const auto ungrouped = [&](const core::RequestSet& requests) {
+    return sched::greedy(net, requests).degree();
+  };
+
+  util::Table table(
+      {"conns", "ranked (Fig. 5)", "grouped unranked", "plain greedy"});
+  for (const int conns : {800, 2000, 3200, 4032}) {
+    util::Accumulator ranked, grouped, plain;
+    for (std::int64_t t = 0; t < trials; ++t) {
+      const auto requests = conns == 4032
+                                ? patterns::all_to_all(64)
+                                : patterns::random_pattern(64, conns, rng);
+      ranked.add(sched::ordered_aapc(aapc, requests).degree());
+      grouped.add(unranked(requests));
+      plain.add(ungrouped(requests));
+    }
+    table.add_row({util::Table::fmt(std::int64_t{conns}),
+                   util::Table::fmt(ranked.mean()),
+                   util::Table::fmt(grouped.mean()),
+                   util::Table::fmt(plain.mean())});
+  }
+  table.print(std::cout);
+}
+
+void greedy_order_sensitivity(const topo::TorusNetwork& net,
+                              std::int64_t trials, util::Rng& rng) {
+  std::cout << "\n(3) greedy order sensitivity — degree distribution over "
+            << trials << " shuffles of one 800-connection pattern\n\n";
+  const auto base = patterns::random_pattern(64, 800, rng);
+  util::Accumulator acc;
+  std::vector<double> samples;
+  auto requests = base;
+  for (std::int64_t t = 0; t < trials; ++t) {
+    rng.shuffle(requests);
+    const auto degree = sched::greedy(net, requests).degree();
+    acc.add(degree);
+    samples.push_back(degree);
+  }
+  util::Table table({"min", "p50", "max", "mean", "stddev"});
+  table.add_row({util::Table::fmt(acc.min(), 0),
+                 util::Table::fmt(util::percentile(samples, 50), 0),
+                 util::Table::fmt(acc.max(), 0),
+                 util::Table::fmt(acc.mean()),
+                 util::Table::fmt(acc.stddev(), 2)});
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const auto trials = args.get_int("trials", 25);
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
+
+  topo::TorusNetwork net(8, 8);
+  const aapc::TorusAapc aapc(net);
+
+  std::cout << "Ablations — scheduling heuristic design choices\n";
+  coloring_priority_ablation(net, trials, rng);
+  aapc_ordering_ablation(net, aapc, trials, rng);
+  greedy_order_sensitivity(net, trials, rng);
+  return 0;
+}

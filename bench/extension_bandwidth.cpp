@@ -1,0 +1,104 @@
+// Extension bench: bandwidth-aware slot allocation (sched/bandwidth.hpp).
+// The paper's schedules give every connection one slot per frame; when
+// message volumes are skewed, the frame idles while the heaviest
+// connection drains.  Widening hands that idle capacity to the heavy
+// connections and stripes their data across the extra instances.
+//
+// Workloads: the frontend-recognized diagonal ghost exchange (49:7:1 skew),
+// a synthetic hotspot, and the (uniform) P3M 1 redistribution as the
+// no-gain control.
+//
+// Usage: extension_bandwidth [--seed=17]
+
+#include <iostream>
+
+#include "apps/compiler.hpp"
+#include "apps/workloads.hpp"
+#include "frontend/recognize.hpp"
+#include "patterns/random.hpp"
+#include "sched/bandwidth.hpp"
+#include "sim/compiled.hpp"
+#include "topo/torus.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace optdm;
+
+apps::CommPhase diagonal_ghost_phase() {
+  static frontend::DistributedArray mesh = [] {
+    frontend::DistributedArray a;
+    a.name = "mesh";
+    a.distribution.extent = {32, 32, 32};
+    for (auto& dim : a.distribution.dims) dim = {4, 8};
+    return a;
+  }();
+  frontend::ForallAssign stmt;
+  stmt.label = "diagonal ghost";
+  stmt.lhs = frontend::ArrayRef{&mesh, {}};
+  stmt.boundary = frontend::ForallAssign::Boundary::kPeriodic;
+  stmt.rhs = {frontend::ArrayRef{
+      &mesh,
+      {frontend::AffineIndex{1}, frontend::AffineIndex{1},
+       frontend::AffineIndex{1}}}};
+  return frontend::recognize(stmt, 1).phase;
+}
+
+apps::CommPhase hotspot_phase(util::Rng& rng) {
+  apps::CommPhase phase;
+  phase.name = "hotspot";
+  phase.problem = "synthetic";
+  const auto requests = patterns::random_pattern(64, 60, rng);
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    phase.messages.push_back(
+        sim::Message{requests[i], i < 4 ? 256 : 2});
+  return phase;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 17)));
+
+  topo::TorusNetwork net(8, 8);
+  const apps::CommCompiler compiler(net);
+
+  std::vector<apps::CommPhase> rows;
+  rows.push_back(diagonal_ghost_phase());
+  rows.push_back(hotspot_phase(rng));
+  rows.push_back(apps::p3m_phases(64)[0]);  // uniform control
+
+  std::cout << "Extension — bandwidth-aware slot allocation\n\n";
+
+  util::Table table({"workload", "conns", "K", "extra slots", "base slots",
+                     "widened slots", "speedup"});
+  for (const auto& phase : rows) {
+    const auto compiled = compiler.compile(phase.pattern());
+    const auto base = sim::simulate_compiled(compiled.schedule, phase.messages);
+    const auto widened =
+        sched::widen_for_bandwidth(net, compiled.schedule, phase.messages);
+    const auto striped =
+        sched::stripe_messages(widened.schedule, phase.messages);
+    const auto after = sim::simulate_compiled(widened.schedule, striped);
+    table.add_row(
+        {phase.name,
+         util::Table::fmt(static_cast<std::int64_t>(phase.messages.size())),
+         util::Table::fmt(std::int64_t{compiled.schedule.degree()}),
+         util::Table::fmt(widened.extra_instances),
+         util::Table::fmt(base.total_slots),
+         util::Table::fmt(after.total_slots),
+         util::Table::fmt(static_cast<double>(base.total_slots) /
+                              static_cast<double>(after.total_slots),
+                          2) +
+             "x"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nskewed workloads (diagonal ghosts, hotspots) gain; "
+               "uniform redistributions are\nalready balanced and gain "
+               "nothing — widening never hurts\n";
+  return 0;
+}

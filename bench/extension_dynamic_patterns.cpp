@@ -1,0 +1,100 @@
+// Extension bench: the paper's sketched strategy for *dynamic* patterns
+// (Section 3, "Handling dynamic patterns", and the conclusion's future
+// work): keep the full AAPC configuration set loaded as a static TDM
+// schedule — every pair of nodes owns a time slot — so unpredictable
+// runtime traffic needs no path reservation at all, at the cost of a
+// 64-deep frame.  This bench quantifies the crossover against the dynamic
+// reservation protocol as message size grows.
+//
+// Usage: extension_dynamic_patterns [--conns=300] [--trials=5] [--seed=9]
+
+#include <iostream>
+
+#include "aapc/torus_aapc.hpp"
+#include "patterns/named.hpp"
+#include "patterns/random.hpp"
+#include "sched/combined.hpp"
+#include "sim/compiled.hpp"
+#include "sim/dynamic.hpp"
+#include "sim/multihop.hpp"
+#include "topo/torus.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace optdm;
+
+  const util::CliArgs args(argc, argv);
+  const auto conns = static_cast<int>(args.get_int("conns", 300));
+  const auto trials = args.get_int("trials", 5);
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 9)));
+
+  topo::TorusNetwork net(8, 8);
+  const aapc::TorusAapc aapc(net);
+  const auto fallback_schedule = aapc.full_schedule();
+  const auto hypercube_embedding =
+      sched::combined(net, patterns::hypercube(64));
+
+  std::cout << "Extension — unknown-at-compile-time traffic (" << conns
+            << " random messages): the paper's three strategies\n"
+            << "  static AAPC frame (K = " << fallback_schedule.degree()
+            << "), hypercube embedding (K = "
+            << hypercube_embedding.degree()
+            << ", store-and-forward), dynamic reservation (best of K = "
+               "1/2/5/10)\n\n";
+
+  util::Table table({"message slots", "static AAPC", "hypercube multihop",
+                     "dynamic (best K)", "best K", "winner"});
+
+  for (const std::int64_t size : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    util::Accumulator fallback_acc, multihop_acc, dynamic_acc;
+    std::int64_t best_k_sum = 0;
+    for (std::int64_t t = 0; t < trials; ++t) {
+      const auto requests = patterns::random_pattern(64, conns, rng);
+      const auto messages = sim::uniform_messages(requests, size);
+
+      fallback_acc.add(static_cast<double>(
+          sim::simulate_compiled(fallback_schedule, messages).total_slots));
+      multihop_acc.add(static_cast<double>(
+          sim::simulate_multihop(hypercube_embedding, messages,
+                                 sim::hypercube_next_hop)
+              .total_slots));
+
+      std::int64_t best = -1;
+      int best_k = 0;
+      for (const int k : {1, 2, 5, 10}) {
+        sim::DynamicParams params;
+        params.multiplexing_degree = k;
+        params.seed = rng.next_u64();
+        const auto run = sim::simulate_dynamic(net, messages, params);
+        if (run.completed && (best < 0 || run.total_slots < best)) {
+          best = run.total_slots;
+          best_k = k;
+        }
+      }
+      dynamic_acc.add(static_cast<double>(best));
+      best_k_sum += best_k;
+    }
+    const double best_static = std::min(fallback_acc.mean(), multihop_acc.mean());
+    const char* winner = dynamic_acc.mean() < best_static ? "reservation"
+                         : fallback_acc.mean() <= multihop_acc.mean()
+                             ? "static AAPC"
+                             : "multihop";
+    table.add_row(
+        {util::Table::fmt(size), util::Table::fmt(fallback_acc.mean(), 0),
+         util::Table::fmt(multihop_acc.mean(), 0),
+         util::Table::fmt(dynamic_acc.mean(), 0),
+         util::Table::fmt(best_k_sum / trials), winner});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nfine-grain dynamic traffic rides the preloaded static "
+               "frames (AAPC slot or\nmultihop relay) for free; once "
+               "messages are long enough to amortize a\nreservation "
+               "round-trip, a dedicated path at low K wins — the regime "
+               "split the\npaper predicts for its dynamic-pattern "
+               "strategies\n";
+  return 0;
+}

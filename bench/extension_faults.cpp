@@ -1,0 +1,74 @@
+// Extension bench: compiled communication under fiber failures.  The
+// compiler re-routes affected connections through intermediate nodes
+// (sched/fault.hpp) and reschedules; this bench tracks how the
+// multiplexing degree of the Table 3 patterns degrades as fibers die.
+//
+// Usage: extension_faults [--seed=43] [--trials=5]
+
+#include <iostream>
+
+#include "patterns/named.hpp"
+#include "sched/coloring.hpp"
+#include "sched/fault.hpp"
+#include "topo/torus.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace optdm;
+
+  const util::CliArgs args(argc, argv);
+  const auto trials = args.get_int("trials", 5);
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 43)));
+
+  topo::TorusNetwork net(8, 8);
+  const struct {
+    const char* name;
+    core::RequestSet requests;
+  } rows[] = {
+      {"nearest neighbor", patterns::nearest_neighbor(net)},
+      {"hypercube", patterns::hypercube(64)},
+      {"shuffle-exchange", patterns::shuffle_exchange(64)},
+      {"transpose", patterns::transpose(64)},
+  };
+
+  std::cout << "Extension — coloring degree under random fiber failures ("
+            << trials << " fault draws per cell)\n\n";
+
+  util::Table table({"pattern", "0 faults", "2 faults", "4 faults",
+                     "8 faults", "rerouted @8"});
+  for (const auto& row : rows) {
+    std::vector<std::string> cells{row.name};
+    std::int64_t rerouted_at_8 = 0;
+    for (const int faults : {0, 2, 4, 8}) {
+      util::Accumulator degree;
+      for (std::int64_t t = 0; t < trials; ++t) {
+        core::LinkSet failed(net.link_count());
+        int placed = 0;
+        while (placed < faults) {
+          const auto id = static_cast<topo::LinkId>(
+              rng.uniform(0, net.link_count() - 1));
+          if (net.link(id).kind != topo::LinkKind::kNetwork) continue;
+          if (failed.contains(id)) continue;
+          failed.insert(id);
+          ++placed;
+        }
+        const auto plan =
+            sched::route_around_faults(net, row.requests, failed);
+        degree.add(sched::coloring_paths(net, plan.paths).degree());
+        if (faults == 8) rerouted_at_8 += plan.rerouted;
+      }
+      cells.push_back(util::Table::fmt(degree.mean()));
+    }
+    cells.push_back(util::Table::fmt(rerouted_at_8 / trials));
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nfailures concentrate detoured load on surviving fibers; "
+               "the compiler absorbs a\nhandful of dead links with a "
+               "couple of extra time slots and zero runtime cost\n";
+  return 0;
+}

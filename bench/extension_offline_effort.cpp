@@ -1,0 +1,83 @@
+// Extension bench: how much does extra compiler time buy?  The paper's
+// justification for compiled communication is that the control algorithms
+// run off-line, so "complex strategies ... can be employed".  This bench
+// turns that into a quality-vs-effort curve: constructive heuristics
+// (greedy, coloring, combined) versus iterated local search seeded by the
+// combined result, at increasing iteration budgets.
+//
+// Usage: extension_offline_effort [--trials=5] [--seed=13]
+
+#include <chrono>
+#include <iostream>
+
+#include "aapc/torus_aapc.hpp"
+#include "patterns/random.hpp"
+#include "sched/bounds.hpp"
+#include "sched/coloring.hpp"
+#include "sched/combined.hpp"
+#include "sched/greedy.hpp"
+#include "sched/ils.hpp"
+#include "topo/torus.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace optdm;
+
+  const util::CliArgs args(argc, argv);
+  const auto trials = args.get_int("trials", 5);
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 13)));
+
+  topo::TorusNetwork net(8, 8);
+  const aapc::TorusAapc aapc(net);
+
+  std::cout << "Extension — schedule quality vs off-line effort (average "
+               "degree, "
+            << trials << " random patterns per density)\n\n";
+
+  util::Table table({"conns", "lower bound", "greedy", "combined",
+                     "ils-100", "ils-500", "ils ms/pattern"});
+
+  for (const int conns : {300, 800, 1600, 2400}) {
+    util::Accumulator lower, greedy, combined, ils_fast, ils_slow, millis;
+    for (std::int64_t t = 0; t < trials; ++t) {
+      const auto requests = patterns::random_pattern(64, conns, rng);
+      const auto paths = core::route_all(net, requests);
+      lower.add(sched::multiplexing_lower_bound(net, paths));
+      greedy.add(sched::greedy_paths(net, paths).degree());
+      const auto base = sched::combined(aapc, requests);
+      combined.add(base.degree());
+
+      sched::IlsOptions fast;
+      fast.iterations = 100;
+      fast.seed = rng.next_u64();
+      ils_fast.add(
+          sched::improve_schedule(net, paths, base, fast).degree());
+
+      sched::IlsOptions slow;
+      slow.iterations = 500;
+      slow.seed = rng.next_u64();
+      const auto start = std::chrono::steady_clock::now();
+      ils_slow.add(
+          sched::improve_schedule(net, paths, base, slow).degree());
+      millis.add(std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count());
+    }
+    table.add_row({util::Table::fmt(std::int64_t{conns}),
+                   util::Table::fmt(lower.mean()),
+                   util::Table::fmt(greedy.mean()),
+                   util::Table::fmt(combined.mean()),
+                   util::Table::fmt(ils_fast.mean()),
+                   util::Table::fmt(ils_slow.mean()),
+                   util::Table::fmt(millis.mean(), 0)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nthe search closes part of the remaining gap to the lower "
+               "bound at a cost of\nhundreds of milliseconds — negligible "
+               "for a compiler, impossible for a runtime\ncontroller\n";
+  return 0;
+}

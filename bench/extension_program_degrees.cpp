@@ -1,0 +1,74 @@
+// Extension bench: whole-program compiled communication with per-phase
+// multiplexing degrees versus a fixed global degree — quantifying the
+// paper's fourth performance factor (Section 4.2: "compiled communication
+// allows the system to use various multiplexing degrees for different
+// communication patterns").
+//
+// The program is the paper's application mix: GS iterations plus the five
+// P3M phases.  "adaptive" reprograms the network between phases (degree =
+// each phase's optimum); "fixed" provisions one frame length for the whole
+// program (the max phase degree), as fixed-K hardware must.
+//
+// Usage: extension_program_degrees [--mesh=32] [--grid=64]
+
+#include <iostream>
+
+#include "apps/program.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace optdm;
+
+  const util::CliArgs args(argc, argv);
+  const auto mesh = static_cast<int>(args.get_int("mesh", 32));
+  const auto grid = static_cast<int>(args.get_int("grid", 64));
+
+  topo::TorusNetwork net(8, 8);
+  const apps::CommCompiler compiler(net);
+
+  apps::Program program;
+  program.name = "gs+p3m";
+  program.phases.push_back(apps::gs_phase(grid, 64));
+  for (auto& phase : apps::p3m_phases(mesh))
+    program.phases.push_back(std::move(phase));
+
+  const auto compiled = apps::compile_program(compiler, program);
+  const auto adaptive = apps::execute_program(compiled, program);
+  const auto fixed =
+      apps::execute_program(compiled, program, {}, compiled.max_degree);
+
+  std::cout << "Extension — per-phase vs fixed multiplexing degree, program "
+            << program.name << " (GS " << grid << "^2, P3M " << mesh
+            << "^3)\n\n";
+
+  util::Table table({"phase", "conns", "K (phase)", "adaptive slots",
+                     "fixed-K slots", "penalty"});
+  for (std::size_t p = 0; p < program.phases.size(); ++p) {
+    table.add_row(
+        {program.phases[p].name,
+         util::Table::fmt(
+             static_cast<std::int64_t>(program.phases[p].messages.size())),
+         util::Table::fmt(std::int64_t{compiled.phases[p].schedule.degree()}),
+         util::Table::fmt(adaptive.phase_slots[p]),
+         util::Table::fmt(fixed.phase_slots[p]),
+         util::Table::fmt(static_cast<double>(fixed.phase_slots[p]) /
+                              static_cast<double>(adaptive.phase_slots[p]),
+                          1) +
+             "x"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nprogram totals: adaptive " << adaptive.comm_slots
+            << " slots, fixed-K(" << compiled.max_degree << ") "
+            << fixed.comm_slots << " slots ("
+            << util::Table::fmt(static_cast<double>(fixed.comm_slots) /
+                                    static_cast<double>(adaptive.comm_slots),
+                                2)
+            << "x)\n"
+            << "\nthe sparse phases (GS, P3M 5) pay the largest penalty "
+               "under a frame sized for\nthe dense redistributions — the "
+               "reason the paper gives compiled communication\ncontrol of "
+               "the multiplexing degree per phase\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Extension bench: machine-size scaling.  The paper targets "large
+// systems" (its argument against centralized control); this bench grows
+// the torus from 4x4 to 16x16 at fixed per-node load and reports the
+// multiplexing degrees and the off-line scheduling cost.
+//
+// Usage: extension_scaling [--trials=5] [--seed=33] [--per-node=8]
+
+#include <chrono>
+#include <iostream>
+
+#include "aapc/torus_aapc.hpp"
+#include "patterns/named.hpp"
+#include "patterns/random.hpp"
+#include "sched/bounds.hpp"
+#include "sched/coloring.hpp"
+#include "sched/combined.hpp"
+#include "sched/greedy.hpp"
+#include "topo/torus.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace optdm;
+
+  const util::CliArgs args(argc, argv);
+  const auto trials = args.get_int("trials", 5);
+  const auto per_node = args.get_int("per-node", 8);
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 33)));
+
+  std::cout << "Extension — scaling the torus at " << per_node
+            << " random connections per node (" << trials << " trials)\n\n";
+
+  util::Table table({"torus", "nodes", "conns", "AAPC phases", "greedy",
+                     "coloring", "combined", "lower bound", "compile ms"});
+
+  for (const int side : {4, 6, 8, 10, 12, 16}) {
+    topo::TorusNetwork net(side, side);
+    const aapc::TorusAapc aapc(net);
+    const int nodes = net.node_count();
+    const auto conns = static_cast<int>(per_node) * nodes;
+
+    util::Accumulator greedy, coloring, combined, lower, millis;
+    for (std::int64_t t = 0; t < trials; ++t) {
+      const auto requests = patterns::random_pattern(nodes, conns, rng);
+      const auto paths = core::route_all(net, requests);
+      lower.add(sched::multiplexing_lower_bound(net, paths));
+      greedy.add(sched::greedy_paths(net, paths).degree());
+      coloring.add(sched::coloring_paths(net, paths).degree());
+      const auto start = std::chrono::steady_clock::now();
+      combined.add(sched::combined(aapc, requests).degree());
+      millis.add(std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count());
+    }
+    table.add_row(
+        {net.name(), util::Table::fmt(std::int64_t{nodes}),
+         util::Table::fmt(std::int64_t{conns}),
+         util::Table::fmt(std::int64_t{aapc.phase_count()}),
+         util::Table::fmt(greedy.mean()), util::Table::fmt(coloring.mean()),
+         util::Table::fmt(combined.mean()), util::Table::fmt(lower.mean()),
+         util::Table::fmt(millis.mean(), 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\ndegrees grow with the machine because average routes "
+               "lengthen (fixed per-node\nload, rising per-link load); "
+               "compile cost stays in compiler territory throughout.\n"
+               "AAPC phase counts follow the ring product construction: "
+               "optimal N^3/8 at 8x8,\n(Nx^2/8)(Ny^2/8) beyond "
+               "(DESIGN.md section 5)\n";
+  return 0;
+}

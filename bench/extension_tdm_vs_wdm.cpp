@@ -1,0 +1,81 @@
+// Extension bench: TDM versus WDM channel realization (the alternative
+// multiplexing technique the paper's introduction contrasts).  The
+// scheduling problem is identical — K channels per fiber — but a TDM
+// channel delivers one payload per K-slot frame while a WDM wavelength
+// runs at full rate.  Compiled communication with WDM therefore removes
+// the K-factor from transmission time entirely.
+//
+// Usage: extension_tdm_vs_wdm [--seed=5]
+
+#include <iostream>
+
+#include "apps/compiler.hpp"
+#include "apps/workloads.hpp"
+#include "patterns/named.hpp"
+#include "sim/compiled.hpp"
+#include "sim/dynamic.hpp"
+#include "topo/torus.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace optdm;
+
+  const util::CliArgs args(argc, argv);
+  topo::TorusNetwork net(8, 8);
+  const apps::CommCompiler compiler(net);
+
+  std::vector<apps::CommPhase> rows;
+  rows.push_back(apps::gs_phase(256, 64));
+  rows.push_back(apps::tscf_phase(64));
+  rows.push_back(apps::p3m_phases(64)[1]);  // dense redistribution
+  {
+    apps::CommPhase a2a;
+    a2a.name = "all-to-all";
+    a2a.problem = "64 PEs";
+    a2a.messages = sim::uniform_messages(patterns::all_to_all(64), 4);
+    rows.push_back(std::move(a2a));
+  }
+
+  std::cout << "Extension — compiled communication under TDM vs WDM "
+               "channels\n\n";
+
+  util::Table table({"pattern", "K", "compiled TDM", "compiled WDM",
+                     "TDM/WDM", "dynamic TDM K=5", "dynamic WDM K=5"});
+
+  for (const auto& phase : rows) {
+    const auto compiled = compiler.compile(phase.pattern());
+
+    sim::CompiledParams tdm;
+    sim::CompiledParams wdm;
+    wdm.channel = sim::ChannelKind::kWavelength;
+    const auto ct = sim::simulate_compiled(compiled.schedule, phase.messages, tdm);
+    const auto cw = sim::simulate_compiled(compiled.schedule, phase.messages, wdm);
+
+    sim::DynamicParams dyn;
+    dyn.multiplexing_degree = 5;
+    dyn.seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
+    const auto dt = sim::simulate_dynamic(net, phase.messages, dyn);
+    auto dyn_wdm = dyn;
+    dyn_wdm.channel = sim::ChannelKind::kWavelength;
+    const auto dw = sim::simulate_dynamic(net, phase.messages, dyn_wdm);
+
+    table.add_row({phase.name,
+                   util::Table::fmt(std::int64_t{compiled.schedule.degree()}),
+                   util::Table::fmt(ct.total_slots),
+                   util::Table::fmt(cw.total_slots),
+                   util::Table::fmt(static_cast<double>(ct.total_slots) /
+                                        static_cast<double>(cw.total_slots),
+                                    1) +
+                       "x",
+                   dt.completed ? util::Table::fmt(dt.total_slots) : "dnf",
+                   dw.completed ? util::Table::fmt(dw.total_slots) : "dnf"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nWDM's full-rate channels collapse the K-factor: the "
+               "TDM/WDM ratio tracks each\npattern's multiplexing degree.  "
+               "The scheduling algorithms and configuration sets\nare "
+               "identical in both cases — only the channel clock differs\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Extension bench (beyond the paper): the same scheduling algorithms
+// across network classes — direct torus/mesh/hypercube versus the Omega
+// multistage network of the paper's companion work [13].  Shows how
+// topology connectivity translates into multiplexing degree for identical
+// logical patterns.
+//
+// Usage: extension_topologies [--nodes=64] [--trials=10] [--seed=3]
+
+#include <cmath>
+#include <functional>
+#include <iostream>
+#include <memory>
+
+#include "patterns/named.hpp"
+#include "patterns/random.hpp"
+#include "sched/bounds.hpp"
+#include "sched/coloring.hpp"
+#include "sched/greedy.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/mesh.hpp"
+#include "topo/omega.hpp"
+#include "topo/torus.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace optdm;
+
+  const util::CliArgs args(argc, argv);
+  const auto nodes = static_cast<int>(args.get_int("nodes", 64));
+  const auto trials = args.get_int("trials", 10);
+  const auto side = static_cast<int>(std::lround(std::sqrt(nodes)));
+  if (side * side != nodes || nodes < 4) {
+    std::cerr << "--nodes must be a square power of two (16, 64, 256)\n";
+    return 1;
+  }
+
+  topo::TorusNetwork torus(side, side);
+  topo::MeshNetwork mesh(side, side);
+  topo::HypercubeNetwork cube(nodes);
+  topo::OmegaNetwork omega(nodes);
+  const topo::Network* nets[] = {&torus, &mesh, &cube, &omega};
+
+  std::cout << "Extension — coloring degree across topologies, " << nodes
+            << " nodes (" << trials << " trials for random rows)\n\n";
+
+  util::Table table({"pattern", "conns", torus.name(), mesh.name(),
+                     cube.name(), omega.name()});
+
+  const auto add_static_row = [&](const char* name,
+                                  const core::RequestSet& requests) {
+    std::vector<std::string> cells{
+        name, util::Table::fmt(static_cast<std::int64_t>(requests.size()))};
+    for (const auto* net : nets)
+      cells.push_back(util::Table::fmt(
+          std::int64_t{sched::coloring(*net, requests).degree()}));
+    table.add_row(std::move(cells));
+  };
+
+  add_static_row("ring", patterns::ring(nodes));
+  add_static_row("hypercube", patterns::hypercube(nodes));
+  add_static_row("shuffle-exchange", patterns::shuffle_exchange(nodes));
+  add_static_row("all-to-all", patterns::all_to_all(nodes));
+
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 3)));
+  for (const int conns : {nodes, nodes * 4, nodes * 16}) {
+    util::Accumulator acc[4];
+    for (std::int64_t t = 0; t < trials; ++t) {
+      const auto requests = patterns::random_pattern(nodes, conns, rng);
+      for (int n = 0; n < 4; ++n)
+        acc[n].add(sched::coloring(*nets[n], requests).degree());
+    }
+    std::vector<std::string> cells{"random",
+                                   util::Table::fmt(std::int64_t{conns})};
+    for (int n = 0; n < 4; ++n)
+      cells.push_back(util::Table::fmt(acc[n].mean()));
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nthe Omega MIN has exactly one path per pair and log(N) "
+               "shared stages, so its\ndegrees sit far above the direct "
+               "networks — the connectivity/TDM tradeoff the\ncompanion "
+               "MIN work [13] multiplexes around\n";
+  return 0;
+}

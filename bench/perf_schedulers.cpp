@@ -1,0 +1,123 @@
+// Google-benchmark microbenchmarks of the scheduling algorithms and the
+// substrates they sit on.  These measure the *compiler-side* cost of
+// compiled communication — the paper's argument is that this cost is paid
+// off-line, so it may be large; this bench quantifies "large".
+
+#include <benchmark/benchmark.h>
+
+#include "aapc/torus_aapc.hpp"
+#include "core/conflict_graph.hpp"
+#include "patterns/named.hpp"
+#include "patterns/random.hpp"
+#include "redist/redistribution.hpp"
+#include "sched/coloring.hpp"
+#include "sched/greedy.hpp"
+#include "sched/ordered_aapc.hpp"
+#include "sim/dynamic.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+
+const topo::TorusNetwork& torus() {
+  static topo::TorusNetwork net(8, 8);
+  return net;
+}
+
+const aapc::TorusAapc& torus_aapc() {
+  static aapc::TorusAapc decomposition(torus());
+  return decomposition;
+}
+
+core::RequestSet pattern_of_size(int conns) {
+  util::Rng rng(static_cast<std::uint64_t>(conns) * 7 + 1);
+  return patterns::random_pattern(64, conns, rng);
+}
+
+void BM_Routing(benchmark::State& state) {
+  const auto requests = pattern_of_size(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::route_all(torus(), requests));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Routing)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_ConflictGraph(benchmark::State& state) {
+  const auto paths = core::route_all(
+      torus(), pattern_of_size(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    core::ConflictGraph graph(paths);
+    benchmark::DoNotOptimize(graph.edge_count());
+  }
+}
+BENCHMARK(BM_ConflictGraph)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_Greedy(benchmark::State& state) {
+  const auto paths = core::route_all(
+      torus(), pattern_of_size(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::greedy_paths(torus(), paths).degree());
+  }
+}
+BENCHMARK(BM_Greedy)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_Coloring(benchmark::State& state) {
+  const auto paths = core::route_all(
+      torus(), pattern_of_size(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::coloring_paths(torus(), paths).degree());
+  }
+}
+BENCHMARK(BM_Coloring)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_OrderedAapc(benchmark::State& state) {
+  const auto requests = pattern_of_size(static_cast<int>(state.range(0)));
+  const auto& decomposition = torus_aapc();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::ordered_aapc(decomposition, requests).degree());
+  }
+}
+BENCHMARK(BM_OrderedAapc)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_AapcConstruction(benchmark::State& state) {
+  // Cost of building the torus AAPC phase structure (ring schedules are
+  // memoized after the first call, which is the realistic compiler setup).
+  benchmark::DoNotOptimize(torus_aapc().phase_count());
+  for (auto _ : state) {
+    aapc::TorusAapc decomposition(torus());
+    benchmark::DoNotOptimize(decomposition.phase_count());
+  }
+}
+BENCHMARK(BM_AapcConstruction);
+
+void BM_RedistributionPlan(benchmark::State& state) {
+  util::Rng rng(42);
+  const auto from = redist::random_distribution({64, 64, 64}, 64, rng);
+  const auto to = redist::random_distribution({64, 64, 64}, 64, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        redist::plan_redistribution(from, to).transfers.size());
+  }
+}
+BENCHMARK(BM_RedistributionPlan);
+
+void BM_DynamicSimulation(benchmark::State& state) {
+  const auto requests = pattern_of_size(static_cast<int>(state.range(0)));
+  const auto messages = sim::uniform_messages(requests, 4);
+  sim::DynamicParams params;
+  params.multiplexing_degree = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::simulate_dynamic(torus(), messages, params).total_slots);
+  }
+}
+BENCHMARK(BM_DynamicSimulation)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

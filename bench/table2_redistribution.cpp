@@ -1,0 +1,121 @@
+// Reproduces Table 2 of the paper: multiplexing degrees for random
+// block-cyclic data redistributions of a 64x64x64 array over 64 PEs,
+// bucketed by the number of connection requests each redistribution
+// induces.
+//
+// Usage: table2_redistribution [--count=500] [--seed=94]
+
+#include <iostream>
+#include <vector>
+
+#include "aapc/torus_aapc.hpp"
+#include "redist/redistribution.hpp"
+#include "sched/coloring.hpp"
+#include "sched/greedy.hpp"
+#include "sched/ordered_aapc.hpp"
+#include "topo/torus.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace optdm;
+
+  const util::CliArgs args(argc, argv);
+  const auto count = args.get_int("count", 500);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 94));
+
+  topo::TorusNetwork net(8, 8);
+  const aapc::TorusAapc aapc(net);
+  util::Rng rng(seed);
+
+  std::cout << "Table 2 — " << count
+            << " random data redistributions of a 64x64x64 array over 64 "
+               "PEs\n\n";
+
+  // The paper's buckets over the number of connection requests.
+  struct Bucket {
+    int lo;
+    int hi;  // inclusive
+    util::Accumulator greedy, coloring, ordered, combined;
+    std::int64_t patterns = 0;
+  };
+  std::vector<Bucket> buckets{{0, 100, {}, {}, {}, {}, 0},
+                              {101, 200, {}, {}, {}, {}, 0},
+                              {201, 400, {}, {}, {}, {}, 0},
+                              {401, 800, {}, {}, {}, {}, 0},
+                              {801, 1200, {}, {}, {}, {}, 0},
+                              {1201, 1600, {}, {}, {}, {}, 0},
+                              {1601, 2000, {}, {}, {}, {}, 0},
+                              {2001, 2400, {}, {}, {}, {}, 0},
+                              {2401, 4031, {}, {}, {}, {}, 0},
+                              {4032, 4032, {}, {}, {}, {}, 0}};
+
+  for (std::int64_t trial = 0; trial < count; ++trial) {
+    const auto from = redist::random_distribution({64, 64, 64}, 64, rng);
+    const auto to = redist::random_distribution({64, 64, 64}, 64, rng);
+    const auto plan = redist::plan_redistribution(from, to);
+    const auto requests = plan.pattern();
+    const auto conns = static_cast<int>(requests.size());
+
+    Bucket* bucket = &buckets.front();
+    for (auto& b : buckets)
+      if (conns >= b.lo && conns <= b.hi) bucket = &b;
+    ++bucket->patterns;
+    if (conns == 0) {
+      // Identical source/target distributions: no communication at all.
+      bucket->greedy.add(0);
+      bucket->coloring.add(0);
+      bucket->ordered.add(0);
+      bucket->combined.add(0);
+      continue;
+    }
+
+    // The paper's greedy processes requests "in arbitrary order"; the
+    // deterministic source-major order of a redistribution plan is an
+    // unrepresentative worst case for dense patterns, so greedy sees a
+    // seeded shuffle.
+    auto arbitrary = requests;
+    rng.shuffle(arbitrary);
+    const int by_greedy = sched::greedy(net, arbitrary).degree();
+    const int by_coloring = sched::coloring(net, requests).degree();
+    const int by_aapc = sched::ordered_aapc(aapc, requests).degree();
+    bucket->greedy.add(by_greedy);
+    bucket->coloring.add(by_coloring);
+    bucket->ordered.add(by_aapc);
+    bucket->combined.add(std::min(by_coloring, by_aapc));
+  }
+
+  util::Table table({"No. of Conn.", "No. of Patterns", "Greedy Alg.",
+                     "Coloring Alg.", "AAPC Alg.", "Combined Alg.",
+                     "Improvement"});
+  for (const auto& b : buckets) {
+    const std::string range = b.lo == b.hi
+                                  ? std::to_string(b.lo)
+                                  : std::to_string(b.lo) + "-" +
+                                        std::to_string(b.hi);
+    if (b.patterns == 0) {
+      table.add_row({range, "0", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    const double improvement =
+        b.combined.mean() == 0.0
+            ? 0.0
+            : (b.greedy.mean() - b.combined.mean()) / b.combined.mean() *
+                  100.0;
+    table.add_row({range, util::Table::fmt(b.patterns),
+                   util::Table::fmt(b.greedy.mean()),
+                   util::Table::fmt(b.coloring.mean()),
+                   util::Table::fmt(b.ordered.mean()),
+                   util::Table::fmt(b.combined.mean()),
+                   util::Table::fmt(improvement) + "%"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper: redistributions need lower degrees than random "
+               "patterns of equal size;\n       the only dense "
+               "redistribution is the full all-to-all (greedy 92, combined "
+               "64, 43.8%)\n";
+  return 0;
+}

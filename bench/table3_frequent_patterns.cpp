@@ -1,0 +1,67 @@
+// Reproduces Table 3 of the paper: multiplexing degrees of the frequently
+// used communication patterns on the 8x8 torus.
+
+#include <iostream>
+
+#include "aapc/torus_aapc.hpp"
+#include "patterns/named.hpp"
+#include "sched/coloring.hpp"
+#include "sched/combined.hpp"
+#include "sched/greedy.hpp"
+#include "sched/ordered_aapc.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace optdm;
+
+  topo::TorusNetwork net(8, 8);
+  const aapc::TorusAapc aapc(net);
+
+  std::cout << "Table 3 — frequently used patterns on torus(8x8)\n\n";
+
+  util::Table table({"pattern", "No. of Conn.", "Greedy", "Coloring", "AAPC",
+                     "Comb.", "improvement"});
+
+  const struct {
+    const char* name;
+    core::RequestSet requests;
+  } rows[] = {
+      {"ring", patterns::ring(64)},
+      {"nearest neighbor", patterns::nearest_neighbor(net)},
+      {"hypercube", patterns::hypercube(64)},
+      {"shuffle-exchange", patterns::shuffle_exchange(64)},
+      {"all-to-all", patterns::all_to_all(64)},
+  };
+
+  util::Rng rng(1996);
+  for (const auto& row : rows) {
+    // Greedy processes requests "in arbitrary order" (paper Section 3.1);
+    // generator-emission order is systematically lucky for some patterns
+    // and unlucky for others, so greedy sees a seeded shuffle.
+    auto arbitrary = row.requests;
+    rng.shuffle(arbitrary);
+    const int by_greedy = sched::greedy(net, arbitrary).degree();
+    const int by_coloring = sched::coloring(net, row.requests).degree();
+    const int by_aapc = sched::ordered_aapc(aapc, row.requests).degree();
+    const int by_combined = std::min(by_coloring, by_aapc);
+    // Relative to combined, matching the paper (ring: (3-2)/2 = 50%).
+    const double improvement =
+        static_cast<double>(by_greedy - by_combined) /
+        static_cast<double>(by_combined) * 100.0;
+    table.add_row({row.name,
+                   util::Table::fmt(static_cast<std::int64_t>(row.requests.size())),
+                   util::Table::fmt(std::int64_t{by_greedy}),
+                   util::Table::fmt(std::int64_t{by_coloring}),
+                   util::Table::fmt(std::int64_t{by_aapc}),
+                   util::Table::fmt(std::int64_t{by_combined}),
+                   util::Table::fmt(improvement) + "%"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper: ring 3/2/2/2, nearest neighbor 6/4/4/4, hypercube "
+               "9/7/8/7,\n       shuffle-exchange 6/4/5/4, all-to-all "
+               "92/83/64/64 (43.8%)\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces Table 5 of the paper: communication time (in slots) of the
+// static application patterns (GS, TSCF, P3M 1-5) under compiled
+// communication versus dynamically controlled communication with fixed
+// multiplexing degrees K = 1, 2, 5, 10.
+//
+// The compiled side uses the combined scheduling algorithm (as in the
+// paper); the dynamic side runs the distributed path-reservation protocol
+// of Section 4.1.
+//
+// Usage: table5_compiled_vs_dynamic [--ctrl-hop=2] [--ctrl-local=2]
+//                                   [--backoff=8] [--seed=27]
+
+#include <iostream>
+#include <vector>
+
+#include "apps/compiler.hpp"
+#include "apps/workloads.hpp"
+#include "sim/dynamic.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace optdm;
+
+  const util::CliArgs args(argc, argv);
+  sim::DynamicParams base;
+  base.ctrl_hop_slots = args.get_int("ctrl-hop", 2);
+  base.ctrl_local_slots = args.get_int("ctrl-local", 2);
+  base.backoff_slots = args.get_int("backoff", 8);
+  base.seed = static_cast<std::uint64_t>(args.get_int("seed", 27));
+
+  topo::TorusNetwork net(8, 8);
+  const apps::CommCompiler compiler(net);
+
+  std::vector<apps::CommPhase> rows;
+  for (const int grid : {64, 128, 256}) rows.push_back(apps::gs_phase(grid, 64));
+  rows.push_back(apps::tscf_phase(64));
+  for (const int mesh : {32, 64})
+    for (auto& phase : apps::p3m_phases(mesh)) rows.push_back(std::move(phase));
+
+  std::cout << "Table 5 — communication time (slots) for static patterns:\n"
+               "compiled communication vs dynamic path reservation at fixed "
+               "K\n\n";
+
+  util::Table table({"Pattern", "Problem Size", "Conns", "Compiled", "K",
+                     "Dyn K=1", "Dyn K=2", "Dyn K=5", "Dyn K=10",
+                     "best dyn/comp"});
+
+  for (const auto& phase : rows) {
+    const auto compiled = compiler.compile(phase.pattern());
+    const auto compiled_time =
+        sim::simulate_compiled(compiled.schedule, phase.messages).total_slots;
+
+    std::vector<std::string> cells{
+        phase.name, phase.problem,
+        util::Table::fmt(static_cast<std::int64_t>(phase.messages.size())),
+        util::Table::fmt(compiled_time),
+        util::Table::fmt(std::int64_t{compiled.schedule.degree()})};
+
+    std::int64_t best_dynamic = -1;
+    for (const int k : {1, 2, 5, 10}) {
+      auto params = base;
+      params.multiplexing_degree = k;
+      const auto result = sim::simulate_dynamic(net, phase.messages, params);
+      cells.push_back(result.completed ? util::Table::fmt(result.total_slots)
+                                       : "dnf");
+      if (result.completed &&
+          (best_dynamic < 0 || result.total_slots < best_dynamic))
+        best_dynamic = result.total_slots;
+    }
+    cells.push_back(best_dynamic < 0
+                        ? "-"
+                        : util::Table::fmt(static_cast<double>(best_dynamic) /
+                                               static_cast<double>(compiled_time),
+                                           1) + "x");
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\npaper: compiled outperforms dynamic by 2-20x on every pattern; "
+         "gains are largest\n       for small messages (TSCF) and dense "
+         "redistributions (P3M 2/3); no single fixed K\n       is best for "
+         "all patterns (K=1 wins for GS, larger K for dense P3M phases)\n";
+  return 0;
+}

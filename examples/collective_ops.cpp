@@ -1,0 +1,65 @@
+// Collective operations on a compiled-communication machine: broadcast,
+// ring all-gather, and reduce-scatter expressed as multi-phase programs,
+// compiled per phase, verified symbolically, and timed.
+//
+// Run:  ./collective_ops [--chunk=4]
+
+#include <iostream>
+
+#include "apps/program.hpp"
+#include "collectives/collectives.hpp"
+#include "topo/torus.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace optdm;
+
+  const util::CliArgs args(argc, argv);
+  const auto chunk = args.get_int("chunk", 4);
+
+  topo::TorusNetwork net(8, 8);
+  const apps::CommCompiler compiler(net);
+
+  struct Row {
+    apps::Program program;
+    bool verified;
+  };
+  std::vector<Row> rows;
+  {
+    auto p = collectives::broadcast(64, 0, chunk);
+    const bool ok = collectives::verify_broadcast(p, 64, 0);
+    rows.push_back({std::move(p), ok});
+  }
+  {
+    auto p = collectives::allgather_ring(64, chunk);
+    const bool ok = collectives::verify_allgather(p, 64);
+    rows.push_back({std::move(p), ok});
+  }
+  {
+    auto p = collectives::reduce_scatter(64, chunk);
+    const bool ok = collectives::verify_reduce_scatter(p, 64);
+    rows.push_back({std::move(p), ok});
+  }
+
+  std::cout << "collectives on " << net.name() << ", chunk = " << chunk
+            << " slots\n\n";
+  util::Table table({"collective", "phases", "max K", "total slots",
+                     "data flow"});
+  for (const auto& row : rows) {
+    const auto compiled = apps::compile_program(compiler, row.program);
+    const auto run = apps::execute_program(compiled, row.program);
+    table.add_row(
+        {row.program.name,
+         util::Table::fmt(static_cast<std::int64_t>(row.program.phases.size())),
+         util::Table::fmt(std::int64_t{compiled.max_degree}),
+         util::Table::fmt(run.comm_slots),
+         row.verified ? "verified" : "BROKEN"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\neach phase is a static pattern the compiler schedules "
+               "into 1-4 configurations;\nphase boundaries reload the "
+               "switch registers — the paper's per-phase multiplexing\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "aapc/torus_aapc.hpp"
+
+#include <stdexcept>
+
+namespace optdm::aapc {
+
+namespace {
+topo::RingDir to_ring_dir(int dir) {
+  if (dir > 0) return topo::RingDir::kPositive;
+  if (dir < 0) return topo::RingDir::kNegative;
+  // Zero-length arc: direction is irrelevant; kAuto routes zero hops.
+  return topo::RingDir::kAuto;
+}
+}  // namespace
+
+TorusAapc::TorusAapc(const topo::TorusNetwork& net)
+    : net_(&net),
+      xring_(&RingSchedule::for_size(net.cols())),
+      yring_(&RingSchedule::for_size(net.rows())) {
+  phase_count_ = xring_->phase_count() * yring_->phase_count();
+}
+
+int TorusAapc::phase_of(core::Request request) const {
+  const auto s = net_->coord(request.src);
+  const auto d = net_->coord(request.dst);
+  const int px = xring_->phase_of(s.x, d.x);
+  const int py = yring_->phase_of(s.y, d.y);
+  return px * yring_->phase_count() + py;
+}
+
+core::Path TorusAapc::route(core::Request request) const {
+  const auto s = net_->coord(request.src);
+  const auto d = net_->coord(request.dst);
+  const auto xdir = to_ring_dir(xring_->dir_of(s.x, d.x));
+  const auto ydir = to_ring_dir(yring_->dir_of(s.y, d.y));
+  return core::make_path_with_links(
+      *net_, request, net_->route_links_dirs(request.src, request.dst, xdir, ydir));
+}
+
+std::vector<core::RequestSet> TorusAapc::phase_members() const {
+  std::vector<core::RequestSet> result(
+      static_cast<std::size_t>(phase_count_));
+  const int n = net_->node_count();
+  for (topo::NodeId s = 0; s < n; ++s) {
+    for (topo::NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const core::Request request{s, d};
+      result[static_cast<std::size_t>(phase_of(request))].push_back(request);
+    }
+  }
+  return result;
+}
+
+core::Schedule TorusAapc::full_schedule() const {
+  core::Schedule schedule;
+  for (const auto& members : phase_members()) {
+    core::Configuration config(net_->link_count());
+    for (const auto& request : members) {
+      if (!config.add(route(request)))
+        throw std::logic_error(
+            "TorusAapc::full_schedule: phase is not contention-free");
+    }
+    schedule.append(std::move(config));
+  }
+  return schedule;
+}
+
+}  // namespace optdm::aapc

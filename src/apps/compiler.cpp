@@ -1,0 +1,23 @@
+#include "apps/compiler.hpp"
+
+#include "sched/bounds.hpp"
+
+namespace optdm::apps {
+
+CommCompiler::CommCompiler(const topo::TorusNetwork& net)
+    : net_(&net), aapc_(std::make_unique<aapc::TorusAapc>(net)) {}
+
+CompiledPhase CommCompiler::compile(const core::RequestSet& pattern) const {
+  auto [schedule, winner] = sched::combined_with_winner(*aapc_, pattern);
+  const auto paths = core::route_all(*net_, pattern);
+  return CompiledPhase{std::move(schedule), winner,
+                       sched::multiplexing_lower_bound(*net_, paths)};
+}
+
+sim::CompiledResult CommCompiler::execute(
+    const CommPhase& phase, const sim::CompiledParams& params) const {
+  const auto compiled = compile(phase.pattern());
+  return sim::simulate_compiled(compiled.schedule, phase.messages, params);
+}
+
+}  // namespace optdm::apps

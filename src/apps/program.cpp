@@ -1,0 +1,92 @@
+#include "apps/program.hpp"
+
+#include <stdexcept>
+
+namespace optdm::apps {
+
+CompiledProgram compile_program(const CommCompiler& compiler,
+                                const Program& program) {
+  CompiledProgram compiled;
+  compiled.phases.reserve(program.phases.size());
+  for (const auto& phase : program.phases) {
+    compiled.phases.push_back(compiler.compile(phase.pattern()));
+    compiled.max_degree =
+        std::max(compiled.max_degree,
+                 compiled.phases.back().schedule.degree());
+  }
+  return compiled;
+}
+
+ProgramRunResult execute_program(const CompiledProgram& compiled,
+                                 const Program& program,
+                                 const sim::CompiledParams& params,
+                                 std::int64_t fixed_frame) {
+  if (compiled.phases.size() != program.phases.size())
+    throw std::invalid_argument(
+        "execute_program: compiled/program phase count mismatch");
+  if (fixed_frame > 0 && fixed_frame < compiled.max_degree)
+    throw std::invalid_argument(
+        "execute_program: fixed_frame below the largest phase degree");
+  if (program.iterations < 1)
+    throw std::invalid_argument("execute_program: iterations must be >= 1");
+
+  ProgramRunResult result;
+  for (std::size_t p = 0; p < program.phases.size(); ++p) {
+    auto phase_params = params;
+    if (fixed_frame > 0) phase_params.frame_slots = fixed_frame;
+    const auto run = sim::simulate_compiled(
+        compiled.phases[p].schedule, program.phases[p].messages,
+        phase_params);
+    result.phase_slots.push_back(run.total_slots);
+    result.comm_slots += run.total_slots;
+  }
+  // Phases repeat every iteration; register reloads (inside setup_slots)
+  // repeat too because consecutive phases use different configurations.
+  result.comm_slots *= program.iterations;
+  result.total_slots =
+      result.comm_slots + program.compute_slots *
+                              static_cast<std::int64_t>(program.iterations) *
+                              static_cast<std::int64_t>(
+                                  program.phases.empty() ? 1 : program.phases.size());
+  return result;
+}
+
+MergedProgram merge_phases(const CommCompiler& compiler,
+                           const Program& program, int degree_slack) {
+  if (degree_slack < 0)
+    throw std::invalid_argument("merge_phases: negative slack");
+  MergedProgram result;
+  result.program.name = program.name + " (merged)";
+  result.program.compute_slots = program.compute_slots;
+  result.program.iterations = program.iterations;
+
+  for (const auto& phase : program.phases) {
+    if (result.program.phases.empty()) {
+      result.program.phases.push_back(phase);
+      continue;
+    }
+    auto& last = result.program.phases.back();
+    const int degree_last =
+        compiler.compile(last.pattern()).schedule.degree();
+    const int degree_next =
+        compiler.compile(phase.pattern()).schedule.degree();
+
+    CommPhase merged;
+    merged.name = last.name + "+" + phase.name;
+    merged.problem = last.problem;
+    merged.messages = last.messages;
+    merged.messages.insert(merged.messages.end(), phase.messages.begin(),
+                           phase.messages.end());
+    const int degree_merged =
+        compiler.compile(merged.pattern()).schedule.degree();
+    if (degree_merged <= std::max(degree_last, degree_next) + degree_slack) {
+      last = std::move(merged);
+      ++result.merges;
+    } else {
+      result.program.phases.push_back(phase);
+    }
+  }
+  return result;
+}
+
+}  // namespace optdm::apps

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/compiler.hpp"
+#include "apps/workloads.hpp"
+
+/// \file program.hpp
+/// Whole-program compiled communication.  A parallel program is a
+/// sequence of compute regions separated by static communication phases;
+/// the compiler schedules *each phase with its own multiplexing degree*
+/// and emits register reloads at phase boundaries — the paper's Section 2:
+/// "different multiplexing degrees can be used in different phases of the
+/// parallel program".
+///
+/// `execute_program` also supports a fixed-frame mode that forces every
+/// phase onto one global multiplexing degree, quantifying the paper's
+/// fourth performance factor (Section 4.2): a fixed K wastes slots in
+/// phases whose optimal degree is smaller.
+
+namespace optdm::apps {
+
+/// A program: communication phases with interleaved compute time.
+struct Program {
+  std::string name;
+  std::vector<CommPhase> phases;
+  /// Compute slots between consecutive communication phases (and before
+  /// the first).  Communication/computation overlap is not modeled: the
+  /// paper's comparison is about communication time.
+  std::int64_t compute_slots = 0;
+  /// How many times the phase sequence repeats (main iteration count).
+  int iterations = 1;
+};
+
+/// Per-phase compilation results for one program.
+struct CompiledProgram {
+  std::vector<CompiledPhase> phases;
+  /// max over phases of the phase degree — the degree a fixed-K design
+  /// would be forced to provision.
+  int max_degree = 0;
+};
+
+/// Timing of one program execution.
+struct ProgramRunResult {
+  /// End-to-end slots, compute + reconfiguration + communication.
+  std::int64_t total_slots = 0;
+  /// Communication slots only.
+  std::int64_t comm_slots = 0;
+  /// Per-phase communication time of the first iteration.
+  std::vector<std::int64_t> phase_slots;
+};
+
+/// Compiles every phase of `program` with the combined algorithm.
+CompiledProgram compile_program(const CommCompiler& compiler,
+                                const Program& program);
+
+/// Executes a compiled program: phases run back to back, each paying the
+/// register-reload cost in `params` and its own transmission time.  If
+/// `fixed_frame` is positive, every phase is forced onto a TDM frame of
+/// that many slots (phases with smaller degrees idle the surplus slots) —
+/// set it to `compiled.max_degree` to model a network that cannot change
+/// its multiplexing degree between phases.
+ProgramRunResult execute_program(const CompiledProgram& compiled,
+                                 const Program& program,
+                                 const sim::CompiledParams& params = {},
+                                 std::int64_t fixed_frame = 0);
+
+/// Result of the phase-merging optimization pass.
+struct MergedProgram {
+  Program program;
+  /// Phase boundaries removed (each saves one register reload + barrier).
+  int merges = 0;
+};
+
+/// Compiler pass: greedily merges adjacent phases whenever the *union*
+/// pattern still schedules within `degree_slack` extra configurations of
+/// the larger constituent.  Merging trades a slightly longer frame for
+/// one fewer network reconfiguration and synchronization point — worth it
+/// exactly when the phases' connections barely conflict (e.g. the
+/// collectives' alternating sparse steps).  The merged program is
+/// re-verified phase by phase by the caller's normal compile path.
+MergedProgram merge_phases(const CommCompiler& compiler,
+                           const Program& program, int degree_slack = 0);
+
+}  // namespace optdm::apps

@@ -1,0 +1,119 @@
+#include "apps/workloads.hpp"
+
+#include <stdexcept>
+
+#include "patterns/named.hpp"
+#include "redist/redistribution.hpp"
+
+namespace optdm::apps {
+
+namespace {
+
+/// (:block, :block, :block): a 4x4x4 processor grid, pure block.
+redist::ArrayDistribution dist_bbb(std::int64_t n) {
+  redist::ArrayDistribution d;
+  d.extent = {n, n, n};
+  for (int i = 0; i < 3; ++i)
+    d.dims[static_cast<std::size_t>(i)] = {4,
+                                           static_cast<std::int32_t>(n / 4)};
+  return d;
+}
+
+/// (:, :, :block): 64 PEs along the last dimension.  For n < 64 the block
+/// degenerates to 1 and only the first n PEs own data (the paper's
+/// "each processor owns a part" precaution applies to *random*
+/// distributions, not to these fixed application phases).
+redist::ArrayDistribution dist_col(std::int64_t n) {
+  redist::ArrayDistribution d;
+  d.extent = {n, n, n};
+  d.dims = {redist::DimDistribution{1, 1}, redist::DimDistribution{1, 1},
+            redist::DimDistribution{
+                64, static_cast<std::int32_t>(n >= 64 ? n / 64 : 1)}};
+  return d;
+}
+
+/// (:block, :block, :): an 8x8 processor grid over the first two dims.
+redist::ArrayDistribution dist_bb1(std::int64_t n) {
+  redist::ArrayDistribution d;
+  d.extent = {n, n, n};
+  d.dims = {redist::DimDistribution{8, static_cast<std::int32_t>(n / 8)},
+            redist::DimDistribution{8, static_cast<std::int32_t>(n / 8)},
+            redist::DimDistribution{1, 1}};
+  return d;
+}
+
+CommPhase phase_from_plan(std::string name, std::string problem,
+                          const redist::RedistributionPlan& plan) {
+  CommPhase phase;
+  phase.name = std::move(name);
+  phase.problem = std::move(problem);
+  phase.messages.reserve(plan.transfers.size());
+  for (const auto& t : plan.transfers)
+    phase.messages.push_back(sim::Message{
+        t.request, sim::slots_for_elements(t.elements, kWordsPerSlot)});
+  return phase;
+}
+
+}  // namespace
+
+core::RequestSet CommPhase::pattern() const {
+  core::RequestSet requests;
+  requests.reserve(messages.size());
+  for (const auto& m : messages) requests.push_back(m.request);
+  return requests;
+}
+
+CommPhase gs_phase(int grid, int pes) {
+  if (grid < pes || grid % pes != 0)
+    throw std::invalid_argument("gs_phase: grid must be a multiple of pes");
+  CommPhase phase;
+  phase.name = "GS";
+  phase.problem = std::to_string(grid) + "x" + std::to_string(grid);
+  const auto requests = patterns::linear_neighbors(pes);
+  const auto slots =
+      sim::slots_for_elements(grid, kWordsPerSlot);  // one boundary row
+  phase.messages = sim::uniform_messages(requests, slots);
+  return phase;
+}
+
+CommPhase tscf_phase(int pes) {
+  CommPhase phase;
+  phase.name = "TSCF";
+  phase.problem = std::to_string(pes) + " PEs";
+  const auto requests = patterns::hypercube(pes);
+  phase.messages =
+      sim::uniform_messages(requests, sim::slots_for_elements(8, kWordsPerSlot));
+  return phase;
+}
+
+std::vector<CommPhase> p3m_phases(int n) {
+  if (n < 8 || (n & (n - 1)) != 0)
+    throw std::invalid_argument("p3m_phases: mesh size must be a power of two >= 8");
+  const std::string problem =
+      std::to_string(n) + "x" + std::to_string(n) + "x" + std::to_string(n);
+  const auto nn = static_cast<std::int64_t>(n);
+
+  std::vector<CommPhase> phases;
+  phases.push_back(phase_from_plan(
+      "P3M 1", problem, redist::plan_redistribution(dist_bbb(nn), dist_col(nn))));
+  phases.push_back(phase_from_plan(
+      "P3M 2", problem, redist::plan_redistribution(dist_col(nn), dist_bb1(nn))));
+  phases.push_back(phase_from_plan(
+      "P3M 3", problem, redist::plan_redistribution(dist_col(nn), dist_bb1(nn))));
+  phases.push_back(phase_from_plan(
+      "P3M 4", problem, redist::plan_redistribution(dist_bb1(nn), dist_col(nn))));
+
+  // Phase 5: fine-grain 26-neighbor ghost exchange on the logical 4x4x4 PE
+  // grid.  Shared-array references generate small per-iteration messages;
+  // aggregate size scales with the subgrid boundary (n/32 slots).
+  CommPhase ghost;
+  ghost.name = "P3M 5";
+  ghost.problem = problem;
+  const auto requests = patterns::stencil26(4, 4, 4);
+  ghost.messages = sim::uniform_messages(
+      requests, std::max<std::int64_t>(1, n / 32));
+  phases.push_back(std::move(ghost));
+  return phases;
+}
+
+}  // namespace optdm::apps

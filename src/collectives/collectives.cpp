@@ -1,0 +1,283 @@
+#include "collectives/collectives.hpp"
+
+#include <bit>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace optdm::collectives {
+
+namespace {
+
+int log2_nodes(int nodes, const char* what) {
+  if (nodes < 2 || !std::has_single_bit(static_cast<unsigned>(nodes)))
+    throw std::invalid_argument(std::string(what) +
+                                ": node count must be a power of two >= 2");
+  return std::countr_zero(static_cast<unsigned>(nodes));
+}
+
+void require_positive_chunk(std::int64_t chunk_slots, const char* what) {
+  if (chunk_slots < 1)
+    throw std::invalid_argument(std::string(what) + ": chunk_slots >= 1");
+}
+
+}  // namespace
+
+apps::Program broadcast(int nodes, topo::NodeId root,
+                        std::int64_t chunk_slots) {
+  const int dims = log2_nodes(nodes, "broadcast");
+  require_positive_chunk(chunk_slots, "broadcast");
+  if (root < 0 || root >= nodes)
+    throw std::invalid_argument("broadcast: root out of range");
+
+  apps::Program program;
+  program.name = "broadcast";
+  for (int k = 0; k < dims; ++k) {
+    apps::CommPhase phase;
+    phase.name = "bcast step " + std::to_string(k);
+    phase.problem = std::to_string(nodes) + " PEs";
+    // XOR-relative binomial tree: holders (relative id < 2^k) send along
+    // hypercube dimension k.
+    for (topo::NodeId rel = 0; rel < (1 << k); ++rel) {
+      const auto src = static_cast<topo::NodeId>(rel ^ root);
+      const auto dst = static_cast<topo::NodeId>((rel | (1 << k)) ^ root);
+      phase.messages.push_back(sim::Message{{src, dst}, chunk_slots});
+    }
+    program.phases.push_back(std::move(phase));
+  }
+  return program;
+}
+
+apps::Program allgather_ring(int nodes, std::int64_t chunk_slots) {
+  if (nodes < 2)
+    throw std::invalid_argument("allgather_ring: need >= 2 nodes");
+  require_positive_chunk(chunk_slots, "allgather_ring");
+
+  apps::Program program;
+  program.name = "allgather-ring";
+  for (int step = 0; step < nodes - 1; ++step) {
+    apps::CommPhase phase;
+    phase.name = "allgather step " + std::to_string(step);
+    phase.problem = std::to_string(nodes) + " PEs";
+    // Every PE forwards the chunk it received last step to its right
+    // neighbor (chunk identity is implicit: PE i sends chunk (i - step)).
+    for (topo::NodeId i = 0; i < nodes; ++i)
+      phase.messages.push_back(
+          sim::Message{{i, static_cast<topo::NodeId>((i + 1) % nodes)},
+                       chunk_slots});
+    program.phases.push_back(std::move(phase));
+  }
+  return program;
+}
+
+apps::Program reduce_scatter(int nodes, std::int64_t chunk_slots) {
+  const int dims = log2_nodes(nodes, "reduce_scatter");
+  require_positive_chunk(chunk_slots, "reduce_scatter");
+
+  apps::Program program;
+  program.name = "reduce-scatter";
+  for (int k = dims - 1; k >= 0; --k) {
+    apps::CommPhase phase;
+    phase.name = "halving step " + std::to_string(dims - 1 - k);
+    phase.problem = std::to_string(nodes) + " PEs";
+    // Pairs at distance 2^k exchange the half of their current chunk
+    // range that the partner is responsible for: 2^k chunks each way.
+    const auto half_volume = chunk_slots * (std::int64_t{1} << k);
+    for (topo::NodeId i = 0; i < nodes; ++i)
+      phase.messages.push_back(
+          sim::Message{{i, static_cast<topo::NodeId>(i ^ (1 << k))},
+                       half_volume});
+    program.phases.push_back(std::move(phase));
+  }
+  return program;
+}
+
+apps::Program scatter(int nodes, topo::NodeId root,
+                      std::int64_t chunk_slots) {
+  const int dims = log2_nodes(nodes, "scatter");
+  require_positive_chunk(chunk_slots, "scatter");
+  if (root < 0 || root >= nodes)
+    throw std::invalid_argument("scatter: root out of range");
+
+  apps::Program program;
+  program.name = "scatter";
+  // Highest dimension first: the root hands half the chunks to its
+  // furthest partner, and so on down the binomial tree.
+  for (int k = dims - 1; k >= 0; --k) {
+    apps::CommPhase phase;
+    phase.name = "scatter step " + std::to_string(dims - 1 - k);
+    phase.problem = std::to_string(nodes) + " PEs";
+    const auto volume = chunk_slots * (std::int64_t{1} << k);
+    for (topo::NodeId rel = 0; rel < nodes; rel += (2 << k)) {
+      const auto src = static_cast<topo::NodeId>(rel ^ root);
+      const auto dst = static_cast<topo::NodeId>((rel | (1 << k)) ^ root);
+      phase.messages.push_back(sim::Message{{src, dst}, volume});
+    }
+    program.phases.push_back(std::move(phase));
+  }
+  return program;
+}
+
+apps::Program allreduce(int nodes, std::int64_t chunk_slots) {
+  auto program = reduce_scatter(nodes, chunk_slots);
+  program.name = "allreduce";
+  auto gather = allgather_ring(nodes, chunk_slots);
+  for (auto& phase : gather.phases) program.phases.push_back(std::move(phase));
+  return program;
+}
+
+bool verify_scatter(const apps::Program& program, int nodes,
+                    topo::NodeId root) {
+  // held[pe] = set of chunk ids currently resident at pe.
+  std::vector<std::set<int>> held(static_cast<std::size_t>(nodes));
+  for (int c = 0; c < nodes; ++c)
+    held[static_cast<std::size_t>(root)].insert(c);
+
+  for (const auto& phase : program.phases) {
+    auto next = held;
+    for (const auto& m : phase.messages) {
+      // The sender forwards the chunks of the receiver's subtree: those
+      // whose XOR-relative id has the receiver's leading bits.  Derive
+      // the subtree from the pair itself.
+      const auto rel_src =
+          static_cast<topo::NodeId>(m.request.src ^ root);
+      const auto rel_dst =
+          static_cast<topo::NodeId>(m.request.dst ^ root);
+      const auto bit = rel_src ^ rel_dst;
+      if ((bit & (bit - 1)) != 0 || bit == 0) return false;  // one bit
+      auto& src_held = held[static_cast<std::size_t>(m.request.src)];
+      std::set<int> moved;
+      for (const auto c : src_held) {
+        const auto rel_c = c ^ root;
+        // Chunk belongs to the receiver's subtree: same bit set, and all
+        // higher bits matching rel_dst.
+        if ((rel_c & bit) && ((rel_c & ~(bit - 1)) == (rel_dst & ~(bit - 1))))
+          moved.insert(c);
+      }
+      if (moved.empty()) return false;
+      for (const auto c : moved) {
+        next[static_cast<std::size_t>(m.request.src)].erase(c);
+        next[static_cast<std::size_t>(m.request.dst)].insert(c);
+      }
+    }
+    held = std::move(next);
+  }
+  for (int pe = 0; pe < nodes; ++pe) {
+    if (held[static_cast<std::size_t>(pe)] != std::set<int>{pe})
+      return false;
+  }
+  return true;
+}
+
+bool verify_broadcast(const apps::Program& program, int nodes,
+                      topo::NodeId root) {
+  std::vector<bool> has(static_cast<std::size_t>(nodes), false);
+  has[static_cast<std::size_t>(root)] = true;
+  for (const auto& phase : program.phases) {
+    auto next = has;
+    for (const auto& m : phase.messages) {
+      // Data must be present at the sender *before* the phase.
+      if (!has[static_cast<std::size_t>(m.request.src)]) return false;
+      next[static_cast<std::size_t>(m.request.dst)] = true;
+    }
+    has = std::move(next);
+  }
+  for (const auto h : has)
+    if (!h) return false;
+  return true;
+}
+
+bool verify_allgather(const apps::Program& program, int nodes) {
+  // owned[pe] = set of chunk ids held.
+  std::vector<std::set<int>> owned(static_cast<std::size_t>(nodes));
+  for (int pe = 0; pe < nodes; ++pe)
+    owned[static_cast<std::size_t>(pe)].insert(pe);
+
+  for (const auto& phase : program.phases) {
+    auto next = owned;
+    for (const auto& m : phase.messages) {
+      const auto& src = owned[static_cast<std::size_t>(m.request.src)];
+      auto& dst = next[static_cast<std::size_t>(m.request.dst)];
+      // The sender forwards a chunk it owns and the receiver lacks;
+      // pick the unique candidate the ring algorithm produces (smallest
+      // missing), failing if none exists.
+      int chosen = -1;
+      for (const auto chunk : src) {
+        if (!owned[static_cast<std::size_t>(m.request.dst)].count(chunk)) {
+          chosen = chunk;
+          break;
+        }
+      }
+      if (chosen < 0) return false;
+      dst.insert(chosen);
+    }
+    owned = std::move(next);
+  }
+  for (const auto& set : owned)
+    if (static_cast<int>(set.size()) != nodes) return false;
+  return true;
+}
+
+bool verify_reduce_scatter(const apps::Program& program, int nodes) {
+  const int dims = log2_nodes(nodes, "verify_reduce_scatter");
+  if (static_cast<int>(program.phases.size()) != dims) return false;
+
+  // contrib[pe][chunk] = set of PEs whose data has been folded into pe's
+  // partial sum for that chunk; responsible[pe] = chunk range still held.
+  std::vector<std::vector<std::set<int>>> contrib(
+      static_cast<std::size_t>(nodes),
+      std::vector<std::set<int>>(static_cast<std::size_t>(nodes)));
+  std::vector<std::set<int>> responsible(static_cast<std::size_t>(nodes));
+  for (int pe = 0; pe < nodes; ++pe)
+    for (int c = 0; c < nodes; ++c) {
+      contrib[static_cast<std::size_t>(pe)][static_cast<std::size_t>(c)] = {
+          pe};
+      responsible[static_cast<std::size_t>(pe)].insert(c);
+    }
+
+  for (int step = 0; step < dims; ++step) {
+    const int bit = dims - 1 - step;
+    const auto& phase = program.phases[static_cast<std::size_t>(step)];
+    // Expect exactly one message per PE to its partner at distance 2^bit.
+    std::set<topo::NodeId> senders;
+    for (const auto& m : phase.messages) {
+      if (m.request.dst != (m.request.src ^ (1 << bit))) return false;
+      if (!senders.insert(m.request.src).second) return false;
+    }
+    if (static_cast<int>(senders.size()) != nodes) return false;
+
+    auto next_contrib = contrib;
+    for (topo::NodeId pe = 0; pe < nodes; ++pe) {
+      const auto partner = static_cast<topo::NodeId>(pe ^ (1 << bit));
+      // pe keeps chunks whose `bit` matches its own address bit, sends
+      // the rest to the partner, which folds them in.
+      std::set<int> keep;
+      for (const auto c : responsible[static_cast<std::size_t>(pe)]) {
+        if (((c >> bit) & 1) == ((pe >> bit) & 1)) {
+          keep.insert(c);
+        } else {
+          auto& merged = next_contrib[static_cast<std::size_t>(partner)]
+                                     [static_cast<std::size_t>(c)];
+          for (const auto who :
+               contrib[static_cast<std::size_t>(pe)][static_cast<std::size_t>(c)])
+            merged.insert(who);
+        }
+      }
+      responsible[static_cast<std::size_t>(pe)] = std::move(keep);
+    }
+    contrib = std::move(next_contrib);
+  }
+
+  for (int pe = 0; pe < nodes; ++pe) {
+    if (responsible[static_cast<std::size_t>(pe)] !=
+        std::set<int>{pe})
+      return false;
+    if (static_cast<int>(contrib[static_cast<std::size_t>(pe)]
+                                [static_cast<std::size_t>(pe)]
+                                    .size()) != nodes)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace optdm::collectives

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <vector>
+
+#include "apps/program.hpp"
+
+/// \file collectives.hpp
+/// Collective operations as compiled-communication programs.
+///
+/// A collective is a *sequence of static phases*, each of which the
+/// compiler schedules into TDM configurations — the use case behind the
+/// paper's remark that "different multiplexing degrees can be used in
+/// different phases of the parallel program" (Section 2).  Three classic
+/// algorithms are provided:
+///
+///  * **broadcast** — binomial tree over hypercube edges: log2(n) phases
+///    of disjoint pair exchanges (multiplexing degree 1 each on any
+///    topology that embeds the pairs disjointly);
+///  * **all-gather** — ring algorithm: n-1 identical shift-by-one phases,
+///    each a permutation (degree ~1-2 on the torus), message size equal
+///    to one chunk;
+///  * **reduce-scatter** — recursive halving over hypercube edges:
+///    log2(n) phases with geometrically shrinking volumes.
+///
+/// `verify_*` functions check the *data flow* of each program by symbolic
+/// execution — tracking which chunks every PE holds phase by phase — so a
+/// wrong pattern fails tests even though each phase is a perfectly valid
+/// schedule.
+
+namespace optdm::collectives {
+
+/// Broadcast of `chunk_slots` of data from `root` to all `nodes` PEs.
+apps::Program broadcast(int nodes, topo::NodeId root,
+                        std::int64_t chunk_slots);
+
+/// Ring all-gather: every PE contributes one chunk of `chunk_slots`; all
+/// PEs end with all chunks.
+apps::Program allgather_ring(int nodes, std::int64_t chunk_slots);
+
+/// Recursive-halving reduce-scatter: PE i ends with the fully reduced
+/// chunk i; total data per PE starts at `nodes * chunk_slots`.
+apps::Program reduce_scatter(int nodes, std::int64_t chunk_slots);
+
+/// Scatter from `root`: the binomial broadcast tree run with halving
+/// volumes — each forward carries only the chunks destined for the
+/// receiver's subtree.
+apps::Program scatter(int nodes, topo::NodeId root, std::int64_t chunk_slots);
+
+/// All-reduce as the classic composition reduce-scatter + ring
+/// all-gather: every PE ends with the fully reduced vector.
+apps::Program allreduce(int nodes, std::int64_t chunk_slots);
+
+/// Symbolic data-flow checks; return true when the program provably
+/// realizes the collective (every transfer's payload is available at its
+/// source when the phase runs, and the final ownership is correct).
+bool verify_broadcast(const apps::Program& program, int nodes,
+                      topo::NodeId root);
+bool verify_allgather(const apps::Program& program, int nodes);
+bool verify_reduce_scatter(const apps::Program& program, int nodes);
+bool verify_scatter(const apps::Program& program, int nodes,
+                    topo::NodeId root);
+
+}  // namespace optdm::collectives

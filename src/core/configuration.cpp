@@ -1,0 +1,27 @@
+#include "core/configuration.hpp"
+
+namespace optdm::core {
+
+bool Configuration::add(Path path) {
+  if (!accepts(path)) return false;
+  used_.merge(path.occupancy);
+  paths_.push_back(std::move(path));
+  return true;
+}
+
+std::optional<std::string> Configuration::validate() const {
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    for (std::size_t j = i + 1; j < paths_.size(); ++j) {
+      if (paths_[i].conflicts_with(paths_[j])) {
+        return "configuration conflict between (" +
+               std::to_string(paths_[i].request.src) + "->" +
+               std::to_string(paths_[i].request.dst) + ") and (" +
+               std::to_string(paths_[j].request.src) + "->" +
+               std::to_string(paths_[j].request.dst) + ")";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace optdm::core

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/path.hpp"
+
+/// \file configuration.hpp
+/// A configuration is a set of connections that can be established
+/// simultaneously — i.e. a valid state of all the network's crossbar
+/// switches (paper, Section 2).  A TDM schedule is an ordered list of
+/// configurations the network cycles through, one per time slot.
+
+namespace optdm::core {
+
+/// A conflict-free set of established paths.
+///
+/// The class maintains the union of all member occupancies so membership
+/// tests are O(words).  `add` refuses conflicting paths, keeping the
+/// invariant "no two member paths share a directed link" true by
+/// construction; `validate` re-checks it from scratch for tests.
+class Configuration {
+ public:
+  Configuration() = default;
+  explicit Configuration(int link_count) : used_(link_count) {}
+
+  /// True if `path` could be added without conflict.
+  bool accepts(const Path& path) const noexcept {
+    return !used_.intersects(path.occupancy);
+  }
+
+  /// Adds a path; returns false (and leaves the configuration unchanged)
+  /// if it conflicts with a member.
+  bool add(Path path);
+
+  const std::vector<Path>& paths() const noexcept { return paths_; }
+  std::size_t size() const noexcept { return paths_.size(); }
+  bool empty() const noexcept { return paths_.empty(); }
+
+  /// Union of all member link occupancies.
+  const LinkSet& used_links() const noexcept { return used_; }
+
+  /// Exhaustive pairwise re-validation (independent of the incremental
+  /// bookkeeping); returns a description of the first violation found.
+  std::optional<std::string> validate() const;
+
+ private:
+  std::vector<Path> paths_;
+  LinkSet used_;
+};
+
+}  // namespace optdm::core

@@ -1,0 +1,89 @@
+#include "core/conflict_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace optdm::core {
+
+ConflictGraph::ConflictGraph(std::span<const Path> paths)
+    : n_(static_cast<int>(paths.size())) {
+  row_words_ = (static_cast<std::size_t>(n_) + 63) / 64;
+  matrix_.assign(static_cast<std::size_t>(n_) * row_words_, 0);
+
+  std::vector<std::vector<std::int32_t>> lists(
+      static_cast<std::size_t>(n_));
+  for (std::int32_t i = 0; i < n_; ++i) {
+    for (std::int32_t j = i + 1; j < n_; ++j) {
+      if (paths[static_cast<std::size_t>(i)].conflicts_with(
+              paths[static_cast<std::size_t>(j)])) {
+        lists[static_cast<std::size_t>(i)].push_back(j);
+        lists[static_cast<std::size_t>(j)].push_back(i);
+        matrix_[static_cast<std::size_t>(i) * row_words_ +
+                static_cast<std::size_t>(j) / 64] |=
+            std::uint64_t{1} << (static_cast<std::size_t>(j) % 64);
+        matrix_[static_cast<std::size_t>(j) * row_words_ +
+                static_cast<std::size_t>(i) / 64] |=
+            std::uint64_t{1} << (static_cast<std::size_t>(i) % 64);
+        ++edges_;
+      }
+    }
+  }
+
+  offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (std::int32_t v = 0; v < n_; ++v)
+    offsets_[static_cast<std::size_t>(v) + 1] =
+        offsets_[static_cast<std::size_t>(v)] +
+        lists[static_cast<std::size_t>(v)].size();
+  adj_.reserve(offsets_.back());
+  for (const auto& list : lists)
+    adj_.insert(adj_.end(), list.begin(), list.end());
+}
+
+std::span<const std::int32_t> ConflictGraph::neighbors(std::int32_t v) const {
+  if (v < 0 || v >= n_)
+    throw std::out_of_range("ConflictGraph::neighbors: bad vertex");
+  const auto begin = offsets_[static_cast<std::size_t>(v)];
+  const auto end = offsets_[static_cast<std::size_t>(v) + 1];
+  return {adj_.data() + begin, end - begin};
+}
+
+int ConflictGraph::degree(std::int32_t v) const {
+  if (v < 0 || v >= n_)
+    throw std::out_of_range("ConflictGraph::degree: bad vertex");
+  return static_cast<int>(offsets_[static_cast<std::size_t>(v) + 1] -
+                          offsets_[static_cast<std::size_t>(v)]);
+}
+
+bool ConflictGraph::adjacent(std::int32_t u, std::int32_t v) const {
+  if (u < 0 || u >= n_ || v < 0 || v >= n_)
+    throw std::out_of_range("ConflictGraph::adjacent: bad vertex");
+  return (matrix_[static_cast<std::size_t>(u) * row_words_ +
+                  static_cast<std::size_t>(v) / 64] >>
+          (static_cast<std::size_t>(v) % 64)) &
+         1;
+}
+
+std::vector<std::int32_t> ConflictGraph::heuristic_clique() const {
+  if (n_ == 0) return {};
+  // Seed with the max-degree vertex, then repeatedly add the highest-degree
+  // vertex adjacent to everything chosen so far.
+  std::vector<std::int32_t> order(static_cast<std::size_t>(n_));
+  for (std::int32_t v = 0; v < n_; ++v)
+    order[static_cast<std::size_t>(v)] = v;
+  std::sort(order.begin(), order.end(), [this](std::int32_t a, std::int32_t b) {
+    const int da = degree(a);
+    const int db = degree(b);
+    return da != db ? da > db : a < b;
+  });
+
+  std::vector<std::int32_t> clique;
+  for (const auto v : order) {
+    const bool fits = std::all_of(
+        clique.begin(), clique.end(),
+        [this, v](std::int32_t member) { return adjacent(v, member); });
+    if (fits) clique.push_back(v);
+  }
+  return clique;
+}
+
+}  // namespace optdm::core

@@ -1,0 +1,77 @@
+#include "core/linkset.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace optdm::core {
+
+namespace {
+constexpr std::size_t word_of(topo::LinkId link) {
+  return static_cast<std::size_t>(link) / 64;
+}
+constexpr std::uint64_t bit_of(topo::LinkId link) {
+  return std::uint64_t{1} << (static_cast<std::size_t>(link) % 64);
+}
+}  // namespace
+
+LinkSet::LinkSet(int link_count) : universe_(link_count) {
+  if (link_count < 0)
+    throw std::invalid_argument("LinkSet: negative universe");
+  words_.assign((static_cast<std::size_t>(link_count) + 63) / 64, 0);
+}
+
+void LinkSet::insert(topo::LinkId link) {
+  if (link < 0 || link >= universe_)
+    throw std::out_of_range("LinkSet::insert: link outside universe");
+  words_[word_of(link)] |= bit_of(link);
+}
+
+void LinkSet::erase(topo::LinkId link) {
+  if (link < 0 || link >= universe_)
+    throw std::out_of_range("LinkSet::erase: link outside universe");
+  words_[word_of(link)] &= ~bit_of(link);
+}
+
+bool LinkSet::contains(topo::LinkId link) const {
+  if (link < 0 || link >= universe_) return false;
+  return (words_[word_of(link)] & bit_of(link)) != 0;
+}
+
+bool LinkSet::empty() const noexcept {
+  return std::all_of(words_.begin(), words_.end(),
+                     [](std::uint64_t w) { return w == 0; });
+}
+
+int LinkSet::count() const noexcept {
+  int total = 0;
+  for (const auto w : words_) total += std::popcount(w);
+  return total;
+}
+
+bool LinkSet::intersects(const LinkSet& other) const noexcept {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  return false;
+}
+
+void LinkSet::merge(const LinkSet& other) {
+  if (other.universe_ > universe_)
+    throw std::invalid_argument("LinkSet::merge: universe mismatch");
+  for (std::size_t i = 0; i < other.words_.size(); ++i)
+    words_[i] |= other.words_[i];
+}
+
+void LinkSet::subtract(const LinkSet& other) {
+  if (other.universe_ > universe_)
+    throw std::invalid_argument("LinkSet::subtract: universe mismatch");
+  for (std::size_t i = 0; i < other.words_.size(); ++i)
+    words_[i] &= ~other.words_[i];
+}
+
+void LinkSet::clear() noexcept {
+  std::fill(words_.begin(), words_.end(), 0);
+}
+
+}  // namespace optdm::core

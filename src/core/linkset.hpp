@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/ids.hpp"
+
+/// \file linkset.hpp
+/// Dense bitset over directed link ids.  Conflict detection between paths
+/// and within configurations is the inner loop of every scheduling
+/// algorithm, so it is implemented as word-parallel bit operations.
+
+namespace optdm::core {
+
+/// Fixed-universe bitset keyed by `topo::LinkId`.
+class LinkSet {
+ public:
+  LinkSet() = default;
+  /// Creates an empty set over a universe of `link_count` links.
+  explicit LinkSet(int link_count);
+
+  void insert(topo::LinkId link);
+  void erase(topo::LinkId link);
+  bool contains(topo::LinkId link) const;
+
+  /// True if no link is set.
+  bool empty() const noexcept;
+
+  /// Number of links in the set.
+  int count() const noexcept;
+
+  /// True if `*this` and `other` share at least one link.  Universes must
+  /// match.
+  bool intersects(const LinkSet& other) const noexcept;
+
+  /// Adds every link of `other` into this set.
+  void merge(const LinkSet& other);
+
+  /// Removes every link of `other` from this set.
+  void subtract(const LinkSet& other);
+
+  void clear() noexcept;
+
+  int universe_size() const noexcept { return universe_; }
+
+ private:
+  int universe_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace optdm::core

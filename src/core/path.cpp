@@ -1,0 +1,63 @@
+#include "core/path.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace optdm::core {
+
+namespace {
+
+Path assemble(const topo::Network& net, Request request,
+              std::vector<topo::LinkId> network_links) {
+  if (request.src == request.dst)
+    throw std::invalid_argument("Path: self-request (" +
+                                std::to_string(request.src) + " -> " +
+                                std::to_string(request.dst) + ")");
+  if (request.src < 0 || request.src >= net.node_count() || request.dst < 0 ||
+      request.dst >= net.node_count())
+    throw std::invalid_argument("Path: request endpoint outside network");
+
+  Path path;
+  path.request = request;
+  path.links.reserve(network_links.size() + 2);
+  path.links.push_back(net.injection_link(request.src));
+  for (const auto link : network_links) path.links.push_back(link);
+  path.links.push_back(net.ejection_link(request.dst));
+
+  // Validate contiguity and build occupancy in one pass.
+  path.occupancy = LinkSet(net.link_count());
+  topo::NodeId at = request.src;
+  for (std::size_t i = 0; i < path.links.size(); ++i) {
+    const topo::Link& link = net.link(path.links[i]);
+    if (link.from != at)
+      throw std::invalid_argument("Path: discontiguous route");
+    at = link.to;
+    if (path.occupancy.contains(link.id))
+      throw std::invalid_argument("Path: route visits a link twice");
+    path.occupancy.insert(link.id);
+  }
+  if (at != request.dst)
+    throw std::invalid_argument("Path: route does not end at destination");
+  return path;
+}
+
+}  // namespace
+
+Path make_path(const topo::Network& net, Request request) {
+  return assemble(net, request, net.route_links(request.src, request.dst));
+}
+
+Path make_path_with_links(const topo::Network& net, Request request,
+                          std::vector<topo::LinkId> network_links) {
+  return assemble(net, request, std::move(network_links));
+}
+
+std::vector<Path> route_all(const topo::Network& net,
+                            const RequestSet& requests) {
+  std::vector<Path> paths;
+  paths.reserve(requests.size());
+  for (const auto& request : requests) paths.push_back(make_path(net, request));
+  return paths;
+}
+
+}  // namespace optdm::core

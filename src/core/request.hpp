@@ -1,0 +1,29 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+#include "topo/ids.hpp"
+
+/// \file request.hpp
+/// A connection request `(s, d)`: the unit the paper's off-line scheduling
+/// algorithms operate on (Section 3).
+
+namespace optdm::core {
+
+/// One source->destination connection request.
+struct Request {
+  topo::NodeId src = topo::kInvalidNode;
+  topo::NodeId dst = topo::kInvalidNode;
+
+  friend auto operator<=>(const Request&, const Request&) = default;
+};
+
+/// A communication pattern: an ordered multiset of requests.  Order matters
+/// to the greedy algorithm (Fig. 3 of the paper shows order sensitivity);
+/// duplicates are allowed for random patterns (the same pair drawn twice
+/// needs two time slots).
+using RequestSet = std::vector<Request>;
+
+}  // namespace optdm::core

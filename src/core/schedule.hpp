@@ -1,0 +1,56 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/configuration.hpp"
+
+/// \file schedule.hpp
+/// The product of connection scheduling: an ordered configuration set.
+/// Its size is the multiplexing degree K the TDM network must support
+/// (paper, Sections 2-3): slot t of every frame establishes configuration
+/// `t mod K`.
+
+namespace optdm::core {
+
+/// An ordered set of configurations realizing a communication pattern.
+class Schedule {
+ public:
+  Schedule() = default;
+
+  /// Appends a configuration as the next time slot.  Empty configurations
+  /// are rejected: they would waste a slot of every frame.
+  void append(Configuration config);
+
+  /// Multiplexing degree K = number of configurations.
+  int degree() const noexcept { return static_cast<int>(configs_.size()); }
+
+  const std::vector<Configuration>& configurations() const noexcept {
+    return configs_;
+  }
+
+  const Configuration& configuration(int slot) const {
+    return configs_.at(static_cast<std::size_t>(slot));
+  }
+
+  /// Total number of scheduled paths across all slots.
+  std::size_t connection_count() const noexcept;
+
+  /// Slot index of the configuration containing a path for `request`, or
+  /// nullopt.  If a request appears multiple times (a multiset pattern),
+  /// returns the first slot.
+  std::optional<int> slot_of(Request request) const noexcept;
+
+  /// Full validation for tests:
+  ///  1. every configuration is internally conflict-free;
+  ///  2. no configuration is empty;
+  ///  3. the scheduled requests are exactly `pattern` as a multiset.
+  /// Returns a description of the first violation, or nullopt if valid.
+  std::optional<std::string> validate_against(const RequestSet& pattern) const;
+
+ private:
+  std::vector<Configuration> configs_;
+};
+
+}  // namespace optdm::core

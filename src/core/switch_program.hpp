@@ -1,0 +1,77 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "topo/network.hpp"
+
+/// \file switch_program.hpp
+/// The artifact compiled communication actually ships: per-switch register
+/// programs.  Section 2 of the paper: "This cycling of states can be
+/// accomplished efficiently by using circular shift registers to control
+/// each switch" — each switch cycles through K states, one per time slot,
+/// and state t of every switch jointly establishes configuration t.
+///
+/// A `SwitchProgram` lowers a `Schedule` into that representation: for
+/// every switch and every slot, the set of (in-port, out-port) crossbar
+/// connections, where a port is identified by the directed link attached
+/// to it.  `verify` lifts the programs back and checks they realize
+/// exactly the scheduled paths — the compiler's self-check before code
+/// emission.
+
+namespace optdm::core {
+
+/// One crossbar connection inside one switch state: the incoming link is
+/// routed to the outgoing link.
+struct CrossbarSetting {
+  topo::LinkId in_link = topo::kInvalidLink;
+  topo::LinkId out_link = topo::kInvalidLink;
+
+  friend bool operator==(const CrossbarSetting&,
+                         const CrossbarSetting&) = default;
+};
+
+/// Register program for the whole network: `state(sw, slot)` is the list
+/// of crossbar settings switch `sw` must realize during slot `slot`.
+class SwitchProgram {
+ public:
+  /// Lowers a schedule for `net`.  Every path contributes one crossbar
+  /// setting per switch it crosses (consecutive links of the path meeting
+  /// at that switch).
+  SwitchProgram(const topo::Network& net, const Schedule& schedule);
+
+  int slot_count() const noexcept { return slots_; }
+  int switch_count() const noexcept { return switches_; }
+
+  /// Crossbar settings of `sw` during `slot` (possibly empty).
+  const std::vector<CrossbarSetting>& state(topo::NodeId sw, int slot) const;
+
+  /// Total register entries across all switches and slots (a proxy for
+  /// program size / load time).
+  std::size_t setting_count() const noexcept;
+
+  /// Re-derives every scheduled path by walking the crossbar settings from
+  /// each injection link, and checks (a) each switch state is a valid
+  /// crossbar (no in-port or out-port used twice), (b) every walk
+  /// terminates at the scheduled destination, and (c) no stray settings
+  /// exist.  Returns a description of the first violation.
+  std::optional<std::string> verify(const topo::Network& net,
+                                    const Schedule& schedule) const;
+
+  /// Human-readable dump (used by examples), e.g.
+  ///   switch 12 slot 0: [x- -> x+] [inj -> y+]
+  void print(const topo::Network& net, std::ostream& os) const;
+
+ private:
+  std::vector<CrossbarSetting>& mutable_state(topo::NodeId sw, int slot);
+
+  int switches_ = 0;
+  int slots_ = 0;
+  /// Dense [switch * slots + slot].
+  std::vector<std::vector<CrossbarSetting>> states_;
+};
+
+}  // namespace optdm::core

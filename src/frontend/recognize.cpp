@@ -1,0 +1,127 @@
+#include "frontend/recognize.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "redist/redistribution.hpp"
+
+namespace optdm::frontend {
+
+namespace {
+
+/// Per-dimension joint ownership histogram: how many indices x of the
+/// iteration space have their destination (lhs owner of x) at grid
+/// coordinate `dst` and their source (rhs owner of x+offset) at `src`.
+using JointCount = std::map<std::pair<std::int32_t, std::int32_t>,
+                            std::int64_t>;
+
+JointCount joint_counts(const redist::ArrayDistribution& lhs,
+                        const redist::ArrayDistribution& rhs, int dim,
+                        std::int64_t offset,
+                        ForallAssign::Boundary boundary) {
+  const auto d = static_cast<std::size_t>(dim);
+  const std::int64_t extent = lhs.extent[d];
+  JointCount counts;
+  for (std::int64_t x = 0; x < extent; ++x) {
+    std::int64_t y = x + offset;
+    if (y < 0 || y >= extent) {
+      if (boundary == ForallAssign::Boundary::kClamp) continue;
+      y = ((y % extent) + extent) % extent;
+    }
+    const auto dst = static_cast<std::int32_t>(
+        (x / lhs.dims[d].block) % lhs.dims[d].procs);
+    const auto src = static_cast<std::int32_t>(
+        (y / rhs.dims[d].block) % rhs.dims[d].procs);
+    ++counts[{src, dst}];
+  }
+  return counts;
+}
+
+std::int32_t rank_of(const redist::ArrayDistribution& dist, std::int32_t p0,
+                     std::int32_t p1, std::int32_t p2) {
+  return (p2 * dist.dims[1].procs + p1) * dist.dims[0].procs + p0;
+}
+
+void validate_ref(const ArrayRef& ref, const char* what) {
+  if (ref.array == nullptr)
+    throw std::invalid_argument(std::string("recognize: null array in ") +
+                                what);
+  ref.array->distribution.validate();
+}
+
+}  // namespace
+
+RecognizedPhase recognize(const ForallAssign& stmt, int words_per_slot) {
+  validate_ref(stmt.lhs, "lhs");
+  for (int d = 0; d < 3; ++d)
+    if (stmt.lhs.index[static_cast<std::size_t>(d)].offset != 0)
+      throw std::invalid_argument(
+          "recognize: owner-computes requires identity lhs indices");
+
+  const auto& lhs_dist = stmt.lhs.array->distribution;
+  // Aggregate element volumes per (src, dst) pair over all rhs refs: the
+  // phase moves each remote operand once.
+  std::map<core::Request, std::int64_t> volume;
+  RecognizedPhase result;
+  result.phase.name = stmt.label.empty() ? "forall" : stmt.label;
+  result.phase.problem = stmt.lhs.array->name;
+
+  for (const auto& ref : stmt.rhs) {
+    validate_ref(ref, "rhs");
+    const auto& rhs_dist = ref.array->distribution;
+    if (rhs_dist.extent != lhs_dist.extent)
+      throw std::invalid_argument(
+          "recognize: rhs extent differs from the iteration space");
+
+    std::string kind = "shift(";
+    for (int d = 0; d < 3; ++d) {
+      kind += std::to_string(ref.index[static_cast<std::size_t>(d)].offset);
+      kind += d < 2 ? "," : ")";
+    }
+    result.kinds.push_back(std::move(kind));
+
+    // Separable exact analysis: the volume between two PEs is the product
+    // of the per-dimension joint counts of their grid coordinates.
+    std::array<JointCount, 3> joints;
+    for (int d = 0; d < 3; ++d)
+      joints[static_cast<std::size_t>(d)] = joint_counts(
+          lhs_dist, rhs_dist, d,
+          ref.index[static_cast<std::size_t>(d)].offset, stmt.boundary);
+
+    for (const auto& [key0, n0] : joints[0]) {
+      for (const auto& [key1, n1] : joints[1]) {
+        for (const auto& [key2, n2] : joints[2]) {
+          const auto src =
+              rank_of(rhs_dist, key0.first, key1.first, key2.first);
+          const auto dst =
+              rank_of(lhs_dist, key0.second, key1.second, key2.second);
+          if (src == dst) continue;
+          volume[core::Request{src, dst}] += n0 * n1 * n2;
+        }
+      }
+    }
+  }
+
+  for (const auto& [request, elements] : volume)
+    result.phase.messages.push_back(sim::Message{
+        request, sim::slots_for_elements(elements, words_per_slot)});
+  return result;
+}
+
+RecognizedPhase recognize_redistribution(const DistributedArray& to,
+                                         const DistributedArray& from,
+                                         int words_per_slot) {
+  const auto plan =
+      redist::plan_redistribution(from.distribution, to.distribution);
+  RecognizedPhase result;
+  result.phase.name = "redistribute " + from.name + " -> " + to.name;
+  result.phase.problem = from.name;
+  result.kinds.push_back("redistribution");
+  for (const auto& transfer : plan.transfers)
+    result.phase.messages.push_back(sim::Message{
+        transfer.request,
+        sim::slots_for_elements(transfer.elements, words_per_slot)});
+  return result;
+}
+
+}  // namespace optdm::frontend

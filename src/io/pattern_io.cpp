@@ -1,0 +1,149 @@
+#include "io/pattern_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace optdm::io {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("line " + std::to_string(line) + ": " + what);
+}
+
+/// Strips comments and surrounding whitespace; returns false for lines
+/// with no content.
+bool content_of(const std::string& raw, std::string& out) {
+  const auto hash = raw.find('#');
+  out = raw.substr(0, hash);
+  const auto begin = out.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return false;
+  const auto end = out.find_last_not_of(" \t\r");
+  out = out.substr(begin, end - begin + 1);
+  return true;
+}
+
+}  // namespace
+
+core::RequestSet read_pattern(std::istream& in) {
+  core::RequestSet requests;
+  std::string raw;
+  std::size_t line_number = 0;
+  while (std::getline(in, raw)) {
+    ++line_number;
+    std::string line;
+    if (!content_of(raw, line)) continue;
+    std::istringstream fields(line);
+    std::int64_t src = 0;
+    std::int64_t dst = 0;
+    if (!(fields >> src >> dst)) fail(line_number, "expected 'src dst'");
+    std::string extra;
+    if (fields >> extra) fail(line_number, "trailing tokens");
+    if (src < 0 || dst < 0) fail(line_number, "negative node id");
+    if (src == dst) fail(line_number, "self request");
+    requests.push_back({static_cast<topo::NodeId>(src),
+                        static_cast<topo::NodeId>(dst)});
+  }
+  return requests;
+}
+
+void write_pattern(std::ostream& out, const core::RequestSet& requests) {
+  out << "# src dst (" << requests.size() << " requests)\n";
+  for (const auto& request : requests)
+    out << request.src << ' ' << request.dst << '\n';
+}
+
+void write_schedule(std::ostream& out, const topo::Network& net,
+                    const core::Schedule& schedule) {
+  out << "optdm-schedule 1\n";
+  out << "network " << net.name() << '\n';
+  out << "slots " << schedule.degree() << '\n';
+  for (int slot = 0; slot < schedule.degree(); ++slot) {
+    out << "slot " << slot << '\n';
+    for (const auto& path : schedule.configuration(slot).paths()) {
+      out << "path " << path.request.src << ' ' << path.request.dst << " :";
+      // Network links only; injection/ejection are implied by endpoints.
+      for (std::size_t i = 1; i + 1 < path.links.size(); ++i)
+        out << ' ' << path.links[i];
+      out << '\n';
+    }
+  }
+}
+
+core::Schedule read_schedule(std::istream& in, const topo::Network& net) {
+  std::string raw;
+  std::size_t line_number = 0;
+  const auto next_content = [&](std::string& line) {
+    while (std::getline(in, raw)) {
+      ++line_number;
+      if (content_of(raw, line)) return true;
+    }
+    return false;
+  };
+
+  std::string line;
+  if (!next_content(line) || line != "optdm-schedule 1")
+    fail(line_number, "missing 'optdm-schedule 1' header");
+  if (!next_content(line) || line.rfind("network ", 0) != 0)
+    fail(line_number, "missing 'network' line");
+  if (line.substr(8) != net.name())
+    fail(line_number, "schedule is for '" + line.substr(8) +
+                          "', not '" + net.name() + "'");
+  if (!next_content(line) || line.rfind("slots ", 0) != 0)
+    fail(line_number, "missing 'slots' line");
+  const int slots = std::stoi(line.substr(6));
+  if (slots < 0) fail(line_number, "negative slot count");
+
+  core::Schedule schedule;
+  for (int slot = 0; slot < slots; ++slot) {
+    if (!next_content(line) || line != "slot " + std::to_string(slot))
+      fail(line_number, "expected 'slot " + std::to_string(slot) + "'");
+    core::Configuration config(net.link_count());
+    // Paths until the next 'slot' header or EOF; we need one token of
+    // lookahead, so peek via stream positions.
+    for (;;) {
+      const auto before = in.tellg();
+      const auto saved_line = line_number;
+      if (!next_content(line)) break;
+      if (line.rfind("slot ", 0) == 0) {
+        in.seekg(before);
+        line_number = saved_line;
+        break;
+      }
+      if (line.rfind("path ", 0) != 0) fail(line_number, "expected 'path'");
+      std::istringstream fields(line.substr(5));
+      std::int64_t src = 0;
+      std::int64_t dst = 0;
+      std::string colon;
+      if (!(fields >> src >> dst >> colon) || colon != ":")
+        fail(line_number, "malformed path line");
+      std::vector<topo::LinkId> links;
+      std::int64_t id = 0;
+      while (fields >> id) {
+        if (id < 0 || id >= net.link_count())
+          fail(line_number, "link id out of range");
+        links.push_back(static_cast<topo::LinkId>(id));
+      }
+      core::Path path;
+      try {
+        path = core::make_path_with_links(
+            net,
+            core::Request{static_cast<topo::NodeId>(src),
+                          static_cast<topo::NodeId>(dst)},
+            std::move(links));
+      } catch (const std::invalid_argument& e) {
+        fail(line_number, e.what());
+      }
+      if (!config.add(std::move(path)))
+        fail(line_number, "conflicting path within one slot");
+    }
+    if (config.empty()) fail(line_number, "empty slot");
+    schedule.append(std::move(config));
+  }
+  return schedule;
+}
+
+}  // namespace optdm::io

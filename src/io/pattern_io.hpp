@@ -1,0 +1,53 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "core/schedule.hpp"
+#include "topo/network.hpp"
+
+/// \file pattern_io.hpp
+/// Text serialization of communication patterns and compiled schedules,
+/// so the command-line compiler (`tools/optdm_compile`) can interoperate
+/// with external pattern extractors and downstream loaders.
+///
+/// Pattern format — one request per line, `#` starts a comment:
+/// ```
+/// # src dst
+/// 0 1
+/// 5 12
+/// ```
+///
+/// Schedule format — versioned header, then one line per established
+/// path, carrying the exact link ids so route choices (e.g. AAPC
+/// half-ring directions) survive the round trip:
+/// ```
+/// optdm-schedule 1
+/// network torus(8x8)
+/// slots 2
+/// slot 0
+/// path 0 1 : 0 128 3
+/// slot 1
+/// ...
+/// ```
+
+namespace optdm::io {
+
+/// Parses a pattern; throws `std::invalid_argument` with a line number on
+/// malformed input.  Node-range validation is the caller's job (patterns
+/// are network-independent).
+core::RequestSet read_pattern(std::istream& in);
+
+/// Writes a pattern in the format above.
+void write_pattern(std::ostream& out, const core::RequestSet& requests);
+
+/// Writes a compiled schedule, including per-path links.
+void write_schedule(std::ostream& out, const topo::Network& net,
+                    const core::Schedule& schedule);
+
+/// Reads a schedule back for `net`.  Paths are revalidated link by link
+/// (contiguity, endpoints) and configurations are rebuilt, so a tampered
+/// or mismatched file fails loudly.  The `network` header line must match
+/// `net.name()`.
+core::Schedule read_schedule(std::istream& in, const topo::Network& net);
+
+}  // namespace optdm::io

@@ -1,0 +1,155 @@
+#include "patterns/named.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+#include <stdexcept>
+
+namespace optdm::patterns {
+
+namespace {
+void require_power_of_two(int nodes, const char* what) {
+  if (nodes < 2 || !std::has_single_bit(static_cast<unsigned>(nodes)))
+    throw std::invalid_argument(std::string(what) +
+                                ": node count must be a power of two >= 2");
+}
+}  // namespace
+
+core::RequestSet linear_neighbors(int nodes) {
+  if (nodes < 2)
+    throw std::invalid_argument("linear_neighbors: need >= 2 nodes");
+  core::RequestSet requests;
+  requests.reserve(static_cast<std::size_t>(2 * (nodes - 1)));
+  for (topo::NodeId i = 0; i < nodes; ++i) {
+    if (i + 1 < nodes) requests.push_back({i, i + 1});
+    if (i > 0) requests.push_back({i, i - 1});
+  }
+  return requests;
+}
+
+core::RequestSet ring(int nodes) {
+  if (nodes < 3) throw std::invalid_argument("ring: need >= 3 nodes");
+  core::RequestSet requests;
+  requests.reserve(static_cast<std::size_t>(2 * nodes));
+  for (topo::NodeId i = 0; i < nodes; ++i) {
+    requests.push_back({i, (i + 1) % nodes});
+    requests.push_back({i, (i + nodes - 1) % nodes});
+  }
+  return requests;
+}
+
+core::RequestSet nearest_neighbor(const topo::TorusNetwork& net) {
+  core::RequestSet requests;
+  requests.reserve(static_cast<std::size_t>(4 * net.node_count()));
+  for (topo::NodeId n = 0; n < net.node_count(); ++n) {
+    const auto c = net.coord(n);
+    const auto wrap = [](std::int32_t v, int size) {
+      return ((v % size) + size) % size;
+    };
+    const topo::NodeId neighbors[4] = {
+        net.node_at({wrap(c.x + 1, net.cols()), c.y}),
+        net.node_at({wrap(c.x - 1, net.cols()), c.y}),
+        net.node_at({c.x, wrap(c.y + 1, net.rows())}),
+        net.node_at({c.x, wrap(c.y - 1, net.rows())}),
+    };
+    for (const auto d : neighbors)
+      if (d != n) requests.push_back({n, d});
+  }
+  return requests;
+}
+
+core::RequestSet hypercube(int nodes) {
+  require_power_of_two(nodes, "hypercube");
+  const int dims = std::countr_zero(static_cast<unsigned>(nodes));
+  core::RequestSet requests;
+  requests.reserve(static_cast<std::size_t>(nodes) *
+                   static_cast<std::size_t>(dims));
+  for (topo::NodeId n = 0; n < nodes; ++n)
+    for (int bit = 0; bit < dims; ++bit)
+      requests.push_back({n, n ^ (1 << bit)});
+  return requests;
+}
+
+core::RequestSet shuffle_exchange(int nodes) {
+  require_power_of_two(nodes, "shuffle_exchange");
+  const int dims = std::countr_zero(static_cast<unsigned>(nodes));
+  core::RequestSet requests;
+  for (topo::NodeId n = 0; n < nodes; ++n) {
+    // Shuffle: rotate the address left by one bit.  Addresses 0...0 and
+    // 1...1 are fixed points and generate no request.
+    const topo::NodeId shuffled = static_cast<topo::NodeId>(
+        ((n << 1) | (n >> (dims - 1))) & (nodes - 1));
+    if (shuffled != n) requests.push_back({n, shuffled});
+    // Exchange: flip the lowest address bit.
+    requests.push_back({n, n ^ 1});
+  }
+  return requests;
+}
+
+core::RequestSet all_to_all(int nodes) {
+  if (nodes < 2) throw std::invalid_argument("all_to_all: need >= 2 nodes");
+  core::RequestSet requests;
+  requests.reserve(static_cast<std::size_t>(nodes) *
+                   static_cast<std::size_t>(nodes - 1));
+  for (topo::NodeId s = 0; s < nodes; ++s)
+    for (topo::NodeId d = 0; d < nodes; ++d)
+      if (s != d) requests.push_back({s, d});
+  return requests;
+}
+
+core::RequestSet transpose(int nodes) {
+  int side = 1;
+  while (side * side < nodes) ++side;
+  if (side * side != nodes)
+    throw std::invalid_argument("transpose: node count must be a square");
+  core::RequestSet requests;
+  for (topo::NodeId i = 0; i < side; ++i)
+    for (topo::NodeId j = 0; j < side; ++j)
+      if (i != j) requests.push_back({i * side + j, j * side + i});
+  return requests;
+}
+
+core::RequestSet bit_reversal(int nodes) {
+  require_power_of_two(nodes, "bit_reversal");
+  const int dims = std::countr_zero(static_cast<unsigned>(nodes));
+  core::RequestSet requests;
+  for (topo::NodeId n = 0; n < nodes; ++n) {
+    topo::NodeId reversed = 0;
+    for (int bit = 0; bit < dims; ++bit)
+      if ((n >> bit) & 1) reversed |= 1 << (dims - 1 - bit);
+    if (reversed != n) requests.push_back({n, reversed});
+  }
+  return requests;
+}
+
+core::RequestSet stencil26(int nx, int ny, int nz) {
+  if (nx < 1 || ny < 1 || nz < 1)
+    throw std::invalid_argument("stencil26: grid dims must be positive");
+  const auto wrap = [](int v, int size) { return ((v % size) + size) % size; };
+  const auto rank = [&](int x, int y, int z) {
+    return static_cast<topo::NodeId>((z * ny + y) * nx + x);
+  };
+  core::RequestSet requests;
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const topo::NodeId self = rank(x, y, z);
+        // Small grid dimensions make distinct offsets coincide; dedup per
+        // source so the pattern is a set.
+        std::set<topo::NodeId> neighbors;
+        for (int dz = -1; dz <= 1; ++dz)
+          for (int dy = -1; dy <= 1; ++dy)
+            for (int dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              const topo::NodeId d =
+                  rank(wrap(x + dx, nx), wrap(y + dy, ny), wrap(z + dz, nz));
+              if (d != self) neighbors.insert(d);
+            }
+        for (const auto d : neighbors) requests.push_back({self, d});
+      }
+    }
+  }
+  return requests;
+}
+
+}  // namespace optdm::patterns

@@ -1,0 +1,55 @@
+#pragma once
+
+#include "core/request.hpp"
+#include "topo/torus.hpp"
+
+/// \file named.hpp
+/// The "frequently used" communication patterns of the paper's Table 3 and
+/// the application patterns of Table 4.  All generators return logical
+/// patterns over PE ranks 0..n-1; PE rank r is embedded at torus node r
+/// (row-major), matching the paper's implicit embedding.
+
+namespace optdm::patterns {
+
+/// Logical linear array: PE i talks to PEs i-1 and i+1 (no wraparound).
+/// This is the GS benchmark's shared-array pattern; 2(n-1) requests.
+core::RequestSet linear_neighbors(int nodes);
+
+/// Logical ring: linear array plus wraparound; 2n requests (the paper's
+/// "ring", 128 connections for 64 PEs).
+core::RequestSet ring(int nodes);
+
+/// 2-D torus nearest neighbor: every node to its +-x and +-y neighbors;
+/// 4n requests (256 for the 8x8 torus).
+core::RequestSet nearest_neighbor(const topo::TorusNetwork& net);
+
+/// Hypercube: `nodes` must be a power of two; every node to each node
+/// differing in one address bit; n*log2(n) requests (384 for 64 PEs).
+core::RequestSet hypercube(int nodes);
+
+/// Shuffle-exchange: shuffle edges (rotate-left of the address, excluding
+/// the two fixed points 0 and n-1) plus exchange edges (flip bit 0);
+/// `nodes` must be a power of two; (n-2) + n requests (126 for 64 PEs).
+core::RequestSet shuffle_exchange(int nodes);
+
+/// All-to-all personalized: every ordered pair; n(n-1) requests (4032 for
+/// 64 PEs).
+core::RequestSet all_to_all(int nodes);
+
+/// Matrix transpose: PEs as a sqrt(n) x sqrt(n) logical grid, (i, j)
+/// sending to (j, i); diagonal PEs generate no request.  `nodes` must be
+/// a perfect square.
+core::RequestSet transpose(int nodes);
+
+/// Bit-reversal permutation (FFT data reordering): node a sends to the
+/// node whose address is a's bits reversed; palindromic addresses
+/// generate no request.  `nodes` must be a power of two.
+core::RequestSet bit_reversal(int nodes);
+
+/// 3-D 26-neighbor stencil: PEs form an nx x ny x nz wraparound grid; each
+/// PE talks to the full 3x3x3 neighborhood minus itself (the P3M 5
+/// shared-array pattern; 1728 requests for a 4x4x4 grid).  Grid dimensions
+/// of size < 3 deduplicate coincident neighbors.
+core::RequestSet stencil26(int nx, int ny, int nz);
+
+}  // namespace optdm::patterns

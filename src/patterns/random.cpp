@@ -1,0 +1,84 @@
+#include "patterns/random.hpp"
+
+#include <numeric>
+#include <unordered_map>
+#include <stdexcept>
+
+namespace optdm::patterns {
+
+core::RequestSet random_pattern(int nodes, int connections, util::Rng& rng) {
+  if (nodes < 2)
+    throw std::invalid_argument("random_pattern: need >= 2 nodes");
+  const std::int64_t universe =
+      static_cast<std::int64_t>(nodes) * (nodes - 1);
+  if (connections < 0 || connections > universe)
+    throw std::invalid_argument(
+        "random_pattern: connection count outside [0, n(n-1)]");
+
+  // Partial Fisher-Yates over the implicit universe of ordered pairs:
+  // exact uniform sampling without replacement in O(connections) memory.
+  std::unordered_map<std::int64_t, std::int64_t> moved;
+  const auto value_at = [&moved](std::int64_t i) {
+    const auto it = moved.find(i);
+    return it == moved.end() ? i : it->second;
+  };
+  core::RequestSet requests;
+  requests.reserve(static_cast<std::size_t>(connections));
+  for (std::int64_t i = 0; i < connections; ++i) {
+    const std::int64_t j = rng.uniform(i, universe - 1);
+    const std::int64_t picked = value_at(j);
+    moved[j] = value_at(i);
+    // Pair index -> (src, dst != src).
+    const auto src = static_cast<topo::NodeId>(picked / (nodes - 1));
+    auto dst = static_cast<topo::NodeId>(picked % (nodes - 1));
+    if (dst >= src) ++dst;
+    requests.push_back({src, dst});
+  }
+  return requests;
+}
+
+core::RequestSet random_pattern_with_replacement(int nodes, int connections,
+                                                 util::Rng& rng) {
+  if (nodes < 2)
+    throw std::invalid_argument(
+        "random_pattern_with_replacement: need >= 2 nodes");
+  if (connections < 0)
+    throw std::invalid_argument(
+        "random_pattern_with_replacement: negative connection count");
+  core::RequestSet requests;
+  requests.reserve(static_cast<std::size_t>(connections));
+  for (int i = 0; i < connections; ++i) {
+    const auto src = static_cast<topo::NodeId>(rng.uniform(0, nodes - 1));
+    auto dst = static_cast<topo::NodeId>(rng.uniform(0, nodes - 2));
+    if (dst >= src) ++dst;
+    requests.push_back({src, dst});
+  }
+  return requests;
+}
+
+core::RequestSet random_permutation(int nodes, util::Rng& rng) {
+  if (nodes < 2)
+    throw std::invalid_argument("random_permutation: need >= 2 nodes");
+  // Random derangement by rejection: shuffle until no fixed point (expected
+  // ~e attempts).
+  std::vector<topo::NodeId> dest(static_cast<std::size_t>(nodes));
+  std::iota(dest.begin(), dest.end(), 0);
+  for (;;) {
+    rng.shuffle(dest);
+    bool fixed_point = false;
+    for (topo::NodeId i = 0; i < nodes; ++i) {
+      if (dest[static_cast<std::size_t>(i)] == i) {
+        fixed_point = true;
+        break;
+      }
+    }
+    if (!fixed_point) break;
+  }
+  core::RequestSet requests;
+  requests.reserve(static_cast<std::size_t>(nodes));
+  for (topo::NodeId i = 0; i < nodes; ++i)
+    requests.push_back({i, dest[static_cast<std::size_t>(i)]});
+  return requests;
+}
+
+}  // namespace optdm::patterns

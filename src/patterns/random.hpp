@@ -1,0 +1,32 @@
+#pragma once
+
+#include "core/request.hpp"
+#include "util/rng.hpp"
+
+/// \file random.hpp
+/// Random communication patterns (paper Section 3.4, Table 1): each request
+/// draws its source and destination independently and uniformly.
+
+namespace optdm::patterns {
+
+/// `connections` distinct (src, dst) pairs drawn uniformly from the
+/// n(n-1) possible ordered pairs, in random order.  Sampling is without
+/// replacement: the paper's dense random patterns reach the all-to-all
+/// multiplexing degree (64 on the 8x8 torus) exactly, which requires
+/// duplicate-free patterns.  Throws if `connections` exceeds n(n-1).
+core::RequestSet random_pattern(int nodes, int connections, util::Rng& rng);
+
+/// Like `random_pattern` but sampling with replacement: duplicate pairs
+/// may occur and each duplicate needs its own time slot.  Used by the
+/// extension benches to show how duplicates break the AAPC bound.
+core::RequestSet random_pattern_with_replacement(int nodes, int connections,
+                                                 util::Rng& rng);
+
+/// A random permutation pattern: every node sends to exactly one
+/// destination and receives from exactly one source (no self pairs).
+/// Not part of the paper's tables; used by tests as an easy-to-verify
+/// workload (its multiplexing degree is bounded by the longest route's
+/// congestion) and by the extension benches.
+core::RequestSet random_permutation(int nodes, util::Rng& rng);
+
+}  // namespace optdm::patterns

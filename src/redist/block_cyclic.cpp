@@ -1,0 +1,137 @@
+#include "redist/block_cyclic.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <vector>
+
+namespace optdm::redist {
+
+namespace {
+
+/// Elements of dimension `d` owned by grid coordinate `pd`.
+std::int64_t dim_elements(std::int64_t extent, const DimDistribution& d,
+                          std::int32_t pd) {
+  std::int64_t count = 0;
+  // Whole cycles plus the partial tail.  cycle = procs*block elements.
+  const std::int64_t cycle =
+      static_cast<std::int64_t>(d.procs) * static_cast<std::int64_t>(d.block);
+  const std::int64_t full_cycles = extent / cycle;
+  count += full_cycles * d.block;
+  const std::int64_t tail = extent % cycle;
+  const std::int64_t tail_start =
+      static_cast<std::int64_t>(pd) * static_cast<std::int64_t>(d.block);
+  if (tail > tail_start)
+    count += std::min<std::int64_t>(tail - tail_start, d.block);
+  return count;
+}
+
+}  // namespace
+
+std::int32_t ArrayDistribution::total_procs() const noexcept {
+  return dims[0].procs * dims[1].procs * dims[2].procs;
+}
+
+topo::NodeId ArrayDistribution::owner(std::int64_t i0, std::int64_t i1,
+                                      std::int64_t i2) const noexcept {
+  const auto p0 = static_cast<std::int32_t>((i0 / dims[0].block) % dims[0].procs);
+  const auto p1 = static_cast<std::int32_t>((i1 / dims[1].block) % dims[1].procs);
+  const auto p2 = static_cast<std::int32_t>((i2 / dims[2].block) % dims[2].procs);
+  return (p2 * dims[1].procs + p1) * dims[0].procs + p0;
+}
+
+std::int64_t ArrayDistribution::elements_owned(topo::NodeId rank) const {
+  if (rank < 0 || rank >= total_procs())
+    throw std::out_of_range("ArrayDistribution::elements_owned: bad rank");
+  const std::int32_t p0 = rank % dims[0].procs;
+  const std::int32_t p1 = (rank / dims[0].procs) % dims[1].procs;
+  const std::int32_t p2 = rank / (dims[0].procs * dims[1].procs);
+  return dim_elements(extent[0], dims[0], p0) *
+         dim_elements(extent[1], dims[1], p1) *
+         dim_elements(extent[2], dims[2], p2);
+}
+
+bool ArrayDistribution::covers_all_processors() const {
+  for (int d = 0; d < 3; ++d) {
+    for (std::int32_t p = 0; p < dims[static_cast<std::size_t>(d)].procs; ++p) {
+      if (dim_elements(extent[static_cast<std::size_t>(d)],
+                       dims[static_cast<std::size_t>(d)], p) == 0)
+        return false;
+    }
+  }
+  return true;
+}
+
+void ArrayDistribution::validate() const {
+  for (int d = 0; d < 3; ++d) {
+    const auto& dim = dims[static_cast<std::size_t>(d)];
+    if (extent[static_cast<std::size_t>(d)] <= 0)
+      throw std::invalid_argument("ArrayDistribution: non-positive extent");
+    if (dim.procs <= 0 || dim.block <= 0)
+      throw std::invalid_argument(
+          "ArrayDistribution: non-positive procs/block");
+  }
+}
+
+std::string ArrayDistribution::to_string() const {
+  std::string out = "(";
+  for (int d = 0; d < 3; ++d) {
+    const auto& dim = dims[static_cast<std::size_t>(d)];
+    if (dim.procs == 1) {
+      out += ":";
+    } else {
+      out += std::to_string(dim.procs) + ":block(" +
+             std::to_string(dim.block) + ")";
+    }
+    if (d < 2) out += ", ";
+  }
+  return out + ")";
+}
+
+ArrayDistribution random_distribution(
+    const std::array<std::int64_t, 3>& extent, std::int32_t total_procs,
+    util::Rng& rng) {
+  if (total_procs < 1 ||
+      !std::has_single_bit(static_cast<unsigned>(total_procs)))
+    throw std::invalid_argument(
+        "random_distribution: total_procs must be a power of two");
+  for (const auto e : extent)
+    if (e < 1 || !std::has_single_bit(static_cast<std::uint64_t>(e)))
+      throw std::invalid_argument(
+          "random_distribution: extents must be powers of two");
+
+  // Enumerate ordered factorizations total = p0*p1*p2 (all powers of two)
+  // such that every dimension can host its processors (procs <= extent).
+  std::vector<std::array<std::int32_t, 3>> factorizations;
+  for (std::int32_t p0 = 1; p0 <= total_procs; p0 *= 2) {
+    if (p0 > extent[0]) break;
+    for (std::int32_t p1 = 1; p1 * p0 <= total_procs; p1 *= 2) {
+      if (p1 > extent[1]) break;
+      const std::int32_t p2 = total_procs / (p0 * p1);
+      if (p0 * p1 * p2 != total_procs) continue;
+      if (p2 > extent[2]) continue;
+      factorizations.push_back({p0, p1, p2});
+    }
+  }
+  if (factorizations.empty())
+    throw std::invalid_argument(
+        "random_distribution: no valid processor-grid factorization");
+
+  const auto& procs = factorizations[static_cast<std::size_t>(
+      rng.uniform(0, static_cast<std::int64_t>(factorizations.size()) - 1))];
+
+  ArrayDistribution dist;
+  dist.extent = extent;
+  for (int d = 0; d < 3; ++d) {
+    const auto p = procs[static_cast<std::size_t>(d)];
+    // Any block size in [1, extent/procs] leaves at least `procs` blocks,
+    // so every PE owns at least one full block ("each processor contains a
+    // part of the array").
+    const std::int64_t max_block = extent[static_cast<std::size_t>(d)] / p;
+    dist.dims[static_cast<std::size_t>(d)] = DimDistribution{
+        p, static_cast<std::int32_t>(rng.uniform(1, max_block))};
+  }
+  dist.validate();
+  return dist;
+}
+
+}  // namespace optdm::redist

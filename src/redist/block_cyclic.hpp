@@ -1,0 +1,72 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "topo/ids.hpp"
+#include "util/rng.hpp"
+
+/// \file block_cyclic.hpp
+/// Block-cyclic data distributions of a 3-D array over a 3-D processor
+/// grid — the CRAFT-Fortran-style `p:block(s)` distributions the paper uses
+/// for its data-redistribution experiments (Section 3.4, Table 2) and for
+/// the P3M communication phases (Table 4).
+
+namespace optdm::redist {
+
+/// Distribution of one array dimension: `procs` processors, block size
+/// `block` (block-cyclic).  `procs == 1` is the undistributed `:` of the
+/// paper's notation; `block >= extent/procs` degenerates to pure block.
+struct DimDistribution {
+  std::int32_t procs = 1;
+  std::int32_t block = 1;
+
+  friend bool operator==(const DimDistribution&,
+                         const DimDistribution&) = default;
+};
+
+/// Block-cyclic distribution of a 3-D array.
+///
+/// The owner of element (i0, i1, i2) is the PE with grid coordinate
+/// `pd = (id / block_d) mod procs_d` in each dimension; PE grid
+/// coordinates linearize row-major (dimension 0 fastest), and the linear
+/// rank is the PE's node id on the network.
+struct ArrayDistribution {
+  std::array<std::int64_t, 3> extent{1, 1, 1};
+  std::array<DimDistribution, 3> dims{};
+
+  /// Total processors in the grid.
+  std::int32_t total_procs() const noexcept;
+
+  /// Linear PE rank owning element (i0, i1, i2).
+  topo::NodeId owner(std::int64_t i0, std::int64_t i1,
+                     std::int64_t i2) const noexcept;
+
+  /// Number of elements the distribution assigns to PE `rank`.
+  std::int64_t elements_owned(topo::NodeId rank) const;
+
+  /// True if every PE owns at least one element — the paper's precaution
+  /// for random distributions ("each processor contains a part of the
+  /// array").
+  bool covers_all_processors() const;
+
+  /// Validates extents/procs/blocks are positive; throws on violation.
+  void validate() const;
+
+  /// CRAFT-like rendering, e.g. "(4:block(16), 4:block(16), 4:block(16))".
+  std::string to_string() const;
+};
+
+/// Draws a random valid distribution of `extent` over exactly
+/// `total_procs` PEs: a uniformly chosen ordered power-of-two
+/// factorization of `total_procs` into three dimension counts, and block
+/// sizes uniform in [1, extent/procs], guaranteeing every PE owns part of
+/// the array (the paper's generator, Section 3.4).  `total_procs` must be
+/// a power of two and each extent a power of two >= the processors
+/// assigned to it.
+ArrayDistribution random_distribution(const std::array<std::int64_t, 3>& extent,
+                                      std::int32_t total_procs,
+                                      util::Rng& rng);
+
+}  // namespace optdm::redist

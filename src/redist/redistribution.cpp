@@ -1,0 +1,80 @@
+#include "redist/redistribution.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace optdm::redist {
+
+core::RequestSet RedistributionPlan::pattern() const {
+  core::RequestSet requests;
+  requests.reserve(transfers.size());
+  for (const auto& t : transfers) requests.push_back(t.request);
+  return requests;
+}
+
+std::int64_t RedistributionPlan::total_elements() const {
+  std::int64_t total = 0;
+  for (const auto& t : transfers) total += t.elements;
+  return total;
+}
+
+RedistributionPlan plan_redistribution(const ArrayDistribution& from,
+                                       const ArrayDistribution& to) {
+  from.validate();
+  to.validate();
+  if (from.extent != to.extent)
+    throw std::invalid_argument(
+        "plan_redistribution: distributions describe different arrays");
+
+  // Exact element sweep.  The owner function is separable per dimension,
+  // so precompute each dimension's owner map once and combine.
+  std::array<std::vector<std::int32_t>, 3> from_owner;
+  std::array<std::vector<std::int32_t>, 3> to_owner;
+  for (int d = 0; d < 3; ++d) {
+    const auto dd = static_cast<std::size_t>(d);
+    from_owner[dd].resize(static_cast<std::size_t>(from.extent[dd]));
+    to_owner[dd].resize(static_cast<std::size_t>(from.extent[dd]));
+    for (std::int64_t i = 0; i < from.extent[dd]; ++i) {
+      from_owner[dd][static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
+          (i / from.dims[dd].block) % from.dims[dd].procs);
+      to_owner[dd][static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
+          (i / to.dims[dd].block) % to.dims[dd].procs);
+    }
+  }
+
+  const auto from_rank = [&](std::int32_t p0, std::int32_t p1,
+                             std::int32_t p2) {
+    return (p2 * from.dims[1].procs + p1) * from.dims[0].procs + p0;
+  };
+  const auto to_rank = [&](std::int32_t p0, std::int32_t p1,
+                           std::int32_t p2) {
+    return (p2 * to.dims[1].procs + p1) * to.dims[0].procs + p0;
+  };
+
+  std::map<core::Request, std::int64_t> volume;
+  for (std::int64_t i2 = 0; i2 < from.extent[2]; ++i2) {
+    for (std::int64_t i1 = 0; i1 < from.extent[1]; ++i1) {
+      const auto f1 = from_owner[1][static_cast<std::size_t>(i1)];
+      const auto t1 = to_owner[1][static_cast<std::size_t>(i1)];
+      const auto f2 = from_owner[2][static_cast<std::size_t>(i2)];
+      const auto t2 = to_owner[2][static_cast<std::size_t>(i2)];
+      for (std::int64_t i0 = 0; i0 < from.extent[0]; ++i0) {
+        const topo::NodeId src =
+            from_rank(from_owner[0][static_cast<std::size_t>(i0)], f1, f2);
+        const topo::NodeId dst =
+            to_rank(to_owner[0][static_cast<std::size_t>(i0)], t1, t2);
+        if (src != dst) ++volume[core::Request{src, dst}];
+      }
+    }
+  }
+
+  RedistributionPlan plan;
+  plan.from = from;
+  plan.to = to;
+  plan.transfers.reserve(volume.size());
+  for (const auto& [request, elements] : volume)
+    plan.transfers.push_back(Transfer{request, elements});
+  return plan;
+}
+
+}  // namespace optdm::redist

@@ -1,0 +1,171 @@
+#include "sched/bandwidth.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace optdm::sched {
+
+namespace {
+
+/// Completion estimate (in slots) for a frame of `degree` slots where
+/// connection c owns `instances[c]` of them: the channel needing the most
+/// frames dominates.
+std::int64_t makespan_estimate(
+    const std::map<core::Request, std::int64_t>& weight,
+    const std::map<core::Request, std::int64_t>& instances, int degree) {
+  std::int64_t worst_frames = 0;
+  for (const auto& [request, w] : weight) {
+    const auto inst = instances.at(request);
+    worst_frames = std::max(worst_frames, (w + inst - 1) / inst);
+  }
+  return worst_frames * degree;
+}
+
+}  // namespace
+
+WidenedSchedule widen_for_bandwidth(const topo::Network& net,
+                                    const core::Schedule& base,
+                                    std::span<const sim::Message> messages) {
+  // Connection weights and one representative path per request (routes
+  // are deterministic, so any scheduled instance's path serves).
+  std::map<core::Request, std::int64_t> weight;
+  for (const auto& message : messages)
+    weight[message.request] += message.slots;
+
+  std::map<core::Request, core::Path> representative;
+  std::map<core::Request, std::int64_t> instances;
+  for (const auto& config : base.configurations()) {
+    for (const auto& path : config.paths()) {
+      representative.emplace(path.request, path);
+      ++instances[path.request];
+    }
+  }
+  for (const auto& [request, w] : weight) {
+    (void)w;
+    if (!representative.count(request))
+      throw std::invalid_argument(
+          "widen_for_bandwidth: message request not in the base schedule");
+  }
+
+  std::vector<core::Configuration> configs;
+  for (const auto& config : base.configurations()) {
+    core::Configuration copy(net.link_count());
+    for (const auto& path : config.paths()) {
+      if (!copy.add(path))
+        throw std::logic_error("widen_for_bandwidth: base config invalid");
+    }
+    configs.push_back(std::move(copy));
+  }
+
+  WidenedSchedule result;
+
+  // Fills the idle capacity of one configuration with extra instances of
+  // the heaviest-per-instance connections; returns instances added.
+  const auto fill = [&](core::Configuration& config) {
+    std::int64_t added = 0;
+    for (;;) {
+      const core::Request* best = nullptr;
+      double best_load = 1.0;  // below 1 slot/instance nothing is gained
+      for (const auto& [request, w] : weight) {
+        const auto load = static_cast<double>(w) /
+                          static_cast<double>(instances[request]);
+        if (load > best_load && config.accepts(representative.at(request))) {
+          best_load = load;
+          best = &request;
+        }
+      }
+      if (best == nullptr) break;
+      config.add(representative.at(*best));
+      ++instances[*best];
+      ++added;
+    }
+    return added;
+  };
+
+  // Pass 1: use the frame's existing idle capacity.
+  for (auto& config : configs) result.extra_instances += fill(config);
+
+  // Pass 2: grow the frame when extra configurations pay for themselves.
+  // A longer frame slows *every* channel proportionally, so new slots are
+  // only worth it when the bottleneck channels they relieve dominate the
+  // makespan; the estimate is the same quantity simulate_compiled
+  // maximizes (up to per-slot offsets).  A single extra slot often cannot
+  // hold every bottleneck connection (their paths conflict), so the
+  // search speculatively builds several slots and commits the prefix with
+  // the best estimate.
+  if (!weight.empty()) {
+    constexpr int kLookahead = 8;
+    std::int64_t best_makespan = makespan_estimate(
+        weight, instances, static_cast<int>(configs.size()));
+    std::vector<core::Configuration> speculative;
+    std::vector<std::int64_t> speculative_added;
+    auto trial_instances = instances;
+    std::size_t best_prefix = 0;
+
+    for (int step = 0; step < kLookahead; ++step) {
+      core::Configuration extra(net.link_count());
+      std::int64_t added = 0;
+      for (;;) {
+        const core::Request* best = nullptr;
+        double best_load = 1.0;
+        for (const auto& [request, w] : weight) {
+          const auto load = static_cast<double>(w) /
+                            static_cast<double>(trial_instances[request]);
+          if (load > best_load &&
+              extra.accepts(representative.at(request))) {
+            best_load = load;
+            best = &request;
+          }
+        }
+        if (best == nullptr) break;
+        extra.add(representative.at(*best));
+        ++trial_instances[*best];
+        ++added;
+      }
+      if (added == 0) break;
+      speculative.push_back(std::move(extra));
+      speculative_added.push_back(added);
+      const auto estimate = makespan_estimate(
+          weight, trial_instances,
+          static_cast<int>(configs.size() + speculative.size()));
+      if (estimate < best_makespan) {
+        best_makespan = estimate;
+        best_prefix = speculative.size();
+      }
+    }
+    for (std::size_t i = 0; i < best_prefix; ++i) {
+      result.extra_instances += speculative_added[i];
+      configs.push_back(std::move(speculative[i]));
+    }
+  }
+
+  for (auto& config : configs) result.schedule.append(std::move(config));
+  return result;
+}
+
+std::vector<sim::Message> stripe_messages(
+    const core::Schedule& schedule, std::span<const sim::Message> messages) {
+  std::map<core::Request, std::int64_t> instances;
+  for (const auto& config : schedule.configurations())
+    for (const auto& path : config.paths()) ++instances[path.request];
+
+  std::vector<sim::Message> striped;
+  for (const auto& message : messages) {
+    const auto it = instances.find(message.request);
+    if (it == instances.end())
+      throw std::invalid_argument(
+          "stripe_messages: message request not in the schedule");
+    const std::int64_t lanes = std::min(it->second, message.slots);
+    const std::int64_t chunk = message.slots / lanes;
+    std::int64_t leftover = message.slots % lanes;
+    for (std::int64_t lane = 0; lane < lanes; ++lane) {
+      const std::int64_t size = chunk + (leftover > 0 ? 1 : 0);
+      if (leftover > 0) --leftover;
+      striped.push_back(sim::Message{message.request, size});
+    }
+  }
+  return striped;
+}
+
+}  // namespace optdm::sched

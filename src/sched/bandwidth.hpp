@@ -1,0 +1,54 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "sim/message.hpp"
+#include "topo/network.hpp"
+
+/// \file bandwidth.hpp
+/// Bandwidth-aware slot allocation — an extension beyond the paper.
+///
+/// The paper's schedules give every connection exactly one slot per TDM
+/// frame, so a phase finishes when its *largest* message has seen
+/// `size` frames, even if most slots idle long before that.  Real
+/// ghost-exchange phases are heavily skewed (face vs corner transfers
+/// differ by ~50x), leaving most of the frame idle at the tail.
+///
+/// `widen_for_bandwidth` fills that headroom in two passes: it keeps the
+/// base schedule's configurations and greedily adds *extra instances* of
+/// the heaviest-remaining connections wherever they fit, then — when the
+/// bottleneck connections could not be widened in place — grows the frame
+/// with additional configurations as long as the makespan estimate
+/// (frames-needed x frame-length) keeps dropping.
+/// `stripe_messages` then splits each message evenly across its
+/// connection's instances so the compiled simulator (which assigns one
+/// message per instance) models the striped transmission.
+
+namespace optdm::sched {
+
+/// Result of bandwidth widening.
+struct WidenedSchedule {
+  core::Schedule schedule;
+  /// Extra instances added beyond the base schedule's one-per-connection.
+  std::int64_t extra_instances = 0;
+};
+
+/// Adds extra instances of heavy connections into the base schedule's
+/// idle capacity.  `messages` supplies the per-connection weights (the
+/// weight of a connection is the total slots of its messages); requests
+/// absent from `messages` get weight zero and no extra instances.  The
+/// base schedule must already contain every message's request.
+WidenedSchedule widen_for_bandwidth(const topo::Network& net,
+                                    const core::Schedule& base,
+                                    std::span<const sim::Message> messages);
+
+/// Splits every message into one chunk per instance of its request in
+/// `schedule` (sizes differing by at most one slot, chunk order matching
+/// instance order).  Total volume is preserved.  With an unwidened
+/// schedule this is the identity.
+std::vector<sim::Message> stripe_messages(
+    const core::Schedule& schedule, std::span<const sim::Message> messages);
+
+}  // namespace optdm::sched

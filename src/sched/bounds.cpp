@@ -1,0 +1,30 @@
+#include "sched/bounds.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/conflict_graph.hpp"
+
+namespace optdm::sched {
+
+int link_congestion_bound(const topo::Network& net,
+                          std::span<const core::Path> paths) {
+  std::vector<int> usage(static_cast<std::size_t>(net.link_count()), 0);
+  for (const auto& path : paths)
+    for (const auto link : path.links)
+      ++usage[static_cast<std::size_t>(link)];
+  return usage.empty() ? 0 : *std::max_element(usage.begin(), usage.end());
+}
+
+int clique_bound(std::span<const core::Path> paths) {
+  if (paths.empty()) return 0;
+  const core::ConflictGraph graph(paths);
+  return static_cast<int>(graph.heuristic_clique().size());
+}
+
+int multiplexing_lower_bound(const topo::Network& net,
+                             std::span<const core::Path> paths) {
+  return std::max(link_congestion_bound(net, paths), clique_bound(paths));
+}
+
+}  // namespace optdm::sched

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <span>
+
+#include "core/path.hpp"
+#include "topo/network.hpp"
+
+/// \file bounds.hpp
+/// Lower bounds on the multiplexing degree required for a routed pattern.
+/// Every heuristic schedule must have degree >= `multiplexing_lower_bound`;
+/// the property tests assert this for all algorithms on all patterns, and
+/// the benches report heuristic/bound gaps.
+
+namespace optdm::sched {
+
+/// Maximum number of paths crossing any single directed link.  Requests
+/// sharing a link can never share a slot, so the busiest link forces at
+/// least this many configurations.  Because injection/ejection links are
+/// part of every path, this subsumes "max messages sent or received by one
+/// node".
+int link_congestion_bound(const topo::Network& net,
+                          std::span<const core::Path> paths);
+
+/// Size of a greedily-grown clique in the conflict graph: pairwise
+/// conflicting requests all need distinct slots.  At least as strong as
+/// `link_congestion_bound` in principle, but heuristic; the combined bound
+/// takes the max of both.
+int clique_bound(std::span<const core::Path> paths);
+
+/// max(link congestion, heuristic clique).
+int multiplexing_lower_bound(const topo::Network& net,
+                             std::span<const core::Path> paths);
+
+}  // namespace optdm::sched

@@ -1,0 +1,115 @@
+#include "sched/coloring.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/conflict_graph.hpp"
+
+namespace optdm::sched {
+
+namespace {
+
+double priority_value(ColoringPriority rule, int length, int dynamic_degree,
+                      int static_degree) {
+  const int degree =
+      rule == ColoringPriority::kStaticLengthOverDegree ? static_degree
+                                                        : dynamic_degree;
+  switch (rule) {
+    case ColoringPriority::kDegreeTimesLength:
+      return static_cast<double>(degree) * static_cast<double>(length);
+    case ColoringPriority::kDegreeOnly:
+      return static_cast<double>(degree);
+    case ColoringPriority::kLengthOnly:
+      return static_cast<double>(length);
+    case ColoringPriority::kInverseDegree:
+      return degree == 0 ? std::numeric_limits<double>::infinity()
+                         : 1.0 / static_cast<double>(degree);
+    case ColoringPriority::kLengthOverDegree:
+    case ColoringPriority::kStaticLengthOverDegree:
+      return degree == 0 ? std::numeric_limits<double>::infinity()
+                         : static_cast<double>(length) /
+                               static_cast<double>(degree);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+core::Schedule coloring_paths(const topo::Network& net,
+                              std::span<const core::Path> paths,
+                              ColoringPriority rule) {
+  const auto n = static_cast<std::int32_t>(paths.size());
+  core::Schedule schedule;
+  if (n == 0) return schedule;
+
+  const core::ConflictGraph graph(paths);
+
+  // Degree of each vertex within the still-uncolored subgraph; decremented
+  // whenever a neighbor is colored, implementing the paper's priority
+  // update (Fig. 4, lines 13-16).
+  std::vector<int> uncolored_degree(static_cast<std::size_t>(n));
+  std::vector<int> static_degree(static_cast<std::size_t>(n));
+  for (std::int32_t v = 0; v < n; ++v) {
+    uncolored_degree[static_cast<std::size_t>(v)] = graph.degree(v);
+    static_degree[static_cast<std::size_t>(v)] = graph.degree(v);
+  }
+
+  std::vector<bool> colored(static_cast<std::size_t>(n), false);
+  // Per-pass exclusion flag (the WORK set): vertices adjacent to something
+  // colored in the current pass cannot join its configuration.
+  std::vector<std::int32_t> excluded_in_pass(static_cast<std::size_t>(n), -1);
+  std::int32_t colored_count = 0;
+  std::int32_t pass = 0;
+
+  while (colored_count < n) {
+    core::Configuration config(net.link_count());
+    while (true) {
+      // Highest-priority vertex still in this pass's WORK set.  Ties break
+      // toward the lower index for determinism.
+      std::int32_t best = -1;
+      double best_priority = -1.0;
+      for (std::int32_t v = 0; v < n; ++v) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (colored[vi] || excluded_in_pass[vi] == pass) continue;
+        const double p =
+            priority_value(rule, paths[vi].hops(), uncolored_degree[vi],
+                           static_degree[vi]);
+        if (p > best_priority) {
+          best_priority = p;
+          best = v;
+        }
+      }
+      if (best < 0) break;
+
+      const auto bi = static_cast<std::size_t>(best);
+      colored[bi] = true;
+      ++colored_count;
+      const bool added = config.add(paths[bi]);
+      // The WORK-set discipline guarantees no conflict with the members
+      // already chosen this pass.
+      if (!added)
+        throw std::logic_error(
+            "coloring: WORK-set invariant violated (conflicting vertex "
+            "selected)");
+      for (const auto neighbor : graph.neighbors(best)) {
+        const auto ni = static_cast<std::size_t>(neighbor);
+        if (colored[ni]) continue;
+        --uncolored_degree[ni];       // priority update
+        excluded_in_pass[ni] = pass;  // WORK = WORK - n_i
+      }
+    }
+    schedule.append(std::move(config));
+    ++pass;
+  }
+  return schedule;
+}
+
+core::Schedule coloring(const topo::Network& net,
+                        const core::RequestSet& requests,
+                        ColoringPriority rule) {
+  const auto paths = core::route_all(net, requests);
+  return coloring_paths(net, paths, rule);
+}
+
+}  // namespace optdm::sched

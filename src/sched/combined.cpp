@@ -1,0 +1,32 @@
+#include "sched/combined.hpp"
+
+#include "sched/coloring.hpp"
+#include "sched/ordered_aapc.hpp"
+
+namespace optdm::sched {
+
+CombinedResult combined_with_winner(const aapc::TorusAapc& aapc,
+                                    const core::RequestSet& requests) {
+  auto by_coloring = coloring(aapc.network(), requests);
+  auto by_aapc = ordered_aapc(aapc, requests);
+  if (by_aapc.degree() < by_coloring.degree())
+    return CombinedResult{std::move(by_aapc), CombinedWinner::kOrderedAapc};
+  return CombinedResult{std::move(by_coloring), CombinedWinner::kColoring};
+}
+
+core::Schedule combined(const aapc::TorusAapc& aapc,
+                        const core::RequestSet& requests) {
+  return combined_with_winner(aapc, requests).schedule;
+}
+
+core::Schedule combined(const topo::TorusNetwork& net,
+                        const core::RequestSet& requests) {
+  const aapc::TorusAapc decomposition(net);
+  return combined(decomposition, requests);
+}
+
+std::string to_string(CombinedWinner winner) {
+  return winner == CombinedWinner::kColoring ? "coloring" : "ordered-aapc";
+}
+
+}  // namespace optdm::sched

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+
+#include "aapc/torus_aapc.hpp"
+#include "core/schedule.hpp"
+#include "topo/torus.hpp"
+
+/// \file combined.hpp
+/// The paper's "combined" algorithm (Section 3.4, Table 1 column 5): run
+/// both the coloring heuristic and the ordered-AAPC algorithm and keep the
+/// schedule with the smaller multiplexing degree.  This is the algorithm
+/// the compiled-communication side of the Section-4 simulation uses.
+
+namespace optdm::sched {
+
+/// Which component algorithm produced a combined schedule.
+enum class CombinedWinner { kColoring, kOrderedAapc };
+
+/// Combined scheduling result with provenance.
+struct CombinedResult {
+  core::Schedule schedule;
+  CombinedWinner winner = CombinedWinner::kColoring;
+};
+
+/// Runs coloring and ordered-AAPC, returns the better schedule.  Ties go to
+/// coloring (it uses the default deterministic routes).
+CombinedResult combined_with_winner(const aapc::TorusAapc& aapc,
+                                    const core::RequestSet& requests);
+
+/// Convenience wrapper discarding provenance.
+core::Schedule combined(const aapc::TorusAapc& aapc,
+                        const core::RequestSet& requests);
+
+/// Convenience overload constructing the AAPC decomposition internally.
+core::Schedule combined(const topo::TorusNetwork& net,
+                        const core::RequestSet& requests);
+
+/// Human-readable winner name ("coloring" / "ordered-aapc").
+std::string to_string(CombinedWinner winner);
+
+}  // namespace optdm::sched

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/schedule.hpp"
+#include "topo/network.hpp"
+
+/// \file exact.hpp
+/// Exact minimum-degree scheduling via branch-and-bound graph coloring.
+/// Optimal connection scheduling is NP-complete (the paper cites [4]), so
+/// this is exponential and only intended for small instances: it verifies
+/// the heuristics in tests and quantifies their gap on Fig.-3-style
+/// examples.
+
+namespace optdm::sched {
+
+/// Search controls for `exact_paths`.
+struct ExactOptions {
+  /// Hard cap on conflict-graph vertices; larger inputs return nullopt
+  /// immediately rather than risking an exponential blow-up.
+  int max_vertices = 64;
+  /// DFS node budget; exceeded searches return nullopt.
+  std::int64_t node_budget = 20'000'000;
+};
+
+/// Returns a schedule with provably minimal multiplexing degree, or nullopt
+/// when the instance exceeds `options`.
+std::optional<core::Schedule> exact_paths(const topo::Network& net,
+                                          std::span<const core::Path> paths,
+                                          const ExactOptions& options = {});
+
+/// Convenience overload with deterministic routing.
+std::optional<core::Schedule> exact(const topo::Network& net,
+                                    const core::RequestSet& requests,
+                                    const ExactOptions& options = {});
+
+}  // namespace optdm::sched

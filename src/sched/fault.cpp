@@ -1,0 +1,68 @@
+#include "sched/fault.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace optdm::sched {
+
+namespace {
+
+bool hits_fault(const core::Path& path, const core::LinkSet& failed) {
+  return path.occupancy.intersects(failed);
+}
+
+}  // namespace
+
+FaultPlan route_around_faults(const topo::TorusNetwork& net,
+                              const core::RequestSet& requests,
+                              const core::LinkSet& failed) {
+  FaultPlan plan;
+  plan.paths.reserve(requests.size());
+
+  for (const auto& request : requests) {
+    // Processor interfaces cannot be detoured.
+    if (failed.contains(net.injection_link(request.src)) ||
+        failed.contains(net.ejection_link(request.dst)))
+      throw std::runtime_error(
+          "route_around_faults: processor link of request (" +
+          std::to_string(request.src) + "->" + std::to_string(request.dst) +
+          ") has failed");
+
+    auto direct = core::make_path(net, request);
+    if (!hits_fault(direct, failed)) {
+      plan.paths.push_back(std::move(direct));
+      continue;
+    }
+
+    // Two-leg misroute: try intermediate nodes in a deterministic
+    // spiral-ish order around the source so short detours come first.
+    bool repaired = false;
+    for (topo::NodeId offset = 1;
+         offset < net.node_count() && !repaired; ++offset) {
+      const topo::NodeId via =
+          static_cast<topo::NodeId>((request.src + offset) % net.node_count());
+      if (via == request.src || via == request.dst) continue;
+      auto links = net.route_links(request.src, via);
+      const auto second = net.route_links(via, request.dst);
+      links.insert(links.end(), second.begin(), second.end());
+      core::Path candidate;
+      try {
+        candidate = core::make_path_with_links(net, request, std::move(links));
+      } catch (const std::invalid_argument&) {
+        continue;  // the two legs revisit a link: not a simple path
+      }
+      if (hits_fault(candidate, failed)) continue;
+      plan.paths.push_back(std::move(candidate));
+      ++plan.rerouted;
+      repaired = true;
+    }
+    if (!repaired)
+      throw std::runtime_error(
+          "route_around_faults: no fault-free route for (" +
+          std::to_string(request.src) + "->" + std::to_string(request.dst) +
+          ")");
+  }
+  return plan;
+}
+
+}  // namespace optdm::sched

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "core/path.hpp"
+#include "core/schedule.hpp"
+#include "topo/torus.hpp"
+
+/// \file fault.hpp
+/// Fault-aware compiled communication — an extension beyond the paper.
+///
+/// A broken fiber is fatal to a deterministic single-path router: every
+/// connection whose XY route crosses the failed link is dead.  Compiled
+/// communication is actually well placed to handle this: the compiler
+/// knows the fault set at schedule time and can *re-route around it*
+/// before scheduling, with zero runtime machinery.
+///
+/// The repair strategy is two-leg dimension-order misrouting: a request
+/// whose direct route hits a fault is routed s -> w -> d through an
+/// intermediate node `w`, both legs XY-routed, chosen so the concatenated
+/// path avoids every failed link and repeats none.  The rerouted paths
+/// then feed the ordinary scheduling algorithms.
+
+namespace optdm::sched {
+
+/// Result of fault-aware routing.
+struct FaultPlan {
+  /// One path per request, in request order; every path avoids all links
+  /// of the fault set.
+  std::vector<core::Path> paths;
+  /// Requests that needed an intermediate node.
+  int rerouted = 0;
+};
+
+/// Routes `requests` around `failed` links.  Throws
+/// `std::runtime_error` if some request cannot be realized (its
+/// injection/ejection link failed, or no intermediate node yields a
+/// fault-free loop-free path).
+FaultPlan route_around_faults(const topo::TorusNetwork& net,
+                              const core::RequestSet& requests,
+                              const core::LinkSet& failed);
+
+}  // namespace optdm::sched

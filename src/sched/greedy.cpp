@@ -1,0 +1,33 @@
+#include "sched/greedy.hpp"
+
+#include <vector>
+
+namespace optdm::sched {
+
+core::Schedule greedy_paths(const topo::Network& net,
+                            std::span<const core::Path> paths) {
+  core::Schedule schedule;
+  std::vector<bool> placed(paths.size(), false);
+  std::size_t remaining = paths.size();
+
+  while (remaining > 0) {
+    core::Configuration config(net.link_count());
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      if (placed[i]) continue;
+      if (config.add(paths[i])) {
+        placed[i] = true;
+        --remaining;
+      }
+    }
+    schedule.append(std::move(config));
+  }
+  return schedule;
+}
+
+core::Schedule greedy(const topo::Network& net,
+                      const core::RequestSet& requests) {
+  const auto paths = core::route_all(net, requests);
+  return greedy_paths(net, paths);
+}
+
+}  // namespace optdm::sched

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <span>
+
+#include "core/schedule.hpp"
+#include "topo/network.hpp"
+
+/// \file greedy.hpp
+/// The paper's greedy connection-scheduling algorithm (Fig. 2).
+///
+/// Configurations are created one at a time; each pass scans the remaining
+/// requests *in their given order* and adds every request that does not
+/// conflict with the configuration under construction.  The result is
+/// order-sensitive: Fig. 3 of the paper shows a 4-request instance where
+/// the given order costs 3 slots while the optimum is 2 (reproduced in
+/// `bench/fig3_greedy_suboptimal` and the unit tests).
+
+namespace optdm::sched {
+
+/// Greedy scheduling over pre-routed paths (order preserved).
+core::Schedule greedy_paths(const topo::Network& net,
+                            std::span<const core::Path> paths);
+
+/// Convenience overload: routes `requests` with the topology's
+/// deterministic router, then schedules.
+core::Schedule greedy(const topo::Network& net,
+                      const core::RequestSet& requests);
+
+}  // namespace optdm::sched

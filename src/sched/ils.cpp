@@ -1,0 +1,121 @@
+#include "sched/ils.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace optdm::sched {
+
+namespace {
+
+/// Working representation: configurations as plain path lists.
+using Solution = std::vector<std::vector<core::Path>>;
+
+Solution from_schedule(const core::Schedule& schedule) {
+  Solution solution;
+  for (const auto& config : schedule.configurations())
+    solution.push_back(config.paths());
+  return solution;
+}
+
+core::Schedule to_schedule(const topo::Network& net,
+                           const Solution& solution) {
+  core::Schedule schedule;
+  for (const auto& members : solution) {
+    core::Configuration config(net.link_count());
+    for (const auto& path : members) {
+      if (!config.add(path))
+        throw std::logic_error("improve_schedule: invalid solution state");
+    }
+    schedule.append(std::move(config));
+  }
+  return schedule;
+}
+
+/// First-fit reinsertion of `displaced` into `solution`; paths that fit
+/// nowhere open new configurations at the end.
+void reinsert(const topo::Network& net, Solution& solution,
+              std::vector<core::Path> displaced) {
+  std::vector<core::Configuration> occupancy;
+  occupancy.reserve(solution.size());
+  for (const auto& members : solution) {
+    core::Configuration config(net.link_count());
+    for (const auto& path : members) config.add(path);
+    occupancy.push_back(std::move(config));
+  }
+  for (auto& path : displaced) {
+    bool placed = false;
+    for (std::size_t c = 0; c < solution.size(); ++c) {
+      if (occupancy[c].accepts(path)) {
+        occupancy[c].add(path);
+        solution[c].push_back(std::move(path));
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      core::Configuration fresh(net.link_count());
+      fresh.add(path);
+      occupancy.push_back(std::move(fresh));
+      solution.push_back({std::move(path)});
+    }
+  }
+}
+
+}  // namespace
+
+core::Schedule improve_schedule(const topo::Network& net,
+                                std::span<const core::Path> paths,
+                                const core::Schedule& initial,
+                                const IlsOptions& options) {
+  if (initial.degree() <= 1 || paths.empty()) {
+    return to_schedule(net, from_schedule(initial));
+  }
+
+  util::Rng rng(options.seed);
+  Solution current = from_schedule(initial);
+  Solution best = current;
+
+  for (int round = 0; round < options.iterations; ++round) {
+    Solution trial = current;
+
+    // Dissolve configurations: alternately the emptiest ones (compaction
+    // pressure) and uniformly random ones (diversification) — picking only
+    // the emptiest gets stuck re-dissolving the same singleton classes.
+    std::vector<std::size_t> order(trial.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    rng.shuffle(order);
+    if (round % 2 == 0) {
+      std::stable_sort(order.begin(), order.end(),
+                       [&trial](std::size_t a, std::size_t b) {
+                         return trial[a].size() < trial[b].size();
+                       });
+    }
+    const auto dissolve = std::min<std::size_t>(
+        static_cast<std::size_t>(std::max(options.dissolve, 1)),
+        trial.size() - 1);
+
+    std::vector<core::Path> displaced;
+    std::vector<bool> removed(trial.size(), false);
+    for (std::size_t i = 0; i < dissolve; ++i) {
+      removed[order[i]] = true;
+      for (auto& path : trial[order[i]]) displaced.push_back(std::move(path));
+    }
+    Solution kept;
+    for (std::size_t c = 0; c < trial.size(); ++c)
+      if (!removed[c]) kept.push_back(std::move(trial[c]));
+
+    rng.shuffle(displaced);
+    reinsert(net, kept, std::move(displaced));
+
+    // Accept when not worse; equal-degree moves keep the walk exploring.
+    if (kept.size() <= current.size()) {
+      current = std::move(kept);
+      if (current.size() < best.size()) best = current;
+    }
+  }
+  return to_schedule(net, best);
+}
+
+}  // namespace optdm::sched

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+
+#include "core/schedule.hpp"
+#include "topo/network.hpp"
+#include "util/rng.hpp"
+
+/// \file ils.hpp
+/// Iterated local search for connection scheduling — an extension
+/// exploiting the paper's core premise: "since the control algorithms are
+/// executed off-line by the compiler, complex strategies to manage the
+/// network resources can be employed" (Section 3).
+///
+/// Starting from the best constructive schedule (the combined algorithm's
+/// output or any other), the search repeatedly perturbs the solution —
+/// dissolve the emptiest configurations, then reinsert the displaced
+/// connections first-fit in a randomized hardest-first order — and keeps
+/// the result whenever the degree does not increase.  This is the classic
+/// iterated-greedy scheme for graph coloring, operating directly on
+/// configurations so every intermediate solution is a valid schedule.
+
+namespace optdm::sched {
+
+/// Search controls.
+struct IlsOptions {
+  /// Perturbation rounds.
+  int iterations = 200;
+  /// Configurations dissolved per round (the emptiest ones).
+  int dissolve = 2;
+  /// RNG seed (the search is deterministic given the seed).
+  std::uint64_t seed = 0x115;
+};
+
+/// Improves `initial` by iterated local search over `paths` (the routed
+/// requests the schedule was built from; orderings of `paths` and the
+/// schedule's contents must agree as multisets).  Returns a schedule with
+/// degree <= initial.degree().
+core::Schedule improve_schedule(const topo::Network& net,
+                                std::span<const core::Path> paths,
+                                const core::Schedule& initial,
+                                const IlsOptions& options = {});
+
+}  // namespace optdm::sched

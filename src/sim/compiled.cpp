@@ -1,0 +1,161 @@
+#include "sim/compiled.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace optdm::sim {
+
+namespace {
+
+/// Messages grouped per scheduled connection instance: messages on the
+/// same channel serialize in input order.
+struct Channel {
+  int slot = 0;
+  std::vector<std::size_t> message_ids;
+};
+
+/// Maps every message onto a scheduled instance of its request, consuming
+/// duplicate instances in schedule order and wrapping around if a request
+/// carries more messages than scheduled instances.
+std::vector<Channel> assign_channels(const core::Schedule& schedule,
+                                     std::span<const Message> messages,
+                                     std::vector<std::size_t>& channel_of) {
+  std::map<core::Request, std::vector<int>> instances;
+  for (int slot = 0; slot < schedule.degree(); ++slot)
+    for (const auto& path : schedule.configuration(slot).paths())
+      instances[path.request].push_back(slot);
+
+  std::vector<Channel> channels;
+  std::map<std::pair<core::Request, int>, std::size_t> channel_index;
+  std::map<core::Request, std::size_t> next_instance;
+  channel_of.assign(messages.size(), 0);
+
+  for (std::size_t m = 0; m < messages.size(); ++m) {
+    const auto& message = messages[m];
+    if (message.slots < 1)
+      throw std::invalid_argument("simulate_compiled: message size < 1");
+    const auto it = instances.find(message.request);
+    if (it == instances.end())
+      throw std::invalid_argument(
+          "simulate_compiled: message request not in the schedule");
+    const auto& slots = it->second;
+    const std::size_t which = next_instance[message.request]++ % slots.size();
+    const auto key = std::make_pair(message.request, static_cast<int>(which));
+    auto [entry, inserted] = channel_index.try_emplace(key, channels.size());
+    if (inserted)
+      channels.push_back(Channel{slots[which], {}});
+    channels[entry->second].message_ids.push_back(m);
+    channel_of[m] = entry->second;
+  }
+  return channels;
+}
+
+}  // namespace
+
+CompiledResult simulate_compiled(const core::Schedule& schedule,
+                                 std::span<const Message> messages,
+                                 const CompiledParams& params) {
+  CompiledResult result;
+  result.degree = schedule.degree();
+  result.messages.assign(messages.size(), CompiledMessageStats{});
+  if (messages.empty()) {
+    result.total_slots = 0;
+    return result;
+  }
+  if (schedule.degree() == 0)
+    throw std::invalid_argument("simulate_compiled: empty schedule");
+
+  std::vector<std::size_t> channel_of;
+  const auto channels = assign_channels(schedule, messages, channel_of);
+
+  const std::int64_t k =
+      params.frame_slots > 0 ? params.frame_slots : schedule.degree();
+  if (k < schedule.degree())
+    throw std::invalid_argument(
+        "simulate_compiled: frame_slots below the multiplexing degree");
+  for (const auto& channel : channels) {
+    std::int64_t cumulative = 0;
+    for (const auto m : channel.message_ids) {
+      cumulative += messages[m].slots;
+      result.messages[m].slot = channel.slot;
+      if (params.channel == ChannelKind::kWavelength) {
+        // Every wavelength transmits continuously at full rate.
+        result.messages[m].completed = params.setup_slots + cumulative;
+      } else {
+        // The i-th owned slot of configuration c begins at absolute time
+        // setup + c + (i-1)*K; its payload is delivered one slot later.
+        result.messages[m].completed =
+            params.setup_slots + channel.slot + (cumulative - 1) * k + 1;
+      }
+    }
+  }
+
+  for (const auto& stats : result.messages)
+    result.total_slots = std::max(result.total_slots, stats.completed);
+  return result;
+}
+
+CompiledResult simulate_compiled_stepped(const core::Schedule& schedule,
+                                         std::span<const Message> messages,
+                                         const CompiledParams& params) {
+  CompiledResult result;
+  result.degree = schedule.degree();
+  result.messages.assign(messages.size(), CompiledMessageStats{});
+  if (messages.empty()) {
+    result.total_slots = 0;
+    return result;
+  }
+  if (schedule.degree() == 0)
+    throw std::invalid_argument("simulate_compiled_stepped: empty schedule");
+
+  std::vector<std::size_t> channel_of;
+  auto channels = assign_channels(schedule, messages, channel_of);
+
+  struct ChannelProgress {
+    std::size_t next_message = 0;
+    std::int64_t remaining_in_current = 0;
+  };
+  std::vector<ChannelProgress> progress(channels.size());
+  for (std::size_t c = 0; c < channels.size(); ++c)
+    progress[c].remaining_in_current =
+        messages[channels[c].message_ids.front()].slots;
+
+  std::size_t unfinished = channels.size();
+  const std::int64_t k =
+      params.frame_slots > 0 ? params.frame_slots : schedule.degree();
+  if (k < schedule.degree())
+    throw std::invalid_argument(
+        "simulate_compiled_stepped: frame_slots below the multiplexing "
+        "degree");
+  for (std::int64_t t = params.setup_slots; unfinished > 0; ++t) {
+    const auto active_slot = static_cast<int>((t - params.setup_slots) % k);
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      auto& channel = channels[c];
+      auto& prog = progress[c];
+      if (params.channel == ChannelKind::kTimeSlot &&
+          channel.slot != active_slot)
+        continue;
+      if (prog.next_message >= channel.message_ids.size()) continue;
+      if (--prog.remaining_in_current == 0) {
+        const auto m = channel.message_ids[prog.next_message];
+        result.messages[m].slot = channel.slot;
+        result.messages[m].completed = t + 1;
+        ++prog.next_message;
+        if (prog.next_message < channel.message_ids.size()) {
+          prog.remaining_in_current =
+              messages[channel.message_ids[prog.next_message]].slots;
+        } else {
+          --unfinished;
+        }
+      }
+    }
+  }
+
+  for (const auto& stats : result.messages)
+    result.total_slots = std::max(result.total_slots, stats.completed);
+  return result;
+}
+
+}  // namespace optdm::sim

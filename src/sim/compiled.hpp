@@ -1,0 +1,67 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "sim/message.hpp"
+
+/// \file compiled.hpp
+/// Simulation of compiled communication on a TDM network (paper Section 4).
+///
+/// The compiler has already produced a configuration set (multiplexing
+/// degree K).  At run time the switch registers are loaded once (a small
+/// fixed synchronization cost), then the network cycles through the K
+/// configurations, one per slot.  A connection assigned to configuration c
+/// owns slot c of every frame and moves one slot-payload per frame; there
+/// is no runtime control traffic at all.
+
+namespace optdm::sim {
+
+/// Parameters of the compiled-communication runtime.
+struct CompiledParams {
+  /// One-time cost (slots) to load the switch registers and synchronize
+  /// before transmission starts.
+  std::int64_t setup_slots = 3;
+  /// TDM frame length.  0 (default) means the frame equals the schedule's
+  /// degree K — the compiled-communication ideal.  A value > K pads every
+  /// frame with idle slots, modeling hardware whose multiplexing degree is
+  /// fixed above the phase's need (used by the fixed-frame ablation).
+  /// Values in (0, K) are invalid.
+  std::int64_t frame_slots = 0;
+  /// Channel realization; `kWavelength` removes the frame-length factor
+  /// from transmission time (each channel runs at full rate).
+  ChannelKind channel = ChannelKind::kTimeSlot;
+};
+
+/// Per-message completion record.
+struct CompiledMessageStats {
+  /// Slot of the configuration carrying this message's connection.
+  int slot = -1;
+  /// Absolute time (in slots) at which the last payload is delivered.
+  std::int64_t completed = 0;
+};
+
+/// Result of a compiled-communication run.
+struct CompiledResult {
+  /// Time (slots) until the last message completes, setup included.
+  std::int64_t total_slots = 0;
+  /// Multiplexing degree used.
+  int degree = 0;
+  std::vector<CompiledMessageStats> messages;
+};
+
+/// Analytic simulation (exact closed form per connection).  Messages whose
+/// request is not in the schedule throw `std::invalid_argument`.  Multiple
+/// messages on the same connection serialize on its channel.
+CompiledResult simulate_compiled(const core::Schedule& schedule,
+                                 std::span<const Message> messages,
+                                 const CompiledParams& params = {});
+
+/// Reference slot-by-slot simulation used by tests to cross-validate the
+/// analytic model; identical results, O(total time x connections).
+CompiledResult simulate_compiled_stepped(const core::Schedule& schedule,
+                                         std::span<const Message> messages,
+                                         const CompiledParams& params = {});
+
+}  // namespace optdm::sim

@@ -1,0 +1,331 @@
+#include "sim/dynamic.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "core/path.hpp"
+#include "util/rng.hpp"
+
+namespace optdm::sim {
+
+namespace {
+
+/// Channel mask over the K slots of one link.
+using ChannelMask = std::uint64_t;
+
+enum class EventKind : std::uint8_t {
+  kIssue,        ///< source begins (or retries) the head-of-queue message
+  kReserveStep,  ///< reservation packet reserves path link `hop`
+  kDstSelect,    ///< destination picks the channel
+  kAckStep,      ///< ack releases non-selected channels at path link `hop`
+  kNackStep,     ///< nack releases reservations at path link `hop`
+  kDataDone,     ///< last payload delivered
+  kReleaseStep,  ///< release frees the selected channel at path link `hop`
+};
+
+struct Event {
+  std::int64_t time = 0;
+  std::int64_t seq = 0;  // FIFO tie-break for determinism
+  EventKind kind = EventKind::kIssue;
+  std::int32_t subject = 0;  // node for kIssue, message id otherwise
+  std::int32_t hop = 0;
+
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+struct RuntimeMessage {
+  Message message;
+  /// Full path links: [injection, network..., ejection].
+  std::vector<topo::LinkId> links;
+  /// Currently reserved channels per path link (parallel to `links`);
+  /// zeroed outside an in-flight reservation.
+  std::vector<ChannelMask> reserved;
+  /// Mask carried by the in-flight reservation packet.
+  ChannelMask mask = 0;
+  /// Selected channel (slot index) once established.
+  int channel = -1;
+  DynamicMessageStats stats;
+};
+
+class Simulator {
+ public:
+  Simulator(const topo::Network& net, std::span<const Message> messages,
+            const DynamicParams& params)
+      : net_(net), params_(params), rng_(params.seed) {
+    if (params.multiplexing_degree < 1 || params.multiplexing_degree > 64)
+      throw std::invalid_argument(
+          "simulate_dynamic: multiplexing degree must be in [1, 64]");
+    full_mask_ = params.multiplexing_degree == 64
+                     ? ~ChannelMask{0}
+                     : (ChannelMask{1} << params.multiplexing_degree) - 1;
+    free_.assign(static_cast<std::size_t>(net.link_count()), full_mask_);
+
+    queues_.assign(static_cast<std::size_t>(net.node_count()), {});
+    msgs_.reserve(messages.size());
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+      const auto& m = messages[i];
+      if (m.slots < 1)
+        throw std::invalid_argument("simulate_dynamic: message size < 1");
+      RuntimeMessage rt;
+      rt.message = m;
+      rt.links = core::make_path(net, m.request).links;
+      rt.reserved.assign(rt.links.size(), 0);
+      msgs_.push_back(std::move(rt));
+      queues_[static_cast<std::size_t>(m.request.src)].push_back(
+          static_cast<std::int32_t>(i));
+    }
+  }
+
+  DynamicResult run() {
+    for (topo::NodeId n = 0; n < net_.node_count(); ++n)
+      if (!queues_[static_cast<std::size_t>(n)].empty())
+        push(0, EventKind::kIssue, n, 0);
+
+    std::size_t remaining = msgs_.size();
+    DynamicResult result;
+    while (remaining > 0 && !events_.empty()) {
+      const Event ev = events_.top();
+      events_.pop();
+      if (ev.time > params_.horizon) {
+        result.completed = false;
+        break;
+      }
+      now_ = ev.time;
+      switch (ev.kind) {
+        case EventKind::kIssue:
+          on_issue(ev.subject);
+          break;
+        case EventKind::kReserveStep:
+          on_reserve_step(ev.subject, ev.hop);
+          break;
+        case EventKind::kDstSelect:
+          on_dst_select(ev.subject);
+          break;
+        case EventKind::kAckStep:
+          on_ack_step(ev.subject, ev.hop);
+          break;
+        case EventKind::kNackStep:
+          on_nack_step(ev.subject, ev.hop);
+          break;
+        case EventKind::kDataDone:
+          on_data_done(ev.subject);
+          --remaining;
+          break;
+        case EventKind::kReleaseStep:
+          on_release_step(ev.subject, ev.hop);
+          break;
+      }
+    }
+    if (remaining > 0) result.completed = false;
+
+    // Drain the releases (and any stray control traffic) still in flight,
+    // then check the conservation invariant: every channel free again.
+    if (result.completed) {
+      while (!events_.empty()) {
+        const Event ev = events_.top();
+        events_.pop();
+        now_ = ev.time;
+        if (ev.kind == EventKind::kReleaseStep)
+          on_release_step(ev.subject, ev.hop);
+        // Anything else at this point would be a protocol bug; leaving it
+        // unprocessed makes the invariant below fail loudly.
+      }
+      result.clean_shutdown = true;
+      for (const auto mask : free_)
+        if (mask != full_mask_) result.clean_shutdown = false;
+      for (const auto& rt : msgs_)
+        for (const auto reserved : rt.reserved)
+          if (reserved != 0) result.clean_shutdown = false;
+    }
+
+    result.messages.reserve(msgs_.size());
+    for (const auto& rt : msgs_) {
+      result.messages.push_back(rt.stats);
+      result.total_retries += rt.stats.retries;
+      result.total_slots = std::max(result.total_slots, rt.stats.completed);
+    }
+    return result;
+  }
+
+ private:
+  void push(std::int64_t time, EventKind kind, std::int32_t subject,
+            std::int32_t hop) {
+    events_.push(Event{time, seq_++, kind, subject, hop});
+  }
+
+  /// Head-of-line: the source works on the front message of its queue.
+  void on_issue(std::int32_t node) {
+    auto& queue = queues_[static_cast<std::size_t>(node)];
+    if (queue.empty()) return;
+    const auto id = queue.front();
+    auto& rt = msg(id);
+    if (rt.stats.issued < 0) rt.stats.issued = now_;
+    rt.mask = full_mask_;
+    // Local issue processing, then the reservation starts at the
+    // injection link (hop 0).
+    push(now_ + params_.ctrl_local_slots, EventKind::kReserveStep, id, 0);
+  }
+
+  void on_reserve_step(std::int32_t id, std::int32_t hop) {
+    auto& rt = msg(id);
+    const auto link = rt.links[static_cast<std::size_t>(hop)];
+    ChannelMask avail = rt.mask & free_[static_cast<std::size_t>(link)];
+    if (avail != 0 && params_.policy == DynamicParams::Policy::kReserveOne)
+      avail &= ChannelMask(0) - avail;  // keep only the lowest set bit
+    if (avail == 0) {
+      // Reservation failed: NACK back from the previous link.
+      start_nack(id, hop - 1);
+      return;
+    }
+    free_[static_cast<std::size_t>(link)] &= ~avail;
+    rt.reserved[static_cast<std::size_t>(hop)] = avail;
+    rt.mask = avail;
+    const bool is_last = hop + 1 == static_cast<std::int32_t>(rt.links.size());
+    if (is_last) {
+      push(now_ + params_.ctrl_local_slots, EventKind::kDstSelect, id, 0);
+    } else {
+      // Crossing to the next switch costs a shadow-network hop when this
+      // link is a network link; the injection link is switch-local.
+      const bool network_hop =
+          net_.link(link).kind == topo::LinkKind::kNetwork;
+      push(now_ + (network_hop ? params_.ctrl_hop_slots : 0),
+           EventKind::kReserveStep, id, hop + 1);
+    }
+  }
+
+  void on_dst_select(std::int32_t id) {
+    auto& rt = msg(id);
+    rt.channel = std::countr_zero(rt.mask);
+    // The ACK walks the path backwards releasing non-selected channels.
+    push(now_, EventKind::kAckStep, id,
+         static_cast<std::int32_t>(rt.links.size()) - 1);
+  }
+
+  void on_ack_step(std::int32_t id, std::int32_t hop) {
+    auto& rt = msg(id);
+    const auto link = rt.links[static_cast<std::size_t>(hop)];
+    const ChannelMask keep = ChannelMask{1}
+                             << static_cast<unsigned>(rt.channel);
+    free_[static_cast<std::size_t>(link)] |=
+        rt.reserved[static_cast<std::size_t>(hop)] & ~keep;
+    rt.reserved[static_cast<std::size_t>(hop)] = keep;
+    if (hop == 0) {
+      establish(id);
+      return;
+    }
+    const bool network_hop = net_.link(link).kind == topo::LinkKind::kNetwork;
+    push(now_ + (network_hop ? params_.ctrl_hop_slots : 0),
+         EventKind::kAckStep, id, hop - 1);
+  }
+
+  void establish(std::int32_t id) {
+    auto& rt = msg(id);
+    rt.stats.established = now_;
+    if (params_.channel == ChannelKind::kWavelength) {
+      // The wavelength runs at full rate: one payload per slot.
+      push(now_ + rt.message.slots + 1, EventKind::kDataDone, id, 0);
+      return;
+    }
+    // TDM: first usable slot is the smallest T > now with T mod K ==
+    // channel; one payload per frame of K slots thereafter.
+    const std::int64_t k = params_.multiplexing_degree;
+    std::int64_t first = now_ + 1;
+    const std::int64_t offset =
+        ((rt.channel - first) % k + k) % k;
+    first += offset;
+    const std::int64_t last = first + (rt.message.slots - 1) * k;
+    push(last + 1, EventKind::kDataDone, id, 0);
+  }
+
+  void on_data_done(std::int32_t id) {
+    auto& rt = msg(id);
+    rt.stats.completed = now_;
+    // Release travels forward freeing the selected channel hop by hop.
+    push(now_, EventKind::kReleaseStep, id, 0);
+    // The source moves on to its next queued message immediately.
+    const auto node = rt.message.request.src;
+    auto& queue = queues_[static_cast<std::size_t>(node)];
+    queue.pop_front();
+    if (!queue.empty())
+      push(now_ + params_.ctrl_local_slots, EventKind::kIssue, node, 0);
+  }
+
+  void on_release_step(std::int32_t id, std::int32_t hop) {
+    auto& rt = msg(id);
+    const auto link = rt.links[static_cast<std::size_t>(hop)];
+    free_[static_cast<std::size_t>(link)] |=
+        rt.reserved[static_cast<std::size_t>(hop)];
+    rt.reserved[static_cast<std::size_t>(hop)] = 0;
+    if (hop + 1 < static_cast<std::int32_t>(rt.links.size())) {
+      const bool network_hop =
+          net_.link(link).kind == topo::LinkKind::kNetwork;
+      push(now_ + (network_hop ? params_.ctrl_hop_slots : 0),
+           EventKind::kReleaseStep, id, hop + 1);
+    }
+  }
+
+  void start_nack(std::int32_t id, std::int32_t hop) {
+    if (hop < 0) {
+      retry(id);
+      return;
+    }
+    push(now_, EventKind::kNackStep, id, hop);
+  }
+
+  void on_nack_step(std::int32_t id, std::int32_t hop) {
+    auto& rt = msg(id);
+    const auto link = rt.links[static_cast<std::size_t>(hop)];
+    free_[static_cast<std::size_t>(link)] |=
+        rt.reserved[static_cast<std::size_t>(hop)];
+    rt.reserved[static_cast<std::size_t>(hop)] = 0;
+    if (hop == 0) {
+      retry(id);
+      return;
+    }
+    const bool network_hop = net_.link(link).kind == topo::LinkKind::kNetwork;
+    push(now_ + (network_hop ? params_.ctrl_hop_slots : 0),
+         EventKind::kNackStep, id, hop - 1);
+  }
+
+  void retry(std::int32_t id) {
+    auto& rt = msg(id);
+    ++rt.stats.retries;
+    const std::int64_t jitter =
+        rng_.uniform(0, std::max<std::int64_t>(params_.backoff_slots - 1, 0));
+    push(now_ + params_.backoff_slots + jitter, EventKind::kIssue,
+         rt.message.request.src, 0);
+  }
+
+  RuntimeMessage& msg(std::int32_t id) {
+    return msgs_[static_cast<std::size_t>(id)];
+  }
+
+  const topo::Network& net_;
+  DynamicParams params_;
+  util::Rng rng_;
+  ChannelMask full_mask_ = 1;
+  std::int64_t now_ = 0;
+  std::int64_t seq_ = 0;
+  std::vector<ChannelMask> free_;
+  std::vector<RuntimeMessage> msgs_;
+  std::vector<std::deque<std::int32_t>> queues_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+};
+
+}  // namespace
+
+DynamicResult simulate_dynamic(const topo::Network& net,
+                               std::span<const Message> messages,
+                               const DynamicParams& params) {
+  Simulator sim(net, messages, params);
+  return sim.run();
+}
+
+}  // namespace optdm::sim

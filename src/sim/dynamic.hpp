@@ -1,0 +1,113 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "topo/network.hpp"
+
+/// \file dynamic.hpp
+/// Cycle-level simulation of dynamically controlled communication on a
+/// time-multiplexed all-optical network — the paper's baseline (Section
+/// 4.1).
+///
+/// The data network is TDM with a *fixed* multiplexing degree K (a
+/// distributed controller cannot vary K at run time; the paper evaluates
+/// K in {1, 2, 5, 10}).  A "virtual channel" of a link is one of its K
+/// time slots; an established connection owns the same slot on every link
+/// of its path.
+///
+/// Path establishment uses the distributed reservation protocol of the
+/// paper:
+///  * the source sends a RESERVATION packet along the (deterministic)
+///    route; at every link it intersects its channel mask with the link's
+///    free channels, reserving all of them;
+///  * if the mask empties, a NACK returns along the path, releasing the
+///    tentative reservations, and the source retries after a randomized
+///    backoff;
+///  * at the destination one channel is selected; an ACK returns along the
+///    path releasing the non-selected channels and setting the switches;
+///  * when the ACK reaches the source, data flows in the connection's slot
+///    (one payload per frame of K slots); afterwards a RELEASE travels
+///    forward freeing the channel.
+///
+/// Control packets ride a shadow electronic network with a per-hop latency
+/// of `ctrl_hop_slots`; shadow-link queueing is not modeled (control
+/// traffic is light: every node has at most one outstanding request —
+/// the paper's single-queue, head-of-line discipline).
+
+namespace optdm::sim {
+
+/// Parameters of the dynamic control protocol.
+struct DynamicParams {
+  /// Fixed multiplexing degree K of the data network (1..64).
+  int multiplexing_degree = 1;
+  /// Latency (slots) for a control packet to cross one network hop,
+  /// including the electronic routing decision at the switch.
+  std::int64_t ctrl_hop_slots = 2;
+  /// Local processing (slots) to issue a request at the source and to
+  /// select a channel at the destination.
+  std::int64_t ctrl_local_slots = 2;
+  /// Base backoff (slots) after a failed reservation; the retry waits
+  /// backoff + uniform[0, backoff) to break livelock symmetry.
+  std::int64_t backoff_slots = 8;
+  /// Simulation abort horizon (slots); exceeding it marks the result
+  /// incomplete instead of looping forever.
+  std::int64_t horizon = 50'000'000;
+  /// Seed for the backoff jitter.
+  std::uint64_t seed = 0x0d15ea5e;
+  /// Channel realization (TDM slots vs WDM wavelengths); see
+  /// `sim::ChannelKind`.
+  ChannelKind channel = ChannelKind::kTimeSlot;
+  /// How the reservation packet claims channels along the path.
+  enum class Policy {
+    /// The paper's protocol: tentatively reserve *every* still-available
+    /// channel at each hop; the destination picks one and the ACK
+    /// releases the rest.  Fewer NACKs, but over-reservation steals
+    /// channels from concurrent reservations.
+    kReserveAll,
+    /// Forward-binding alternative (cf. the wavelength-reservation
+    /// variants of [15]): bind a single channel at the first hop and
+    /// insist on it downstream.  No over-reservation, more NACKs.
+    kReserveOne,
+  };
+  Policy policy = Policy::kReserveAll;
+};
+
+/// Per-message timing of a dynamic run.
+struct DynamicMessageStats {
+  /// First time the source issued the reservation.
+  std::int64_t issued = -1;
+  /// Time the path was established (ACK received at the source).
+  std::int64_t established = -1;
+  /// Time the last payload arrived.
+  std::int64_t completed = -1;
+  /// Failed reservation attempts.
+  int retries = 0;
+};
+
+/// Result of a dynamic-communication run.
+struct DynamicResult {
+  /// Time until the last message's data is delivered.
+  std::int64_t total_slots = 0;
+  /// Sum of all reservation retries.
+  std::int64_t total_retries = 0;
+  /// False if the horizon was hit before every message completed.
+  bool completed = true;
+  /// True when, after draining all in-flight control packets, every
+  /// channel of every link returned to the free pool — the protocol's
+  /// conservation invariant (no leaked reservations).  Property tests
+  /// assert this on every run.
+  bool clean_shutdown = false;
+  std::vector<DynamicMessageStats> messages;
+};
+
+/// Runs the protocol on `net` for `messages`.  Every node queues its
+/// outgoing messages in input order and works on them one at a time
+/// (single request queue — the head-of-line discipline of the paper's
+/// Section 4.2 discussion).
+DynamicResult simulate_dynamic(const topo::Network& net,
+                               std::span<const Message> messages,
+                               const DynamicParams& params);
+
+}  // namespace optdm::sim

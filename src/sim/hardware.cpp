@@ -1,0 +1,136 @@
+#include "sim/hardware.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace optdm::sim {
+
+CompiledResult execute_on_hardware(const topo::Network& net,
+                                   const core::Schedule& schedule,
+                                   const core::SwitchProgram& program,
+                                   std::span<const Message> messages,
+                                   const CompiledParams& params) {
+  if (params.channel != ChannelKind::kTimeSlot)
+    throw std::invalid_argument(
+        "execute_on_hardware: register-cycled fabrics are TDM");
+  if (program.slot_count() != schedule.degree())
+    throw std::invalid_argument(
+        "execute_on_hardware: program does not match schedule");
+
+  CompiledResult result;
+  result.degree = schedule.degree();
+  result.messages.assign(messages.size(), CompiledMessageStats{});
+  if (messages.empty()) return result;
+  if (schedule.degree() == 0)
+    throw std::invalid_argument("execute_on_hardware: empty schedule");
+
+  const std::int64_t frame =
+      params.frame_slots > 0 ? params.frame_slots : schedule.degree();
+  if (frame < schedule.degree())
+    throw std::invalid_argument(
+        "execute_on_hardware: frame below the multiplexing degree");
+
+  // Dense per-slot routing tables compiled from the register program:
+  // next[slot][link] = link the crossbars forward it to.
+  const auto links = static_cast<std::size_t>(net.link_count());
+  std::vector<std::vector<topo::LinkId>> next(
+      static_cast<std::size_t>(schedule.degree()),
+      std::vector<topo::LinkId>(links, topo::kInvalidLink));
+  for (topo::NodeId sw = 0; sw < program.switch_count(); ++sw) {
+    for (int slot = 0; slot < program.slot_count(); ++slot) {
+      for (const auto& setting : program.state(sw, slot)) {
+        auto& cell = next[static_cast<std::size_t>(slot)]
+                         [static_cast<std::size_t>(setting.in_link)];
+        if (cell != topo::kInvalidLink)
+          throw std::logic_error(
+              "execute_on_hardware: in-port driven twice");
+        cell = setting.out_link;
+      }
+    }
+  }
+
+  // Transmission channels: one per scheduled connection instance, with
+  // the messages of that instance queued in input order (the same
+  // multiset semantics as simulate_compiled).
+  struct HwChannel {
+    int slot = 0;
+    core::Request request;
+    std::vector<std::size_t> queue;
+    std::size_t at = 0;
+    std::int64_t remaining = 0;
+  };
+  std::map<core::Request, std::vector<int>> instances;
+  for (int slot = 0; slot < schedule.degree(); ++slot)
+    for (const auto& path : schedule.configuration(slot).paths())
+      instances[path.request].push_back(slot);
+
+  std::map<std::pair<core::Request, int>, std::size_t> channel_index;
+  std::map<core::Request, std::size_t> next_instance;
+  std::vector<HwChannel> channels;
+  for (std::size_t m = 0; m < messages.size(); ++m) {
+    const auto& message = messages[m];
+    if (message.slots < 1)
+      throw std::invalid_argument("execute_on_hardware: message size < 1");
+    const auto it = instances.find(message.request);
+    if (it == instances.end())
+      throw std::invalid_argument(
+          "execute_on_hardware: message request not in the schedule");
+    const std::size_t which =
+        next_instance[message.request]++ % it->second.size();
+    const auto key = std::make_pair(message.request, static_cast<int>(which));
+    auto [entry, inserted] = channel_index.try_emplace(key, channels.size());
+    if (inserted)
+      channels.push_back(HwChannel{it->second[static_cast<std::size_t>(which)],
+                                   message.request,
+                                   {},
+                                   0,
+                                   0});
+    channels[entry->second].queue.push_back(m);
+  }
+  for (auto& channel : channels)
+    channel.remaining = messages[channel.queue.front()].slots;
+
+  std::size_t unfinished = channels.size();
+  for (std::int64_t t = params.setup_slots; unfinished > 0; ++t) {
+    const auto active = (t - params.setup_slots) % frame;
+    if (active >= schedule.degree()) continue;  // padded idle slot
+    const auto& table = next[static_cast<std::size_t>(active)];
+    for (auto& channel : channels) {
+      if (channel.slot != active) continue;
+      if (channel.at >= channel.queue.size()) continue;
+
+      // Drive the injection port and follow the crossbars.
+      topo::LinkId at = net.injection_link(channel.request.src);
+      int steps = 0;
+      while (net.link(at).kind != topo::LinkKind::kEjection) {
+        const auto out = table[static_cast<std::size_t>(at)];
+        if (out == topo::kInvalidLink)
+          throw std::logic_error("execute_on_hardware: walk dead-ends");
+        at = out;
+        if (++steps > net.link_count())
+          throw std::logic_error("execute_on_hardware: walk loops");
+      }
+      if (net.link(at).to != channel.request.dst)
+        throw std::logic_error(
+            "execute_on_hardware: payload delivered to the wrong node");
+
+      if (--channel.remaining == 0) {
+        const auto m = channel.queue[channel.at];
+        result.messages[m].slot = channel.slot;
+        result.messages[m].completed = t + 1;
+        ++channel.at;
+        if (channel.at < channel.queue.size())
+          channel.remaining = messages[channel.queue[channel.at]].slots;
+        else
+          --unfinished;
+      }
+    }
+  }
+
+  for (const auto& stats : result.messages)
+    result.total_slots = std::max(result.total_slots, stats.completed);
+  return result;
+}
+
+}  // namespace optdm::sim

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+
+#include "core/switch_program.hpp"
+#include "sim/compiled.hpp"
+
+/// \file hardware.hpp
+/// Switch-level execution of compiled communication: a model of what the
+/// *hardware* does, as opposed to the analytic channel model of
+/// `simulate_compiled`.
+///
+/// Each slot, every switch realizes the crossbar state its register
+/// program dictates; a source processor with pending data drives its
+/// injection port; the payload follows the crossbar settings hop by hop
+/// and is delivered at whichever processor's ejection port the walk ends
+/// at — the simulator does not *assume* the path, it discovers it from
+/// the switch states, exactly like light through the fabric.  Deliveries
+/// to the wrong processor, undriven walks, or port conflicts are hard
+/// errors.
+///
+/// Used by tests to cross-validate the entire chain
+/// (scheduler -> SwitchProgram -> transmission) against
+/// `simulate_compiled`: both must report identical per-message times.
+
+namespace optdm::sim {
+
+/// Executes `messages` on the fabric programmed by `program` (lowered
+/// from `schedule`).  Timing semantics match `simulate_compiled` with the
+/// same `params` (frame padding supported; `params.channel` must be
+/// kTimeSlot — a register-cycled fabric is inherently TDM).
+///
+/// Throws `std::logic_error` if the fabric misbehaves (a payload arrives
+/// at the wrong processor or a walk dead-ends) — by construction this
+/// means the switch program and the schedule disagree.
+CompiledResult execute_on_hardware(const topo::Network& net,
+                                   const core::Schedule& schedule,
+                                   const core::SwitchProgram& program,
+                                   std::span<const Message> messages,
+                                   const CompiledParams& params = {});
+
+}  // namespace optdm::sim

@@ -1,0 +1,28 @@
+#include "sim/message.hpp"
+
+#include <stdexcept>
+
+namespace optdm::sim {
+
+std::vector<Message> uniform_messages(const core::RequestSet& requests,
+                                      std::int64_t slots) {
+  if (slots < 1)
+    throw std::invalid_argument("uniform_messages: slots must be >= 1");
+  std::vector<Message> messages;
+  messages.reserve(requests.size());
+  for (const auto& request : requests)
+    messages.push_back(Message{request, slots});
+  return messages;
+}
+
+std::int64_t slots_for_elements(std::int64_t elements, int words_per_slot) {
+  if (words_per_slot < 1)
+    throw std::invalid_argument("slots_for_elements: bad words_per_slot");
+  if (elements < 0)
+    throw std::invalid_argument("slots_for_elements: negative element count");
+  const std::int64_t slots =
+      (elements + words_per_slot - 1) / words_per_slot;
+  return slots < 1 ? 1 : slots;
+}
+
+}  // namespace optdm::sim

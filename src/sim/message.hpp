@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/request.hpp"
+
+/// \file message.hpp
+/// Workload description for the network simulators: one message per
+/// connection request, sized in time slots.  One slot moves one
+/// slot-payload of data end-to-end over an established all-optical path
+/// (the propagation delay across the machine is far below a slot; see
+/// DESIGN.md section 6).
+
+namespace optdm::sim {
+
+/// How a link's K channels are realized.
+///
+/// * `kTimeSlot` — TDM, the paper's model: channel c is slot c of every
+///   frame of K slots; a connection moves one payload per frame, so its
+///   throughput is 1/K of the fiber rate.
+/// * `kWavelength` — WDM, the alternative the paper's introduction
+///   contrasts: channel c is its own wavelength running at the full
+///   electronic-limited rate, so K connections per fiber proceed
+///   concurrently without slowdown.  Scheduling math is identical (K
+///   channels per link); only the transmission-time model changes.
+enum class ChannelKind { kTimeSlot, kWavelength };
+
+/// One message to deliver.
+struct Message {
+  core::Request request;
+  /// Size in slot-payloads; must be >= 1.
+  std::int64_t slots = 1;
+};
+
+/// Builds a message list giving every request of a pattern the same size.
+std::vector<Message> uniform_messages(const core::RequestSet& requests,
+                                      std::int64_t slots);
+
+/// Converts an element count to slots: ceil(elements / words_per_slot),
+/// minimum 1.
+std::int64_t slots_for_elements(std::int64_t elements, int words_per_slot);
+
+}  // namespace optdm::sim

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "sim/message.hpp"
+
+/// \file multihop.hpp
+/// Logical-topology embedding — the paper's second strategy for handling
+/// *dynamic* communication patterns (Section 3): "use static TDM to embed
+/// a logical communication topology into the physical network and emulate
+/// communications in multihop systems."
+///
+/// The compiler schedules the logical topology's edge set once (e.g. a
+/// hypercube: 384 edges, K = 7 on the 8x8 torus); at run time every
+/// logical edge is a permanently established TDM channel.  An arbitrary
+/// message is routed over *logical* edges, stored and forwarded
+/// electronically at intermediate processors — no reservations, no
+/// reconfiguration, at the price of relay hops.
+///
+/// Contrast with the full-AAPC fallback (aapc::TorusAapc::full_schedule):
+/// one direct slot to every destination but a frame of N^3/8 slots,
+/// versus log-N relay hops over a frame of only K slots.
+/// `bench/extension_dynamic_patterns` compares the two and the
+/// reservation protocol.
+
+namespace optdm::sim {
+
+/// Chooses the next logical hop toward `dst` from `at`.  Must make
+/// progress over edges that exist in the embedded schedule; the simulator
+/// validates every step.
+using LogicalRouter =
+    std::function<topo::NodeId(topo::NodeId at, topo::NodeId dst)>;
+
+/// E-cube routing over a hypercube logical topology: corrects the lowest
+/// differing address bit first.
+topo::NodeId hypercube_next_hop(topo::NodeId at, topo::NodeId dst);
+
+/// Parameters of the multihop emulation.
+struct MultihopParams {
+  /// One-time register-load/synchronization cost, as in CompiledParams.
+  std::int64_t setup_slots = 3;
+  /// Electronic store-and-forward processing at each intermediate node.
+  std::int64_t relay_slots = 2;
+  /// Abort horizon.
+  std::int64_t horizon = 50'000'000;
+};
+
+/// Per-message outcome.
+struct MultihopMessageStats {
+  /// Logical hops traversed.
+  int hops = 0;
+  /// Delivery time of the last payload at the final destination.
+  std::int64_t completed = -1;
+};
+
+/// Result of a multihop run.
+struct MultihopResult {
+  std::int64_t total_slots = 0;
+  bool completed = true;
+  std::vector<MultihopMessageStats> messages;
+};
+
+/// Runs `messages` over the embedded logical topology `schedule` (the
+/// compiled edge set; an edge's TDM bandwidth is its number of scheduled
+/// instances).  Messages are stored and forwarded whole; each logical
+/// edge serves its FIFO queue one payload per owned slot.
+MultihopResult simulate_multihop(const core::Schedule& schedule,
+                                 std::span<const Message> messages,
+                                 const LogicalRouter& router,
+                                 const MultihopParams& params = {});
+
+}  // namespace optdm::sim

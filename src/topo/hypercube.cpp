@@ -1,0 +1,60 @@
+#include "topo/hypercube.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace optdm::topo {
+
+HypercubeNetwork::HypercubeNetwork(int nodes) : Network(nodes) {
+  if (nodes < 2 || !std::has_single_bit(static_cast<unsigned>(nodes)))
+    throw std::invalid_argument(
+        "HypercubeNetwork: node count must be a power of two >= 2");
+  dims_ = std::countr_zero(static_cast<unsigned>(nodes));
+  add_processor_links();
+  out_.assign(static_cast<std::size_t>(nodes) *
+                  static_cast<std::size_t>(dims_),
+              kInvalidLink);
+  for (NodeId n = 0; n < nodes; ++n) {
+    for (int bit = 0; bit < dims_; ++bit) {
+      out_[static_cast<std::size_t>(n) * static_cast<std::size_t>(dims_) +
+           static_cast<std::size_t>(bit)] =
+          add_link(n, n ^ (1 << bit), LinkKind::kNetwork,
+                   static_cast<std::int8_t>(bit),
+                   static_cast<std::int8_t>((n >> bit) & 1 ? -1 : +1));
+    }
+  }
+}
+
+std::vector<LinkId> HypercubeNetwork::route_links(NodeId src,
+                                                  NodeId dst) const {
+  if (src < 0 || src >= node_count() || dst < 0 || dst >= node_count())
+    throw std::out_of_range("HypercubeNetwork::route_links: bad endpoints");
+  std::vector<LinkId> result;
+  NodeId at = src;
+  // E-cube: correct differing address bits from least to most significant.
+  for (int bit = 0; bit < dims_; ++bit) {
+    if (((at ^ dst) >> bit) & 1) {
+      result.push_back(neighbor_link(at, bit));
+      at ^= 1 << bit;
+    }
+  }
+  return result;
+}
+
+int HypercubeNetwork::route_hops(NodeId src, NodeId dst) const {
+  return std::popcount(static_cast<unsigned>(src ^ dst));
+}
+
+LinkId HypercubeNetwork::neighbor_link(NodeId node, int bit) const {
+  if (node < 0 || node >= node_count() || bit < 0 || bit >= dims_)
+    throw std::out_of_range("HypercubeNetwork::neighbor_link: bad node/bit");
+  return out_[static_cast<std::size_t>(node) *
+                  static_cast<std::size_t>(dims_) +
+              static_cast<std::size_t>(bit)];
+}
+
+std::string HypercubeNetwork::name() const {
+  return "hypercube(" + std::to_string(node_count()) + ")";
+}
+
+}  // namespace optdm::topo

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "topo/network.hpp"
+
+/// \file hypercube.hpp
+/// Binary hypercube as a direct all-optical topology (one switch per
+/// node, one fiber pair per dimension).  The paper uses the hypercube
+/// only as a *logical* pattern (TSCF); this network lets the same pattern
+/// run on its native topology for the cross-topology extension bench.
+
+namespace optdm::topo {
+
+/// d-dimensional hypercube with deterministic e-cube routing (dimensions
+/// corrected in increasing bit order).
+class HypercubeNetwork final : public Network {
+ public:
+  /// `nodes` must be a power of two >= 2.
+  explicit HypercubeNetwork(int nodes);
+
+  int dimensions() const noexcept { return dims_; }
+
+  std::vector<LinkId> route_links(NodeId src, NodeId dst) const override;
+  int route_hops(NodeId src, NodeId dst) const override;
+
+  /// Outgoing link of `node` along dimension `bit`.
+  LinkId neighbor_link(NodeId node, int bit) const;
+
+  std::string name() const override;
+
+ private:
+  int dims_ = 0;
+  /// [node * dims + bit] -> link to node ^ (1 << bit).
+  std::vector<LinkId> out_;
+};
+
+}  // namespace optdm::topo

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file ids.hpp
+/// Strongly-named index types for the network substrate.
+///
+/// Signed 32-bit indices are used throughout (C++ Core Guidelines ES.102):
+/// all arithmetic on coordinates and displacements is signed, and the
+/// largest networks exercised here are far below the 2^31 limit.
+
+namespace optdm::topo {
+
+/// Index of a processor (and its associated electro-optical switch).
+using NodeId = std::int32_t;
+
+/// Index of a directed link.  Links are unidirectional: one optical fiber
+/// direction, or one side of the processor/switch interface.
+using LinkId = std::int32_t;
+
+/// Sentinel for "no node" / "no link".
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr LinkId kInvalidLink = -1;
+
+/// Classification of a directed link.
+///
+/// Injection and ejection links model the processor<->switch interface of
+/// the paper's 5x5 torus switch (Fig. 1): one crossbar in-port is fed by the
+/// local processor (injection) and one out-port drives it (ejection).
+/// Making them first-class links lets "two connections conflict iff their
+/// paths share a directed link" subsume every crossbar port conflict; see
+/// DESIGN.md section 4.
+enum class LinkKind : std::uint8_t {
+  kInjection,  ///< processor -> local switch
+  kEjection,   ///< local switch -> processor
+  kNetwork,    ///< switch -> neighboring switch (one fiber direction)
+};
+
+}  // namespace optdm::topo

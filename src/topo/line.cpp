@@ -1,0 +1,100 @@
+#include "topo/line.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace optdm::topo {
+
+LinearNetwork::LinearNetwork(int nodes) : Network(nodes) {
+  if (nodes < 2)
+    throw std::invalid_argument("LinearNetwork: need at least 2 nodes");
+  add_processor_links();
+  out_.assign(static_cast<std::size_t>(nodes), {kInvalidLink, kInvalidLink});
+  for (NodeId n = 0; n + 1 < nodes; ++n) {
+    out_[static_cast<std::size_t>(n)][0] =
+        add_link(n, n + 1, LinkKind::kNetwork, 0, +1);
+    out_[static_cast<std::size_t>(n + 1)][1] =
+        add_link(n + 1, n, LinkKind::kNetwork, 0, -1);
+  }
+}
+
+std::vector<LinkId> LinearNetwork::route_links(NodeId src, NodeId dst) const {
+  std::vector<LinkId> result;
+  const int step = dst >= src ? +1 : -1;
+  result.reserve(static_cast<std::size_t>(std::abs(dst - src)));
+  for (NodeId n = src; n != dst; n += step)
+    result.push_back(neighbor_link(n, step));
+  return result;
+}
+
+int LinearNetwork::route_hops(NodeId src, NodeId dst) const {
+  return std::abs(dst - src);
+}
+
+LinkId LinearNetwork::neighbor_link(NodeId node, int dir) const {
+  if (node < 0 || node >= node_count())
+    throw std::out_of_range("LinearNetwork::neighbor_link: bad node");
+  return out_[static_cast<std::size_t>(node)][dir < 0 ? 1u : 0u];
+}
+
+std::string LinearNetwork::name() const {
+  return "linear(" + std::to_string(node_count()) + ")";
+}
+
+RingNetwork::RingNetwork(int nodes) : Network(nodes) {
+  if (nodes < 2)
+    throw std::invalid_argument("RingNetwork: need at least 2 nodes");
+  add_processor_links();
+  out_.assign(static_cast<std::size_t>(nodes), {kInvalidLink, kInvalidLink});
+  for (NodeId n = 0; n < nodes; ++n) {
+    const NodeId next = (n + 1) % nodes;
+    out_[static_cast<std::size_t>(n)][0] =
+        add_link(n, next, LinkKind::kNetwork, 0, +1);
+    out_[static_cast<std::size_t>(next)][1] =
+        add_link(next, n, LinkKind::kNetwork, 0, -1);
+  }
+}
+
+std::vector<LinkId> RingNetwork::route_links(NodeId src, NodeId dst) const {
+  const int n = node_count();
+  const std::int32_t fwd = (dst - src + n) % n;
+  const std::int32_t bwd = n - fwd;
+  if (fwd == 0) return {};
+  // Half-ring ties split by source parity, matching TorusNetwork.
+  const int dir = fwd == bwd ? (src % 2 == 0 ? +1 : -1)
+                             : (fwd < bwd ? +1 : -1);
+  return route_links_dir(src, dst, dir);
+}
+
+int RingNetwork::route_hops(NodeId src, NodeId dst) const {
+  const int n = node_count();
+  const std::int32_t fwd = (dst - src + n) % n;
+  return std::min(fwd, n - fwd);
+}
+
+std::vector<LinkId> RingNetwork::route_links_dir(NodeId src, NodeId dst,
+                                                 int dir) const {
+  if (dir != 1 && dir != -1)
+    throw std::invalid_argument("RingNetwork::route_links_dir: dir is +-1");
+  const int n = node_count();
+  std::vector<LinkId> result;
+  for (NodeId at = src; at != dst;) {
+    result.push_back(neighbor_link(at, dir));
+    at = (at + dir + n) % n;
+    if (static_cast<int>(result.size()) > n)
+      throw std::logic_error("RingNetwork: route did not terminate");
+  }
+  return result;
+}
+
+LinkId RingNetwork::neighbor_link(NodeId node, int dir) const {
+  if (node < 0 || node >= node_count())
+    throw std::out_of_range("RingNetwork::neighbor_link: bad node");
+  return out_[static_cast<std::size_t>(node)][dir < 0 ? 1u : 0u];
+}
+
+std::string RingNetwork::name() const {
+  return "ring(" + std::to_string(node_count()) + ")";
+}
+
+}  // namespace optdm::topo

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "topo/network.hpp"
+
+/// \file line.hpp
+/// One-dimensional topologies: the linear array used by the paper's Fig. 3
+/// counter-example, and the ring (a 1-D torus).
+
+namespace optdm::topo {
+
+/// Linear array: nodes 0..n-1 with unidirectional links in both directions
+/// between adjacent nodes, no wraparound.  Routing is the unique monotone
+/// path.
+class LinearNetwork final : public Network {
+ public:
+  explicit LinearNetwork(int nodes);
+
+  std::vector<LinkId> route_links(NodeId src, NodeId dst) const override;
+  int route_hops(NodeId src, NodeId dst) const override;
+
+  /// Outgoing link of `node` in direction `dir` (+1 / -1);
+  /// `kInvalidLink` at the array ends.
+  LinkId neighbor_link(NodeId node, int dir) const;
+
+  std::string name() const override;
+
+ private:
+  /// [node][dir<0] -> link id.
+  std::vector<std::array<LinkId, 2>> out_;
+};
+
+/// Ring: nodes 0..n-1 on a cycle with one fiber per direction.  Routing
+/// takes the shorter way around; ties (displacement n/2 on even n) split
+/// by source parity, matching `TorusNetwork`.
+class RingNetwork final : public Network {
+ public:
+  explicit RingNetwork(int nodes);
+
+  std::vector<LinkId> route_links(NodeId src, NodeId dst) const override;
+  int route_hops(NodeId src, NodeId dst) const override;
+
+  /// Route with an explicit direction choice (used by the ring AAPC
+  /// schedule, which balances half-ring connections across directions).
+  std::vector<LinkId> route_links_dir(NodeId src, NodeId dst, int dir) const;
+
+  LinkId neighbor_link(NodeId node, int dir) const;
+
+  std::string name() const override;
+
+ private:
+  std::vector<std::array<LinkId, 2>> out_;
+};
+
+}  // namespace optdm::topo

@@ -1,0 +1,80 @@
+#include "topo/mesh.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace optdm::topo {
+
+MeshNetwork::MeshNetwork(int cols, int rows)
+    : Network(cols * rows), cols_(cols), rows_(rows) {
+  if (cols < 2 || rows < 2)
+    throw std::invalid_argument("MeshNetwork: both dimensions must be >= 2");
+  add_processor_links();
+  out_.assign(static_cast<std::size_t>(node_count()),
+              {kInvalidLink, kInvalidLink, kInvalidLink, kInvalidLink});
+  for (NodeId n = 0; n < node_count(); ++n) {
+    const Coord c = coord(n);
+    auto& slots = out_[static_cast<std::size_t>(n)];
+    if (c.x + 1 < cols_)
+      slots[0] = add_link(n, node_at({c.x + 1, c.y}), LinkKind::kNetwork, 0, +1);
+    if (c.x > 0)
+      slots[1] = add_link(n, node_at({c.x - 1, c.y}), LinkKind::kNetwork, 0, -1);
+    if (c.y + 1 < rows_)
+      slots[2] = add_link(n, node_at({c.x, c.y + 1}), LinkKind::kNetwork, 1, +1);
+    if (c.y > 0)
+      slots[3] = add_link(n, node_at({c.x, c.y - 1}), LinkKind::kNetwork, 1, -1);
+  }
+}
+
+Coord MeshNetwork::coord(NodeId node) const noexcept {
+  return Coord{node % cols_, node / cols_};
+}
+
+NodeId MeshNetwork::node_at(Coord c) const noexcept {
+  return c.y * cols_ + c.x;
+}
+
+std::vector<LinkId> MeshNetwork::route_links(NodeId src, NodeId dst) const {
+  const Coord s = coord(src);
+  const Coord d = coord(dst);
+  std::vector<LinkId> result;
+  result.reserve(
+      static_cast<std::size_t>(std::abs(d.x - s.x) + std::abs(d.y - s.y)));
+  std::int32_t x = s.x;
+  const int xstep = d.x >= s.x ? +1 : -1;
+  while (x != d.x) {
+    result.push_back(neighbor_link(node_at({x, s.y}), 0, xstep));
+    x += xstep;
+  }
+  std::int32_t y = s.y;
+  const int ystep = d.y >= s.y ? +1 : -1;
+  while (y != d.y) {
+    result.push_back(neighbor_link(node_at({d.x, y}), 1, ystep));
+    y += ystep;
+  }
+  return result;
+}
+
+int MeshNetwork::route_hops(NodeId src, NodeId dst) const {
+  const Coord s = coord(src);
+  const Coord d = coord(dst);
+  return std::abs(d.x - s.x) + std::abs(d.y - s.y);
+}
+
+LinkId MeshNetwork::neighbor_link(NodeId node, int dim, int dir) const {
+  if (node < 0 || node >= node_count())
+    throw std::out_of_range("MeshNetwork::neighbor_link: bad node");
+  if (dim < 0 || dim > 1 || (dir != 1 && dir != -1))
+    throw std::out_of_range("MeshNetwork::neighbor_link: bad dim/dir");
+  const LinkId id = out_[static_cast<std::size_t>(node)]
+                        [static_cast<std::size_t>(dim * 2 + (dir < 0 ? 1 : 0))];
+  if (id == kInvalidLink)
+    throw std::out_of_range("MeshNetwork::neighbor_link: off the mesh edge");
+  return id;
+}
+
+std::string MeshNetwork::name() const {
+  return "mesh(" + std::to_string(cols_) + "x" + std::to_string(rows_) + ")";
+}
+
+}  // namespace optdm::topo

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "topo/network.hpp"
+#include "topo/torus.hpp"
+
+/// \file mesh.hpp
+/// 2-D mesh (torus without wraparound links).  Not evaluated in the paper;
+/// provided so scheduling results can be contrasted against the torus (the
+/// mesh's edge links make dense patterns strictly harder) and used in
+/// property tests as a second 2-D topology.
+
+namespace optdm::topo {
+
+/// 2-D mesh with deterministic XY routing (monotone in each dimension).
+class MeshNetwork final : public Network {
+ public:
+  MeshNetwork(int cols, int rows);
+
+  int cols() const noexcept { return cols_; }
+  int rows() const noexcept { return rows_; }
+
+  Coord coord(NodeId node) const noexcept;
+  NodeId node_at(Coord c) const noexcept;
+
+  std::vector<LinkId> route_links(NodeId src, NodeId dst) const override;
+  int route_hops(NodeId src, NodeId dst) const override;
+
+  LinkId neighbor_link(NodeId node, int dim, int dir) const;
+
+  std::string name() const override;
+
+ private:
+  int cols_;
+  int rows_;
+  std::vector<std::array<LinkId, 4>> out_;
+};
+
+}  // namespace optdm::topo

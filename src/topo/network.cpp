@@ -1,0 +1,49 @@
+#include "topo/network.hpp"
+
+#include <stdexcept>
+
+namespace optdm::topo {
+
+Network::Network(int node_count) : Network(node_count, node_count) {}
+
+Network::Network(int node_count, int vertex_count)
+    : node_count_(node_count), vertex_count_(vertex_count) {
+  if (node_count <= 0)
+    throw std::invalid_argument("Network: node_count must be positive");
+  if (vertex_count < node_count)
+    throw std::invalid_argument("Network: vertex_count < node_count");
+  injection_.assign(static_cast<std::size_t>(node_count), kInvalidLink);
+  ejection_.assign(static_cast<std::size_t>(node_count), kInvalidLink);
+}
+
+LinkId Network::add_link(NodeId from, NodeId to, LinkKind kind,
+                         std::int8_t dim, std::int8_t dir) {
+  if (from < 0 || from >= vertex_count_ || to < 0 || to >= vertex_count_)
+    throw std::out_of_range("Network::add_link: endpoint out of range");
+  const auto id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{id, from, to, kind, dim, dir});
+  return id;
+}
+
+void Network::add_processor_links() {
+  for (NodeId n = 0; n < node_count_; ++n) add_processor_links_at(n, n, n);
+}
+
+void Network::add_processor_links_at(NodeId node, NodeId in_switch,
+                                     NodeId out_switch) {
+  if (node < 0 || node >= node_count_)
+    throw std::out_of_range("Network::add_processor_links_at: bad node");
+  auto& inj = injection_[static_cast<std::size_t>(node)];
+  auto& ej = ejection_[static_cast<std::size_t>(node)];
+  if (inj != kInvalidLink || ej != kInvalidLink)
+    throw std::logic_error(
+        "Network::add_processor_links_at: node already has processor links");
+  inj = add_link(node, in_switch, LinkKind::kInjection, -1, 0);
+  ej = add_link(out_switch, node, LinkKind::kEjection, -1, 0);
+}
+
+int Network::route_hops(NodeId src, NodeId dst) const {
+  return static_cast<int>(route_links(src, dst).size());
+}
+
+}  // namespace optdm::topo

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "topo/ids.hpp"
+
+/// \file network.hpp
+/// Abstract all-optical network: a set of switches (one per processor)
+/// joined by directed links, plus deterministic single-path routing.
+
+namespace optdm::topo {
+
+/// One directed link of the network.
+///
+/// Link endpoints are *vertex* ids.  In direct topologies (torus, mesh,
+/// ring, linear array) every vertex is a node: each processor sits at its
+/// own switch, and its injection/ejection links are self-loops at that
+/// vertex.  Indirect topologies (the Omega multistage network) add
+/// internal switch vertices with ids >= node_count(); there the injection
+/// link runs from the PE vertex into the first-stage switch and the
+/// ejection link from the last-stage switch back to the PE vertex.
+struct Link {
+  LinkId id = kInvalidLink;
+  /// Vertex the link leaves.  For an injection link this is the node
+  /// whose processor feeds the switch.
+  NodeId from = kInvalidNode;
+  /// Vertex the link enters.  For an ejection link, the node whose
+  /// processor is driven.
+  NodeId to = kInvalidNode;
+  LinkKind kind = LinkKind::kNetwork;
+  /// Dimension of a network link (0 = x, 1 = y, ...); -1 for
+  /// injection/ejection links.
+  std::int8_t dim = -1;
+  /// Direction along `dim`: +1 or -1; 0 for injection/ejection links.
+  std::int8_t dir = 0;
+};
+
+/// Base class for concrete topologies (torus, mesh, linear array, ring).
+///
+/// A `Network` owns an immutable link table built at construction.  Every
+/// node has exactly one injection link and one ejection link; network links
+/// depend on the topology.  Deterministic routing is exposed through
+/// `route_links`, which returns the *network* links of the unique path the
+/// topology's router selects for a source/destination pair (injection and
+/// ejection links are added by `core::make_path`).
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Number of processors.
+  int node_count() const noexcept { return node_count_; }
+
+  /// Number of vertices (processors plus any internal switch vertices;
+  /// equals `node_count()` for direct topologies).
+  int vertex_count() const noexcept { return vertex_count_; }
+
+  /// Number of directed links, including injection/ejection links.
+  int link_count() const noexcept { return static_cast<int>(links_.size()); }
+
+  const Link& link(LinkId id) const {
+    assert(id >= 0 && id < link_count());
+    return links_[static_cast<std::size_t>(id)];
+  }
+
+  std::span<const Link> links() const noexcept { return links_; }
+
+  /// The processor->switch link of `node`.
+  LinkId injection_link(NodeId node) const {
+    assert(node >= 0 && node < node_count_);
+    return injection_[static_cast<std::size_t>(node)];
+  }
+
+  /// The switch->processor link of `node`.
+  LinkId ejection_link(NodeId node) const {
+    assert(node >= 0 && node < node_count_);
+    return ejection_[static_cast<std::size_t>(node)];
+  }
+
+  /// Network links (in traversal order) of the deterministic route from
+  /// `src` to `dst`.  Empty when `src == dst`.  The route is loop-free and
+  /// identical across calls (compiled communication requires the compiler
+  /// and the "hardware" to agree on routes).
+  virtual std::vector<LinkId> route_links(NodeId src, NodeId dst) const = 0;
+
+  /// Number of network links on the deterministic route (cheaper than
+  /// materializing the route).
+  virtual int route_hops(NodeId src, NodeId dst) const;
+
+  /// Human-readable topology name, e.g. "torus(8x8)".
+  virtual std::string name() const = 0;
+
+ protected:
+  /// Direct topology: every vertex is a node.
+  explicit Network(int node_count);
+
+  /// Indirect topology: `vertex_count >= node_count` vertices, of which
+  /// the first `node_count` are PEs and the rest internal switches.
+  Network(int node_count, int vertex_count);
+
+  /// Registers one directed link; returns its id.  Only for constructors
+  /// of concrete topologies.
+  LinkId add_link(NodeId from, NodeId to, LinkKind kind, std::int8_t dim,
+                  std::int8_t dir);
+
+  /// Adds the self-loop injection/ejection link pair for every node (the
+  /// direct-topology layout).  Must be called exactly once, before any
+  /// network links are added, so link ids stay dense per node.
+  void add_processor_links();
+
+  /// Adds the processor links of one node of an indirect topology: the
+  /// injection link enters `in_switch`, the ejection link leaves
+  /// `out_switch`.
+  void add_processor_links_at(NodeId node, NodeId in_switch,
+                              NodeId out_switch);
+
+ private:
+  int node_count_ = 0;
+  int vertex_count_ = 0;
+  std::vector<Link> links_;
+  std::vector<LinkId> injection_;
+  std::vector<LinkId> ejection_;
+};
+
+}  // namespace optdm::topo

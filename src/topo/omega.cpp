@@ -1,0 +1,93 @@
+#include "topo/omega.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace optdm::topo {
+
+namespace {
+int log2_of(int nodes) {
+  if (nodes < 2 || !std::has_single_bit(static_cast<unsigned>(nodes)))
+    throw std::invalid_argument(
+        "OmegaNetwork: node count must be a power of two >= 2");
+  return std::countr_zero(static_cast<unsigned>(nodes));
+}
+}  // namespace
+
+OmegaNetwork::OmegaNetwork(int nodes)
+    : Network(nodes, nodes + log2_of(nodes) * (nodes / 2)),
+      stages_(log2_of(nodes)),
+      rails_(nodes) {
+  const int per_stage = rails_ / 2;
+
+  // Injection: PE i feeds rail i, which the first shuffle carries into
+  // switch shuffle(i)/2 of stage 0.
+  for (NodeId i = 0; i < rails_; ++i) {
+    const auto s0 = shuffle(i);
+    add_processor_links_at(i, switch_vertex(0, s0 / 2),
+                           /*out_switch=*/switch_vertex(stages_ - 1, i / 2));
+  }
+
+  // Inter-stage wires: switch (s, k) drives rails 2k and 2k+1; the
+  // shuffle in front of stage s+1 routes rail r to switch shuffle(r)/2.
+  out_.assign(static_cast<std::size_t>(stages_) *
+                  static_cast<std::size_t>(per_stage),
+              {kInvalidLink, kInvalidLink});
+  for (int s = 0; s + 1 < stages_; ++s) {
+    for (int k = 0; k < per_stage; ++k) {
+      for (int port = 0; port < 2; ++port) {
+        const std::int32_t rail = 2 * k + port;
+        const auto next = shuffle(rail);
+        out_[static_cast<std::size_t>(s * per_stage + k)]
+            [static_cast<std::size_t>(port)] =
+                add_link(switch_vertex(s, k), switch_vertex(s + 1, next / 2),
+                         LinkKind::kNetwork, static_cast<std::int8_t>(s),
+                         static_cast<std::int8_t>(port == 0 ? -1 : +1));
+      }
+    }
+  }
+}
+
+NodeId OmegaNetwork::switch_vertex(int stage, int index) const {
+  if (stage < 0 || stage >= stages_ || index < 0 || index >= rails_ / 2)
+    throw std::out_of_range("OmegaNetwork::switch_vertex: bad stage/index");
+  return node_count() + stage * (rails_ / 2) + index;
+}
+
+std::int32_t OmegaNetwork::shuffle(std::int32_t rail) const noexcept {
+  const auto top = (rail >> (stages_ - 1)) & 1;
+  return ((rail << 1) | top) & (rails_ - 1);
+}
+
+std::vector<LinkId> OmegaNetwork::route_links(NodeId src, NodeId dst) const {
+  if (src < 0 || src >= node_count() || dst < 0 || dst >= node_count())
+    throw std::out_of_range("OmegaNetwork::route_links: bad endpoints");
+  std::vector<LinkId> result;
+  result.reserve(static_cast<std::size_t>(stages_ - 1));
+  // Destination-tag self-routing: after the initial shuffle the packet
+  // sits in switch shuffle(src)/2; at stage s it exits on the port equal
+  // to destination bit (stages-1-s), which the next shuffle carries to
+  // the right stage-(s+1) switch.  After the last stage the rail index
+  // equals dst.
+  std::int32_t rail = shuffle(src);
+  for (int s = 0; s + 1 < stages_; ++s) {
+    const int k = rail / 2;
+    const int port = (dst >> (stages_ - 1 - s)) & 1;
+    result.push_back(out_[static_cast<std::size_t>(s * (rails_ / 2) + k)]
+                         [static_cast<std::size_t>(port)]);
+    rail = shuffle(2 * k + port);
+  }
+  return result;
+}
+
+int OmegaNetwork::route_hops(NodeId src, NodeId dst) const {
+  (void)src;
+  (void)dst;
+  return stages_ - 1;
+}
+
+std::string OmegaNetwork::name() const {
+  return "omega(" + std::to_string(node_count()) + ")";
+}
+
+}  // namespace optdm::topo

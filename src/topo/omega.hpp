@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "topo/network.hpp"
+
+/// \file omega.hpp
+/// Omega multistage interconnection network (MIN) — the architecture of
+/// the paper's companion work on TDM reconfiguration (Qiao & Melhem [13],
+/// "Reconfiguration with Time Division Multiplexed MINs").  Provided as a
+/// second all-optical topology so the scheduling algorithms can be
+/// compared across network classes (`bench/extension_topologies`).
+///
+/// Structure: N = 2^s processors, s stages of N/2 two-by-two switches,
+/// with a perfect-shuffle wiring before every stage.  Each (src, dst)
+/// pair has a *unique* path selected by destination-tag self-routing: at
+/// stage k the packet exits on the port matching bit (s-1-k) of the
+/// destination.  Two connections conflict when their unique paths share a
+/// wire or a switch port — the classic Omega blocking structure, which
+/// TDM resolves by time-multiplexing the conflicting connections.
+
+namespace optdm::topo {
+
+/// Omega MIN with unique-path destination-tag routing.
+class OmegaNetwork final : public Network {
+ public:
+  /// `nodes` must be a power of two >= 2.
+  explicit OmegaNetwork(int nodes);
+
+  /// Number of switch stages (log2 of the node count).
+  int stage_count() const noexcept { return stages_; }
+
+  /// Vertex id of switch `index` of `stage` (index in [0, nodes/2)).
+  NodeId switch_vertex(int stage, int index) const;
+
+  std::vector<LinkId> route_links(NodeId src, NodeId dst) const override;
+  int route_hops(NodeId src, NodeId dst) const override;
+
+  std::string name() const override;
+
+ private:
+  /// Perfect shuffle: rotate the rail index left by one bit.
+  std::int32_t shuffle(std::int32_t rail) const noexcept;
+
+  int stages_ = 0;
+  int rails_ = 0;  // == node count
+  /// Inter-stage link leaving switch (stage, index) on port b:
+  /// [stage * (rails/2) + index][b]; empty for the last stage.
+  std::vector<std::array<LinkId, 2>> out_;
+};
+
+}  // namespace optdm::topo

@@ -1,0 +1,119 @@
+#include "topo/torus.hpp"
+
+#include <stdexcept>
+
+namespace optdm::topo {
+
+namespace {
+std::int32_t wrap(std::int32_t v, std::int32_t size) noexcept {
+  v %= size;
+  return v < 0 ? v + size : v;
+}
+}  // namespace
+
+TorusNetwork::TorusNetwork(int cols, int rows)
+    : Network(cols * rows), cols_(cols), rows_(rows) {
+  if (cols < 2 || rows < 2)
+    throw std::invalid_argument("TorusNetwork: both dimensions must be >= 2");
+  add_processor_links();
+  out_.assign(static_cast<std::size_t>(node_count()),
+              {kInvalidLink, kInvalidLink, kInvalidLink, kInvalidLink});
+  for (NodeId n = 0; n < node_count(); ++n) {
+    const Coord c = coord(n);
+    const NodeId xp = node_at({wrap(c.x + 1, cols_), c.y});
+    const NodeId xm = node_at({wrap(c.x - 1, cols_), c.y});
+    const NodeId yp = node_at({c.x, wrap(c.y + 1, rows_)});
+    const NodeId ym = node_at({c.x, wrap(c.y - 1, rows_)});
+    auto& slots = out_[static_cast<std::size_t>(n)];
+    slots[0] = add_link(n, xp, LinkKind::kNetwork, 0, +1);
+    slots[1] = add_link(n, xm, LinkKind::kNetwork, 0, -1);
+    slots[2] = add_link(n, yp, LinkKind::kNetwork, 1, +1);
+    slots[3] = add_link(n, ym, LinkKind::kNetwork, 1, -1);
+  }
+}
+
+Coord TorusNetwork::coord(NodeId node) const noexcept {
+  return Coord{node % cols_, node / cols_};
+}
+
+NodeId TorusNetwork::node_at(Coord c) const noexcept {
+  return c.y * cols_ + c.x;
+}
+
+std::int32_t TorusNetwork::ring_displacement(std::int32_t a, std::int32_t b,
+                                             std::int32_t size, RingDir dir) {
+  const std::int32_t fwd = wrap(b - a, size);  // hops going +
+  if (fwd == 0) return 0;
+  const std::int32_t bwd = size - fwd;  // hops going -
+  switch (dir) {
+    case RingDir::kPositive:
+      return fwd;
+    case RingDir::kNegative:
+      return -bwd;
+    case RingDir::kAuto:
+      break;
+  }
+  if (fwd == bwd) {
+    // Half-ring displacement on an even ring: both directions are
+    // shortest.  Deterministically split by source parity so the two
+    // directed rings share the load — routing everything one way doubles
+    // the worst-link congestion of dense patterns.
+    return a % 2 == 0 ? fwd : -bwd;
+  }
+  return fwd < bwd ? fwd : -bwd;
+}
+
+std::vector<LinkId> TorusNetwork::route_links(NodeId src, NodeId dst) const {
+  return route_links_dirs(src, dst, RingDir::kAuto, RingDir::kAuto);
+}
+
+int TorusNetwork::route_hops(NodeId src, NodeId dst) const {
+  const Coord s = coord(src);
+  const Coord d = coord(dst);
+  const auto dx = ring_displacement(s.x, d.x, cols_, RingDir::kAuto);
+  const auto dy = ring_displacement(s.y, d.y, rows_, RingDir::kAuto);
+  return std::abs(dx) + std::abs(dy);
+}
+
+std::vector<LinkId> TorusNetwork::route_links_dirs(NodeId src, NodeId dst,
+                                                   RingDir xdir,
+                                                   RingDir ydir) const {
+  const Coord s = coord(src);
+  const Coord d = coord(dst);
+  const std::int32_t dx = ring_displacement(s.x, d.x, cols_, xdir);
+  const std::int32_t dy = ring_displacement(s.y, d.y, rows_, ydir);
+
+  std::vector<LinkId> result;
+  result.reserve(static_cast<std::size_t>(std::abs(dx) + std::abs(dy)));
+
+  // X-dimension first (row of the source), then Y (column of the
+  // destination): classic dimension-order routing.
+  std::int32_t x = s.x;
+  const int xstep = dx >= 0 ? +1 : -1;
+  for (std::int32_t i = 0; i < std::abs(dx); ++i) {
+    result.push_back(neighbor_link(node_at({x, s.y}), 0, xstep));
+    x = wrap(x + xstep, cols_);
+  }
+  std::int32_t y = s.y;
+  const int ystep = dy >= 0 ? +1 : -1;
+  for (std::int32_t i = 0; i < std::abs(dy); ++i) {
+    result.push_back(neighbor_link(node_at({d.x, y}), 1, ystep));
+    y = wrap(y + ystep, rows_);
+  }
+  return result;
+}
+
+LinkId TorusNetwork::neighbor_link(NodeId node, int dim, int dir) const {
+  if (node < 0 || node >= node_count())
+    throw std::out_of_range("TorusNetwork::neighbor_link: bad node");
+  if (dim < 0 || dim > 1 || (dir != 1 && dir != -1))
+    throw std::out_of_range("TorusNetwork::neighbor_link: bad dim/dir");
+  return out_[static_cast<std::size_t>(node)]
+             [static_cast<std::size_t>(dim * 2 + (dir < 0 ? 1 : 0))];
+}
+
+std::string TorusNetwork::name() const {
+  return "torus(" + std::to_string(cols_) + "x" + std::to_string(rows_) + ")";
+}
+
+}  // namespace optdm::topo

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "topo/network.hpp"
+
+/// \file torus.hpp
+/// 2-D torus of electro-optical crossbar switches — the topology the paper
+/// evaluates (an 8x8 torus in Sections 3.4 and 4).  Each node's 5x5 switch
+/// is modeled implicitly: one injection link, one ejection link, and four
+/// outgoing fibers (+x, -x, +y, -y).
+
+namespace optdm::topo {
+
+/// (x, y) coordinate of a torus/mesh node.
+struct Coord {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Direction choice for one dimension of a torus route.
+enum class RingDir : std::int8_t {
+  kAuto = 0,      ///< shortest direction; ties broken toward +.
+  kPositive = 1,  ///< force the +dir ring direction.
+  kNegative = -1  ///< force the -dir ring direction.
+};
+
+/// 2-D wraparound torus with deterministic dimension-order (XY) routing.
+///
+/// Routing traverses the x-dimension ring first (in the row of the source),
+/// then the y-dimension ring (in the column of the destination).  Each
+/// dimension takes the shorter ring direction; when the two directions are
+/// the same length (displacement of exactly half the ring on an even-size
+/// ring) the direction is chosen by source parity, splitting such routes
+/// evenly between the two directed rings.  `route_links_dirs` lets a caller
+/// (the AAPC phase generator) override the direction per dimension while
+/// keeping the same XY structure.
+class TorusNetwork final : public Network {
+ public:
+  /// Builds a `cols` x `rows` torus.  Both dimensions must be >= 2 (a
+  /// one-wide torus has no distinct ring).
+  TorusNetwork(int cols, int rows);
+
+  int cols() const noexcept { return cols_; }
+  int rows() const noexcept { return rows_; }
+
+  Coord coord(NodeId node) const noexcept;
+  NodeId node_at(Coord c) const noexcept;
+
+  /// Signed displacement from `a` to `b` along a ring of size `size` under
+  /// `dir` (kAuto = shortest, ties to +).  The result's absolute value is
+  /// the hop count in that dimension.
+  static std::int32_t ring_displacement(std::int32_t a, std::int32_t b,
+                                        std::int32_t size, RingDir dir);
+
+  std::vector<LinkId> route_links(NodeId src, NodeId dst) const override;
+  int route_hops(NodeId src, NodeId dst) const override;
+
+  /// XY route with explicit per-dimension direction control.
+  std::vector<LinkId> route_links_dirs(NodeId src, NodeId dst, RingDir xdir,
+                                       RingDir ydir) const;
+
+  /// Outgoing network link of `node` along dimension `dim` (0 = x, 1 = y)
+  /// in direction `dir` (+1 / -1).
+  LinkId neighbor_link(NodeId node, int dim, int dir) const;
+
+  std::string name() const override;
+
+ private:
+  int cols_;
+  int rows_;
+  /// [node][dim*2 + (dir<0)] -> outgoing network link.
+  std::vector<std::array<LinkId, 4>> out_;
+};
+
+}  // namespace optdm::topo

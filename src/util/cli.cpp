@@ -1,0 +1,54 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace optdm::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        named_.emplace(std::string(arg.substr(2)), "true");
+      } else {
+        named_.emplace(std::string(arg.substr(2, eq - 2)),
+                       std::string(arg.substr(eq + 1)));
+      }
+    } else {
+      positional_.emplace_back(arg);
+    }
+  }
+}
+
+bool CliArgs::has(std::string_view name) const {
+  return named_.find(name) != named_.end();
+}
+
+std::string CliArgs::get(std::string_view name, std::string fallback) const {
+  const auto it = named_.find(name);
+  return it == named_.end() ? std::move(fallback) : it->second;
+}
+
+std::int64_t CliArgs::get_int(std::string_view name,
+                              std::int64_t fallback) const {
+  const auto it = named_.find(name);
+  if (it == named_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(std::string_view name, double fallback) const {
+  const auto it = named_.find(name);
+  if (it == named_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(std::string_view name, bool fallback) const {
+  const auto it = named_.find(name);
+  if (it == named_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace optdm::util

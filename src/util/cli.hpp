@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file cli.hpp
+/// Minimal `--flag=value` command-line parsing shared by the example and
+/// benchmark executables.  Not a general-purpose argument parser; it covers
+/// exactly the option styles used in this repository.
+
+namespace optdm::util {
+
+/// Parses arguments of the form `--name=value` or bare `--name` (treated as
+/// boolean true).  Unrecognized positional arguments are kept in order.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if `--name` was supplied (with or without a value).
+  bool has(std::string_view name) const;
+
+  /// Value of `--name` or `fallback` when absent.
+  std::string get(std::string_view name, std::string fallback = "") const;
+  std::int64_t get_int(std::string_view name, std::int64_t fallback) const;
+  double get_double(std::string_view name, double fallback) const;
+  bool get_bool(std::string_view name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Name of the executable (argv[0]).
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string, std::less<>> named_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace optdm::util

@@ -1,0 +1,57 @@
+#include "util/rng.hpp"
+
+namespace optdm::util {
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // SplitMix64 seeding: expands a single 64-bit seed into the full
+  // xoshiro256** state, guaranteeing a non-zero state for any seed.
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL;
+  for (auto& word : state_) {
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    word = z ^ (z >> 31);
+  }
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  // xoshiro256** 1.0 by Blackman & Vigna (public domain reference code).
+  const auto rotl = [](std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+  };
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Lemire-style rejection-free-ish bounded generation with a rejection
+  // loop to remove modulo bias entirely.
+  const std::uint64_t limit = std::uint64_t(-1) - std::uint64_t(-1) % range;
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::uniform_real() noexcept {
+  // 53-bit mantissa in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform_real() < p; }
+
+Rng Rng::split() noexcept {
+  // Derive an independent stream by drawing a fresh seed; suitable for
+  // fanning out deterministic per-trial generators.
+  return Rng(next_u64());
+}
+
+}  // namespace optdm::util

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation for experiments.
+///
+/// All randomized experiments in this repository (random communication
+/// patterns, random data redistributions, randomized protocol backoff) draw
+/// from this generator so results are reproducible across platforms and
+/// standard-library implementations.  `std::mt19937` and the standard
+/// distributions are deliberately avoided: distribution output is not
+/// specified bit-for-bit by the standard.
+
+namespace optdm::util {
+
+/// xoshiro256** pseudo-random generator with SplitMix64 seeding.
+///
+/// Fast, high-quality, and fully deterministic given a seed.  Copyable;
+/// copies continue the sequence independently from the copy point.
+class Rng {
+ public:
+  /// Constructs a generator whose entire state is derived from `seed`.
+  explicit Rng(std::uint64_t seed = 0x0ddc0ffee0ddba11ULL) noexcept;
+
+  /// Returns the next raw 64-bit output.
+  std::uint64_t next_u64() noexcept;
+
+  /// Returns an integer uniformly distributed in the closed range
+  /// [`lo`, `hi`].  Returns `lo` when the range is empty or degenerate.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double uniform_real() noexcept;
+
+  /// Returns true with probability `p`.
+  bool bernoulli(double p) noexcept;
+
+  /// Returns a new generator seeded from this one; the two streams are
+  /// statistically independent.
+  Rng split() noexcept;
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) noexcept {
+    const auto n = static_cast<std::int64_t>(c.size());
+    for (std::int64_t i = n - 1; i > 0; --i) {
+      const auto j = uniform(0, i);
+      using std::swap;
+      swap(c[static_cast<std::size_t>(i)], c[static_cast<std::size_t>(j)]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace optdm::util

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+/// \file stats.hpp
+/// Small streaming/statistics helpers used by the benchmark harness to
+/// aggregate per-trial results (e.g. "average multiplexing degree over 100
+/// random patterns" in Table 1 of the paper).
+
+namespace optdm::util {
+
+/// Streaming accumulator for mean / min / max / variance (Welford).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  /// Number of samples added so far.
+  std::size_t count() const noexcept { return n_; }
+  /// Arithmetic mean; 0 when empty.
+  double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  double variance() const noexcept;
+  /// Sample standard deviation.
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile (nearest-rank) of a sample; copies and sorts.
+double percentile(std::span<const double> sample, double p);
+
+/// Histogram over fixed-width integer buckets, used for bucketing the
+/// data-redistribution experiments by connection count (Table 2).
+class Histogram {
+ public:
+  /// Buckets are [edges[i], edges[i+1]) with a final bucket
+  /// [edges.back(), +inf).
+  explicit Histogram(std::vector<double> edges);
+
+  void add(double x) noexcept;
+
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const;
+  double lower_edge(std::size_t bucket) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace optdm::util

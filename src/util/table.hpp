@@ -1,0 +1,47 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Fixed-width ASCII table printer.  Every benchmark binary in `bench/`
+/// renders its reproduction of a paper table through this class so the
+/// output format is uniform and diffable against EXPERIMENTS.md.
+
+namespace optdm::util {
+
+/// Column-aligned text table with a header row.
+///
+/// Usage:
+/// ```
+/// Table t({"No of Conn.", "Greedy", "Coloring"});
+/// t.add_row({"100", "7.0", "6.7"});
+/// t.print(std::cout);
+/// ```
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a separator line under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (used by tests).
+  std::string to_string() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Formats a double with `digits` fractional digits (trailing-zero
+  /// preserving, matching the paper's "7.0" style).
+  static std::string fmt(double value, int digits = 1);
+  static std::string fmt(std::int64_t value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace optdm::util

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/workloads.hpp"
+#include "patterns/random.hpp"
+#include "sched/bandwidth.hpp"
+#include "sched/combined.hpp"
+#include "sched/greedy.hpp"
+#include "sim/compiled.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+using sched::stripe_messages;
+using sched::widen_for_bandwidth;
+
+TEST(Bandwidth, WideningKeepsConfigurationsValid) {
+  topo::TorusNetwork net(8, 8);
+  const auto phase = apps::p3m_phases(32)[0];  // skewed redistribution
+  const auto base = sched::combined(net, phase.pattern());
+  const auto widened = widen_for_bandwidth(net, base, phase.messages);
+  EXPECT_EQ(widened.schedule.degree(), base.degree());
+  for (const auto& config : widened.schedule.configurations())
+    EXPECT_EQ(config.validate(), std::nullopt);
+  EXPECT_GT(widened.extra_instances, 0);
+}
+
+TEST(Bandwidth, WideningPreservesBaseInstances) {
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(81);
+  const auto requests = patterns::random_pattern(64, 100, rng);
+  const auto base = sched::greedy(net, requests);
+  std::vector<sim::Message> messages;
+  for (const auto& r : requests) messages.push_back({r, rng.uniform(1, 64)});
+  const auto widened = widen_for_bandwidth(net, base, messages);
+  // Every slot still contains at least its base paths.
+  for (int slot = 0; slot < base.degree(); ++slot) {
+    EXPECT_GE(widened.schedule.configuration(slot).size(),
+              base.configuration(slot).size());
+  }
+  EXPECT_EQ(widened.schedule.connection_count(),
+            base.connection_count() +
+                static_cast<std::size_t>(widened.extra_instances));
+}
+
+TEST(Bandwidth, StripingConservesVolume) {
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(82);
+  const auto requests = patterns::random_pattern(64, 80, rng);
+  const auto base = sched::greedy(net, requests);
+  std::vector<sim::Message> messages;
+  for (const auto& r : requests) messages.push_back({r, rng.uniform(1, 99)});
+  const auto widened = widen_for_bandwidth(net, base, messages);
+  const auto striped = stripe_messages(widened.schedule, messages);
+
+  const auto volume_of = [](std::span<const sim::Message> ms) {
+    std::int64_t total = 0;
+    for (const auto& m : ms) total += m.slots;
+    return total;
+  };
+  EXPECT_EQ(volume_of(striped), volume_of(messages));
+  EXPECT_GE(striped.size(), messages.size());
+}
+
+TEST(Bandwidth, StripingIsIdentityOnUnwidenedSchedules) {
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(83);
+  const auto requests = patterns::random_pattern(64, 50, rng);
+  const auto base = sched::greedy(net, requests);
+  const auto messages = sim::uniform_messages(requests, 7);
+  const auto striped = stripe_messages(base, messages);
+  ASSERT_EQ(striped.size(), messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_EQ(striped[i].request, messages[i].request);
+    EXPECT_EQ(striped[i].slots, messages[i].slots);
+  }
+}
+
+TEST(Bandwidth, WideningSpeedsUpSkewedWorkloads) {
+  // The point of the extension: when one connection carries far more data
+  // than the rest, giving it the frame's idle slots roughly halves its
+  // completion time.  (0,1) is heavy; (2,3)/(2,4) force a second slot
+  // whose spare capacity the widening hands to (0,1).
+  topo::TorusNetwork net(8, 8);
+  const core::RequestSet requests{{0, 1}, {2, 3}, {2, 4}};
+  const auto base = sched::greedy(net, requests);
+  ASSERT_EQ(base.degree(), 2);
+  const std::vector<sim::Message> messages{
+      {{0, 1}, 100}, {{2, 3}, 1}, {{2, 4}, 1}};
+
+  const auto baseline = sim::simulate_compiled(base, messages);
+  const auto widened = widen_for_bandwidth(net, base, messages);
+  ASSERT_GT(widened.extra_instances, 0);
+  const auto striped = stripe_messages(widened.schedule, messages);
+  const auto improved = sim::simulate_compiled(widened.schedule, striped);
+
+  // Baseline: the heavy message sees one slot per 2-slot frame (~200);
+  // widened: two slots per frame (~100).
+  EXPECT_LT(improved.total_slots, baseline.total_slots * 6 / 10);
+}
+
+TEST(Bandwidth, NeverHurtsUniformRedistribution) {
+  // P3M 1's transfers are all the same size: nothing to exploit, and the
+  // widened schedule must not be slower.
+  topo::TorusNetwork net(8, 8);
+  const auto phase = apps::p3m_phases(64)[0];
+  const auto base = sched::combined(net, phase.pattern());
+  const auto baseline = sim::simulate_compiled(base, phase.messages);
+  const auto widened = widen_for_bandwidth(net, base, phase.messages);
+  const auto striped = stripe_messages(widened.schedule, phase.messages);
+  const auto after = sim::simulate_compiled(widened.schedule, striped);
+  EXPECT_LE(after.total_slots, baseline.total_slots);
+}
+
+TEST(Bandwidth, UniformWorkloadsGainLittle) {
+  // With equal message sizes there is no skew to exploit; widening must
+  // never hurt.
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(85);
+  const auto requests = patterns::random_pattern(64, 600, rng);
+  const auto base = sched::combined(net, requests);
+  const auto messages = sim::uniform_messages(requests, 8);
+
+  const auto baseline = sim::simulate_compiled(base, messages);
+  const auto widened = widen_for_bandwidth(net, base, messages);
+  const auto striped = stripe_messages(widened.schedule, messages);
+  const auto after = sim::simulate_compiled(widened.schedule, striped);
+  EXPECT_LE(after.total_slots, baseline.total_slots);
+}
+
+TEST(Bandwidth, RejectsForeignMessages) {
+  topo::TorusNetwork net(8, 8);
+  const auto base = sched::greedy(net, {{0, 1}});
+  const std::vector<sim::Message> foreign{{{2, 3}, 5}};
+  EXPECT_THROW(widen_for_bandwidth(net, base, foreign),
+               std::invalid_argument);
+  EXPECT_THROW(stripe_messages(base, foreign), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "patterns/named.hpp"
+#include "patterns/random.hpp"
+#include "sched/bounds.hpp"
+#include "sched/coloring.hpp"
+#include "sched/greedy.hpp"
+#include "topo/line.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+
+TEST(Bounds, LinkCongestionCountsBusiestLink) {
+  topo::LinearNetwork net(5);
+  // Three requests over link 1->2.
+  const auto paths = core::route_all(net, {{0, 2}, {1, 3}, {1, 4}});
+  // Link 1->2 carries (0,2),(1,3),(1,4); injection of node 1 carries two.
+  EXPECT_EQ(sched::link_congestion_bound(net, paths), 3);
+}
+
+TEST(Bounds, InjectionSubsumedByLinkCongestion) {
+  topo::TorusNetwork net(8, 8);
+  core::RequestSet requests;
+  for (topo::NodeId d = 1; d <= 5; ++d) requests.push_back({0, d});
+  const auto paths = core::route_all(net, requests);
+  EXPECT_GE(sched::link_congestion_bound(net, paths), 5);
+}
+
+TEST(Bounds, CliqueAtLeastCongestionOnSharedLinkInstances) {
+  topo::LinearNetwork net(6);
+  const auto paths = core::route_all(net, {{0, 3}, {1, 4}, {2, 5}});
+  // All three share link 2->3: they form a clique.
+  EXPECT_EQ(sched::clique_bound(paths), 3);
+}
+
+TEST(Bounds, EmptyPatternIsZero) {
+  topo::TorusNetwork net(4, 4);
+  const std::vector<core::Path> none;
+  EXPECT_EQ(sched::link_congestion_bound(net, none), 0);
+  EXPECT_EQ(sched::clique_bound(none), 0);
+  EXPECT_EQ(sched::multiplexing_lower_bound(net, none), 0);
+}
+
+TEST(Bounds, AllToAllLowerBoundIsSixtyFour) {
+  // With parity-balanced routing the busiest link of the 8x8 all-to-all
+  // carries exactly 64 connections: the N^3/8 optimum is tight.
+  topo::TorusNetwork net(8, 8);
+  const auto paths = core::route_all(net, patterns::all_to_all(64));
+  EXPECT_EQ(sched::multiplexing_lower_bound(net, paths), 64);
+}
+
+TEST(Bounds, NoScheduleBeatsTheBound) {
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto requests =
+        patterns::random_pattern(64, static_cast<int>(rng.uniform(5, 600)), rng);
+    const auto paths = core::route_all(net, requests);
+    const int bound = sched::multiplexing_lower_bound(net, paths);
+    EXPECT_GE(sched::greedy_paths(net, paths).degree(), bound);
+    EXPECT_GE(sched::coloring_paths(net, paths).degree(), bound);
+  }
+}
+
+TEST(Bounds, CombinedBoundIsMaxOfComponents) {
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(78);
+  const auto requests = patterns::random_pattern(64, 150, rng);
+  const auto paths = core::route_all(net, requests);
+  EXPECT_EQ(sched::multiplexing_lower_bound(net, paths),
+            std::max(sched::link_congestion_bound(net, paths),
+                     sched::clique_bound(paths)));
+}
+
+}  // namespace

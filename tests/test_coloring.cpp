@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "patterns/named.hpp"
+#include "patterns/random.hpp"
+#include "sched/bounds.hpp"
+#include "sched/coloring.hpp"
+#include "sched/greedy.hpp"
+#include "topo/line.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+using sched::ColoringPriority;
+
+TEST(Coloring, Fig3InstanceIsOptimal) {
+  topo::LinearNetwork net(5);
+  const core::RequestSet requests{{0, 2}, {1, 3}, {3, 4}, {2, 4}};
+  const auto schedule = sched::coloring(net, requests);
+  EXPECT_EQ(schedule.degree(), 2);
+  EXPECT_EQ(schedule.validate_against(requests), std::nullopt);
+}
+
+TEST(Coloring, EmptyAndSingle) {
+  topo::TorusNetwork net(4, 4);
+  EXPECT_EQ(sched::coloring(net, {}).degree(), 0);
+  EXPECT_EQ(sched::coloring(net, {{0, 1}}).degree(), 1);
+}
+
+TEST(Coloring, AllToAllMatchesPaperDegree) {
+  // Paper Table 3: coloring needs 83 configurations for all-to-all on the
+  // 8x8 torus.  Our implementation reproduces that value exactly.
+  topo::TorusNetwork net(8, 8);
+  const auto requests = patterns::all_to_all(64);
+  const auto schedule = sched::coloring(net, requests);
+  EXPECT_EQ(schedule.degree(), 83);
+  EXPECT_EQ(schedule.validate_against(requests), std::nullopt);
+}
+
+TEST(Coloring, BeatsGreedyOnHypercube) {
+  topo::TorusNetwork net(8, 8);
+  const auto requests = patterns::hypercube(64);
+  EXPECT_LT(sched::coloring(net, requests).degree(),
+            sched::greedy(net, requests).degree());
+}
+
+TEST(Coloring, NearestNeighborHitsLowerBound) {
+  topo::TorusNetwork net(8, 8);
+  const auto requests = patterns::nearest_neighbor(net);
+  const auto schedule = sched::coloring(net, requests);
+  // Four outgoing single-hop connections per node: degree 4 is optimal.
+  EXPECT_EQ(schedule.degree(), 4);
+}
+
+TEST(Coloring, PriorityVariantsAllProduceValidSchedules) {
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(7);
+  const auto requests = patterns::random_pattern(64, 150, rng);
+  for (const auto rule :
+       {ColoringPriority::kDegreeTimesLength, ColoringPriority::kDegreeOnly,
+        ColoringPriority::kLengthOverDegree, ColoringPriority::kInverseDegree,
+        ColoringPriority::kLengthOnly,
+        ColoringPriority::kStaticLengthOverDegree}) {
+    const auto schedule = sched::coloring(net, requests, rule);
+    EXPECT_EQ(schedule.validate_against(requests), std::nullopt)
+        << "rule " << static_cast<int>(rule);
+  }
+}
+
+TEST(Coloring, DefaultRuleNotWorseThanGreedyOnRandomBatches) {
+  // The paper's central observation for Table 1: coloring consistently
+  // improves on greedy.  Check on aggregate over seeds (individual
+  // instances may tie).
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(2026);
+  int coloring_total = 0;
+  int greedy_total = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto requests = patterns::random_pattern(64, 800, rng);
+    coloring_total += sched::coloring(net, requests).degree();
+    greedy_total += sched::greedy(net, requests).degree();
+  }
+  EXPECT_LT(coloring_total, greedy_total);
+}
+
+class ColoringPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColoringPropertyTest, ValidAndBounded) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  topo::TorusNetwork net(8, 8);
+  const int conns = static_cast<int>(rng.uniform(1, 500));
+  const auto requests = patterns::random_pattern(64, conns, rng);
+  const auto paths = core::route_all(net, requests);
+  const auto schedule = sched::coloring_paths(net, paths);
+  EXPECT_EQ(schedule.validate_against(requests), std::nullopt);
+  EXPECT_GE(schedule.degree(), sched::multiplexing_lower_bound(net, paths));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColoringPropertyTest, ::testing::Range(0, 12));
+
+}  // namespace

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "patterns/named.hpp"
+#include "patterns/random.hpp"
+#include "sched/coloring.hpp"
+#include "sched/combined.hpp"
+#include "sched/ordered_aapc.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+
+class CombinedTest : public ::testing::Test {
+ protected:
+  CombinedTest() : net_(8, 8), aapc_(net_) {}
+  topo::TorusNetwork net_;
+  aapc::TorusAapc aapc_;
+};
+
+TEST_F(CombinedTest, TakesTheMinimumOfBothAlgorithms) {
+  util::Rng rng(3);
+  for (const int conns : {50, 400, 2000, 4032}) {
+    const auto requests = patterns::random_pattern(64, conns, rng);
+    const int by_coloring = sched::coloring(net_, requests).degree();
+    const int by_aapc = sched::ordered_aapc(aapc_, requests).degree();
+    const auto result = sched::combined_with_winner(aapc_, requests);
+    EXPECT_EQ(result.schedule.degree(), std::min(by_coloring, by_aapc));
+    if (result.winner == sched::CombinedWinner::kColoring)
+      EXPECT_LE(by_coloring, by_aapc);
+    else
+      EXPECT_LT(by_aapc, by_coloring);
+    EXPECT_EQ(result.schedule.validate_against(requests), std::nullopt);
+  }
+}
+
+TEST_F(CombinedTest, AllToAllWonByAapc) {
+  const auto requests = patterns::all_to_all(64);
+  const auto result = sched::combined_with_winner(aapc_, requests);
+  EXPECT_EQ(result.winner, sched::CombinedWinner::kOrderedAapc);
+  EXPECT_EQ(result.schedule.degree(), 64);
+}
+
+TEST_F(CombinedTest, SparsePatternWonByColoring) {
+  util::Rng rng(9);
+  const auto requests = patterns::random_pattern(64, 100, rng);
+  const auto result = sched::combined_with_winner(aapc_, requests);
+  // At 100 connections coloring wins (paper Table 1 row 1).
+  EXPECT_EQ(result.winner, sched::CombinedWinner::kColoring);
+}
+
+TEST_F(CombinedTest, ConvenienceOverloadsAgree) {
+  util::Rng rng(4);
+  const auto requests = patterns::random_pattern(64, 200, rng);
+  EXPECT_EQ(sched::combined(aapc_, requests).degree(),
+            sched::combined(net_, requests).degree());
+}
+
+TEST(CombinedWinnerName, ToString) {
+  EXPECT_EQ(sched::to_string(sched::CombinedWinner::kColoring), "coloring");
+  EXPECT_EQ(sched::to_string(sched::CombinedWinner::kOrderedAapc),
+            "ordered-aapc");
+}
+
+}  // namespace

@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "apps/compiler.hpp"
+#include "patterns/named.hpp"
+#include "patterns/random.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+using apps::CommCompiler;
+
+TEST(Compiler, CompilesPatternsWithValidSchedules) {
+  topo::TorusNetwork net(8, 8);
+  CommCompiler compiler(net);
+  util::Rng rng(12);
+  for (const int conns : {10, 200, 1000}) {
+    const auto requests = patterns::random_pattern(64, conns, rng);
+    const auto compiled = compiler.compile(requests);
+    EXPECT_EQ(compiled.schedule.validate_against(requests), std::nullopt);
+    EXPECT_GE(compiled.schedule.degree(), compiled.lower_bound);
+  }
+}
+
+TEST(Compiler, AllToAllCompilesToSixtyFour) {
+  topo::TorusNetwork net(8, 8);
+  CommCompiler compiler(net);
+  const auto compiled = compiler.compile(patterns::all_to_all(64));
+  EXPECT_EQ(compiled.schedule.degree(), 64);
+  EXPECT_EQ(compiled.winner, sched::CombinedWinner::kOrderedAapc);
+  EXPECT_EQ(compiled.lower_bound, 64);
+}
+
+TEST(Compiler, ExecutePredictsGsTimes) {
+  topo::TorusNetwork net(8, 8);
+  CommCompiler compiler(net);
+  EXPECT_EQ(compiler.execute(apps::gs_phase(64, 64)).total_slots, 35);
+  EXPECT_EQ(compiler.execute(apps::gs_phase(128, 64)).total_slots, 67);
+  EXPECT_EQ(compiler.execute(apps::gs_phase(256, 64)).total_slots, 131);
+}
+
+TEST(Compiler, NetworkAccessorsExposeSubstrate) {
+  topo::TorusNetwork net(4, 4);
+  CommCompiler compiler(net);
+  EXPECT_EQ(&compiler.network(), &net);
+  EXPECT_EQ(compiler.aapc().phase_count(), 16);
+}
+
+}  // namespace

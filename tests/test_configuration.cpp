@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "core/configuration.hpp"
+#include "core/linkset.hpp"
+#include "core/schedule.hpp"
+#include "topo/line.hpp"
+#include "topo/torus.hpp"
+
+namespace {
+
+using namespace optdm;
+using core::Configuration;
+using core::LinkSet;
+using core::make_path;
+using core::Schedule;
+
+TEST(LinkSetTest, InsertContainsErase) {
+  LinkSet set(100);
+  EXPECT_TRUE(set.empty());
+  set.insert(3);
+  set.insert(64);
+  set.insert(99);
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_TRUE(set.contains(64));
+  EXPECT_FALSE(set.contains(4));
+  EXPECT_EQ(set.count(), 3);
+  set.erase(64);
+  EXPECT_FALSE(set.contains(64));
+  EXPECT_EQ(set.count(), 2);
+}
+
+TEST(LinkSetTest, OutOfRangeThrows) {
+  LinkSet set(10);
+  EXPECT_THROW(set.insert(10), std::out_of_range);
+  EXPECT_THROW(set.insert(-1), std::out_of_range);
+  EXPECT_FALSE(set.contains(10));  // queries are safe
+}
+
+TEST(LinkSetTest, IntersectsAndMerge) {
+  LinkSet a(128), b(128);
+  a.insert(5);
+  a.insert(70);
+  b.insert(71);
+  EXPECT_FALSE(a.intersects(b));
+  b.insert(70);
+  EXPECT_TRUE(a.intersects(b));
+  a.merge(b);
+  EXPECT_TRUE(a.contains(71));
+  a.subtract(b);
+  EXPECT_FALSE(a.contains(70));
+  EXPECT_TRUE(a.contains(5));
+}
+
+TEST(LinkSetTest, ClearEmpties) {
+  LinkSet a(64);
+  a.insert(0);
+  a.insert(63);
+  a.clear();
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.count(), 0);
+}
+
+TEST(ConfigurationTest, AddRefusesConflicts) {
+  topo::LinearNetwork net(5);
+  Configuration config(net.link_count());
+  EXPECT_TRUE(config.add(make_path(net, {0, 2})));
+  EXPECT_FALSE(config.add(make_path(net, {1, 3})));  // shares 1->2
+  EXPECT_TRUE(config.add(make_path(net, {3, 4})));
+  EXPECT_EQ(config.size(), 2u);
+  EXPECT_EQ(config.validate(), std::nullopt);
+}
+
+TEST(ConfigurationTest, AcceptsIsNonMutating) {
+  topo::LinearNetwork net(5);
+  Configuration config(net.link_count());
+  const auto path = make_path(net, {0, 2});
+  EXPECT_TRUE(config.accepts(path));
+  EXPECT_TRUE(config.accepts(path));  // still true: nothing was added
+  config.add(path);
+  EXPECT_FALSE(config.accepts(path));
+}
+
+TEST(ConfigurationTest, UsedLinksIsUnion) {
+  topo::LinearNetwork net(5);
+  Configuration config(net.link_count());
+  const auto a = make_path(net, {0, 1});
+  const auto b = make_path(net, {3, 4});
+  config.add(a);
+  config.add(b);
+  EXPECT_EQ(config.used_links().count(),
+            a.occupancy.count() + b.occupancy.count());
+}
+
+TEST(ScheduleTest, AppendRejectsEmpty) {
+  Schedule schedule;
+  EXPECT_THROW(schedule.append(Configuration{}), std::invalid_argument);
+  EXPECT_EQ(schedule.degree(), 0);
+}
+
+TEST(ScheduleTest, DegreeAndSlotLookup) {
+  topo::LinearNetwork net(5);
+  Schedule schedule;
+  Configuration c1(net.link_count());
+  c1.add(make_path(net, {0, 2}));
+  Configuration c2(net.link_count());
+  c2.add(make_path(net, {1, 3}));
+  schedule.append(std::move(c1));
+  schedule.append(std::move(c2));
+  EXPECT_EQ(schedule.degree(), 2);
+  EXPECT_EQ(schedule.connection_count(), 2u);
+  EXPECT_EQ(schedule.slot_of({0, 2}), std::optional<int>(0));
+  EXPECT_EQ(schedule.slot_of({1, 3}), std::optional<int>(1));
+  EXPECT_EQ(schedule.slot_of({4, 0}), std::nullopt);
+}
+
+TEST(ScheduleTest, ValidateAgainstDetectsMissingRequest) {
+  topo::LinearNetwork net(5);
+  Schedule schedule;
+  Configuration c1(net.link_count());
+  c1.add(make_path(net, {0, 2}));
+  schedule.append(std::move(c1));
+  EXPECT_EQ(schedule.validate_against({{0, 2}}), std::nullopt);
+  EXPECT_NE(schedule.validate_against({{0, 2}, {1, 3}}), std::nullopt);
+  EXPECT_NE(schedule.validate_against({}), std::nullopt);
+}
+
+TEST(ScheduleTest, ValidateAgainstHandlesMultisets) {
+  topo::LinearNetwork net(5);
+  Schedule schedule;
+  Configuration c1(net.link_count());
+  c1.add(make_path(net, {0, 2}));
+  Configuration c2(net.link_count());
+  c2.add(make_path(net, {0, 2}));
+  schedule.append(std::move(c1));
+  schedule.append(std::move(c2));
+  // Two scheduled instances require two pattern instances.
+  EXPECT_NE(schedule.validate_against({{0, 2}}), std::nullopt);
+  EXPECT_EQ(schedule.validate_against({{0, 2}, {0, 2}}), std::nullopt);
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aapc/torus_aapc.hpp"
+#include "core/switch_program.hpp"
+#include "io/pattern_io.hpp"
+#include "patterns/random.hpp"
+#include "sched/bandwidth.hpp"
+#include "sched/bounds.hpp"
+#include "sched/coloring.hpp"
+#include "sched/combined.hpp"
+#include "sched/greedy.hpp"
+#include "sched/ils.hpp"
+#include "sim/hardware.hpp"
+#include "topo/hypercube.hpp"
+#include "topo/mesh.hpp"
+#include "topo/omega.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+/// Randomized end-to-end consistency suite: for arbitrary workloads, the
+/// independent implementations of each stage must agree —
+///   schedule -> text file -> reloaded schedule        (io)
+///   schedule -> switch registers -> crossbar walk     (hardware)
+///   analytic channel model == stepped == hardware     (sim)
+///   every algorithm's schedule >= every lower bound   (sched)
+/// One seed = one fully random scenario; failures print the seed.
+
+namespace {
+
+using namespace optdm;
+
+class ConsistencyFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConsistencyFuzz, WholeStackAgreesOnTorus) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2718281 + 31);
+  topo::TorusNetwork net(8, 8);
+  static aapc::TorusAapc aapc(net);
+
+  const int conns = static_cast<int>(rng.uniform(1, 250));
+  const bool multiset = rng.bernoulli(0.3);
+  const auto requests =
+      multiset ? patterns::random_pattern_with_replacement(64, conns, rng)
+               : patterns::random_pattern(64, conns, rng);
+  const auto paths = core::route_all(net, requests);
+
+  // Pick a random algorithm for this scenario.
+  core::Schedule schedule;
+  switch (rng.uniform(0, 3)) {
+    case 0:
+      schedule = sched::greedy_paths(net, paths);
+      break;
+    case 1:
+      schedule = sched::coloring_paths(net, paths);
+      break;
+    case 2:
+      schedule = sched::combined(aapc, requests);
+      break;
+    default: {
+      sched::IlsOptions options;
+      options.iterations = 30;
+      options.seed = rng.next_u64();
+      schedule = sched::improve_schedule(
+          net, paths, sched::greedy_paths(net, paths), options);
+      break;
+    }
+  }
+
+  // 1. Schedule validity + bounds.
+  ASSERT_EQ(schedule.validate_against(requests), std::nullopt);
+  EXPECT_GE(schedule.degree(), sched::clique_bound(paths));
+
+  // 2. Text round trip preserves everything.
+  std::stringstream buffer;
+  io::write_schedule(buffer, net, schedule);
+  const auto reloaded = io::read_schedule(buffer, net);
+  ASSERT_EQ(reloaded.degree(), schedule.degree());
+  ASSERT_EQ(reloaded.validate_against(requests), std::nullopt);
+
+  // 3. Register lowering verifies, on the reloaded schedule too.
+  const core::SwitchProgram program(net, reloaded);
+  ASSERT_EQ(program.verify(net, reloaded), std::nullopt);
+
+  // 4. Analytic == stepped == hardware, message for message.
+  std::vector<sim::Message> messages;
+  for (const auto& r : requests) messages.push_back({r, rng.uniform(1, 12)});
+  sim::CompiledParams params;
+  params.setup_slots = rng.uniform(0, 4);
+  if (rng.bernoulli(0.3))
+    params.frame_slots = schedule.degree() + rng.uniform(0, 4);
+  const auto analytic = sim::simulate_compiled(reloaded, messages, params);
+  const auto stepped =
+      sim::simulate_compiled_stepped(reloaded, messages, params);
+  const auto hardware =
+      sim::execute_on_hardware(net, reloaded, program, messages, params);
+  ASSERT_EQ(analytic.messages.size(), messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_EQ(analytic.messages[i].completed, stepped.messages[i].completed);
+    EXPECT_EQ(analytic.messages[i].completed, hardware.messages[i].completed);
+  }
+  EXPECT_EQ(analytic.total_slots, stepped.total_slots);
+  EXPECT_EQ(analytic.total_slots, hardware.total_slots);
+
+  // 5. Bandwidth widening keeps validity and never slows the makespan.
+  const auto widened = sched::widen_for_bandwidth(net, reloaded, messages);
+  const auto striped = sched::stripe_messages(widened.schedule, messages);
+  ASSERT_EQ(widened.schedule.connection_count(),
+            reloaded.connection_count() +
+                static_cast<std::size_t>(widened.extra_instances));
+  for (const auto& config : widened.schedule.configurations())
+    EXPECT_EQ(config.validate(), std::nullopt);
+  const auto after = sim::simulate_compiled(widened.schedule, striped);
+  const auto before = sim::simulate_compiled(reloaded, messages);
+  EXPECT_LE(after.total_slots, before.total_slots);
+}
+
+TEST_P(ConsistencyFuzz, WholeStackAgreesOnOtherTopologies) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 9176 + 7);
+  topo::MeshNetwork mesh(6, 6);
+  topo::HypercubeNetwork cube(32);
+  topo::OmegaNetwork omega(32);
+  const topo::Network* nets[] = {&mesh, &cube, &omega};
+  const auto* net = nets[rng.uniform(0, 2)];
+
+  const int conns = static_cast<int>(rng.uniform(1, 120));
+  const auto requests =
+      patterns::random_pattern(net->node_count(), conns, rng);
+  const auto paths = core::route_all(*net, requests);
+  const auto schedule = rng.bernoulli(0.5)
+                            ? sched::greedy_paths(*net, paths)
+                            : sched::coloring_paths(*net, paths);
+  ASSERT_EQ(schedule.validate_against(requests), std::nullopt);
+  EXPECT_GE(schedule.degree(),
+            sched::multiplexing_lower_bound(*net, paths));
+
+  const core::SwitchProgram program(*net, schedule);
+  ASSERT_EQ(program.verify(*net, schedule), std::nullopt);
+
+  const auto messages = sim::uniform_messages(requests, 3);
+  const auto analytic = sim::simulate_compiled(schedule, messages);
+  const auto hardware =
+      sim::execute_on_hardware(*net, schedule, program, messages);
+  EXPECT_EQ(analytic.total_slots, hardware.total_slots);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencyFuzz, ::testing::Range(0, 20));
+
+}  // namespace

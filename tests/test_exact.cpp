@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "patterns/random.hpp"
+#include "sched/bounds.hpp"
+#include "sched/coloring.hpp"
+#include "sched/exact.hpp"
+#include "sched/greedy.hpp"
+#include "topo/line.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+
+TEST(Exact, Fig3OptimumIsTwo) {
+  topo::LinearNetwork net(5);
+  const core::RequestSet requests{{0, 2}, {1, 3}, {3, 4}, {2, 4}};
+  const auto schedule = sched::exact(net, requests);
+  ASSERT_TRUE(schedule.has_value());
+  EXPECT_EQ(schedule->degree(), 2);
+  EXPECT_EQ(schedule->validate_against(requests), std::nullopt);
+}
+
+TEST(Exact, EmptyPattern) {
+  topo::TorusNetwork net(4, 4);
+  const auto schedule = sched::exact(net, {});
+  ASSERT_TRUE(schedule.has_value());
+  EXPECT_EQ(schedule->degree(), 0);
+}
+
+TEST(Exact, RefusesOversizedInstances) {
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(1);
+  const auto requests = patterns::random_pattern(64, 100, rng);
+  sched::ExactOptions options;
+  options.max_vertices = 50;
+  EXPECT_EQ(sched::exact(net, requests, options), std::nullopt);
+}
+
+TEST(Exact, CliqueForcesDegree) {
+  topo::TorusNetwork net(8, 8);
+  core::RequestSet requests;
+  for (topo::NodeId d = 1; d <= 6; ++d) requests.push_back({0, d});
+  const auto schedule = sched::exact(net, requests);
+  ASSERT_TRUE(schedule.has_value());
+  EXPECT_EQ(schedule->degree(), 6);
+}
+
+TEST(Exact, IndependentRequestsNeedOneSlot) {
+  topo::TorusNetwork net(8, 8);
+  const core::RequestSet requests{{0, 1}, {2, 3}, {8, 9}, {10, 11}};
+  const auto schedule = sched::exact(net, requests);
+  ASSERT_TRUE(schedule.has_value());
+  EXPECT_EQ(schedule->degree(), 1);
+}
+
+class ExactVsHeuristics : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactVsHeuristics, ExactNeverWorseAndBoundedBelow) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  topo::TorusNetwork net(4, 4);
+  const int conns = static_cast<int>(rng.uniform(2, 18));
+  const auto requests = patterns::random_pattern(16, conns, rng);
+  const auto paths = core::route_all(net, requests);
+
+  const auto exact = sched::exact_paths(net, paths);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->validate_against(requests), std::nullopt);
+
+  const int lower = sched::multiplexing_lower_bound(net, paths);
+  EXPECT_GE(exact->degree(), lower);
+  EXPECT_LE(exact->degree(), sched::greedy_paths(net, paths).degree());
+  EXPECT_LE(exact->degree(), sched::coloring_paths(net, paths).degree());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsHeuristics, ::testing::Range(0, 16));
+
+}  // namespace

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "patterns/random.hpp"
+#include "sched/bounds.hpp"
+#include "sched/greedy.hpp"
+#include "topo/line.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+
+TEST(Greedy, PaperFig3ReproducesThreeSlots) {
+  // Fig. 3 of the paper: requests {(0,2),(1,3),(3,4),(2,4)} on a 5-node
+  // linear array, processed in that order, need 3 slots under greedy while
+  // 2 suffice.
+  topo::LinearNetwork net(5);
+  const core::RequestSet requests{{0, 2}, {1, 3}, {3, 4}, {2, 4}};
+  const auto schedule = sched::greedy(net, requests);
+  EXPECT_EQ(schedule.degree(), 3);
+  EXPECT_EQ(schedule.validate_against(requests), std::nullopt);
+  // Slot composition matches the paper: {(0,2),(3,4)}, {(1,3)}, {(2,4)}.
+  EXPECT_EQ(schedule.slot_of({0, 2}), std::optional<int>(0));
+  EXPECT_EQ(schedule.slot_of({3, 4}), std::optional<int>(0));
+  EXPECT_EQ(schedule.slot_of({1, 3}), std::optional<int>(1));
+  EXPECT_EQ(schedule.slot_of({2, 4}), std::optional<int>(2));
+}
+
+TEST(Greedy, Fig3OptimalOrderGivesTwoSlots) {
+  topo::LinearNetwork net(5);
+  // The order the paper identifies as optimal.
+  const core::RequestSet requests{{0, 2}, {2, 4}, {1, 3}, {3, 4}};
+  const auto schedule = sched::greedy(net, requests);
+  EXPECT_EQ(schedule.degree(), 2);
+  EXPECT_EQ(schedule.validate_against(requests), std::nullopt);
+}
+
+TEST(Greedy, EmptyPattern) {
+  topo::TorusNetwork net(4, 4);
+  const auto schedule = sched::greedy(net, {});
+  EXPECT_EQ(schedule.degree(), 0);
+}
+
+TEST(Greedy, SingleRequestOneSlot) {
+  topo::TorusNetwork net(4, 4);
+  const auto schedule = sched::greedy(net, {{0, 5}});
+  EXPECT_EQ(schedule.degree(), 1);
+  EXPECT_EQ(schedule.configuration(0).size(), 1u);
+}
+
+TEST(Greedy, DuplicateRequestsNeedSeparateSlots) {
+  topo::TorusNetwork net(4, 4);
+  const core::RequestSet requests{{0, 5}, {0, 5}, {0, 5}};
+  const auto schedule = sched::greedy(net, requests);
+  EXPECT_EQ(schedule.degree(), 3);
+  EXPECT_EQ(schedule.validate_against(requests), std::nullopt);
+}
+
+TEST(Greedy, NonConflictingRequestsShareOneSlot) {
+  topo::TorusNetwork net(8, 8);
+  // Disjoint single-hop requests.
+  const core::RequestSet requests{{0, 1}, {2, 3}, {4, 5}, {16, 17}};
+  const auto schedule = sched::greedy(net, requests);
+  EXPECT_EQ(schedule.degree(), 1);
+}
+
+TEST(Greedy, FirstConfigurationIsMaximalForitsScan) {
+  // Every request left out of configuration 0 must conflict with it.
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(3);
+  const auto requests = patterns::random_pattern(64, 200, rng);
+  const auto paths = core::route_all(net, requests);
+  const auto schedule = sched::greedy_paths(net, paths);
+  const auto& first = schedule.configuration(0);
+  for (int slot = 1; slot < schedule.degree(); ++slot) {
+    for (const auto& path : schedule.configuration(slot).paths()) {
+      EXPECT_FALSE(first.accepts(path))
+          << "request left out of slot 0 without a conflict";
+    }
+  }
+}
+
+class GreedyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyPropertyTest, ValidAndBoundedOnRandomPatterns) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  topo::TorusNetwork net(8, 8);
+  const int conns = static_cast<int>(rng.uniform(1, 400));
+  const auto requests = patterns::random_pattern(64, conns, rng);
+  const auto paths = core::route_all(net, requests);
+  const auto schedule = sched::greedy_paths(net, paths);
+  EXPECT_EQ(schedule.validate_against(requests), std::nullopt);
+  EXPECT_GE(schedule.degree(),
+            sched::multiplexing_lower_bound(net, paths));
+  // Greedy never exceeds (max conflict degree + 1) configurations.
+  EXPECT_LE(schedule.degree(), conns);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyPropertyTest, ::testing::Range(0, 12));
+
+}  // namespace

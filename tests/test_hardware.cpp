@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "apps/workloads.hpp"
+#include "patterns/named.hpp"
+#include "patterns/random.hpp"
+#include "sched/coloring.hpp"
+#include "sched/combined.hpp"
+#include "sched/greedy.hpp"
+#include "sim/hardware.hpp"
+#include "topo/omega.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+using core::SwitchProgram;
+using sim::execute_on_hardware;
+
+TEST(Hardware, MatchesAnalyticModelOnSingleMessage) {
+  topo::TorusNetwork net(8, 8);
+  const core::RequestSet requests{{0, 9}};
+  const auto schedule = sched::greedy(net, requests);
+  const SwitchProgram program(net, schedule);
+  const auto messages = sim::uniform_messages(requests, 12);
+  const auto hw = execute_on_hardware(net, schedule, program, messages);
+  const auto model = sim::simulate_compiled(schedule, messages);
+  EXPECT_EQ(hw.total_slots, model.total_slots);
+}
+
+TEST(Hardware, MatchesAnalyticModelOnGsWorkload) {
+  topo::TorusNetwork net(8, 8);
+  const auto phase = apps::gs_phase(64, 64);
+  const auto schedule = sched::combined(net, phase.pattern());
+  const SwitchProgram program(net, schedule);
+  const auto hw = execute_on_hardware(net, schedule, program, phase.messages);
+  EXPECT_EQ(hw.total_slots, 35);  // the paper's Table 5 value
+}
+
+class HardwareCrossValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(HardwareCrossValidation, AgreesWithAnalyticOnRandomWorkloads) {
+  // The strongest end-to-end check in the repository: scheduler ->
+  // register program -> slot-by-slot crossbar walk must reproduce the
+  // analytic channel model message for message.
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 1543 + 11);
+  topo::TorusNetwork net(8, 8);
+  const auto requests = patterns::random_pattern(
+      64, static_cast<int>(rng.uniform(1, 120)), rng);
+  const auto schedule = sched::combined(net, requests);
+  const SwitchProgram program(net, schedule);
+  ASSERT_EQ(program.verify(net, schedule), std::nullopt);
+
+  std::vector<sim::Message> messages;
+  for (const auto& r : requests) messages.push_back({r, rng.uniform(1, 15)});
+
+  sim::CompiledParams params;
+  params.setup_slots = rng.uniform(0, 4);
+  const auto hw =
+      execute_on_hardware(net, schedule, program, messages, params);
+  const auto model = sim::simulate_compiled(schedule, messages, params);
+  ASSERT_EQ(hw.messages.size(), model.messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_EQ(hw.messages[i].completed, model.messages[i].completed) << i;
+    EXPECT_EQ(hw.messages[i].slot, model.messages[i].slot) << i;
+  }
+  EXPECT_EQ(hw.total_slots, model.total_slots);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HardwareCrossValidation,
+                         ::testing::Range(0, 10));
+
+TEST(Hardware, WorksOnIndirectTopology) {
+  topo::OmegaNetwork net(16);
+  util::Rng rng(91);
+  const auto requests = patterns::random_pattern(16, 40, rng);
+  const auto schedule = sched::coloring(net, requests);
+  const SwitchProgram program(net, schedule);
+  const auto messages = sim::uniform_messages(requests, 3);
+  const auto hw = execute_on_hardware(net, schedule, program, messages);
+  const auto model = sim::simulate_compiled(schedule, messages);
+  EXPECT_EQ(hw.total_slots, model.total_slots);
+}
+
+TEST(Hardware, FramePaddingRespected) {
+  topo::TorusNetwork net(4, 4);
+  const core::RequestSet requests{{0, 1}};
+  const auto schedule = sched::greedy(net, requests);
+  const SwitchProgram program(net, schedule);
+  const auto messages = sim::uniform_messages(requests, 5);
+  sim::CompiledParams padded;
+  padded.frame_slots = 8;
+  const auto hw =
+      execute_on_hardware(net, schedule, program, messages, padded);
+  const auto model = sim::simulate_compiled(schedule, messages, padded);
+  EXPECT_EQ(hw.total_slots, model.total_slots);
+}
+
+TEST(Hardware, RejectsMismatchedProgram) {
+  topo::TorusNetwork net(4, 4);
+  const auto schedule = sched::greedy(net, {{0, 1}});
+  const auto other = sched::greedy(net, {{0, 1}, {0, 2}});
+  const SwitchProgram program(net, other);
+  const auto messages = sim::uniform_messages({{0, 1}}, 1);
+  EXPECT_THROW(execute_on_hardware(net, schedule, program, messages),
+               std::invalid_argument);
+}
+
+TEST(Hardware, DetectsForeignProgramDeliveringWrong) {
+  // A program lowered from a schedule with the same degree but different
+  // paths must be caught by the walk checks.
+  topo::TorusNetwork net(4, 4);
+  const auto schedule = sched::greedy(net, {{0, 1}});
+  const auto foreign = sched::greedy(net, {{0, 2}});
+  const core::SwitchProgram program(net, foreign);
+  const auto messages = sim::uniform_messages({{0, 1}}, 1);
+  EXPECT_THROW(execute_on_hardware(net, schedule, program, messages),
+               std::logic_error);
+}
+
+TEST(Hardware, RejectsWdmMode) {
+  topo::TorusNetwork net(4, 4);
+  const auto schedule = sched::greedy(net, {{0, 1}});
+  const SwitchProgram program(net, schedule);
+  sim::CompiledParams wdm;
+  wdm.channel = sim::ChannelKind::kWavelength;
+  const auto messages = sim::uniform_messages({{0, 1}}, 1);
+  EXPECT_THROW(execute_on_hardware(net, schedule, program, messages, wdm),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/path.hpp"
+#include "patterns/named.hpp"
+#include "patterns/random.hpp"
+#include "sched/bounds.hpp"
+#include "sched/coloring.hpp"
+#include "sched/greedy.hpp"
+#include "topo/hypercube.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+using topo::HypercubeNetwork;
+
+TEST(HypercubeNet, StructureCounts) {
+  HypercubeNetwork net(16);
+  EXPECT_EQ(net.node_count(), 16);
+  EXPECT_EQ(net.dimensions(), 4);
+  // 2 processor links per node + 4 outgoing network links per node.
+  EXPECT_EQ(net.link_count(), 16 * 2 + 16 * 4);
+  EXPECT_EQ(net.name(), "hypercube(16)");
+}
+
+TEST(HypercubeNet, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(HypercubeNetwork(12), std::invalid_argument);
+  EXPECT_THROW(HypercubeNetwork(0), std::invalid_argument);
+}
+
+TEST(HypercubeNet, HopsEqualHammingDistance) {
+  HypercubeNetwork net(32);
+  for (topo::NodeId s = 0; s < 32; s += 3)
+    for (topo::NodeId d = 0; d < 32; ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(net.route_hops(s, d),
+                std::popcount(static_cast<unsigned>(s ^ d)));
+      EXPECT_NO_THROW(core::make_path(net, {s, d}));
+    }
+}
+
+TEST(HypercubeNet, EcubeCorrectsLowBitsFirst) {
+  HypercubeNetwork net(8);
+  // 0 -> 7: bits corrected in order 0, 1, 2: path 0 -> 1 -> 3 -> 7.
+  const auto route = net.route_links(0, 7);
+  ASSERT_EQ(route.size(), 3u);
+  EXPECT_EQ(net.link(route[0]).to, 1);
+  EXPECT_EQ(net.link(route[1]).to, 3);
+  EXPECT_EQ(net.link(route[2]).to, 7);
+}
+
+TEST(HypercubeNet, NativeHypercubePatternIsCheap) {
+  // The TSCF pattern on its native topology: every edge is one hop, so
+  // the degree is just the per-node fan-out (dimensions).
+  HypercubeNetwork net(64);
+  const auto requests = patterns::hypercube(64);
+  const auto schedule = sched::coloring(net, requests);
+  EXPECT_EQ(schedule.degree(), 6);
+  EXPECT_EQ(schedule.validate_against(requests), std::nullopt);
+}
+
+class HypercubeScheduleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypercubeScheduleProperty, SchedulersValidOnRandomPatterns) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 3);
+  HypercubeNetwork net(32);
+  const auto requests =
+      patterns::random_pattern(32, static_cast<int>(rng.uniform(5, 300)), rng);
+  const auto paths = core::route_all(net, requests);
+  const int bound = sched::multiplexing_lower_bound(net, paths);
+  for (const auto& schedule :
+       {sched::greedy_paths(net, paths), sched::coloring_paths(net, paths)}) {
+    EXPECT_EQ(schedule.validate_against(requests), std::nullopt);
+    EXPECT_GE(schedule.degree(), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HypercubeScheduleProperty,
+                         ::testing::Range(0, 8));
+
+}  // namespace

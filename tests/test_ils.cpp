@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "patterns/named.hpp"
+#include "patterns/random.hpp"
+#include "sched/bounds.hpp"
+#include "sched/coloring.hpp"
+#include "sched/combined.hpp"
+#include "sched/exact.hpp"
+#include "sched/greedy.hpp"
+#include "sched/ils.hpp"
+#include "topo/line.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+using sched::IlsOptions;
+
+TEST(Ils, NeverWorseAndAlwaysValid) {
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(101);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto requests = patterns::random_pattern(
+        64, static_cast<int>(rng.uniform(50, 800)), rng);
+    const auto paths = core::route_all(net, requests);
+    const auto initial = sched::coloring_paths(net, paths);
+    IlsOptions options;
+    options.iterations = 60;
+    options.seed = rng.next_u64();
+    const auto improved =
+        sched::improve_schedule(net, paths, initial, options);
+    EXPECT_LE(improved.degree(), initial.degree());
+    EXPECT_GE(improved.degree(),
+              sched::multiplexing_lower_bound(net, paths));
+    EXPECT_EQ(improved.validate_against(requests), std::nullopt);
+  }
+}
+
+TEST(Ils, FixesGreedysFig3Mistake) {
+  topo::LinearNetwork net(5);
+  const core::RequestSet requests{{0, 2}, {1, 3}, {3, 4}, {2, 4}};
+  const auto paths = core::route_all(net, requests);
+  const auto greedy = sched::greedy_paths(net, paths);
+  ASSERT_EQ(greedy.degree(), 3);
+  const auto improved = sched::improve_schedule(net, paths, greedy);
+  EXPECT_EQ(improved.degree(), 2);
+  EXPECT_EQ(improved.validate_against(requests), std::nullopt);
+}
+
+TEST(Ils, ImprovesGreedyOnMidDensityPatterns) {
+  // The paper's premise quantified: spending compiler time closes part of
+  // the heuristic/greedy gap.  Aggregate over a few instances to avoid
+  // flakiness on any single draw.
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(103);
+  int greedy_total = 0;
+  int improved_total = 0;
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto requests = patterns::random_pattern(64, 600, rng);
+    const auto paths = core::route_all(net, requests);
+    const auto greedy = sched::greedy_paths(net, paths);
+    IlsOptions options;
+    options.iterations = 120;
+    options.seed = rng.next_u64();
+    greedy_total += greedy.degree();
+    improved_total +=
+        sched::improve_schedule(net, paths, greedy, options).degree();
+  }
+  EXPECT_LT(improved_total, greedy_total);
+}
+
+TEST(Ils, MatchesExactOnSmallInstances) {
+  topo::TorusNetwork net(4, 4);
+  util::Rng rng(104);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto requests = patterns::random_pattern(
+        16, static_cast<int>(rng.uniform(4, 16)), rng);
+    const auto paths = core::route_all(net, requests);
+    const auto exact = sched::exact_paths(net, paths);
+    ASSERT_TRUE(exact.has_value());
+    IlsOptions options;
+    options.iterations = 300;
+    options.seed = rng.next_u64();
+    const auto improved = sched::improve_schedule(
+        net, paths, sched::greedy_paths(net, paths), options);
+    EXPECT_EQ(improved.degree(), exact->degree()) << "trial " << trial;
+  }
+}
+
+TEST(Ils, DegenerateInputsPassThrough) {
+  topo::TorusNetwork net(4, 4);
+  const core::RequestSet one{{0, 1}};
+  const auto paths = core::route_all(net, one);
+  const auto schedule = sched::greedy_paths(net, paths);
+  const auto improved = sched::improve_schedule(net, paths, schedule);
+  EXPECT_EQ(improved.degree(), 1);
+  EXPECT_EQ(improved.validate_against(one), std::nullopt);
+}
+
+TEST(Ils, DeterministicGivenSeed) {
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(105);
+  const auto requests = patterns::random_pattern(64, 400, rng);
+  const auto paths = core::route_all(net, requests);
+  const auto initial = sched::greedy_paths(net, paths);
+  const auto a = sched::improve_schedule(net, paths, initial);
+  const auto b = sched::improve_schedule(net, paths, initial);
+  EXPECT_EQ(a.degree(), b.degree());
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aapc/torus_aapc.hpp"
+#include "io/pattern_io.hpp"
+#include "patterns/random.hpp"
+#include "sched/combined.hpp"
+#include "sched/greedy.hpp"
+#include "sched/ordered_aapc.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+
+TEST(PatternIo, ParsesRequestsCommentsAndBlanks) {
+  std::istringstream in(
+      "# a comment\n"
+      "0 1\n"
+      "\n"
+      "  5 12  # trailing comment\n"
+      "63 0\n");
+  const auto requests = io::read_pattern(in);
+  ASSERT_EQ(requests.size(), 3u);
+  EXPECT_EQ(requests[0], (core::Request{0, 1}));
+  EXPECT_EQ(requests[1], (core::Request{5, 12}));
+  EXPECT_EQ(requests[2], (core::Request{63, 0}));
+}
+
+TEST(PatternIo, RejectsMalformedLines) {
+  const char* bad[] = {"0\n", "0 1 2\n", "a b\n", "3 3\n", "-1 2\n"};
+  for (const auto* text : bad) {
+    std::istringstream in(text);
+    EXPECT_THROW(io::read_pattern(in), std::invalid_argument) << text;
+  }
+}
+
+TEST(PatternIo, ErrorsCarryLineNumbers) {
+  std::istringstream in("0 1\n1 2\noops\n");
+  try {
+    io::read_pattern(in);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(PatternIo, PatternRoundTrip) {
+  util::Rng rng(71);
+  const auto original = patterns::random_pattern(64, 150, rng);
+  std::stringstream buffer;
+  io::write_pattern(buffer, original);
+  EXPECT_EQ(io::read_pattern(buffer), original);
+}
+
+TEST(ScheduleIo, RoundTripPreservesSlotsAndLinks) {
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(72);
+  const auto requests = patterns::random_pattern(64, 200, rng);
+  const auto schedule = sched::greedy(net, requests);
+
+  std::stringstream buffer;
+  io::write_schedule(buffer, net, schedule);
+  const auto reloaded = io::read_schedule(buffer, net);
+
+  ASSERT_EQ(reloaded.degree(), schedule.degree());
+  EXPECT_EQ(reloaded.validate_against(requests), std::nullopt);
+  for (int slot = 0; slot < schedule.degree(); ++slot) {
+    const auto& a = schedule.configuration(slot).paths();
+    const auto& b = reloaded.configuration(slot).paths();
+    ASSERT_EQ(a.size(), b.size()) << "slot " << slot;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].request, b[i].request);
+      EXPECT_EQ(a[i].links, b[i].links);
+    }
+  }
+}
+
+TEST(ScheduleIo, AapcRouteChoicesSurviveRoundTrip) {
+  // Ordered-AAPC uses non-default half-ring directions; the link-level
+  // format must preserve them exactly.
+  topo::TorusNetwork net(8, 8);
+  const aapc::TorusAapc aapc(net);
+  util::Rng rng(73);
+  const auto requests = patterns::random_pattern(64, 3600, rng);
+  const auto schedule = sched::ordered_aapc(aapc, requests);
+
+  std::stringstream buffer;
+  io::write_schedule(buffer, net, schedule);
+  const auto reloaded = io::read_schedule(buffer, net);
+  EXPECT_EQ(reloaded.degree(), schedule.degree());
+  EXPECT_EQ(reloaded.validate_against(requests), std::nullopt);
+}
+
+TEST(ScheduleIo, RejectsWrongNetwork) {
+  topo::TorusNetwork net(8, 8);
+  const auto schedule = sched::greedy(net, {{0, 1}});
+  std::stringstream buffer;
+  io::write_schedule(buffer, net, schedule);
+
+  topo::TorusNetwork other(4, 4);
+  EXPECT_THROW(io::read_schedule(buffer, other), std::invalid_argument);
+}
+
+TEST(ScheduleIo, RejectsTamperedFiles) {
+  topo::TorusNetwork net(4, 4);
+  const auto schedule = sched::greedy(net, {{0, 1}, {2, 3}});
+  std::stringstream buffer;
+  io::write_schedule(buffer, net, schedule);
+  auto text = buffer.str();
+
+  // Corrupt a link id so the path becomes discontiguous.
+  const auto colon = text.find(": ");
+  ASSERT_NE(colon, std::string::npos);
+  text[colon + 2] = '9';
+  text[colon + 3] = '9';
+  std::istringstream tampered(text);
+  EXPECT_THROW(io::read_schedule(tampered, net), std::invalid_argument);
+}
+
+TEST(ScheduleIo, RejectsConflictingSlot) {
+  topo::TorusNetwork net(4, 4);
+  // Handcraft a file whose single slot holds two conflicting paths (same
+  // injection link).
+  const auto p1 = core::make_path(net, {0, 1});
+  const auto p2 = core::make_path(net, {0, 2});
+  std::ostringstream out;
+  out << "optdm-schedule 1\nnetwork " << net.name() << "\nslots 1\nslot 0\n";
+  const auto emit = [&](const core::Path& p) {
+    out << "path " << p.request.src << ' ' << p.request.dst << " :";
+    for (std::size_t i = 1; i + 1 < p.links.size(); ++i)
+      out << ' ' << p.links[i];
+    out << '\n';
+  };
+  emit(p1);
+  emit(p2);
+  std::istringstream in(out.str());
+  EXPECT_THROW(io::read_schedule(in, net), std::invalid_argument);
+}
+
+TEST(ScheduleIo, EmptyScheduleRoundTrips) {
+  topo::TorusNetwork net(4, 4);
+  core::Schedule empty;
+  std::stringstream buffer;
+  io::write_schedule(buffer, net, empty);
+  const auto reloaded = io::read_schedule(buffer, net);
+  EXPECT_EQ(reloaded.degree(), 0);
+}
+
+TEST(ScheduleIo, RejectsMissingHeader) {
+  topo::TorusNetwork net(4, 4);
+  std::istringstream in("slots 1\n");
+  EXPECT_THROW(io::read_schedule(in, net), std::invalid_argument);
+}
+
+}  // namespace

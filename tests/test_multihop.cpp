@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "patterns/named.hpp"
+#include "patterns/random.hpp"
+#include "sched/combined.hpp"
+#include "sim/multihop.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+using sim::hypercube_next_hop;
+using sim::simulate_multihop;
+
+core::Schedule hypercube_embedding(topo::TorusNetwork& net) {
+  return sched::combined(net, patterns::hypercube(net.node_count()));
+}
+
+TEST(HypercubeNextHop, CorrectsLowestBitFirst) {
+  EXPECT_EQ(hypercube_next_hop(0, 0), 0);
+  EXPECT_EQ(hypercube_next_hop(0, 1), 1);
+  EXPECT_EQ(hypercube_next_hop(0, 6), 2);   // 110: bit 1 first
+  EXPECT_EQ(hypercube_next_hop(5, 6), 4);   // 101 ^ 110 = 011 -> flip bit 0
+  EXPECT_EQ(hypercube_next_hop(63, 0), 62);
+}
+
+TEST(Multihop, SingleHopMessageTiming) {
+  topo::TorusNetwork net(8, 8);
+  const auto schedule = hypercube_embedding(net);
+  const int k = schedule.degree();
+  // 0 -> 1 is a logical edge: one hop, no relay.
+  const std::vector<sim::Message> messages{{{0, 1}, 3}};
+  const auto run = simulate_multihop(schedule, messages, hypercube_next_hop);
+  ASSERT_TRUE(run.completed);
+  EXPECT_EQ(run.messages[0].hops, 1);
+  // Three payloads, one per frame, starting at the edge's slot: bounded
+  // by setup + 3 frames + slot offset.
+  EXPECT_LE(run.total_slots, 3 + 3 * k + k);
+  EXPECT_GT(run.total_slots, 3);
+}
+
+TEST(Multihop, HopsEqualHammingDistance) {
+  topo::TorusNetwork net(8, 8);
+  const auto schedule = hypercube_embedding(net);
+  util::Rng rng(29);
+  const auto requests = patterns::random_pattern(64, 100, rng);
+  const auto run = simulate_multihop(
+      schedule, sim::uniform_messages(requests, 1), hypercube_next_hop);
+  ASSERT_TRUE(run.completed);
+  for (std::size_t m = 0; m < requests.size(); ++m) {
+    EXPECT_EQ(run.messages[m].hops,
+              std::popcount(static_cast<unsigned>(requests[m].src ^
+                                                  requests[m].dst)));
+    EXPECT_GT(run.messages[m].completed, 0);
+  }
+}
+
+TEST(Multihop, RelayCostSlowsMultiHopMessages) {
+  topo::TorusNetwork net(8, 8);
+  const auto schedule = hypercube_embedding(net);
+  const std::vector<sim::Message> messages{{{0, 63}, 1}};  // 6 hops
+  sim::MultihopParams cheap;
+  cheap.relay_slots = 0;
+  sim::MultihopParams costly;
+  costly.relay_slots = 50;
+  const auto fast = simulate_multihop(schedule, messages, hypercube_next_hop,
+                                      cheap);
+  const auto slow = simulate_multihop(schedule, messages, hypercube_next_hop,
+                                      costly);
+  ASSERT_TRUE(fast.completed);
+  ASSERT_TRUE(slow.completed);
+  EXPECT_EQ(fast.messages[0].hops, 6);
+  // Five relays of 50 slots, each absorbed up to one frame by slot
+  // alignment.
+  EXPECT_GE(slow.total_slots,
+            fast.total_slots + 5 * (50 - schedule.degree()));
+}
+
+TEST(Multihop, ContentionQueuesOnSharedEdges) {
+  // Many messages converging on node 0 share the final logical edges and
+  // must serialize there.
+  topo::TorusNetwork net(8, 8);
+  const auto schedule = hypercube_embedding(net);
+  std::vector<sim::Message> one{{{1, 0}, 4}};
+  std::vector<sim::Message> many;
+  for (topo::NodeId s : {1, 3, 5, 7, 9}) many.push_back({{s, 0}, 4});
+  const auto solo = simulate_multihop(schedule, one, hypercube_next_hop);
+  const auto crowd = simulate_multihop(schedule, many, hypercube_next_hop);
+  ASSERT_TRUE(solo.completed);
+  ASSERT_TRUE(crowd.completed);
+  // All five routes end on edge 1 -> 0; the last of five 4-payload
+  // messages needs at least 5x4 owned slots on that edge.
+  EXPECT_GT(crowd.total_slots, solo.total_slots * 3);
+}
+
+TEST(Multihop, RouterLeavingTopologyThrows) {
+  topo::TorusNetwork net(8, 8);
+  const auto schedule = hypercube_embedding(net);
+  const std::vector<sim::Message> messages{{{0, 5}, 1}};
+  const auto bad_router = [](topo::NodeId at, topo::NodeId) {
+    return static_cast<topo::NodeId>(at + 3);  // not a hypercube edge
+  };
+  EXPECT_THROW(simulate_multihop(schedule, messages, bad_router),
+               std::invalid_argument);
+}
+
+TEST(Multihop, EmptyMessagesTrivial) {
+  topo::TorusNetwork net(8, 8);
+  const auto schedule = hypercube_embedding(net);
+  const std::vector<sim::Message> none;
+  const auto run = simulate_multihop(schedule, none, hypercube_next_hop);
+  EXPECT_TRUE(run.completed);
+  EXPECT_EQ(run.total_slots, 0);
+}
+
+TEST(Multihop, HorizonAborts) {
+  topo::TorusNetwork net(8, 8);
+  const auto schedule = hypercube_embedding(net);
+  const std::vector<sim::Message> messages{{{0, 63}, 1000}};
+  sim::MultihopParams params;
+  params.horizon = 10;
+  const auto run =
+      simulate_multihop(schedule, messages, hypercube_next_hop, params);
+  EXPECT_FALSE(run.completed);
+}
+
+TEST(Multihop, RejectsBadInput) {
+  topo::TorusNetwork net(8, 8);
+  const auto schedule = hypercube_embedding(net);
+  const std::vector<sim::Message> zero{{{0, 1}, 0}};
+  EXPECT_THROW(simulate_multihop(schedule, zero, hypercube_next_hop),
+               std::invalid_argument);
+  const std::vector<sim::Message> one{{{0, 1}, 1}};
+  EXPECT_THROW(simulate_multihop(core::Schedule{}, one, hypercube_next_hop),
+               std::invalid_argument);
+}
+
+TEST(Multihop, AllRandomTrafficCompletes) {
+  topo::TorusNetwork net(8, 8);
+  const auto schedule = hypercube_embedding(net);
+  util::Rng rng(31);
+  const auto requests = patterns::random_pattern(64, 500, rng);
+  std::vector<sim::Message> messages;
+  for (const auto& r : requests) messages.push_back({r, rng.uniform(1, 6)});
+  const auto run = simulate_multihop(schedule, messages, hypercube_next_hop);
+  ASSERT_TRUE(run.completed);
+  for (const auto& m : run.messages) EXPECT_GT(m.completed, 0);
+}
+
+}  // namespace

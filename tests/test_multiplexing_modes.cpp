@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "aapc/torus_aapc.hpp"
+#include "patterns/named.hpp"
+#include "patterns/random.hpp"
+#include "sched/combined.hpp"
+#include "sim/compiled.hpp"
+#include "sim/dynamic.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+using sim::ChannelKind;
+
+TEST(WdmCompiled, RemovesFrameFactor) {
+  topo::TorusNetwork net(8, 8);
+  const auto requests = patterns::hypercube(64);
+  const auto schedule = sched::combined(net, requests);
+  const auto messages = sim::uniform_messages(requests, 10);
+
+  sim::CompiledParams tdm;
+  sim::CompiledParams wdm;
+  wdm.channel = ChannelKind::kWavelength;
+  const auto t = sim::simulate_compiled(schedule, messages, tdm);
+  const auto w = sim::simulate_compiled(schedule, messages, wdm);
+  // WDM: every channel transmits at full rate -> setup + M.
+  EXPECT_EQ(w.total_slots, wdm.setup_slots + 10);
+  // TDM: the worst channel sits in the last slot of the K-frame:
+  // setup + (K-1) + (M-1)K + 1 = setup + MK.
+  EXPECT_EQ(t.total_slots,
+            tdm.setup_slots + 10 * static_cast<std::int64_t>(schedule.degree()));
+}
+
+TEST(WdmCompiled, SteppedAgreesWithAnalytic) {
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(61);
+  const auto requests = patterns::random_pattern(64, 60, rng);
+  const auto schedule = sched::combined(net, requests);
+  std::vector<sim::Message> messages;
+  for (const auto& r : requests) messages.push_back({r, rng.uniform(1, 9)});
+  sim::CompiledParams wdm;
+  wdm.channel = ChannelKind::kWavelength;
+  const auto analytic = sim::simulate_compiled(schedule, messages, wdm);
+  const auto stepped = sim::simulate_compiled_stepped(schedule, messages, wdm);
+  EXPECT_EQ(analytic.total_slots, stepped.total_slots);
+  for (std::size_t i = 0; i < messages.size(); ++i)
+    EXPECT_EQ(analytic.messages[i].completed, stepped.messages[i].completed);
+}
+
+TEST(WdmDynamic, DataTimeIndependentOfDegree) {
+  topo::TorusNetwork net(8, 8);
+  const std::vector<sim::Message> messages{{{0, 1}, 30}};
+  sim::DynamicParams params;
+  params.channel = ChannelKind::kWavelength;
+  params.multiplexing_degree = 10;
+  const auto run = sim::simulate_dynamic(net, messages, params);
+  ASSERT_TRUE(run.completed);
+  // Full-rate wavelength: 30 payloads take ~30 slots regardless of K.
+  EXPECT_EQ(run.messages[0].completed - run.messages[0].established, 31);
+}
+
+TEST(WdmDynamic, BeatsTdmForLargeMessagesAtHighDegree) {
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(62);
+  const auto requests = patterns::random_pattern(64, 100, rng);
+  const auto messages = sim::uniform_messages(requests, 20);
+  sim::DynamicParams tdm;
+  tdm.multiplexing_degree = 10;
+  auto wdm = tdm;
+  wdm.channel = ChannelKind::kWavelength;
+  const auto t = sim::simulate_dynamic(net, messages, tdm);
+  const auto w = sim::simulate_dynamic(net, messages, wdm);
+  ASSERT_TRUE(t.completed);
+  ASSERT_TRUE(w.completed);
+  EXPECT_LT(w.total_slots, t.total_slots);
+}
+
+TEST(StaticFallback, FullAapcScheduleIsValidAndSixtyFourDeep) {
+  topo::TorusNetwork net(8, 8);
+  const aapc::TorusAapc aapc(net);
+  const auto schedule = aapc.full_schedule();
+  EXPECT_EQ(schedule.degree(), 64);
+  EXPECT_EQ(schedule.validate_against(patterns::all_to_all(64)),
+            std::nullopt);
+}
+
+TEST(StaticFallback, CarriesArbitraryRuntimeTraffic) {
+  // The paper's sketch for dynamic patterns: keep the full AAPC schedule
+  // loaded; any message (s, d) simply uses its pair's slot — no
+  // reservation round-trips at all.
+  topo::TorusNetwork net(8, 8);
+  const aapc::TorusAapc aapc(net);
+  const auto schedule = aapc.full_schedule();
+
+  util::Rng rng(63);
+  const auto requests = patterns::random_pattern(64, 200, rng);
+  const auto messages = sim::uniform_messages(requests, 2);
+  const auto run = sim::simulate_compiled(schedule, messages);
+  // Worst case: last slot of the second frame: setup + 63 + 64 + 1.
+  EXPECT_LE(run.total_slots, 3 + 63 + 64 + 1);
+  for (const auto& m : run.messages) EXPECT_GT(m.completed, 0);
+}
+
+TEST(StaticFallback, SmallMessagesBeatReservationProtocol) {
+  // For fine-grain dynamic traffic the static AAPC fallback (time 64 x M)
+  // beats paying a reservation round-trip per message.
+  topo::TorusNetwork net(8, 8);
+  const aapc::TorusAapc aapc(net);
+  const auto schedule = aapc.full_schedule();
+  util::Rng rng(64);
+  const auto requests = patterns::random_pattern(64, 500, rng);
+  const auto messages = sim::uniform_messages(requests, 1);
+
+  const auto fallback = sim::simulate_compiled(schedule, messages);
+  sim::DynamicParams params;
+  params.multiplexing_degree = 2;
+  const auto reservation = sim::simulate_dynamic(net, messages, params);
+  ASSERT_TRUE(reservation.completed);
+  EXPECT_LT(fallback.total_slots, reservation.total_slots);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/path.hpp"
+#include "patterns/named.hpp"
+#include "patterns/random.hpp"
+#include "sched/bounds.hpp"
+#include "sched/coloring.hpp"
+#include "sched/greedy.hpp"
+#include "topo/omega.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+using topo::OmegaNetwork;
+
+TEST(Omega, StructureCounts) {
+  OmegaNetwork net(8);
+  EXPECT_EQ(net.node_count(), 8);
+  EXPECT_EQ(net.stage_count(), 3);
+  // 8 PEs + 3 stages x 4 switches.
+  EXPECT_EQ(net.vertex_count(), 8 + 12);
+  // 16 processor links + 2 stages x 8 inter-stage wires.
+  EXPECT_EQ(net.link_count(), 16 + 16);
+  EXPECT_EQ(net.name(), "omega(8)");
+}
+
+TEST(Omega, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(OmegaNetwork(6), std::invalid_argument);
+  EXPECT_THROW(OmegaNetwork(1), std::invalid_argument);
+}
+
+TEST(Omega, RoutesHaveUniformLength) {
+  OmegaNetwork net(16);
+  for (topo::NodeId s = 0; s < 16; ++s)
+    for (topo::NodeId d = 0; d < 16; ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(net.route_hops(s, d), 3);  // stages - 1 inter-stage wires
+      EXPECT_EQ(net.route_links(s, d).size(), 3u);
+    }
+}
+
+TEST(Omega, PathsAreValidForAllPairs) {
+  // make_path validates contiguity and endpoints; exercising it for every
+  // pair proves the destination-tag routing and the wiring agree.
+  for (const int n : {2, 4, 8, 16, 32, 64}) {
+    OmegaNetwork net(n);
+    for (topo::NodeId s = 0; s < n; ++s)
+      for (topo::NodeId d = 0; d < n; ++d) {
+        if (s == d) continue;
+        EXPECT_NO_THROW(core::make_path(net, {s, d}))
+            << net.name() << " " << s << "->" << d;
+      }
+  }
+}
+
+TEST(Omega, IdentityPermutationIsConflictFree) {
+  // The Omega network passes the "straight" permutations without
+  // blocking; shifting by any constant is one of them.
+  OmegaNetwork net(16);
+  core::RequestSet requests;
+  for (topo::NodeId i = 0; i < 16; ++i)
+    requests.push_back({i, static_cast<topo::NodeId>((i + 1) % 16)});
+  const auto schedule = sched::greedy(net, requests);
+  EXPECT_EQ(schedule.degree(), 1);
+}
+
+TEST(Omega, BitReversalPermutationBlocks) {
+  // Bit reversal is a classic Omega-blocking permutation: it cannot be
+  // realized in one pass, so the multiplexing degree must exceed 1.
+  OmegaNetwork net(16);
+  core::RequestSet requests;
+  for (topo::NodeId i = 0; i < 16; ++i) {
+    topo::NodeId r = 0;
+    for (int b = 0; b < 4; ++b)
+      if ((i >> b) & 1) r |= 1 << (3 - b);
+    if (r != i) requests.push_back({i, r});
+  }
+  const auto schedule = sched::coloring(net, requests);
+  EXPECT_GT(schedule.degree(), 1);
+  EXPECT_EQ(schedule.validate_against(requests), std::nullopt);
+}
+
+TEST(Omega, CentralStageBoundsAllToAll) {
+  // All-to-all on an Omega: every input sends n-1 messages through a
+  // unique path; the first-stage injection gives a terminal bound of n-1.
+  OmegaNetwork net(8);
+  const auto requests = patterns::all_to_all(8);
+  const auto paths = core::route_all(net, requests);
+  EXPECT_GE(sched::multiplexing_lower_bound(net, paths), 7);
+  const auto schedule = sched::coloring(net, requests);
+  EXPECT_EQ(schedule.validate_against(requests), std::nullopt);
+  EXPECT_GE(schedule.degree(), 7);
+}
+
+class OmegaScheduleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OmegaScheduleProperty, SchedulersValidOnRandomPatterns) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 613 + 5);
+  OmegaNetwork net(32);
+  const auto requests =
+      patterns::random_pattern(32, static_cast<int>(rng.uniform(5, 200)), rng);
+  const auto paths = core::route_all(net, requests);
+  const int bound = sched::multiplexing_lower_bound(net, paths);
+  for (const auto& schedule :
+       {sched::greedy_paths(net, paths), sched::coloring_paths(net, paths)}) {
+    EXPECT_EQ(schedule.validate_against(requests), std::nullopt);
+    EXPECT_GE(schedule.degree(), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OmegaScheduleProperty, ::testing::Range(0, 8));
+
+}  // namespace

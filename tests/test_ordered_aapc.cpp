@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "aapc/torus_aapc.hpp"
+#include "patterns/named.hpp"
+#include "patterns/random.hpp"
+#include "sched/greedy.hpp"
+#include "sched/ordered_aapc.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+
+class OrderedAapcTest : public ::testing::Test {
+ protected:
+  OrderedAapcTest() : net_(8, 8), aapc_(net_) {}
+  topo::TorusNetwork net_;
+  aapc::TorusAapc aapc_;
+};
+
+TEST_F(OrderedAapcTest, AllToAllUsesExactlySixtyFourConfigurations) {
+  // Paper Tables 1 and 3: the AAPC algorithm schedules the full all-to-all
+  // pattern in 64 slots on the 8x8 torus.
+  const auto requests = patterns::all_to_all(64);
+  const auto schedule = sched::ordered_aapc(aapc_, requests);
+  EXPECT_EQ(schedule.degree(), 64);
+  EXPECT_EQ(schedule.validate_against(requests), std::nullopt);
+}
+
+TEST_F(OrderedAapcTest, NeverExceedsAapcPhaseCountOnDuplicateFreePatterns) {
+  util::Rng rng(5);
+  for (const int conns : {500, 1500, 3000, 4032}) {
+    const auto requests = patterns::random_pattern(64, conns, rng);
+    const auto schedule = sched::ordered_aapc(aapc_, requests);
+    EXPECT_LE(schedule.degree(), aapc_.phase_count()) << conns;
+    EXPECT_EQ(schedule.validate_against(requests), std::nullopt);
+  }
+}
+
+TEST_F(OrderedAapcTest, SparsePatternsMergePhases) {
+  // A handful of requests from distinct AAPC phases should still pack into
+  // far fewer configurations than phases touched.
+  const core::RequestSet requests{{0, 1}, {2, 3}, {4, 5}, {16, 17}, {20, 21}};
+  const auto schedule = sched::ordered_aapc(aapc_, requests);
+  EXPECT_LE(schedule.degree(), 2);
+  EXPECT_EQ(schedule.validate_against(requests), std::nullopt);
+}
+
+TEST_F(OrderedAapcTest, EmptyPattern) {
+  EXPECT_EQ(sched::ordered_aapc(aapc_, {}).degree(), 0);
+}
+
+TEST_F(OrderedAapcTest, BeatsGreedyOnDensePatterns) {
+  // The paper's motivation for the algorithm (Section 3.3).
+  util::Rng rng(11);
+  const auto requests = patterns::random_pattern(64, 3600, rng);
+  const auto by_greedy = sched::greedy(net_, requests);
+  const auto by_aapc = sched::ordered_aapc(aapc_, requests);
+  EXPECT_LT(by_aapc.degree(), by_greedy.degree());
+}
+
+TEST_F(OrderedAapcTest, ConvenienceOverloadAgrees) {
+  util::Rng rng(13);
+  const auto requests = patterns::random_pattern(64, 100, rng);
+  const auto a = sched::ordered_aapc(aapc_, requests);
+  const auto b = sched::ordered_aapc(net_, requests);
+  EXPECT_EQ(a.degree(), b.degree());
+}
+
+TEST_F(OrderedAapcTest, HandlesMultisetPatterns) {
+  // Duplicates conflict with themselves and spill into extra slots, but
+  // the schedule must stay valid and complete.
+  core::RequestSet requests;
+  for (int rep = 0; rep < 3; ++rep)
+    for (topo::NodeId d = 1; d < 5; ++d) requests.push_back({0, d});
+  const auto schedule = sched::ordered_aapc(aapc_, requests);
+  EXPECT_EQ(schedule.validate_against(requests), std::nullopt);
+  EXPECT_GE(schedule.degree(), 12);  // 12 messages out of node 0
+}
+
+TEST(OrderedAapcSmall, WorksOnFourByFour) {
+  topo::TorusNetwork net(4, 4);
+  const auto requests = patterns::all_to_all(16);
+  const auto schedule = sched::ordered_aapc(net, requests);
+  EXPECT_EQ(schedule.validate_against(requests), std::nullopt);
+  // Ring(4) has 4 phases; the product gives 16.
+  EXPECT_LE(schedule.degree(), 16);
+}
+
+}  // namespace

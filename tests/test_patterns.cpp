@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "patterns/named.hpp"
+#include "patterns/random.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+using core::Request;
+using core::RequestSet;
+
+void expect_wellformed(const RequestSet& requests, int nodes) {
+  for (const auto& r : requests) {
+    EXPECT_NE(r.src, r.dst);
+    EXPECT_GE(r.src, 0);
+    EXPECT_LT(r.src, nodes);
+    EXPECT_GE(r.dst, 0);
+    EXPECT_LT(r.dst, nodes);
+  }
+}
+
+TEST(Patterns, CountsMatchPaperTable3) {
+  topo::TorusNetwork net(8, 8);
+  EXPECT_EQ(patterns::ring(64).size(), 128u);
+  EXPECT_EQ(patterns::nearest_neighbor(net).size(), 256u);
+  EXPECT_EQ(patterns::hypercube(64).size(), 384u);
+  EXPECT_EQ(patterns::shuffle_exchange(64).size(), 126u);
+  EXPECT_EQ(patterns::all_to_all(64).size(), 4032u);
+}
+
+TEST(Patterns, LinearNeighborsCount) {
+  EXPECT_EQ(patterns::linear_neighbors(64).size(), 126u);
+  EXPECT_EQ(patterns::linear_neighbors(2).size(), 2u);
+}
+
+TEST(Patterns, LinearNeighborsHasNoWraparound) {
+  const auto requests = patterns::linear_neighbors(8);
+  EXPECT_EQ(std::count(requests.begin(), requests.end(), Request{7, 0}), 0);
+  EXPECT_EQ(std::count(requests.begin(), requests.end(), Request{0, 7}), 0);
+}
+
+TEST(Patterns, RingWrapsAround) {
+  const auto requests = patterns::ring(8);
+  EXPECT_EQ(std::count(requests.begin(), requests.end(), Request{7, 0}), 1);
+  EXPECT_EQ(std::count(requests.begin(), requests.end(), Request{0, 7}), 1);
+  expect_wellformed(requests, 8);
+}
+
+TEST(Patterns, HypercubeIsSymmetric) {
+  const auto requests = patterns::hypercube(16);
+  expect_wellformed(requests, 16);
+  const std::set<Request> set(requests.begin(), requests.end());
+  EXPECT_EQ(set.size(), requests.size());  // no duplicates
+  for (const auto& r : set)
+    EXPECT_TRUE(set.count(Request{r.dst, r.src}))
+        << "hypercube edge missing its reverse";
+}
+
+TEST(Patterns, HypercubeRequiresPowerOfTwo) {
+  EXPECT_THROW(patterns::hypercube(48), std::invalid_argument);
+  EXPECT_THROW(patterns::hypercube(1), std::invalid_argument);
+}
+
+TEST(Patterns, ShuffleExchangeStructure) {
+  const auto requests = patterns::shuffle_exchange(8);
+  // n=8: shuffle has fixed points 0 and 7 -> 6 shuffle edges + 8 exchange.
+  EXPECT_EQ(requests.size(), 14u);
+  expect_wellformed(requests, 8);
+  // Shuffle of 1 (001) is 2 (010); exchange of 1 is 0.
+  EXPECT_EQ(std::count(requests.begin(), requests.end(), Request{1, 2}), 1);
+  EXPECT_EQ(std::count(requests.begin(), requests.end(), Request{1, 0}), 1);
+}
+
+TEST(Patterns, AllToAllCoversEveryOrderedPair) {
+  const auto requests = patterns::all_to_all(6);
+  EXPECT_EQ(requests.size(), 30u);
+  const std::set<Request> set(requests.begin(), requests.end());
+  EXPECT_EQ(set.size(), 30u);
+  expect_wellformed(requests, 6);
+}
+
+TEST(Patterns, TransposeStructure) {
+  const auto requests = patterns::transpose(64);
+  EXPECT_EQ(requests.size(), 56u);  // 8x8 grid minus the diagonal
+  expect_wellformed(requests, 64);
+  // (1,0) grid position is PE 8*1+0? No: PE i*8+j sends to PE j*8+i.
+  EXPECT_EQ(std::count(requests.begin(), requests.end(), Request{8, 1}), 1);
+  EXPECT_THROW(patterns::transpose(48), std::invalid_argument);
+}
+
+TEST(Patterns, TransposeIsInvolution) {
+  const auto requests = patterns::transpose(16);
+  const std::set<Request> set(requests.begin(), requests.end());
+  for (const auto& r : set)
+    EXPECT_TRUE(set.count(Request{r.dst, r.src}));
+}
+
+TEST(Patterns, BitReversalStructure) {
+  const auto requests = patterns::bit_reversal(64);
+  // 6-bit addresses: palindromes 6 bits... count fixed points: addresses
+  // equal to their own reversal: 2^3 = 8 -> 56 requests.
+  EXPECT_EQ(requests.size(), 56u);
+  expect_wellformed(requests, 64);
+  // 000001 -> 100000.
+  EXPECT_EQ(std::count(requests.begin(), requests.end(), Request{1, 32}), 1);
+  EXPECT_THROW(patterns::bit_reversal(63), std::invalid_argument);
+}
+
+TEST(Patterns, Stencil26Counts) {
+  EXPECT_EQ(patterns::stencil26(4, 4, 4).size(), 64u * 26u);
+  // A 2x2x2 grid: wraparound collapses the 26 offsets onto the 7 other
+  // nodes.
+  EXPECT_EQ(patterns::stencil26(2, 2, 2).size(), 8u * 7u);
+}
+
+TEST(Patterns, Stencil26NeighborsAreAdjacent) {
+  const auto requests = patterns::stencil26(4, 4, 4);
+  expect_wellformed(requests, 64);
+  for (const auto& r : requests) {
+    const auto unpack = [](topo::NodeId n) {
+      return std::array<int, 3>{n % 4, (n / 4) % 4, n / 16};
+    };
+    const auto a = unpack(r.src);
+    const auto b = unpack(r.dst);
+    for (int d = 0; d < 3; ++d) {
+      const int diff = std::abs(a[static_cast<std::size_t>(d)] -
+                                b[static_cast<std::size_t>(d)]);
+      EXPECT_TRUE(diff <= 1 || diff == 3) << "non-adjacent stencil pair";
+    }
+  }
+}
+
+TEST(RandomPatterns, DistinctPairsAndExactCount) {
+  util::Rng rng(21);
+  const auto requests = patterns::random_pattern(64, 1000, rng);
+  EXPECT_EQ(requests.size(), 1000u);
+  expect_wellformed(requests, 64);
+  const std::set<Request> set(requests.begin(), requests.end());
+  EXPECT_EQ(set.size(), 1000u);  // sampling without replacement
+}
+
+TEST(RandomPatterns, FullUniverseIsAllToAll) {
+  util::Rng rng(22);
+  auto requests = patterns::random_pattern(8, 56, rng);
+  auto expected = patterns::all_to_all(8);
+  std::sort(requests.begin(), requests.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(requests, expected);
+}
+
+TEST(RandomPatterns, RejectsOverdraw) {
+  util::Rng rng(23);
+  EXPECT_THROW(patterns::random_pattern(8, 57, rng), std::invalid_argument);
+  EXPECT_THROW(patterns::random_pattern(8, -1, rng), std::invalid_argument);
+}
+
+TEST(RandomPatterns, WithReplacementAllowsDuplicates) {
+  util::Rng rng(24);
+  // With 5000 draws over 56 pairs, duplicates are certain.
+  const auto requests =
+      patterns::random_pattern_with_replacement(8, 5000, rng);
+  const std::set<Request> set(requests.begin(), requests.end());
+  EXPECT_LT(set.size(), requests.size());
+  expect_wellformed(requests, 8);
+}
+
+TEST(RandomPatterns, PermutationHasDistinctEndpoints) {
+  util::Rng rng(25);
+  const auto requests = patterns::random_permutation(64, rng);
+  EXPECT_EQ(requests.size(), 64u);
+  std::set<topo::NodeId> sources, destinations;
+  for (const auto& r : requests) {
+    EXPECT_NE(r.src, r.dst);
+    EXPECT_TRUE(sources.insert(r.src).second);
+    EXPECT_TRUE(destinations.insert(r.dst).second);
+  }
+}
+
+TEST(RandomPatterns, DeterministicGivenSeed) {
+  util::Rng a(99), b(99);
+  EXPECT_EQ(patterns::random_pattern(64, 200, a),
+            patterns::random_pattern(64, 200, b));
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "redist/block_cyclic.hpp"
+#include "redist/redistribution.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+using redist::ArrayDistribution;
+using redist::DimDistribution;
+using redist::plan_redistribution;
+using redist::random_distribution;
+
+ArrayDistribution make(std::array<std::int64_t, 3> extent,
+                       std::array<DimDistribution, 3> dims) {
+  ArrayDistribution d;
+  d.extent = extent;
+  d.dims = dims;
+  return d;
+}
+
+TEST(BlockCyclic, OwnerMatchesBruteForceDefinition) {
+  // 8 elements over 2 procs, block 2: blocks 0,1,2,3 -> procs 0,1,0,1.
+  const auto dist = make({8, 1, 1}, {DimDistribution{2, 2},
+                                     DimDistribution{1, 1},
+                                     DimDistribution{1, 1}});
+  const int expected[] = {0, 0, 1, 1, 0, 0, 1, 1};
+  for (std::int64_t i = 0; i < 8; ++i)
+    EXPECT_EQ(dist.owner(i, 0, 0), expected[i]) << i;
+}
+
+TEST(BlockCyclic, RankLinearizationIsRowMajor) {
+  const auto dist = make({4, 4, 4}, {DimDistribution{2, 2},
+                                     DimDistribution{2, 2},
+                                     DimDistribution{2, 2}});
+  EXPECT_EQ(dist.total_procs(), 8);
+  // Element (2,0,0): grid coord (1,0,0) -> rank 1.
+  EXPECT_EQ(dist.owner(2, 0, 0), 1);
+  // Element (0,2,0): grid coord (0,1,0) -> rank 2.
+  EXPECT_EQ(dist.owner(0, 2, 0), 2);
+  // Element (0,0,2): grid coord (0,0,1) -> rank 4.
+  EXPECT_EQ(dist.owner(0, 0, 2), 4);
+}
+
+TEST(BlockCyclic, ElementsOwnedSumsToArraySize) {
+  const auto dist = make({16, 8, 4}, {DimDistribution{4, 2},
+                                      DimDistribution{2, 4},
+                                      DimDistribution{1, 1}});
+  std::int64_t total = 0;
+  for (topo::NodeId r = 0; r < dist.total_procs(); ++r)
+    total += dist.elements_owned(r);
+  EXPECT_EQ(total, 16 * 8 * 4);
+}
+
+TEST(BlockCyclic, ElementsOwnedMatchesSweep) {
+  const auto dist = make({8, 8, 8}, {DimDistribution{2, 1},
+                                     DimDistribution{4, 2},
+                                     DimDistribution{1, 1}});
+  std::map<topo::NodeId, std::int64_t> sweep;
+  for (std::int64_t i2 = 0; i2 < 8; ++i2)
+    for (std::int64_t i1 = 0; i1 < 8; ++i1)
+      for (std::int64_t i0 = 0; i0 < 8; ++i0) ++sweep[dist.owner(i0, i1, i2)];
+  for (topo::NodeId r = 0; r < dist.total_procs(); ++r)
+    EXPECT_EQ(dist.elements_owned(r), sweep[r]) << "rank " << r;
+}
+
+TEST(BlockCyclic, CoversAllProcessors) {
+  EXPECT_TRUE(make({8, 8, 8}, {DimDistribution{4, 2}, DimDistribution{1, 1},
+                               DimDistribution{1, 1}})
+                  .covers_all_processors());
+  // 64 procs along a 32-extent dimension: half own nothing.
+  EXPECT_FALSE(make({32, 32, 32},
+                    {DimDistribution{1, 1}, DimDistribution{1, 1},
+                     DimDistribution{64, 1}})
+                   .covers_all_processors());
+}
+
+TEST(BlockCyclic, ToStringUsesCraftNotation) {
+  const auto dist = make({64, 64, 64}, {DimDistribution{4, 16},
+                                        DimDistribution{1, 1},
+                                        DimDistribution{8, 2}});
+  EXPECT_EQ(dist.to_string(), "(4:block(16), :, 8:block(2))");
+}
+
+TEST(BlockCyclic, ValidateRejectsNonsense) {
+  auto dist = make({8, 8, 8}, {DimDistribution{0, 1}, DimDistribution{1, 1},
+                               DimDistribution{1, 1}});
+  EXPECT_THROW(dist.validate(), std::invalid_argument);
+  dist = make({0, 8, 8}, {DimDistribution{1, 1}, DimDistribution{1, 1},
+                          DimDistribution{1, 1}});
+  EXPECT_THROW(dist.validate(), std::invalid_argument);
+}
+
+TEST(RandomDistribution, AlwaysValidAndCovering) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto dist = random_distribution({64, 64, 64}, 64, rng);
+    EXPECT_EQ(dist.total_procs(), 64);
+    EXPECT_TRUE(dist.covers_all_processors());
+    EXPECT_NO_THROW(dist.validate());
+  }
+}
+
+TEST(RandomDistribution, RejectsImpossibleInputs) {
+  util::Rng rng(6);
+  EXPECT_THROW(random_distribution({64, 64, 64}, 63, rng),
+               std::invalid_argument);
+  EXPECT_THROW(random_distribution({63, 64, 64}, 64, rng),
+               std::invalid_argument);
+}
+
+TEST(Redistribution, IdenticalDistributionsMoveNothing) {
+  const auto dist = make({16, 16, 16}, {DimDistribution{4, 4},
+                                        DimDistribution{4, 4},
+                                        DimDistribution{4, 1}});
+  const auto plan = plan_redistribution(dist, dist);
+  EXPECT_TRUE(plan.transfers.empty());
+  EXPECT_EQ(plan.total_elements(), 0);
+}
+
+TEST(Redistribution, MismatchedExtentsThrow) {
+  const auto a = make({16, 16, 16}, {DimDistribution{4, 4},
+                                     DimDistribution{1, 1},
+                                     DimDistribution{1, 1}});
+  const auto b = make({8, 16, 16}, {DimDistribution{4, 2},
+                                    DimDistribution{1, 1},
+                                    DimDistribution{1, 1}});
+  EXPECT_THROW(plan_redistribution(a, b), std::invalid_argument);
+}
+
+TEST(Redistribution, HandComputedOneDimensionalCase) {
+  // 8 elements, 2 procs: block(4) -> cyclic block(1).
+  // block(4): proc0 owns 0-3, proc1 owns 4-7.
+  // cyclic:   proc0 owns evens, proc1 owns odds.
+  const auto from = make({8, 1, 1}, {DimDistribution{2, 4},
+                                     DimDistribution{1, 1},
+                                     DimDistribution{1, 1}});
+  const auto to = make({8, 1, 1}, {DimDistribution{2, 1},
+                                   DimDistribution{1, 1},
+                                   DimDistribution{1, 1}});
+  const auto plan = plan_redistribution(from, to);
+  // Elements 1,3 move 0->1; elements 4,6 move 1->0; total 4 elements.
+  ASSERT_EQ(plan.transfers.size(), 2u);
+  EXPECT_EQ(plan.total_elements(), 4);
+  for (const auto& t : plan.transfers) EXPECT_EQ(t.elements, 2);
+}
+
+TEST(Redistribution, VolumeConservation) {
+  // Total elements moved == elements whose owner changed.
+  util::Rng rng(8);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto from = random_distribution({16, 16, 16}, 16, rng);
+    const auto to = random_distribution({16, 16, 16}, 16, rng);
+    const auto plan = plan_redistribution(from, to);
+    std::int64_t moved = 0;
+    for (std::int64_t i2 = 0; i2 < 16; ++i2)
+      for (std::int64_t i1 = 0; i1 < 16; ++i1)
+        for (std::int64_t i0 = 0; i0 < 16; ++i0)
+          if (from.owner(i0, i1, i2) != to.owner(i0, i1, i2)) ++moved;
+    EXPECT_EQ(plan.total_elements(), moved);
+  }
+}
+
+TEST(Redistribution, TransfersAreDeterministicallyOrdered) {
+  util::Rng rng(9);
+  const auto from = random_distribution({16, 16, 16}, 16, rng);
+  const auto to = random_distribution({16, 16, 16}, 16, rng);
+  const auto plan = plan_redistribution(from, to);
+  for (std::size_t i = 1; i < plan.transfers.size(); ++i)
+    EXPECT_LT(plan.transfers[i - 1].request, plan.transfers[i].request);
+}
+
+TEST(Redistribution, PatternMatchesTransfers) {
+  util::Rng rng(10);
+  const auto from = random_distribution({16, 16, 16}, 16, rng);
+  const auto to = random_distribution({16, 16, 16}, 16, rng);
+  const auto plan = plan_redistribution(from, to);
+  const auto pattern = plan.pattern();
+  ASSERT_EQ(pattern.size(), plan.transfers.size());
+  for (std::size_t i = 0; i < pattern.size(); ++i)
+    EXPECT_EQ(pattern[i], plan.transfers[i].request);
+}
+
+TEST(Redistribution, AllToAllFromOrthogonalDistributions) {
+  // Row distribution to column distribution: every PE talks to every
+  // other PE (the paper's observation that redistributions can reach the
+  // full all-to-all pattern).
+  const auto rows = make({8, 8, 1}, {DimDistribution{8, 1},
+                                     DimDistribution{1, 1},
+                                     DimDistribution{1, 1}});
+  const auto cols = make({8, 8, 1}, {DimDistribution{1, 1},
+                                     DimDistribution{8, 1},
+                                     DimDistribution{1, 1}});
+  const auto plan = plan_redistribution(rows, cols);
+  EXPECT_EQ(plan.transfers.size(), 8u * 7u);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "patterns/named.hpp"
+#include "patterns/random.hpp"
+#include "sched/combined.hpp"
+#include "sched/greedy.hpp"
+#include "sim/compiled.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+using sim::CompiledParams;
+using sim::Message;
+using sim::simulate_compiled;
+using sim::simulate_compiled_stepped;
+
+TEST(SlotsForElements, CeilingWithMinimumOne) {
+  EXPECT_EQ(sim::slots_for_elements(0, 4), 1);
+  EXPECT_EQ(sim::slots_for_elements(1, 4), 1);
+  EXPECT_EQ(sim::slots_for_elements(4, 4), 1);
+  EXPECT_EQ(sim::slots_for_elements(5, 4), 2);
+  EXPECT_EQ(sim::slots_for_elements(64, 4), 16);
+  EXPECT_THROW(sim::slots_for_elements(-1, 4), std::invalid_argument);
+  EXPECT_THROW(sim::slots_for_elements(4, 0), std::invalid_argument);
+}
+
+TEST(SimCompiled, SingleMessageTiming) {
+  topo::TorusNetwork net(4, 4);
+  const core::RequestSet requests{{0, 1}};
+  const auto schedule = sched::greedy(net, requests);
+  ASSERT_EQ(schedule.degree(), 1);
+  CompiledParams params;
+  params.setup_slots = 3;
+  const auto result =
+      simulate_compiled(schedule, sim::uniform_messages(requests, 10), params);
+  // Slot 0 of every frame (K = 1): finishes at setup + 10.
+  EXPECT_EQ(result.total_slots, 13);
+  ASSERT_EQ(result.messages.size(), 1u);
+  EXPECT_EQ(result.messages[0].slot, 0);
+}
+
+TEST(SimCompiled, LaterSlotFinishesLater) {
+  topo::TorusNetwork net(4, 4);
+  // Two conflicting requests (same source) -> degree 2.
+  const core::RequestSet requests{{0, 1}, {0, 2}};
+  const auto schedule = sched::greedy(net, requests);
+  ASSERT_EQ(schedule.degree(), 2);
+  CompiledParams params;
+  params.setup_slots = 0;
+  const auto result =
+      simulate_compiled(schedule, sim::uniform_messages(requests, 4), params);
+  // Slot 0: finishes at 0 + (4-1)*2 + 1 = 7; slot 1: 1 + 6 + 1 = 8.
+  EXPECT_EQ(result.total_slots, 8);
+}
+
+TEST(SimCompiled, MessageNotInScheduleThrows) {
+  topo::TorusNetwork net(4, 4);
+  const auto schedule = sched::greedy(net, {{0, 1}});
+  const std::vector<Message> messages{{{2, 3}, 1}};
+  EXPECT_THROW(simulate_compiled(schedule, messages, {}),
+               std::invalid_argument);
+}
+
+TEST(SimCompiled, EmptyMessagesIsZeroTime) {
+  topo::TorusNetwork net(4, 4);
+  const auto schedule = sched::greedy(net, {{0, 1}});
+  const std::vector<Message> none;
+  EXPECT_EQ(simulate_compiled(schedule, none, {}).total_slots, 0);
+}
+
+TEST(SimCompiled, MessagesOnSameConnectionSerialize) {
+  topo::TorusNetwork net(4, 4);
+  const core::RequestSet requests{{0, 1}};
+  const auto schedule = sched::greedy(net, requests);
+  const std::vector<Message> messages{{{0, 1}, 3}, {{0, 1}, 2}};
+  CompiledParams params;
+  params.setup_slots = 0;
+  const auto result = simulate_compiled(schedule, messages, params);
+  EXPECT_EQ(result.messages[0].completed, 3);
+  EXPECT_EQ(result.messages[1].completed, 5);
+  EXPECT_EQ(result.total_slots, 5);
+}
+
+TEST(SimCompiled, DuplicateScheduledInstancesCarryDuplicateMessages) {
+  topo::TorusNetwork net(4, 4);
+  const core::RequestSet requests{{0, 1}, {0, 1}};
+  const auto schedule = sched::greedy(net, requests);
+  ASSERT_EQ(schedule.degree(), 2);
+  CompiledParams params;
+  params.setup_slots = 0;
+  const auto result =
+      simulate_compiled(schedule, sim::uniform_messages(requests, 5), params);
+  // Each instance has its own slot: both finish within (5-1)*2 + 2.
+  EXPECT_EQ(result.total_slots, 10);
+  EXPECT_NE(result.messages[0].slot, result.messages[1].slot);
+}
+
+TEST(SimCompiled, GsCalibrationMatchesPaperTable5) {
+  // The compiled-communication times the paper reports for GS: 35 / 67 /
+  // 131 slots for 64^2 / 128^2 / 256^2 problems (Table 5).  With K = 2 and
+  // boundary rows of grid/4 slots this is exact.
+  topo::TorusNetwork net(8, 8);
+  const auto requests = patterns::linear_neighbors(64);
+  const auto schedule = sched::combined(net, requests);
+  ASSERT_EQ(schedule.degree(), 2);
+  const std::int64_t expected[] = {35, 67, 131};
+  const std::int64_t sizes[] = {16, 32, 64};
+  for (int i = 0; i < 3; ++i) {
+    const auto result = simulate_compiled(
+        schedule, sim::uniform_messages(requests, sizes[i]), {});
+    EXPECT_EQ(result.total_slots, expected[i]) << "grid index " << i;
+  }
+}
+
+class SteppedCrossValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(SteppedCrossValidation, AnalyticEqualsStepped) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337);
+  topo::TorusNetwork net(8, 8);
+  const int conns = static_cast<int>(rng.uniform(1, 80));
+  const auto requests = patterns::random_pattern(64, conns, rng);
+  const auto schedule = sched::greedy(net, requests);
+  std::vector<Message> messages;
+  for (const auto& r : requests)
+    messages.push_back({r, rng.uniform(1, 20)});
+  CompiledParams params;
+  params.setup_slots = rng.uniform(0, 5);
+  const auto analytic = simulate_compiled(schedule, messages, params);
+  const auto stepped = simulate_compiled_stepped(schedule, messages, params);
+  EXPECT_EQ(analytic.total_slots, stepped.total_slots);
+  ASSERT_EQ(analytic.messages.size(), stepped.messages.size());
+  for (std::size_t i = 0; i < analytic.messages.size(); ++i) {
+    EXPECT_EQ(analytic.messages[i].completed, stepped.messages[i].completed);
+    EXPECT_EQ(analytic.messages[i].slot, stepped.messages[i].slot);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SteppedCrossValidation,
+                         ::testing::Range(0, 10));
+
+}  // namespace

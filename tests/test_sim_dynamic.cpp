@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "patterns/named.hpp"
+#include "patterns/random.hpp"
+#include "sim/dynamic.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+using sim::DynamicParams;
+using sim::Message;
+using sim::simulate_dynamic;
+
+DynamicParams quiet_params(int k) {
+  DynamicParams p;
+  p.multiplexing_degree = k;
+  p.ctrl_hop_slots = 4;
+  p.ctrl_local_slots = 2;
+  p.backoff_slots = 16;
+  return p;
+}
+
+TEST(SimDynamic, SingleMessageHandComputedTiming) {
+  topo::TorusNetwork net(8, 8);
+  // (0 -> 1): one network hop.  K = 1.
+  const std::vector<Message> messages{{{0, 1}, 10}};
+  const auto result = simulate_dynamic(net, messages, quiet_params(1));
+  ASSERT_TRUE(result.completed);
+  const auto& m = result.messages[0];
+  EXPECT_EQ(m.issued, 0);
+  // issue(2) -> reserve inj@2, cross hop(4) -> reserve net@6 ... reserve
+  // ej + dst select(2) -> ack crosses back(4) -> established.
+  EXPECT_EQ(m.established, 2 + 4 + 2 + 4);
+  // Data: 10 slots starting the slot after establishment; delivery is
+  // stamped at the end of the last slot.
+  EXPECT_EQ(m.completed, m.established + 10 + 1);
+  EXPECT_EQ(m.retries, 0);
+  EXPECT_EQ(result.total_slots, m.completed);
+}
+
+TEST(SimDynamic, LongerPathsCostMoreControlTime) {
+  topo::TorusNetwork net(8, 8);
+  const auto near = simulate_dynamic(net, std::vector<Message>{{{0, 1}, 1}},
+                                     quiet_params(1));
+  const auto far = simulate_dynamic(net, std::vector<Message>{{{0, 27}, 1}},
+                                    quiet_params(1));
+  ASSERT_TRUE(near.completed);
+  ASSERT_TRUE(far.completed);
+  EXPECT_GT(far.messages[0].established, near.messages[0].established);
+}
+
+TEST(SimDynamic, HigherDegreeStretchesDataTime) {
+  topo::TorusNetwork net(8, 8);
+  const std::vector<Message> messages{{{0, 1}, 20}};
+  const auto k1 = simulate_dynamic(net, messages, quiet_params(1));
+  const auto k10 = simulate_dynamic(net, messages, quiet_params(10));
+  // One payload per frame: K = 10 takes ~10x the transmission time.
+  const auto data1 = k1.messages[0].completed - k1.messages[0].established;
+  const auto data10 = k10.messages[0].completed - k10.messages[0].established;
+  EXPECT_EQ(data1, 20 + 1);
+  EXPECT_GE(data10, 20 * 10 - 10);
+  EXPECT_LE(data10, 20 * 10 + 10);
+}
+
+TEST(SimDynamic, HeadOfLineSerializesPerSourceMessages) {
+  topo::TorusNetwork net(8, 8);
+  // Two messages from node 0 to disjoint destinations: with K = 2 both
+  // could travel concurrently, but the single request queue serializes
+  // their establishment.
+  const std::vector<Message> messages{{{0, 1}, 5}, {{0, 8}, 5}};
+  const auto result = simulate_dynamic(net, messages, quiet_params(2));
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(result.messages[1].issued, result.messages[0].completed - 5 - 1);
+}
+
+TEST(SimDynamic, ContentionCausesRetriesAtDegreeOne) {
+  topo::TorusNetwork net(8, 8);
+  // Many sources into one destination at K = 1: the ejection link is a
+  // single channel, so most reservations fail and retry.
+  std::vector<Message> messages;
+  for (topo::NodeId s = 1; s <= 8; ++s)
+    messages.push_back({{s, 0}, 2});
+  const auto result = simulate_dynamic(net, messages, quiet_params(1));
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(result.total_retries, 0);
+}
+
+TEST(SimDynamic, AllMessagesComplete) {
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(17);
+  const auto requests = patterns::random_pattern(64, 300, rng);
+  for (const int k : {1, 2, 5, 10}) {
+    const auto result = simulate_dynamic(
+        net, sim::uniform_messages(requests, 3), quiet_params(k));
+    ASSERT_TRUE(result.completed) << "K=" << k;
+    EXPECT_TRUE(result.clean_shutdown) << "leaked channels at K=" << k;
+    for (const auto& m : result.messages) {
+      EXPECT_GE(m.issued, 0);
+      EXPECT_GT(m.established, m.issued);
+      EXPECT_GT(m.completed, m.established);
+    }
+  }
+}
+
+TEST(SimDynamic, ChannelConservationUnderHeavyContention) {
+  // Property: whatever the traffic, every reservation is eventually
+  // released (no channel leaks through the NACK/ACK/release paths).
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(20);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto requests = patterns::random_pattern_with_replacement(
+        64, static_cast<int>(rng.uniform(50, 500)), rng);
+    std::vector<Message> messages;
+    for (const auto& r : requests) messages.push_back({r, rng.uniform(1, 8)});
+    auto params = quiet_params(static_cast<int>(rng.uniform(1, 10)));
+    params.seed = rng.next_u64();
+    if (rng.bernoulli(0.5))
+      params.policy = DynamicParams::Policy::kReserveOne;
+    const auto result = simulate_dynamic(net, messages, params);
+    ASSERT_TRUE(result.completed);
+    EXPECT_TRUE(result.clean_shutdown);
+  }
+}
+
+TEST(SimDynamic, DeterministicGivenSeed) {
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(18);
+  const auto requests = patterns::random_pattern(64, 100, rng);
+  const auto messages = sim::uniform_messages(requests, 4);
+  const auto a = simulate_dynamic(net, messages, quiet_params(2));
+  const auto b = simulate_dynamic(net, messages, quiet_params(2));
+  EXPECT_EQ(a.total_slots, b.total_slots);
+  EXPECT_EQ(a.total_retries, b.total_retries);
+}
+
+TEST(SimDynamic, HorizonAborts) {
+  topo::TorusNetwork net(8, 8);
+  auto params = quiet_params(1);
+  params.horizon = 5;  // absurdly small
+  const auto result = simulate_dynamic(
+      net, std::vector<Message>{{{0, 1}, 1000}}, params);
+  EXPECT_FALSE(result.completed);
+}
+
+TEST(SimDynamic, RejectsBadParameters) {
+  topo::TorusNetwork net(4, 4);
+  const std::vector<Message> messages{{{0, 1}, 1}};
+  auto params = quiet_params(0);
+  EXPECT_THROW(simulate_dynamic(net, messages, params),
+               std::invalid_argument);
+  params = quiet_params(65);
+  EXPECT_THROW(simulate_dynamic(net, messages, params),
+               std::invalid_argument);
+  const std::vector<Message> bad{{{0, 1}, 0}};
+  EXPECT_THROW(simulate_dynamic(net, bad, quiet_params(1)),
+               std::invalid_argument);
+}
+
+TEST(SimDynamic, ChannelSlotAlignment) {
+  // Established connections transmit on their channel's slot: with K = 4
+  // the first payload of a channel-c connection arrives at a time
+  // congruent to c+1 (mod 4).
+  topo::TorusNetwork net(8, 8);
+  const std::vector<Message> messages{{{0, 1}, 1}};
+  const auto result = simulate_dynamic(net, messages, quiet_params(4));
+  ASSERT_TRUE(result.completed);
+  // Channel selection picks the lowest available channel: channel 0.
+  // First slot T > established with T % 4 == 0; completed = T + 1.
+  const auto established = result.messages[0].established;
+  const auto completed = result.messages[0].completed;
+  EXPECT_EQ((completed - 1) % 4, 0);
+  EXPECT_LE(completed - 1 - established, 4);
+}
+
+TEST(SimDynamic, ReserveOnePolicyCompletesAndBindsLowChannel) {
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(19);
+  const auto requests = patterns::random_pattern(64, 200, rng);
+  auto params = quiet_params(5);
+  params.policy = DynamicParams::Policy::kReserveOne;
+  const auto run =
+      simulate_dynamic(net, sim::uniform_messages(requests, 3), params);
+  ASSERT_TRUE(run.completed);
+  for (const auto& m : run.messages) EXPECT_GT(m.completed, m.established);
+}
+
+TEST(SimDynamic, ReserveOneSingleMessageTimingMatchesReserveAll) {
+  // Without contention the two policies behave identically.
+  topo::TorusNetwork net(8, 8);
+  const std::vector<Message> messages{{{0, 9}, 4}};
+  auto all = quiet_params(4);
+  auto one = quiet_params(4);
+  one.policy = DynamicParams::Policy::kReserveOne;
+  const auto a = simulate_dynamic(net, messages, all);
+  const auto b = simulate_dynamic(net, messages, one);
+  EXPECT_EQ(a.total_slots, b.total_slots);
+}
+
+TEST(SimDynamic, DenseTrafficFinishesUnderAllDegrees) {
+  topo::TorusNetwork net(8, 8);
+  const auto requests = patterns::all_to_all(16);  // sub-square all-to-all
+  for (const int k : {1, 5}) {
+    const auto result = simulate_dynamic(
+        net, sim::uniform_messages(requests, 1), quiet_params(k));
+    EXPECT_TRUE(result.completed) << "K=" << k;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/switch_program.hpp"
+#include "patterns/named.hpp"
+#include "patterns/random.hpp"
+#include "sched/combined.hpp"
+#include "sched/coloring.hpp"
+#include "sched/greedy.hpp"
+#include "topo/line.hpp"
+#include "topo/omega.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+using core::SwitchProgram;
+
+TEST(SwitchProgram, SingleConnectionSettings) {
+  topo::TorusNetwork net(4, 4);
+  const auto schedule = sched::greedy(net, {{0, 2}});
+  const SwitchProgram program(net, schedule);
+  EXPECT_EQ(program.slot_count(), 1);
+  EXPECT_EQ(program.switch_count(), 16);
+  // Path 0 -> 2: inj@0, +x, +x, ej@2: settings at switches 0, 1, 2.
+  EXPECT_EQ(program.state(0, 0).size(), 1u);
+  EXPECT_EQ(program.state(1, 0).size(), 1u);
+  EXPECT_EQ(program.state(2, 0).size(), 1u);
+  EXPECT_EQ(program.state(3, 0).size(), 0u);
+  EXPECT_EQ(program.setting_count(), 3u);
+  EXPECT_EQ(program.verify(net, schedule), std::nullopt);
+}
+
+TEST(SwitchProgram, VerifyCatchesForeignSchedule) {
+  topo::TorusNetwork net(4, 4);
+  const auto schedule = sched::greedy(net, {{0, 2}});
+  const auto other = sched::greedy(net, {{3, 5}});
+  const SwitchProgram program(net, schedule);
+  EXPECT_NE(program.verify(net, other), std::nullopt);
+}
+
+TEST(SwitchProgram, EveryAlgorithmOutputLowersAndVerifies) {
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(41);
+  const auto requests = patterns::random_pattern(64, 500, rng);
+  for (const auto& schedule :
+       {sched::greedy(net, requests), sched::coloring(net, requests),
+        sched::combined(net, requests)}) {
+    const SwitchProgram program(net, schedule);
+    EXPECT_EQ(program.verify(net, schedule), std::nullopt);
+    EXPECT_EQ(program.slot_count(), schedule.degree());
+  }
+}
+
+TEST(SwitchProgram, CrossbarStatesAreValidEvenForDensePatterns) {
+  topo::TorusNetwork net(8, 8);
+  const auto requests = patterns::all_to_all(64);
+  const auto schedule = sched::combined(net, requests);
+  const SwitchProgram program(net, schedule);
+  EXPECT_EQ(program.verify(net, schedule), std::nullopt);
+  // 4032 paths; every path of h hops contributes h+1 settings.
+  std::size_t expected = 0;
+  for (const auto& config : schedule.configurations())
+    for (const auto& path : config.paths())
+      expected += static_cast<std::size_t>(path.hops()) + 1;
+  EXPECT_EQ(program.setting_count(), expected);
+}
+
+TEST(SwitchProgram, WorksOnIndirectTopology) {
+  topo::OmegaNetwork net(8);
+  const auto schedule = sched::coloring(net, patterns::ring(8));
+  const SwitchProgram program(net, schedule);
+  EXPECT_EQ(program.verify(net, schedule), std::nullopt);
+  EXPECT_EQ(program.switch_count(), net.vertex_count());
+}
+
+TEST(SwitchProgram, PrintMentionsPortsAndSlots) {
+  topo::TorusNetwork net(4, 4);
+  const auto schedule = sched::greedy(net, {{0, 1}});
+  const SwitchProgram program(net, schedule);
+  std::ostringstream os;
+  program.print(net, os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("inj"), std::string::npos);
+  EXPECT_NE(text.find("ej"), std::string::npos);
+  EXPECT_NE(text.find("slot 0"), std::string::npos);
+}
+
+TEST(SwitchProgram, StateAccessorValidatesArguments) {
+  topo::TorusNetwork net(4, 4);
+  const auto schedule = sched::greedy(net, {{0, 1}});
+  const SwitchProgram program(net, schedule);
+  EXPECT_THROW(program.state(-1, 0), std::out_of_range);
+  EXPECT_THROW(program.state(0, 1), std::out_of_range);
+  EXPECT_THROW(program.state(16, 0), std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "topo/line.hpp"
+#include "topo/mesh.hpp"
+#include "topo/torus.hpp"
+
+namespace {
+
+using namespace optdm::topo;
+
+TEST(Torus, CountsAndCoords) {
+  TorusNetwork net(8, 8);
+  EXPECT_EQ(net.node_count(), 64);
+  // 2 processor links + 4 network links per node.
+  EXPECT_EQ(net.link_count(), 64 * 6);
+  EXPECT_EQ(net.name(), "torus(8x8)");
+  for (NodeId n = 0; n < net.node_count(); ++n) {
+    const auto c = net.coord(n);
+    EXPECT_EQ(net.node_at(c), n);
+    EXPECT_GE(c.x, 0);
+    EXPECT_LT(c.x, 8);
+    EXPECT_GE(c.y, 0);
+    EXPECT_LT(c.y, 8);
+  }
+}
+
+TEST(Torus, RejectsDegenerateDimensions) {
+  EXPECT_THROW(TorusNetwork(1, 8), std::invalid_argument);
+  EXPECT_THROW(TorusNetwork(8, 0), std::invalid_argument);
+}
+
+TEST(Torus, RectangularSupported) {
+  TorusNetwork net(4, 2);
+  EXPECT_EQ(net.node_count(), 8);
+  EXPECT_EQ(net.cols(), 4);
+  EXPECT_EQ(net.rows(), 2);
+}
+
+TEST(Torus, ProcessorLinksArePerNode) {
+  TorusNetwork net(4, 4);
+  std::set<LinkId> seen;
+  for (NodeId n = 0; n < net.node_count(); ++n) {
+    const auto inj = net.injection_link(n);
+    const auto ej = net.ejection_link(n);
+    EXPECT_TRUE(seen.insert(inj).second);
+    EXPECT_TRUE(seen.insert(ej).second);
+    EXPECT_EQ(net.link(inj).kind, LinkKind::kInjection);
+    EXPECT_EQ(net.link(ej).kind, LinkKind::kEjection);
+    EXPECT_EQ(net.link(inj).from, n);
+    EXPECT_EQ(net.link(ej).to, n);
+  }
+}
+
+TEST(Torus, NetworkLinksFormFourRegularDigraph) {
+  TorusNetwork net(8, 8);
+  std::map<NodeId, int> out_degree;
+  std::map<NodeId, int> in_degree;
+  for (const auto& link : net.links()) {
+    if (link.kind != LinkKind::kNetwork) continue;
+    ++out_degree[link.from];
+    ++in_degree[link.to];
+  }
+  for (NodeId n = 0; n < net.node_count(); ++n) {
+    EXPECT_EQ(out_degree[n], 4);
+    EXPECT_EQ(in_degree[n], 4);
+  }
+}
+
+TEST(Torus, RingDisplacementShortest) {
+  EXPECT_EQ(TorusNetwork::ring_displacement(0, 3, 8, RingDir::kAuto), 3);
+  EXPECT_EQ(TorusNetwork::ring_displacement(0, 5, 8, RingDir::kAuto), -3);
+  EXPECT_EQ(TorusNetwork::ring_displacement(6, 1, 8, RingDir::kAuto), 3);
+  EXPECT_EQ(TorusNetwork::ring_displacement(2, 2, 8, RingDir::kAuto), 0);
+}
+
+TEST(Torus, RingDisplacementTieSplitsByParity) {
+  // Displacement of exactly 4 on an 8-ring: even sources go +, odd go -.
+  EXPECT_EQ(TorusNetwork::ring_displacement(0, 4, 8, RingDir::kAuto), 4);
+  EXPECT_EQ(TorusNetwork::ring_displacement(1, 5, 8, RingDir::kAuto), -4);
+  EXPECT_EQ(TorusNetwork::ring_displacement(2, 6, 8, RingDir::kAuto), 4);
+}
+
+TEST(Torus, RingDisplacementForcedDirections) {
+  EXPECT_EQ(TorusNetwork::ring_displacement(0, 3, 8, RingDir::kPositive), 3);
+  EXPECT_EQ(TorusNetwork::ring_displacement(0, 3, 8, RingDir::kNegative), -5);
+  EXPECT_EQ(TorusNetwork::ring_displacement(0, 0, 8, RingDir::kNegative), 0);
+}
+
+TEST(Torus, RouteFollowsXThenY) {
+  TorusNetwork net(8, 8);
+  // (1,1) -> (3,2): two +x hops in row 1, one +y hop in column 3.
+  const auto route = net.route_links(net.node_at({1, 1}), net.node_at({3, 2}));
+  ASSERT_EQ(route.size(), 3u);
+  EXPECT_EQ(net.link(route[0]).dim, 0);
+  EXPECT_EQ(net.link(route[1]).dim, 0);
+  EXPECT_EQ(net.link(route[2]).dim, 1);
+  EXPECT_EQ(net.link(route[0]).from, net.node_at({1, 1}));
+  EXPECT_EQ(net.link(route[2]).to, net.node_at({3, 2}));
+}
+
+TEST(Torus, RouteUsesWraparound) {
+  TorusNetwork net(8, 8);
+  // (7,0) -> (0,0) is one hop across the wraparound link.
+  const auto route = net.route_links(net.node_at({7, 0}), net.node_at({0, 0}));
+  ASSERT_EQ(route.size(), 1u);
+  EXPECT_EQ(net.link(route[0]).dir, +1);
+}
+
+TEST(Torus, RouteHopsMatchesRouteLinks) {
+  TorusNetwork net(6, 4);
+  for (NodeId s = 0; s < net.node_count(); ++s)
+    for (NodeId d = 0; d < net.node_count(); ++d)
+      EXPECT_EQ(net.route_hops(s, d),
+                static_cast<int>(net.route_links(s, d).size()));
+}
+
+TEST(Torus, RouteIsContiguous) {
+  TorusNetwork net(8, 8);
+  for (NodeId s = 0; s < net.node_count(); s += 7) {
+    for (NodeId d = 0; d < net.node_count(); d += 5) {
+      if (s == d) continue;
+      NodeId at = s;
+      for (const auto id : net.route_links(s, d)) {
+        EXPECT_EQ(net.link(id).from, at);
+        at = net.link(id).to;
+      }
+      EXPECT_EQ(at, d);
+    }
+  }
+}
+
+TEST(Torus, ForcedDirectionRoutesTheLongWay) {
+  TorusNetwork net(8, 8);
+  const auto route = net.route_links_dirs(
+      net.node_at({0, 0}), net.node_at({1, 0}), RingDir::kNegative,
+      RingDir::kAuto);
+  EXPECT_EQ(route.size(), 7u);  // all the way around
+}
+
+TEST(Torus, NeighborLinkValidation) {
+  TorusNetwork net(4, 4);
+  EXPECT_THROW(net.neighbor_link(-1, 0, 1), std::out_of_range);
+  EXPECT_THROW(net.neighbor_link(0, 2, 1), std::out_of_range);
+  EXPECT_THROW(net.neighbor_link(0, 0, 0), std::out_of_range);
+  const auto id = net.neighbor_link(0, 0, 1);
+  EXPECT_EQ(net.link(id).from, 0);
+  EXPECT_EQ(net.link(id).to, 1);
+}
+
+TEST(Linear, StructureAndRouting) {
+  LinearNetwork net(5);
+  EXPECT_EQ(net.node_count(), 5);
+  // 2 processor links per node + 2*(n-1) network links.
+  EXPECT_EQ(net.link_count(), 5 * 2 + 2 * 4);
+  EXPECT_EQ(net.route_hops(0, 4), 4);
+  EXPECT_EQ(net.route_hops(4, 1), 3);
+  EXPECT_EQ(net.route_links(2, 2).size(), 0u);
+  EXPECT_EQ(net.name(), "linear(5)");
+}
+
+TEST(Linear, EndsHaveNoOutwardLink) {
+  LinearNetwork net(3);
+  EXPECT_EQ(net.neighbor_link(0, -1), kInvalidLink);
+  EXPECT_EQ(net.neighbor_link(2, +1), kInvalidLink);
+  EXPECT_NE(net.neighbor_link(1, +1), kInvalidLink);
+}
+
+TEST(Ring, ShortestWithParityTies) {
+  RingNetwork net(8);
+  EXPECT_EQ(net.route_hops(0, 3), 3);
+  EXPECT_EQ(net.route_hops(0, 5), 3);
+  EXPECT_EQ(net.route_hops(0, 4), 4);
+  // Even source routes + on the tie; odd source routes -.
+  const auto even_route = net.route_links(0, 4);
+  ASSERT_EQ(even_route.size(), 4u);
+  EXPECT_EQ(net.link(even_route[0]).dir, +1);
+  const auto odd_route = net.route_links(1, 5);
+  ASSERT_EQ(odd_route.size(), 4u);
+  EXPECT_EQ(net.link(odd_route[0]).dir, -1);
+}
+
+TEST(Ring, ExplicitDirection) {
+  RingNetwork net(6);
+  EXPECT_EQ(net.route_links_dir(0, 1, +1).size(), 1u);
+  EXPECT_EQ(net.route_links_dir(0, 1, -1).size(), 5u);
+  EXPECT_THROW(net.route_links_dir(0, 1, 0), std::invalid_argument);
+}
+
+TEST(Mesh, NoWraparound) {
+  MeshNetwork net(4, 4);
+  EXPECT_EQ(net.node_count(), 16);
+  // Network links: 2 per horizontal adjacency (3*4 pairs) and vertical.
+  EXPECT_EQ(net.link_count(), 16 * 2 + 2 * (3 * 4) + 2 * (4 * 3));
+  EXPECT_EQ(net.route_hops(net.node_at({3, 0}), net.node_at({0, 0})), 3);
+  EXPECT_THROW(net.neighbor_link(net.node_at({3, 0}), 0, +1),
+               std::out_of_range);
+}
+
+TEST(Mesh, RoutesMonotone) {
+  MeshNetwork net(5, 3);
+  const auto route =
+      net.route_links(net.node_at({4, 2}), net.node_at({1, 0}));
+  ASSERT_EQ(route.size(), 5u);
+  // Three -x hops then two -y hops.
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(net.link(route[static_cast<std::size_t>(i)]).dim, 0);
+  for (int i = 3; i < 5; ++i) EXPECT_EQ(net.link(route[static_cast<std::size_t>(i)]).dim, 1);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "aapc/torus_aapc.hpp"
+#include "core/configuration.hpp"
+#include "topo/torus.hpp"
+
+namespace {
+
+using namespace optdm;
+using aapc::TorusAapc;
+
+TEST(TorusAapc, EightByEightHasSixtyFourPhases) {
+  // N^3/8 = 64 for the paper's 8x8 torus (Section 3.3).
+  topo::TorusNetwork net(8, 8);
+  TorusAapc decomposition(net);
+  EXPECT_EQ(decomposition.phase_count(), 64);
+}
+
+TEST(TorusAapc, PhaseOfInRange) {
+  topo::TorusNetwork net(8, 8);
+  TorusAapc decomposition(net);
+  for (topo::NodeId s = 0; s < 64; ++s)
+    for (topo::NodeId d = 0; d < 64; ++d) {
+      if (s == d) continue;
+      const int phase = decomposition.phase_of({s, d});
+      EXPECT_GE(phase, 0);
+      EXPECT_LT(phase, 64);  // NOLINT
+    }
+}
+
+TEST(TorusAapc, PhaseMembersPartitionAllPairs) {
+  topo::TorusNetwork net(8, 8);
+  TorusAapc decomposition(net);
+  const auto members = decomposition.phase_members();
+  ASSERT_EQ(members.size(), 64u);
+  std::size_t total = 0;
+  for (const auto& phase : members) total += phase.size();
+  EXPECT_EQ(total, 64u * 63u);
+}
+
+TEST(TorusAapc, RouteUsesXYStructure) {
+  topo::TorusNetwork net(8, 8);
+  TorusAapc decomposition(net);
+  const core::Request request{net.node_at({1, 2}), net.node_at({5, 6})};
+  const auto path = decomposition.route(request);
+  EXPECT_EQ(path.request, request);
+  // All x-dimension links must precede all y-dimension links.
+  bool seen_y = false;
+  for (const auto id : path.links) {
+    const auto& link = net.link(id);
+    if (link.kind != topo::LinkKind::kNetwork) continue;
+    if (link.dim == 1) seen_y = true;
+    if (link.dim == 0) {
+      EXPECT_FALSE(seen_y) << "x-hop after y-hop";
+    }
+  }
+}
+
+/// The central property (paper's requirement on [8]): every AAPC phase is
+/// a valid configuration — no two member connections share any link.
+void expect_phases_contention_free(int cols, int rows) {
+  SCOPED_TRACE("torus " + std::to_string(cols) + "x" + std::to_string(rows));
+  topo::TorusNetwork net(cols, rows);
+  TorusAapc decomposition(net);
+  const auto members = decomposition.phase_members();
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < members.size(); ++p) {
+    core::Configuration config(net.link_count());
+    for (const auto& request : members[p]) {
+      EXPECT_TRUE(config.add(decomposition.route(request)))
+          << "conflict in AAPC phase " << p << " of " << net.name();
+      ++total;
+    }
+    EXPECT_EQ(config.validate(), std::nullopt);
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(net.node_count()) *
+                       static_cast<std::size_t>(net.node_count() - 1));
+}
+
+class TorusAapcProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(TorusAapcProperty, AllPhasesAreConfigurations) {
+  const auto [cols, rows] = GetParam();
+  expect_phases_contention_free(cols, rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EvenTori, TorusAapcProperty,
+    ::testing::Values(std::pair{2, 2}, std::pair{4, 4}, std::pair{4, 6},
+                      std::pair{6, 4}, std::pair{6, 6}, std::pair{8, 8},
+                      std::pair{8, 4}));
+
+TEST(TorusAapc, EveryNodeSendsOncePerPhaseAtMost) {
+  topo::TorusNetwork net(8, 8);
+  TorusAapc decomposition(net);
+  for (const auto& phase : decomposition.phase_members()) {
+    std::vector<int> sends(64, 0);
+    std::vector<int> receives(64, 0);
+    for (const auto& request : phase) {
+      EXPECT_LE(++sends[static_cast<std::size_t>(request.src)], 1);
+      EXPECT_LE(++receives[static_cast<std::size_t>(request.dst)], 1);
+    }
+  }
+}
+
+TEST(TorusAapc, PhasesDenselyPackedOnEightByEight) {
+  // 4032 connections over 64 phases average 63 per phase.  Individual
+  // phases dip where several ring self-placeholders coincide, but every
+  // phase stays within one half-permutation of full (>= 48) and none can
+  // exceed a full permutation (64).
+  topo::TorusNetwork net(8, 8);
+  TorusAapc decomposition(net);
+  std::size_t total = 0;
+  for (const auto& phase : decomposition.phase_members()) {
+    EXPECT_GE(phase.size(), 48u);
+    EXPECT_LE(phase.size(), 64u);
+    total += phase.size();
+  }
+  EXPECT_EQ(total, 4032u);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "apps/workloads.hpp"
+#include "patterns/named.hpp"
+
+namespace {
+
+using namespace optdm;
+using apps::CommPhase;
+
+TEST(Workloads, GsIsLinearNeighborExchange) {
+  const auto phase = apps::gs_phase(64, 64);
+  EXPECT_EQ(phase.name, "GS");
+  EXPECT_EQ(phase.messages.size(), 126u);  // 2*(64-1)
+  // One boundary row of 64 words = 16 slots at 4 words/slot.
+  for (const auto& m : phase.messages) EXPECT_EQ(m.slots, 16);
+  EXPECT_EQ(phase.pattern(), patterns::linear_neighbors(64));
+}
+
+TEST(Workloads, GsMessageSizeScalesWithGrid) {
+  EXPECT_EQ(apps::gs_phase(128, 64).messages.front().slots, 32);
+  EXPECT_EQ(apps::gs_phase(256, 64).messages.front().slots, 64);
+}
+
+TEST(Workloads, GsRejectsBadGrid) {
+  EXPECT_THROW(apps::gs_phase(63, 64), std::invalid_argument);
+  EXPECT_THROW(apps::gs_phase(100, 64), std::invalid_argument);
+}
+
+TEST(Workloads, TscfIsHypercubeWithFixedMessages) {
+  const auto phase = apps::tscf_phase(64);
+  EXPECT_EQ(phase.messages.size(), 384u);
+  for (const auto& m : phase.messages) EXPECT_EQ(m.slots, 2);
+  EXPECT_EQ(phase.pattern(), patterns::hypercube(64));
+}
+
+TEST(Workloads, P3mHasFivePhases) {
+  const auto phases = apps::p3m_phases(64);
+  ASSERT_EQ(phases.size(), 5u);
+  EXPECT_EQ(phases[0].name, "P3M 1");
+  EXPECT_EQ(phases[4].name, "P3M 5");
+  for (const auto& phase : phases) {
+    EXPECT_FALSE(phase.messages.empty()) << phase.name;
+    for (const auto& m : phase.messages) {
+      EXPECT_GE(m.slots, 1) << phase.name;
+      EXPECT_NE(m.request.src, m.request.dst);
+      EXPECT_GE(m.request.src, 0);
+      EXPECT_LT(m.request.src, 64);
+      EXPECT_LT(m.request.dst, 64);
+    }
+  }
+}
+
+TEST(Workloads, P3mPhases2And3AreIdentical) {
+  // Table 4 lists the same redistribution for P3M 2 and P3M 3.
+  const auto phases = apps::p3m_phases(32);
+  ASSERT_EQ(phases.size(), 5u);
+  ASSERT_EQ(phases[1].messages.size(), phases[2].messages.size());
+  for (std::size_t i = 0; i < phases[1].messages.size(); ++i) {
+    EXPECT_EQ(phases[1].messages[i].request, phases[2].messages[i].request);
+    EXPECT_EQ(phases[1].messages[i].slots, phases[2].messages[i].slots);
+  }
+}
+
+TEST(Workloads, P3mGhostExchangeIsStencil26) {
+  const auto phases = apps::p3m_phases(64);
+  EXPECT_EQ(phases[4].pattern(), patterns::stencil26(4, 4, 4));
+  // Fine-grain: small messages that grow with the mesh.
+  EXPECT_EQ(phases[4].messages.front().slots, 2);
+  EXPECT_EQ(apps::p3m_phases(32)[4].messages.front().slots, 1);
+}
+
+TEST(Workloads, P3mVolumeGrowsWithMesh) {
+  const auto small = apps::p3m_phases(32);
+  const auto large = apps::p3m_phases(64);
+  for (int p = 0; p < 4; ++p) {
+    std::int64_t small_total = 0, large_total = 0;
+    for (const auto& m : small[static_cast<std::size_t>(p)].messages)
+      small_total += m.slots;
+    for (const auto& m : large[static_cast<std::size_t>(p)].messages)
+      large_total += m.slots;
+    EXPECT_GT(large_total, small_total) << "phase " << p;
+  }
+}
+
+TEST(Workloads, P3mRejectsBadMesh) {
+  EXPECT_THROW(apps::p3m_phases(7), std::invalid_argument);
+  EXPECT_THROW(apps::p3m_phases(48), std::invalid_argument);
+}
+
+}  // namespace
