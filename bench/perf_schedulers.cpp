@@ -11,6 +11,7 @@
 #include "patterns/random.hpp"
 #include "redist/redistribution.hpp"
 #include "sched/coloring.hpp"
+#include "sched/combined.hpp"
 #include "sched/greedy.hpp"
 #include "sched/ordered_aapc.hpp"
 #include "sim/dynamic.hpp"
@@ -31,9 +32,22 @@ const aapc::TorusAapc& torus_aapc() {
   return decomposition;
 }
 
+// A 16x16 torus for production-scale patterns: the 8x8 universe tops out
+// at 64*63 = 4032 distinct connections, so the 8k/16k "Large" benches run
+// over 256 nodes.
+const topo::TorusNetwork& big_torus() {
+  static topo::TorusNetwork net(16, 16);
+  return net;
+}
+
 core::RequestSet pattern_of_size(int conns) {
   util::Rng rng(static_cast<std::uint64_t>(conns) * 7 + 1);
   return patterns::random_pattern(64, conns, rng);
+}
+
+core::RequestSet big_pattern_of_size(int conns) {
+  util::Rng rng(static_cast<std::uint64_t>(conns) * 11 + 3);
+  return patterns::random_pattern(256, conns, rng);
 }
 
 void BM_Routing(benchmark::State& state) {
@@ -56,6 +70,29 @@ void BM_ConflictGraph(benchmark::State& state) {
 }
 BENCHMARK(BM_ConflictGraph)->Arg(100)->Arg(1000)->Arg(4000);
 
+// Construction-strategy comparison: the historical all-pairs O(n²)
+// LinkSet-intersection build against the link→paths inverted index the
+// default constructor now uses.
+void BM_ConflictGraphBruteForce(benchmark::State& state) {
+  const auto paths = core::route_all(
+      torus(), pattern_of_size(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto graph = core::ConflictGraph::brute_force(paths);
+    benchmark::DoNotOptimize(graph.edge_count());
+  }
+}
+BENCHMARK(BM_ConflictGraphBruteForce)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_ConflictGraphLarge(benchmark::State& state) {
+  const auto paths = core::route_all(
+      big_torus(), big_pattern_of_size(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    core::ConflictGraph graph(paths);
+    benchmark::DoNotOptimize(graph.edge_count());
+  }
+}
+BENCHMARK(BM_ConflictGraphLarge)->Arg(8000)->Arg(16000);
+
 void BM_Greedy(benchmark::State& state) {
   const auto paths = core::route_all(
       torus(), pattern_of_size(static_cast<int>(state.range(0))));
@@ -73,6 +110,27 @@ void BM_Coloring(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Coloring)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_ColoringLarge(benchmark::State& state) {
+  const auto paths = core::route_all(
+      big_torus(), big_pattern_of_size(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::coloring_paths(big_torus(), paths).degree());
+  }
+}
+BENCHMARK(BM_ColoringLarge)->Arg(8000)->Arg(16000);
+
+// Exercises the concurrent coloring + ordered-AAPC branches.
+void BM_Combined(benchmark::State& state) {
+  const auto requests = pattern_of_size(static_cast<int>(state.range(0)));
+  const auto& decomposition = torus_aapc();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::combined(decomposition, requests).degree());
+  }
+}
+BENCHMARK(BM_Combined)->Arg(1000)->Arg(4000);
 
 void BM_OrderedAapc(benchmark::State& state) {
   const auto requests = pattern_of_size(static_cast<int>(state.range(0)));

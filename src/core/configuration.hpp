@@ -25,8 +25,9 @@ class Configuration {
   Configuration() = default;
   explicit Configuration(int link_count) : used_(link_count) {}
 
-  /// True if `path` could be added without conflict.
-  bool accepts(const Path& path) const noexcept {
+  /// True if `path` could be added without conflict.  Throws if `path`
+  /// belongs to a network with a different link count.
+  bool accepts(const Path& path) const {
     return !used_.intersects(path.occupancy);
   }
 

@@ -1,34 +1,150 @@
 #include "core/conflict_graph.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <numeric>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace optdm::core {
+
+namespace {
+
+void set_bit(std::uint64_t* row, std::int32_t v) {
+  row[static_cast<std::size_t>(v) / 64] |=
+      std::uint64_t{1} << (static_cast<std::size_t>(v) % 64);
+}
+
+bool test_bit(const std::uint64_t* row, std::int32_t v) {
+  return (row[static_cast<std::size_t>(v) / 64] >>
+          (static_cast<std::size_t>(v) % 64)) &
+         1;
+}
+
+}  // namespace
 
 ConflictGraph::ConflictGraph(std::span<const Path> paths)
     : n_(static_cast<int>(paths.size())) {
   row_words_ = (static_cast<std::size_t>(n_) + 63) / 64;
   matrix_.assign(static_cast<std::size_t>(n_) * row_words_, 0);
+  if (n_ == 0) {
+    offsets_.assign(1, 0);
+    return;
+  }
+
+  const int link_count = paths[0].occupancy.universe_size();
+  std::size_t total_link_refs = 0;
+  for (const auto& path : paths) {
+    if (path.occupancy.universe_size() != link_count)
+      throw std::invalid_argument(
+          "ConflictGraph: paths routed on different networks");
+    total_link_refs += path.links.size();
+  }
+
+  // Inverted index: for every directed link, the ascending list of path
+  // indices occupying it (counting sort over the paths' link vectors).
+  std::vector<std::size_t> bucket_off(static_cast<std::size_t>(link_count) + 1,
+                                      0);
+  for (const auto& path : paths)
+    for (const auto link : path.links)
+      ++bucket_off[static_cast<std::size_t>(link) + 1];
+  for (std::size_t l = 1; l < bucket_off.size(); ++l)
+    bucket_off[l] += bucket_off[l - 1];
+  std::vector<std::int32_t> occupants(total_link_refs);
+  {
+    std::vector<std::size_t> cursor(bucket_off.begin(), bucket_off.end() - 1);
+    for (std::int32_t i = 0; i < n_; ++i)
+      for (const auto link : paths[static_cast<std::size_t>(i)].links)
+        occupants[cursor[static_cast<std::size_t>(link)]++] = i;
+  }
+
+  // Two paths conflict iff they co-occupy some link, so vertex i's
+  // neighborhood is the union of the occupant lists of its own links.
+  // Each vertex owns its matrix row exclusively, so rows are filled in
+  // parallel with no synchronization; the row bitmap is also the dedupe
+  // set for paths sharing several links.
+  std::vector<std::size_t> row_degree(static_cast<std::size_t>(n_), 0);
+  util::parallel_for_chunks(
+      static_cast<std::size_t>(n_),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          std::uint64_t* row = matrix_.data() + i * row_words_;
+          const auto self = static_cast<std::int32_t>(i);
+          for (const auto link : paths[i].links) {
+            const auto lo = bucket_off[static_cast<std::size_t>(link)];
+            const auto hi = bucket_off[static_cast<std::size_t>(link) + 1];
+            for (std::size_t k = lo; k < hi; ++k) {
+              const auto other = occupants[k];
+              if (other != self) set_bit(row, other);
+            }
+          }
+          std::size_t degree = 0;
+          for (std::size_t w = 0; w < row_words_; ++w)
+            degree += static_cast<std::size_t>(std::popcount(row[w]));
+          row_degree[i] = degree;
+        }
+      });
+
+  offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (std::int32_t v = 0; v < n_; ++v)
+    offsets_[static_cast<std::size_t>(v) + 1] =
+        offsets_[static_cast<std::size_t>(v)] +
+        row_degree[static_cast<std::size_t>(v)];
+  adj_.resize(offsets_.back());
+  edges_ = adj_.size() / 2;
+
+  // Emit each CSR row by scanning its bitmap words; bit order gives the
+  // ascending neighbor order the all-pairs construction produced.
+  util::parallel_for_chunks(
+      static_cast<std::size_t>(n_),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::uint64_t* row = matrix_.data() + i * row_words_;
+          std::int32_t* out = adj_.data() + offsets_[i];
+          for (std::size_t w = 0; w < row_words_; ++w) {
+            std::uint64_t word = row[w];
+            while (word != 0) {
+              const auto bit = std::countr_zero(word);
+              *out++ = static_cast<std::int32_t>(w * 64 +
+                                                 static_cast<std::size_t>(bit));
+              word &= word - 1;
+            }
+          }
+        }
+      });
+}
+
+ConflictGraph ConflictGraph::brute_force(std::span<const Path> paths) {
+  ConflictGraph graph;
+  graph.n_ = static_cast<int>(paths.size());
+  graph.row_words_ = (static_cast<std::size_t>(graph.n_) + 63) / 64;
+  graph.matrix_.assign(static_cast<std::size_t>(graph.n_) * graph.row_words_,
+                       0);
 
   std::vector<std::vector<std::int32_t>> lists(
-      static_cast<std::size_t>(n_));
-  for (std::int32_t i = 0; i < n_; ++i) {
-    for (std::int32_t j = i + 1; j < n_; ++j) {
+      static_cast<std::size_t>(graph.n_));
+  for (std::int32_t i = 0; i < graph.n_; ++i) {
+    for (std::int32_t j = i + 1; j < graph.n_; ++j) {
       if (paths[static_cast<std::size_t>(i)].conflicts_with(
               paths[static_cast<std::size_t>(j)])) {
         lists[static_cast<std::size_t>(i)].push_back(j);
         lists[static_cast<std::size_t>(j)].push_back(i);
-        matrix_[static_cast<std::size_t>(i) * row_words_ +
-                static_cast<std::size_t>(j) / 64] |=
-            std::uint64_t{1} << (static_cast<std::size_t>(j) % 64);
-        matrix_[static_cast<std::size_t>(j) * row_words_ +
-                static_cast<std::size_t>(i) / 64] |=
-            std::uint64_t{1} << (static_cast<std::size_t>(i) % 64);
-        ++edges_;
+        set_bit(graph.matrix_.data() +
+                    static_cast<std::size_t>(i) * graph.row_words_,
+                j);
+        set_bit(graph.matrix_.data() +
+                    static_cast<std::size_t>(j) * graph.row_words_,
+                i);
       }
     }
   }
+  graph.finalize_csr(lists);
+  return graph;
+}
 
+void ConflictGraph::finalize_csr(
+    const std::vector<std::vector<std::int32_t>>& lists) {
   offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
   for (std::int32_t v = 0; v < n_; ++v)
     offsets_[static_cast<std::size_t>(v) + 1] =
@@ -37,6 +153,7 @@ ConflictGraph::ConflictGraph(std::span<const Path> paths)
   adj_.reserve(offsets_.back());
   for (const auto& list : lists)
     adj_.insert(adj_.end(), list.begin(), list.end());
+  edges_ = adj_.size() / 2;
 }
 
 std::span<const std::int32_t> ConflictGraph::neighbors(std::int32_t v) const {
@@ -57,10 +174,8 @@ int ConflictGraph::degree(std::int32_t v) const {
 bool ConflictGraph::adjacent(std::int32_t u, std::int32_t v) const {
   if (u < 0 || u >= n_ || v < 0 || v >= n_)
     throw std::out_of_range("ConflictGraph::adjacent: bad vertex");
-  return (matrix_[static_cast<std::size_t>(u) * row_words_ +
-                  static_cast<std::size_t>(v) / 64] >>
-          (static_cast<std::size_t>(v) % 64)) &
-         1;
+  return test_bit(matrix_.data() + static_cast<std::size_t>(u) * row_words_,
+                  v);
 }
 
 std::vector<std::int32_t> ConflictGraph::heuristic_clique() const {

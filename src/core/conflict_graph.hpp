@@ -17,12 +17,24 @@ namespace optdm::core {
 /// Immutable conflict graph over a fixed path list.
 class ConflictGraph {
  public:
-  /// Builds the graph by pairwise occupancy intersection: O(n^2 * words).
+  /// Builds the graph from a link→paths inverted index: candidate edges
+  /// are generated only from per-link occupant lists, so the cost is
+  /// O(Σ_link occupants(link)²) instead of the all-pairs
+  /// O(n² · words) LinkSet intersection.  Per-vertex rows are discovered
+  /// independently (and in parallel), deduplicated through the adjacency
+  /// bit-matrix; the result is identical to the brute-force construction.
+  /// Throws `std::invalid_argument` if the paths span different networks.
   explicit ConflictGraph(std::span<const Path> paths);
+
+  /// The historical all-pairs O(n²) construction.  Kept as the reference
+  /// implementation for the equivalence property tests and the
+  /// construction-strategy benchmarks; produces a bit-identical graph.
+  static ConflictGraph brute_force(std::span<const Path> paths);
 
   int vertex_count() const noexcept { return n_; }
 
-  /// Neighbors of vertex `v` (indices into the original path span).
+  /// Neighbors of vertex `v` (indices into the original path span),
+  /// sorted ascending.
   std::span<const std::int32_t> neighbors(std::int32_t v) const;
 
   /// Degree of vertex `v`.
@@ -38,14 +50,18 @@ class ConflictGraph {
   std::vector<std::int32_t> heuristic_clique() const;
 
  private:
+  ConflictGraph() = default;
+
+  void finalize_csr(const std::vector<std::vector<std::int32_t>>& lists);
+
   int n_ = 0;
   std::size_t edges_ = 0;
   /// CSR adjacency.
   std::vector<std::int32_t> adj_;
   std::vector<std::size_t> offsets_;
   /// Dense adjacency bit-matrix (row-major, n bits per row rounded up to
-  /// words) for O(1) adjacency tests; n <= ~4k in all experiments, so this
-  /// stays a few MB.
+  /// words) for O(1) adjacency tests; n <= ~16k in all experiments, so
+  /// this stays tens of MB at the top end.
   std::vector<std::uint64_t> matrix_;
   std::size_t row_words_ = 0;
 };

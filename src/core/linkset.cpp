@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <stdexcept>
+#include <string>
 
 namespace optdm::core {
 
@@ -49,23 +50,33 @@ int LinkSet::count() const noexcept {
   return total;
 }
 
-bool LinkSet::intersects(const LinkSet& other) const noexcept {
-  const std::size_t n = std::min(words_.size(), other.words_.size());
-  for (std::size_t i = 0; i < n; ++i)
+void LinkSet::require_same_universe(const LinkSet& other,
+                                    const char* op) const {
+  // Word-parallel set operations are only meaningful over one link-id
+  // space; silently truncating to the smaller word count (the historical
+  // behavior) made cross-network comparisons return garbage.
+  if (other.universe_ != universe_)
+    throw std::invalid_argument(std::string("LinkSet::") + op +
+                                ": universe mismatch (" +
+                                std::to_string(universe_) + " vs " +
+                                std::to_string(other.universe_) + " links)");
+}
+
+bool LinkSet::intersects(const LinkSet& other) const {
+  require_same_universe(other, "intersects");
+  for (std::size_t i = 0; i < words_.size(); ++i)
     if ((words_[i] & other.words_[i]) != 0) return true;
   return false;
 }
 
 void LinkSet::merge(const LinkSet& other) {
-  if (other.universe_ > universe_)
-    throw std::invalid_argument("LinkSet::merge: universe mismatch");
+  require_same_universe(other, "merge");
   for (std::size_t i = 0; i < other.words_.size(); ++i)
     words_[i] |= other.words_[i];
 }
 
 void LinkSet::subtract(const LinkSet& other) {
-  if (other.universe_ > universe_)
-    throw std::invalid_argument("LinkSet::subtract: universe mismatch");
+  require_same_universe(other, "subtract");
   for (std::size_t i = 0; i < other.words_.size(); ++i)
     words_[i] &= ~other.words_[i];
 }

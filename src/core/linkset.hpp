@@ -29,14 +29,17 @@ class LinkSet {
   /// Number of links in the set.
   int count() const noexcept;
 
-  /// True if `*this` and `other` share at least one link.  Universes must
-  /// match.
-  bool intersects(const LinkSet& other) const noexcept;
+  /// True if `*this` and `other` share at least one link.  Throws
+  /// `std::invalid_argument` if the universes differ (paths from different
+  /// networks are never comparable).
+  bool intersects(const LinkSet& other) const;
 
-  /// Adds every link of `other` into this set.
+  /// Adds every link of `other` into this set.  Throws on universe
+  /// mismatch.
   void merge(const LinkSet& other);
 
-  /// Removes every link of `other` from this set.
+  /// Removes every link of `other` from this set.  Throws on universe
+  /// mismatch.
   void subtract(const LinkSet& other);
 
   void clear() noexcept;
@@ -44,6 +47,8 @@ class LinkSet {
   int universe_size() const noexcept { return universe_; }
 
  private:
+  void require_same_universe(const LinkSet& other, const char* op) const;
+
   int universe_ = 0;
   std::vector<std::uint64_t> words_;
 };

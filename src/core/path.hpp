@@ -35,7 +35,8 @@ struct Path {
   }
 
   /// True if the two paths cannot be established in the same configuration.
-  bool conflicts_with(const Path& other) const noexcept {
+  /// Throws if the paths belong to different networks (universe mismatch).
+  bool conflicts_with(const Path& other) const {
     return occupancy.intersects(other.occupancy);
   }
 };

@@ -1,7 +1,10 @@
 #include "sched/coloring.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/conflict_graph.hpp"
@@ -45,45 +48,65 @@ core::Schedule coloring_paths(const topo::Network& net,
 
   const core::ConflictGraph graph(paths);
 
-  // Degree of each vertex within the still-uncolored subgraph; decremented
-  // whenever a neighbor is colored, implementing the paper's priority
-  // update (Fig. 4, lines 13-16).
-  std::vector<int> uncolored_degree(static_cast<std::size_t>(n));
+  // Per-vertex scheduling state, packed so the neighbor-update loop (the
+  // hottest loop of the whole compiler) touches one cache line per vertex.
+  // `uncolored_degree` is the degree within the still-uncolored subgraph,
+  // decremented whenever a neighbor is colored — the paper's priority
+  // update (Fig. 4, lines 13-16).  `excluded_in_pass` is the per-pass
+  // WORK-set exclusion flag: vertices adjacent to something colored in the
+  // current pass cannot join its configuration.
+  struct VertexState {
+    int uncolored_degree = 0;
+    std::int32_t excluded_in_pass = -1;
+  };
+  std::vector<VertexState> state(static_cast<std::size_t>(n));
   std::vector<int> static_degree(static_cast<std::size_t>(n));
   for (std::int32_t v = 0; v < n; ++v) {
-    uncolored_degree[static_cast<std::size_t>(v)] = graph.degree(v);
+    state[static_cast<std::size_t>(v)].uncolored_degree = graph.degree(v);
     static_degree[static_cast<std::size_t>(v)] = graph.degree(v);
   }
 
-  std::vector<bool> colored(static_cast<std::size_t>(n), false);
-  // Per-pass exclusion flag (the WORK set): vertices adjacent to something
-  // colored in the current pass cannot join its configuration.
-  std::vector<std::int32_t> excluded_in_pass(static_cast<std::size_t>(n), -1);
+  std::vector<std::uint8_t> colored(static_cast<std::size_t>(n), 0);
   std::int32_t colored_count = 0;
   std::int32_t pass = 0;
 
-  while (colored_count < n) {
-    core::Configuration config(net.link_count());
-    while (true) {
-      // Highest-priority vertex still in this pass's WORK set.  Ties break
-      // toward the lower index for determinism.
-      std::int32_t best = -1;
-      double best_priority = -1.0;
-      for (std::int32_t v = 0; v < n; ++v) {
-        const auto vi = static_cast<std::size_t>(v);
-        if (colored[vi] || excluded_in_pass[vi] == pass) continue;
-        const double p =
-            priority_value(rule, paths[vi].hops(), uncolored_degree[vi],
-                           static_degree[vi]);
-        if (p > best_priority) {
-          best_priority = p;
-          best = v;
-        }
-      }
-      if (best < 0) break;
+  // Selection runs off a max-heap rebuilt once per pass instead of an
+  // O(n) scan per pick.  This is exact, not approximate: whenever a
+  // vertex's priority changes mid-pass (its `uncolored_degree` drops
+  // because a neighbor was colored), that vertex simultaneously leaves the
+  // pass's WORK set — so the priorities of *eligible* heap entries are
+  // immutable within a pass, and lazy skipping of excluded entries yields
+  // exactly the linear scan's selection order.  The comparator breaks
+  // priority ties toward the lower vertex index, matching the scan.
+  using Entry = std::pair<double, std::int32_t>;
+  const auto heap_less = [](const Entry& a, const Entry& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second > b.second;
+  };
+  std::vector<Entry> heap;
+  heap.reserve(static_cast<std::size_t>(n));
 
+  while (colored_count < n) {
+    heap.clear();
+    for (std::int32_t v = 0; v < n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (colored[vi]) continue;
+      heap.emplace_back(priority_value(rule, paths[vi].hops(),
+                                       state[vi].uncolored_degree,
+                                       static_degree[vi]),
+                        v);
+    }
+    std::make_heap(heap.begin(), heap.end(), heap_less);
+
+    core::Configuration config(net.link_count());
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), heap_less);
+      const auto best = heap.back().second;
+      heap.pop_back();
       const auto bi = static_cast<std::size_t>(best);
-      colored[bi] = true;
+      if (state[bi].excluded_in_pass == pass) continue;
+
+      colored[bi] = 1;
       ++colored_count;
       const bool added = config.add(paths[bi]);
       // The WORK-set discipline guarantees no conflict with the members
@@ -92,11 +115,14 @@ core::Schedule coloring_paths(const topo::Network& net,
         throw std::logic_error(
             "coloring: WORK-set invariant violated (conflicting vertex "
             "selected)");
+      // Updates run unconditionally: the stale degree / exclusion of an
+      // already-colored neighbor is never read again (only uncolored
+      // vertices enter the per-pass heap), and skipping the branch keeps
+      // this loop — Σ degree ≈ 2·edges iterations — branch-free.
       for (const auto neighbor : graph.neighbors(best)) {
-        const auto ni = static_cast<std::size_t>(neighbor);
-        if (colored[ni]) continue;
-        --uncolored_degree[ni];       // priority update
-        excluded_in_pass[ni] = pass;  // WORK = WORK - n_i
+        auto& ns = state[static_cast<std::size_t>(neighbor)];
+        --ns.uncolored_degree;     // priority update
+        ns.excluded_in_pass = pass;  // WORK = WORK - n_i
       }
     }
     schedule.append(std::move(config));

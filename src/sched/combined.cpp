@@ -2,13 +2,20 @@
 
 #include "sched/coloring.hpp"
 #include "sched/ordered_aapc.hpp"
+#include "util/parallel.hpp"
 
 namespace optdm::sched {
 
 CombinedResult combined_with_winner(const aapc::TorusAapc& aapc,
                                     const core::RequestSet& requests) {
-  auto by_coloring = coloring(aapc.network(), requests);
-  auto by_aapc = ordered_aapc(aapc, requests);
+  // The two component algorithms are independent, so the compiler runs
+  // them concurrently; the winner rule below is evaluated after both
+  // finish, so the result does not depend on which branch completes first.
+  core::Schedule by_coloring;
+  core::Schedule by_aapc;
+  util::parallel_invoke(
+      [&] { by_coloring = coloring(aapc.network(), requests); },
+      [&] { by_aapc = ordered_aapc(aapc, requests); });
   if (by_aapc.degree() < by_coloring.degree())
     return CombinedResult{std::move(by_aapc), CombinedWinner::kOrderedAapc};
   return CombinedResult{std::move(by_coloring), CombinedWinner::kColoring};

@@ -1,5 +1,6 @@
 #include "sched/greedy.hpp"
 
+#include <numeric>
 #include <vector>
 
 namespace optdm::sched {
@@ -7,18 +8,32 @@ namespace optdm::sched {
 core::Schedule greedy_paths(const topo::Network& net,
                             std::span<const core::Path> paths) {
   core::Schedule schedule;
-  std::vector<bool> placed(paths.size(), false);
-  std::size_t remaining = paths.size();
+  // Indices of still-unplaced paths, compacted after every pass so later
+  // passes scan only what remains (the original rescanned every placed
+  // path each pass).  Relative order is preserved, so the schedule is
+  // identical.
+  std::vector<std::size_t> remaining(paths.size());
+  std::iota(remaining.begin(), remaining.end(), std::size_t{0});
+  const int total_links = net.link_count();
 
-  while (remaining > 0) {
+  while (!remaining.empty()) {
     core::Configuration config(net.link_count());
-    for (std::size_t i = 0; i < paths.size(); ++i) {
-      if (placed[i]) continue;
-      if (config.add(paths[i])) {
-        placed[i] = true;
-        --remaining;
+    // Once every directed link is used, no further path can fit; stop
+    // attempting adds and just carry the rest to the next pass.  Member
+    // paths are link-disjoint by the configuration invariant, so the used
+    // count is just the sum of their link counts — no popcount needed.
+    std::size_t links_used = 0;
+    bool saturated = false;
+    std::size_t kept = 0;
+    for (const auto i : remaining) {
+      if (!saturated && config.add(paths[i])) {
+        links_used += paths[i].links.size();
+        saturated = links_used == static_cast<std::size_t>(total_links);
+      } else {
+        remaining[kept++] = i;
       }
     }
+    remaining.resize(kept);
     schedule.append(std::move(config));
   }
   return schedule;

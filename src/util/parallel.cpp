@@ -1,0 +1,199 @@
+#include "util/parallel.hpp"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace optdm::util {
+
+namespace {
+
+thread_local bool tls_in_worker = false;
+
+/// Fixed-size worker pool with a single FIFO task queue.  Workers live for
+/// the process lifetime; the queue only ever holds tasks of currently
+/// blocked parallel regions, so it stays tiny.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  int thread_count() const noexcept { return thread_count_; }
+
+  void submit(std::function<void()> task) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  Pool() {
+    int count = 0;
+    if (const char* env = std::getenv("OPTDM_THREADS")) {
+      count = std::atoi(env);
+    }
+    if (count <= 0) {
+      count = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    thread_count_ = count > 0 ? count : 1;
+    // One worker fewer than the thread count: the caller of a parallel
+    // region always executes its own share inline.
+    for (int i = 0; i < thread_count_ - 1; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  void worker_loop() {
+    tls_in_worker = true;
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  int thread_count_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+/// Completion latch shared by the chunks of one parallel region.
+struct Region {
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t pending = 0;
+  std::exception_ptr error;
+
+  void finish_one(std::exception_ptr chunk_error) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (chunk_error && !error) error = std::move(chunk_error);
+    if (--pending == 0) done.notify_all();
+  }
+
+  void wait_quiet() {
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [this] { return pending == 0; });
+  }
+
+  void wait() {
+    wait_quiet();
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+}  // namespace
+
+int parallel_thread_count() { return Pool::instance().thread_count(); }
+
+bool in_parallel_region() { return tls_in_worker; }
+
+void parallel_for_chunks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  auto& pool = Pool::instance();
+  const auto threads = static_cast<std::size_t>(pool.thread_count());
+  // Nested regions and single-threaded pools run inline; chunk boundaries
+  // never affect results (the determinism contract), only scheduling.
+  if (threads <= 1 || tls_in_worker || n == 1) {
+    body(0, n);
+    return;
+  }
+
+  const std::size_t chunks = n < threads ? n : threads;
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+
+  Region region;
+  region.pending = chunks;
+  const auto run_chunk = [&body, &region, base, extra](std::size_t c) {
+    // Chunk c covers [c*base + min(c, extra), ...) — contiguous, exact.
+    const std::size_t begin = c * base + (c < extra ? c : extra);
+    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+    std::exception_ptr error;
+    try {
+      body(begin, end);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    region.finish_one(std::move(error));
+  };
+
+  for (std::size_t c = 1; c < chunks; ++c) {
+    pool.submit([&run_chunk, c] { run_chunk(c); });
+  }
+  // The caller executes its own share marked as in-region, so a nested
+  // parallel_for inside the body runs serially on every thread alike
+  // (workers carry the flag permanently).
+  tls_in_worker = true;
+  run_chunk(0);  // never throws; exceptions are captured in the region
+  tls_in_worker = false;
+  region.wait();
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(n, [&body](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+void parallel_invoke(const std::function<void()>& a,
+                     const std::function<void()>& b) {
+  auto& pool = Pool::instance();
+  if (pool.thread_count() <= 1 || tls_in_worker) {
+    a();
+    b();
+    return;
+  }
+  Region region;
+  region.pending = 1;
+  pool.submit([&a, &region] {
+    std::exception_ptr error;
+    try {
+      a();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    region.finish_one(std::move(error));
+  });
+  std::exception_ptr b_error;
+  tls_in_worker = true;
+  try {
+    b();
+  } catch (...) {
+    b_error = std::current_exception();
+  }
+  tls_in_worker = false;
+  region.wait_quiet();
+  if (b_error) std::rethrow_exception(b_error);
+  if (region.error) std::rethrow_exception(region.error);
+}
+
+}  // namespace optdm::util

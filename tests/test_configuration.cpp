@@ -51,6 +51,38 @@ TEST(LinkSetTest, IntersectsAndMerge) {
   EXPECT_TRUE(a.contains(5));
 }
 
+TEST(LinkSetTest, UniverseMismatchThrows) {
+  // Regression: these used to truncate silently to the smaller word count,
+  // so comparing paths from different networks produced garbage — e.g. two
+  // sets over 100- and 200-link universes "intersected" iff the collision
+  // happened to fall in the first 128 bits.
+  LinkSet small(100), large(200);
+  small.insert(70);
+  large.insert(70);
+  EXPECT_THROW(small.intersects(large), std::invalid_argument);
+  EXPECT_THROW(large.intersects(small), std::invalid_argument);
+  EXPECT_THROW(small.merge(large), std::invalid_argument);
+  EXPECT_THROW(large.merge(small), std::invalid_argument);
+  EXPECT_THROW(small.subtract(large), std::invalid_argument);
+  EXPECT_THROW(large.subtract(small), std::invalid_argument);
+  // Same universe still works.
+  LinkSet same(100);
+  same.insert(70);
+  EXPECT_TRUE(small.intersects(same));
+}
+
+TEST(LinkSetTest, CrossNetworkPathsThrow) {
+  // conflicts_with between paths routed on different networks is a caller
+  // bug, not "no conflict".
+  topo::LinearNetwork line(5);
+  topo::TorusNetwork torus(4, 4);
+  const auto on_line = make_path(line, {0, 2});
+  const auto on_torus = make_path(torus, {0, 5});
+  EXPECT_THROW((void)on_line.conflicts_with(on_torus), std::invalid_argument);
+  Configuration config(line.link_count());
+  EXPECT_THROW((void)config.accepts(on_torus), std::invalid_argument);
+}
+
 TEST(LinkSetTest, ClearEmpties) {
   LinkSet a(64);
   a.insert(0);

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON runs and flag regressions.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CURRENT.json [--threshold=15]
+
+Typical workflow:
+    build/bench/perf_schedulers --benchmark_format=json \
+        --benchmark_out=/tmp/now.json
+    tools/bench_diff.py bench/BENCH_schedulers.json /tmp/now.json
+
+Prints a per-benchmark table of baseline vs current real time and the
+ratio.  Benchmarks slower than baseline by more than the threshold
+(percent, default 15) are flagged as regressions and make the script exit
+with status 1 — suitable as a CI gate.  Benchmarks present in only one
+file are listed but never flagged.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {name: real_time_ns} for a google-benchmark JSON file."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as err:
+        sys.exit(f"bench_diff: cannot read {path}: {err.strerror}")
+    except json.JSONDecodeError as err:
+        sys.exit(f"bench_diff: {path} is not valid JSON: {err}")
+    results = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        results[bench["name"]] = float(bench["real_time"]) * scale
+    return results
+
+
+def fmt_time(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.0f}ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare two google-benchmark JSON runs.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=15.0,
+                        help="regression threshold in percent (default 15)")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    shared = [name for name in baseline if name in current]
+    only_baseline = [name for name in baseline if name not in current]
+    only_current = [name for name in current if name not in baseline]
+
+    width = max((len(n) for n in shared), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  "
+          f"{'ratio':>7}  verdict")
+    regressions = []
+    for name in shared:
+        base_ns = baseline[name]
+        cur_ns = current[name]
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        if ratio > 1.0 + args.threshold / 100.0:
+            verdict = f"REGRESSION (+{(ratio - 1) * 100:.1f}%)"
+            regressions.append(name)
+        elif ratio < 1.0 - args.threshold / 100.0:
+            verdict = f"improved ({1 / ratio:.2f}x faster)"
+        else:
+            verdict = "ok"
+        print(f"{name:<{width}}  {fmt_time(base_ns):>10}  "
+              f"{fmt_time(cur_ns):>10}  {ratio:>7.3f}  {verdict}")
+
+    for name in only_baseline:
+        print(f"{name:<{width}}  {fmt_time(baseline[name]):>10}  "
+              f"{'-':>10}  {'-':>7}  removed")
+    for name in only_current:
+        print(f"{name:<{width}}  {'-':>10}  "
+              f"{fmt_time(current[name]):>10}  {'-':>7}  new")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) above "
+              f"{args.threshold:.0f}%: {', '.join(regressions)}")
+        return 1
+    print(f"\nno regressions above {args.threshold:.0f}% "
+          f"({len(shared)} benchmarks compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
