@@ -1,0 +1,110 @@
+// Resilience sweep: both control regimes on a faulty fabric.
+//
+// For each fault level, a seeded random timeline (permanent link kills,
+// transient flaps, control-packet loss) is replayed against:
+//  * compiled communication under the detect-and-recompile recovery loop
+//    (reroute around the dead links, reschedule, retransmit), and
+//  * the dynamic reservation protocol at fixed K in {1, 2, 5, 10}, with
+//    reservation timeouts, capped exponential backoff, and a retry
+//    budget.
+//
+// The structural difference shows directly: the compiled side recovers by
+// recompilation (it can re-route), the dynamic side can only retry its
+// deterministic route — a permanently dead link strands those messages.
+//
+// Run:  ./fault_resilience [--messages=120] [--slots=4] [--seed=17]
+
+#include <iostream>
+
+#include "apps/compiler.hpp"
+#include "apps/recovery.hpp"
+#include "patterns/random.hpp"
+#include "sim/dynamic.hpp"
+#include "sim/faults.hpp"
+#include "topo/torus.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace optdm;
+
+  const util::CliArgs args(argc, argv);
+  const auto count = args.get_int("messages", 120);
+  const auto slots = args.get_int("slots", 4);
+  const auto seed = args.get_int("seed", 17);
+
+  topo::TorusNetwork net(8, 8);
+  const apps::CommCompiler compiler(net);
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  const auto requests =
+      patterns::random_pattern(64, static_cast<int>(count), rng);
+  const auto messages = sim::uniform_messages(requests, slots);
+  const auto total = static_cast<std::int64_t>(messages.size());
+
+  struct Level {
+    const char* name;
+    sim::FaultSpec spec;
+  };
+  std::vector<Level> levels{
+      {"none", {}},
+      {"light", {0.005, 0.02, 1024, 256, 0.02, false, 0xfa017}},
+      {"moderate", {0.02, 0.05, 1024, 256, 0.05, false, 0xfa017}},
+      {"heavy", {0.05, 0.10, 1024, 256, 0.15, false, 0xfa017}},
+  };
+
+  std::cout << "random pattern, " << total << " messages x " << slots
+            << " slots on an 8x8 torus\n"
+            << "fault levels: per-link kill/flap probability + control-packet "
+               "loss\n\n";
+
+  util::Table table({"faults", "control", "K", "delivered", "lost", "failed",
+                     "payloads lost", "retries", "recompiles", "time (slots)"});
+  const auto pct = [&](std::int64_t undelivered) {
+    return util::Table::fmt(
+               100.0 * static_cast<double>(total - undelivered) /
+                   static_cast<double>(total),
+               1) +
+           "%";
+  };
+
+  for (const auto& level : levels) {
+    const auto timeline = sim::random_fault_timeline(net, level.spec);
+
+    const auto rec = apps::run_with_recovery(compiler, messages, timeline);
+    table.add_row({level.name, "compiled", "auto",
+                   pct(rec.faults.undelivered()),
+                   util::Table::fmt(rec.faults.messages_lost),
+                   util::Table::fmt(rec.faults.messages_failed),
+                   util::Table::fmt(rec.faults.payloads_lost), "0",
+                   util::Table::fmt(rec.faults.recompiles),
+                   util::Table::fmt(rec.total_slots)});
+
+    for (const int k : {1, 2, 5, 10}) {
+      sim::DynamicParams params;
+      params.multiplexing_degree = k;
+      params.retry_budget = 8;
+      params.max_backoff_slots = 512;
+      const auto run = sim::simulate_dynamic(net, messages, params, timeline);
+      table.add_row(
+          {level.name, "dynamic", util::Table::fmt(std::int64_t{k}),
+           pct(run.faults.undelivered()),
+           util::Table::fmt(run.faults.messages_lost),
+           util::Table::fmt(run.faults.messages_failed),
+           util::Table::fmt(run.faults.payloads_lost),
+           util::Table::fmt(run.total_retries),
+           "-",
+           run.completed ? util::Table::fmt(run.total_slots) : "dnf"});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nthe recovery loop restores delivery by recompiling onto the "
+               "surviving\ntopology (unroutable requests excepted); the "
+               "dynamic protocol is stuck with\nits deterministic route and "
+               "can only burn its retry budget against a dead\nlink.  "
+               "control-packet loss costs the dynamic side timeouts and "
+               "retries;\ncompiled communication has no control traffic to "
+               "lose.\n";
+  return 0;
+}

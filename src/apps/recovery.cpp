@@ -1,0 +1,115 @@
+#include "apps/recovery.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/linkset.hpp"
+#include "sched/coloring.hpp"
+#include "sched/fault.hpp"
+
+namespace optdm::apps {
+
+RecoveryResult run_with_recovery(const CommCompiler& compiler,
+                                 std::span<const sim::Message> messages,
+                                 const sim::FaultTimeline& faults,
+                                 const RecoveryParams& params) {
+  if (params.max_rounds < 1)
+    throw std::invalid_argument("run_with_recovery: max_rounds < 1");
+  if (params.detection_slots < 0)
+    throw std::invalid_argument("run_with_recovery: negative detection_slots");
+  if (params.recompile_slots < 0)
+    throw std::invalid_argument("run_with_recovery: negative recompile_slots");
+
+  const auto& net = compiler.network();
+  RecoveryResult out;
+  out.messages.assign(messages.size(), sim::CompiledMessageStats{});
+  for (auto& stats : out.messages) stats.completed = -1;
+  if (messages.empty()) return out;
+
+  // Indices (into `messages`) still awaiting delivery.
+  std::vector<std::size_t> pending(messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) pending[i] = i;
+
+  std::int64_t clock = 0;
+  for (int round = 1; !pending.empty(); ++round) {
+    // Build the round's schedule.  Round 1 is the ordinary fault-blind
+    // compile; recovery rounds reroute around the links dead *now* (a
+    // flap that has since repaired no longer constrains routing).
+    core::RequestSet pattern;
+    pattern.reserve(pending.size());
+    for (const auto i : pending) pattern.push_back(messages[i].request);
+
+    core::Schedule schedule;
+    int rerouted = 0;
+    if (round == 1) {
+      schedule = compiler.compile(pattern).schedule;
+    } else {
+      const auto dead = faults.dead_links(net.link_count(), clock);
+      auto plan = sched::try_route_around_faults(net, pattern, dead);
+      if (!plan.unroutable.empty()) {
+        // No route on the surviving topology: report, drop from pending.
+        std::vector<std::size_t> routable;
+        routable.reserve(plan.routed.size());
+        for (const auto local : plan.unroutable) {
+          const auto i = pending[static_cast<std::size_t>(local)];
+          out.messages[i].outcome = sim::MessageOutcome::kFailed;
+          ++out.faults.messages_failed;
+        }
+        for (const auto local : plan.routed)
+          routable.push_back(pending[static_cast<std::size_t>(local)]);
+        pending = std::move(routable);
+        if (pending.empty()) break;
+      }
+      rerouted = plan.rerouted;
+      schedule = sched::coloring_paths(net, plan.paths);
+    }
+
+    // Transmit the round against the shared timeline.
+    std::vector<sim::Message> batch;
+    batch.reserve(pending.size());
+    for (const auto i : pending) batch.push_back(messages[i]);
+    const auto run =
+        sim::simulate_compiled(schedule, batch, params.sim, faults, clock);
+
+    out.rounds.push_back(RecoveryRound{clock, run.degree,
+                                       static_cast<int>(batch.size()),
+                                       run.faults.payloads_lost, rerouted});
+    out.faults.payloads_lost += run.faults.payloads_lost;
+    if (run.faults.payloads_lost > 0) ++out.faults.degraded_frames;
+
+    std::vector<std::size_t> still_lost;
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      const auto i = pending[j];
+      const auto& stats = run.messages[j];
+      if (stats.outcome == sim::MessageOutcome::kDelivered) {
+        out.messages[i] = stats;
+        out.messages[i].completed = clock + stats.completed;
+      } else {
+        out.messages[i].slot = stats.slot;
+        out.messages[i].outcome = stats.outcome;
+        out.messages[i].payloads_lost += stats.payloads_lost;
+        still_lost.push_back(i);
+      }
+    }
+    clock += run.total_slots;
+    pending = std::move(still_lost);
+
+    if (pending.empty()) break;
+    if (round == params.max_rounds) {
+      out.faults.messages_lost += static_cast<std::int64_t>(pending.size());
+      break;
+    }
+
+    // Detection + recompilation penalty before the next round starts.
+    ++out.faults.recompiles;
+    const auto penalty = params.detection_slots + params.recompile_slots;
+    out.faults.added_latency_slots += penalty;
+    clock += penalty;
+  }
+
+  out.total_slots = clock;
+  return out;
+}
+
+}  // namespace optdm::apps

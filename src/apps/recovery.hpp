@@ -1,0 +1,95 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "apps/compiler.hpp"
+#include "sim/compiled.hpp"
+#include "sim/faults.hpp"
+
+/// \file recovery.hpp
+/// Detect-and-recompile fault recovery for compiled communication.
+///
+/// Compiled communication has no runtime control plane, so it cannot
+/// *react* to a fault inside a phase — but the compiler can react
+/// *between* phases.  The recovery loop models exactly that division of
+/// labor:
+///
+///  1. run the phase's schedule; payloads crossing a dead link vanish;
+///  2. the runtime monitor detects the losses (`detection_slots` later);
+///  3. the compiler is re-invoked on the *surviving* topology — dead
+///     links are routed around with two-leg misrouting
+///     (`sched::try_route_around_faults`) and the pending messages are
+///     rescheduled (`recompile_slots` of penalty, the reconfiguration
+///     cost knob);
+///  4. the retransmission phase runs at the new clock offset against the
+///     same fault timeline; repeat until everything is delivered, a
+///     request is unroutable (`kFailed`), or `max_rounds` is hit.
+///
+/// This is the compiled counterpart of the dynamic protocol's
+/// timeout-and-retry: recovery by recompilation instead of by
+/// reservation.
+
+namespace optdm::apps {
+
+/// Knobs of the recovery loop.
+struct RecoveryParams {
+  /// Parameters forwarded to every `simulate_compiled` round.
+  sim::CompiledParams sim;
+  /// Slots between the end of a lossy round and the fault set being
+  /// known to the compiler (runtime monitoring latency).
+  std::int64_t detection_slots = 64;
+  /// Slots charged per recompilation: rescheduling plus reloading the
+  /// switch registers fabric-wide.
+  std::int64_t recompile_slots = 512;
+  /// Transmission rounds before the loop gives up on still-lossy
+  /// messages (>= 1); round 1 is the original schedule.
+  int max_rounds = 8;
+};
+
+/// Per-round observability record.
+struct RecoveryRound {
+  /// Absolute slot at which the round's transmission started.
+  std::int64_t start_slot = 0;
+  /// Multiplexing degree of the round's schedule.
+  int degree = 0;
+  /// Messages carried (pending retransmissions after round 1).
+  int carried = 0;
+  /// Payloads of this round that crossed a dead link.
+  std::int64_t payloads_lost = 0;
+  /// Requests that needed two-leg misrouting (0 for round 1).
+  int rerouted = 0;
+};
+
+/// Result of a recovery-loop run.
+struct RecoveryResult {
+  /// Global clock when the loop stopped: transmission rounds plus all
+  /// detection and recompilation penalties.
+  std::int64_t total_slots = 0;
+  /// Aggregate accounting; `recompiles`, `added_latency_slots`, and
+  /// `degraded_frames` (rounds with at least one loss) are filled here.
+  sim::FaultStats faults;
+  /// Final per-message records, in input order; `completed` is on the
+  /// absolute clock, -1 for messages never delivered.
+  std::vector<sim::CompiledMessageStats> messages;
+  /// One entry per transmission round, in order.
+  std::vector<RecoveryRound> rounds;
+
+  /// True when every message ended `kDelivered`.
+  bool all_delivered() const noexcept {
+    return faults.undelivered() == 0;
+  }
+};
+
+/// Runs `messages` through the detect-and-recompile loop against
+/// `faults`.  Round 1 compiles the full pattern with the paper's combined
+/// algorithm (fault-blind, as a real compiler would be); later rounds
+/// reroute the undelivered remainder around the links dead at recompile
+/// time.  Deterministic: same inputs, same result.  Throws
+/// `std::invalid_argument` for `max_rounds < 1`.
+RecoveryResult run_with_recovery(const CommCompiler& compiler,
+                                 std::span<const sim::Message> messages,
+                                 const sim::FaultTimeline& faults,
+                                 const RecoveryParams& params = {});
+
+}  // namespace optdm::apps

@@ -13,24 +13,26 @@ bool hits_fault(const core::Path& path, const core::LinkSet& failed) {
 
 }  // namespace
 
-FaultPlan route_around_faults(const topo::TorusNetwork& net,
-                              const core::RequestSet& requests,
-                              const core::LinkSet& failed) {
-  FaultPlan plan;
+PartialFaultPlan try_route_around_faults(const topo::TorusNetwork& net,
+                                         const core::RequestSet& requests,
+                                         const core::LinkSet& failed) {
+  PartialFaultPlan plan;
   plan.paths.reserve(requests.size());
 
+  int index = -1;
   for (const auto& request : requests) {
+    ++index;
     // Processor interfaces cannot be detoured.
     if (failed.contains(net.injection_link(request.src)) ||
-        failed.contains(net.ejection_link(request.dst)))
-      throw std::runtime_error(
-          "route_around_faults: processor link of request (" +
-          std::to_string(request.src) + "->" + std::to_string(request.dst) +
-          ") has failed");
+        failed.contains(net.ejection_link(request.dst))) {
+      plan.unroutable.push_back(index);
+      continue;
+    }
 
     auto direct = core::make_path(net, request);
     if (!hits_fault(direct, failed)) {
       plan.paths.push_back(std::move(direct));
+      plan.routed.push_back(index);
       continue;
     }
 
@@ -53,15 +55,38 @@ FaultPlan route_around_faults(const topo::TorusNetwork& net,
       }
       if (hits_fault(candidate, failed)) continue;
       plan.paths.push_back(std::move(candidate));
+      plan.routed.push_back(index);
       ++plan.rerouted;
       repaired = true;
     }
-    if (!repaired)
-      throw std::runtime_error(
-          "route_around_faults: no fault-free route for (" +
-          std::to_string(request.src) + "->" + std::to_string(request.dst) +
-          ")");
+    if (!repaired) plan.unroutable.push_back(index);
   }
+  return plan;
+}
+
+FaultPlan route_around_faults(const topo::TorusNetwork& net,
+                              const core::RequestSet& requests,
+                              const core::LinkSet& failed) {
+  auto partial = try_route_around_faults(net, requests, failed);
+  if (!partial.complete()) {
+    const auto& request = requests[static_cast<std::size_t>(
+        partial.unroutable.front())];
+    const bool processor_dead =
+        failed.contains(net.injection_link(request.src)) ||
+        failed.contains(net.ejection_link(request.dst));
+    if (processor_dead)
+      throw std::runtime_error(
+          "route_around_faults: processor link of request (" +
+          std::to_string(request.src) + "->" + std::to_string(request.dst) +
+          ") has failed");
+    throw std::runtime_error(
+        "route_around_faults: no fault-free route for (" +
+        std::to_string(request.src) + "->" + std::to_string(request.dst) +
+        ")");
+  }
+  FaultPlan plan;
+  plan.paths = std::move(partial.paths);
+  plan.rerouted = partial.rerouted;
   return plan;
 }
 

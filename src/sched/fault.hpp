@@ -30,10 +30,37 @@ struct FaultPlan {
   int rerouted = 0;
 };
 
+/// Result of best-effort fault-aware routing.
+struct PartialFaultPlan {
+  /// Fault-free paths for the routable requests, in request order.
+  std::vector<core::Path> paths;
+  /// Indices (into the input request set) of the requests behind `paths`,
+  /// parallel to it.
+  std::vector<int> routed;
+  /// Indices of the requests that cannot be realized on the surviving
+  /// topology: a processor link failed, or no intermediate node yields a
+  /// fault-free loop-free two-leg path.
+  std::vector<int> unroutable;
+  /// Requests that needed an intermediate node.
+  int rerouted = 0;
+
+  bool complete() const noexcept { return unroutable.empty(); }
+};
+
+/// Best-effort variant of `route_around_faults`: never throws on
+/// unroutable requests; instead it returns the partial plan covering
+/// everything that *can* be routed plus the index list of what cannot.
+/// The recovery loop uses this to keep a degraded application running
+/// rather than aborting on the first dead processor interface.
+PartialFaultPlan try_route_around_faults(const topo::TorusNetwork& net,
+                                         const core::RequestSet& requests,
+                                         const core::LinkSet& failed);
+
 /// Routes `requests` around `failed` links.  Throws
 /// `std::runtime_error` if some request cannot be realized (its
 /// injection/ejection link failed, or no intermediate node yields a
-/// fault-free loop-free path).
+/// fault-free loop-free path).  Strict wrapper over
+/// `try_route_around_faults`.
 FaultPlan route_around_faults(const topo::TorusNetwork& net,
                               const core::RequestSet& requests,
                               const core::LinkSet& failed);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace optdm::sim {
@@ -15,6 +16,15 @@ struct Channel {
   int slot = 0;
   std::vector<std::size_t> message_ids;
 };
+
+/// Entry validation (satellite of the robustness PR): reject parameter
+/// garbage instead of silently simulating it.
+void validate_params(const CompiledParams& params, const char* who) {
+  if (params.setup_slots < 0)
+    throw std::invalid_argument(std::string(who) + ": negative setup_slots");
+  if (params.frame_slots < 0)
+    throw std::invalid_argument(std::string(who) + ": negative frame_slots");
+}
 
 /// Maps every message onto a scheduled instance of its request, consuming
 /// duplicate instances in schedule order and wrapping around if a request
@@ -57,6 +67,7 @@ std::vector<Channel> assign_channels(const core::Schedule& schedule,
 CompiledResult simulate_compiled(const core::Schedule& schedule,
                                  std::span<const Message> messages,
                                  const CompiledParams& params) {
+  validate_params(params, "simulate_compiled");
   CompiledResult result;
   result.degree = schedule.degree();
   result.messages.assign(messages.size(), CompiledMessageStats{});
@@ -97,9 +108,63 @@ CompiledResult simulate_compiled(const core::Schedule& schedule,
   return result;
 }
 
+CompiledResult simulate_compiled(const core::Schedule& schedule,
+                                 std::span<const Message> messages,
+                                 const CompiledParams& params,
+                                 const FaultTimeline& faults,
+                                 std::int64_t start_slot) {
+  auto result = simulate_compiled(schedule, messages, params);
+  if (!faults.has_link_faults() || messages.empty()) return result;
+
+  // Re-derive the channel assignment to know each payload's transmission
+  // slot, then test those slots against the fault windows.  Timing is
+  // untouched: without runtime control there is no feedback to react to.
+  std::vector<std::size_t> channel_of;
+  const auto channels = assign_channels(schedule, messages, channel_of);
+
+  std::map<std::pair<int, core::Request>, const core::Path*> path_at;
+  for (int slot = 0; slot < schedule.degree(); ++slot)
+    for (const auto& path : schedule.configuration(slot).paths())
+      path_at[{slot, path.request}] = &path;
+
+  const std::int64_t k =
+      params.frame_slots > 0 ? params.frame_slots : schedule.degree();
+  for (const auto& channel : channels) {
+    std::int64_t cumulative = 0;
+    for (const auto m : channel.message_ids) {
+      const auto& message = messages[m];
+      const auto it = path_at.find({channel.slot, message.request});
+      if (it == path_at.end())
+        throw std::logic_error(
+            "simulate_compiled: scheduled request lost its path");
+      std::int64_t base, stride;
+      if (params.channel == ChannelKind::kWavelength) {
+        base = start_slot + params.setup_slots + cumulative;
+        stride = 1;
+      } else {
+        base = start_slot + params.setup_slots + channel.slot + cumulative * k;
+        stride = k;
+      }
+      std::vector<char> lost(static_cast<std::size_t>(message.slots), 0);
+      faults.mark_lost_payloads(it->second->links, base, stride, lost);
+      const auto dropped = static_cast<std::int64_t>(
+          std::count(lost.begin(), lost.end(), char{1}));
+      if (dropped > 0) {
+        result.messages[m].outcome = MessageOutcome::kLost;
+        result.messages[m].payloads_lost = dropped;
+        result.faults.payloads_lost += dropped;
+        ++result.faults.messages_lost;
+      }
+      cumulative += message.slots;
+    }
+  }
+  return result;
+}
+
 CompiledResult simulate_compiled_stepped(const core::Schedule& schedule,
                                          std::span<const Message> messages,
                                          const CompiledParams& params) {
+  validate_params(params, "simulate_compiled_stepped");
   CompiledResult result;
   result.degree = schedule.degree();
   result.messages.assign(messages.size(), CompiledMessageStats{});

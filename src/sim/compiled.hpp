@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/schedule.hpp"
+#include "sim/faults.hpp"
 #include "sim/message.hpp"
 
 /// \file compiled.hpp
@@ -38,8 +39,16 @@ struct CompiledParams {
 struct CompiledMessageStats {
   /// Slot of the configuration carrying this message's connection.
   int slot = -1;
-  /// Absolute time (in slots) at which the last payload is delivered.
+  /// Absolute time (in slots) at which the last payload is delivered (for
+  /// `kLost` messages: at which the last payload *would have been*
+  /// delivered — the sender has no feedback channel and transmits on
+  /// schedule regardless).
   std::int64_t completed = 0;
+  /// Fate of the message under the run's fault timeline; always
+  /// `kDelivered` on a healthy fabric.
+  MessageOutcome outcome = MessageOutcome::kDelivered;
+  /// Slot-payloads of this message that crossed a dead link.
+  std::int64_t payloads_lost = 0;
 };
 
 /// Result of a compiled-communication run.
@@ -48,6 +57,8 @@ struct CompiledResult {
   std::int64_t total_slots = 0;
   /// Multiplexing degree used.
   int degree = 0;
+  /// Aggregate fault accounting (all zero on a healthy fabric).
+  FaultStats faults;
   std::vector<CompiledMessageStats> messages;
 };
 
@@ -57,6 +68,22 @@ struct CompiledResult {
 CompiledResult simulate_compiled(const core::Schedule& schedule,
                                  std::span<const Message> messages,
                                  const CompiledParams& params = {});
+
+/// Fault-aware variant: identical timing (compiled communication has no
+/// runtime feedback — senders transmit on schedule whether or not the
+/// light arrives), but every payload whose transmission slot crosses a
+/// link that `faults` has down is lost, and per-message outcomes plus
+/// `result.faults` record the damage.  `start_slot` places the phase on
+/// the timeline's absolute clock (the recovery loop re-runs epochs at
+/// increasing offsets); reported times stay relative to the phase start.
+/// An inactive timeline reproduces `simulate_compiled` byte for byte.
+/// Control-packet loss does not apply: there is no runtime control
+/// traffic to lose — that asymmetry is the paper's whole point.
+CompiledResult simulate_compiled(const core::Schedule& schedule,
+                                 std::span<const Message> messages,
+                                 const CompiledParams& params,
+                                 const FaultTimeline& faults,
+                                 std::int64_t start_slot = 0);
 
 /// Reference slot-by-slot simulation used by tests to cross-validate the
 /// analytic model; identical results, O(total time x connections).

@@ -25,6 +25,17 @@ enum class EventKind : std::uint8_t {
   kNackStep,     ///< nack releases reservations at path link `hop`
   kDataDone,     ///< last payload delivered
   kReleaseStep,  ///< release frees the selected channel at path link `hop`
+  kTimeout,      ///< source's reservation timer fires (fault runs only)
+  kCleanup,      ///< switch hold timers reclaim stranded reservations
+};
+
+/// Tags distinguishing control-packet kinds in the deterministic
+/// drop-decision hash.
+enum CtrlTag : std::uint8_t {
+  kTagReserve = 1,
+  kTagAck = 2,
+  kTagNack = 3,
+  kTagRelease = 4,
 };
 
 struct Event {
@@ -33,11 +44,21 @@ struct Event {
   EventKind kind = EventKind::kIssue;
   std::int32_t subject = 0;  // node for kIssue, message id otherwise
   std::int32_t hop = 0;
+  std::int32_t attempt = 0;  // reservation attempt the event belongs to
 
   friend bool operator>(const Event& a, const Event& b) {
     if (a.time != b.time) return a.time > b.time;
     return a.seq > b.seq;
   }
+};
+
+/// Per-message protocol state.  Terminal states are kDone and kFailed.
+enum class MsgState : std::uint8_t {
+  kQueued,
+  kReserving,
+  kTransmitting,
+  kDone,
+  kFailed,
 };
 
 struct RuntimeMessage {
@@ -51,17 +72,40 @@ struct RuntimeMessage {
   ChannelMask mask = 0;
   /// Selected channel (slot index) once established.
   int channel = -1;
+  MsgState state = MsgState::kQueued;
+  /// Current reservation attempt; events of earlier attempts are stale.
+  std::int32_t attempt = 0;
   DynamicMessageStats stats;
 };
 
 class Simulator {
  public:
   Simulator(const topo::Network& net, std::span<const Message> messages,
-            const DynamicParams& params)
-      : net_(net), params_(params), rng_(params.seed) {
+            const DynamicParams& params, const FaultTimeline& faults)
+      : net_(net), params_(params), faults_(&faults), rng_(params.seed) {
     if (params.multiplexing_degree < 1 || params.multiplexing_degree > 64)
       throw std::invalid_argument(
           "simulate_dynamic: multiplexing degree must be in [1, 64]");
+    if (params.backoff_slots < 1)
+      throw std::invalid_argument(
+          "simulate_dynamic: backoff_slots must be positive");
+    if (params.horizon < 1)
+      throw std::invalid_argument("simulate_dynamic: horizon must be positive");
+    if (params.ctrl_hop_slots < 1)
+      throw std::invalid_argument(
+          "simulate_dynamic: ctrl_hop_slots must be positive");
+    if (params.ctrl_local_slots < 1)
+      throw std::invalid_argument(
+          "simulate_dynamic: ctrl_local_slots must be positive");
+    if (params.timeout_slots < 0)
+      throw std::invalid_argument("simulate_dynamic: negative timeout_slots");
+    if (params.retry_budget < 0)
+      throw std::invalid_argument("simulate_dynamic: negative retry_budget");
+    if (params.max_backoff_slots < 0)
+      throw std::invalid_argument(
+          "simulate_dynamic: negative max_backoff_slots");
+    has_faults_ = faults.active();
+    has_link_faults_ = faults.has_link_faults();
     full_mask_ = params.multiplexing_degree == 64
                      ? ~ChannelMask{0}
                      : (ChannelMask{1} << params.multiplexing_degree) - 1;
@@ -86,11 +130,11 @@ class Simulator {
   DynamicResult run() {
     for (topo::NodeId n = 0; n < net_.node_count(); ++n)
       if (!queues_[static_cast<std::size_t>(n)].empty())
-        push(0, EventKind::kIssue, n, 0);
+        push(0, EventKind::kIssue, n, 0, 0);
 
-    std::size_t remaining = msgs_.size();
+    remaining_ = msgs_.size();
     DynamicResult result;
-    while (remaining > 0 && !events_.empty()) {
+    while (remaining_ > 0 && !events_.empty()) {
       const Event ev = events_.top();
       events_.pop();
       if (ev.time > params_.horizon) {
@@ -98,44 +142,21 @@ class Simulator {
         break;
       }
       now_ = ev.time;
-      switch (ev.kind) {
-        case EventKind::kIssue:
-          on_issue(ev.subject);
-          break;
-        case EventKind::kReserveStep:
-          on_reserve_step(ev.subject, ev.hop);
-          break;
-        case EventKind::kDstSelect:
-          on_dst_select(ev.subject);
-          break;
-        case EventKind::kAckStep:
-          on_ack_step(ev.subject, ev.hop);
-          break;
-        case EventKind::kNackStep:
-          on_nack_step(ev.subject, ev.hop);
-          break;
-        case EventKind::kDataDone:
-          on_data_done(ev.subject);
-          --remaining;
-          break;
-        case EventKind::kReleaseStep:
-          on_release_step(ev.subject, ev.hop);
-          break;
-      }
+      dispatch(ev);
     }
-    if (remaining > 0) result.completed = false;
+    if (remaining_ > 0) result.completed = false;
 
-    // Drain the releases (and any stray control traffic) still in flight,
-    // then check the conservation invariant: every channel free again.
+    // Drain the releases, hold-timer cleanups, and any stale control
+    // traffic still in flight, then check the conservation invariant:
+    // every channel free again.  Every handler is guarded by message
+    // state and attempt tags, so replaying the queue is side-effect-free
+    // except for the releases themselves.
     if (result.completed) {
       while (!events_.empty()) {
         const Event ev = events_.top();
         events_.pop();
         now_ = ev.time;
-        if (ev.kind == EventKind::kReleaseStep)
-          on_release_step(ev.subject, ev.hop);
-        // Anything else at this point would be a protocol bug; leaving it
-        // unprocessed makes the invariant below fail loudly.
+        dispatch(ev);
       }
       result.clean_shutdown = true;
       for (const auto mask : free_)
@@ -146,18 +167,103 @@ class Simulator {
     }
 
     result.messages.reserve(msgs_.size());
-    for (const auto& rt : msgs_) {
+    for (auto& rt : msgs_) {
+      if (rt.state != MsgState::kDone && rt.state != MsgState::kFailed)
+        rt.stats.outcome = MessageOutcome::kFailed;  // horizon cut it off
       result.messages.push_back(rt.stats);
       result.total_retries += rt.stats.retries;
       result.total_slots = std::max(result.total_slots, rt.stats.completed);
+      result.faults.timeouts += rt.stats.timeouts;
+      result.faults.payloads_lost += rt.stats.payloads_lost;
+      switch (rt.stats.outcome) {
+        case MessageOutcome::kDelivered:
+          break;
+        case MessageOutcome::kLost:
+          ++result.faults.messages_lost;
+          break;
+        case MessageOutcome::kMisrouted:
+          ++result.faults.messages_misrouted;
+          break;
+        case MessageOutcome::kFailed:
+          ++result.faults.messages_failed;
+          break;
+      }
     }
+    result.faults.ctrl_dropped = ctrl_dropped_;
     return result;
   }
 
  private:
+  void dispatch(const Event& ev) {
+    switch (ev.kind) {
+      case EventKind::kIssue:
+        on_issue(ev.subject);
+        break;
+      case EventKind::kReserveStep:
+        on_reserve_step(ev.subject, ev.hop, ev.attempt);
+        break;
+      case EventKind::kDstSelect:
+        on_dst_select(ev.subject, ev.attempt);
+        break;
+      case EventKind::kAckStep:
+        on_ack_step(ev.subject, ev.hop, ev.attempt);
+        break;
+      case EventKind::kNackStep:
+        on_nack_step(ev.subject, ev.hop, ev.attempt);
+        break;
+      case EventKind::kDataDone:
+        on_data_done(ev.subject);
+        break;
+      case EventKind::kReleaseStep:
+        on_release_step(ev.subject, ev.hop);
+        break;
+      case EventKind::kTimeout:
+        on_timeout(ev.subject, ev.attempt);
+        break;
+      case EventKind::kCleanup:
+        on_cleanup(ev.subject, ev.attempt);
+        break;
+    }
+  }
+
   void push(std::int64_t time, EventKind kind, std::int32_t subject,
-            std::int32_t hop) {
-    events_.push(Event{time, seq_++, kind, subject, hop});
+            std::int32_t hop, std::int32_t attempt) {
+    events_.push(Event{time, seq_++, kind, subject, hop, attempt});
+  }
+
+  /// True iff the event belongs to a superseded reservation attempt (the
+  /// source timed out and moved on) or to a message already settled.
+  bool stale(const RuntimeMessage& rt, std::int32_t attempt) const {
+    return rt.attempt != attempt || rt.state == MsgState::kDone ||
+           rt.state == MsgState::kFailed;
+  }
+
+  /// Deterministic control-packet drop decision for one shadow-network
+  /// hop crossing.  Pure function of the timeline seed and the packet's
+  /// identity, so results are independent of event interleaving.
+  bool ctrl_dropped(const RuntimeMessage& rt, std::int32_t id, CtrlTag tag,
+                    std::int32_t hop) {
+    if (!has_faults_ || faults_->ctrl_loss() <= 0.0) return false;
+    const auto key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                          id)) << 40) ^
+                     (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                          rt.attempt)) << 16) ^
+                     (static_cast<std::uint64_t>(tag) << 12) ^
+                     static_cast<std::uint64_t>(
+                         static_cast<std::uint32_t>(hop) & 0xfffU);
+    if (!faults_->drop_ctrl(key)) return false;
+    ++ctrl_dropped_;
+    return true;
+  }
+
+  /// Timeout armed per reservation attempt: explicit, or twice the
+  /// worst-case control round trip plus one backoff.
+  std::int64_t timeout_for(const RuntimeMessage& rt) const {
+    if (params_.timeout_slots > 0) return params_.timeout_slots;
+    const auto hops = static_cast<std::int64_t>(rt.links.size());
+    return 2 * (2 * params_.ctrl_local_slots +
+                2 * hops * params_.ctrl_hop_slots) +
+           params_.backoff_slots;
   }
 
   /// Head-of-line: the source works on the front message of its queue.
@@ -167,21 +273,31 @@ class Simulator {
     const auto id = queue.front();
     auto& rt = msg(id);
     if (rt.stats.issued < 0) rt.stats.issued = now_;
+    rt.state = MsgState::kReserving;
+    ++rt.attempt;
     rt.mask = full_mask_;
     // Local issue processing, then the reservation starts at the
     // injection link (hop 0).
-    push(now_ + params_.ctrl_local_slots, EventKind::kReserveStep, id, 0);
+    push(now_ + params_.ctrl_local_slots, EventKind::kReserveStep, id, 0,
+         rt.attempt);
+    if (has_faults_)
+      push(now_ + timeout_for(rt), EventKind::kTimeout, id, 0, rt.attempt);
   }
 
-  void on_reserve_step(std::int32_t id, std::int32_t hop) {
+  void on_reserve_step(std::int32_t id, std::int32_t hop,
+                       std::int32_t attempt) {
     auto& rt = msg(id);
+    if (stale(rt, attempt)) return;
     const auto link = rt.links[static_cast<std::size_t>(hop)];
     ChannelMask avail = rt.mask & free_[static_cast<std::size_t>(link)];
+    // A link that is down reads as loss-of-signal at the controller: no
+    // channel of it is reservable.
+    if (has_link_faults_ && faults_->down(link, now_)) avail = 0;
     if (avail != 0 && params_.policy == DynamicParams::Policy::kReserveOne)
       avail &= ChannelMask(0) - avail;  // keep only the lowest set bit
     if (avail == 0) {
       // Reservation failed: NACK back from the previous link.
-      start_nack(id, hop - 1);
+      start_nack(id, hop - 1, attempt);
       return;
     }
     free_[static_cast<std::size_t>(link)] &= ~avail;
@@ -189,27 +305,33 @@ class Simulator {
     rt.mask = avail;
     const bool is_last = hop + 1 == static_cast<std::int32_t>(rt.links.size());
     if (is_last) {
-      push(now_ + params_.ctrl_local_slots, EventKind::kDstSelect, id, 0);
+      push(now_ + params_.ctrl_local_slots, EventKind::kDstSelect, id, 0,
+           attempt);
     } else {
       // Crossing to the next switch costs a shadow-network hop when this
-      // link is a network link; the injection link is switch-local.
+      // link is a network link; the injection link is switch-local.  Only
+      // a genuine crossing can lose the packet.
       const bool network_hop =
           net_.link(link).kind == topo::LinkKind::kNetwork;
+      if (network_hop && ctrl_dropped(rt, id, kTagReserve, hop))
+        return;  // the source's timeout will reclaim hops [0, hop]
       push(now_ + (network_hop ? params_.ctrl_hop_slots : 0),
-           EventKind::kReserveStep, id, hop + 1);
+           EventKind::kReserveStep, id, hop + 1, attempt);
     }
   }
 
-  void on_dst_select(std::int32_t id) {
+  void on_dst_select(std::int32_t id, std::int32_t attempt) {
     auto& rt = msg(id);
+    if (stale(rt, attempt)) return;
     rt.channel = std::countr_zero(rt.mask);
     // The ACK walks the path backwards releasing non-selected channels.
     push(now_, EventKind::kAckStep, id,
-         static_cast<std::int32_t>(rt.links.size()) - 1);
+         static_cast<std::int32_t>(rt.links.size()) - 1, attempt);
   }
 
-  void on_ack_step(std::int32_t id, std::int32_t hop) {
+  void on_ack_step(std::int32_t id, std::int32_t hop, std::int32_t attempt) {
     auto& rt = msg(id);
+    if (stale(rt, attempt)) return;
     const auto link = rt.links[static_cast<std::size_t>(hop)];
     const ChannelMask keep = ChannelMask{1}
                              << static_cast<unsigned>(rt.channel);
@@ -221,40 +343,63 @@ class Simulator {
       return;
     }
     const bool network_hop = net_.link(link).kind == topo::LinkKind::kNetwork;
+    if (network_hop && ctrl_dropped(rt, id, kTagAck, hop))
+      return;  // downstream is committed; timeout + hold timers recover
     push(now_ + (network_hop ? params_.ctrl_hop_slots : 0),
-         EventKind::kAckStep, id, hop - 1);
+         EventKind::kAckStep, id, hop - 1, attempt);
   }
 
   void establish(std::int32_t id) {
     auto& rt = msg(id);
+    rt.state = MsgState::kTransmitting;
     rt.stats.established = now_;
+    std::int64_t first = 0, stride = 1;
     if (params_.channel == ChannelKind::kWavelength) {
       // The wavelength runs at full rate: one payload per slot.
-      push(now_ + rt.message.slots + 1, EventKind::kDataDone, id, 0);
-      return;
+      first = now_ + 1;
+      push(now_ + rt.message.slots + 1, EventKind::kDataDone, id, 0,
+           rt.attempt);
+    } else {
+      // TDM: first usable slot is the smallest T > now with T mod K ==
+      // channel; one payload per frame of K slots thereafter.
+      const std::int64_t k = params_.multiplexing_degree;
+      first = now_ + 1;
+      const std::int64_t offset =
+          ((rt.channel - first) % k + k) % k;
+      first += offset;
+      stride = k;
+      const std::int64_t last = first + (rt.message.slots - 1) * k;
+      push(last + 1, EventKind::kDataDone, id, 0, rt.attempt);
     }
-    // TDM: first usable slot is the smallest T > now with T mod K ==
-    // channel; one payload per frame of K slots thereafter.
-    const std::int64_t k = params_.multiplexing_degree;
-    std::int64_t first = now_ + 1;
-    const std::int64_t offset =
-        ((rt.channel - first) % k + k) % k;
-    first += offset;
-    const std::int64_t last = first + (rt.message.slots - 1) * k;
-    push(last + 1, EventKind::kDataDone, id, 0);
+    // Payload losses are decidable now: transmission slots are fixed the
+    // moment the circuit is established, and the protocol has no
+    // per-payload acknowledgment to react with.
+    if (has_link_faults_) {
+      std::vector<char> lost(static_cast<std::size_t>(rt.message.slots), 0);
+      faults_->mark_lost_payloads(rt.links, first, stride, lost);
+      rt.stats.payloads_lost = static_cast<std::int64_t>(
+          std::count(lost.begin(), lost.end(), char{1}));
+    }
   }
 
   void on_data_done(std::int32_t id) {
     auto& rt = msg(id);
+    rt.state = MsgState::kDone;
     rt.stats.completed = now_;
+    rt.stats.outcome = rt.stats.payloads_lost > 0 ? MessageOutcome::kLost
+                                                  : MessageOutcome::kDelivered;
+    --remaining_;
     // Release travels forward freeing the selected channel hop by hop.
-    push(now_, EventKind::kReleaseStep, id, 0);
-    // The source moves on to its next queued message immediately.
-    const auto node = rt.message.request.src;
+    push(now_, EventKind::kReleaseStep, id, 0, rt.attempt);
+    advance_queue(rt.message.request.src);
+  }
+
+  /// The source moves on to its next queued message.
+  void advance_queue(topo::NodeId node) {
     auto& queue = queues_[static_cast<std::size_t>(node)];
     queue.pop_front();
     if (!queue.empty())
-      push(now_ + params_.ctrl_local_slots, EventKind::kIssue, node, 0);
+      push(now_ + params_.ctrl_local_slots, EventKind::kIssue, node, 0, 0);
   }
 
   void on_release_step(std::int32_t id, std::int32_t hop) {
@@ -266,21 +411,32 @@ class Simulator {
     if (hop + 1 < static_cast<std::int32_t>(rt.links.size())) {
       const bool network_hop =
           net_.link(link).kind == topo::LinkKind::kNetwork;
+      if (network_hop && ctrl_dropped(rt, id, kTagRelease, hop)) {
+        // The downstream switches never hear the release; their hold
+        // timers reclaim the channel after the time the sweep would have
+        // taken plus a hold margin.
+        push(now_ + params_.ctrl_local_slots +
+                 static_cast<std::int64_t>(rt.links.size()) *
+                     params_.ctrl_hop_slots,
+             EventKind::kCleanup, id, 0, rt.attempt);
+        return;
+      }
       push(now_ + (network_hop ? params_.ctrl_hop_slots : 0),
-           EventKind::kReleaseStep, id, hop + 1);
+           EventKind::kReleaseStep, id, hop + 1, 0);
     }
   }
 
-  void start_nack(std::int32_t id, std::int32_t hop) {
+  void start_nack(std::int32_t id, std::int32_t hop, std::int32_t attempt) {
     if (hop < 0) {
       retry(id);
       return;
     }
-    push(now_, EventKind::kNackStep, id, hop);
+    push(now_, EventKind::kNackStep, id, hop, attempt);
   }
 
-  void on_nack_step(std::int32_t id, std::int32_t hop) {
+  void on_nack_step(std::int32_t id, std::int32_t hop, std::int32_t attempt) {
     auto& rt = msg(id);
+    if (stale(rt, attempt)) return;
     const auto link = rt.links[static_cast<std::size_t>(hop)];
     free_[static_cast<std::size_t>(link)] |=
         rt.reserved[static_cast<std::size_t>(hop)];
@@ -290,17 +446,73 @@ class Simulator {
       return;
     }
     const bool network_hop = net_.link(link).kind == topo::LinkKind::kNetwork;
+    if (network_hop && ctrl_dropped(rt, id, kTagNack, hop))
+      return;  // source times out instead of hearing the NACK
     push(now_ + (network_hop ? params_.ctrl_hop_slots : 0),
-         EventKind::kNackStep, id, hop - 1);
+         EventKind::kNackStep, id, hop - 1, attempt);
+  }
+
+  /// The source's reservation timer: the attempt is presumed lost.  Per-
+  /// switch hold timers expire with it, reclaiming whatever the attempt
+  /// still held, and the source backs off and retries.
+  void on_timeout(std::int32_t id, std::int32_t attempt) {
+    auto& rt = msg(id);
+    if (rt.state != MsgState::kReserving || rt.attempt != attempt) return;
+    ++rt.stats.timeouts;
+    release_all(rt);
+    retry(id);
+  }
+
+  /// Hold-timer reclamation after a lost RELEASE sweep.
+  void on_cleanup(std::int32_t id, std::int32_t attempt) {
+    auto& rt = msg(id);
+    if (rt.attempt != attempt) return;
+    release_all(rt);
+  }
+
+  void release_all(RuntimeMessage& rt) {
+    for (std::size_t h = 0; h < rt.links.size(); ++h) {
+      free_[static_cast<std::size_t>(rt.links[h])] |= rt.reserved[h];
+      rt.reserved[h] = 0;
+    }
   }
 
   void retry(std::int32_t id) {
     auto& rt = msg(id);
+    // Back to the queued state: a stale timeout firing during the backoff
+    // wait must not trigger a second concurrent retry of this message.
+    rt.state = MsgState::kQueued;
     ++rt.stats.retries;
+    if (params_.retry_budget > 0 &&
+        rt.stats.retries > params_.retry_budget) {
+      fail_message(id);
+      return;
+    }
+    // Capped exponential backoff: double per failed attempt up to the
+    // cap; with no cap configured this is the paper's constant backoff
+    // (identical RNG draws, bit for bit).
+    std::int64_t base = params_.backoff_slots;
+    if (params_.max_backoff_slots > 0) {
+      for (int a = 1; a < rt.stats.retries &&
+                      base < params_.max_backoff_slots;
+           ++a)
+        base = std::min(base * 2, params_.max_backoff_slots);
+    }
     const std::int64_t jitter =
-        rng_.uniform(0, std::max<std::int64_t>(params_.backoff_slots - 1, 0));
-    push(now_ + params_.backoff_slots + jitter, EventKind::kIssue,
-         rt.message.request.src, 0);
+        rng_.uniform(0, std::max<std::int64_t>(base - 1, 0));
+    push(now_ + base + jitter, EventKind::kIssue,
+         rt.message.request.src, 0, 0);
+  }
+
+  /// Retry budget exhausted: report the message failed and unblock the
+  /// source's queue instead of wedging it forever.
+  void fail_message(std::int32_t id) {
+    auto& rt = msg(id);
+    rt.state = MsgState::kFailed;
+    rt.stats.outcome = MessageOutcome::kFailed;
+    release_all(rt);  // defensive; NACK/timeout paths already released
+    --remaining_;
+    advance_queue(rt.message.request.src);
   }
 
   RuntimeMessage& msg(std::int32_t id) {
@@ -309,10 +521,15 @@ class Simulator {
 
   const topo::Network& net_;
   DynamicParams params_;
+  const FaultTimeline* faults_;
+  bool has_faults_ = false;
+  bool has_link_faults_ = false;
   util::Rng rng_;
   ChannelMask full_mask_ = 1;
   std::int64_t now_ = 0;
   std::int64_t seq_ = 0;
+  std::int64_t ctrl_dropped_ = 0;
+  std::size_t remaining_ = 0;
   std::vector<ChannelMask> free_;
   std::vector<RuntimeMessage> msgs_;
   std::vector<std::deque<std::int32_t>> queues_;
@@ -324,7 +541,16 @@ class Simulator {
 DynamicResult simulate_dynamic(const topo::Network& net,
                                std::span<const Message> messages,
                                const DynamicParams& params) {
-  Simulator sim(net, messages, params);
+  static const FaultTimeline kHealthy;
+  Simulator sim(net, messages, params, kHealthy);
+  return sim.run();
+}
+
+DynamicResult simulate_dynamic(const topo::Network& net,
+                               std::span<const Message> messages,
+                               const DynamicParams& params,
+                               const FaultTimeline& faults) {
+  Simulator sim(net, messages, params, faults);
   return sim.run();
 }
 

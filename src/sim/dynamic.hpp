@@ -3,6 +3,7 @@
 #include <span>
 #include <vector>
 
+#include "sim/faults.hpp"
 #include "sim/message.hpp"
 #include "topo/network.hpp"
 
@@ -35,6 +36,24 @@
 /// of `ctrl_hop_slots`; shadow-link queueing is not modeled (control
 /// traffic is light: every node has at most one outstanding request —
 /// the paper's single-queue, head-of-line discipline).
+///
+/// **Robustness semantics** (extension beyond the paper).  Under a
+/// `FaultTimeline` the control plane stops assuming delivery:
+///  * a control packet hop may be dropped (probability
+///    `FaultTimeline::ctrl_loss()`, decided by a deterministic hash);
+///    the source covers RESERVATION/ACK/NACK loss with a **reservation
+///    timeout** — when it fires, the per-switch hold timers release the
+///    attempt's tentative reservations and the source retries;
+///  * retries wait a **capped exponential backoff with jitter**
+///    (`max_backoff_slots`), and a **retry budget** bounds the attempts —
+///    an exhausted budget reports the message `kFailed` instead of
+///    wedging the source forever;
+///  * a reservation arriving at a link that is down is NACKed (the
+///    controller sees loss-of-signal), and payloads of an established
+///    connection crossing a link during a down window are lost
+///    (`kLost`) — the protocol has no per-payload acknowledgment.
+/// With an inactive timeline every knob is dormant and runs are
+/// byte-identical to the pre-fault simulator.
 
 namespace optdm::sim {
 
@@ -56,6 +75,20 @@ struct DynamicParams {
   std::int64_t horizon = 50'000'000;
   /// Seed for the backoff jitter.
   std::uint64_t seed = 0x0d15ea5e;
+  /// Slots the source waits after issuing a reservation before declaring
+  /// the attempt lost (covers RESERVATION/ACK/NACK loss on the control
+  /// network).  0 = auto: twice the message's worst-case control round
+  /// trip plus one backoff.  Timeouts only arm when a fault timeline is
+  /// supplied — without one a NACK always comes back.
+  std::int64_t timeout_slots = 0;
+  /// Maximum failed attempts (NACKs + timeouts) per message before it is
+  /// reported `kFailed`; 0 = unlimited (the paper's model, which assumes
+  /// the fabric eventually yields).
+  int retry_budget = 0;
+  /// Cap for exponential backoff growth: attempt `a` waits
+  /// min(backoff_slots * 2^a, max_backoff_slots) + jitter.  0 = constant
+  /// backoff at `backoff_slots` (the paper's model).
+  std::int64_t max_backoff_slots = 0;
   /// Channel realization (TDM slots vs WDM wavelengths); see
   /// `sim::ChannelKind`.
   ChannelKind channel = ChannelKind::kTimeSlot;
@@ -82,8 +115,15 @@ struct DynamicMessageStats {
   std::int64_t established = -1;
   /// Time the last payload arrived.
   std::int64_t completed = -1;
-  /// Failed reservation attempts.
+  /// Failed reservation attempts (NACKs and timeouts combined).
   int retries = 0;
+  /// Attempts abandoned because the source's reservation timer fired.
+  int timeouts = 0;
+  /// Payloads that crossed a link during a down window and vanished.
+  std::int64_t payloads_lost = 0;
+  /// Final fate; `kFailed` for messages that exhausted the retry budget
+  /// or were cut off by the horizon.
+  MessageOutcome outcome = MessageOutcome::kDelivered;
 };
 
 /// Result of a dynamic-communication run.
@@ -97,17 +137,31 @@ struct DynamicResult {
   /// True when, after draining all in-flight control packets, every
   /// channel of every link returned to the free pool — the protocol's
   /// conservation invariant (no leaked reservations).  Property tests
-  /// assert this on every run.
+  /// assert this on every run, fault timelines included: hold timers
+  /// must reclaim everything a lost packet stranded.
   bool clean_shutdown = false;
+  /// Aggregate fault accounting (all zero on a healthy fabric).
+  FaultStats faults;
   std::vector<DynamicMessageStats> messages;
 };
 
 /// Runs the protocol on `net` for `messages`.  Every node queues its
 /// outgoing messages in input order and works on them one at a time
 /// (single request queue — the head-of-line discipline of the paper's
-/// Section 4.2 discussion).
+/// Section 4.2 discussion).  Throws `std::invalid_argument` for
+/// parameter garbage: `multiplexing_degree` outside [1, 64], non-positive
+/// `backoff_slots` / `horizon` / `ctrl_hop_slots` / `ctrl_local_slots`,
+/// or negative `timeout_slots` / `retry_budget` / `max_backoff_slots`.
 DynamicResult simulate_dynamic(const topo::Network& net,
                                std::span<const Message> messages,
                                const DynamicParams& params);
+
+/// Fault-aware variant: runs the same protocol against `faults` (link
+/// down windows + control-packet loss).  An inactive timeline reproduces
+/// the plain variant byte for byte.
+DynamicResult simulate_dynamic(const topo::Network& net,
+                               std::span<const Message> messages,
+                               const DynamicParams& params,
+                               const FaultTimeline& faults);
 
 }  // namespace optdm::sim

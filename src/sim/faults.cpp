@@ -1,0 +1,131 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace optdm::sim {
+
+namespace {
+
+/// SplitMix64 finalizer — the same mixer `util::Rng` seeds from, reused
+/// here as a stateless hash so control-loss decisions are pure functions
+/// of (seed, packet identity).
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* to_string(MessageOutcome outcome) noexcept {
+  switch (outcome) {
+    case MessageOutcome::kDelivered:
+      return "delivered";
+    case MessageOutcome::kLost:
+      return "lost";
+    case MessageOutcome::kMisrouted:
+      return "misrouted";
+    case MessageOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+void FaultTimeline::kill_link(topo::LinkId link, std::int64_t at) {
+  flap_link(link, at, kNever);
+}
+
+void FaultTimeline::flap_link(topo::LinkId link, std::int64_t at,
+                              std::int64_t repair) {
+  if (link < 0) throw std::invalid_argument("FaultTimeline: invalid link id");
+  if (repair <= at)
+    throw std::invalid_argument("FaultTimeline: repair must follow start");
+  faults_.push_back(LinkFault{link, at, repair});
+}
+
+void FaultTimeline::set_ctrl_loss(double probability) {
+  if (!(probability >= 0.0 && probability <= 1.0))
+    throw std::invalid_argument(
+        "FaultTimeline: control-loss probability outside [0, 1]");
+  ctrl_loss_ = probability;
+}
+
+bool FaultTimeline::down(topo::LinkId link, std::int64_t time) const noexcept {
+  for (const auto& f : faults_)
+    if (f.link == link && f.start <= time && time < f.repair) return true;
+  return false;
+}
+
+core::LinkSet FaultTimeline::dead_links(int link_count,
+                                        std::int64_t time) const {
+  core::LinkSet dead(link_count);
+  for (const auto& f : faults_)
+    if (f.link < link_count && f.start <= time && time < f.repair)
+      dead.insert(f.link);
+  return dead;
+}
+
+void FaultTimeline::mark_lost_payloads(std::span<const topo::LinkId> links,
+                                       std::int64_t base, std::int64_t stride,
+                                       std::vector<char>& lost) const {
+  const auto count = static_cast<std::int64_t>(lost.size());
+  if (count == 0 || stride < 1) return;
+  for (const auto& f : faults_) {
+    if (std::find(links.begin(), links.end(), f.link) == links.end()) continue;
+    // Payload i transmits at slot base + i*stride; it is lost iff that
+    // slot lies in [start, repair).
+    std::int64_t lo = f.start - base;
+    lo = lo <= 0 ? 0 : (lo + stride - 1) / stride;  // ceil-div, clamped
+    if (lo >= count) continue;
+    std::int64_t hi;
+    if (f.repair == kNever) {
+      hi = count - 1;
+    } else {
+      const std::int64_t last = f.repair - 1 - base;
+      if (last < 0) continue;
+      hi = std::min(count - 1, last / stride);
+    }
+    for (std::int64_t i = lo; i <= hi; ++i)
+      lost[static_cast<std::size_t>(i)] = 1;
+  }
+}
+
+bool FaultTimeline::drop_ctrl(std::uint64_t key) const noexcept {
+  if (ctrl_loss_ <= 0.0) return false;
+  if (ctrl_loss_ >= 1.0) return true;
+  // Compare the top 53 bits of the hash against the probability scaled to
+  // 2^53 — exact in double, no modulo bias worth caring about.
+  const std::uint64_t hash = mix64(seed_ ^ mix64(key));
+  return (hash >> 11) <
+         static_cast<std::uint64_t>(ctrl_loss_ * 9007199254740992.0);
+}
+
+FaultTimeline random_fault_timeline(const topo::Network& net,
+                                    const FaultSpec& spec) {
+  if (spec.window < 1)
+    throw std::invalid_argument("random_fault_timeline: window < 1");
+  if (spec.mean_repair < 1)
+    throw std::invalid_argument("random_fault_timeline: mean_repair < 1");
+  FaultTimeline timeline(spec.seed);
+  timeline.set_ctrl_loss(spec.ctrl_loss);
+  util::Rng rng(spec.seed);
+  for (const auto& link : net.links()) {
+    if (!spec.include_processor_links &&
+        link.kind != topo::LinkKind::kNetwork)
+      continue;
+    if (rng.bernoulli(spec.kill_probability))
+      timeline.kill_link(link.id, rng.uniform(0, spec.window - 1));
+    if (rng.bernoulli(spec.flap_probability)) {
+      const auto at = rng.uniform(0, spec.window - 1);
+      timeline.flap_link(link.id, at,
+                         at + rng.uniform(1, 2 * spec.mean_repair));
+    }
+  }
+  return timeline;
+}
+
+}  // namespace optdm::sim

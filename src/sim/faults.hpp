@@ -1,0 +1,189 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/linkset.hpp"
+#include "topo/network.hpp"
+
+/// \file faults.hpp
+/// Runtime fault model shared by every execution engine.
+///
+/// The paper assumes a fabric that never misbehaves; this module supplies
+/// the opposite assumption as data: a deterministic, seeded **fault
+/// timeline** — permanent link kills, transient link flaps with repair
+/// times, and a control-packet loss probability — that
+/// `simulate_compiled`, `execute_on_hardware`, and `simulate_dynamic` all
+/// consume.  Determinism is load-bearing: identical seeds must give
+/// identical `FaultStats` across runs and thread counts, so the
+/// control-loss decision is a pure hash of (seed, packet identity), never
+/// a draw from a shared stream whose consumption order could depend on
+/// event interleaving.
+///
+/// Time is measured in the simulators' slot clock.  A fault window
+/// `[start, repair)` is half-open: a payload or control action scheduled
+/// at slot T observes the link down iff `start <= T < repair`.
+
+namespace optdm::sim {
+
+/// Final fate of one message under a fault timeline.
+///
+/// * `kDelivered` — every payload arrived at the right processor;
+/// * `kLost` — the connection was established / scheduled, but at least
+///   one payload crossed a dead link and vanished;
+/// * `kMisrouted` — a payload was delivered to the wrong processor (only
+///   the hardware engine can observe this: it walks crossbar states
+///   instead of assuming paths);
+/// * `kFailed` — the message never got a usable connection: the dynamic
+///   protocol exhausted its retry budget (or the run's horizon), or the
+///   repair loop found the request unroutable on the surviving topology.
+enum class MessageOutcome : std::uint8_t {
+  kDelivered,
+  kLost,
+  kMisrouted,
+  kFailed,
+};
+
+/// Short lowercase name ("delivered", "lost", ...) for tables and logs.
+const char* to_string(MessageOutcome outcome) noexcept;
+
+/// One fault of one directed link.
+struct LinkFault {
+  topo::LinkId link = topo::kInvalidLink;
+  /// First slot at which the link is down.
+  std::int64_t start = 0;
+  /// First slot at which the link works again; `kNever` = permanent kill.
+  std::int64_t repair = 0;
+
+  friend bool operator==(const LinkFault&, const LinkFault&) = default;
+};
+
+/// Deterministic fault script for one run.
+///
+/// Copyable value type; the engines take it by const reference and never
+/// mutate it.  An empty default-constructed timeline is the "healthy
+/// fabric" and makes every engine behave exactly as it did without a
+/// timeline argument (byte-identical results).
+class FaultTimeline {
+ public:
+  /// Sentinel repair time of a permanent fault.
+  static constexpr std::int64_t kNever =
+      std::numeric_limits<std::int64_t>::max();
+
+  FaultTimeline() = default;
+  /// Seeds the control-loss hash; link faults are added explicitly.
+  explicit FaultTimeline(std::uint64_t seed) : seed_(seed) {}
+
+  /// Permanently kills `link` from slot `at` on.
+  void kill_link(topo::LinkId link, std::int64_t at);
+
+  /// Takes `link` down over `[at, repair)`.
+  void flap_link(topo::LinkId link, std::int64_t at, std::int64_t repair);
+
+  /// Probability that one control-packet hop on the shadow electronic
+  /// network silently drops the packet.  Data payloads are unaffected
+  /// (they ride the optical fabric and are governed by link faults).
+  /// Throws `std::invalid_argument` outside [0, 1].
+  void set_ctrl_loss(double probability);
+  double ctrl_loss() const noexcept { return ctrl_loss_; }
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// True when the timeline can affect a run at all (any link fault or a
+  /// nonzero control-loss probability).  Engines use this as the fast-path
+  /// gate: an inactive timeline takes the exact pre-fault code path.
+  bool active() const noexcept {
+    return !faults_.empty() || ctrl_loss_ > 0.0;
+  }
+
+  /// True when at least one link fault is scripted.
+  bool has_link_faults() const noexcept { return !faults_.empty(); }
+
+  std::span<const LinkFault> faults() const noexcept { return faults_; }
+
+  /// True iff `link` is down during slot `time`.
+  bool down(topo::LinkId link, std::int64_t time) const noexcept;
+
+  /// Set of links down during slot `time`, over a universe of
+  /// `link_count` links — what a runtime monitor would report to the
+  /// recompilation loop.
+  core::LinkSet dead_links(int link_count, std::int64_t time) const;
+
+  /// Marks `lost[i] = true` for every payload `i` in `[0, lost.size())`
+  /// whose transmission slot `base + i * stride` crosses a dead link of
+  /// `links`.  Interval arithmetic over the fault list: O(faults), not
+  /// O(payloads), so megabyte messages cost nothing extra.
+  void mark_lost_payloads(std::span<const topo::LinkId> links,
+                          std::int64_t base, std::int64_t stride,
+                          std::vector<char>& lost) const;
+
+  /// Deterministic control-packet drop decision: a pure hash of the
+  /// timeline seed and `key` (the packet's identity — message, attempt,
+  /// packet kind, hop) compared against `ctrl_loss()`.  Stable under any
+  /// event reordering.
+  bool drop_ctrl(std::uint64_t key) const noexcept;
+
+ private:
+  std::vector<LinkFault> faults_;
+  double ctrl_loss_ = 0.0;
+  std::uint64_t seed_ = 0x0f0a0717ab1e5eedULL;
+};
+
+/// Parameters for `random_fault_timeline`.
+struct FaultSpec {
+  /// Per-network-link probability of a permanent kill.
+  double kill_probability = 0.0;
+  /// Per-network-link probability of one transient flap.
+  double flap_probability = 0.0;
+  /// Fault start times are drawn uniformly from `[0, window)`.
+  std::int64_t window = 1024;
+  /// Flap durations are drawn uniformly from `[1, 2 * mean_repair]`.
+  std::int64_t mean_repair = 256;
+  /// Control-packet loss probability of the resulting timeline.
+  double ctrl_loss = 0.0;
+  /// Also draw faults for injection/ejection links (a dead processor
+  /// interface is unroutable-around, so default off).
+  bool include_processor_links = false;
+  std::uint64_t seed = 0xfa017ULL;
+};
+
+/// Draws a random timeline over `net`'s links.  Deterministic in
+/// `spec.seed`; link iteration order is the network's link id order.
+FaultTimeline random_fault_timeline(const topo::Network& net,
+                                    const FaultSpec& spec);
+
+/// Observability record of everything the fault model did to one run.
+/// Threaded through `CompiledResult`, `DynamicResult`, and the recovery
+/// loop's result; `==`-comparable so tests can assert determinism.
+struct FaultStats {
+  /// Slot-payloads that crossed a dead link and vanished.
+  std::int64_t payloads_lost = 0;
+  /// Control packets dropped on the shadow network (dynamic engine only).
+  std::int64_t ctrl_dropped = 0;
+  /// Reservation attempts abandoned by the source's timeout.
+  std::int64_t timeouts = 0;
+  /// Messages whose final outcome is `kLost`.
+  std::int64_t messages_lost = 0;
+  /// Messages whose final outcome is `kMisrouted`.
+  std::int64_t messages_misrouted = 0;
+  /// Messages whose final outcome is `kFailed`.
+  std::int64_t messages_failed = 0;
+  /// Detect-and-recompile rounds the recovery loop executed.
+  std::int64_t recompiles = 0;
+  /// Frames/epochs that experienced at least one payload loss.
+  std::int64_t degraded_frames = 0;
+  /// Slots charged for fault detection + rescheduling (the
+  /// reconfiguration cost knob of the recovery loop).
+  std::int64_t added_latency_slots = 0;
+
+  /// Messages that did not end `kDelivered`.
+  std::int64_t undelivered() const noexcept {
+    return messages_lost + messages_misrouted + messages_failed;
+  }
+
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
+};
+
+}  // namespace optdm::sim

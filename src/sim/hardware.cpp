@@ -6,14 +6,29 @@
 
 namespace optdm::sim {
 
-CompiledResult execute_on_hardware(const topo::Network& net,
-                                   const core::Schedule& schedule,
-                                   const core::SwitchProgram& program,
-                                   std::span<const Message> messages,
-                                   const CompiledParams& params) {
+namespace {
+
+/// Shared core of the two public entry points.  `faults == nullptr` is the
+/// historical strict mode: any fabric misbehavior is a hard
+/// `std::logic_error`, because without injected faults it can only mean
+/// the switch program and the schedule disagree.  With a timeline, a
+/// payload that reaches a dead link is recorded as lost (the light simply
+/// stops), and a wrong-processor delivery becomes a `kMisrouted` outcome
+/// instead of a throw — both per-message and in `result.faults`.
+CompiledResult execute_impl(const topo::Network& net,
+                            const core::Schedule& schedule,
+                            const core::SwitchProgram& program,
+                            std::span<const Message> messages,
+                            const CompiledParams& params,
+                            const FaultTimeline* faults,
+                            std::int64_t start_slot) {
   if (params.channel != ChannelKind::kTimeSlot)
     throw std::invalid_argument(
         "execute_on_hardware: register-cycled fabrics are TDM");
+  if (params.setup_slots < 0)
+    throw std::invalid_argument("execute_on_hardware: negative setup_slots");
+  if (params.frame_slots < 0)
+    throw std::invalid_argument("execute_on_hardware: negative frame_slots");
   if (program.slot_count() != schedule.degree())
     throw std::invalid_argument(
         "execute_on_hardware: program does not match schedule");
@@ -59,6 +74,8 @@ CompiledResult execute_on_hardware(const topo::Network& net,
     std::vector<std::size_t> queue;
     std::size_t at = 0;
     std::int64_t remaining = 0;
+    std::int64_t lost = 0;       ///< lost payloads of the current message
+    bool misrouted = false;      ///< current message hit a wrong processor
   };
   std::map<core::Request, std::vector<int>> instances;
   for (int slot = 0; slot < schedule.degree(); ++slot)
@@ -85,7 +102,9 @@ CompiledResult execute_on_hardware(const topo::Network& net,
                                    message.request,
                                    {},
                                    0,
-                                   0});
+                                   0,
+                                   0,
+                                   false});
     channels[entry->second].queue.push_back(m);
   }
   for (auto& channel : channels)
@@ -100,25 +119,63 @@ CompiledResult execute_on_hardware(const topo::Network& net,
       if (channel.slot != active) continue;
       if (channel.at >= channel.queue.size()) continue;
 
-      // Drive the injection port and follow the crossbars.
+      // Drive the injection port and follow the crossbars.  With a fault
+      // timeline, the payload dies at the first link that is down during
+      // this slot; the sender has no feedback and the channel advances
+      // regardless.
+      const std::int64_t abs_slot = start_slot + t;
       topo::LinkId at = net.injection_link(channel.request.src);
+      bool delivered_wrong = false;
+      bool payload_lost = faults != nullptr && faults->down(at, abs_slot);
       int steps = 0;
-      while (net.link(at).kind != topo::LinkKind::kEjection) {
+      while (!payload_lost &&
+             net.link(at).kind != topo::LinkKind::kEjection) {
         const auto out = table[static_cast<std::size_t>(at)];
-        if (out == topo::kInvalidLink)
+        if (out == topo::kInvalidLink) {
+          if (faults != nullptr) {
+            payload_lost = true;
+            break;
+          }
           throw std::logic_error("execute_on_hardware: walk dead-ends");
+        }
         at = out;
-        if (++steps > net.link_count())
+        if (faults != nullptr && faults->down(at, abs_slot)) {
+          payload_lost = true;
+          break;
+        }
+        if (++steps > net.link_count()) {
+          // Cyclic register state: light circulating a loop never ejects.
+          if (faults != nullptr) {
+            payload_lost = true;
+            break;
+          }
           throw std::logic_error("execute_on_hardware: walk loops");
+        }
       }
-      if (net.link(at).to != channel.request.dst)
-        throw std::logic_error(
-            "execute_on_hardware: payload delivered to the wrong node");
+      if (!payload_lost && net.link(at).to != channel.request.dst) {
+        if (faults == nullptr)
+          throw std::logic_error(
+              "execute_on_hardware: payload delivered to the wrong node");
+        delivered_wrong = true;
+      }
+      if (payload_lost) ++channel.lost;
+      if (delivered_wrong) channel.misrouted = true;
 
       if (--channel.remaining == 0) {
         const auto m = channel.queue[channel.at];
         result.messages[m].slot = channel.slot;
         result.messages[m].completed = t + 1;
+        result.messages[m].payloads_lost = channel.lost;
+        if (channel.misrouted) {
+          result.messages[m].outcome = MessageOutcome::kMisrouted;
+          ++result.faults.messages_misrouted;
+        } else if (channel.lost > 0) {
+          result.messages[m].outcome = MessageOutcome::kLost;
+          ++result.faults.messages_lost;
+        }
+        result.faults.payloads_lost += channel.lost;
+        channel.lost = 0;
+        channel.misrouted = false;
         ++channel.at;
         if (channel.at < channel.queue.size())
           channel.remaining = messages[channel.queue[channel.at]].slots;
@@ -131,6 +188,30 @@ CompiledResult execute_on_hardware(const topo::Network& net,
   for (const auto& stats : result.messages)
     result.total_slots = std::max(result.total_slots, stats.completed);
   return result;
+}
+
+}  // namespace
+
+CompiledResult execute_on_hardware(const topo::Network& net,
+                                   const core::Schedule& schedule,
+                                   const core::SwitchProgram& program,
+                                   std::span<const Message> messages,
+                                   const CompiledParams& params) {
+  return execute_impl(net, schedule, program, messages, params, nullptr, 0);
+}
+
+CompiledResult execute_on_hardware(const topo::Network& net,
+                                   const core::Schedule& schedule,
+                                   const core::SwitchProgram& program,
+                                   std::span<const Message> messages,
+                                   const CompiledParams& params,
+                                   const FaultTimeline& faults,
+                                   std::int64_t start_slot) {
+  if (!faults.has_link_faults())
+    return execute_impl(net, schedule, program, messages, params, nullptr,
+                        start_slot);
+  return execute_impl(net, schedule, program, messages, params, &faults,
+                      start_slot);
 }
 
 }  // namespace optdm::sim

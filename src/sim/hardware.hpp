@@ -39,4 +39,19 @@ CompiledResult execute_on_hardware(const topo::Network& net,
                                    std::span<const Message> messages,
                                    const CompiledParams& params = {});
 
+/// Fault-aware variant: the walk consults `faults` at every link it
+/// crosses — a payload reaching a link that is down during its slot is
+/// recorded `kLost` (the light stops; no exception), and a delivery to
+/// the wrong processor is recorded `kMisrouted` instead of throwing.
+/// Timing and channel advancement are unchanged: the sender has no
+/// feedback.  `start_slot` places the run on the timeline's absolute
+/// clock.  An inactive timeline reproduces the strict variant exactly.
+CompiledResult execute_on_hardware(const topo::Network& net,
+                                   const core::Schedule& schedule,
+                                   const core::SwitchProgram& program,
+                                   std::span<const Message> messages,
+                                   const CompiledParams& params,
+                                   const FaultTimeline& faults,
+                                   std::int64_t start_slot = 0);
+
 }  // namespace optdm::sim
