@@ -13,11 +13,19 @@
 // deterministic route — a permanently dead link strands those messages.
 //
 // Run:  ./fault_resilience [--messages=120] [--slots=4] [--seed=17]
+//                          [--trace=FILE] [--report=FILE]
+//
+// --trace / --report capture the heaviest dynamic run (K=10 under the
+// "heavy" fault level) as a Chrome trace_event timeline and an
+// `optdm-run-report/1` JSON document (see tools/run_report.py).
 
+#include <fstream>
 #include <iostream>
 
 #include "apps/compiler.hpp"
 #include "apps/recovery.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "patterns/random.hpp"
 #include "sim/dynamic.hpp"
 #include "sim/faults.hpp"
@@ -85,7 +93,22 @@ int main(int argc, char** argv) {
       params.multiplexing_degree = k;
       params.retry_budget = 8;
       params.max_backoff_slots = 512;
-      const auto run = sim::simulate_dynamic(net, messages, params, timeline);
+      // Observe the heaviest configuration of the sweep.
+      const bool observed = &level == &levels.back() && k == 10;
+      obs::Trace trace;
+      const auto run = sim::simulate_dynamic(
+          net, messages, params, timeline,
+          observed && args.has("trace") ? &trace : nullptr);
+      if (observed) {
+        if (args.has("trace")) {
+          std::ofstream out(args.get("trace"));
+          trace.write_chrome(out);
+        }
+        if (args.has("report")) {
+          std::ofstream out(args.get("report"));
+          obs::report_dynamic(net, messages, run, params).write_json(out);
+        }
+      }
       table.add_row(
           {level.name, "dynamic", util::Table::fmt(std::int64_t{k}),
            pct(run.faults.undelivered()),

@@ -7,8 +7,10 @@ namespace optdm::apps {
 CommCompiler::CommCompiler(const topo::TorusNetwork& net)
     : net_(&net), aapc_(std::make_unique<aapc::TorusAapc>(net)) {}
 
-CompiledPhase CommCompiler::compile(const core::RequestSet& pattern) const {
-  auto [schedule, winner] = sched::combined_with_winner(*aapc_, pattern);
+CompiledPhase CommCompiler::compile(const core::RequestSet& pattern,
+                                    obs::SchedCounters* counters) const {
+  auto [schedule, winner] =
+      sched::combined_with_winner(*aapc_, pattern, counters);
   const auto paths = core::route_all(*net_, pattern);
   return CompiledPhase{std::move(schedule), winner,
                        sched::multiplexing_lower_bound(*net_, paths)};

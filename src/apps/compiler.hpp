@@ -40,8 +40,11 @@ class CommCompiler {
   const topo::TorusNetwork& network() const noexcept { return *net_; }
   const aapc::TorusAapc& aapc() const noexcept { return *aapc_; }
 
-  /// Schedules a pattern with the paper's combined algorithm.
-  CompiledPhase compile(const core::RequestSet& pattern) const;
+  /// Schedules a pattern with the paper's combined algorithm.  A non-null
+  /// `counters` collects the scheduling phases' timings and work counters
+  /// (see `obs::SchedCounters`); null skips all measurement.
+  CompiledPhase compile(const core::RequestSet& pattern,
+                        obs::SchedCounters* counters = nullptr) const;
 
   /// Compiles a workload phase and predicts its runtime under compiled
   /// communication.

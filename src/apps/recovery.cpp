@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/linkset.hpp"
+#include "obs/trace.hpp"
 #include "sched/coloring.hpp"
 #include "sched/fault.hpp"
 
@@ -13,7 +14,8 @@ namespace optdm::apps {
 RecoveryResult run_with_recovery(const CommCompiler& compiler,
                                  std::span<const sim::Message> messages,
                                  const sim::FaultTimeline& faults,
-                                 const RecoveryParams& params) {
+                                 const RecoveryParams& params,
+                                 obs::Trace* trace) {
   if (params.max_rounds < 1)
     throw std::invalid_argument("run_with_recovery: max_rounds < 1");
   if (params.detection_slots < 0)
@@ -71,6 +73,15 @@ RecoveryResult run_with_recovery(const CommCompiler& compiler,
     for (const auto i : pending) batch.push_back(messages[i]);
     const auto run =
         sim::simulate_compiled(schedule, batch, params.sim, faults, clock);
+    if (trace)
+      trace->span(trace->track("recovery"),
+                  "round " + std::to_string(round), "round", clock,
+                  clock + run.total_slots,
+                  {{"degree", std::to_string(run.degree)},
+                   {"carried", std::to_string(batch.size())},
+                   {"payloads_lost",
+                    std::to_string(run.faults.payloads_lost)},
+                   {"rerouted", std::to_string(rerouted)}});
 
     out.rounds.push_back(RecoveryRound{clock, run.degree,
                                        static_cast<int>(batch.size()),
@@ -104,6 +115,13 @@ RecoveryResult run_with_recovery(const CommCompiler& compiler,
     // Detection + recompilation penalty before the next round starts.
     ++out.faults.recompiles;
     const auto penalty = params.detection_slots + params.recompile_slots;
+    if (trace) {
+      const auto track = trace->track("recovery");
+      trace->span(track, "detect", "detection", clock,
+                  clock + params.detection_slots);
+      trace->span(track, "recompile", "recompile",
+                  clock + params.detection_slots, clock + penalty);
+    }
     out.faults.added_latency_slots += penalty;
     clock += penalty;
   }

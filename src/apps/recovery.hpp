@@ -87,9 +87,14 @@ struct RecoveryResult {
 /// reroute the undelivered remainder around the links dead at recompile
 /// time.  Deterministic: same inputs, same result.  Throws
 /// `std::invalid_argument` for `max_rounds < 1`.
+///
+/// A non-null `trace` records the loop's timeline on a "recovery" track
+/// (one span per transmission round, one per detection+recompile penalty)
+/// plus each round's engine-level events; a null trace is the no-op sink.
 RecoveryResult run_with_recovery(const CommCompiler& compiler,
                                  std::span<const sim::Message> messages,
                                  const sim::FaultTimeline& faults,
-                                 const RecoveryParams& params = {});
+                                 const RecoveryParams& params = {},
+                                 obs::Trace* trace = nullptr);
 
 }  // namespace optdm::apps

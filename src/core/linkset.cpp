@@ -35,7 +35,13 @@ void LinkSet::erase(topo::LinkId link) {
 }
 
 bool LinkSet::contains(topo::LinkId link) const {
-  if (link < 0 || link >= universe_) return false;
+  // Same strict policy as insert/erase: a link id outside the universe is
+  // a caller bug (a cross-network id), not an absent member.  Returning
+  // false here while the mutators throw made the same mistake either a
+  // loud error or a silent wrong answer depending on which call saw it
+  // first.
+  if (link < 0 || link >= universe_)
+    throw std::out_of_range("LinkSet::contains: link outside universe");
   return (words_[word_of(link)] & bit_of(link)) != 0;
 }
 

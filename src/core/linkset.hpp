@@ -19,6 +19,11 @@ class LinkSet {
   /// Creates an empty set over a universe of `link_count` links.
   explicit LinkSet(int link_count);
 
+  /// Element access is uniformly strict: `insert`, `erase`, and
+  /// `contains` all throw `std::out_of_range` for a link id outside the
+  /// universe.  An out-of-universe id can only come from mixing networks
+  /// (or arithmetic gone wrong), so every access path reports it instead
+  /// of `contains` silently answering "not a member".
   void insert(topo::LinkId link);
   void erase(topo::LinkId link);
   bool contains(topo::LinkId link) const;

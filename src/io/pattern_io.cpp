@@ -94,7 +94,20 @@ core::Schedule read_schedule(std::istream& in, const topo::Network& net) {
                           "', not '" + net.name() + "'");
   if (!next_content(line) || line.rfind("slots ", 0) != 0)
     fail(line_number, "missing 'slots' line");
-  const int slots = std::stoi(line.substr(6));
+  // std::stoi alone would escape with a bare std::invalid_argument /
+  // std::out_of_range carrying no line number; convert both to the
+  // file-format diagnostic every other malformed line gets.
+  int slots = 0;
+  std::size_t consumed = 0;
+  try {
+    slots = std::stoi(line.substr(6), &consumed);
+  } catch (const std::invalid_argument&) {
+    fail(line_number, "slot count is not a number");
+  } catch (const std::out_of_range&) {
+    fail(line_number, "slot count out of range");
+  }
+  if (consumed != line.size() - 6)
+    fail(line_number, "trailing tokens after slot count");
   if (slots < 0) fail(line_number, "negative slot count");
 
   core::Schedule schedule;

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "obs/sched_probe.hpp"
+#include "sim/compiled.hpp"
+#include "sim/dynamic.hpp"
+#include "topo/network.hpp"
+
+/// \file report.hpp
+/// Machine-readable run summaries — the aggregation half of the
+/// observability layer.  A `RunReport` condenses one engine run (or one
+/// offline scheduling run) into per-link busy-slot counts, per-slot
+/// occupancy, stall causes, and outcome totals, and serializes to a
+/// versioned JSON document (`optdm-run-report/1`) that
+/// `tools/run_report.py` renders and validates.
+///
+/// Invariant the builders maintain (and tests assert): the sum of
+/// `links[].busy_slots` equals `payload_link_slots`, the engine's
+/// aggregate payload x link-traversal total.
+
+namespace optdm::obs {
+
+/// Slot-payloads carried over one directed link during the run.
+struct LinkUsage {
+  int link = -1;
+  std::int64_t busy_slots = 0;
+};
+
+/// Occupancy of one TDM slot (= one configuration of the schedule).
+struct SlotOccupancy {
+  int slot = -1;
+  /// Connections established in this configuration.
+  int connections = 0;
+  /// Directed links the configuration lights up.
+  int links_used = 0;
+  /// Slot-payloads carried in this slot's frames over the whole run.
+  std::int64_t busy_slots = 0;
+  /// links_used / total directed links — spatial utilization in [0, 1].
+  double utilization = 0.0;
+};
+
+/// One reason the run spent time not moving payloads.
+struct StallCause {
+  std::string cause;
+  std::int64_t count = 0;
+  /// Slots attributable to the cause; -1 when only the count is known.
+  std::int64_t slots = -1;
+};
+
+/// One engine or scheduler run, condensed.
+struct RunReport {
+  /// Schema tag written to JSON; bump on incompatible layout changes.
+  static constexpr const char* kSchema = "optdm-run-report/1";
+
+  /// "compiled", "dynamic", "hardware", or "scheduler".
+  std::string engine;
+  /// Multiplexing degree K of the run.
+  int degree = 0;
+  /// Engine makespan in slots (for scheduler reports: the degree).
+  std::int64_t total_slots = 0;
+
+  /// Message outcome totals (zero for scheduler reports).
+  std::int64_t messages_total = 0;
+  std::int64_t delivered = 0;
+  std::int64_t lost = 0;
+  std::int64_t misrouted = 0;
+  std::int64_t failed = 0;
+
+  /// Sum over transmitted messages of payload slots x links traversed;
+  /// equals the sum of `links[].busy_slots` by construction.
+  std::int64_t payload_link_slots = 0;
+
+  /// Fault / protocol accounting.
+  std::int64_t total_retries = 0;
+  std::int64_t timeouts = 0;
+  std::int64_t ctrl_dropped = 0;
+  std::int64_t payloads_lost = 0;
+
+  /// Per-link busy slots, ascending link id; zero-usage links omitted.
+  std::vector<LinkUsage> links;
+  /// Per-slot occupancy (empty for the dynamic engine — it has no static
+  /// configuration set).
+  std::vector<SlotOccupancy> slots;
+  /// Stall causes, largest first.
+  std::vector<StallCause> stalls;
+
+  /// Offline scheduling counters; serialized only when `sched.measured()`.
+  SchedCounters sched;
+
+  /// Writes the `optdm-run-report/1` JSON document.
+  void write_json(std::ostream& out) const;
+};
+
+/// Builds the report of a compiled-communication run.  `engine` lets the
+/// hardware engine reuse the builder (it returns the same result type).
+RunReport report_compiled(const core::Schedule& schedule,
+                          std::span<const sim::Message> messages,
+                          const sim::CompiledResult& result,
+                          std::string engine = "compiled");
+
+/// Builds the report of a dynamic-protocol run.  Link usage is derived by
+/// re-routing each transmitted message with the topology's deterministic
+/// router — the same routes the protocol reserved.
+RunReport report_dynamic(const topo::Network& net,
+                         std::span<const sim::Message> messages,
+                         const sim::DynamicResult& result,
+                         const sim::DynamicParams& params);
+
+/// Builds the report of an offline scheduling run: per-link busy slots
+/// count configurations using the link (one slot per frame each), and
+/// `counters` (nullable) attaches compile-phase timings.
+RunReport report_schedule(const core::Schedule& schedule,
+                          const SchedCounters* counters = nullptr);
+
+}  // namespace optdm::obs

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+/// \file sched_probe.hpp
+/// Phase timings and work counters for the offline schedulers — the
+/// compile-time half of the observability layer.  `SchedCounters` is a
+/// plain struct the scheduler entry points fill through a nullable
+/// pointer; every field defaults to "unmeasured" (-1 / empty) so report
+/// writers can tell a zero from a phase that never ran.  This header is
+/// std-only and safe to include below `sched` in the layering.
+
+namespace optdm::obs {
+
+/// Counters one scheduling run fills in.  `-1` / empty string means the
+/// corresponding phase did not run (e.g. a greedy-only run leaves the
+/// coloring fields untouched).
+struct SchedCounters {
+  /// Wall time of `core::route_all` (deterministic routing), nanoseconds.
+  std::int64_t route_ns = -1;
+  /// Wall time to build the path conflict graph, nanoseconds.
+  std::int64_t graph_build_ns = -1;
+  /// Wall time of the coloring heuristic proper (graph build excluded).
+  std::int64_t coloring_ns = -1;
+  /// Wall time of the AAPC-template branch of the combined scheduler.
+  std::int64_t aapc_ns = -1;
+  /// Wall time of the greedy first-fit scheduler.
+  std::int64_t greedy_ns = -1;
+
+  /// Conflict-graph size: vertices (= paths) and undirected edges.
+  std::int64_t conflict_vertices = -1;
+  std::int64_t conflict_edges = -1;
+  /// Color classes extracted by the coloring heuristic (== its degree).
+  int coloring_passes = -1;
+  /// Passes the greedy scheduler ran (== its degree).
+  int greedy_passes = -1;
+  /// `Configuration::add` calls the greedy scheduler had rejected for
+  /// conflicts before the path found a slot.
+  std::int64_t greedy_rejections = -1;
+
+  /// Multiplexing degree produced by each branch that ran.
+  int coloring_degree = -1;
+  int aapc_degree = -1;
+  int greedy_degree = -1;
+
+  /// Which branch the combined scheduler picked ("coloring" /
+  /// "aapc-template"); empty for non-combined runs.
+  std::string combined_winner;
+
+  /// True when any field was measured — reports skip the block otherwise.
+  bool measured() const noexcept {
+    return route_ns >= 0 || graph_build_ns >= 0 || coloring_ns >= 0 ||
+           aapc_ns >= 0 || greedy_ns >= 0 || conflict_vertices >= 0 ||
+           !combined_winner.empty();
+  }
+};
+
+/// RAII stopwatch writing elapsed nanoseconds into one `SchedCounters`
+/// field on destruction.  Null counters make it a no-op, so scheduler
+/// code can instrument unconditionally:
+///
+///     { PhaseTimer t(counters, &SchedCounters::coloring_ns);  ...work... }
+class PhaseTimer {
+ public:
+  PhaseTimer(SchedCounters* counters, std::int64_t SchedCounters::* field)
+      : counters_(counters), field_(field) {
+    if (counters_) start_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseTimer() {
+    if (!counters_) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    counters_->*field_ =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  SchedCounters* counters_;
+  std::int64_t SchedCounters::* field_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace optdm::obs

@@ -1,0 +1,84 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace optdm::obs {
+
+TrackId Trace::track(const std::string& name) {
+  // Linear scan: traces have tens of tracks (nodes/links/slots), and
+  // engines cache the ids they use in hot paths anyway.
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return static_cast<TrackId>(i);
+  names_.push_back(name);
+  return static_cast<TrackId>(names_.size() - 1);
+}
+
+void Trace::span(TrackId track, std::string name, std::string category,
+                 std::int64_t begin, std::int64_t end,
+                 std::vector<std::pair<std::string, std::string>> args) {
+  events_.push_back(TraceEvent{track, std::move(name), std::move(category),
+                               begin, end, false, std::move(args)});
+}
+
+void Trace::instant(TrackId track, std::string name, std::string category,
+                    std::int64_t time,
+                    std::vector<std::pair<std::string, std::string>> args) {
+  events_.push_back(TraceEvent{track, std::move(name), std::move(category),
+                               time, time, true, std::move(args)});
+}
+
+std::size_t Trace::count(std::string_view category) const noexcept {
+  std::size_t n = 0;
+  for (const auto& ev : events_)
+    if (ev.category == category) ++n;
+  return n;
+}
+
+std::int64_t Trace::total_span_slots(std::string_view category) const noexcept {
+  std::int64_t total = 0;
+  for (const auto& ev : events_)
+    if (!ev.instant && ev.category == category) total += ev.end - ev.begin;
+  return total;
+}
+
+void Trace::write_chrome(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ',';
+    first = false;
+  };
+  // Track names as thread_name metadata; tid order = creation order.
+  for (std::size_t t = 0; t < names_.size(); ++t) {
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << t
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << json_escape(names_[t]) << "\"}}";
+  }
+  for (const auto& ev : events_) {
+    sep();
+    out << "{\"ph\":\"" << (ev.instant ? 'i' : 'X') << "\",\"pid\":0,\"tid\":"
+        << ev.track << ",\"ts\":" << ev.begin;
+    if (ev.instant)
+      out << ",\"s\":\"t\"";
+    else
+      out << ",\"dur\":" << (ev.end - ev.begin);
+    out << ",\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
+        << json_escape(ev.category) << "\"";
+    if (!ev.args.empty()) {
+      out << ",\"args\":{";
+      for (std::size_t i = 0; i < ev.args.size(); ++i) {
+        if (i > 0) out << ',';
+        out << "\"" << json_escape(ev.args[i].first) << "\":\""
+            << json_escape(ev.args[i].second) << "\"";
+      }
+      out << '}';
+    }
+    out << '}';
+  }
+  out << "]}\n";
+}
+
+}  // namespace optdm::obs

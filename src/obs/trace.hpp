@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file trace.hpp
+/// Event-timeline collector for the execution engines and the offline
+/// compiler — the recording half of the observability layer (`src/obs`).
+///
+/// A `Trace` is an in-memory list of spans and instants on named tracks
+/// (one track per node, link, or TDM slot), stamped on the simulators'
+/// slot clock.  Engines take a nullable `Trace*`; a null pointer is the
+/// no-op sink and costs one predictable branch per would-be event, so
+/// disabled runs are byte-identical to the uninstrumented code (the
+/// tier-1 tables are regression-tested for exactly that).
+///
+/// `write_chrome` serializes to the Chrome `trace_event` JSON format
+/// (the "JSON Array with metadata" flavor), loadable in Perfetto or
+/// chrome://tracing: each track becomes a named thread lane, spans become
+/// complete ("ph":"X") events and instants "ph":"i" events, with the
+/// slot clock mapped onto the microsecond timestamp axis one-to-one.
+
+namespace optdm::obs {
+
+/// Index of a named track (timeline lane) within one Trace.
+using TrackId = std::int32_t;
+
+/// One recorded event.  `begin == end` with `instant == true` is a point
+/// event; otherwise the event is a closed span on the slot clock.
+struct TraceEvent {
+  TrackId track = 0;
+  std::string name;
+  /// Free-form category tag ("reservation", "backoff", "timeout",
+  /// "payload", "fault", ...); tests and the report tooling aggregate by
+  /// it, and Chrome/Perfetto expose it as the event's `cat` filter.
+  std::string category;
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  bool instant = false;
+  /// Extra key/value payload, emitted as the Chrome event's `args`.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Append-only event collector.  Not thread-safe: each engine run owns
+/// its Trace (the engines themselves are single-threaded).
+class Trace {
+ public:
+  /// Returns the id of the track named `name`, creating it on first use.
+  TrackId track(const std::string& name);
+
+  /// Records a span `[begin, end]` on `track`.
+  void span(TrackId track, std::string name, std::string category,
+            std::int64_t begin, std::int64_t end,
+            std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Records a point event at `time` on `track`.
+  void instant(TrackId track, std::string name, std::string category,
+               std::int64_t time,
+               std::vector<std::pair<std::string, std::string>> args = {});
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  const std::vector<std::string>& tracks() const noexcept { return names_; }
+
+  /// Number of events whose category equals `category` (span + instant).
+  std::size_t count(std::string_view category) const noexcept;
+
+  /// Sum of `end - begin` over spans of `category`.
+  std::int64_t total_span_slots(std::string_view category) const noexcept;
+
+  /// Writes the Chrome trace_event JSON document.
+  void write_chrome(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace optdm::obs

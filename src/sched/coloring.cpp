@@ -41,12 +41,28 @@ double priority_value(ColoringPriority rule, int length, int dynamic_degree,
 
 core::Schedule coloring_paths(const topo::Network& net,
                               std::span<const core::Path> paths,
-                              ColoringPriority rule) {
+                              ColoringPriority rule,
+                              obs::SchedCounters* counters) {
   const auto n = static_cast<std::int32_t>(paths.size());
   core::Schedule schedule;
-  if (n == 0) return schedule;
+  if (n == 0) {
+    if (counters) {
+      counters->conflict_vertices = 0;
+      counters->conflict_edges = 0;
+      counters->coloring_passes = 0;
+      counters->coloring_degree = 0;
+    }
+    return schedule;
+  }
 
-  const core::ConflictGraph graph(paths);
+  const core::ConflictGraph graph = [&] {
+    obs::PhaseTimer timer(counters, &obs::SchedCounters::graph_build_ns);
+    return core::ConflictGraph(paths);
+  }();
+  if (counters) {
+    counters->conflict_vertices = graph.vertex_count();
+    counters->conflict_edges = static_cast<std::int64_t>(graph.edge_count());
+  }
 
   // Per-vertex scheduling state, packed so the neighbor-update loop (the
   // hottest loop of the whole compiler) touches one cache line per vertex.
@@ -86,6 +102,7 @@ core::Schedule coloring_paths(const topo::Network& net,
   std::vector<Entry> heap;
   heap.reserve(static_cast<std::size_t>(n));
 
+  obs::PhaseTimer color_timer(counters, &obs::SchedCounters::coloring_ns);
   while (colored_count < n) {
     heap.clear();
     for (std::int32_t v = 0; v < n; ++v) {
@@ -128,14 +145,22 @@ core::Schedule coloring_paths(const topo::Network& net,
     schedule.append(std::move(config));
     ++pass;
   }
+  if (counters) {
+    counters->coloring_passes = pass;
+    counters->coloring_degree = schedule.degree();
+  }
   return schedule;
 }
 
 core::Schedule coloring(const topo::Network& net,
                         const core::RequestSet& requests,
-                        ColoringPriority rule) {
-  const auto paths = core::route_all(net, requests);
-  return coloring_paths(net, paths, rule);
+                        ColoringPriority rule, obs::SchedCounters* counters) {
+  std::vector<core::Path> paths;
+  {
+    obs::PhaseTimer timer(counters, &obs::SchedCounters::route_ns);
+    paths = core::route_all(net, requests);
+  }
+  return coloring_paths(net, paths, rule, counters);
 }
 
 }  // namespace optdm::sched

@@ -3,6 +3,7 @@
 #include <span>
 
 #include "core/schedule.hpp"
+#include "obs/sched_probe.hpp"
 #include "topo/network.hpp"
 
 /// \file coloring.hpp
@@ -46,14 +47,18 @@ enum class ColoringPriority {
   kStaticLengthOverDegree,
 };
 
-/// Coloring-based scheduling over pre-routed paths.
+/// Coloring-based scheduling over pre-routed paths.  A non-null
+/// `counters` receives conflict-graph size, pass count, and phase
+/// timings; null skips all measurement.
 core::Schedule coloring_paths(
     const topo::Network& net, std::span<const core::Path> paths,
-    ColoringPriority priority = ColoringPriority::kDegreeTimesLength);
+    ColoringPriority priority = ColoringPriority::kDegreeTimesLength,
+    obs::SchedCounters* counters = nullptr);
 
 /// Convenience overload with deterministic routing.
 core::Schedule coloring(
     const topo::Network& net, const core::RequestSet& requests,
-    ColoringPriority priority = ColoringPriority::kDegreeTimesLength);
+    ColoringPriority priority = ColoringPriority::kDegreeTimesLength,
+    obs::SchedCounters* counters = nullptr);
 
 }  // namespace optdm::sched

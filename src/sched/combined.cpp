@@ -7,17 +7,39 @@
 namespace optdm::sched {
 
 CombinedResult combined_with_winner(const aapc::TorusAapc& aapc,
-                                    const core::RequestSet& requests) {
+                                    const core::RequestSet& requests,
+                                    obs::SchedCounters* counters) {
   // The two component algorithms are independent, so the compiler runs
   // them concurrently; the winner rule below is evaluated after both
   // finish, so the result does not depend on which branch completes first.
+  // Each branch measures into its own counters to avoid sharing, merged
+  // after the barrier.
   core::Schedule by_coloring;
   core::Schedule by_aapc;
+  obs::SchedCounters coloring_counters;
+  obs::SchedCounters aapc_counters;
   util::parallel_invoke(
-      [&] { by_coloring = coloring(aapc.network(), requests); },
-      [&] { by_aapc = ordered_aapc(aapc, requests); });
-  if (by_aapc.degree() < by_coloring.degree())
+      [&] {
+        by_coloring =
+            coloring(aapc.network(), requests,
+                     ColoringPriority::kDegreeTimesLength,
+                     counters ? &coloring_counters : nullptr);
+      },
+      [&] {
+        obs::PhaseTimer timer(counters ? &aapc_counters : nullptr,
+                              &obs::SchedCounters::aapc_ns);
+        by_aapc = ordered_aapc(aapc, requests);
+      });
+  if (counters) {
+    *counters = coloring_counters;
+    counters->aapc_ns = aapc_counters.aapc_ns;
+    counters->aapc_degree = by_aapc.degree();
+  }
+  if (by_aapc.degree() < by_coloring.degree()) {
+    if (counters) counters->combined_winner = to_string(CombinedWinner::kOrderedAapc);
     return CombinedResult{std::move(by_aapc), CombinedWinner::kOrderedAapc};
+  }
+  if (counters) counters->combined_winner = to_string(CombinedWinner::kColoring);
   return CombinedResult{std::move(by_coloring), CombinedWinner::kColoring};
 }
 

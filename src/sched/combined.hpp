@@ -4,6 +4,7 @@
 
 #include "aapc/torus_aapc.hpp"
 #include "core/schedule.hpp"
+#include "obs/sched_probe.hpp"
 #include "topo/torus.hpp"
 
 /// \file combined.hpp
@@ -24,9 +25,12 @@ struct CombinedResult {
 };
 
 /// Runs coloring and ordered-AAPC, returns the better schedule.  Ties go to
-/// coloring (it uses the default deterministic routes).
+/// coloring (it uses the default deterministic routes).  A non-null
+/// `counters` collects both branches' phase timings plus the winner name;
+/// null skips all measurement.
 CombinedResult combined_with_winner(const aapc::TorusAapc& aapc,
-                                    const core::RequestSet& requests);
+                                    const core::RequestSet& requests,
+                                    obs::SchedCounters* counters = nullptr);
 
 /// Convenience wrapper discarding provenance.
 core::Schedule combined(const aapc::TorusAapc& aapc,

@@ -6,8 +6,12 @@
 namespace optdm::sched {
 
 core::Schedule greedy_paths(const topo::Network& net,
-                            std::span<const core::Path> paths) {
+                            std::span<const core::Path> paths,
+                            obs::SchedCounters* counters) {
   core::Schedule schedule;
+  obs::PhaseTimer timer(counters, &obs::SchedCounters::greedy_ns);
+  std::int64_t rejections = 0;
+  int passes = 0;
   // Indices of still-unplaced paths, compacted after every pass so later
   // passes scan only what remains (the original rescanned every placed
   // path each pass).  Relative order is preserved, so the schedule is
@@ -30,19 +34,31 @@ core::Schedule greedy_paths(const topo::Network& net,
         links_used += paths[i].links.size();
         saturated = links_used == static_cast<std::size_t>(total_links);
       } else {
+        if (counters && !saturated) ++rejections;
         remaining[kept++] = i;
       }
     }
     remaining.resize(kept);
     schedule.append(std::move(config));
+    ++passes;
+  }
+  if (counters) {
+    counters->greedy_passes = passes;
+    counters->greedy_rejections = rejections;
+    counters->greedy_degree = schedule.degree();
   }
   return schedule;
 }
 
 core::Schedule greedy(const topo::Network& net,
-                      const core::RequestSet& requests) {
-  const auto paths = core::route_all(net, requests);
-  return greedy_paths(net, paths);
+                      const core::RequestSet& requests,
+                      obs::SchedCounters* counters) {
+  std::vector<core::Path> paths;
+  {
+    obs::PhaseTimer timer(counters, &obs::SchedCounters::route_ns);
+    paths = core::route_all(net, requests);
+  }
+  return greedy_paths(net, paths, counters);
 }
 
 }  // namespace optdm::sched

@@ -3,6 +3,7 @@
 #include <span>
 
 #include "core/schedule.hpp"
+#include "obs/sched_probe.hpp"
 #include "topo/network.hpp"
 
 /// \file greedy.hpp
@@ -17,13 +18,17 @@
 
 namespace optdm::sched {
 
-/// Greedy scheduling over pre-routed paths (order preserved).
+/// Greedy scheduling over pre-routed paths (order preserved).  A non-null
+/// `counters` receives pass count, conflict rejections, and timing; null
+/// skips all measurement.
 core::Schedule greedy_paths(const topo::Network& net,
-                            std::span<const core::Path> paths);
+                            std::span<const core::Path> paths,
+                            obs::SchedCounters* counters = nullptr);
 
 /// Convenience overload: routes `requests` with the topology's
 /// deterministic router, then schedules.
 core::Schedule greedy(const topo::Network& net,
-                      const core::RequestSet& requests);
+                      const core::RequestSet& requests,
+                      obs::SchedCounters* counters = nullptr);
 
 }  // namespace optdm::sched

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace optdm::sim {
 
 namespace {
@@ -66,7 +68,8 @@ std::vector<Channel> assign_channels(const core::Schedule& schedule,
 
 CompiledResult simulate_compiled(const core::Schedule& schedule,
                                  std::span<const Message> messages,
-                                 const CompiledParams& params) {
+                                 const CompiledParams& params,
+                                 obs::Trace* trace) {
   validate_params(params, "simulate_compiled");
   CompiledResult result;
   result.degree = schedule.degree();
@@ -86,9 +89,13 @@ CompiledResult simulate_compiled(const core::Schedule& schedule,
   if (k < schedule.degree())
     throw std::invalid_argument(
         "simulate_compiled: frame_slots below the multiplexing degree");
+  if (trace && params.setup_slots > 0)
+    trace->span(trace->track("runtime"), "setup", "setup", 0,
+                params.setup_slots);
   for (const auto& channel : channels) {
     std::int64_t cumulative = 0;
     for (const auto m : channel.message_ids) {
+      const std::int64_t prev = cumulative;
       cumulative += messages[m].slots;
       result.messages[m].slot = channel.slot;
       if (params.channel == ChannelKind::kWavelength) {
@@ -99,6 +106,16 @@ CompiledResult simulate_compiled(const core::Schedule& schedule,
         // setup + c + (i-1)*K; its payload is delivered one slot later.
         result.messages[m].completed =
             params.setup_slots + channel.slot + (cumulative - 1) * k + 1;
+      }
+      if (trace) {
+        const std::int64_t begin =
+            params.channel == ChannelKind::kWavelength
+                ? params.setup_slots + prev
+                : params.setup_slots + channel.slot + prev * k;
+        trace->span(trace->track("slot " + std::to_string(channel.slot)),
+                    "payload", "payload", begin, result.messages[m].completed,
+                    {{"msg", std::to_string(m)},
+                     {"slot", std::to_string(channel.slot)}});
       }
     }
   }
@@ -112,8 +129,9 @@ CompiledResult simulate_compiled(const core::Schedule& schedule,
                                  std::span<const Message> messages,
                                  const CompiledParams& params,
                                  const FaultTimeline& faults,
-                                 std::int64_t start_slot) {
-  auto result = simulate_compiled(schedule, messages, params);
+                                 std::int64_t start_slot,
+                                 obs::Trace* trace) {
+  auto result = simulate_compiled(schedule, messages, params, trace);
   if (!faults.has_link_faults() || messages.empty()) return result;
 
   // Re-derive the channel assignment to know each payload's transmission
@@ -154,8 +172,25 @@ CompiledResult simulate_compiled(const core::Schedule& schedule,
         result.messages[m].payloads_lost = dropped;
         result.faults.payloads_lost += dropped;
         ++result.faults.messages_lost;
+        if (trace)
+          trace->instant(
+              trace->track("slot " + std::to_string(channel.slot)),
+              "payload-lost", "payload-loss", base - start_slot,
+              {{"msg", std::to_string(m)}, {"lost", std::to_string(dropped)}});
       }
       cumulative += message.slots;
+    }
+  }
+  // Fault down-windows on the phase's relative clock, one track per link.
+  if (trace) {
+    for (const auto& fault : faults.faults()) {
+      const std::int64_t end = fault.repair == FaultTimeline::kNever
+                                   ? std::max(result.total_slots + start_slot,
+                                              fault.start)
+                                   : fault.repair;
+      trace->span(trace->track("link " + std::to_string(fault.link)), "down",
+                  "fault", fault.start - start_slot, end - start_slot,
+                  {{"link", std::to_string(fault.link)}});
     }
   }
   return result;

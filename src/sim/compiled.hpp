@@ -17,6 +17,10 @@
 /// owns slot c of every frame and moves one slot-payload per frame; there
 /// is no runtime control traffic at all.
 
+namespace optdm::obs {
+class Trace;
+}  // namespace optdm::obs
+
 namespace optdm::sim {
 
 /// Parameters of the compiled-communication runtime.
@@ -65,9 +69,14 @@ struct CompiledResult {
 /// Analytic simulation (exact closed form per connection).  Messages whose
 /// request is not in the schedule throw `std::invalid_argument`.  Multiple
 /// messages on the same connection serialize on its channel.
+///
+/// A non-null `trace` records the run's timeline (a setup span on the
+/// "runtime" track, per-message payload spans on one track per TDM slot);
+/// a null trace is the no-op sink and leaves results byte-identical.
 CompiledResult simulate_compiled(const core::Schedule& schedule,
                                  std::span<const Message> messages,
-                                 const CompiledParams& params = {});
+                                 const CompiledParams& params = {},
+                                 obs::Trace* trace = nullptr);
 
 /// Fault-aware variant: identical timing (compiled communication has no
 /// runtime feedback — senders transmit on schedule whether or not the
@@ -83,7 +92,8 @@ CompiledResult simulate_compiled(const core::Schedule& schedule,
                                  std::span<const Message> messages,
                                  const CompiledParams& params,
                                  const FaultTimeline& faults,
-                                 std::int64_t start_slot = 0);
+                                 std::int64_t start_slot = 0,
+                                 obs::Trace* trace = nullptr);
 
 /// Reference slot-by-slot simulation used by tests to cross-validate the
 /// analytic model; identical results, O(total time x connections).

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/path.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace optdm::sim {
@@ -81,8 +82,10 @@ struct RuntimeMessage {
 class Simulator {
  public:
   Simulator(const topo::Network& net, std::span<const Message> messages,
-            const DynamicParams& params, const FaultTimeline& faults)
-      : net_(net), params_(params), faults_(&faults), rng_(params.seed) {
+            const DynamicParams& params, const FaultTimeline& faults,
+            obs::Trace* trace)
+      : net_(net), params_(params), faults_(&faults), trace_(trace),
+        rng_(params.seed) {
     if (params.multiplexing_degree < 1 || params.multiplexing_degree > 64)
       throw std::invalid_argument(
           "simulate_dynamic: multiplexing degree must be in [1, 64]");
@@ -106,6 +109,10 @@ class Simulator {
           "simulate_dynamic: negative max_backoff_slots");
     has_faults_ = faults.active();
     has_link_faults_ = faults.has_link_faults();
+    if (trace_) {
+      node_tracks_.assign(static_cast<std::size_t>(net.node_count()), -1);
+      attempt_starts_.assign(messages.size(), -1);
+    }
     full_mask_ = params.multiplexing_degree == 64
                      ? ~ChannelMask{0}
                      : (ChannelMask{1} << params.multiplexing_degree) - 1;
@@ -190,6 +197,21 @@ class Simulator {
       }
     }
     result.faults.ctrl_dropped = ctrl_dropped_;
+
+    // Fault down-windows, one track per faulted link; a permanent kill is
+    // clamped to the end of the run for display.
+    if (trace_ && has_link_faults_) {
+      for (const auto& fault : faults_->faults()) {
+        const auto track =
+            trace_->track("link " + std::to_string(fault.link));
+        const std::int64_t end =
+            fault.repair == FaultTimeline::kNever
+                ? std::max(now_, fault.start)
+                : fault.repair;
+        trace_->span(track, "down", "fault", fault.start, end,
+                     {{"link", std::to_string(fault.link)}});
+      }
+    }
     return result;
   }
 
@@ -231,6 +253,70 @@ class Simulator {
     events_.push(Event{time, seq_++, kind, subject, hop, attempt});
   }
 
+  /// Tracing helpers.  All are no-ops with a null trace; the guards are
+  /// the only cost the disabled path pays.  The emission bodies are kept
+  /// out of line and cold so the untraced event handlers stay compact —
+  /// inlined string building would bloat the hot path's I-cache footprint
+  /// even when never executed.
+  [[gnu::cold]] [[gnu::noinline]] obs::TrackId node_track(topo::NodeId node) {
+    auto& cached = node_tracks_[static_cast<std::size_t>(node)];
+    if (cached < 0) cached = trace_->track("node " + std::to_string(node));
+    return cached;
+  }
+
+  /// Closes the current reservation-attempt span with its outcome
+  /// ("ack" on success, "nack"/"timeout" on a failed attempt).
+  void trace_attempt_end(const RuntimeMessage& rt, std::int32_t id,
+                         const char* outcome) {
+    if (trace_) trace_attempt_end_cold(rt, id, outcome);
+  }
+
+  [[gnu::cold]] [[gnu::noinline]] void trace_attempt_end_cold(
+      const RuntimeMessage& rt, std::int32_t id, const char* outcome) {
+    const auto start = attempt_starts_[static_cast<std::size_t>(id)];
+    if (start < 0) return;
+    trace_->span(node_track(rt.message.request.src), "reserve", "reservation",
+                 start, now_,
+                 {{"msg", std::to_string(id)},
+                  {"attempt", std::to_string(rt.attempt)},
+                  {"outcome", outcome}});
+  }
+
+  [[gnu::cold]] [[gnu::noinline]] void trace_ctrl_drop_cold(
+      const RuntimeMessage& rt, std::int32_t id, CtrlTag tag,
+      std::int32_t hop) {
+    trace_->instant(node_track(rt.message.request.src), "ctrl-drop",
+                    "ctrl-drop", now_,
+                    {{"msg", std::to_string(id)},
+                     {"tag", std::to_string(tag)},
+                     {"hop", std::to_string(hop)}});
+  }
+
+  [[gnu::cold]] [[gnu::noinline]] void trace_timeout_cold(
+      const RuntimeMessage& rt, std::int32_t id, std::int32_t attempt) {
+    trace_->instant(node_track(rt.message.request.src), "timeout", "timeout",
+                    now_,
+                    {{"msg", std::to_string(id)},
+                     {"attempt", std::to_string(attempt)}});
+  }
+
+  [[gnu::cold]] [[gnu::noinline]] void trace_payload_cold(
+      const RuntimeMessage& rt, std::int32_t id) {
+    trace_->span(node_track(rt.message.request.src), "payload", "payload",
+                 rt.stats.established, now_,
+                 {{"msg", std::to_string(id)},
+                  {"channel", std::to_string(rt.channel)},
+                  {"lost", std::to_string(rt.stats.payloads_lost)}});
+  }
+
+  [[gnu::cold]] [[gnu::noinline]] void trace_backoff_cold(
+      const RuntimeMessage& rt, std::int32_t id, std::int64_t until) {
+    trace_->span(node_track(rt.message.request.src), "backoff", "backoff",
+                 now_, until,
+                 {{"msg", std::to_string(id)},
+                  {"retry", std::to_string(rt.stats.retries)}});
+  }
+
   /// True iff the event belongs to a superseded reservation attempt (the
   /// source timed out and moved on) or to a message already settled.
   bool stale(const RuntimeMessage& rt, std::int32_t attempt) const {
@@ -253,6 +339,7 @@ class Simulator {
                          static_cast<std::uint32_t>(hop) & 0xfffU);
     if (!faults_->drop_ctrl(key)) return false;
     ++ctrl_dropped_;
+    if (trace_) trace_ctrl_drop_cold(rt, id, tag, hop);
     return true;
   }
 
@@ -275,6 +362,7 @@ class Simulator {
     if (rt.stats.issued < 0) rt.stats.issued = now_;
     rt.state = MsgState::kReserving;
     ++rt.attempt;
+    if (trace_) attempt_starts_[static_cast<std::size_t>(id)] = now_;
     rt.mask = full_mask_;
     // Local issue processing, then the reservation starts at the
     // injection link (hop 0).
@@ -351,8 +439,10 @@ class Simulator {
 
   void establish(std::int32_t id) {
     auto& rt = msg(id);
+    trace_attempt_end(rt, id, "ack");
     rt.state = MsgState::kTransmitting;
     rt.stats.established = now_;
+    rt.stats.slot = rt.channel;
     std::int64_t first = 0, stride = 1;
     if (params_.channel == ChannelKind::kWavelength) {
       // The wavelength runs at full rate: one payload per slot.
@@ -388,6 +478,7 @@ class Simulator {
     rt.stats.completed = now_;
     rt.stats.outcome = rt.stats.payloads_lost > 0 ? MessageOutcome::kLost
                                                   : MessageOutcome::kDelivered;
+    if (trace_) trace_payload_cold(rt, id);
     --remaining_;
     // Release travels forward freeing the selected channel hop by hop.
     push(now_, EventKind::kReleaseStep, id, 0, rt.attempt);
@@ -428,7 +519,7 @@ class Simulator {
 
   void start_nack(std::int32_t id, std::int32_t hop, std::int32_t attempt) {
     if (hop < 0) {
-      retry(id);
+      retry(id, "nack");
       return;
     }
     push(now_, EventKind::kNackStep, id, hop, attempt);
@@ -442,7 +533,7 @@ class Simulator {
         rt.reserved[static_cast<std::size_t>(hop)];
     rt.reserved[static_cast<std::size_t>(hop)] = 0;
     if (hop == 0) {
-      retry(id);
+      retry(id, "nack");
       return;
     }
     const bool network_hop = net_.link(link).kind == topo::LinkKind::kNetwork;
@@ -459,8 +550,9 @@ class Simulator {
     auto& rt = msg(id);
     if (rt.state != MsgState::kReserving || rt.attempt != attempt) return;
     ++rt.stats.timeouts;
+    if (trace_) trace_timeout_cold(rt, id, attempt);
     release_all(rt);
-    retry(id);
+    retry(id, "timeout");
   }
 
   /// Hold-timer reclamation after a lost RELEASE sweep.
@@ -477,11 +569,19 @@ class Simulator {
     }
   }
 
-  void retry(std::int32_t id) {
+  void retry(std::int32_t id, const char* cause) {
     auto& rt = msg(id);
+    trace_attempt_end(rt, id, cause);
     // Back to the queued state: a stale timeout firing during the backoff
     // wait must not trigger a second concurrent retry of this message.
     rt.state = MsgState::kQueued;
+    // Supersede the abandoned attempt immediately.  Without this, in-flight
+    // RESERVE/ACK packets of a timed-out attempt still pass the stale()
+    // check during the backoff wait: the walk re-reserves hops the timeout
+    // already released, and a late ACK can "establish" a connection whose
+    // upstream channels are back in the free pool — two connections could
+    // then share a link channel.
+    ++rt.attempt;
     ++rt.stats.retries;
     if (params_.retry_budget > 0 &&
         rt.stats.retries > params_.retry_budget) {
@@ -500,6 +600,7 @@ class Simulator {
     }
     const std::int64_t jitter =
         rng_.uniform(0, std::max<std::int64_t>(base - 1, 0));
+    if (trace_) trace_backoff_cold(rt, id, now_ + base + jitter);
     push(now_ + base + jitter, EventKind::kIssue,
          rt.message.request.src, 0, 0);
   }
@@ -522,8 +623,13 @@ class Simulator {
   const topo::Network& net_;
   DynamicParams params_;
   const FaultTimeline* faults_;
+  obs::Trace* trace_ = nullptr;
   bool has_faults_ = false;
   bool has_link_faults_ = false;
+  std::vector<obs::TrackId> node_tracks_;
+  /// Issue time of each message's current attempt (tracing only; sized
+  /// only when a trace sink is attached).
+  std::vector<std::int64_t> attempt_starts_;
   util::Rng rng_;
   ChannelMask full_mask_ = 1;
   std::int64_t now_ = 0;
@@ -540,17 +646,19 @@ class Simulator {
 
 DynamicResult simulate_dynamic(const topo::Network& net,
                                std::span<const Message> messages,
-                               const DynamicParams& params) {
+                               const DynamicParams& params,
+                               obs::Trace* trace) {
   static const FaultTimeline kHealthy;
-  Simulator sim(net, messages, params, kHealthy);
+  Simulator sim(net, messages, params, kHealthy, trace);
   return sim.run();
 }
 
 DynamicResult simulate_dynamic(const topo::Network& net,
                                std::span<const Message> messages,
                                const DynamicParams& params,
-                               const FaultTimeline& faults) {
-  Simulator sim(net, messages, params, faults);
+                               const FaultTimeline& faults,
+                               obs::Trace* trace) {
+  Simulator sim(net, messages, params, faults, trace);
   return sim.run();
 }
 

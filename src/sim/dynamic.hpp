@@ -55,6 +55,10 @@
 /// With an inactive timeline every knob is dormant and runs are
 /// byte-identical to the pre-fault simulator.
 
+namespace optdm::obs {
+class Trace;
+}  // namespace optdm::obs
+
 namespace optdm::sim {
 
 /// Parameters of the dynamic control protocol.
@@ -78,8 +82,11 @@ struct DynamicParams {
   /// Slots the source waits after issuing a reservation before declaring
   /// the attempt lost (covers RESERVATION/ACK/NACK loss on the control
   /// network).  0 = auto: twice the message's worst-case control round
-  /// trip plus one backoff.  Timeouts only arm when a fault timeline is
-  /// supplied — without one a NACK always comes back.
+  /// trip plus one backoff — 0 never means "expire instantly", it is the
+  /// documented default and behaves identically to passing the computed
+  /// per-message value explicitly (pinned by tests).  Timeouts only arm
+  /// when a fault timeline is supplied — without one a NACK always comes
+  /// back.
   std::int64_t timeout_slots = 0;
   /// Maximum failed attempts (NACKs + timeouts) per message before it is
   /// reported `kFailed`; 0 = unlimited (the paper's model, which assumes
@@ -124,6 +131,9 @@ struct DynamicMessageStats {
   /// Final fate; `kFailed` for messages that exhausted the retry budget
   /// or were cut off by the horizon.
   MessageOutcome outcome = MessageOutcome::kDelivered;
+  /// Channel (TDM slot / wavelength index) the connection was established
+  /// on; -1 for messages that never got a connection.
+  int slot = -1;
 };
 
 /// Result of a dynamic-communication run.
@@ -152,9 +162,16 @@ struct DynamicResult {
 /// parameter garbage: `multiplexing_degree` outside [1, 64], non-positive
 /// `backoff_slots` / `horizon` / `ctrl_hop_slots` / `ctrl_local_slots`,
 /// or negative `timeout_slots` / `retry_budget` / `max_backoff_slots`.
+///
+/// A non-null `trace` records the protocol timeline (one track per source
+/// node: reservation-attempt spans tagged with their outcome, backoff
+/// waits, timeout and ctrl-drop instants, payload spans; one track per
+/// faulted link for down windows).  A null trace is the no-op sink:
+/// results are byte-identical to an untraced run.
 DynamicResult simulate_dynamic(const topo::Network& net,
                                std::span<const Message> messages,
-                               const DynamicParams& params);
+                               const DynamicParams& params,
+                               obs::Trace* trace = nullptr);
 
 /// Fault-aware variant: runs the same protocol against `faults` (link
 /// down windows + control-packet loss).  An inactive timeline reproduces
@@ -162,6 +179,7 @@ DynamicResult simulate_dynamic(const topo::Network& net,
 DynamicResult simulate_dynamic(const topo::Network& net,
                                std::span<const Message> messages,
                                const DynamicParams& params,
-                               const FaultTimeline& faults);
+                               const FaultTimeline& faults,
+                               obs::Trace* trace = nullptr);
 
 }  // namespace optdm::sim

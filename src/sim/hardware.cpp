@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace optdm::sim {
 
 namespace {
@@ -21,7 +23,7 @@ CompiledResult execute_impl(const topo::Network& net,
                             std::span<const Message> messages,
                             const CompiledParams& params,
                             const FaultTimeline* faults,
-                            std::int64_t start_slot) {
+                            std::int64_t start_slot, obs::Trace* trace) {
   if (params.channel != ChannelKind::kTimeSlot)
     throw std::invalid_argument(
         "execute_on_hardware: register-cycled fabrics are TDM");
@@ -76,6 +78,7 @@ CompiledResult execute_impl(const topo::Network& net,
     std::int64_t remaining = 0;
     std::int64_t lost = 0;       ///< lost payloads of the current message
     bool misrouted = false;      ///< current message hit a wrong processor
+    std::int64_t started = -1;   ///< first payload slot (tracing only)
   };
   std::map<core::Request, std::vector<int>> instances;
   for (int slot = 0; slot < schedule.degree(); ++slot)
@@ -124,6 +127,7 @@ CompiledResult execute_impl(const topo::Network& net,
       // this slot; the sender has no feedback and the channel advances
       // regardless.
       const std::int64_t abs_slot = start_slot + t;
+      if (trace && channel.started < 0) channel.started = t;
       topo::LinkId at = net.injection_link(channel.request.src);
       bool delivered_wrong = false;
       bool payload_lost = faults != nullptr && faults->down(at, abs_slot);
@@ -158,14 +162,35 @@ CompiledResult execute_impl(const topo::Network& net,
               "execute_on_hardware: payload delivered to the wrong node");
         delivered_wrong = true;
       }
-      if (payload_lost) ++channel.lost;
-      if (delivered_wrong) channel.misrouted = true;
+      if (payload_lost) {
+        ++channel.lost;
+        if (trace)
+          trace->instant(
+              trace->track("slot " + std::to_string(channel.slot)),
+              "payload-lost", "payload-loss", t,
+              {{"msg", std::to_string(channel.queue[channel.at])}});
+      }
+      if (delivered_wrong) {
+        channel.misrouted = true;
+        if (trace)
+          trace->instant(
+              trace->track("slot " + std::to_string(channel.slot)),
+              "misroute", "misroute", t,
+              {{"msg", std::to_string(channel.queue[channel.at])}});
+      }
 
       if (--channel.remaining == 0) {
         const auto m = channel.queue[channel.at];
         result.messages[m].slot = channel.slot;
         result.messages[m].completed = t + 1;
         result.messages[m].payloads_lost = channel.lost;
+        if (trace) {
+          trace->span(trace->track("slot " + std::to_string(channel.slot)),
+                      "payload", "payload", channel.started, t + 1,
+                      {{"msg", std::to_string(m)},
+                       {"slot", std::to_string(channel.slot)}});
+          channel.started = -1;
+        }
         if (channel.misrouted) {
           result.messages[m].outcome = MessageOutcome::kMisrouted;
           ++result.faults.messages_misrouted;
@@ -196,8 +221,10 @@ CompiledResult execute_on_hardware(const topo::Network& net,
                                    const core::Schedule& schedule,
                                    const core::SwitchProgram& program,
                                    std::span<const Message> messages,
-                                   const CompiledParams& params) {
-  return execute_impl(net, schedule, program, messages, params, nullptr, 0);
+                                   const CompiledParams& params,
+                                   obs::Trace* trace) {
+  return execute_impl(net, schedule, program, messages, params, nullptr, 0,
+                      trace);
 }
 
 CompiledResult execute_on_hardware(const topo::Network& net,
@@ -206,12 +233,13 @@ CompiledResult execute_on_hardware(const topo::Network& net,
                                    std::span<const Message> messages,
                                    const CompiledParams& params,
                                    const FaultTimeline& faults,
-                                   std::int64_t start_slot) {
+                                   std::int64_t start_slot,
+                                   obs::Trace* trace) {
   if (!faults.has_link_faults())
     return execute_impl(net, schedule, program, messages, params, nullptr,
-                        start_slot);
+                        start_slot, trace);
   return execute_impl(net, schedule, program, messages, params, &faults,
-                      start_slot);
+                      start_slot, trace);
 }
 
 }  // namespace optdm::sim

@@ -33,11 +33,15 @@ namespace optdm::sim {
 /// Throws `std::logic_error` if the fabric misbehaves (a payload arrives
 /// at the wrong processor or a walk dead-ends) — by construction this
 /// means the switch program and the schedule disagree.
+/// A non-null `trace` records per-message payload spans (one track per
+/// TDM slot) plus payload-loss and misroute instants; a null trace is the
+/// no-op sink and leaves results byte-identical.
 CompiledResult execute_on_hardware(const topo::Network& net,
                                    const core::Schedule& schedule,
                                    const core::SwitchProgram& program,
                                    std::span<const Message> messages,
-                                   const CompiledParams& params = {});
+                                   const CompiledParams& params = {},
+                                   obs::Trace* trace = nullptr);
 
 /// Fault-aware variant: the walk consults `faults` at every link it
 /// crosses — a payload reaching a link that is down during its slot is
@@ -52,6 +56,7 @@ CompiledResult execute_on_hardware(const topo::Network& net,
                                    std::span<const Message> messages,
                                    const CompiledParams& params,
                                    const FaultTimeline& faults,
-                                   std::int64_t start_slot = 0);
+                                   std::int64_t start_slot = 0,
+                                   obs::Trace* trace = nullptr);
 
 }  // namespace optdm::sim

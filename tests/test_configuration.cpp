@@ -30,10 +30,26 @@ TEST(LinkSetTest, InsertContainsErase) {
 }
 
 TEST(LinkSetTest, OutOfRangeThrows) {
+  // Regression: `contains` used to silently return false for
+  // out-of-universe ids while insert/erase threw — the same caller bug
+  // (mixing networks) was loud or silent depending on the access path.
+  // The policy is now uniformly strict.
   LinkSet set(10);
   EXPECT_THROW(set.insert(10), std::out_of_range);
   EXPECT_THROW(set.insert(-1), std::out_of_range);
-  EXPECT_FALSE(set.contains(10));  // queries are safe
+  EXPECT_THROW(set.erase(10), std::out_of_range);
+  EXPECT_THROW(set.erase(-1), std::out_of_range);
+  EXPECT_THROW(set.contains(10), std::out_of_range);
+  EXPECT_THROW(set.contains(-1), std::out_of_range);
+  // In-universe queries are unaffected.
+  set.insert(9);
+  EXPECT_TRUE(set.contains(9));
+  EXPECT_FALSE(set.contains(0));
+}
+
+TEST(LinkSetTest, EmptyUniverseContainsThrows) {
+  LinkSet set;  // universe of 0 links: every id is out of universe
+  EXPECT_THROW(set.contains(0), std::out_of_range);
 }
 
 TEST(LinkSetTest, IntersectsAndMerge) {

@@ -155,4 +155,115 @@ TEST(ScheduleIo, RejectsMissingHeader) {
   EXPECT_THROW(io::read_schedule(in, net), std::invalid_argument);
 }
 
+TEST(PatternIo, EmptyPatternRoundTrips) {
+  const core::RequestSet empty;
+  std::stringstream buffer;
+  io::write_pattern(buffer, empty);
+  EXPECT_EQ(io::read_pattern(buffer), empty);
+}
+
+TEST(ScheduleIo, CombinedScheduleRoundTripsExactly) {
+  topo::TorusNetwork net(8, 8);
+  const aapc::TorusAapc aapc(net);
+  util::Rng rng(74);
+  const auto requests = patterns::random_pattern(64, 300, rng);
+  const auto schedule = sched::combined(aapc, requests);
+
+  std::stringstream buffer;
+  io::write_schedule(buffer, net, schedule);
+  const auto reloaded = io::read_schedule(buffer, net);
+  ASSERT_EQ(reloaded.degree(), schedule.degree());
+  for (int slot = 0; slot < schedule.degree(); ++slot) {
+    const auto& a = schedule.configuration(slot).paths();
+    const auto& b = reloaded.configuration(slot).paths();
+    ASSERT_EQ(a.size(), b.size()) << "slot " << slot;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].request, b[i].request);
+      EXPECT_EQ(a[i].links, b[i].links);
+    }
+  }
+}
+
+TEST(ScheduleIo, ZeroSlotsIsAnEmptySchedule) {
+  topo::TorusNetwork net(4, 4);
+  std::istringstream in("optdm-schedule 1\nnetwork " + net.name() +
+                        "\nslots 0\n");
+  EXPECT_EQ(io::read_schedule(in, net).degree(), 0);
+}
+
+TEST(ScheduleIo, NonNumericSlotCountFailsWithLineNumber) {
+  // Regression: std::stoi used to escape with a bare std::invalid_argument
+  // ("stoi") carrying no line number.
+  topo::TorusNetwork net(4, 4);
+  std::istringstream in("optdm-schedule 1\nnetwork " + net.name() +
+                        "\nslots abc\n");
+  try {
+    io::read_schedule(in, net);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("not a number"), std::string::npos) << what;
+  }
+}
+
+TEST(ScheduleIo, HugeSlotCountFailsWithLineNumber) {
+  // Regression: values beyond int used to escape as a bare
+  // std::out_of_range from std::stoi.
+  topo::TorusNetwork net(4, 4);
+  std::istringstream in("optdm-schedule 1\nnetwork " + net.name() +
+                        "\nslots 99999999999999999999\n");
+  try {
+    io::read_schedule(in, net);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+}
+
+TEST(ScheduleIo, TrailingTokensAfterSlotCountFail) {
+  topo::TorusNetwork net(4, 4);
+  std::istringstream in("optdm-schedule 1\nnetwork " + net.name() +
+                        "\nslots 1 junk\n");
+  EXPECT_THROW(io::read_schedule(in, net), std::invalid_argument);
+}
+
+TEST(ScheduleIo, OutOfRangeLinkIdFailsWithLineNumber) {
+  topo::TorusNetwork net(4, 4);
+  std::ostringstream out;
+  out << "optdm-schedule 1\nnetwork " << net.name()
+      << "\nslots 1\nslot 0\npath 0 1 : " << net.link_count() << "\n";
+  std::istringstream in(out.str());
+  try {
+    io::read_schedule(in, net);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+}
+
+TEST(ScheduleIo, TruncatedFilesFail) {
+  topo::TorusNetwork net(4, 4);
+  const auto schedule = sched::greedy(net, {{0, 1}, {2, 3}});
+  std::stringstream buffer;
+  io::write_schedule(buffer, net, schedule);
+  const auto text = buffer.str();
+
+  // Cutting the file anywhere after the header but before the end must
+  // fail loudly, never return a partial schedule.  Truncation points:
+  // after 'network', after 'slots', and mid-slot.
+  const std::size_t cuts[] = {text.find("slots"), text.find("slot 0"),
+                              text.find("path")};
+  for (const auto cut : cuts) {
+    ASSERT_NE(cut, std::string::npos);
+    std::istringstream truncated(text.substr(0, cut));
+    EXPECT_THROW(io::read_schedule(truncated, net), std::invalid_argument)
+        << "cut at " << cut;
+  }
+}
+
 }  // namespace

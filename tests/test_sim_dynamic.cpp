@@ -252,4 +252,52 @@ TEST(SimDynamic, DenseTrafficFinishesUnderAllDegrees) {
   }
 }
 
+TEST(SimDynamic, ZeroTimeoutMeansAutoNotInstantExpiry) {
+  // Pins the `timeout_slots == 0` semantics the parameter validation
+  // deliberately accepts: 0 is the documented "auto" default — twice the
+  // message's worst-case control round trip plus one backoff — never an
+  // instantly-expiring timer.  For (0 -> 1) under quiet_params the path
+  // has 3 links, so auto = 2 * (2*2 + 2*3*4) + 16 = 72.
+  topo::TorusNetwork net(8, 8);
+  const std::vector<Message> messages{{{0, 1}, 10}};
+  // An active timeline is what arms timeouts; fault a link the message
+  // never touches so timers run but nothing is disturbed.
+  sim::FaultTimeline faults;
+  faults.flap_link(net.link_count() - 1, 5, 50);
+
+  auto auto_params = quiet_params(1);
+  auto_params.timeout_slots = 0;
+  auto explicit_params = quiet_params(1);
+  explicit_params.timeout_slots = 72;
+
+  const auto a = simulate_dynamic(net, messages, auto_params, faults);
+  const auto b = simulate_dynamic(net, messages, explicit_params, faults);
+  ASSERT_TRUE(a.completed);
+  EXPECT_EQ(a.messages[0].timeouts, 0);  // a sane timer never fired
+  EXPECT_EQ(a.messages[0].established, b.messages[0].established);
+  EXPECT_EQ(a.messages[0].completed, b.messages[0].completed);
+  EXPECT_EQ(a.total_slots, b.total_slots);
+}
+
+TEST(SimDynamic, TinyTimeoutWithBudgetTerminatesCleanly) {
+  // The adversarial end of the timeout range: a 1-slot timer fires before
+  // any reservation can round-trip, so every attempt times out.  With a
+  // retry budget the run must end kFailed and conserve channels — not
+  // retry-storm forever.
+  topo::TorusNetwork net(8, 8);
+  const std::vector<Message> messages{{{0, 9}, 4}};
+  sim::FaultTimeline faults;
+  faults.flap_link(net.link_count() - 1, 5, 50);  // arms the timers
+  auto params = quiet_params(1);
+  params.timeout_slots = 1;
+  params.retry_budget = 3;
+
+  const auto result = simulate_dynamic(net, messages, params, faults);
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(result.clean_shutdown);
+  EXPECT_EQ(result.messages[0].outcome, sim::MessageOutcome::kFailed);
+  EXPECT_EQ(result.messages[0].retries, params.retry_budget + 1);
+  EXPECT_EQ(result.messages[0].timeouts, params.retry_budget + 1);
+}
+
 }  // namespace

@@ -21,8 +21,16 @@ import json
 import sys
 
 
+TIME_SCALES = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
 def load_benchmarks(path):
-    """Returns {name: real_time_ns} for a google-benchmark JSON file."""
+    """Returns {name: real_time_ns} for a google-benchmark JSON file.
+
+    Aggregate rows and entries without a ``real_time`` field (counters,
+    error entries) are skipped; an unrecognized ``time_unit`` is a clear
+    fatal error instead of a KeyError traceback.
+    """
     try:
         with open(path) as f:
             data = json.load(f)
@@ -34,9 +42,15 @@ def load_benchmarks(path):
     for bench in data.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
+        if "real_time" not in bench:
+            continue  # not a timing entry (e.g. an error record)
         unit = bench.get("time_unit", "ns")
-        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
-        results[bench["name"]] = float(bench["real_time"]) * scale
+        if unit not in TIME_SCALES:
+            name = bench.get("name", "<unnamed>")
+            sys.exit(f"bench_diff: {path}: benchmark {name!r} has "
+                     f"unrecognized time_unit {unit!r} "
+                     f"(expected one of {sorted(TIME_SCALES)})")
+        results[bench["name"]] = float(bench["real_time"]) * TIME_SCALES[unit]
     return results
 
 

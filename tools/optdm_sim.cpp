@@ -11,6 +11,7 @@
 // Examples:
 //   optdm_sim --pattern=tscf --slots=2
 //   optdm_sim --pattern-file=phase.txt --slots=16 --regimes=compiled,dynamic
+//   optdm_sim --pattern=gs --report=run.json   # compiled-run RunReport JSON
 
 #include <fstream>
 #include <iostream>
@@ -19,6 +20,7 @@
 #include "aapc/torus_aapc.hpp"
 #include "apps/compiler.hpp"
 #include "io/pattern_io.hpp"
+#include "obs/report.hpp"
 #include "patterns/named.hpp"
 #include "sched/combined.hpp"
 #include "sim/dynamic.hpp"
@@ -65,7 +67,8 @@ int main(int argc, char** argv) {
 
     util::Table table({"regime", "K / frame", "slots", "notes"});
 
-    const auto compiled = compiler.compile(requests);
+    obs::SchedCounters counters;
+    const auto compiled = compiler.compile(requests, &counters);
     const auto tdm = sim::simulate_compiled(compiled.schedule, messages);
     table.add_row({"compiled (TDM)",
                    util::Table::fmt(std::int64_t{compiled.schedule.degree()}),
@@ -106,6 +109,17 @@ int main(int argc, char** argv) {
                    "store-and-forward"});
 
     table.print(std::cout);
+
+    // --report=FILE dumps the compiled run (plus the scheduling-phase
+    // counters) as an `optdm-run-report/1` JSON document.
+    if (args.has("report")) {
+      auto report = obs::report_compiled(compiled.schedule, messages, tdm);
+      report.sched = counters;
+      std::ofstream out(args.get("report"));
+      report.write_json(out);
+      if (!out) throw std::runtime_error("cannot write report file");
+      std::cout << "\nwrote report to " << args.get("report") << '\n';
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "optdm_sim: " << e.what() << '\n';

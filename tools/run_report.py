@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Render and validate `optdm-run-report/1` JSON documents.
+
+Usage:
+    tools/run_report.py REPORT.json [--top=10] [--check]
+                        [--validate-trace=TRACE.json]
+
+Typical workflow:
+    build/examples/trace_demo --trace=/tmp/t.json --report=/tmp/r.json
+    tools/run_report.py /tmp/r.json --check --validate-trace=/tmp/t.json
+
+Without flags, prints a human-readable summary: message outcomes, the
+busiest links, per-slot occupancy, stall causes, and (for scheduler
+reports) the compile-phase timings.
+
+``--check`` validates the document instead: the schema tag, required
+fields, and the accounting invariant that the per-link busy-slot counts
+sum to the engine's aggregate ``payload_link_slots``.  ``--validate-trace``
+additionally checks a Chrome trace_event file for structural sanity
+(``traceEvents`` array, ph/pid/tid/ts on every event, durations on
+complete events).  Any violation exits with status 1 — suitable as a CI
+gate.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "optdm-run-report/1"
+
+REQUIRED_FIELDS = {
+    "schema": str,
+    "engine": str,
+    "degree": int,
+    "total_slots": int,
+    "messages": dict,
+    "payload_link_slots": int,
+    "links": list,
+}
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as err:
+        sys.exit(f"run_report: cannot read {path}: {err.strerror}")
+    except json.JSONDecodeError as err:
+        sys.exit(f"run_report: {path} is not valid JSON: {err}")
+
+
+def check_report(report, path):
+    """Returns a list of violation strings (empty = valid)."""
+    problems = []
+    for field, kind in REQUIRED_FIELDS.items():
+        if field not in report:
+            problems.append(f"missing required field {field!r}")
+        elif not isinstance(report[field], kind):
+            problems.append(f"field {field!r} should be {kind.__name__}, "
+                            f"got {type(report[field]).__name__}")
+    if problems:
+        return problems  # structure too broken for the value checks
+
+    if report["schema"] != SCHEMA:
+        problems.append(f"schema is {report['schema']!r}, expected {SCHEMA!r}")
+
+    link_sum = 0
+    for i, entry in enumerate(report["links"]):
+        if "link" not in entry or "busy_slots" not in entry:
+            problems.append(f"links[{i}] missing link/busy_slots")
+            continue
+        if entry["busy_slots"] < 0:
+            problems.append(f"links[{i}] has negative busy_slots")
+        link_sum += entry["busy_slots"]
+    if link_sum != report["payload_link_slots"]:
+        problems.append(
+            f"sum of links[].busy_slots is {link_sum}, but "
+            f"payload_link_slots is {report['payload_link_slots']} "
+            "(the builder invariant)")
+
+    messages = report["messages"]
+    accounted = sum(messages.get(k, 0)
+                    for k in ("delivered", "lost", "misrouted", "failed"))
+    if accounted != messages.get("total", 0):
+        problems.append(
+            f"message outcomes sum to {accounted}, total is "
+            f"{messages.get('total', 0)}")
+
+    for i, slot in enumerate(report.get("slots", [])):
+        util = slot.get("utilization", 0.0)
+        if not 0.0 <= util <= 1.0:
+            problems.append(f"slots[{i}] utilization {util} outside [0, 1]")
+    return problems
+
+
+def validate_trace(path):
+    """Returns a list of violation strings for a Chrome trace file."""
+    trace = load_json(path)
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        return ["missing traceEvents array (JSON-object trace format)"]
+    events = trace["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return ["traceEvents is empty"]
+    problems = []
+    for i, event in enumerate(events):
+        ph = event.get("ph")
+        if ph is None:
+            problems.append(f"traceEvents[{i}] has no 'ph'")
+        elif ph == "M":
+            if event.get("name") != "thread_name":
+                problems.append(f"traceEvents[{i}] unknown metadata event")
+        elif ph in ("X", "i"):
+            for field in ("pid", "tid", "ts", "name"):
+                if field not in event:
+                    problems.append(f"traceEvents[{i}] missing {field!r}")
+            if ph == "X" and event.get("dur", -1) < 0:
+                problems.append(f"traceEvents[{i}] complete event without "
+                                "a non-negative 'dur'")
+        else:
+            problems.append(f"traceEvents[{i}] unexpected phase {ph!r}")
+        if len(problems) >= 10:
+            problems.append("... (stopping after 10 problems)")
+            break
+    return problems
+
+
+def fmt_table(rows, header):
+    widths = [max(len(str(row[i])) for row in [header] + rows)
+              for i in range(len(header))]
+    lines = ["  ".join(f"{h:<{w}}" for h, w in zip(header, widths))]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(f"{str(c):<{w}}" for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render(report, top):
+    messages = report.get("messages", {})
+    print(f"{report.get('engine', '?')} run: degree "
+          f"{report.get('degree', '?')}, {report.get('total_slots', '?')} "
+          f"slots, {messages.get('delivered', 0)}/{messages.get('total', 0)} "
+          "messages delivered")
+    protocol = report.get("protocol")
+    if protocol and any(protocol.values()):
+        print("protocol: " + ", ".join(
+            f"{key} {value}" for key, value in protocol.items() if value))
+
+    links = report.get("links", [])
+    total = report.get("payload_link_slots", 0)
+    if links and total > 0:
+        busiest = sorted(links, key=lambda e: -e.get("busy_slots", 0))[:top]
+        rows = [[e["link"], e["busy_slots"],
+                 f"{100.0 * e['busy_slots'] / total:.1f}%"] for e in busiest]
+        print(f"\nbusiest links ({len(links)} used, {total} "
+              "payload-link-slots):")
+        print(fmt_table(rows, ["link", "busy slots", "share"]))
+
+    slots = report.get("slots", [])
+    if slots:
+        rows = [[s.get("slot"), s.get("connections"), s.get("links_used"),
+                 s.get("busy_slots"), f"{s.get('utilization', 0.0):.3f}"]
+                for s in slots]
+        print("\nslot occupancy:")
+        print(fmt_table(rows, ["slot", "connections", "links", "busy slots",
+                               "utilization"]))
+
+    stalls = report.get("stalls", [])
+    if stalls:
+        rows = [[s.get("cause"), s.get("count"),
+                 "-" if s.get("slots", -1) < 0 else s.get("slots")]
+                for s in stalls]
+        print("\ntop stall causes:")
+        print(fmt_table(rows, ["cause", "count", "slots"]))
+
+    sched = report.get("sched")
+    if sched:
+        rows = [[key, value] for key, value in sched.items()]
+        print("\nscheduler counters:")
+        print(fmt_table(rows, ["counter", "value"]))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Render or validate optdm run-report JSON.")
+    parser.add_argument("report")
+    parser.add_argument("--top", type=int, default=10,
+                        help="links to show in the busiest table")
+    parser.add_argument("--check", action="store_true",
+                        help="validate instead of render")
+    parser.add_argument("--validate-trace", metavar="TRACE",
+                        help="also validate a Chrome trace_event file")
+    args = parser.parse_args()
+
+    report = load_json(args.report)
+    failures = 0
+    if args.check:
+        problems = check_report(report, args.report)
+        if problems:
+            for problem in problems:
+                print(f"run_report: {args.report}: {problem}")
+            failures += 1
+        else:
+            print(f"{args.report}: valid {SCHEMA} "
+                  f"({len(report['links'])} links, "
+                  f"{report['payload_link_slots']} payload-link-slots)")
+    else:
+        render(report, args.top)
+
+    if args.validate_trace:
+        problems = validate_trace(args.validate_trace)
+        if problems:
+            for problem in problems:
+                print(f"run_report: {args.validate_trace}: {problem}")
+            failures += 1
+        else:
+            events = len(load_json(args.validate_trace)["traceEvents"])
+            print(f"{args.validate_trace}: valid Chrome trace "
+                  f"({events} events)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

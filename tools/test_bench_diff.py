@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Error-path tests for tools/bench_diff.py (run by CI).
+
+Usage:
+    python3 tools/test_bench_diff.py
+"""
+
+import importlib.util
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_diff", os.path.join(_HERE, "bench_diff.py"))
+bench_diff = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_diff)
+
+
+def write_json(directory, name, payload):
+    path = os.path.join(directory, name)
+    with open(path, "w") as f:
+        json.dump(payload, f)
+    return path
+
+
+def run_main(argv):
+    """Runs bench_diff.main() with argv; returns its exit status."""
+    old_argv = sys.argv
+    sys.argv = ["bench_diff.py"] + argv
+    try:
+        with redirect_stdout(io.StringIO()):
+            return bench_diff.main()
+    finally:
+        sys.argv = old_argv
+
+
+class LoadBenchmarksTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def test_unknown_time_unit_is_a_clear_error(self):
+        path = write_json(self.tmp.name, "bad_unit.json", {"benchmarks": [
+            {"name": "BM_X", "real_time": 1.0, "time_unit": "fortnights"},
+        ]})
+        with self.assertRaises(SystemExit) as ctx:
+            bench_diff.load_benchmarks(path)
+        message = str(ctx.exception)
+        self.assertIn("BM_X", message)
+        self.assertIn("fortnights", message)
+        self.assertNotIsInstance(ctx.exception.code, int)  # message, not code
+
+    def test_missing_real_time_entries_are_skipped(self):
+        path = write_json(self.tmp.name, "no_time.json", {"benchmarks": [
+            {"name": "BM_Err", "error_occurred": True},
+            {"name": "BM_Ok", "real_time": 5.0, "time_unit": "us"},
+        ]})
+        results = bench_diff.load_benchmarks(path)
+        self.assertEqual(results, {"BM_Ok": 5000.0})
+
+    def test_aggregates_are_skipped(self):
+        path = write_json(self.tmp.name, "agg.json", {"benchmarks": [
+            {"name": "BM_A_mean", "run_type": "aggregate", "real_time": 9.0},
+            {"name": "BM_A", "run_type": "iteration", "real_time": 2.0},
+        ]})
+        results = bench_diff.load_benchmarks(path)
+        self.assertEqual(results, {"BM_A": 2.0})
+
+    def test_default_unit_is_ns(self):
+        path = write_json(self.tmp.name, "default.json", {"benchmarks": [
+            {"name": "BM_D", "real_time": 7.0},
+        ]})
+        self.assertEqual(bench_diff.load_benchmarks(path), {"BM_D": 7.0})
+
+    def test_invalid_json_is_a_clear_error(self):
+        path = os.path.join(self.tmp.name, "broken.json")
+        with open(path, "w") as f:
+            f.write("{not json")
+        with self.assertRaises(SystemExit):
+            bench_diff.load_benchmarks(path)
+
+
+class DiffTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def bench_file(self, name, times):
+        return write_json(self.tmp.name, name, {"benchmarks": [
+            {"name": bench, "real_time": t, "time_unit": "ns"}
+            for bench, t in times.items()
+        ]})
+
+    def test_regression_exits_nonzero(self):
+        base = self.bench_file("base.json", {"BM_A": 100.0})
+        cur = self.bench_file("cur.json", {"BM_A": 200.0})
+        self.assertEqual(run_main([base, cur]), 1)
+
+    def test_within_threshold_exits_zero(self):
+        base = self.bench_file("base2.json", {"BM_A": 100.0})
+        cur = self.bench_file("cur2.json", {"BM_A": 110.0})
+        self.assertEqual(run_main([base, cur]), 0)
+
+    def test_disjoint_benchmarks_never_flag(self):
+        base = self.bench_file("base3.json", {"BM_Old": 100.0})
+        cur = self.bench_file("cur3.json", {"BM_New": 5000.0})
+        self.assertEqual(run_main([base, cur]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
