@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "aapc/torus_aapc.hpp"
+#include "apps/pipeline.hpp"
 #include "core/conflict_graph.hpp"
 #include "patterns/named.hpp"
 #include "patterns/random.hpp"
@@ -163,6 +164,36 @@ void BM_RedistributionPlan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RedistributionPlan);
+
+// Pipeline cold path: every compile misses the cache and pays the full
+// combined-scheduler cost (cache disabled so the loop measures compiles,
+// not insert/evict churn).
+void BM_PipelineCold(benchmark::State& state) {
+  const auto requests = pattern_of_size(static_cast<int>(state.range(0)));
+  apps::PipelineOptions options;
+  options.use_cache = false;
+  apps::Pipeline pipeline(torus(), options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pipeline.compile_phase(requests).phase.schedule.degree());
+  }
+}
+BENCHMARK(BM_PipelineCold)->Arg(1000)->Arg(4000);
+
+// Pipeline warm path: the same compile served from the in-memory cache.
+// The cold/warm ratio is the payoff of content-addressed compilation for
+// repeated static patterns (the paper's compile-once premise).
+void BM_PipelineWarm(benchmark::State& state) {
+  const auto requests = pattern_of_size(static_cast<int>(state.range(0)));
+  apps::Pipeline pipeline(torus(), apps::PipelineOptions{});
+  benchmark::DoNotOptimize(
+      pipeline.compile_phase(requests).phase.schedule.degree());  // warm it
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pipeline.compile_phase(requests).phase.schedule.degree());
+  }
+}
+BENCHMARK(BM_PipelineWarm)->Arg(1000)->Arg(4000);
 
 void BM_DynamicSimulation(benchmark::State& state) {
   const auto requests = pattern_of_size(static_cast<int>(state.range(0)));

@@ -1,15 +1,22 @@
 // Stencil application walkthrough: the paper's GS benchmark (Gauss-Seidel
 // iterations over a discretized unit square) as a compiled-communication
-// program.  Shows the full pipeline an optimizing compiler would run:
-// recognize the static pattern, schedule it, program the switch registers,
-// and account for per-iteration communication time.
+// *program*.  A red/black ordering splits each iteration into two
+// half-sweeps; both exchange the same boundary rows, so the program has
+// two communication phases with an identical pattern.  That makes it the
+// smallest real workload that exercises the whole phase-aware pipeline:
+// phase deduplication (one compile serves both phases), the schedule
+// cache, and phase stitching (the boundary between the half-sweeps needs
+// zero register reloads).
 //
-// Run:  ./stencil_gs [--grid=256] [--iterations=10]
+// Run:  ./stencil_gs [--grid=256] [--iterations=10] [--report=FILE]
 
+#include <fstream>
 #include <iostream>
 
-#include "apps/compiler.hpp"
+#include "apps/pipeline.hpp"
+#include "apps/program.hpp"
 #include "apps/workloads.hpp"
+#include "obs/report.hpp"
 #include "sim/compiled.hpp"
 #include "topo/torus.hpp"
 #include "util/cli.hpp"
@@ -19,43 +26,83 @@ int main(int argc, char** argv) {
 
   const util::CliArgs args(argc, argv);
   const auto grid = static_cast<int>(args.get_int("grid", 256));
-  const auto iterations = args.get_int("iterations", 10);
+  const auto iterations = static_cast<int>(args.get_int("iterations", 10));
 
   topo::TorusNetwork net(8, 8);
-  const apps::CommCompiler compiler(net);
 
   // The compiler front end recognized the shared-array access pattern of
   // the GS sweep: PEs form a logical linear array, each exchanging its
-  // boundary row with both neighbors, every iteration.
-  const auto phase = apps::gs_phase(grid, net.node_count());
-  std::cout << "GS on a " << phase.problem << " grid, "
+  // boundary row with both neighbors — once after the red half-sweep,
+  // once after the black one.
+  auto red = apps::gs_phase(grid, net.node_count());
+  red.name = "gs-red";
+  auto black = apps::gs_phase(grid, net.node_count());
+  black.name = "gs-black";
+
+  apps::Program program;
+  program.name = "gs-red-black";
+  program.phases = {red, black};
+  program.iterations = iterations;
+
+  std::cout << "GS (red/black) on a " << red.problem << " grid, "
             << net.node_count() << " PEs\n"
-            << "static pattern: " << phase.messages.size()
-            << " boundary exchanges of " << phase.messages.front().slots
+            << "static pattern per half-sweep: " << red.messages.size()
+            << " boundary exchanges of " << red.messages.front().slots
             << " slots each\n";
 
-  // Off-line scheduling: this pattern packs into two configurations (all
-  // "forward" edges, all "backward" edges).
-  const auto compiled = compiler.compile(phase.pattern());
-  std::cout << "compiled multiplexing degree K = "
-            << compiled.schedule.degree() << "\n";
+  // Batch compile through the pipeline: the two phases deduplicate onto
+  // one scheduling run, and stitching lines up the (identical)
+  // configuration sets at the phase boundary.
+  obs::SchedCounters counters;
+  apps::PipelineOptions options;
+  options.sched.counters = &counters;
+  apps::Pipeline pipeline(net, options);
+  const auto result = pipeline.compile(program);
 
-  // The registers are loaded once; each iteration then pays pure
+  std::cout << "compiled multiplexing degree K = "
+            << result.compiled.max_degree << " ("
+            << result.distinct_phases << " distinct phase(s) for "
+            << program.phases.size() << " phases)\n"
+            << "stitching: " << result.reconfigurations_saved
+            << " register reloads saved over " << iterations
+            << " iterations\n";
+
+  // The registers are loaded once; each half-sweep then pays pure
   // transmission time.
-  const auto once = sim::simulate_compiled(compiled.schedule, phase.messages);
+  const auto& schedule = result.compiled.phases.front().schedule;
+  obs::CapturingReportSink sink;
+  sim::SimOptions sim_options;
+  sim_options.counters = &counters;
+  sim_options.report = &sink;
+  const auto once =
+      sim::simulate_compiled(schedule, red.messages, {}, sim_options);
   sim::CompiledParams steady;
   steady.setup_slots = 0;  // network already programmed
-  const auto per_iteration =
-      sim::simulate_compiled(compiled.schedule, phase.messages, steady);
+  const auto per_sweep =
+      sim::simulate_compiled(schedule, red.messages, steady);
 
-  std::cout << "first iteration (register load included): "
+  std::cout << "first half-sweep (register load included): "
             << once.total_slots << " slots\n"
-            << "steady-state iteration: " << per_iteration.total_slots
+            << "steady-state half-sweep: " << per_sweep.total_slots
             << " slots\n"
-            << iterations << " iterations: "
+            << iterations << " iterations (2 half-sweeps each): "
             << once.total_slots +
-                   (iterations - 1) * per_iteration.total_slots
+                   (2 * std::int64_t{iterations} - 1) * per_sweep.total_slots
             << " slots total\n";
+
+  // --report=FILE: the engine-built run report, extended with the
+  // pipeline's stitching result.
+  if (args.has("report")) {
+    auto report = sink.last();
+    report.reconfigurations_saved = result.reconfigurations_saved;
+    std::ofstream out(args.get("report"));
+    report.write_json(out);
+    if (!out) {
+      std::cerr << "stencil_gs: cannot write report file\n";
+      return 1;
+    }
+    std::cout << "wrote report to " << args.get("report") << '\n';
+  }
 
   // Contrast: a dynamically controlled network re-establishes every path
   // every iteration; see examples/dynamic_vs_compiled for that comparison.

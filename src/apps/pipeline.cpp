@@ -1,0 +1,293 @@
+#include "apps/pipeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "core/path.hpp"
+#include "sched/bounds.hpp"
+#include "sched/combined.hpp"
+#include "util/parallel.hpp"
+
+namespace optdm::apps {
+
+namespace {
+
+/// Canonical pattern serialization for phase deduplication.  Order is
+/// preserved: the greedy pass is order-sensitive, so two permutations of
+/// the same multiset are *different* compilations.
+std::string pattern_key(const core::RequestSet& pattern) {
+  std::ostringstream out;
+  for (const auto& request : pattern)
+    out << request.src << '>' << request.dst << '\n';
+  return out.str();
+}
+
+/// Content fingerprint of one configuration: the sorted multiset of its
+/// paths, each with its exact links.  Two configurations with equal
+/// fingerprints program every switch register identically.
+std::string config_fingerprint(const core::Configuration& config) {
+  std::vector<std::string> paths;
+  paths.reserve(config.size());
+  for (const auto& path : config.paths()) {
+    std::ostringstream out;
+    out << path.request.src << '>' << path.request.dst << ':';
+    for (const auto link : path.links) out << link << ',';
+    paths.push_back(out.str());
+  }
+  std::sort(paths.begin(), paths.end());
+  std::string fp;
+  for (const auto& p : paths) {
+    fp += p;
+    fp += ';';
+  }
+  return fp;
+}
+
+std::vector<std::string> fingerprints_of(const core::Schedule& schedule) {
+  std::vector<std::string> fps;
+  fps.reserve(static_cast<std::size_t>(schedule.degree()));
+  for (const auto& config : schedule.configurations())
+    fps.push_back(config_fingerprint(config));
+  return fps;
+}
+
+CachedCompilation to_cached(const CompiledPhase& phase, bool combined) {
+  CachedCompilation cached;
+  cached.schedule = phase.schedule;
+  cached.lower_bound = phase.lower_bound;
+  // Winner provenance only exists for the combined scheduler; other
+  // schedulers store the empty string and round-trip it back to the
+  // CompiledPhase default.
+  if (combined) cached.winner = sched::to_string(phase.winner);
+  return cached;
+}
+
+PhaseCompilation from_cached(CachedCompilation cached) {
+  PhaseCompilation result;
+  result.phase.schedule = std::move(cached.schedule);
+  result.phase.lower_bound = cached.lower_bound;
+  result.phase.winner = cached.winner == "ordered-aapc"
+                            ? sched::CombinedWinner::kOrderedAapc
+                            : sched::CombinedWinner::kColoring;
+  result.cache_hit = true;
+  return result;
+}
+
+}  // namespace
+
+std::int64_t StitchReport::saved(int iterations) const {
+  std::int64_t internal = 0;
+  for (const int shared : boundary_shared) internal += shared;
+  const std::int64_t crossings = std::max(iterations, 0);
+  const std::int64_t wraps = std::max(iterations - 1, 0);
+  return crossings * internal + wraps * wrap_shared;
+}
+
+StitchReport stitch_program(CompiledProgram& compiled) {
+  StitchReport report;
+  auto& phases = compiled.phases;
+  if (phases.empty()) return report;
+  report.boundary_shared.assign(phases.size() - 1, 0);
+
+  // Phase 0 is never reordered: it anchors the chain, and the first frame
+  // of an execution loads all its configurations regardless.
+  auto prev_fps = fingerprints_of(phases.front().schedule);
+  for (std::size_t p = 1; p < phases.size(); ++p) {
+    const core::Schedule& cur = phases[p].schedule;
+    auto cur_fps = fingerprints_of(cur);
+    const int degree = cur.degree();
+    // Slots past the shorter frame never align (slot t runs configuration
+    // t mod K), so matching is confined to the common window.
+    const int window =
+        std::min(static_cast<int>(prev_fps.size()), degree);
+
+    // fingerprint -> this phase's configuration indices, ascending.
+    std::unordered_map<std::string_view, std::vector<int>> pool;
+    for (int i = degree - 1; i >= 0; --i)
+      pool[cur_fps[static_cast<std::size_t>(i)]].push_back(i);
+
+    std::vector<int> placement(static_cast<std::size_t>(degree), -1);
+    std::vector<bool> placed(static_cast<std::size_t>(degree), false);
+    int shared = 0;
+    for (int j = 0; j < window; ++j) {
+      const auto it = pool.find(prev_fps[static_cast<std::size_t>(j)]);
+      if (it == pool.end() || it->second.empty()) continue;
+      const int idx = it->second.back();
+      it->second.pop_back();
+      placement[static_cast<std::size_t>(j)] = idx;
+      placed[static_cast<std::size_t>(idx)] = true;
+      ++shared;
+    }
+    // Unmatched configurations fill the remaining slots in their original
+    // relative order, keeping the pass deterministic.
+    int next = 0;
+    for (int j = 0; j < degree; ++j) {
+      if (placement[static_cast<std::size_t>(j)] >= 0) continue;
+      while (placed[static_cast<std::size_t>(next)]) ++next;
+      placement[static_cast<std::size_t>(j)] = next;
+      placed[static_cast<std::size_t>(next)] = true;
+    }
+
+    core::Schedule stitched;
+    std::vector<std::string> new_fps(static_cast<std::size_t>(degree));
+    for (int j = 0; j < degree; ++j) {
+      const auto idx = static_cast<std::size_t>(
+          placement[static_cast<std::size_t>(j)]);
+      stitched.append(cur.configuration(static_cast<int>(idx)));
+      new_fps[static_cast<std::size_t>(j)] = std::move(cur_fps[idx]);
+    }
+    phases[p].schedule = std::move(stitched);
+    report.boundary_shared[p - 1] = shared;
+    prev_fps = std::move(new_fps);
+  }
+
+  // Wrap-around boundary (last phase -> first phase of the next
+  // iteration).  Phase 0 stays fixed, so only already-aligned slots count.
+  const auto first_fps = fingerprints_of(phases.front().schedule);
+  const std::size_t window = std::min(prev_fps.size(), first_fps.size());
+  for (std::size_t j = 0; j < window; ++j)
+    if (prev_fps[j] == first_fps[j]) ++report.wrap_shared;
+  return report;
+}
+
+Pipeline::Pipeline(const topo::TorusNetwork& net, PipelineOptions options)
+    : net_(&net),
+      options_(std::move(options)),
+      scheduler_(&sched::registry().at(options_.scheduler)) {
+  // The single-pattern compiler front-ends the combined scheduler with a
+  // precomputed AAPC decomposition; other schedulers don't need it.
+  if (scheduler_->name() == "combined")
+    compiler_ = std::make_unique<CommCompiler>(net);
+  if (options_.use_cache) {
+    ScheduleCache::Options cache_options;
+    cache_options.capacity = options_.cache_capacity;
+    cache_options.disk_dir = options_.cache_dir;
+    cache_ = std::make_unique<ScheduleCache>(net, std::move(cache_options));
+  }
+}
+
+Pipeline::~Pipeline() = default;
+
+CompiledPhase Pipeline::cold_compile(const core::RequestSet& pattern,
+                                     obs::SchedCounters* counters) const {
+  if (compiler_) return compiler_->compile(pattern, counters);
+  sched::SchedOptions local = options_.sched;
+  local.counters = counters;
+  CompiledPhase phase;
+  phase.schedule = scheduler_->schedule(pattern, *net_, local);
+  const auto paths = core::route_all(*net_, pattern);
+  phase.lower_bound = sched::multiplexing_lower_bound(*net_, paths);
+  return phase;
+}
+
+PhaseCompilation Pipeline::compile_phase(const core::RequestSet& pattern) {
+  const bool combined = compiler_ != nullptr;
+  if (!cache_)
+    return PhaseCompilation{cold_compile(pattern, options_.sched.counters),
+                            false};
+
+  const CacheStats before = cache_->stats();
+  const auto key = make_cache_key(*net_, pattern, scheduler_->name(),
+                                  options_.sched);
+  PhaseCompilation result;
+  if (auto hit = cache_->lookup(key)) {
+    result = from_cached(std::move(*hit));
+  } else {
+    result.phase = cold_compile(pattern, options_.sched.counters);
+    cache_->store(key, to_cached(result.phase, combined));
+  }
+  if (auto* counters = options_.sched.counters) {
+    const CacheStats after = cache_->stats();
+    counters->cache_memory_hits = after.memory_hits - before.memory_hits;
+    counters->cache_disk_hits = after.disk_hits - before.disk_hits;
+    counters->cache_misses = after.misses - before.misses;
+  }
+  return result;
+}
+
+PipelineProgram Pipeline::compile(const Program& program) {
+  PipelineProgram out;
+  const std::size_t n = program.phases.size();
+  std::vector<core::RequestSet> patterns(n);
+  for (std::size_t i = 0; i < n; ++i)
+    patterns[i] = program.phases[i].pattern();
+
+  // Dedup phases with identical patterns: same pattern + same scheduler
+  // options = same compilation.
+  std::vector<std::size_t> distinct_of(n);
+  std::vector<std::size_t> distinct;
+  {
+    std::unordered_map<std::string, std::size_t> seen;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [it, inserted] =
+          seen.emplace(pattern_key(patterns[i]), distinct.size());
+      if (inserted) distinct.push_back(i);
+      distinct_of[i] = it->second;
+    }
+  }
+  out.distinct_phases = static_cast<int>(distinct.size());
+
+  const CacheStats before = cache_ ? cache_->stats() : CacheStats{};
+
+  // Serial cache pass in phase order, then concurrent cold compiles of
+  // the misses, then serial stores in phase order — cache contents are
+  // deterministic for every thread count.
+  std::vector<PhaseCompilation> results(distinct.size());
+  std::vector<CacheKey> keys(distinct.size());
+  std::vector<std::size_t> cold;
+  for (std::size_t j = 0; j < distinct.size(); ++j) {
+    keys[j] = make_cache_key(*net_, patterns[distinct[j]], scheduler_->name(),
+                             options_.sched);
+    if (cache_) {
+      if (auto hit = cache_->lookup(keys[j])) {
+        results[j] = from_cached(std::move(*hit));
+        continue;
+      }
+    }
+    cold.push_back(j);
+  }
+
+  // Schedulers never see the shared counters here: the batch runs
+  // concurrently, and per-phase timings would race.
+  util::parallel_for(cold.size(), [&](std::size_t c) {
+    const std::size_t j = cold[c];
+    results[j].phase = cold_compile(patterns[distinct[j]], nullptr);
+  });
+  if (cache_) {
+    const bool combined = compiler_ != nullptr;
+    for (const std::size_t j : cold)
+      cache_->store(keys[j], to_cached(results[j].phase, combined));
+  }
+
+  for (const auto& result : results)
+    if (result.cache_hit) ++out.cache_hits;
+
+  out.compiled.phases.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.compiled.phases.push_back(results[distinct_of[i]].phase);
+  for (const auto& phase : out.compiled.phases)
+    out.compiled.max_degree =
+        std::max(out.compiled.max_degree, phase.schedule.degree());
+
+  if (options_.stitch && n > 0) {
+    out.stitch = stitch_program(out.compiled);
+    out.reconfigurations_saved = out.stitch.saved(program.iterations);
+  }
+
+  if (auto* counters = options_.sched.counters) {
+    counters->distinct_phases = out.distinct_phases;
+    counters->reconfigurations_saved = out.reconfigurations_saved;
+    if (cache_) {
+      const CacheStats after = cache_->stats();
+      counters->cache_memory_hits = after.memory_hits - before.memory_hits;
+      counters->cache_disk_hits = after.disk_hits - before.disk_hits;
+      counters->cache_misses = after.misses - before.misses;
+    }
+  }
+  return out;
+}
+
+}  // namespace optdm::apps

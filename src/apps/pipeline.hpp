@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/compiler.hpp"
+#include "apps/program.hpp"
+#include "apps/sched_cache.hpp"
+#include "sched/scheduler.hpp"
+#include "topo/torus.hpp"
+
+/// \file pipeline.hpp
+/// The phase-aware compilation pipeline — the front door of the compiled-
+/// communication toolchain.
+///
+/// `CommCompiler` compiles one pattern; `Pipeline` compiles *programs*.
+/// It layers three things the paper's compile-once model makes natural on
+/// top of the single-pattern compiler:
+///
+///  1. **Content-addressed caching** (`ScheduleCache`): a compilation is
+///     keyed by everything that determines its output, so recompiling an
+///     unchanged phase — across phases, programs, or (with a disk dir)
+///     process runs — is a lookup, byte-identical to the cold compile.
+///  2. **Batched compilation**: a program's phases are deduplicated by
+///     pattern and the distinct ones compiled concurrently on the shared
+///     pool (`util/parallel.hpp`).  Cache stores happen serially in phase
+///     index order, so cache contents are deterministic under any thread
+///     count.
+///  3. **Phase stitching**: slot order inside a schedule is arbitrary
+///     (any permutation of a valid configuration set is valid), so the
+///     pipeline reorders each phase's configurations to line up with
+///     identical configurations of the previous phase.  Every aligned
+///     identical pair is one switch-register reload the network skips at
+///     that phase boundary.
+
+namespace optdm::apps {
+
+/// Pipeline configuration.
+struct PipelineOptions {
+  /// Registry name of the scheduler compiling each phase.
+  std::string scheduler = "combined";
+  /// Scheduler knobs; `sched.counters` (when non-null) receives the
+  /// pipeline summary counters of each program compile (cache traffic,
+  /// distinct phases, reconfigurations saved) and, for *single-pattern*
+  /// compiles only, the scheduler's own phase timings.  Batched compiles
+  /// run concurrently and never hand the shared counters to schedulers.
+  sched::SchedOptions sched;
+  /// Run the phase-stitching pass on program compiles.
+  bool stitch = true;
+  /// Enable the schedule cache.
+  bool use_cache = true;
+  /// In-memory cache capacity (entries).
+  std::size_t cache_capacity = 256;
+  /// On-disk cache directory; empty keeps the cache memory-only.
+  std::string cache_dir;
+};
+
+/// One compiled pattern, with provenance.
+struct PhaseCompilation {
+  CompiledPhase phase;
+  /// True when the schedule came out of the cache (either tier).
+  bool cache_hit = false;
+};
+
+/// What the stitching pass found at each phase boundary.
+struct StitchReport {
+  /// Shared (identical, identically-placed) configurations at each
+  /// internal boundary; size = phases - 1.
+  std::vector<int> boundary_shared;
+  /// Shared configurations at the wrap-around boundary (last phase back
+  /// to the first, crossed once per iteration after the first).
+  int wrap_shared = 0;
+
+  /// Register reloads elided over a whole run of `iterations` passes:
+  /// every internal boundary is crossed `iterations` times, the wrap
+  /// boundary `iterations - 1` times.
+  std::int64_t saved(int iterations) const;
+};
+
+/// Reorders configurations *within* each phase of `compiled` (never
+/// across phases, never phase 0) so identical configurations of adjacent
+/// phases land in the same slot.  Per-phase degrees and the configuration
+/// multisets are unchanged — only slot order moves.  Returns the sharing
+/// found; deterministic.
+StitchReport stitch_program(CompiledProgram& compiled);
+
+/// A batch-compiled program with the pipeline's accounting.
+struct PipelineProgram {
+  CompiledProgram compiled;
+  /// Distinct patterns actually scheduled (rest deduplicated onto them).
+  int distinct_phases = 0;
+  /// Distinct patterns served from the cache.
+  int cache_hits = 0;
+  /// Boundary sharing found by stitching (empty when disabled).
+  StitchReport stitch;
+  /// `stitch.saved(program.iterations)` — 0 when stitching is disabled.
+  std::int64_t reconfigurations_saved = 0;
+};
+
+/// Phase-aware compiler for one torus network.  Construction resolves the
+/// scheduler (throwing `std::invalid_argument` for unknown names, listing
+/// the registry) and precomputes the AAPC decomposition; compiles are
+/// then cheap.  Thread-safe for concurrent `compile_phase` calls.
+class Pipeline {
+ public:
+  explicit Pipeline(const topo::TorusNetwork& net, PipelineOptions options = {});
+  ~Pipeline();
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Compiles one pattern through the cache.  A warm hit returns a
+  /// byte-identical schedule to the cold compile it memoizes.
+  PhaseCompilation compile_phase(const core::RequestSet& pattern);
+
+  /// Batch-compiles a program: dedupe phases, compile distinct ones
+  /// concurrently (cache-aware), stitch adjacent phases.  The result's
+  /// `compiled` drops into `execute_program` unchanged.
+  PipelineProgram compile(const Program& program);
+
+  /// The underlying cache, or nullptr when `use_cache` was false.
+  const ScheduleCache* cache() const noexcept { return cache_.get(); }
+
+  const PipelineOptions& options() const noexcept { return options_; }
+  const topo::TorusNetwork& network() const noexcept { return *net_; }
+  /// The resolved scheduler.
+  const sched::Scheduler& scheduler() const noexcept { return *scheduler_; }
+
+ private:
+  CompiledPhase cold_compile(const core::RequestSet& pattern,
+                             obs::SchedCounters* counters) const;
+
+  const topo::TorusNetwork* net_;
+  PipelineOptions options_;
+  const sched::Scheduler* scheduler_;
+  std::unique_ptr<CommCompiler> compiler_;
+  std::unique_ptr<ScheduleCache> cache_;
+};
+
+}  // namespace optdm::apps

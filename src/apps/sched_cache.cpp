@@ -1,0 +1,203 @@
+#include "apps/sched_cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "io/cache_io.hpp"
+#include "io/pattern_io.hpp"
+
+namespace optdm::apps {
+
+namespace {
+
+/// FNV-1a, 64-bit — stable across platforms and standard-library versions
+/// (std::hash is neither), which the on-disk tier requires: entry
+/// filenames must mean the same thing on every machine.
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string hex64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string topology_fingerprint(const topo::Network& net) {
+  std::ostringstream out;
+  out << net.name() << "|v" << net.vertex_count() << "|l" << net.link_count();
+  return out.str();
+}
+
+std::string CacheKey::canonical() const {
+  std::ostringstream out;
+  out << "optdm-cache-key/1\n"
+      << "topology " << topology << '\n'
+      << "scheduler " << scheduler << '\n'
+      << "options " << options << '\n'
+      << "frame " << frame << '\n'
+      << "pattern " << pattern.size() << '\n';
+  for (const auto& request : pattern)
+    out << request.src << '>' << request.dst << '\n';
+  return out.str();
+}
+
+std::uint64_t CacheKey::hash() const { return fnv1a(canonical()); }
+
+CacheKey make_cache_key(const topo::Network& net,
+                        const core::RequestSet& pattern,
+                        std::string_view scheduler,
+                        const sched::SchedOptions& options,
+                        std::int64_t frame) {
+  CacheKey key;
+  key.topology = topology_fingerprint(net);
+  key.scheduler = std::string(scheduler);
+  key.options = options.fingerprint();
+  key.frame = frame;
+  key.pattern = pattern;
+  return key;
+}
+
+ScheduleCache::ScheduleCache(const topo::Network& net)
+    : ScheduleCache(net, Options()) {}
+
+ScheduleCache::ScheduleCache(const topo::Network& net, Options options)
+    : net_(&net),
+      options_(std::move(options)),
+      fingerprint_(topology_fingerprint(net)) {
+  if (options_.capacity == 0) options_.capacity = 1;
+}
+
+std::optional<CachedCompilation> ScheduleCache::lookup(const CacheKey& key) {
+  std::lock_guard lock(mutex_);
+  if (key.topology != fingerprint_) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  std::string canonical = key.canonical();
+  if (const auto it = index_.find(canonical); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.memory_hits;
+    return it->second->value;
+  }
+  if (!options_.disk_dir.empty()) {
+    if (auto loaded = disk_lookup(key, canonical)) {
+      ++stats_.disk_hits;
+      auto copy = *loaded;
+      insert_locked(std::move(canonical), std::move(*loaded));
+      return copy;
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ScheduleCache::store(const CacheKey& key, const CachedCompilation& value) {
+  std::lock_guard lock(mutex_);
+  if (key.topology != fingerprint_) return;
+  std::string canonical = key.canonical();
+  if (const auto it = index_.find(canonical); it != index_.end()) {
+    it->second->value = value;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    insert_locked(std::move(canonical), value);
+    ++stats_.insertions;
+  }
+  if (!options_.disk_dir.empty()) disk_store(key, lru_.front());
+}
+
+CacheStats ScheduleCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void ScheduleCache::insert_locked(std::string canonical,
+                                  CachedCompilation value) {
+  while (lru_.size() >= options_.capacity) {
+    index_.erase(lru_.back().canonical);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{std::move(canonical), std::move(value)});
+  index_.emplace(std::string_view(lru_.front().canonical), lru_.begin());
+}
+
+std::string ScheduleCache::entry_path(const CacheKey& key) const {
+  return (std::filesystem::path(options_.disk_dir) / (hex64(key.hash()) + ".json"))
+      .string();
+}
+
+std::optional<CachedCompilation> ScheduleCache::disk_lookup(
+    const CacheKey& key, const std::string& canonical) {
+  std::ifstream in(entry_path(key), std::ios::binary);
+  if (!in) return std::nullopt;  // absent: a plain miss, not a reject
+
+  auto entry = io::read_cache_entry(in);
+  if (!entry) {
+    ++stats_.disk_rejects;  // corrupt / truncated / wrong schema
+    return std::nullopt;
+  }
+  // Hash collision or a stale file from a different run configuration:
+  // the stored full key is the ground truth, the filename is just an
+  // address.
+  if (entry->key != canonical) {
+    ++stats_.disk_rejects;
+    return std::nullopt;
+  }
+
+  CachedCompilation loaded;
+  loaded.lower_bound = entry->lower_bound;
+  loaded.winner = std::move(entry->winner);
+  try {
+    std::istringstream text(entry->schedule_text);
+    loaded.schedule = io::read_schedule(text, *net_);
+  } catch (const std::exception&) {
+    // The schedule body failed link-by-link revalidation against the
+    // network — tampered or mismatched.  Miss; the next store rewrites it.
+    ++stats_.disk_rejects;
+    return std::nullopt;
+  }
+  return loaded;
+}
+
+void ScheduleCache::disk_store(const CacheKey& key, const Entry& entry) {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.disk_dir, ec);
+  if (ec) return;  // disk tier is best-effort; memory tier already updated
+
+  io::CacheEntry serialized;
+  serialized.key = entry.canonical;
+  serialized.lower_bound = entry.value.lower_bound;
+  serialized.winner = entry.value.winner;
+  std::ostringstream schedule_text;
+  io::write_schedule(schedule_text, *net_, entry.value.schedule);
+  serialized.schedule_text = schedule_text.str();
+
+  // Write-then-rename so a crash mid-write leaves either the old entry or
+  // none — never a torn file that would read as corrupt forever.
+  const std::string final_path = entry_path(key);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    io::write_cache_entry(out, serialized);
+    if (!out.good()) return;
+  }
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) std::filesystem::remove(tmp_path, ec);
+}
+
+}  // namespace optdm::apps

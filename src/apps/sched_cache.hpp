@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/schedule.hpp"
+#include "sched/scheduler.hpp"
+#include "topo/network.hpp"
+
+/// \file sched_cache.hpp
+/// Content-addressed schedule cache — the memoization layer of the
+/// compilation pipeline.
+///
+/// The paper's premise is that communication patterns are static and known
+/// at compile time, so scheduling work should be paid once and reused.
+/// `ScheduleCache` makes that literal: a compilation is addressed by a
+/// stable key over everything that determines its output — the topology
+/// fingerprint, the pattern (order included: the greedy pass is
+/// order-sensitive), the K / frame constraint, the scheduler id, and the
+/// scheduler options fingerprint — and a warm hit returns a
+/// byte-identical `Schedule` to the cold compile it memoizes.
+///
+/// Two tiers:
+///  * an in-memory LRU tier (always on; capacity-bounded);
+///  * an optional on-disk tier (one versioned JSON document per entry,
+///    `io/cache_io.hpp`); corrupt, stale, or mismatched entries are
+///    ignored — they read as misses and are rewritten by the next store.
+///
+/// All operations are thread-safe (one mutex; disk I/O happens outside
+/// the hot path's critical section is *not* attempted — correctness over
+/// cleverness: the batched compile driver stores serially, in index
+/// order, to keep cache contents deterministic under any thread count).
+
+namespace optdm::apps {
+
+/// Stable fingerprint of a network for cache keys: the topology name
+/// (which encodes the dimensions) plus vertex and link counts.
+std::string topology_fingerprint(const topo::Network& net);
+
+/// The full identity of one compilation.
+struct CacheKey {
+  /// `topology_fingerprint` of the target network.
+  std::string topology;
+  /// Registry name of the scheduler ("combined", "greedy", ...).
+  std::string scheduler;
+  /// `sched::SchedOptions::fingerprint()` of the options used.
+  std::string options;
+  /// Multiplexing-degree / frame constraint the compilation targets
+  /// (0 = the scheduler picks the degree freely).
+  std::int64_t frame = 0;
+  /// The pattern, in request order.
+  core::RequestSet pattern;
+
+  /// Canonical string serialization; two keys are equal iff their
+  /// canonical strings are equal.
+  std::string canonical() const;
+
+  /// Stable 64-bit FNV-1a hash of `canonical()`; names on-disk entries.
+  std::uint64_t hash() const;
+};
+
+/// Builds the key for compiling `pattern` on `net` with `scheduler`.
+CacheKey make_cache_key(const topo::Network& net,
+                        const core::RequestSet& pattern,
+                        std::string_view scheduler,
+                        const sched::SchedOptions& options,
+                        std::int64_t frame = 0);
+
+/// One cached compilation: the schedule plus the cold compile's
+/// by-products, so a warm hit skips re-routing as well as re-scheduling.
+struct CachedCompilation {
+  core::Schedule schedule;
+  /// Degree lower bound (link congestion / clique) for the pattern.
+  int lower_bound = 0;
+  /// Winning branch of the combined scheduler; empty when not applicable.
+  std::string winner;
+};
+
+/// Monotonic counters of one cache's traffic.
+struct CacheStats {
+  std::int64_t memory_hits = 0;
+  std::int64_t disk_hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+  /// On-disk entries ignored as corrupt, version-mismatched, or stale
+  /// (key material differed from the requested key).
+  std::int64_t disk_rejects = 0;
+
+  std::int64_t hits() const noexcept { return memory_hits + disk_hits; }
+};
+
+/// Two-tier content-addressed cache of compiled schedules for one
+/// network.  Thread-safe; copyless on the store path (entries are owned
+/// by the cache), copying on the hit path (the caller gets its own
+/// `Schedule` value).
+class ScheduleCache {
+ public:
+  struct Options {
+    /// In-memory LRU capacity (entries).  Minimum 1.
+    std::size_t capacity = 256;
+    /// Directory of the on-disk tier; empty disables it.  Created on
+    /// first store if missing.
+    std::string disk_dir;
+  };
+
+  /// `net` must outlive the cache; the disk tier revalidates loaded
+  /// schedules link by link against it.
+  explicit ScheduleCache(const topo::Network& net);
+  ScheduleCache(const topo::Network& net, Options options);
+
+  /// Returns the cached compilation for `key`, or nullopt.  Checks the
+  /// memory tier, then the disk tier (a disk hit is promoted into
+  /// memory).  A key whose topology fingerprint is not this cache's
+  /// network is always a miss.
+  std::optional<CachedCompilation> lookup(const CacheKey& key);
+
+  /// Inserts (or refreshes) an entry; evicts the least-recently-used
+  /// entry when over capacity, and (when the disk tier is enabled)
+  /// rewrites the on-disk document.
+  void store(const CacheKey& key, const CachedCompilation& value);
+
+  /// Traffic counters since construction.
+  CacheStats stats() const;
+
+  const Options& options() const noexcept { return options_; }
+  const topo::Network& network() const noexcept { return *net_; }
+
+ private:
+  struct Entry {
+    std::string canonical;
+    CachedCompilation value;
+  };
+  using Lru = std::list<Entry>;
+
+  std::optional<CachedCompilation> disk_lookup(const CacheKey& key,
+                                               const std::string& canonical);
+  void disk_store(const CacheKey& key, const Entry& entry);
+  void insert_locked(std::string canonical, CachedCompilation value);
+  std::string entry_path(const CacheKey& key) const;
+
+  const topo::Network* net_;
+  Options options_;
+  std::string fingerprint_;
+
+  mutable std::mutex mutex_;
+  Lru lru_;  // front = most recent
+  std::unordered_map<std::string_view, Lru::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace optdm::apps

@@ -1,0 +1,174 @@
+#include "io/cache_io.hpp"
+
+#include <cctype>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace optdm::io {
+
+namespace {
+
+constexpr const char* kSchema = "optdm-sched-cache/1";
+
+/// Minimal parser for one flat JSON object with string / integer values —
+/// exactly the shape `write_cache_entry` emits.  Returns false on any
+/// deviation; the caller maps that to "corrupt entry, ignore".
+class FlatObjectParser {
+ public:
+  explicit FlatObjectParser(const std::string& text) : text_(text) {}
+
+  bool parse(std::map<std::string, std::string>& strings,
+             std::map<std::string, std::int64_t>& numbers) {
+    skip_ws();
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return at_end();
+    for (;;) {
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (peek() == '"') {
+        std::string value;
+        if (!parse_string(value)) return false;
+        if (!strings.emplace(key, std::move(value)).second) return false;
+      } else {
+        std::int64_t value = 0;
+        if (!parse_number(value)) return false;
+        if (!numbers.emplace(key, value).second) return false;
+      }
+      skip_ws();
+      if (consume(',')) {
+        skip_ws();
+        continue;
+      }
+      if (!consume('}')) return false;
+      return at_end();
+    }
+  }
+
+ private:
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  bool at_end() {
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+            else return false;
+          }
+          // The writer only escapes control characters; anything outside
+          // Latin-1 cannot round-trip through this reader, so reject it.
+          if (code > 0xff) return false;
+          out += static_cast<char>(code);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated string
+  }
+
+  bool parse_number(std::int64_t& out) {
+    const bool negative = consume('-');
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    std::int64_t value = 0;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      const int digit = text_[pos_++] - '0';
+      if (value > (INT64_MAX - digit) / 10) return false;
+      value = value * 10 + digit;
+    }
+    out = negative ? -value : value;
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void write_cache_entry(std::ostream& out, const CacheEntry& entry) {
+  out << "{\"schema\":\"" << kSchema << "\",\"key\":\""
+      << obs::json_escape(entry.key) << "\",\"lower_bound\":"
+      << entry.lower_bound << ",\"winner\":\"" << obs::json_escape(entry.winner)
+      << "\",\"schedule\":\"" << obs::json_escape(entry.schedule_text)
+      << "\"}\n";
+}
+
+std::optional<CacheEntry> read_cache_entry(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+
+  const std::string text = buffer.str();
+  std::map<std::string, std::string> strings;
+  std::map<std::string, std::int64_t> numbers;
+  FlatObjectParser parser(text);
+  if (!parser.parse(strings, numbers)) return std::nullopt;
+
+  const auto schema = strings.find("schema");
+  if (schema == strings.end() || schema->second != kSchema)
+    return std::nullopt;
+  const auto key = strings.find("key");
+  const auto schedule = strings.find("schedule");
+  const auto winner = strings.find("winner");
+  const auto lower_bound = numbers.find("lower_bound");
+  if (key == strings.end() || schedule == strings.end() ||
+      winner == strings.end() || lower_bound == numbers.end())
+    return std::nullopt;
+  if (lower_bound->second < 0 || lower_bound->second > INT32_MAX)
+    return std::nullopt;
+
+  CacheEntry entry;
+  entry.key = key->second;
+  entry.lower_bound = static_cast<int>(lower_bound->second);
+  entry.winner = winner->second;
+  entry.schedule_text = schedule->second;
+  return entry;
+}
+
+}  // namespace optdm::io

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+/// \file cache_io.hpp
+/// On-disk format of schedule-cache entries (`apps::ScheduleCache`'s
+/// persistent tier): one JSON document per entry, versioned as
+/// `optdm-sched-cache/1`.
+///
+/// ```json
+/// {"schema": "optdm-sched-cache/1",
+///  "key": "<canonical cache-key string>",
+///  "lower_bound": 2,
+///  "winner": "coloring",
+///  "schedule": "optdm-schedule 1\nnetwork torus(8x8)\n..."}
+/// ```
+///
+/// The `schedule` field embeds the established `optdm-schedule 1` text
+/// format (`io::write_schedule`), so a loaded entry goes through the same
+/// link-by-link revalidation as any schedule file.  The full canonical
+/// key string is stored — not just its hash — so a filename collision can
+/// never alias two different compilations.
+///
+/// The reader is deliberately forgiving about *failure* and strict about
+/// *success*: any malformed, truncated, or version-mismatched document
+/// yields `nullopt` (the cache treats it as a miss and rewrites the
+/// entry); a successfully parsed document round-trips byte-identically.
+
+namespace optdm::io {
+
+/// One serialized cache entry.
+struct CacheEntry {
+  /// Canonical key string (topology fingerprint, scheduler id, options
+  /// fingerprint, K constraint, pattern); must match exactly on load.
+  std::string key;
+  /// Degree lower bound computed during the cold compile.
+  int lower_bound = 0;
+  /// Winning branch of the combined scheduler; empty when not applicable.
+  std::string winner;
+  /// The schedule in `optdm-schedule 1` text format.
+  std::string schedule_text;
+};
+
+/// Writes `entry` as an `optdm-sched-cache/1` JSON document.
+void write_cache_entry(std::ostream& out, const CacheEntry& entry);
+
+/// Parses an `optdm-sched-cache/1` document.  Returns nullopt (never
+/// throws) on malformed input, an unknown schema version, a missing
+/// field, or trailing garbage.
+std::optional<CacheEntry> read_cache_entry(std::istream& in);
+
+}  // namespace optdm::io

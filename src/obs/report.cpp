@@ -208,6 +208,11 @@ void write_sched(std::ostream& out, const SchedCounters& c) {
   field("coloring_degree", c.coloring_degree);
   field("aapc_degree", c.aapc_degree);
   field("greedy_degree", c.greedy_degree);
+  field("cache_memory_hits", c.cache_memory_hits);
+  field("cache_disk_hits", c.cache_disk_hits);
+  field("cache_misses", c.cache_misses);
+  field("distinct_phases", c.distinct_phases);
+  field("reconfigurations_saved", c.reconfigurations_saved);
   if (!c.combined_winner.empty()) {
     if (!first) out << ',';
     out << "\"combined_winner\":\"" << json_escape(c.combined_winner) << '"';
@@ -252,6 +257,8 @@ void RunReport::write_json(std::ostream& out) const {
         << ",\"slots\":" << stalls[i].slots << '}';
   }
   out << ']';
+  if (reconfigurations_saved >= 0)
+    out << ",\"reconfigurations_saved\":" << reconfigurations_saved;
   if (sched.measured()) {
     out << ',';
     write_sched(out, sched);

@@ -92,8 +92,41 @@ struct RunReport {
   /// Offline scheduling counters; serialized only when `sched.measured()`.
   SchedCounters sched;
 
+  /// Register reloads the compilation pipeline's phase-stitching pass
+  /// elided across phase boundaries of the reported program; -1 (not
+  /// serialized) for runs that did not go through the pipeline.
+  std::int64_t reconfigurations_saved = -1;
+
   /// Writes the `optdm-run-report/1` JSON document.
   void write_json(std::ostream& out) const;
+};
+
+/// Consumer of finished run reports.  Engines accept one through
+/// `sim::SimOptions::report` and call `accept` exactly once, after the
+/// run's result is final; implementations may copy, serialize, or
+/// aggregate.  The report reference is only valid during the call.
+class ReportSink {
+ public:
+  virtual ~ReportSink() = default;
+  virtual void accept(const RunReport& report) = 0;
+};
+
+/// Sink that keeps a copy of the last accepted report (the common
+/// "run once, inspect after" consumer).
+class CapturingReportSink final : public ReportSink {
+ public:
+  void accept(const RunReport& report) override {
+    last_ = report;
+    count_ += 1;
+  }
+  /// Reports accepted so far.
+  int count() const noexcept { return count_; }
+  /// The last accepted report; default-constructed before the first.
+  const RunReport& last() const noexcept { return last_; }
+
+ private:
+  RunReport last_;
+  int count_ = 0;
 };
 
 /// Builds the report of a compiled-communication run.  `engine` lets the

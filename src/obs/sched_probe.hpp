@@ -49,10 +49,25 @@ struct SchedCounters {
   /// "aapc-template"); empty for non-combined runs.
   std::string combined_winner;
 
+  /// Compilation-pipeline counters (`apps::Pipeline`): schedule-cache
+  /// traffic, phase deduplication, and reconfiguration slots the
+  /// phase-stitching pass saved at phase boundaries.  -1 = no pipeline ran.
+  std::int64_t cache_memory_hits = -1;
+  std::int64_t cache_disk_hits = -1;
+  std::int64_t cache_misses = -1;
+  /// Distinct phases a batched program compile actually scheduled (the
+  /// rest were deduplicated onto them); -1 for single-pattern compiles.
+  int distinct_phases = -1;
+  /// Register reloads elided across the executed phase sequence because
+  /// adjacent phases share identically-placed configurations.
+  std::int64_t reconfigurations_saved = -1;
+
   /// True when any field was measured — reports skip the block otherwise.
   bool measured() const noexcept {
     return route_ns >= 0 || graph_build_ns >= 0 || coloring_ns >= 0 ||
            aapc_ns >= 0 || greedy_ns >= 0 || conflict_vertices >= 0 ||
+           cache_memory_hits >= 0 || cache_disk_hits >= 0 ||
+           cache_misses >= 0 || reconfigurations_saved >= 0 ||
            !combined_winner.empty();
   }
 };

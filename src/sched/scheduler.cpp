@@ -1,0 +1,158 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "aapc/torus_aapc.hpp"
+#include "sched/combined.hpp"
+#include "sched/greedy.hpp"
+#include "sched/ordered_aapc.hpp"
+#include "topo/torus.hpp"
+
+namespace optdm::sched {
+
+std::string SchedOptions::fingerprint() const {
+  std::string out = "sched-options/1;priority=";
+  out += std::to_string(static_cast<int>(priority));
+  out += ";ils=";
+  out += std::to_string(ils.iterations);
+  out += ',';
+  out += std::to_string(ils.dissolve);
+  out += ',';
+  out += std::to_string(ils.seed);
+  out += ";exact=";
+  out += std::to_string(exact.max_vertices);
+  out += ',';
+  out += std::to_string(exact.node_budget);
+  return out;
+}
+
+namespace {
+
+const topo::TorusNetwork& as_torus(const topo::Network& net,
+                                   const char* scheduler) {
+  const auto* torus = dynamic_cast<const topo::TorusNetwork*>(&net);
+  if (!torus)
+    throw std::invalid_argument(std::string("scheduler '") + scheduler +
+                                "' requires a torus network, got " +
+                                net.name());
+  return *torus;
+}
+
+class GreedyScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "greedy"; }
+  core::Schedule schedule(const core::RequestSet& requests,
+                          const topo::Network& net,
+                          const SchedOptions& options) const override {
+    return greedy(net, requests, options.counters);
+  }
+};
+
+class ColoringScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "coloring"; }
+  core::Schedule schedule(const core::RequestSet& requests,
+                          const topo::Network& net,
+                          const SchedOptions& options) const override {
+    return coloring(net, requests, options.priority, options.counters);
+  }
+};
+
+class OrderedAapcScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "aapc"; }
+  core::Schedule schedule(const core::RequestSet& requests,
+                          const topo::Network& net,
+                          const SchedOptions&) const override {
+    return ordered_aapc(as_torus(net, "aapc"), requests);
+  }
+};
+
+class CombinedScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "combined"; }
+  core::Schedule schedule(const core::RequestSet& requests,
+                          const topo::Network& net,
+                          const SchedOptions& options) const override {
+    const aapc::TorusAapc aapc(as_torus(net, "combined"));
+    return combined_with_winner(aapc, requests, options.counters).schedule;
+  }
+};
+
+class IlsScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "ils"; }
+  core::Schedule schedule(const core::RequestSet& requests,
+                          const topo::Network& net,
+                          const SchedOptions& options) const override {
+    // The constructive start is the coloring heuristic: `improve_schedule`
+    // requires the schedule's paths to agree with default-routed `paths`
+    // as multisets, which rules out the AAPC branch (its half-ring
+    // direction choices may differ from the deterministic router).
+    const auto paths = core::route_all(net, requests);
+    const auto initial =
+        coloring_paths(net, paths, options.priority, options.counters);
+    return improve_schedule(net, paths, initial, options.ils);
+  }
+};
+
+class ExactScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "exact"; }
+  core::Schedule schedule(const core::RequestSet& requests,
+                          const topo::Network& net,
+                          const SchedOptions& options) const override {
+    auto result = exact(net, requests, options.exact);
+    if (!result)
+      throw std::runtime_error(
+          "scheduler 'exact' exceeded its search budget (instance too "
+          "large for branch-and-bound)");
+    return *std::move(result);
+  }
+};
+
+}  // namespace
+
+Registry::Registry() {
+  static const GreedyScheduler greedy_instance;
+  static const ColoringScheduler coloring_instance;
+  static const OrderedAapcScheduler aapc_instance;
+  static const CombinedScheduler combined_instance;
+  static const IlsScheduler ils_instance;
+  static const ExactScheduler exact_instance;
+  schedulers_ = {&greedy_instance, &coloring_instance, &aapc_instance,
+                 &combined_instance, &ils_instance, &exact_instance};
+}
+
+const Scheduler* Registry::find(std::string_view name) const noexcept {
+  for (const auto* scheduler : schedulers_)
+    if (scheduler->name() == name) return scheduler;
+  return nullptr;
+}
+
+const Scheduler& Registry::at(std::string_view name) const {
+  if (const auto* scheduler = find(name)) return *scheduler;
+  std::string known;
+  for (const auto& n : names()) {
+    if (!known.empty()) known += "|";
+    known += n;
+  }
+  throw std::invalid_argument("unknown scheduler '" + std::string(name) +
+                              "' (" + known + ")");
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(schedulers_.size());
+  for (const auto* scheduler : schedulers_) out.push_back(scheduler->name());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const Registry& registry() {
+  static const Registry instance;
+  return instance;
+}
+
+}  // namespace optdm::sched

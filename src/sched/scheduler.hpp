@@ -1,0 +1,91 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "obs/sched_probe.hpp"
+#include "sched/coloring.hpp"
+#include "sched/exact.hpp"
+#include "sched/ils.hpp"
+#include "topo/network.hpp"
+
+/// \file scheduler.hpp
+/// Uniform scheduler interface and name-based registry.
+///
+/// The offline scheduling algorithms grew as free functions with slightly
+/// different signatures (some take a torus, some any network, some an AAPC
+/// decomposition).  The compilation pipeline, the schedule cache, and the
+/// command-line tools all need to treat "a scheduler" as a value: something
+/// with a stable name (part of the cache key) and one entry point.
+/// `Scheduler` is that interface; `registry()` resolves names to instances.
+/// The free functions remain the underlying implementations and stay
+/// available as thin compatibility wrappers of the same behavior.
+
+namespace optdm::sched {
+
+/// Knobs of every registered scheduler, collected in one struct so the
+/// schedule cache can fingerprint them.  Fields irrelevant to a given
+/// scheduler are ignored by it (e.g. `ils` for the greedy scheduler) but
+/// still participate in `fingerprint()` — a cache keyed on the fingerprint
+/// is correct for every scheduler, merely conservative for some.
+struct SchedOptions {
+  /// Vertex priority rule of the coloring heuristic (also the initial
+  /// constructive schedule of the ILS scheduler).
+  ColoringPriority priority = ColoringPriority::kDegreeTimesLength;
+  /// Iterated-local-search controls (scheduler "ils" only).
+  IlsOptions ils;
+  /// Branch-and-bound budgets (scheduler "exact" only).
+  ExactOptions exact;
+  /// Observability sink: phase timings and work counters of the run.
+  /// A sink, not an input — never part of `fingerprint()`.
+  obs::SchedCounters* counters = nullptr;
+
+  /// Stable, human-readable serialization of every option that affects
+  /// the produced schedule; the schedule cache hashes it into the key.
+  std::string fingerprint() const;
+};
+
+/// One offline connection-scheduling algorithm.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Registry name ("greedy", "coloring", "aapc", "combined", "ils",
+  /// "exact"); stable across releases — it is part of on-disk cache keys.
+  virtual std::string name() const = 0;
+
+  /// Schedules `requests` on `net`.  Throws `std::invalid_argument` when
+  /// the scheduler needs a topology `net` is not (the AAPC-based
+  /// schedulers require a torus) and `std::runtime_error` when the
+  /// algorithm cannot produce a schedule within its budgets (the exact
+  /// scheduler on oversized instances).
+  virtual core::Schedule schedule(const core::RequestSet& requests,
+                                  const topo::Network& net,
+                                  const SchedOptions& options) const = 0;
+};
+
+/// Immutable name -> scheduler table; obtain via `registry()`.
+class Registry {
+ public:
+  /// The scheduler registered as `name`, or nullptr.
+  const Scheduler* find(std::string_view name) const noexcept;
+
+  /// Like `find`, but throws `std::invalid_argument` listing the known
+  /// names — the error message command-line tools want.
+  const Scheduler& at(std::string_view name) const;
+
+  /// Registered names in lexicographic order.
+  std::vector<std::string> names() const;
+
+ private:
+  friend const Registry& registry();
+  Registry();
+  std::vector<const Scheduler*> schedulers_;
+};
+
+/// The process-wide registry of built-in schedulers.
+const Registry& registry();
+
+}  // namespace optdm::sched

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 
 namespace optdm::sim {
@@ -64,12 +65,11 @@ std::vector<Channel> assign_channels(const core::Schedule& schedule,
   return channels;
 }
 
-}  // namespace
-
-CompiledResult simulate_compiled(const core::Schedule& schedule,
-                                 std::span<const Message> messages,
-                                 const CompiledParams& params,
-                                 obs::Trace* trace) {
+/// The analytic closed-form model (healthy fabric).
+CompiledResult run_analytic(const core::Schedule& schedule,
+                            std::span<const Message> messages,
+                            const CompiledParams& params,
+                            obs::Trace* trace) {
   validate_params(params, "simulate_compiled");
   CompiledResult result;
   result.degree = schedule.degree();
@@ -125,13 +125,14 @@ CompiledResult simulate_compiled(const core::Schedule& schedule,
   return result;
 }
 
-CompiledResult simulate_compiled(const core::Schedule& schedule,
-                                 std::span<const Message> messages,
-                                 const CompiledParams& params,
-                                 const FaultTimeline& faults,
-                                 std::int64_t start_slot,
-                                 obs::Trace* trace) {
-  auto result = simulate_compiled(schedule, messages, params, trace);
+/// The fault-aware model: analytic timing plus payload-loss accounting.
+CompiledResult run_faulted(const core::Schedule& schedule,
+                           std::span<const Message> messages,
+                           const CompiledParams& params,
+                           const FaultTimeline& faults,
+                           std::int64_t start_slot,
+                           obs::Trace* trace) {
+  auto result = run_analytic(schedule, messages, params, trace);
   if (!faults.has_link_faults() || messages.empty()) return result;
 
   // Re-derive the channel assignment to know each payload's transmission
@@ -194,6 +195,41 @@ CompiledResult simulate_compiled(const core::Schedule& schedule,
     }
   }
   return result;
+}
+
+}  // namespace
+
+CompiledResult simulate_compiled(const core::Schedule& schedule,
+                                 std::span<const Message> messages,
+                                 const CompiledParams& params,
+                                 const SimOptions& options) {
+  auto result =
+      options.faults
+          ? run_faulted(schedule, messages, params, *options.faults,
+                        options.start_slot, options.trace)
+          : run_analytic(schedule, messages, params, options.trace);
+  if (options.report) {
+    auto report = obs::report_compiled(schedule, messages, result);
+    if (options.counters) report.sched = *options.counters;
+    options.report->accept(report);
+  }
+  return result;
+}
+
+CompiledResult simulate_compiled(const core::Schedule& schedule,
+                                 std::span<const Message> messages,
+                                 const CompiledParams& params,
+                                 obs::Trace* trace) {
+  return run_analytic(schedule, messages, params, trace);
+}
+
+CompiledResult simulate_compiled(const core::Schedule& schedule,
+                                 std::span<const Message> messages,
+                                 const CompiledParams& params,
+                                 const FaultTimeline& faults,
+                                 std::int64_t start_slot,
+                                 obs::Trace* trace) {
+  return run_faulted(schedule, messages, params, faults, start_slot, trace);
 }
 
 CompiledResult simulate_compiled_stepped(const core::Schedule& schedule,

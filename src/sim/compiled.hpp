@@ -6,6 +6,8 @@
 #include "core/schedule.hpp"
 #include "sim/faults.hpp"
 #include "sim/message.hpp"
+#include "sim/options.hpp"
+#include "util/compat.hpp"
 
 /// \file compiled.hpp
 /// Simulation of compiled communication on a TDM network (paper Section 4).
@@ -70,24 +72,29 @@ struct CompiledResult {
 /// request is not in the schedule throw `std::invalid_argument`.  Multiple
 /// messages on the same connection serialize on its channel.
 ///
-/// A non-null `trace` records the run's timeline (a setup span on the
-/// "runtime" track, per-message payload spans on one track per TDM slot);
-/// a null trace is the no-op sink and leaves results byte-identical.
+/// `options` carries the cross-cutting inputs and sinks: a fault timeline
+/// (identical timing — compiled communication has no runtime feedback, so
+/// senders transmit on schedule whether or not the light arrives — but
+/// payloads crossing a down link are lost and recorded; control-packet
+/// loss never applies: there is no runtime control traffic to lose, which
+/// is the paper's whole point), the absolute-clock `start_slot`, a trace
+/// sink, and a report sink.  Default options are byte-identical to the
+/// no-fault, no-trace run.
 CompiledResult simulate_compiled(const core::Schedule& schedule,
                                  std::span<const Message> messages,
                                  const CompiledParams& params = {},
-                                 obs::Trace* trace = nullptr);
+                                 const SimOptions& options = {});
 
-/// Fault-aware variant: identical timing (compiled communication has no
-/// runtime feedback — senders transmit on schedule whether or not the
-/// light arrives), but every payload whose transmission slot crosses a
-/// link that `faults` has down is lost, and per-message outcomes plus
-/// `result.faults` record the damage.  `start_slot` places the phase on
-/// the timeline's absolute clock (the recovery loop re-runs epochs at
-/// increasing offsets); reported times stay relative to the phase start.
-/// An inactive timeline reproduces `simulate_compiled` byte for byte.
-/// Control-packet loss does not apply: there is no runtime control
-/// traffic to lose — that asymmetry is the paper's whole point.
+/// Legacy positional-trace overload; prefer `SimOptions`.
+OPTDM_DEPRECATED("use the SimOptions overload")
+CompiledResult simulate_compiled(const core::Schedule& schedule,
+                                 std::span<const Message> messages,
+                                 const CompiledParams& params,
+                                 obs::Trace* trace);
+
+/// Legacy positional fault overload; prefer `SimOptions`.  An inactive
+/// timeline reproduces the plain run byte for byte.
+OPTDM_DEPRECATED("use the SimOptions overload")
 CompiledResult simulate_compiled(const core::Schedule& schedule,
                                  std::span<const Message> messages,
                                  const CompiledParams& params,

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/path.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
 
@@ -643,6 +644,22 @@ class Simulator {
 };
 
 }  // namespace
+
+DynamicResult simulate_dynamic(const topo::Network& net,
+                               std::span<const Message> messages,
+                               const DynamicParams& params,
+                               const SimOptions& options) {
+  static const FaultTimeline kHealthy;
+  Simulator sim(net, messages, params,
+                options.faults ? *options.faults : kHealthy, options.trace);
+  auto result = sim.run();
+  if (options.report) {
+    auto report = obs::report_dynamic(net, messages, result, params);
+    if (options.counters) report.sched = *options.counters;
+    options.report->accept(report);
+  }
+  return result;
+}
 
 DynamicResult simulate_dynamic(const topo::Network& net,
                                std::span<const Message> messages,

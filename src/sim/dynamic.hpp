@@ -5,7 +5,9 @@
 
 #include "sim/faults.hpp"
 #include "sim/message.hpp"
+#include "sim/options.hpp"
 #include "topo/network.hpp"
+#include "util/compat.hpp"
 
 /// \file dynamic.hpp
 /// Cycle-level simulation of dynamically controlled communication on a
@@ -163,19 +165,29 @@ struct DynamicResult {
 /// `backoff_slots` / `horizon` / `ctrl_hop_slots` / `ctrl_local_slots`,
 /// or negative `timeout_slots` / `retry_budget` / `max_backoff_slots`.
 ///
-/// A non-null `trace` records the protocol timeline (one track per source
-/// node: reservation-attempt spans tagged with their outcome, backoff
-/// waits, timeout and ctrl-drop instants, payload spans; one track per
-/// faulted link for down windows).  A null trace is the no-op sink:
-/// results are byte-identical to an untraced run.
+/// `options` carries the cross-cutting inputs and sinks: the fault
+/// timeline the protocol runs against (link down windows + control-packet
+/// loss; null = healthy fabric), a trace sink (one track per source node:
+/// reservation-attempt spans tagged with their outcome, backoff waits,
+/// timeout and ctrl-drop instants, payload spans; one track per faulted
+/// link for down windows), and a report sink.  `options.start_slot` is
+/// ignored — a dynamic run always starts its own clock at 0.  Default
+/// options are byte-identical to the untraced healthy-fabric run.
 DynamicResult simulate_dynamic(const topo::Network& net,
                                std::span<const Message> messages,
                                const DynamicParams& params,
-                               obs::Trace* trace = nullptr);
+                               const SimOptions& options = {});
 
-/// Fault-aware variant: runs the same protocol against `faults` (link
-/// down windows + control-packet loss).  An inactive timeline reproduces
-/// the plain variant byte for byte.
+/// Legacy positional-trace overload; prefer `SimOptions`.
+OPTDM_DEPRECATED("use the SimOptions overload")
+DynamicResult simulate_dynamic(const topo::Network& net,
+                               std::span<const Message> messages,
+                               const DynamicParams& params,
+                               obs::Trace* trace);
+
+/// Legacy positional fault overload; prefer `SimOptions`.  An inactive
+/// timeline reproduces the plain variant byte for byte.
+OPTDM_DEPRECATED("use the SimOptions overload")
 DynamicResult simulate_dynamic(const topo::Network& net,
                                std::span<const Message> messages,
                                const DynamicParams& params,

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 
 namespace optdm::sim {
@@ -216,6 +217,25 @@ CompiledResult execute_impl(const topo::Network& net,
 }
 
 }  // namespace
+
+CompiledResult execute_on_hardware(const topo::Network& net,
+                                   const core::Schedule& schedule,
+                                   const core::SwitchProgram& program,
+                                   std::span<const Message> messages,
+                                   const CompiledParams& params,
+                                   const SimOptions& options) {
+  const FaultTimeline* faults =
+      options.faults && options.faults->has_link_faults() ? options.faults
+                                                          : nullptr;
+  auto result = execute_impl(net, schedule, program, messages, params, faults,
+                             options.start_slot, options.trace);
+  if (options.report) {
+    auto report = obs::report_compiled(schedule, messages, result, "hardware");
+    if (options.counters) report.sched = *options.counters;
+    options.report->accept(report);
+  }
+  return result;
+}
 
 CompiledResult execute_on_hardware(const topo::Network& net,
                                    const core::Schedule& schedule,

@@ -30,26 +30,35 @@ namespace optdm::sim {
 /// same `params` (frame padding supported; `params.channel` must be
 /// kTimeSlot — a register-cycled fabric is inherently TDM).
 ///
-/// Throws `std::logic_error` if the fabric misbehaves (a payload arrives
-/// at the wrong processor or a walk dead-ends) — by construction this
-/// means the switch program and the schedule disagree.
-/// A non-null `trace` records per-message payload spans (one track per
-/// TDM slot) plus payload-loss and misroute instants; a null trace is the
-/// no-op sink and leaves results byte-identical.
+/// Without a fault timeline in `options`, throws `std::logic_error` if
+/// the fabric misbehaves (a payload arrives at the wrong processor or a
+/// walk dead-ends) — by construction this means the switch program and
+/// the schedule disagree.  With `options.faults` set, the walk consults
+/// the timeline at every link it crosses: a payload reaching a link that
+/// is down during its slot is recorded `kLost` (the light stops; no
+/// exception), and a delivery to the wrong processor is recorded
+/// `kMisrouted` instead of throwing.  Timing and channel advancement are
+/// unchanged: the sender has no feedback.  Default options are
+/// byte-identical to the strict, untraced run.
 CompiledResult execute_on_hardware(const topo::Network& net,
                                    const core::Schedule& schedule,
                                    const core::SwitchProgram& program,
                                    std::span<const Message> messages,
                                    const CompiledParams& params = {},
-                                   obs::Trace* trace = nullptr);
+                                   const SimOptions& options = {});
 
-/// Fault-aware variant: the walk consults `faults` at every link it
-/// crosses — a payload reaching a link that is down during its slot is
-/// recorded `kLost` (the light stops; no exception), and a delivery to
-/// the wrong processor is recorded `kMisrouted` instead of throwing.
-/// Timing and channel advancement are unchanged: the sender has no
-/// feedback.  `start_slot` places the run on the timeline's absolute
-/// clock.  An inactive timeline reproduces the strict variant exactly.
+/// Legacy positional-trace overload; prefer `SimOptions`.
+OPTDM_DEPRECATED("use the SimOptions overload")
+CompiledResult execute_on_hardware(const topo::Network& net,
+                                   const core::Schedule& schedule,
+                                   const core::SwitchProgram& program,
+                                   std::span<const Message> messages,
+                                   const CompiledParams& params,
+                                   obs::Trace* trace);
+
+/// Legacy positional fault overload; prefer `SimOptions`.  An inactive
+/// timeline reproduces the strict variant exactly.
+OPTDM_DEPRECATED("use the SimOptions overload")
 CompiledResult execute_on_hardware(const topo::Network& net,
                                    const core::Schedule& schedule,
                                    const core::SwitchProgram& program,

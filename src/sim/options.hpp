@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file options.hpp
+/// `SimOptions` — the one options struct every execution engine takes.
+///
+/// The engine entry points (`simulate_compiled`, `execute_on_hardware`,
+/// `simulate_dynamic`) had accreted positional nullable parameters — a
+/// `FaultTimeline` here, a `Trace*` there, a `start_slot` in between —
+/// giving each engine a different overload shape.  `SimOptions` collects
+/// every cross-cutting input/sink in one defaultable struct:
+///
+///     sim::SimOptions options;
+///     options.faults = &timeline;
+///     options.trace = &trace;
+///     auto result = sim::simulate_compiled(schedule, messages, {}, options);
+///
+/// A default-constructed `SimOptions` is the no-op configuration: results
+/// are byte-identical to the legacy no-trace, no-fault code paths (pinned
+/// by the table and trace diff tests).  The legacy positional overloads
+/// remain as forwarding compatibility wrappers.
+
+namespace optdm::obs {
+class ReportSink;
+class Trace;
+struct SchedCounters;
+}  // namespace optdm::obs
+
+namespace optdm::sim {
+
+class FaultTimeline;
+
+/// Cross-engine run options: fault script, observability sinks, and the
+/// absolute-clock offset.  All pointers are nullable borrows — the caller
+/// keeps ownership and must keep them alive for the duration of the call.
+struct SimOptions {
+  /// Fault script the run executes under; null = healthy fabric (the
+  /// engines then take their exact pre-fault code paths).
+  const FaultTimeline* faults = nullptr;
+  /// Places the run on the fault timeline's absolute slot clock (used by
+  /// the recovery loop's re-runs); reported times stay relative to the
+  /// run start.  Ignored by the dynamic engine, which always starts at 0.
+  std::int64_t start_slot = 0;
+  /// Event-timeline sink; null skips all recording (byte-identical run).
+  obs::Trace* trace = nullptr;
+  /// Compile-side counters to embed in an emitted run report (the engines
+  /// never write to it — it carries the offline scheduling measurements
+  /// that produced the schedule being executed).  Only read when `report`
+  /// is set.
+  const obs::SchedCounters* counters = nullptr;
+  /// When set, the engine builds the run's `obs::RunReport` and hands it
+  /// to the sink exactly once after the result is final.
+  obs::ReportSink* report = nullptr;
+};
+
+}  // namespace optdm::sim

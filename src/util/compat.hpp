@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file compat.hpp
+/// Deprecation markers for the pre-`SimOptions` / pre-registry API.
+///
+/// The legacy positional overloads (nullable `Trace*` / `FaultTimeline`
+/// parameters) and the scheduler free functions remain supported and
+/// byte-identical, but new code should use `sim::SimOptions` and
+/// `sched::registry()`.  The attribute is opt-in (define
+/// `OPTDM_WARN_DEPRECATED`) because the tier-1 tests intentionally keep
+/// exercising the legacy surface to pin its behavior, and the default
+/// build treats warnings as errors in CI.
+
+#if defined(OPTDM_WARN_DEPRECATED)
+#define OPTDM_DEPRECATED(msg) [[deprecated(msg)]]
+#else
+#define OPTDM_DEPRECATED(msg)
+#endif

@@ -1,0 +1,227 @@
+// The phase-aware compilation pipeline: warm hits byte-identical, batched
+// compiles deterministic and deduplicated, stitching legal (degrees and
+// configuration multisets untouched) and effective on identical phases.
+
+#include "apps/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "apps/program.hpp"
+#include "apps/workloads.hpp"
+#include "io/pattern_io.hpp"
+#include "patterns/named.hpp"
+#include "topo/torus.hpp"
+
+namespace {
+
+using namespace optdm;
+
+std::string text_of(const topo::Network& net, const core::Schedule& schedule) {
+  std::ostringstream out;
+  io::write_schedule(out, net, schedule);
+  return out.str();
+}
+
+apps::CommPhase phase_of(std::string name, const core::RequestSet& pattern) {
+  apps::CommPhase phase;
+  phase.name = std::move(name);
+  for (const auto& request : pattern)
+    phase.messages.push_back(sim::Message{request, 4});
+  return phase;
+}
+
+TEST(Pipeline, WarmHitIsByteIdenticalToTheColdCompile) {
+  topo::TorusNetwork net(8, 8);
+  apps::Pipeline pipeline(net, apps::PipelineOptions{});
+  const auto pattern = patterns::hypercube(net.node_count());
+
+  const auto cold = pipeline.compile_phase(pattern);
+  EXPECT_FALSE(cold.cache_hit);
+  const auto warm = pipeline.compile_phase(pattern);
+  EXPECT_TRUE(warm.cache_hit);
+
+  EXPECT_EQ(text_of(net, warm.phase.schedule),
+            text_of(net, cold.phase.schedule));
+  EXPECT_EQ(warm.phase.lower_bound, cold.phase.lower_bound);
+  EXPECT_EQ(warm.phase.winner, cold.phase.winner);
+}
+
+TEST(Pipeline, DiskWarmHitIsByteIdenticalAcrossPipelines) {
+  topo::TorusNetwork net(8, 8);
+  const auto dir = (std::filesystem::temp_directory_path() /
+                    "optdm_pipeline_test_disk")
+                       .string();
+  std::filesystem::remove_all(dir);
+  apps::PipelineOptions options;
+  options.cache_dir = dir;
+  const auto pattern = patterns::transpose(net.node_count());
+
+  std::string cold_text;
+  {
+    apps::Pipeline pipeline(net, options);
+    cold_text = text_of(net, pipeline.compile_phase(pattern).phase.schedule);
+  }
+  apps::Pipeline pipeline(net, options);
+  const auto warm = pipeline.compile_phase(pattern);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(text_of(net, warm.phase.schedule), cold_text);
+  ASSERT_NE(pipeline.cache(), nullptr);
+  EXPECT_EQ(pipeline.cache()->stats().disk_hits, 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Pipeline, UnknownSchedulerThrowsAtConstruction) {
+  topo::TorusNetwork net(4, 4);
+  apps::PipelineOptions options;
+  options.scheduler = "annealing";
+  EXPECT_THROW(apps::Pipeline(net, options), std::invalid_argument);
+}
+
+TEST(Pipeline, BatchCompileDeduplicatesIdenticalPhases) {
+  topo::TorusNetwork net(8, 8);
+  const auto ring = patterns::ring(net.node_count());
+  const auto cube = patterns::hypercube(net.node_count());
+
+  apps::Program program;
+  program.phases = {phase_of("a", ring), phase_of("b", cube),
+                    phase_of("c", ring)};
+  program.iterations = 1;
+
+  apps::Pipeline pipeline(net, apps::PipelineOptions{});
+  const auto result = pipeline.compile(program);
+  EXPECT_EQ(result.distinct_phases, 2);
+  ASSERT_EQ(result.compiled.phases.size(), 3u);
+  // Phases a and c come from one compilation.
+  EXPECT_EQ(result.compiled.phases[0].schedule.degree(),
+            result.compiled.phases[2].schedule.degree());
+  ASSERT_NE(pipeline.cache(), nullptr);
+  EXPECT_EQ(pipeline.cache()->stats().insertions, 2);
+}
+
+TEST(Pipeline, BatchCompileMatchesSerialPhaseCompiles) {
+  // The concurrent batch must produce exactly what one-at-a-time compiles
+  // produce — the determinism contract of the parallel driver.
+  topo::TorusNetwork net(8, 8);
+  const std::vector<core::RequestSet> patterns_list{
+      patterns::ring(net.node_count()),
+      patterns::hypercube(net.node_count()),
+      patterns::transpose(net.node_count()),
+      patterns::shuffle_exchange(net.node_count()),
+  };
+  apps::Program program;
+  for (std::size_t i = 0; i < patterns_list.size(); ++i)
+    program.phases.push_back(
+        phase_of("p" + std::to_string(i), patterns_list[i]));
+  program.iterations = 1;
+
+  apps::PipelineOptions no_stitch;
+  no_stitch.stitch = false;
+  apps::Pipeline batch(net, no_stitch);
+  const auto batched = batch.compile(program);
+
+  apps::PipelineOptions serial_options;
+  serial_options.use_cache = false;
+  apps::Pipeline serial(net, serial_options);
+  ASSERT_EQ(batched.compiled.phases.size(), patterns_list.size());
+  for (std::size_t i = 0; i < patterns_list.size(); ++i) {
+    const auto lone = serial.compile_phase(patterns_list[i]);
+    EXPECT_EQ(text_of(net, batched.compiled.phases[i].schedule),
+              text_of(net, lone.phase.schedule))
+        << "phase " << i;
+  }
+}
+
+TEST(Pipeline, BatchResultIsCachedForSubsequentCompiles) {
+  topo::TorusNetwork net(8, 8);
+  apps::Program program;
+  program.phases = {phase_of("a", patterns::ring(net.node_count()))};
+  apps::Pipeline pipeline(net, apps::PipelineOptions{});
+  const auto first = pipeline.compile(program);
+  EXPECT_EQ(first.cache_hits, 0);
+  const auto second = pipeline.compile(program);
+  EXPECT_EQ(second.cache_hits, 1);
+  EXPECT_EQ(text_of(net, first.compiled.phases[0].schedule),
+            text_of(net, second.compiled.phases[0].schedule));
+}
+
+TEST(Stitching, NeverChangesDegreesOrConfigurationContents) {
+  topo::TorusNetwork net(8, 8);
+  const std::vector<core::RequestSet> patterns_list{
+      patterns::ring(net.node_count()),
+      patterns::hypercube(net.node_count()),
+      patterns::ring(net.node_count()),
+      patterns::transpose(net.node_count()),
+  };
+  apps::Program program;
+  for (std::size_t i = 0; i < patterns_list.size(); ++i)
+    program.phases.push_back(
+        phase_of("p" + std::to_string(i), patterns_list[i]));
+
+  apps::PipelineOptions no_stitch;
+  no_stitch.stitch = false;
+  apps::Pipeline pipeline(net, no_stitch);
+  auto result = pipeline.compile(program);
+  const std::vector<int> degrees_before = [&] {
+    std::vector<int> d;
+    for (const auto& phase : result.compiled.phases)
+      d.push_back(phase.schedule.degree());
+    return d;
+  }();
+  const auto phase0_before = text_of(net, result.compiled.phases[0].schedule);
+
+  const auto report = apps::stitch_program(result.compiled);
+  ASSERT_EQ(report.boundary_shared.size(), patterns_list.size() - 1);
+  for (std::size_t i = 0; i < patterns_list.size(); ++i) {
+    // Same degree, same configuration multiset: the reordered schedule
+    // still validates against the phase's pattern.
+    EXPECT_EQ(result.compiled.phases[i].schedule.degree(), degrees_before[i])
+        << "phase " << i;
+    EXPECT_EQ(
+        result.compiled.phases[i].schedule.validate_against(patterns_list[i]),
+        std::nullopt)
+        << "phase " << i;
+  }
+  // Phase 0 is the anchor and never moves.
+  EXPECT_EQ(text_of(net, result.compiled.phases[0].schedule), phase0_before);
+}
+
+TEST(Stitching, IdenticalAdjacentPhasesShareEveryConfiguration) {
+  topo::TorusNetwork net(8, 8);
+  const auto ring = patterns::ring(net.node_count());
+  apps::Program program;
+  program.phases = {phase_of("red", ring), phase_of("black", ring)};
+  program.iterations = 3;
+
+  obs::SchedCounters counters;
+  apps::PipelineOptions options;
+  options.sched.counters = &counters;
+  apps::Pipeline pipeline(net, options);
+  const auto result = pipeline.compile(program);
+
+  const int degree = result.compiled.phases[0].schedule.degree();
+  ASSERT_EQ(result.stitch.boundary_shared.size(), 1u);
+  EXPECT_EQ(result.stitch.boundary_shared[0], degree);
+  EXPECT_EQ(result.stitch.wrap_shared, degree);
+  // 3 iterations cross the internal boundary 3x and the wrap 2x.
+  EXPECT_EQ(result.reconfigurations_saved, 3 * degree + 2 * degree);
+
+  // The pipeline summary reaches the counters sink.
+  EXPECT_EQ(counters.distinct_phases, 1);
+  EXPECT_EQ(counters.reconfigurations_saved, result.reconfigurations_saved);
+  EXPECT_EQ(counters.cache_misses, 1);
+  EXPECT_EQ(counters.cache_memory_hits, 0);
+}
+
+TEST(Stitching, SavedScalesWithIterations) {
+  apps::StitchReport report;
+  report.boundary_shared = {2, 0, 1};
+  report.wrap_shared = 3;
+  EXPECT_EQ(report.saved(1), 3);        // internal only
+  EXPECT_EQ(report.saved(4), 4 * 3 + 3 * 3);
+  EXPECT_EQ(report.saved(0), 0);
+}
+
+}  // namespace

@@ -1,0 +1,253 @@
+// The content-addressed schedule cache: warm hits are byte-identical to
+// the cold compile, keys invalidate on every input that matters, the
+// disk tier survives corruption, and the LRU tier evicts.
+
+#include "apps/sched_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "io/pattern_io.hpp"
+#include "patterns/named.hpp"
+#include "sched/combined.hpp"
+#include "topo/torus.hpp"
+
+namespace {
+
+using namespace optdm;
+
+std::string text_of(const topo::Network& net, const core::Schedule& schedule) {
+  std::ostringstream out;
+  io::write_schedule(out, net, schedule);
+  return out.str();
+}
+
+std::string fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("optdm_cache_test_" + name);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+std::string entry_file(const std::string& dir, const apps::CacheKey& key) {
+  std::ostringstream hex;
+  hex << std::hex << std::setw(16) << std::setfill('0') << key.hash();
+  return (std::filesystem::path(dir) / (hex.str() + ".json")).string();
+}
+
+apps::CachedCompilation compile_ring(const topo::TorusNetwork& net) {
+  apps::CachedCompilation value;
+  value.schedule = sched::combined(net, patterns::ring(net.node_count()));
+  value.lower_bound = 2;
+  value.winner = "coloring";
+  return value;
+}
+
+TEST(ScheduleCache, WarmMemoryHitIsByteIdentical) {
+  topo::TorusNetwork net(4, 4);
+  apps::ScheduleCache cache(net);
+  const auto pattern = patterns::ring(net.node_count());
+  const auto key =
+      apps::make_cache_key(net, pattern, "combined", sched::SchedOptions{});
+
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  const auto value = compile_ring(net);
+  cache.store(key, value);
+
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(text_of(net, hit->schedule), text_of(net, value.schedule));
+  EXPECT_EQ(hit->lower_bound, value.lower_bound);
+  EXPECT_EQ(hit->winner, value.winner);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.memory_hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.insertions, 1);
+}
+
+TEST(ScheduleCache, KeyInvalidatesOnEveryCompilationInput) {
+  topo::TorusNetwork net(4, 4);
+  const auto pattern = patterns::ring(net.node_count());
+  const sched::SchedOptions options;
+  const auto base = apps::make_cache_key(net, pattern, "combined", options);
+
+  // Pattern change (even a reorder — the greedy pass is order-sensitive).
+  auto reordered = pattern;
+  std::swap(reordered.front(), reordered.back());
+  EXPECT_NE(base.canonical(),
+            apps::make_cache_key(net, reordered, "combined", options)
+                .canonical());
+
+  // Scheduler change.
+  EXPECT_NE(base.canonical(),
+            apps::make_cache_key(net, pattern, "coloring", options)
+                .canonical());
+
+  // Scheduler-option change.
+  sched::SchedOptions tweaked;
+  tweaked.priority = sched::ColoringPriority::kDegreeOnly;
+  EXPECT_NE(base.canonical(),
+            apps::make_cache_key(net, pattern, "combined", tweaked)
+                .canonical());
+
+  // Frame / K constraint change.
+  EXPECT_NE(base.canonical(),
+            apps::make_cache_key(net, pattern, "combined", options, 8)
+                .canonical());
+
+  // Topology change.
+  topo::TorusNetwork other(8, 8);
+  EXPECT_NE(base.canonical(),
+            apps::make_cache_key(other, pattern, "combined", options)
+                .canonical());
+}
+
+TEST(ScheduleCache, KeyForAnotherTopologyIsAlwaysAMiss) {
+  topo::TorusNetwork net(4, 4);
+  topo::TorusNetwork other(8, 8);
+  apps::ScheduleCache cache(net);
+  const auto pattern = patterns::ring(other.node_count());
+  const auto key =
+      apps::make_cache_key(other, pattern, "combined", sched::SchedOptions{});
+  cache.store(key, compile_ring(net));  // silently ignored
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().insertions, 0);
+}
+
+TEST(ScheduleCache, DiskTierSurvivesProcessBoundaries) {
+  topo::TorusNetwork net(4, 4);
+  const auto dir = fresh_dir("disk_roundtrip");
+  const auto pattern = patterns::ring(net.node_count());
+  const auto key =
+      apps::make_cache_key(net, pattern, "combined", sched::SchedOptions{});
+  const auto value = compile_ring(net);
+
+  {
+    apps::ScheduleCache::Options options;
+    options.disk_dir = dir;
+    apps::ScheduleCache writer(net, options);
+    writer.store(key, value);
+  }
+
+  // A fresh cache (fresh process, in spirit) hits the disk tier.
+  apps::ScheduleCache::Options options;
+  options.disk_dir = dir;
+  apps::ScheduleCache reader(net, options);
+  const auto hit = reader.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(text_of(net, hit->schedule), text_of(net, value.schedule));
+  EXPECT_EQ(hit->winner, value.winner);
+  EXPECT_EQ(reader.stats().disk_hits, 1);
+
+  // The disk hit was promoted: the next lookup is a memory hit.
+  EXPECT_TRUE(reader.lookup(key).has_value());
+  EXPECT_EQ(reader.stats().memory_hits, 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScheduleCache, CorruptDiskEntryIsNonFatalAndRewritten) {
+  topo::TorusNetwork net(4, 4);
+  const auto dir = fresh_dir("corrupt");
+  const auto pattern = patterns::ring(net.node_count());
+  const auto key =
+      apps::make_cache_key(net, pattern, "combined", sched::SchedOptions{});
+  const auto value = compile_ring(net);
+
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(entry_file(dir, key));
+    out << "{\"schema\":\"optdm-sched-cache/1\", this is not json";
+  }
+
+  apps::ScheduleCache::Options options;
+  options.disk_dir = dir;
+  apps::ScheduleCache cache(net, options);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().disk_rejects, 1);
+
+  // Storing rewrites the corrupt file; a fresh cache then reads it fine.
+  cache.store(key, value);
+  apps::ScheduleCache reader(net, options);
+  const auto hit = reader.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(text_of(net, hit->schedule), text_of(net, value.schedule));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScheduleCache, StaleEntryWithMismatchedKeyIsRejected) {
+  topo::TorusNetwork net(4, 4);
+  const auto dir = fresh_dir("stale");
+  const auto pattern = patterns::ring(net.node_count());
+  const auto key =
+      apps::make_cache_key(net, pattern, "combined", sched::SchedOptions{});
+  const auto value = compile_ring(net);
+
+  {
+    apps::ScheduleCache::Options options;
+    options.disk_dir = dir;
+    apps::ScheduleCache writer(net, options);
+    writer.store(key, value);
+  }
+  // Simulate a filename collision / stale file: same address, different
+  // stored key material.
+  const auto path = entry_file(dir, key);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  auto text = buffer.str();
+  const auto pos = text.find("combined");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 8, "coloring");
+  std::ofstream(path) << text;
+
+  apps::ScheduleCache::Options options;
+  options.disk_dir = dir;
+  apps::ScheduleCache cache(net, options);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().disk_rejects, 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScheduleCache, LruEvictsTheColdestEntry) {
+  topo::TorusNetwork net(4, 4);
+  apps::ScheduleCache::Options options;
+  options.capacity = 2;
+  apps::ScheduleCache cache(net, options);
+  const auto value = compile_ring(net);
+  const sched::SchedOptions sched_options;
+
+  const auto key_of = [&](std::int64_t frame) {
+    return apps::make_cache_key(net, patterns::ring(net.node_count()),
+                                "combined", sched_options, frame);
+  };
+  cache.store(key_of(1), value);
+  cache.store(key_of(2), value);
+  EXPECT_TRUE(cache.lookup(key_of(1)).has_value());  // 1 now most recent
+  cache.store(key_of(3), value);                     // evicts 2
+
+  EXPECT_TRUE(cache.lookup(key_of(1)).has_value());
+  EXPECT_FALSE(cache.lookup(key_of(2)).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(3)).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(ScheduleCache, HashIsStableAcrossProcessesByConstruction) {
+  // FNV-1a of a pinned canonical string: the on-disk addresses must never
+  // change between builds, or every persisted cache silently goes cold.
+  topo::TorusNetwork net(4, 4);
+  const auto key = apps::make_cache_key(net, {{0, 1}}, "combined",
+                                        sched::SchedOptions{});
+  EXPECT_EQ(key.hash(), apps::CacheKey{key}.hash());
+  const auto canonical = key.canonical();
+  EXPECT_NE(canonical.find("torus(4x4)"), std::string::npos);
+  EXPECT_NE(canonical.find("combined"), std::string::npos);
+  EXPECT_NE(canonical.find("0>1"), std::string::npos);
+}
+
+}  // namespace

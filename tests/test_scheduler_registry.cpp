@@ -1,0 +1,125 @@
+// The scheduler interface + registry: names resolve, wrappers reproduce
+// the free functions byte for byte, and the options fingerprint tracks
+// exactly the inputs that affect the produced schedule.
+
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "io/pattern_io.hpp"
+#include "patterns/named.hpp"
+#include "sched/coloring.hpp"
+#include "sched/combined.hpp"
+#include "sched/greedy.hpp"
+#include "sched/ordered_aapc.hpp"
+#include "topo/omega.hpp"
+#include "topo/torus.hpp"
+
+namespace {
+
+using namespace optdm;
+
+std::string text_of(const topo::Network& net, const core::Schedule& schedule) {
+  std::ostringstream out;
+  io::write_schedule(out, net, schedule);
+  return out.str();
+}
+
+TEST(SchedulerRegistry, ListsTheBuiltInSchedulers) {
+  const std::vector<std::string> expected{"aapc",  "coloring", "combined",
+                                          "exact", "greedy",   "ils"};
+  EXPECT_EQ(sched::registry().names(), expected);
+}
+
+TEST(SchedulerRegistry, FindReturnsNullForUnknownNames) {
+  EXPECT_EQ(sched::registry().find("simulated-annealing"), nullptr);
+  ASSERT_NE(sched::registry().find("combined"), nullptr);
+  EXPECT_EQ(sched::registry().find("combined")->name(), "combined");
+}
+
+TEST(SchedulerRegistry, AtThrowsListingTheKnownNames) {
+  try {
+    sched::registry().at("nope");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nope"), std::string::npos);
+    EXPECT_NE(what.find("combined"), std::string::npos);
+    EXPECT_NE(what.find("greedy"), std::string::npos);
+  }
+}
+
+TEST(SchedulerRegistry, WrappersReproduceTheFreeFunctions) {
+  topo::TorusNetwork net(4, 4);
+  const auto requests = patterns::ring(net.node_count());
+  const sched::SchedOptions options;
+  const auto& reg = sched::registry();
+
+  EXPECT_EQ(text_of(net, reg.at("greedy").schedule(requests, net, options)),
+            text_of(net, sched::greedy(net, requests)));
+  EXPECT_EQ(text_of(net, reg.at("coloring").schedule(requests, net, options)),
+            text_of(net, sched::coloring(net, requests)));
+  EXPECT_EQ(text_of(net, reg.at("aapc").schedule(requests, net, options)),
+            text_of(net, sched::ordered_aapc(net, requests)));
+  EXPECT_EQ(text_of(net, reg.at("combined").schedule(requests, net, options)),
+            text_of(net, sched::combined(net, requests)));
+}
+
+TEST(SchedulerRegistry, EverySchedulerProducesAValidSchedule) {
+  topo::TorusNetwork net(4, 4);
+  const auto ring = patterns::ring(net.node_count());
+  // Branch-and-bound gets a small instance so the test stays fast.
+  const auto tiny = patterns::linear_neighbors(4);
+  const sched::SchedOptions options;
+  for (const auto& name : sched::registry().names()) {
+    const auto& pattern = name == "exact" ? tiny : ring;
+    const auto schedule =
+        sched::registry().at(name).schedule(pattern, net, options);
+    EXPECT_EQ(schedule.validate_against(pattern), std::nullopt)
+        << "scheduler " << name;
+    EXPECT_GT(schedule.degree(), 0) << "scheduler " << name;
+  }
+}
+
+TEST(SchedulerRegistry, TorusOnlySchedulersRejectOtherTopologies) {
+  topo::OmegaNetwork net(8);
+  const auto requests = patterns::ring(net.node_count());
+  const sched::SchedOptions options;
+  EXPECT_THROW(sched::registry().at("aapc").schedule(requests, net, options),
+               std::invalid_argument);
+  EXPECT_THROW(
+      sched::registry().at("combined").schedule(requests, net, options),
+      std::invalid_argument);
+  // Topology-agnostic schedulers accept the omega network.
+  const auto greedy =
+      sched::registry().at("greedy").schedule(requests, net, options);
+  EXPECT_EQ(greedy.validate_against(requests), std::nullopt);
+}
+
+TEST(SchedulerOptions, FingerprintTracksSchedulingInputs) {
+  const sched::SchedOptions base;
+  sched::SchedOptions priority = base;
+  priority.priority = sched::ColoringPriority::kDegreeOnly;
+  EXPECT_NE(base.fingerprint(), priority.fingerprint());
+
+  sched::SchedOptions ils = base;
+  ils.ils.seed += 1;
+  EXPECT_NE(base.fingerprint(), ils.fingerprint());
+
+  sched::SchedOptions exact = base;
+  exact.exact.node_budget /= 2;
+  EXPECT_NE(base.fingerprint(), exact.fingerprint());
+}
+
+TEST(SchedulerOptions, CountersSinkDoesNotAffectTheFingerprint) {
+  const sched::SchedOptions base;
+  sched::SchedOptions with_counters = base;
+  obs::SchedCounters counters;
+  with_counters.counters = &counters;
+  EXPECT_EQ(base.fingerprint(), with_counters.fingerprint());
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// The unified SimOptions API: default options reproduce the legacy
+// positional overloads byte for byte, the legacy overloads still compile
+// and forward, and report sinks receive exactly one report per run.
+
+#include "sim/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/switch_program.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "patterns/named.hpp"
+#include "sched/combined.hpp"
+#include "sim/compiled.hpp"
+#include "sim/dynamic.hpp"
+#include "sim/faults.hpp"
+#include "sim/hardware.hpp"
+#include "topo/torus.hpp"
+
+namespace {
+
+using namespace optdm;
+
+struct Rig {
+  topo::TorusNetwork net{4, 4};
+  core::Schedule schedule;
+  std::vector<sim::Message> messages;
+
+  Rig() {
+    const auto pattern = patterns::ring(net.node_count());
+    schedule = sched::combined(net, pattern);
+    messages = sim::uniform_messages(pattern, 4);
+  }
+};
+
+void expect_same(const sim::CompiledResult& a, const sim::CompiledResult& b) {
+  EXPECT_EQ(a.total_slots, b.total_slots);
+  EXPECT_EQ(a.degree, b.degree);
+  ASSERT_EQ(a.messages.size(), b.messages.size());
+  for (std::size_t i = 0; i < a.messages.size(); ++i) {
+    EXPECT_EQ(a.messages[i].slot, b.messages[i].slot);
+    EXPECT_EQ(a.messages[i].completed, b.messages[i].completed);
+  }
+}
+
+TEST(SimOptions, CompiledDefaultsMatchTheLegacyPath) {
+  Rig s;
+  const auto modern = sim::simulate_compiled(s.schedule, s.messages);
+  // Legacy positional-trace overload (deprecated but supported).
+  const auto legacy = sim::simulate_compiled(s.schedule, s.messages,
+                                             sim::CompiledParams{}, nullptr);
+  expect_same(modern, legacy);
+}
+
+TEST(SimOptions, CompiledFaultOptionMatchesTheLegacyFaultOverload) {
+  Rig s;
+  sim::FaultTimeline faults;
+  faults.flap_link(0, 5, 20);
+
+  sim::SimOptions options;
+  options.faults = &faults;
+  options.start_slot = 2;
+  const auto modern =
+      sim::simulate_compiled(s.schedule, s.messages, {}, options);
+  const auto legacy = sim::simulate_compiled(
+      s.schedule, s.messages, sim::CompiledParams{}, faults, 2);
+  expect_same(modern, legacy);
+  EXPECT_EQ(modern.faults.payloads_lost, legacy.faults.payloads_lost);
+}
+
+TEST(SimOptions, CompiledReportSinkReceivesExactlyOneReport) {
+  Rig s;
+  obs::CapturingReportSink sink;
+  obs::SchedCounters counters;
+  counters.combined_winner = "coloring";
+  sim::SimOptions options;
+  options.report = &sink;
+  options.counters = &counters;
+
+  const auto result = sim::simulate_compiled(s.schedule, s.messages, {}, options);
+  EXPECT_EQ(sink.count(), 1);
+  EXPECT_EQ(sink.last().engine, "compiled");
+  EXPECT_EQ(sink.last().total_slots, result.total_slots);
+  EXPECT_EQ(sink.last().degree, s.schedule.degree());
+  // The counters snapshot rides along into the report.
+  EXPECT_EQ(sink.last().sched.combined_winner, "coloring");
+}
+
+TEST(SimOptions, CompiledTraceOptionMatchesTheLegacyTraceParameter) {
+  Rig s;
+  obs::Trace modern_trace;
+  sim::SimOptions options;
+  options.trace = &modern_trace;
+  const auto modern =
+      sim::simulate_compiled(s.schedule, s.messages, {}, options);
+
+  obs::Trace legacy_trace;
+  const auto legacy = sim::simulate_compiled(
+      s.schedule, s.messages, sim::CompiledParams{}, &legacy_trace);
+  expect_same(modern, legacy);
+  EXPECT_EQ(modern_trace.events().size(), legacy_trace.events().size());
+}
+
+TEST(SimOptions, HardwareDefaultsMatchTheLegacyPath) {
+  Rig s;
+  const core::SwitchProgram program(s.net, s.schedule);
+  const auto modern =
+      sim::execute_on_hardware(s.net, s.schedule, program, s.messages);
+  const auto legacy = sim::execute_on_hardware(
+      s.net, s.schedule, program, s.messages, sim::CompiledParams{}, nullptr);
+  expect_same(modern, legacy);
+}
+
+TEST(SimOptions, HardwareReportSinkSeesTheHardwareEngine) {
+  Rig s;
+  const core::SwitchProgram program(s.net, s.schedule);
+  obs::CapturingReportSink sink;
+  sim::SimOptions options;
+  options.report = &sink;
+  sim::execute_on_hardware(s.net, s.schedule, program, s.messages, {},
+                           options);
+  EXPECT_EQ(sink.count(), 1);
+  EXPECT_EQ(sink.last().engine, "hardware");
+}
+
+TEST(SimOptions, DynamicDefaultsMatchTheLegacyPath) {
+  Rig s;
+  sim::DynamicParams params;
+  params.multiplexing_degree = 2;
+  const auto modern = sim::simulate_dynamic(s.net, s.messages, params);
+  const auto legacy =
+      sim::simulate_dynamic(s.net, s.messages, params, nullptr);
+  EXPECT_EQ(modern.total_slots, legacy.total_slots);
+  EXPECT_EQ(modern.total_retries, legacy.total_retries);
+  ASSERT_EQ(modern.messages.size(), legacy.messages.size());
+  for (std::size_t i = 0; i < modern.messages.size(); ++i) {
+    EXPECT_EQ(modern.messages[i].completed, legacy.messages[i].completed);
+    EXPECT_EQ(modern.messages[i].slot, legacy.messages[i].slot);
+  }
+}
+
+TEST(SimOptions, DynamicFaultOptionMatchesTheLegacyFaultOverload) {
+  Rig s;
+  sim::DynamicParams params;
+  params.multiplexing_degree = 2;
+  sim::FaultTimeline faults;
+  faults.flap_link(1, 0, 50);
+
+  sim::SimOptions options;
+  options.faults = &faults;
+  const auto modern = sim::simulate_dynamic(s.net, s.messages, params, options);
+  const auto legacy = sim::simulate_dynamic(s.net, s.messages, params, faults);
+  EXPECT_EQ(modern.total_slots, legacy.total_slots);
+  EXPECT_EQ(modern.total_retries, legacy.total_retries);
+  EXPECT_EQ(modern.faults.payloads_lost, legacy.faults.payloads_lost);
+}
+
+TEST(SimOptions, DynamicReportSinkReceivesTheDynamicEngine) {
+  Rig s;
+  sim::DynamicParams params;
+  params.multiplexing_degree = 2;
+  obs::CapturingReportSink sink;
+  sim::SimOptions options;
+  options.report = &sink;
+  const auto result = sim::simulate_dynamic(s.net, s.messages, params, options);
+  EXPECT_EQ(sink.count(), 1);
+  EXPECT_EQ(sink.last().engine, "dynamic");
+  EXPECT_EQ(sink.last().total_slots, result.total_slots);
+}
+
+}  // namespace

@@ -1,0 +1,75 @@
+#pragma once
+
+// Shared command-line plumbing of the optdm_* tools: pattern loading (one
+// name set for every tool), scheduler resolution through the registry, and
+// the schedule-cache flags.  Header-only on purpose — the tools directory
+// has no library target.
+//
+// Flags handled here:
+//   --pattern        ring|nearest-neighbor|hypercube|tscf|shuffle-exchange|
+//                    all-to-all|linear|gs|transpose|bit-reversal
+//   --pattern-file   path to a `src dst` pattern file (overrides --pattern)
+//   --algorithm      any sched::registry() name (greedy|coloring|aapc|
+//                    combined|ils|exact)
+//   --cache-dir      directory of the on-disk schedule cache
+//   --no-cache       disable the schedule cache entirely
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "apps/pipeline.hpp"
+#include "io/pattern_io.hpp"
+#include "patterns/named.hpp"
+#include "sched/scheduler.hpp"
+#include "topo/torus.hpp"
+#include "util/cli.hpp"
+
+namespace optdm::tools {
+
+/// Loads `--pattern-file`, or the built-in named `--pattern` (default
+/// `fallback`).  Node ids are range-checked against `net`.  The name set
+/// is the union of what the tools historically accepted: `gs` and `tscf`
+/// are aliases for the application patterns (linear neighbors, hypercube).
+inline core::RequestSet load_pattern(const util::CliArgs& args,
+                                     const topo::TorusNetwork& net,
+                                     const std::string& fallback) {
+  if (args.has("pattern-file")) {
+    std::ifstream in(args.get("pattern-file"));
+    if (!in) throw std::runtime_error("cannot open pattern file");
+    auto requests = io::read_pattern(in);
+    for (const auto& r : requests)
+      if (r.src >= net.node_count() || r.dst >= net.node_count())
+        throw std::runtime_error("pattern references nodes outside " +
+                                 net.name());
+    return requests;
+  }
+  const auto name = args.get("pattern", fallback);
+  const int nodes = net.node_count();
+  if (name == "ring") return patterns::ring(nodes);
+  if (name == "nearest-neighbor") return patterns::nearest_neighbor(net);
+  if (name == "hypercube" || name == "tscf") return patterns::hypercube(nodes);
+  if (name == "shuffle-exchange") return patterns::shuffle_exchange(nodes);
+  if (name == "all-to-all") return patterns::all_to_all(nodes);
+  if (name == "linear" || name == "gs") return patterns::linear_neighbors(nodes);
+  if (name == "transpose") return patterns::transpose(nodes);
+  if (name == "bit-reversal") return patterns::bit_reversal(nodes);
+  throw std::runtime_error(
+      "unknown --pattern '" + name +
+      "' (ring|nearest-neighbor|hypercube|tscf|shuffle-exchange|all-to-all|"
+      "linear|gs|transpose|bit-reversal)");
+}
+
+/// Builds the pipeline configuration from `--algorithm`, `--cache-dir`,
+/// and `--no-cache`.  The scheduler name is validated eagerly so a typo
+/// fails with the registry's name list instead of deep in a compile.
+inline apps::PipelineOptions pipeline_options(const util::CliArgs& args) {
+  apps::PipelineOptions options;
+  options.scheduler = args.get("algorithm", "combined");
+  sched::registry().at(options.scheduler);  // throws with the known names
+  options.cache_dir = args.get("cache-dir", "");
+  if (args.get_bool("no-cache")) options.use_cache = false;
+  return options;
+}
+
+}  // namespace optdm::tools

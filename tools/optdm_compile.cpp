@@ -1,100 +1,75 @@
 // optdm_compile — command-line off-line connection-scheduling compiler.
 //
 // Reads a communication pattern (a text file of `src dst` lines, or a
-// named built-in pattern), schedules it for a TDM torus with the chosen
-// algorithm, reports the multiplexing degree, and optionally emits the
-// schedule file and the per-switch register program.
+// named built-in pattern), compiles it for a TDM torus through the
+// phase-aware pipeline (scheduler registry + content-addressed schedule
+// cache), reports the multiplexing degree, and optionally emits the
+// schedule file, the per-switch register program, and a run report.
 //
 // Examples:
 //   optdm_compile --pattern-file=phase.txt
 //   optdm_compile --pattern=all-to-all --algorithm=aapc --out=sched.txt
 //   optdm_compile --pattern=hypercube --registers --verify
+//   optdm_compile --pattern=all-to-all --cache-dir=/tmp/optdm-cache
 //
-// Flags:
+// Flags (see also tools/cli.hpp for the shared set):
 //   --cols/--rows        torus dimensions (default 8x8)
-//   --pattern            ring|nearest-neighbor|hypercube|shuffle-exchange|
-//                        all-to-all|linear
+//   --pattern            built-in pattern name (default ring)
 //   --pattern-file       path to a pattern file (overrides --pattern)
-//   --algorithm          greedy|coloring|aapc|combined (default combined)
+//   --algorithm          any registry scheduler (default combined)
+//   --cache-dir          on-disk schedule cache directory
+//   --no-cache           disable the schedule cache
 //   --out                write the schedule to this file
-//   --registers          print the switch register program
 //   --verify             re-load the emitted schedule and re-verify it
+//   --registers          print the switch register program
+//   --report             write a scheduler run report (JSON) to this file
 
 #include <fstream>
 #include <iostream>
-#include <sstream>
 
-#include "aapc/torus_aapc.hpp"
+#include "cli.hpp"
 #include "core/switch_program.hpp"
 #include "io/pattern_io.hpp"
-#include "patterns/named.hpp"
-#include "sched/bounds.hpp"
-#include "sched/coloring.hpp"
+#include "obs/report.hpp"
 #include "sched/combined.hpp"
-#include "sched/greedy.hpp"
-#include "sched/ordered_aapc.hpp"
 #include "topo/torus.hpp"
 #include "util/cli.hpp"
 
-namespace {
-
-using namespace optdm;
-
-core::RequestSet load_pattern(const util::CliArgs& args,
-                              const topo::TorusNetwork& net) {
-  if (args.has("pattern-file")) {
-    std::ifstream in(args.get("pattern-file"));
-    if (!in) throw std::runtime_error("cannot open pattern file");
-    auto requests = io::read_pattern(in);
-    for (const auto& r : requests)
-      if (r.src >= net.node_count() || r.dst >= net.node_count())
-        throw std::runtime_error("pattern references nodes outside " +
-                                 net.name());
-    return requests;
-  }
-  const auto name = args.get("pattern", "ring");
-  const int nodes = net.node_count();
-  if (name == "ring") return patterns::ring(nodes);
-  if (name == "nearest-neighbor") return patterns::nearest_neighbor(net);
-  if (name == "hypercube") return patterns::hypercube(nodes);
-  if (name == "shuffle-exchange") return patterns::shuffle_exchange(nodes);
-  if (name == "all-to-all") return patterns::all_to_all(nodes);
-  if (name == "linear") return patterns::linear_neighbors(nodes);
-  throw std::runtime_error("unknown --pattern '" + name + "'");
-}
-
-core::Schedule run_algorithm(const std::string& algorithm,
-                             const topo::TorusNetwork& net,
-                             const core::RequestSet& requests) {
-  if (algorithm == "greedy") return sched::greedy(net, requests);
-  if (algorithm == "coloring") return sched::coloring(net, requests);
-  if (algorithm == "aapc") return sched::ordered_aapc(net, requests);
-  if (algorithm == "combined") return sched::combined(net, requests);
-  throw std::runtime_error("unknown --algorithm '" + algorithm + "'");
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace optdm;
   try {
     const util::CliArgs args(argc, argv);
     topo::TorusNetwork net(static_cast<int>(args.get_int("cols", 8)),
                            static_cast<int>(args.get_int("rows", 8)));
 
-    const auto requests = load_pattern(args, net);
-    const auto algorithm = args.get("algorithm", "combined");
-    const auto schedule = run_algorithm(algorithm, net, requests);
+    const auto requests = tools::load_pattern(args, net, "ring");
+    auto options = tools::pipeline_options(args);
+    obs::SchedCounters counters;
+    options.sched.counters = &counters;
+    apps::Pipeline pipeline(net, options);
 
+    const auto result = pipeline.compile_phase(requests);
+    const auto& schedule = result.phase.schedule;
     if (const auto err = schedule.validate_against(requests))
       throw std::runtime_error("internal error: " + *err);
-    const auto paths = core::route_all(net, requests);
 
     std::cout << "network:             " << net.name() << '\n'
               << "pattern:             " << requests.size() << " requests\n"
-              << "algorithm:           " << algorithm << '\n'
+              << "algorithm:           " << options.scheduler << '\n'
               << "multiplexing degree: " << schedule.degree() << '\n'
-              << "lower bound:         "
-              << sched::multiplexing_lower_bound(net, paths) << '\n';
+              << "lower bound:         " << result.phase.lower_bound << '\n';
+    if (options.scheduler == "combined")
+      std::cout << "winner:              "
+                << sched::to_string(result.phase.winner) << '\n';
+    if (!options.use_cache)
+      std::cout << "cache:               disabled\n";
+    else
+      std::cout << "cache:               "
+                << (result.cache_hit
+                        ? (counters.cache_disk_hits > 0 ? "hit (disk)"
+                                                        : "hit (memory)")
+                        : "miss")
+                << '\n';
 
     if (args.has("out")) {
       {
@@ -119,6 +94,14 @@ int main(int argc, char** argv) {
       std::cout << "register program (" << program.setting_count()
                 << " settings):\n";
       program.print(net, std::cout);
+    }
+
+    if (args.has("report")) {
+      const auto report = obs::report_schedule(schedule, &counters);
+      std::ofstream out(args.get("report"));
+      report.write_json(out);
+      if (!out) throw std::runtime_error("cannot write report file");
+      std::cout << "wrote report to " << args.get("report") << '\n';
     }
     return 0;
   } catch (const std::exception& e) {

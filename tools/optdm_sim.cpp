@@ -8,20 +8,21 @@
 //   static-aapc   preloaded all-to-all frame (dynamic-pattern fallback)
 //   multihop      hypercube embedding, store-and-forward
 //
+// The compiled regime goes through the phase-aware pipeline, so the
+// schedule cache flags apply (warm runs skip scheduling entirely).
+//
 // Examples:
 //   optdm_sim --pattern=tscf --slots=2
-//   optdm_sim --pattern-file=phase.txt --slots=16 --regimes=compiled,dynamic
+//   optdm_sim --pattern-file=phase.txt --slots=16 --algorithm=coloring
 //   optdm_sim --pattern=gs --report=run.json   # compiled-run RunReport JSON
+//   optdm_sim --pattern=all-to-all --cache-dir=/tmp/optdm-cache
 
 #include <fstream>
 #include <iostream>
-#include <sstream>
 
 #include "aapc/torus_aapc.hpp"
-#include "apps/compiler.hpp"
-#include "io/pattern_io.hpp"
+#include "cli.hpp"
 #include "obs/report.hpp"
-#include "patterns/named.hpp"
 #include "sched/combined.hpp"
 #include "sim/dynamic.hpp"
 #include "sim/multihop.hpp"
@@ -29,36 +30,13 @@
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
-namespace {
-
-using namespace optdm;
-
-core::RequestSet load_pattern(const util::CliArgs& args,
-                              const topo::TorusNetwork& net) {
-  if (args.has("pattern-file")) {
-    std::ifstream in(args.get("pattern-file"));
-    if (!in) throw std::runtime_error("cannot open pattern file");
-    return io::read_pattern(in);
-  }
-  const auto name = args.get("pattern", "tscf");
-  if (name == "gs") return patterns::linear_neighbors(net.node_count());
-  if (name == "tscf") return patterns::hypercube(net.node_count());
-  if (name == "ring") return patterns::ring(net.node_count());
-  if (name == "all-to-all") return patterns::all_to_all(net.node_count());
-  if (name == "transpose") return patterns::transpose(net.node_count());
-  throw std::runtime_error("unknown --pattern '" + name +
-                           "' (gs|tscf|ring|all-to-all|transpose)");
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace optdm;
   try {
     const util::CliArgs args(argc, argv);
     topo::TorusNetwork net(8, 8);
-    const apps::CommCompiler compiler(net);
 
-    const auto requests = load_pattern(args, net);
+    const auto requests = tools::load_pattern(args, net, "tscf");
     const auto slots = args.get_int("slots", 4);
     const auto messages = sim::uniform_messages(requests, slots);
 
@@ -67,20 +45,37 @@ int main(int argc, char** argv) {
 
     util::Table table({"regime", "K / frame", "slots", "notes"});
 
+    auto options = tools::pipeline_options(args);
     obs::SchedCounters counters;
-    const auto compiled = compiler.compile(requests, &counters);
-    const auto tdm = sim::simulate_compiled(compiled.schedule, messages);
-    table.add_row({"compiled (TDM)",
-                   util::Table::fmt(std::int64_t{compiled.schedule.degree()}),
-                   util::Table::fmt(tdm.total_slots),
-                   "winner: " + sched::to_string(compiled.winner)});
+    options.sched.counters = &counters;
+    apps::Pipeline pipeline(net, options);
+    const auto compiled = pipeline.compile_phase(requests);
+
+    // The report sink sees the compiled run through the SimOptions path —
+    // the engine builds the report, we just catch it.
+    obs::CapturingReportSink report_sink;
+    sim::SimOptions sim_options;
+    sim_options.counters = &counters;
+    sim_options.report = args.has("report") ? &report_sink : nullptr;
+    const auto tdm = sim::simulate_compiled(compiled.phase.schedule, messages,
+                                            {}, sim_options);
+    std::string note = options.scheduler == "combined"
+                           ? "winner: " + sched::to_string(compiled.phase.winner)
+                           : "algorithm: " + options.scheduler;
+    if (compiled.cache_hit) note += ", cached";
+    table.add_row(
+        {"compiled (TDM)",
+         util::Table::fmt(std::int64_t{compiled.phase.schedule.degree()}),
+         util::Table::fmt(tdm.total_slots), note});
 
     sim::CompiledParams wdm;
     wdm.channel = sim::ChannelKind::kWavelength;
-    const auto cw = sim::simulate_compiled(compiled.schedule, messages, wdm);
-    table.add_row({"compiled (WDM)",
-                   util::Table::fmt(std::int64_t{compiled.schedule.degree()}),
-                   util::Table::fmt(cw.total_slots), "full-rate channels"});
+    const auto cw =
+        sim::simulate_compiled(compiled.phase.schedule, messages, wdm);
+    table.add_row(
+        {"compiled (WDM)",
+         util::Table::fmt(std::int64_t{compiled.phase.schedule.degree()}),
+         util::Table::fmt(cw.total_slots), "full-rate channels"});
 
     for (const int k : {1, 2, 5, 10}) {
       sim::DynamicParams params;
@@ -110,13 +105,11 @@ int main(int argc, char** argv) {
 
     table.print(std::cout);
 
-    // --report=FILE dumps the compiled run (plus the scheduling-phase
-    // counters) as an `optdm-run-report/1` JSON document.
+    // --report=FILE dumps the compiled run (plus the scheduling-phase and
+    // cache counters) as an `optdm-run-report/1` JSON document.
     if (args.has("report")) {
-      auto report = obs::report_compiled(compiled.schedule, messages, tdm);
-      report.sched = counters;
       std::ofstream out(args.get("report"));
-      report.write_json(out);
+      report_sink.last().write_json(out);
       if (!out) throw std::runtime_error("cannot write report file");
       std::cout << "\nwrote report to " << args.get("report") << '\n';
     }
