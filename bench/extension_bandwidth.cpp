@@ -12,7 +12,7 @@
 
 #include <iostream>
 
-#include "apps/compiler.hpp"
+#include "apps/pipeline.hpp"
 #include "apps/workloads.hpp"
 #include "frontend/recognize.hpp"
 #include "patterns/random.hpp"
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
   util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 17)));
 
   topo::TorusNetwork net(8, 8);
-  const apps::CommCompiler compiler(net);
+  apps::Pipeline pipeline(net);
 
   std::vector<apps::CommPhase> rows;
   rows.push_back(diagonal_ghost_phase());
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
   util::Table table({"workload", "conns", "K", "extra slots", "base slots",
                      "widened slots", "speedup"});
   for (const auto& phase : rows) {
-    const auto compiled = compiler.compile(phase.pattern());
+    const auto compiled = pipeline.compile_phase(phase.pattern()).phase;
     const auto base = sim::simulate_compiled(compiled.schedule, phase.messages);
     const auto widened =
         sched::widen_for_bandwidth(net, compiled.schedule, phase.messages);

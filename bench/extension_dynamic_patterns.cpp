@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "aapc/torus_aapc.hpp"
+#include "apps/sweep.hpp"
 #include "patterns/named.hpp"
 #include "patterns/random.hpp"
 #include "sched/combined.hpp"
@@ -48,12 +49,37 @@ int main(int argc, char** argv) {
   util::Table table({"message slots", "static AAPC", "hypercube multihop",
                      "dynamic (best K)", "best K", "winner"});
 
-  for (const std::int64_t size : {1, 2, 4, 8, 16, 32, 64, 128}) {
-    util::Accumulator fallback_acc, multihop_acc, dynamic_acc;
-    std::int64_t best_k_sum = 0;
+  // Every random draw happens up front, serially, in the historical
+  // nesting order (per trial: the pattern, then one seed per K) — the
+  // expanded run list then fans out across the thread pool as one batch,
+  // with results collected back in draw order.
+  constexpr int kDegrees[] = {1, 2, 5, 10};
+  constexpr std::int64_t kSizes[] = {1, 2, 4, 8, 16, 32, 64, 128};
+  std::vector<std::vector<sim::Message>> trial_messages;
+  std::vector<apps::DynamicRun> runs;
+  for (const std::int64_t size : kSizes) {
     for (std::int64_t t = 0; t < trials; ++t) {
       const auto requests = patterns::random_pattern(64, conns, rng);
-      const auto messages = sim::uniform_messages(requests, size);
+      trial_messages.push_back(sim::uniform_messages(requests, size));
+      for (const int k : kDegrees) {
+        apps::DynamicRun run;
+        run.params.multiplexing_degree = k;
+        run.params.seed = rng.next_u64();
+        runs.push_back(run);
+      }
+    }
+  }
+  // `trial_messages` is fully built: the spans are stable now.
+  for (std::size_t i = 0; i < runs.size(); ++i)
+    runs[i].messages = trial_messages[i / std::size(kDegrees)];
+  const auto dynamic_runs = apps::run_dynamic_batch(net, runs);
+
+  std::size_t trial_at = 0;
+  for (const std::int64_t size : kSizes) {
+    util::Accumulator fallback_acc, multihop_acc, dynamic_acc;
+    std::int64_t best_k_sum = 0;
+    for (std::int64_t t = 0; t < trials; ++t, ++trial_at) {
+      const auto& messages = trial_messages[trial_at];
 
       fallback_acc.add(static_cast<double>(
           sim::simulate_compiled(fallback_schedule, messages).total_slots));
@@ -64,14 +90,12 @@ int main(int argc, char** argv) {
 
       std::int64_t best = -1;
       int best_k = 0;
-      for (const int k : {1, 2, 5, 10}) {
-        sim::DynamicParams params;
-        params.multiplexing_degree = k;
-        params.seed = rng.next_u64();
-        const auto run = sim::simulate_dynamic(net, messages, params);
+      for (std::size_t ki = 0; ki < std::size(kDegrees); ++ki) {
+        const auto& run =
+            dynamic_runs[trial_at * std::size(kDegrees) + ki];
         if (run.completed && (best < 0 || run.total_slots < best)) {
           best = run.total_slots;
-          best_k = k;
+          best_k = kDegrees[ki];
         }
       }
       dynamic_acc.add(static_cast<double>(best));

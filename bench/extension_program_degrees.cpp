@@ -13,6 +13,7 @@
 
 #include <iostream>
 
+#include "apps/pipeline.hpp"
 #include "apps/program.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -25,7 +26,12 @@ int main(int argc, char** argv) {
   const auto grid = static_cast<int>(args.get_int("grid", 64));
 
   topo::TorusNetwork net(8, 8);
-  const apps::CommCompiler compiler(net);
+  // Stitching reorders slots within phases, which would shift the
+  // per-message completion times this bench compares; compile through
+  // the cached pipeline but keep slot order as scheduled.
+  apps::PipelineOptions options;
+  options.stitch = false;
+  apps::Pipeline pipeline(net, options);
 
   apps::Program program;
   program.name = "gs+p3m";
@@ -33,7 +39,7 @@ int main(int argc, char** argv) {
   for (auto& phase : apps::p3m_phases(mesh))
     program.phases.push_back(std::move(phase));
 
-  const auto compiled = apps::compile_program(compiler, program);
+  const auto compiled = pipeline.compile(program).compiled;
   const auto adaptive = apps::execute_program(compiled, program);
   const auto fixed =
       apps::execute_program(compiled, program, {}, compiled.max_degree);

@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "apps/sweep.hpp"
 #include "apps/workloads.hpp"
 #include "patterns/random.hpp"
 #include "sim/dynamic.hpp"
@@ -25,30 +26,39 @@ int main(int argc, char** argv) {
   util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 23)));
   topo::TorusNetwork net(8, 8);
 
-  std::vector<apps::CommPhase> rows;
-  rows.push_back(apps::gs_phase(64, 64));
-  rows.push_back(apps::tscf_phase(64));
-  rows.push_back(apps::p3m_phases(32)[1]);
+  apps::SweepGrid grid;
+  grid.phases.push_back(apps::gs_phase(64, 64));
+  grid.phases.push_back(apps::tscf_phase(64));
+  grid.phases.push_back(apps::p3m_phases(32)[1]);
   {
     apps::CommPhase random;
     random.name = "random-600";
     random.problem = "64 PEs";
     random.messages =
         sim::uniform_messages(patterns::random_pattern(64, 600, rng), 4);
-    rows.push_back(std::move(random));
+    grid.phases.push_back(std::move(random));
   }
+  {
+    apps::DynamicVariant all{"reserve-all", {}};
+    all.params.multiplexing_degree = 5;
+    auto one = all;
+    one.label = "reserve-one";
+    one.params.policy = sim::DynamicParams::Policy::kReserveOne;
+    grid.dynamic = {std::move(all), std::move(one)};
+  }
+
+  apps::SweepOptions options;
+  options.run_compiled = false;
+  apps::SweepRunner runner(net, options);
+  const auto sweep = runner.run(grid);
 
   std::cout << "Extension — dynamic reservation policies (K = 5)\n\n";
   util::Table table({"pattern", "reserve-all slots", "retries",
                      "reserve-one slots", "retries "});
-  for (const auto& phase : rows) {
-    sim::DynamicParams all;
-    all.multiplexing_degree = 5;
-    auto one = all;
-    one.policy = sim::DynamicParams::Policy::kReserveOne;
-    const auto a = sim::simulate_dynamic(net, phase.messages, all);
-    const auto b = sim::simulate_dynamic(net, phase.messages, one);
-    table.add_row({phase.name,
+  for (std::size_t p = 0; p < grid.phases.size(); ++p) {
+    const auto& a = sweep.dynamic_cell(p, 0, 0).result;
+    const auto& b = sweep.dynamic_cell(p, 0, 1).result;
+    table.add_row({grid.phases[p].name,
                    a.completed ? util::Table::fmt(a.total_slots) : "dnf",
                    util::Table::fmt(a.total_retries),
                    b.completed ? util::Table::fmt(b.total_slots) : "dnf",

@@ -9,7 +9,7 @@
 
 #include <iostream>
 
-#include "apps/compiler.hpp"
+#include "apps/sweep.hpp"
 #include "apps/workloads.hpp"
 #include "patterns/named.hpp"
 #include "sim/compiled.hpp"
@@ -23,19 +23,33 @@ int main(int argc, char** argv) {
 
   const util::CliArgs args(argc, argv);
   topo::TorusNetwork net(8, 8);
-  const apps::CommCompiler compiler(net);
 
-  std::vector<apps::CommPhase> rows;
-  rows.push_back(apps::gs_phase(256, 64));
-  rows.push_back(apps::tscf_phase(64));
-  rows.push_back(apps::p3m_phases(64)[1]);  // dense redistribution
+  apps::SweepGrid grid;
+  grid.phases.push_back(apps::gs_phase(256, 64));
+  grid.phases.push_back(apps::tscf_phase(64));
+  grid.phases.push_back(apps::p3m_phases(64)[1]);  // dense redistribution
   {
     apps::CommPhase a2a;
     a2a.name = "all-to-all";
     a2a.problem = "64 PEs";
     a2a.messages = sim::uniform_messages(patterns::all_to_all(64), 4);
-    rows.push_back(std::move(a2a));
+    grid.phases.push_back(std::move(a2a));
   }
+  {
+    apps::DynamicVariant tdm{"TDM", {}};
+    tdm.params.multiplexing_degree = 5;
+    tdm.params.seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
+    auto wdm = tdm;
+    wdm.label = "WDM";
+    wdm.params.channel = sim::ChannelKind::kWavelength;
+    grid.dynamic = {std::move(tdm), std::move(wdm)};
+  }
+
+  // The sweep's compiled cells are the TDM side; the WDM side reruns the
+  // same cached schedules under the wavelength clock (the analytic model
+  // is too cheap to be worth a grid axis).
+  apps::SweepRunner runner(net);
+  const auto sweep = runner.run(grid);
 
   std::cout << "Extension — compiled communication under TDM vs WDM "
                "channels\n\n";
@@ -43,25 +57,20 @@ int main(int argc, char** argv) {
   util::Table table({"pattern", "K", "compiled TDM", "compiled WDM",
                      "TDM/WDM", "dynamic TDM K=5", "dynamic WDM K=5"});
 
-  for (const auto& phase : rows) {
-    const auto compiled = compiler.compile(phase.pattern());
+  for (std::size_t p = 0; p < grid.phases.size(); ++p) {
+    const auto& phase = grid.phases[p];
+    const auto& schedule = sweep.compilations[p].phase.schedule;
 
-    sim::CompiledParams tdm;
     sim::CompiledParams wdm;
     wdm.channel = sim::ChannelKind::kWavelength;
-    const auto ct = sim::simulate_compiled(compiled.schedule, phase.messages, tdm);
-    const auto cw = sim::simulate_compiled(compiled.schedule, phase.messages, wdm);
+    const auto& ct = sweep.compiled_cell(p).result;
+    const auto cw = sim::simulate_compiled(schedule, phase.messages, wdm);
 
-    sim::DynamicParams dyn;
-    dyn.multiplexing_degree = 5;
-    dyn.seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
-    const auto dt = sim::simulate_dynamic(net, phase.messages, dyn);
-    auto dyn_wdm = dyn;
-    dyn_wdm.channel = sim::ChannelKind::kWavelength;
-    const auto dw = sim::simulate_dynamic(net, phase.messages, dyn_wdm);
+    const auto& dt = sweep.dynamic_cell(p, 0, 0).result;
+    const auto& dw = sweep.dynamic_cell(p, 0, 1).result;
 
     table.add_row({phase.name,
-                   util::Table::fmt(std::int64_t{compiled.schedule.degree()}),
+                   util::Table::fmt(std::int64_t{schedule.degree()}),
                    util::Table::fmt(ct.total_slots),
                    util::Table::fmt(cw.total_slots),
                    util::Table::fmt(static_cast<double>(ct.total_slots) /

@@ -4,8 +4,12 @@
 // multiplexing degrees K = 1, 2, 5, 10.
 //
 // The compiled side uses the combined scheduling algorithm (as in the
-// paper); the dynamic side runs the distributed path-reservation protocol
-// of Section 4.1.
+// paper) through the phase-aware pipeline, so repeated patterns (the P3M
+// redistributions recur across mesh sizes) hit the schedule cache; the
+// dynamic side runs the distributed path-reservation protocol of Section
+// 4.1.  The whole (pattern x K) grid is expanded by the sweep engine and
+// simulated across the thread pool — output is byte-identical at any
+// OPTDM_THREADS.
 //
 // Usage: table5_compiled_vs_dynamic [--ctrl-hop=2] [--ctrl-local=2]
 //                                   [--backoff=8] [--seed=27]
@@ -13,9 +17,8 @@
 #include <iostream>
 #include <vector>
 
-#include "apps/compiler.hpp"
+#include "apps/sweep.hpp"
 #include "apps/workloads.hpp"
-#include "sim/dynamic.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -30,13 +33,24 @@ int main(int argc, char** argv) {
   base.seed = static_cast<std::uint64_t>(args.get_int("seed", 27));
 
   topo::TorusNetwork net(8, 8);
-  const apps::CommCompiler compiler(net);
 
-  std::vector<apps::CommPhase> rows;
-  for (const int grid : {64, 128, 256}) rows.push_back(apps::gs_phase(grid, 64));
-  rows.push_back(apps::tscf_phase(64));
+  apps::SweepGrid grid;
+  for (const int grid_size : {64, 128, 256})
+    grid.phases.push_back(apps::gs_phase(grid_size, 64));
+  grid.phases.push_back(apps::tscf_phase(64));
   for (const int mesh : {32, 64})
-    for (auto& phase : apps::p3m_phases(mesh)) rows.push_back(std::move(phase));
+    for (auto& phase : apps::p3m_phases(mesh))
+      grid.phases.push_back(std::move(phase));
+  for (const int k : {1, 2, 5, 10}) {
+    apps::DynamicVariant variant;
+    variant.label = "K=" + std::to_string(k);
+    variant.params = base;
+    variant.params.multiplexing_degree = k;
+    grid.dynamic.push_back(std::move(variant));
+  }
+
+  apps::SweepRunner runner(net);
+  const auto sweep = runner.run(grid);
 
   std::cout << "Table 5 — communication time (slots) for static patterns:\n"
                "compiled communication vs dynamic path reservation at fixed "
@@ -46,22 +60,20 @@ int main(int argc, char** argv) {
                      "Dyn K=1", "Dyn K=2", "Dyn K=5", "Dyn K=10",
                      "best dyn/comp"});
 
-  for (const auto& phase : rows) {
-    const auto compiled = compiler.compile(phase.pattern());
-    const auto compiled_time =
-        sim::simulate_compiled(compiled.schedule, phase.messages).total_slots;
+  for (std::size_t p = 0; p < grid.phases.size(); ++p) {
+    const auto& phase = grid.phases[p];
+    const auto& compiled = sweep.compiled_cell(p);
+    const auto compiled_time = compiled.result.total_slots;
 
     std::vector<std::string> cells{
         phase.name, phase.problem,
         util::Table::fmt(static_cast<std::int64_t>(phase.messages.size())),
         util::Table::fmt(compiled_time),
-        util::Table::fmt(std::int64_t{compiled.schedule.degree()})};
+        util::Table::fmt(std::int64_t{compiled.degree})};
 
     std::int64_t best_dynamic = -1;
-    for (const int k : {1, 2, 5, 10}) {
-      auto params = base;
-      params.multiplexing_degree = k;
-      const auto result = sim::simulate_dynamic(net, phase.messages, params);
+    for (std::size_t v = 0; v < grid.dynamic.size(); ++v) {
+      const auto& result = sweep.dynamic_cell(p, 0, v).result;
       cells.push_back(result.completed ? util::Table::fmt(result.total_slots)
                                        : "dnf");
       if (result.completed &&

@@ -8,6 +8,10 @@
 //    reservation timeouts, capped exponential backoff, and a retry
 //    budget.
 //
+// The whole (level x regime x K) grid goes through the sweep engine:
+// timelines are drawn serially, then every cell simulates independently
+// on the thread pool — the table is byte-identical at any OPTDM_THREADS.
+//
 // The structural difference shows directly: the compiled side recovers by
 // recompilation (it can re-route), the dynamic side can only retry its
 // deterministic route — a permanently dead link strands those messages.
@@ -22,13 +26,11 @@
 #include <fstream>
 #include <iostream>
 
-#include "apps/compiler.hpp"
-#include "apps/recovery.hpp"
+#include "apps/sweep.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "patterns/random.hpp"
 #include "sim/dynamic.hpp"
-#include "sim/faults.hpp"
 #include "topo/torus.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -43,23 +45,35 @@ int main(int argc, char** argv) {
   const auto seed = args.get_int("seed", 17);
 
   topo::TorusNetwork net(8, 8);
-  const apps::CommCompiler compiler(net);
   util::Rng rng(static_cast<std::uint64_t>(seed));
   const auto requests =
       patterns::random_pattern(64, static_cast<int>(count), rng);
-  const auto messages = sim::uniform_messages(requests, slots);
-  const auto total = static_cast<std::int64_t>(messages.size());
 
-  struct Level {
-    const char* name;
-    sim::FaultSpec spec;
-  };
-  std::vector<Level> levels{
+  apps::SweepGrid grid;
+  apps::CommPhase phase;
+  phase.name = "random";
+  phase.messages = sim::uniform_messages(requests, slots);
+  const auto total = static_cast<std::int64_t>(phase.messages.size());
+  grid.phases.push_back(std::move(phase));
+  grid.faults = {
       {"none", {}},
       {"light", {0.005, 0.02, 1024, 256, 0.02, false, 0xfa017}},
       {"moderate", {0.02, 0.05, 1024, 256, 0.05, false, 0xfa017}},
       {"heavy", {0.05, 0.10, 1024, 256, 0.15, false, 0xfa017}},
   };
+  for (const int k : {1, 2, 5, 10}) {
+    apps::DynamicVariant variant;
+    variant.label = "K=" + std::to_string(k);
+    variant.params.multiplexing_degree = k;
+    variant.params.retry_budget = 8;
+    variant.params.max_backoff_slots = 512;
+    grid.dynamic.push_back(std::move(variant));
+  }
+
+  apps::SweepOptions options;
+  options.recovery = true;
+  apps::SweepRunner runner(net, options);
+  const auto sweep = runner.run(grid);
 
   std::cout << "random pattern, " << total << " messages x " << slots
             << " slots on an 8x8 torus\n"
@@ -76,10 +90,9 @@ int main(int argc, char** argv) {
            "%";
   };
 
-  for (const auto& level : levels) {
-    const auto timeline = sim::random_fault_timeline(net, level.spec);
-
-    const auto rec = apps::run_with_recovery(compiler, messages, timeline);
+  for (std::size_t f = 0; f < grid.faults.size(); ++f) {
+    const auto& level = grid.faults[f];
+    const auto& rec = *sweep.compiled_cell(0, f).recovery;
     table.add_row({level.name, "compiled", "auto",
                    pct(rec.faults.undelivered()),
                    util::Table::fmt(rec.faults.messages_lost),
@@ -88,29 +101,10 @@ int main(int argc, char** argv) {
                    util::Table::fmt(rec.faults.recompiles),
                    util::Table::fmt(rec.total_slots)});
 
-    for (const int k : {1, 2, 5, 10}) {
-      sim::DynamicParams params;
-      params.multiplexing_degree = k;
-      params.retry_budget = 8;
-      params.max_backoff_slots = 512;
-      // Observe the heaviest configuration of the sweep.
-      const bool observed = &level == &levels.back() && k == 10;
-      obs::Trace trace;
-      const auto run = sim::simulate_dynamic(
-          net, messages, params, timeline,
-          observed && args.has("trace") ? &trace : nullptr);
-      if (observed) {
-        if (args.has("trace")) {
-          std::ofstream out(args.get("trace"));
-          trace.write_chrome(out);
-        }
-        if (args.has("report")) {
-          std::ofstream out(args.get("report"));
-          obs::report_dynamic(net, messages, run, params).write_json(out);
-        }
-      }
+    for (std::size_t v = 0; v < grid.dynamic.size(); ++v) {
+      const auto& run = sweep.dynamic_cell(0, f, v).result;
       table.add_row(
-          {level.name, "dynamic", util::Table::fmt(std::int64_t{k}),
+          {level.name, "dynamic", grid.dynamic[v].label.substr(2),
            pct(run.faults.undelivered()),
            util::Table::fmt(run.faults.messages_lost),
            util::Table::fmt(run.faults.messages_failed),
@@ -121,6 +115,26 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+
+  // Observe the heaviest configuration of the sweep.  Re-running the one
+  // cell is free relative to the sweep and keeps the sweep itself
+  // untraced; determinism makes the re-run identical to the cell above.
+  if (args.has("trace") || args.has("report")) {
+    const auto& params = grid.dynamic.back().params;
+    const auto& messages = grid.phases.front().messages;
+    obs::Trace trace;
+    const auto run = sim::simulate_dynamic(
+        net, messages, params, sweep.timelines.back(),
+        args.has("trace") ? &trace : nullptr);
+    if (args.has("trace")) {
+      std::ofstream out(args.get("trace"));
+      trace.write_chrome(out);
+    }
+    if (args.has("report")) {
+      std::ofstream out(args.get("report"));
+      obs::report_dynamic(net, messages, run, params).write_json(out);
+    }
+  }
 
   std::cout << "\nthe recovery loop restores delivery by recompiling onto the "
                "surviving\ntopology (unroutable requests excepted); the "

@@ -1,0 +1,111 @@
+#include "apps/sweep.hpp"
+
+#include <utility>
+
+#include "util/parallel.hpp"
+
+namespace optdm::apps {
+
+namespace {
+
+const sim::FaultTimeline kHealthy;
+
+}  // namespace
+
+SweepRunner::SweepRunner(const topo::TorusNetwork& net, SweepOptions options)
+    : net_(&net), options_(std::move(options)),
+      pipeline_(net, options_.pipeline) {
+  if (options_.recovery)
+    recovery_compiler_ = std::make_unique<CommCompiler>(net);
+}
+
+SweepResult SweepRunner::run(const SweepGrid& grid) {
+  SweepResult out;
+
+  // Stage 1 (serial): draw fault timelines in level order.  All RNG in
+  // the sweep happens here, before any parallelism.
+  static const FaultLevel kHealthyLevel{};
+  const std::span<const FaultLevel> levels =
+      grid.faults.empty() ? std::span<const FaultLevel>(&kHealthyLevel, 1)
+                          : std::span<const FaultLevel>(grid.faults);
+  out.fault_count = levels.size();
+  out.timelines.reserve(levels.size());
+  for (const auto& level : levels)
+    out.timelines.push_back(sim::random_fault_timeline(*net_, level.spec));
+
+  // Stage 2 (serial): compile the compiled side in phase order through
+  // the schedule cache, so hit/miss provenance is deterministic.  The
+  // recovery loop compiles internally against the live fault set, so a
+  // recovery sweep skips this stage.
+  const bool one_shot_compiled = options_.run_compiled && !options_.recovery;
+  if (one_shot_compiled) {
+    out.compilations.reserve(grid.phases.size());
+    for (const auto& phase : grid.phases)
+      out.compilations.push_back(pipeline_.compile_phase(phase.pattern()));
+  }
+
+  // Stage 3 (parallel): every remaining cell is a pure function of the
+  // inputs prepared above.  Each index writes only its own slot; the
+  // results land in grid order by construction.
+  out.variant_count = grid.dynamic.size();
+  out.seed_count = grid.seeds.empty() ? 1 : grid.seeds.size();
+  const std::size_t compiled_cells =
+      options_.run_compiled ? grid.phases.size() * out.fault_count : 0;
+  const std::size_t dynamic_cells = grid.phases.size() * out.fault_count *
+                                    out.variant_count * out.seed_count;
+  out.compiled.resize(compiled_cells);
+  out.dynamic.resize(dynamic_cells);
+
+  util::parallel_for(compiled_cells + dynamic_cells, [&](std::size_t i) {
+    if (i < compiled_cells) {
+      auto& cell = out.compiled[i];
+      cell.phase = i / out.fault_count;
+      cell.fault = i % out.fault_count;
+      const auto& phase = grid.phases[cell.phase];
+      const auto& timeline = out.timelines[cell.fault];
+      if (options_.recovery) {
+        cell.recovery = run_with_recovery(*recovery_compiler_, phase.messages,
+                                          timeline, options_.recovery_params);
+        if (!cell.recovery->rounds.empty())
+          cell.degree = cell.recovery->rounds.front().degree;
+      } else {
+        const auto& compilation = out.compilations[cell.phase];
+        cell.cache_hit = compilation.cache_hit;
+        cell.degree = compilation.phase.schedule.degree();
+        sim::SimOptions sim;
+        if (timeline.has_link_faults()) sim.faults = &timeline;
+        cell.result = sim::simulate_compiled(compilation.phase.schedule,
+                                             phase.messages, options_.compiled,
+                                             sim);
+      }
+      return;
+    }
+    const std::size_t d = i - compiled_cells;
+    auto& cell = out.dynamic[d];
+    cell.seed = d % out.seed_count;
+    const std::size_t rest = d / out.seed_count;
+    cell.variant = rest % out.variant_count;
+    cell.fault = rest / out.variant_count % out.fault_count;
+    cell.phase = rest / out.variant_count / out.fault_count;
+    auto params = grid.dynamic[cell.variant].params;
+    if (!grid.seeds.empty()) params.seed = grid.seeds[cell.seed];
+    cell.result =
+        sim::simulate_dynamic(*net_, grid.phases[cell.phase].messages, params,
+                              out.timelines[cell.fault], nullptr);
+  });
+  return out;
+}
+
+std::vector<sim::DynamicResult> run_dynamic_batch(
+    const topo::Network& net, std::span<const DynamicRun> runs) {
+  std::vector<sim::DynamicResult> results(runs.size());
+  util::parallel_for(runs.size(), [&](std::size_t i) {
+    const auto& run = runs[i];
+    results[i] = sim::simulate_dynamic(
+        net, run.messages, run.params,
+        run.faults != nullptr ? *run.faults : kHealthy, nullptr);
+  });
+  return results;
+}
+
+}  // namespace optdm::apps

@@ -1,0 +1,180 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "apps/pipeline.hpp"
+#include "apps/recovery.hpp"
+#include "apps/workloads.hpp"
+#include "sim/compiled.hpp"
+#include "sim/dynamic.hpp"
+#include "sim/faults.hpp"
+
+/// \file sweep.hpp
+/// `SweepRunner` — the parallel experiment-sweep engine.
+///
+/// Every experiment driver in this repo walks the same shape of grid:
+/// {communication phase} x {fault level} x {dynamic-protocol variant}
+/// x {seed}, simulating each cell independently and tabulating the
+/// results.  The cells share nothing at runtime (the simulators are pure
+/// functions of their inputs), so the sweep is embarrassingly parallel —
+/// but only if the expansion is careful about the two stateful stages:
+/// random timeline generation and the schedule cache.
+///
+/// **Determinism contract.**  `run` produces byte-identical results at
+/// any `OPTDM_THREADS`, including 1:
+///
+///  1. fault timelines are drawn serially, one per fault level, in grid
+///     order (all RNG happens before any parallelism);
+///  2. the compiled side of every phase is compiled serially in phase
+///     order through the `Pipeline` schedule cache, so cache hit/miss
+///     provenance is a function of the grid alone;
+///  3. the cells — now pure — are fanned across `util::parallel_for`,
+///     each writing only its own preallocated result slot (the pool's
+///     contiguous-chunk contract), and aggregation happens on the caller
+///     in grid order.
+///
+/// The expansion order is fixed: compiled cells are phase-major,
+/// fault-minor; dynamic cells nest as (phase, fault, variant, seed), the
+/// innermost index fastest.  `compiled_cell` / `dynamic_cell` index into
+/// that layout.
+
+namespace optdm::apps {
+
+/// One dynamic-protocol configuration of the grid (e.g. "K=5").
+struct DynamicVariant {
+  std::string label;
+  sim::DynamicParams params;
+};
+
+/// One named fault level; an all-zero spec is the healthy fabric.
+struct FaultLevel {
+  std::string name;
+  sim::FaultSpec spec;
+};
+
+/// The declarative grid.  Axes may be empty: no fault levels means one
+/// healthy level, no variants means a compiled-only sweep, no seeds means
+/// one run per variant at the variant's own `params.seed`.
+struct SweepGrid {
+  std::vector<CommPhase> phases;
+  std::vector<FaultLevel> faults;
+  std::vector<DynamicVariant> dynamic;
+  /// Seed override axis: when non-empty, every variant runs once per
+  /// seed with `params.seed` replaced.
+  std::vector<std::uint64_t> seeds;
+};
+
+/// Engine configuration.
+struct SweepOptions {
+  /// Compiled-side pipeline (scheduler choice, schedule cache).
+  PipelineOptions pipeline;
+  /// Simulate the compiled side of every (phase, fault) pair.
+  bool run_compiled = true;
+  /// Parameters of the compiled-side simulation.
+  sim::CompiledParams compiled;
+  /// Run the detect-and-recompile recovery loop for the compiled side
+  /// instead of the one-shot analytic model (fault sweeps).  Recovery
+  /// rounds compile against the live fault set, so this side bypasses
+  /// the schedule cache.
+  bool recovery = false;
+  RecoveryParams recovery_params;
+};
+
+/// Compiled side of one (phase, fault) pair.
+struct CompiledCell {
+  std::size_t phase = 0;
+  std::size_t fault = 0;
+  /// Multiplexing degree of the (round-1) schedule.
+  int degree = 0;
+  /// Whether the phase's compile came out of the schedule cache.
+  bool cache_hit = false;
+  /// One-shot simulation result (empty when `recovery` ran instead).
+  sim::CompiledResult result;
+  std::optional<RecoveryResult> recovery;
+};
+
+/// One dynamic-protocol run.
+struct DynamicCell {
+  std::size_t phase = 0;
+  std::size_t fault = 0;
+  std::size_t variant = 0;
+  std::size_t seed = 0;
+  sim::DynamicResult result;
+};
+
+struct SweepResult {
+  /// One timeline per fault level, in level order.
+  std::vector<sim::FaultTimeline> timelines;
+  /// Per-phase compilations (empty when `run_compiled` was false or the
+  /// recovery loop compiled internally); `[p].phase.schedule` is the
+  /// schedule the compiled cells of phase `p` ran.
+  std::vector<PhaseCompilation> compilations;
+  /// Phase-major, fault-minor; empty when `run_compiled` was false.
+  std::vector<CompiledCell> compiled;
+  /// Nested (phase, fault, variant, seed), innermost fastest.
+  std::vector<DynamicCell> dynamic;
+
+  /// Axis extents of the expanded grid (after empty-axis defaults).
+  std::size_t fault_count = 0;
+  std::size_t variant_count = 0;
+  std::size_t seed_count = 0;
+
+  const CompiledCell& compiled_cell(std::size_t phase,
+                                    std::size_t fault = 0) const {
+    return compiled.at(phase * fault_count + fault);
+  }
+  const DynamicCell& dynamic_cell(std::size_t phase, std::size_t fault,
+                                  std::size_t variant,
+                                  std::size_t seed = 0) const {
+    return dynamic.at(
+        ((phase * fault_count + fault) * variant_count + variant) *
+            seed_count +
+        seed);
+  }
+};
+
+/// Expands and runs sweep grids against one network.  Construction
+/// resolves the pipeline (and, with `recovery`, the recovery compiler);
+/// `run` may be called repeatedly — later sweeps reuse the schedule
+/// cache warmed by earlier ones.
+class SweepRunner {
+ public:
+  explicit SweepRunner(const topo::TorusNetwork& net,
+                       SweepOptions options = {});
+
+  SweepResult run(const SweepGrid& grid);
+
+  Pipeline& pipeline() noexcept { return pipeline_; }
+  const topo::TorusNetwork& network() const noexcept { return *net_; }
+  const SweepOptions& options() const noexcept { return options_; }
+
+ private:
+  const topo::TorusNetwork* net_;
+  SweepOptions options_;
+  Pipeline pipeline_;
+  /// Only constructed when `options.recovery` is set.
+  std::unique_ptr<CommCompiler> recovery_compiler_;
+};
+
+/// Lower-level escape hatch for drivers whose cells don't fit the
+/// phase/fault/variant grid (e.g. per-trial random patterns with jointly
+/// drawn seeds): one fully specified dynamic run per entry.
+struct DynamicRun {
+  /// Viewed, not owned — the caller's storage must outlive the batch.
+  std::span<const sim::Message> messages;
+  sim::DynamicParams params;
+  /// Optional fault timeline (null = healthy fabric).
+  const sim::FaultTimeline* faults = nullptr;
+};
+
+/// Simulates every run on the shared pool; results in input order,
+/// byte-identical at any thread count (each run is a pure function).
+std::vector<sim::DynamicResult> run_dynamic_batch(
+    const topo::Network& net, std::span<const DynamicRun> runs);
+
+}  // namespace optdm::apps

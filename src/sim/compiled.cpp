@@ -265,14 +265,21 @@ CompiledResult simulate_compiled_stepped(const core::Schedule& schedule,
     throw std::invalid_argument(
         "simulate_compiled_stepped: frame_slots below the multiplexing "
         "degree");
+  // Per-slot channel index: a TDM tick only visits the channels that own
+  // the active slot instead of scanning (and mostly skipping) all of
+  // them.  A wavelength channel is active every tick, so slot 0 of a
+  // one-slot "frame" stands in for all of them.
+  const bool tdm = params.channel == ChannelKind::kTimeSlot;
+  std::vector<std::vector<std::size_t>> by_slot(
+      tdm ? static_cast<std::size_t>(k) : 1);
+  for (std::size_t c = 0; c < channels.size(); ++c)
+    by_slot[tdm ? static_cast<std::size_t>(channels[c].slot) : 0].push_back(c);
   for (std::int64_t t = params.setup_slots; unfinished > 0; ++t) {
-    const auto active_slot = static_cast<int>((t - params.setup_slots) % k);
-    for (std::size_t c = 0; c < channels.size(); ++c) {
+    const auto active_slot =
+        tdm ? static_cast<std::size_t>((t - params.setup_slots) % k) : 0;
+    for (const auto c : by_slot[active_slot]) {
       auto& channel = channels[c];
       auto& prog = progress[c];
-      if (params.channel == ChannelKind::kTimeSlot &&
-          channel.slot != active_slot)
-        continue;
       if (prog.next_message >= channel.message_ids.size()) continue;
       if (--prog.remaining_in_current == 0) {
         const auto m = channel.message_ids[prog.next_message];

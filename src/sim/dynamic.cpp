@@ -2,14 +2,13 @@
 
 #include <algorithm>
 #include <bit>
-#include <deque>
-#include <queue>
 #include <stdexcept>
 #include <vector>
 
 #include "core/path.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 
 namespace optdm::sim {
@@ -63,13 +62,17 @@ enum class MsgState : std::uint8_t {
   kFailed,
 };
 
+/// Per-message protocol state, structure-of-arrays style: the path links
+/// and per-hop reservations live in shared arenas (`Simulator::links_` /
+/// `Simulator::reserved_`, both indexed by `first_hop`), and the
+/// externally visible timings live in the result's stats vector — this
+/// struct is only the hot protocol core the event handlers touch.
 struct RuntimeMessage {
   Message message;
-  /// Full path links: [injection, network..., ejection].
-  std::vector<topo::LinkId> links;
-  /// Currently reserved channels per path link (parallel to `links`);
-  /// zeroed outside an in-flight reservation.
-  std::vector<ChannelMask> reserved;
+  /// Offset of this message's path in the link/reservation arenas.
+  std::uint32_t first_hop = 0;
+  /// Path length in links: [injection, network..., ejection].
+  std::uint32_t hop_count = 0;
   /// Mask carried by the in-flight reservation packet.
   ChannelMask mask = 0;
   /// Selected channel (slot index) once established.
@@ -77,7 +80,6 @@ struct RuntimeMessage {
   MsgState state = MsgState::kQueued;
   /// Current reservation attempt; events of earlier attempts are stale.
   std::int32_t attempt = 0;
-  DynamicMessageStats stats;
 };
 
 class Simulator {
@@ -117,34 +119,67 @@ class Simulator {
     full_mask_ = params.multiplexing_degree == 64
                      ? ~ChannelMask{0}
                      : (ChannelMask{1} << params.multiplexing_degree) - 1;
-    free_.assign(static_cast<std::size_t>(net.link_count()), full_mask_);
+    const auto link_count = static_cast<std::size_t>(net.link_count());
+    free_.assign(link_count, full_mask_);
+    // The shadow-hop test `net.link(id).kind == kNetwork` sits on the
+    // per-hop control path; one byte per link keeps it a flat load.
+    link_is_network_.resize(link_count);
+    for (topo::LinkId id = 0; id < net.link_count(); ++id)
+      link_is_network_[static_cast<std::size_t>(id)] =
+          net.link(id).kind == topo::LinkKind::kNetwork;
 
-    queues_.assign(static_cast<std::size_t>(net.node_count()), {});
+    // Route every message once, packing all paths into one arena (and the
+    // per-hop reservation state into a parallel one) — no per-message
+    // vectors, one allocation each, sized in the same pass.
+    const auto node_count = static_cast<std::size_t>(net.node_count());
     msgs_.reserve(messages.size());
+    stats_.assign(messages.size(), DynamicMessageStats{});
+    std::vector<std::int32_t> per_node(node_count, 0);
     for (std::size_t i = 0; i < messages.size(); ++i) {
       const auto& m = messages[i];
       if (m.slots < 1)
         throw std::invalid_argument("simulate_dynamic: message size < 1");
       RuntimeMessage rt;
       rt.message = m;
-      rt.links = core::make_path(net, m.request).links;
-      rt.reserved.assign(rt.links.size(), 0);
-      msgs_.push_back(std::move(rt));
-      queues_[static_cast<std::size_t>(m.request.src)].push_back(
-          static_cast<std::int32_t>(i));
+      rt.first_hop = static_cast<std::uint32_t>(links_.size());
+      const auto path = core::make_path(net, m.request);
+      links_.insert(links_.end(), path.links.begin(), path.links.end());
+      rt.hop_count = static_cast<std::uint32_t>(path.links.size());
+      msgs_.push_back(rt);
+      ++per_node[static_cast<std::size_t>(m.request.src)];
+    }
+    reserved_.assign(links_.size(), 0);
+
+    // Flat per-source queues (counting sort by source, input order kept):
+    // `queue_ids_[queue_head_[n] .. queue_end_[n])` is node n's backlog;
+    // the head index advances in place of the old deque's pop_front.
+    queue_ids_.resize(messages.size());
+    queue_head_.resize(node_count);
+    queue_end_.resize(node_count);
+    std::int32_t at = 0;
+    for (std::size_t n = 0; n < node_count; ++n) {
+      queue_head_[n] = at;
+      at += per_node[n];
+      queue_end_[n] = at;
+      per_node[n] = queue_head_[n];  // reuse as the fill cursor
+    }
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+      const auto src = static_cast<std::size_t>(messages[i].request.src);
+      queue_ids_[static_cast<std::size_t>(per_node[src]++)] =
+          static_cast<std::int32_t>(i);
     }
   }
 
   DynamicResult run() {
     for (topo::NodeId n = 0; n < net_.node_count(); ++n)
-      if (!queues_[static_cast<std::size_t>(n)].empty())
+      if (queue_head_[static_cast<std::size_t>(n)] <
+          queue_end_[static_cast<std::size_t>(n)])
         push(0, EventKind::kIssue, n, 0, 0);
 
     remaining_ = msgs_.size();
     DynamicResult result;
     while (remaining_ > 0 && !events_.empty()) {
-      const Event ev = events_.top();
-      events_.pop();
+      const Event ev = events_.pop();
       if (ev.time > params_.horizon) {
         result.completed = false;
         break;
@@ -161,29 +196,29 @@ class Simulator {
     // except for the releases themselves.
     if (result.completed) {
       while (!events_.empty()) {
-        const Event ev = events_.top();
-        events_.pop();
+        const Event ev = events_.pop();
         now_ = ev.time;
         dispatch(ev);
       }
       result.clean_shutdown = true;
       for (const auto mask : free_)
         if (mask != full_mask_) result.clean_shutdown = false;
-      for (const auto& rt : msgs_)
-        for (const auto reserved : rt.reserved)
-          if (reserved != 0) result.clean_shutdown = false;
+      for (const auto reserved : reserved_)
+        if (reserved != 0) result.clean_shutdown = false;
     }
 
     result.messages.reserve(msgs_.size());
-    for (auto& rt : msgs_) {
+    for (std::size_t i = 0; i < msgs_.size(); ++i) {
+      const auto& rt = msgs_[i];
+      auto& stats = stats_[i];
       if (rt.state != MsgState::kDone && rt.state != MsgState::kFailed)
-        rt.stats.outcome = MessageOutcome::kFailed;  // horizon cut it off
-      result.messages.push_back(rt.stats);
-      result.total_retries += rt.stats.retries;
-      result.total_slots = std::max(result.total_slots, rt.stats.completed);
-      result.faults.timeouts += rt.stats.timeouts;
-      result.faults.payloads_lost += rt.stats.payloads_lost;
-      switch (rt.stats.outcome) {
+        stats.outcome = MessageOutcome::kFailed;  // horizon cut it off
+      result.messages.push_back(stats);
+      result.total_retries += stats.retries;
+      result.total_slots = std::max(result.total_slots, stats.completed);
+      result.faults.timeouts += stats.timeouts;
+      result.faults.payloads_lost += stats.payloads_lost;
+      switch (stats.outcome) {
         case MessageOutcome::kDelivered:
           break;
         case MessageOutcome::kLost:
@@ -254,6 +289,20 @@ class Simulator {
     events_.push(Event{time, seq_++, kind, subject, hop, attempt});
   }
 
+  /// This message's path link at `hop`.
+  topo::LinkId link_at(const RuntimeMessage& rt, std::int32_t hop) const {
+    return links_[rt.first_hop + static_cast<std::uint32_t>(hop)];
+  }
+
+  /// This message's reservation slot for `hop` in the shared arena.
+  ChannelMask& reserved_at(const RuntimeMessage& rt, std::int32_t hop) {
+    return reserved_[rt.first_hop + static_cast<std::uint32_t>(hop)];
+  }
+
+  bool is_network(topo::LinkId link) const {
+    return link_is_network_[static_cast<std::size_t>(link)] != 0;
+  }
+
   /// Tracing helpers.  All are no-ops with a null trace; the guards are
   /// the only cost the disabled path pays.  The emission bodies are kept
   /// out of line and cold so the untraced event handlers stay compact —
@@ -304,10 +353,12 @@ class Simulator {
   [[gnu::cold]] [[gnu::noinline]] void trace_payload_cold(
       const RuntimeMessage& rt, std::int32_t id) {
     trace_->span(node_track(rt.message.request.src), "payload", "payload",
-                 rt.stats.established, now_,
+                 stats_[static_cast<std::size_t>(id)].established, now_,
                  {{"msg", std::to_string(id)},
                   {"channel", std::to_string(rt.channel)},
-                  {"lost", std::to_string(rt.stats.payloads_lost)}});
+                  {"lost", std::to_string(
+                               stats_[static_cast<std::size_t>(id)]
+                                   .payloads_lost)}});
   }
 
   [[gnu::cold]] [[gnu::noinline]] void trace_backoff_cold(
@@ -315,7 +366,9 @@ class Simulator {
     trace_->span(node_track(rt.message.request.src), "backoff", "backoff",
                  now_, until,
                  {{"msg", std::to_string(id)},
-                  {"retry", std::to_string(rt.stats.retries)}});
+                  {"retry",
+                   std::to_string(stats_[static_cast<std::size_t>(id)]
+                                      .retries)}});
   }
 
   /// True iff the event belongs to a superseded reservation attempt (the
@@ -348,7 +401,7 @@ class Simulator {
   /// worst-case control round trip plus one backoff.
   std::int64_t timeout_for(const RuntimeMessage& rt) const {
     if (params_.timeout_slots > 0) return params_.timeout_slots;
-    const auto hops = static_cast<std::int64_t>(rt.links.size());
+    const auto hops = static_cast<std::int64_t>(rt.hop_count);
     return 2 * (2 * params_.ctrl_local_slots +
                 2 * hops * params_.ctrl_hop_slots) +
            params_.backoff_slots;
@@ -356,11 +409,12 @@ class Simulator {
 
   /// Head-of-line: the source works on the front message of its queue.
   void on_issue(std::int32_t node) {
-    auto& queue = queues_[static_cast<std::size_t>(node)];
-    if (queue.empty()) return;
-    const auto id = queue.front();
+    const auto n = static_cast<std::size_t>(node);
+    if (queue_head_[n] >= queue_end_[n]) return;
+    const auto id = queue_ids_[static_cast<std::size_t>(queue_head_[n])];
     auto& rt = msg(id);
-    if (rt.stats.issued < 0) rt.stats.issued = now_;
+    auto& stats = stats_[static_cast<std::size_t>(id)];
+    if (stats.issued < 0) stats.issued = now_;
     rt.state = MsgState::kReserving;
     ++rt.attempt;
     if (trace_) attempt_starts_[static_cast<std::size_t>(id)] = now_;
@@ -377,7 +431,7 @@ class Simulator {
                        std::int32_t attempt) {
     auto& rt = msg(id);
     if (stale(rt, attempt)) return;
-    const auto link = rt.links[static_cast<std::size_t>(hop)];
+    const auto link = link_at(rt, hop);
     ChannelMask avail = rt.mask & free_[static_cast<std::size_t>(link)];
     // A link that is down reads as loss-of-signal at the controller: no
     // channel of it is reservable.
@@ -390,9 +444,9 @@ class Simulator {
       return;
     }
     free_[static_cast<std::size_t>(link)] &= ~avail;
-    rt.reserved[static_cast<std::size_t>(hop)] = avail;
+    reserved_at(rt, hop) = avail;
     rt.mask = avail;
-    const bool is_last = hop + 1 == static_cast<std::int32_t>(rt.links.size());
+    const bool is_last = hop + 1 == static_cast<std::int32_t>(rt.hop_count);
     if (is_last) {
       push(now_ + params_.ctrl_local_slots, EventKind::kDstSelect, id, 0,
            attempt);
@@ -400,8 +454,7 @@ class Simulator {
       // Crossing to the next switch costs a shadow-network hop when this
       // link is a network link; the injection link is switch-local.  Only
       // a genuine crossing can lose the packet.
-      const bool network_hop =
-          net_.link(link).kind == topo::LinkKind::kNetwork;
+      const bool network_hop = is_network(link);
       if (network_hop && ctrl_dropped(rt, id, kTagReserve, hop))
         return;  // the source's timeout will reclaim hops [0, hop]
       push(now_ + (network_hop ? params_.ctrl_hop_slots : 0),
@@ -415,23 +468,23 @@ class Simulator {
     rt.channel = std::countr_zero(rt.mask);
     // The ACK walks the path backwards releasing non-selected channels.
     push(now_, EventKind::kAckStep, id,
-         static_cast<std::int32_t>(rt.links.size()) - 1, attempt);
+         static_cast<std::int32_t>(rt.hop_count) - 1, attempt);
   }
 
   void on_ack_step(std::int32_t id, std::int32_t hop, std::int32_t attempt) {
     auto& rt = msg(id);
     if (stale(rt, attempt)) return;
-    const auto link = rt.links[static_cast<std::size_t>(hop)];
+    const auto link = link_at(rt, hop);
     const ChannelMask keep = ChannelMask{1}
                              << static_cast<unsigned>(rt.channel);
-    free_[static_cast<std::size_t>(link)] |=
-        rt.reserved[static_cast<std::size_t>(hop)] & ~keep;
-    rt.reserved[static_cast<std::size_t>(hop)] = keep;
+    auto& reserved = reserved_at(rt, hop);
+    free_[static_cast<std::size_t>(link)] |= reserved & ~keep;
+    reserved = keep;
     if (hop == 0) {
       establish(id);
       return;
     }
-    const bool network_hop = net_.link(link).kind == topo::LinkKind::kNetwork;
+    const bool network_hop = is_network(link);
     if (network_hop && ctrl_dropped(rt, id, kTagAck, hop))
       return;  // downstream is committed; timeout + hold timers recover
     push(now_ + (network_hop ? params_.ctrl_hop_slots : 0),
@@ -440,10 +493,11 @@ class Simulator {
 
   void establish(std::int32_t id) {
     auto& rt = msg(id);
+    auto& stats = stats_[static_cast<std::size_t>(id)];
     trace_attempt_end(rt, id, "ack");
     rt.state = MsgState::kTransmitting;
-    rt.stats.established = now_;
-    rt.stats.slot = rt.channel;
+    stats.established = now_;
+    stats.slot = rt.channel;
     std::int64_t first = 0, stride = 1;
     if (params_.channel == ChannelKind::kWavelength) {
       // The wavelength runs at full rate: one payload per slot.
@@ -466,19 +520,23 @@ class Simulator {
     // moment the circuit is established, and the protocol has no
     // per-payload acknowledgment to react with.
     if (has_link_faults_) {
-      std::vector<char> lost(static_cast<std::size_t>(rt.message.slots), 0);
-      faults_->mark_lost_payloads(rt.links, first, stride, lost);
-      rt.stats.payloads_lost = static_cast<std::int64_t>(
-          std::count(lost.begin(), lost.end(), char{1}));
+      lost_scratch_.assign(static_cast<std::size_t>(rt.message.slots), 0);
+      faults_->mark_lost_payloads(
+          std::span<const topo::LinkId>(links_).subspan(rt.first_hop,
+                                                        rt.hop_count),
+          first, stride, lost_scratch_);
+      stats.payloads_lost = static_cast<std::int64_t>(
+          std::count(lost_scratch_.begin(), lost_scratch_.end(), char{1}));
     }
   }
 
   void on_data_done(std::int32_t id) {
     auto& rt = msg(id);
+    auto& stats = stats_[static_cast<std::size_t>(id)];
     rt.state = MsgState::kDone;
-    rt.stats.completed = now_;
-    rt.stats.outcome = rt.stats.payloads_lost > 0 ? MessageOutcome::kLost
-                                                  : MessageOutcome::kDelivered;
+    stats.completed = now_;
+    stats.outcome = stats.payloads_lost > 0 ? MessageOutcome::kLost
+                                            : MessageOutcome::kDelivered;
     if (trace_) trace_payload_cold(rt, id);
     --remaining_;
     // Release travels forward freeing the selected channel hop by hop.
@@ -488,27 +546,25 @@ class Simulator {
 
   /// The source moves on to its next queued message.
   void advance_queue(topo::NodeId node) {
-    auto& queue = queues_[static_cast<std::size_t>(node)];
-    queue.pop_front();
-    if (!queue.empty())
+    const auto n = static_cast<std::size_t>(node);
+    if (++queue_head_[n] < queue_end_[n])
       push(now_ + params_.ctrl_local_slots, EventKind::kIssue, node, 0, 0);
   }
 
   void on_release_step(std::int32_t id, std::int32_t hop) {
     auto& rt = msg(id);
-    const auto link = rt.links[static_cast<std::size_t>(hop)];
-    free_[static_cast<std::size_t>(link)] |=
-        rt.reserved[static_cast<std::size_t>(hop)];
-    rt.reserved[static_cast<std::size_t>(hop)] = 0;
-    if (hop + 1 < static_cast<std::int32_t>(rt.links.size())) {
-      const bool network_hop =
-          net_.link(link).kind == topo::LinkKind::kNetwork;
+    const auto link = link_at(rt, hop);
+    auto& reserved = reserved_at(rt, hop);
+    free_[static_cast<std::size_t>(link)] |= reserved;
+    reserved = 0;
+    if (hop + 1 < static_cast<std::int32_t>(rt.hop_count)) {
+      const bool network_hop = is_network(link);
       if (network_hop && ctrl_dropped(rt, id, kTagRelease, hop)) {
         // The downstream switches never hear the release; their hold
         // timers reclaim the channel after the time the sweep would have
         // taken plus a hold margin.
         push(now_ + params_.ctrl_local_slots +
-                 static_cast<std::int64_t>(rt.links.size()) *
+                 static_cast<std::int64_t>(rt.hop_count) *
                      params_.ctrl_hop_slots,
              EventKind::kCleanup, id, 0, rt.attempt);
         return;
@@ -529,15 +585,15 @@ class Simulator {
   void on_nack_step(std::int32_t id, std::int32_t hop, std::int32_t attempt) {
     auto& rt = msg(id);
     if (stale(rt, attempt)) return;
-    const auto link = rt.links[static_cast<std::size_t>(hop)];
-    free_[static_cast<std::size_t>(link)] |=
-        rt.reserved[static_cast<std::size_t>(hop)];
-    rt.reserved[static_cast<std::size_t>(hop)] = 0;
+    const auto link = link_at(rt, hop);
+    auto& reserved = reserved_at(rt, hop);
+    free_[static_cast<std::size_t>(link)] |= reserved;
+    reserved = 0;
     if (hop == 0) {
       retry(id, "nack");
       return;
     }
-    const bool network_hop = net_.link(link).kind == topo::LinkKind::kNetwork;
+    const bool network_hop = is_network(link);
     if (network_hop && ctrl_dropped(rt, id, kTagNack, hop))
       return;  // source times out instead of hearing the NACK
     push(now_ + (network_hop ? params_.ctrl_hop_slots : 0),
@@ -550,7 +606,7 @@ class Simulator {
   void on_timeout(std::int32_t id, std::int32_t attempt) {
     auto& rt = msg(id);
     if (rt.state != MsgState::kReserving || rt.attempt != attempt) return;
-    ++rt.stats.timeouts;
+    ++stats_[static_cast<std::size_t>(id)].timeouts;
     if (trace_) trace_timeout_cold(rt, id, attempt);
     release_all(rt);
     retry(id, "timeout");
@@ -564,14 +620,16 @@ class Simulator {
   }
 
   void release_all(RuntimeMessage& rt) {
-    for (std::size_t h = 0; h < rt.links.size(); ++h) {
-      free_[static_cast<std::size_t>(rt.links[h])] |= rt.reserved[h];
-      rt.reserved[h] = 0;
+    for (std::uint32_t h = 0; h < rt.hop_count; ++h) {
+      auto& reserved = reserved_[rt.first_hop + h];
+      free_[static_cast<std::size_t>(links_[rt.first_hop + h])] |= reserved;
+      reserved = 0;
     }
   }
 
   void retry(std::int32_t id, const char* cause) {
     auto& rt = msg(id);
+    auto& stats = stats_[static_cast<std::size_t>(id)];
     trace_attempt_end(rt, id, cause);
     // Back to the queued state: a stale timeout firing during the backoff
     // wait must not trigger a second concurrent retry of this message.
@@ -583,9 +641,9 @@ class Simulator {
     // upstream channels are back in the free pool — two connections could
     // then share a link channel.
     ++rt.attempt;
-    ++rt.stats.retries;
+    ++stats.retries;
     if (params_.retry_budget > 0 &&
-        rt.stats.retries > params_.retry_budget) {
+        stats.retries > params_.retry_budget) {
       fail_message(id);
       return;
     }
@@ -594,7 +652,7 @@ class Simulator {
     // (identical RNG draws, bit for bit).
     std::int64_t base = params_.backoff_slots;
     if (params_.max_backoff_slots > 0) {
-      for (int a = 1; a < rt.stats.retries &&
+      for (int a = 1; a < stats.retries &&
                       base < params_.max_backoff_slots;
            ++a)
         base = std::min(base * 2, params_.max_backoff_slots);
@@ -611,7 +669,7 @@ class Simulator {
   void fail_message(std::int32_t id) {
     auto& rt = msg(id);
     rt.state = MsgState::kFailed;
-    rt.stats.outcome = MessageOutcome::kFailed;
+    stats_[static_cast<std::size_t>(id)].outcome = MessageOutcome::kFailed;
     release_all(rt);  // defensive; NACK/timeout paths already released
     --remaining_;
     advance_queue(rt.message.request.src);
@@ -638,9 +696,22 @@ class Simulator {
   std::int64_t ctrl_dropped_ = 0;
   std::size_t remaining_ = 0;
   std::vector<ChannelMask> free_;
+  std::vector<unsigned char> link_is_network_;
+  /// Path-link arena: message m's path is
+  /// `links_[m.first_hop .. m.first_hop + m.hop_count)`.
+  std::vector<topo::LinkId> links_;
+  /// Reservation arena, parallel to `links_`; zeroed outside an in-flight
+  /// reservation.
+  std::vector<ChannelMask> reserved_;
   std::vector<RuntimeMessage> msgs_;
-  std::vector<std::deque<std::int32_t>> queues_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<DynamicMessageStats> stats_;
+  /// Flat per-source FIFO queues over `queue_ids_`.
+  std::vector<std::int32_t> queue_ids_;
+  std::vector<std::int32_t> queue_head_;
+  std::vector<std::int32_t> queue_end_;
+  /// Reused payload-loss marking buffer (fault runs only).
+  std::vector<char> lost_scratch_;
+  CalendarQueue<Event> events_;
 };
 
 }  // namespace

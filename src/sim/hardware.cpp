@@ -114,13 +114,20 @@ CompiledResult execute_impl(const topo::Network& net,
   for (auto& channel : channels)
     channel.remaining = messages[channel.queue.front()].slots;
 
+  // Per-slot channel index: each tick visits only the channels that own
+  // the active slot instead of scanning all of them.
+  std::vector<std::vector<std::size_t>> channels_by_slot(
+      static_cast<std::size_t>(schedule.degree()));
+  for (std::size_t c = 0; c < channels.size(); ++c)
+    channels_by_slot[static_cast<std::size_t>(channels[c].slot)].push_back(c);
+
   std::size_t unfinished = channels.size();
   for (std::int64_t t = params.setup_slots; unfinished > 0; ++t) {
     const auto active = (t - params.setup_slots) % frame;
     if (active >= schedule.degree()) continue;  // padded idle slot
     const auto& table = next[static_cast<std::size_t>(active)];
-    for (auto& channel : channels) {
-      if (channel.slot != active) continue;
+    for (const auto c : channels_by_slot[static_cast<std::size_t>(active)]) {
+      auto& channel = channels[c];
       if (channel.at >= channel.queue.size()) continue;
 
       // Drive the injection port and follow the crossbars.  With a fault

@@ -300,4 +300,94 @@ TEST(SimDynamic, TinyTimeoutWithBudgetTerminatesCleanly) {
   EXPECT_EQ(result.messages[0].timeouts, params.retry_budget + 1);
 }
 
+// Golden pins for the event-core rewrite (binary heap -> calendar queue,
+// AoS -> SoA message arenas): the totals below were captured from the
+// pre-rewrite simulator and must never drift.  The protocol breaks ties
+// by event sequence number, so any reordering inside the queue — however
+// "equivalent" by (time)-only comparison — shows up here as a changed
+// retry count or makespan.
+
+TEST(SimDynamic, GoldenHealthyTotalsArePinned) {
+  topo::TorusNetwork net(8, 8);
+  struct Golden {
+    std::uint64_t pattern_seed;
+    int k;
+    std::int64_t total_slots;
+    std::int64_t retries;
+  };
+  const Golden golden[] = {
+      {17, 1, 1228, 610}, {17, 2, 807, 307},  {17, 5, 876, 229},
+      {17, 10, 951, 181}, {20, 1, 1431, 604}, {20, 2, 941, 280},
+      {20, 5, 791, 184},  {20, 10, 881, 173}, {99, 1, 1023, 604},
+      {99, 2, 905, 325},  {99, 5, 706, 230},  {99, 10, 901, 219},
+  };
+  for (const auto& pin : golden) {
+    util::Rng rng(pin.pattern_seed);
+    const auto requests = patterns::random_pattern(64, 300, rng);
+    const auto messages = sim::uniform_messages(requests, 3);
+    const auto result =
+        simulate_dynamic(net, messages, quiet_params(pin.k));
+    ASSERT_TRUE(result.completed) << "seed " << pin.pattern_seed;
+    EXPECT_TRUE(result.clean_shutdown) << "seed " << pin.pattern_seed;
+    EXPECT_EQ(result.total_slots, pin.total_slots)
+        << "seed " << pin.pattern_seed << " K=" << pin.k;
+    EXPECT_EQ(result.total_retries, pin.retries)
+        << "seed " << pin.pattern_seed << " K=" << pin.k;
+  }
+}
+
+TEST(SimDynamic, GoldenFaultedTotalsArePinned) {
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(17);
+  const auto requests = patterns::random_pattern(64, 120, rng);
+  const auto messages = sim::uniform_messages(requests, 4);
+  const sim::FaultSpec spec{0.02, 0.05, 1024, 256, 0.05, false, 0xfa017};
+  const auto timeline = sim::random_fault_timeline(net, spec);
+
+  struct Golden {
+    int k;
+    std::int64_t total_slots, retries, timeouts, lost, failed, ctrl;
+  };
+  const Golden golden[] = {
+      {2, 3349, 272, 109, 0, 6, 130},
+      {10, 3571, 219, 104, 1, 4, 129},
+  };
+  for (const auto& pin : golden) {
+    sim::DynamicParams params;
+    params.multiplexing_degree = pin.k;
+    params.retry_budget = 8;
+    params.max_backoff_slots = 512;
+    const auto result = simulate_dynamic(net, messages, params, timeline);
+    EXPECT_TRUE(result.clean_shutdown) << "K=" << pin.k;
+    EXPECT_EQ(result.total_slots, pin.total_slots) << "K=" << pin.k;
+    EXPECT_EQ(result.total_retries, pin.retries) << "K=" << pin.k;
+    EXPECT_EQ(result.faults.timeouts, pin.timeouts) << "K=" << pin.k;
+    EXPECT_EQ(result.faults.messages_lost, pin.lost) << "K=" << pin.k;
+    EXPECT_EQ(result.faults.messages_failed, pin.failed) << "K=" << pin.k;
+    EXPECT_EQ(result.faults.ctrl_dropped, pin.ctrl) << "K=" << pin.k;
+  }
+}
+
+TEST(SimDynamic, GoldenPolicyAndWavelengthTotalsArePinned) {
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(7);
+  const auto requests = patterns::random_pattern(64, 200, rng);
+  const auto messages = sim::uniform_messages(requests, 5);
+
+  sim::DynamicParams params;
+  params.multiplexing_degree = 4;
+  params.policy = DynamicParams::Policy::kReserveOne;
+  auto result = simulate_dynamic(net, messages, params);
+  EXPECT_TRUE(result.clean_shutdown);
+  EXPECT_EQ(result.total_slots, 733);
+  EXPECT_EQ(result.total_retries, 590);
+
+  params.policy = DynamicParams::Policy::kReserveAll;
+  params.channel = sim::ChannelKind::kWavelength;
+  result = simulate_dynamic(net, messages, params);
+  EXPECT_TRUE(result.clean_shutdown);
+  EXPECT_EQ(result.total_slots, 297);
+  EXPECT_EQ(result.total_retries, 160);
+}
+
 }  // namespace

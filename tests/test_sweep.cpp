@@ -1,0 +1,262 @@
+// Tests for apps::SweepRunner — grid expansion order, equivalence to the
+// serial simulations it replaces, schedule-cache reuse across cells, and
+// byte-identical results at OPTDM_THREADS in {1, 2, 8}.
+//
+// The pool's worker count is fixed at its lazy construction, so the
+// thread-invariance test cannot vary OPTDM_THREADS in-process: a custom
+// main() accepts a hidden --sweep-digest mode that runs a fixed grid and
+// prints a digest of every cell, and the test re-executes its own binary
+// under each thread count and compares the digests.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "apps/sweep.hpp"
+#include "apps/workloads.hpp"
+#include "patterns/random.hpp"
+#include "sim/dynamic.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+
+const char* g_self = nullptr;  // argv[0], for the self-exec test
+
+apps::SweepGrid small_grid() {
+  apps::SweepGrid grid;
+  util::Rng rng(11);
+  for (int i = 0; i < 2; ++i) {
+    apps::CommPhase phase;
+    phase.name = "random-" + std::to_string(i);
+    phase.messages =
+        sim::uniform_messages(patterns::random_pattern(64, 60, rng), 3);
+    grid.phases.push_back(std::move(phase));
+  }
+  for (const int k : {2, 5}) {
+    apps::DynamicVariant variant;
+    variant.label = "K=" + std::to_string(k);
+    variant.params.multiplexing_degree = k;
+    grid.dynamic.push_back(std::move(variant));
+  }
+  grid.faults = {
+      {"none", {}},
+      {"faulty", {0.02, 0.05, 1024, 256, 0.05, false, 0xfa017}},
+  };
+  grid.seeds = {7, 8};
+  return grid;
+}
+
+/// Serializes every observable of a sweep into one string; two sweeps
+/// are byte-identical iff their digests match.
+std::string digest(const apps::SweepResult& sweep) {
+  std::ostringstream out;
+  for (const auto& cell : sweep.compiled)
+    out << 'c' << cell.phase << ',' << cell.fault << ',' << cell.degree
+        << ',' << cell.cache_hit << ',' << cell.result.total_slots << ','
+        << cell.result.faults.payloads_lost << ';';
+  for (const auto& cell : sweep.dynamic) {
+    out << 'd' << cell.phase << ',' << cell.fault << ',' << cell.variant
+        << ',' << cell.seed << ',' << cell.result.total_slots << ','
+        << cell.result.total_retries << ','
+        << cell.result.faults.ctrl_dropped << ','
+        << cell.result.faults.messages_failed << ';';
+    for (const auto& m : cell.result.messages)
+      out << m.completed << ',' << m.retries << '|';
+  }
+  return out.str();
+}
+
+std::string run_digest_grid() {
+  topo::TorusNetwork net(8, 8);
+  apps::SweepRunner runner(net);
+  return digest(runner.run(small_grid()));
+}
+
+TEST(Sweep, ExpansionOrderIsPhaseFaultVariantSeed) {
+  topo::TorusNetwork net(8, 8);
+  const auto grid = small_grid();
+  apps::SweepRunner runner(net);
+  const auto sweep = runner.run(grid);
+
+  ASSERT_EQ(sweep.fault_count, 2u);
+  ASSERT_EQ(sweep.variant_count, 2u);
+  ASSERT_EQ(sweep.seed_count, 2u);
+  ASSERT_EQ(sweep.timelines.size(), 2u);
+  ASSERT_EQ(sweep.compiled.size(), 2u * 2u);
+  ASSERT_EQ(sweep.dynamic.size(), 2u * 2u * 2u * 2u);
+
+  // Compiled cells: phase-major, fault-minor.
+  std::size_t i = 0;
+  for (std::size_t p = 0; p < 2; ++p)
+    for (std::size_t f = 0; f < 2; ++f, ++i) {
+      EXPECT_EQ(sweep.compiled[i].phase, p);
+      EXPECT_EQ(sweep.compiled[i].fault, f);
+      EXPECT_EQ(&sweep.compiled_cell(p, f), &sweep.compiled[i]);
+    }
+
+  // Dynamic cells: (phase, fault, variant, seed), innermost fastest.
+  i = 0;
+  for (std::size_t p = 0; p < 2; ++p)
+    for (std::size_t f = 0; f < 2; ++f)
+      for (std::size_t v = 0; v < 2; ++v)
+        for (std::size_t s = 0; s < 2; ++s, ++i) {
+          EXPECT_EQ(sweep.dynamic[i].phase, p);
+          EXPECT_EQ(sweep.dynamic[i].fault, f);
+          EXPECT_EQ(sweep.dynamic[i].variant, v);
+          EXPECT_EQ(sweep.dynamic[i].seed, s);
+          EXPECT_EQ(&sweep.dynamic_cell(p, f, v, s), &sweep.dynamic[i]);
+        }
+}
+
+TEST(Sweep, CellsMatchDirectSerialSimulation) {
+  topo::TorusNetwork net(8, 8);
+  const auto grid = small_grid();
+  apps::SweepRunner runner(net);
+  const auto sweep = runner.run(grid);
+
+  // Timelines are drawn in level order from each level's own spec, so
+  // re-deriving them directly must agree with what the cells saw.
+  for (std::size_t p = 0; p < grid.phases.size(); ++p)
+    for (std::size_t f = 0; f < grid.faults.size(); ++f) {
+      const auto timeline =
+          sim::random_fault_timeline(net, grid.faults[f].spec);
+      for (std::size_t v = 0; v < grid.dynamic.size(); ++v)
+        for (std::size_t s = 0; s < grid.seeds.size(); ++s) {
+          auto params = grid.dynamic[v].params;
+          params.seed = grid.seeds[s];
+          const auto direct = sim::simulate_dynamic(
+              net, grid.phases[p].messages, params, timeline, nullptr);
+          const auto& cell = sweep.dynamic_cell(p, f, v, s).result;
+          EXPECT_EQ(cell.total_slots, direct.total_slots);
+          EXPECT_EQ(cell.total_retries, direct.total_retries);
+          EXPECT_EQ(cell.faults.ctrl_dropped, direct.faults.ctrl_dropped);
+        }
+    }
+}
+
+TEST(Sweep, RepeatedPhasesHitTheScheduleCache) {
+  topo::TorusNetwork net(8, 8);
+  apps::SweepGrid grid;
+  util::Rng rng(3);
+  apps::CommPhase phase;
+  phase.name = "repeated";
+  phase.messages =
+      sim::uniform_messages(patterns::random_pattern(64, 80, rng), 2);
+  grid.phases.push_back(phase);
+  grid.phases.push_back(phase);  // identical pattern -> cache hit
+
+  apps::SweepRunner runner(net);
+  const auto sweep = runner.run(grid);
+  ASSERT_EQ(sweep.compilations.size(), 2u);
+  EXPECT_FALSE(sweep.compilations[0].cache_hit);
+  EXPECT_TRUE(sweep.compilations[1].cache_hit);
+  EXPECT_FALSE(sweep.compiled_cell(0).cache_hit);
+  EXPECT_TRUE(sweep.compiled_cell(1).cache_hit);
+  // A cache hit is byte-identical to the cold compile it memoizes.
+  EXPECT_EQ(sweep.compiled_cell(0).degree, sweep.compiled_cell(1).degree);
+  EXPECT_EQ(sweep.compiled_cell(0).result.total_slots,
+            sweep.compiled_cell(1).result.total_slots);
+
+  // The cache persists across run() calls on the same runner.
+  const auto again = runner.run(grid);
+  EXPECT_TRUE(again.compilations[0].cache_hit);
+  EXPECT_TRUE(again.compilations[1].cache_hit);
+  EXPECT_EQ(again.compiled_cell(0).result.total_slots,
+            sweep.compiled_cell(0).result.total_slots);
+}
+
+TEST(Sweep, RecoverySweepRunsTheRecompileLoop) {
+  topo::TorusNetwork net(8, 8);
+  apps::SweepGrid grid;
+  util::Rng rng(5);
+  apps::CommPhase phase;
+  phase.name = "random";
+  phase.messages =
+      sim::uniform_messages(patterns::random_pattern(64, 60, rng), 3);
+  grid.phases.push_back(std::move(phase));
+  grid.faults = {
+      {"none", {}},
+      {"faulty", {0.02, 0.05, 1024, 256, 0.0, false, 0xfa017}},
+  };
+
+  apps::SweepOptions options;
+  options.recovery = true;
+  apps::SweepRunner runner(net, options);
+  const auto sweep = runner.run(grid);
+
+  ASSERT_EQ(sweep.compiled.size(), 2u);
+  for (const auto& cell : sweep.compiled) {
+    ASSERT_TRUE(cell.recovery.has_value());
+    EXPECT_GT(cell.degree, 0);
+  }
+  // Healthy level: round 1 delivers everything.
+  EXPECT_TRUE(sweep.compiled_cell(0, 0).recovery->all_delivered());
+  EXPECT_EQ(sweep.compiled_cell(0, 0).recovery->rounds.size(), 1u);
+}
+
+TEST(Sweep, DynamicBatchMatchesSerialRuns) {
+  topo::TorusNetwork net(8, 8);
+  util::Rng rng(9);
+  std::vector<std::vector<sim::Message>> storage;
+  for (int i = 0; i < 3; ++i)
+    storage.push_back(
+        sim::uniform_messages(patterns::random_pattern(64, 50, rng), 2));
+
+  std::vector<apps::DynamicRun> runs;
+  for (int i = 0; i < 3; ++i) {
+    apps::DynamicRun run;
+    run.messages = storage[static_cast<std::size_t>(i)];
+    run.params.multiplexing_degree = 2 + i;
+    run.params.seed = static_cast<std::uint64_t>(100 + i);
+    runs.push_back(run);
+  }
+
+  const auto batch = apps::run_dynamic_batch(net, runs);
+  ASSERT_EQ(batch.size(), runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto direct =
+        sim::simulate_dynamic(net, runs[i].messages, runs[i].params);
+    EXPECT_EQ(batch[i].total_slots, direct.total_slots);
+    EXPECT_EQ(batch[i].total_retries, direct.total_retries);
+  }
+}
+
+TEST(Sweep, ByteIdenticalAcrossThreadCounts) {
+  ASSERT_NE(g_self, nullptr);
+  std::string digests[3];
+  const char* counts[] = {"1", "2", "8"};
+  for (int i = 0; i < 3; ++i) {
+    const std::string cmd = std::string("OPTDM_THREADS=") + counts[i] + " '" +
+                            g_self + "' --sweep-digest";
+    FILE* pipe = popen(cmd.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    char buffer[4096];
+    while (std::fgets(buffer, sizeof buffer, pipe) != nullptr)
+      digests[i] += buffer;
+    const int status = pclose(pipe);
+    ASSERT_EQ(status, 0) << "self-exec failed under OPTDM_THREADS="
+                         << counts[i];
+    ASSERT_FALSE(digests[i].empty());
+  }
+  EXPECT_EQ(digests[0], digests[1]) << "1 vs 2 threads";
+  EXPECT_EQ(digests[0], digests[2]) << "1 vs 8 threads";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--sweep-digest") {
+    std::printf("%s\n", run_digest_grid().c_str());
+    return 0;
+  }
+  g_self = argv[0];
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -3,6 +3,7 @@
 
 Usage:
     tools/bench_diff.py BASELINE.json CURRENT.json [--threshold=15]
+                        [--filter=REGEX]
 
 Typical workflow:
     build/bench/perf_schedulers --benchmark_format=json \
@@ -13,11 +14,14 @@ Prints a per-benchmark table of baseline vs current real time and the
 ratio.  Benchmarks slower than baseline by more than the threshold
 (percent, default 15) are flagged as regressions and make the script exit
 with status 1 — suitable as a CI gate.  Benchmarks present in only one
-file are listed but never flagged.
+file are listed but never flagged.  ``--filter`` restricts the comparison
+(and the gate) to benchmark names matching the regex — useful for gating
+a stable subset while the rest of a suite is advisory.
 """
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -71,10 +75,21 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=15.0,
                         help="regression threshold in percent (default 15)")
+    parser.add_argument("--filter", default=None, metavar="REGEX",
+                        help="only compare benchmarks whose name matches "
+                             "this regular expression (re.search)")
     args = parser.parse_args()
 
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)
+
+    if args.filter is not None:
+        try:
+            pattern = re.compile(args.filter)
+        except re.error as err:
+            sys.exit(f"bench_diff: invalid --filter regex: {err}")
+        baseline = {n: t for n, t in baseline.items() if pattern.search(n)}
+        current = {n: t for n, t in current.items() if pattern.search(n)}
 
     shared = [name for name in baseline if name in current]
     only_baseline = [name for name in baseline if name not in current]

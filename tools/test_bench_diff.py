@@ -111,6 +111,27 @@ class DiffTest(unittest.TestCase):
         cur = self.bench_file("cur3.json", {"BM_New": 5000.0})
         self.assertEqual(run_main([base, cur]), 0)
 
+    def test_filter_excludes_regressions_outside_the_subset(self):
+        base = self.bench_file("base4.json",
+                               {"BM_Gated": 100.0, "BM_Noisy": 100.0})
+        cur = self.bench_file("cur4.json",
+                              {"BM_Gated": 105.0, "BM_Noisy": 900.0})
+        self.assertEqual(run_main([base, cur, "--filter=Gated"]), 0)
+
+    def test_filter_still_flags_matching_regressions(self):
+        base = self.bench_file("base5.json",
+                               {"BM_Gated": 100.0, "BM_Noisy": 100.0})
+        cur = self.bench_file("cur5.json",
+                              {"BM_Gated": 900.0, "BM_Noisy": 100.0})
+        self.assertEqual(run_main([base, cur, "--filter=Gated"]), 1)
+
+    def test_invalid_filter_regex_is_a_clear_error(self):
+        base = self.bench_file("base6.json", {"BM_A": 100.0})
+        cur = self.bench_file("cur6.json", {"BM_A": 100.0})
+        with self.assertRaises(SystemExit) as ctx:
+            run_main([base, cur, "--filter=[unclosed"])
+        self.assertIn("regex", str(ctx.exception))
+
 
 if __name__ == "__main__":
     unittest.main()
