@@ -1,50 +1,20 @@
-#include "sim/dynamic.hpp"
+#include "legacy/dynamic_prepr.hpp"
 
 #include <algorithm>
 #include <bit>
-#include <cstdint>
-#include <span>
 #include <stdexcept>
-#include <string>
 #include <vector>
 
-#if defined(__linux__)
-#include <sys/mman.h>
-#include <unistd.h>
-#endif
-
+#include "core/path.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 
-namespace optdm::sim {
+namespace optdm::legacybench {
+using namespace optdm::sim;
 
 namespace {
-
-/// Asks the kernel to back a large arena with huge pages (2 MiB on
-/// x86-64).  At the 1e6-message scale the path-hop arena alone spans
-/// hundreds of megabytes and the ~1e3 concurrently active paths scatter
-/// across more 4 KiB pages than the TLB holds, so page-walk stalls creep
-/// into every protocol step.  Must run after the allocation but before
-/// the pages are first touched (the hint applies at fault time).
-/// Advisory only: on failure or off-Linux nothing changes but timing.
-void advise_hugepages(void* data, std::size_t bytes) {
-#if defined(__linux__)
-  constexpr std::size_t kMinBytes = 32u << 20;
-  if (data == nullptr || bytes < kMinBytes) return;
-  const auto page = static_cast<std::uintptr_t>(::sysconf(_SC_PAGESIZE));
-  auto begin = reinterpret_cast<std::uintptr_t>(data);
-  auto end = begin + bytes;
-  begin = (begin + page - 1) & ~(page - 1);
-  end &= ~(page - 1);
-  if (end > begin)
-    ::madvise(reinterpret_cast<void*>(begin), end - begin, MADV_HUGEPAGE);
-#else
-  (void)data;
-  (void)bytes;
-#endif
-}
 
 /// Channel mask over the K slots of one link.
 using ChannelMask = std::uint64_t;
@@ -70,23 +40,19 @@ enum CtrlTag : std::uint8_t {
   kTagRelease = 4,
 };
 
-/// One scheduled protocol step.  Neither the slot nor a sequence number
-/// is stored: `SlotQueue` keys payloads by slot externally and replays a
-/// slot's payloads in push order, which *is* the FIFO tie-break the old
-/// `(time, seq)`-keyed event carried — 16 bytes instead of 32 through
-/// the queue on every one of the run's ~1e3 events per message.
-///
-/// `first_hop` duplicates the message's arena offset so the run loop can
-/// prefetch the event's hop-arena entry without first loading the
-/// message record (the two random loads would otherwise chain).
 struct Event {
-  std::int32_t subject = 0;  // node for kIssue, message id otherwise
-  std::int32_t attempt = 0;  // reservation attempt the event belongs to
-  std::uint32_t first_hop = 0;  // subject's path offset in the hop arena
-  std::int16_t hop = 0;      // path hop index (paths are <= 130 links)
+  std::int64_t time = 0;
+  std::int64_t seq = 0;  // FIFO tie-break for determinism
   EventKind kind = EventKind::kIssue;
+  std::int32_t subject = 0;  // node for kIssue, message id otherwise
+  std::int32_t hop = 0;
+  std::int32_t attempt = 0;  // reservation attempt the event belongs to
+
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
 };
-static_assert(sizeof(Event) <= 16, "hot event payload grew");
 
 /// Per-message protocol state.  Terminal states are kDone and kFailed.
 enum class MsgState : std::uint8_t {
@@ -97,42 +63,24 @@ enum class MsgState : std::uint8_t {
   kFailed,
 };
 
-/// Per-message protocol state, structure-of-arrays style: the per-hop
-/// path state lives in a shared arena (`Simulator::hops_`, indexed by
-/// `first_hop`), the externally visible timings live in the result's
-/// stats vector, and the cold per-message inputs (payload size) live in
-/// `Simulator::msg_slots_` — this struct is only the hot protocol core
-/// the event handlers touch, packed to 32 bytes so two messages share a
-/// cache line at the 1e6-message scale.
+/// Per-message protocol state, structure-of-arrays style: the path links
+/// and per-hop reservations live in shared arenas (`Simulator::links_` /
+/// `Simulator::reserved_`, both indexed by `first_hop`), and the
+/// externally visible timings live in the result's stats vector — this
+/// struct is only the hot protocol core the event handlers touch.
 struct RuntimeMessage {
+  Message message;
   /// Offset of this message's path in the link/reservation arenas.
   std::uint32_t first_hop = 0;
   /// Path length in links: [injection, network..., ejection].
   std::uint32_t hop_count = 0;
   /// Mask carried by the in-flight reservation packet.
   ChannelMask mask = 0;
+  /// Selected channel (slot index) once established.
+  int channel = -1;
+  MsgState state = MsgState::kQueued;
   /// Current reservation attempt; events of earlier attempts are stale.
   std::int32_t attempt = 0;
-  /// Source node (owner of the head-of-line queue this message sits in).
-  topo::NodeId src = 0;
-  /// Selected channel (slot index, < kMaxMultiplexingDegree) once
-  /// established.
-  std::int16_t channel = -1;
-  MsgState state = MsgState::kQueued;
-};
-static_assert(sizeof(RuntimeMessage) <= 32,
-              "hot per-message record grew past half a cache line");
-
-/// One path hop in the shared arena: the link it crosses and the
-/// channels tentatively reserved on it (zero outside an in-flight
-/// reservation).  Interleaved on purpose — every handler that reads a
-/// hop's link also reads or writes its reservation word, so pairing them
-/// costs one cache line per protocol step where the parallel-array
-/// layout cost two (which is what dominates once 1e6 in-flight paths
-/// blow past the L2).
-struct PathHop {
-  topo::LinkId link = 0;
-  ChannelMask reserved = 0;
 };
 
 class Simulator {
@@ -165,7 +113,6 @@ class Simulator {
           "simulate_dynamic: negative max_backoff_slots");
     has_faults_ = faults.active();
     has_link_faults_ = faults.has_link_faults();
-    reserve_one_ = params.policy == DynamicParams::Policy::kReserveOne;
     if (trace_) {
       node_tracks_.assign(static_cast<std::size_t>(net.node_count()), -1);
       attempt_starts_.assign(messages.size(), -1);
@@ -173,52 +120,41 @@ class Simulator {
     full_mask_ = params.multiplexing_degree == 64
                      ? ~ChannelMask{0}
                      : (ChannelMask{1} << params.multiplexing_degree) - 1;
-    // Slot-occupancy words, sized from the topology's capability query:
-    // with K <= kMaxMultiplexingDegree one 64-bit word holds a link's
-    // whole frame, so `occupancy_words` is exactly one mask per link.
-    const auto ext = net.extents();
-    free_.assign(net.occupancy_words(params.multiplexing_degree), full_mask_);
-    // The shadow-hop test "is this a network link" sits on the per-hop
-    // control path; read the network's SoA kind table directly instead of
-    // rebuilding a per-run byte array from the AoS records.
-    link_kinds_ = net.link_kind();
+    const auto link_count = static_cast<std::size_t>(net.link_count());
+    free_.assign(link_count, full_mask_);
+    // The shadow-hop test `net.link(id).kind == kNetwork` sits on the
+    // per-hop control path; one byte per link keeps it a flat load.
+    link_is_network_.resize(link_count);
+    for (topo::LinkId id = 0; id < net.link_count(); ++id)
+      link_is_network_[static_cast<std::size_t>(id)] =
+          net.link(id).kind == topo::LinkKind::kNetwork;
 
-    const auto node_count = static_cast<std::size_t>(ext.nodes);
-    const auto count = messages.size();
-    msgs_.reserve(count);
-    advise_hugepages(msgs_.data(), count * sizeof(RuntimeMessage));
-    msgs_.resize(count);
-    msg_slots_.resize(count);
-    stats_.reserve(count);
-    advise_hugepages(stats_.data(), count * sizeof(DynamicMessageStats));
-    stats_.assign(count, DynamicMessageStats{});
-
-    // Pass 1 — validate in input order (same errors, same order, as the
-    // old per-message make_path) and size everything up front: per-source
-    // counts for the queue layout, total hops for the path arena.
+    // Route every message once, packing all paths into one arena (and the
+    // per-hop reservation state into a parallel one) — no per-message
+    // vectors, one allocation each, sized in the same pass.
+    const auto node_count = static_cast<std::size_t>(net.node_count());
+    msgs_.reserve(messages.size());
+    stats_.assign(messages.size(), DynamicMessageStats{});
     std::vector<std::int32_t> per_node(node_count, 0);
-    std::int64_t total_hops = 0;
-    for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t i = 0; i < messages.size(); ++i) {
       const auto& m = messages[i];
       if (m.slots < 1)
         throw std::invalid_argument("simulate_dynamic: message size < 1");
-      if (m.request.src == m.request.dst)
-        throw std::invalid_argument("Path: self-request (" +
-                                    std::to_string(m.request.src) + " -> " +
-                                    std::to_string(m.request.dst) + ")");
-      if (m.request.src < 0 || m.request.src >= ext.nodes ||
-          m.request.dst < 0 || m.request.dst >= ext.nodes)
-        throw std::invalid_argument("Path: request endpoint outside network");
-      msgs_[i].src = m.request.src;
-      msg_slots_[i] = m.slots;
-      total_hops += net.route_hops(m.request.src, m.request.dst) + 2;
+      RuntimeMessage rt;
+      rt.message = m;
+      rt.first_hop = static_cast<std::uint32_t>(links_.size());
+      const auto path = core::make_path(net, m.request);
+      links_.insert(links_.end(), path.links.begin(), path.links.end());
+      rt.hop_count = static_cast<std::uint32_t>(path.links.size());
+      msgs_.push_back(rt);
       ++per_node[static_cast<std::size_t>(m.request.src)];
     }
+    reserved_.assign(links_.size(), 0);
 
     // Flat per-source queues (counting sort by source, input order kept):
     // `queue_ids_[queue_head_[n] .. queue_end_[n])` is node n's backlog;
     // the head index advances in place of the old deque's pop_front.
-    queue_ids_.resize(count);
+    queue_ids_.resize(messages.size());
     queue_head_.resize(node_count);
     queue_end_.resize(node_count);
     std::int32_t at = 0;
@@ -228,34 +164,10 @@ class Simulator {
       queue_end_[n] = at;
       per_node[n] = queue_head_[n];  // reuse as the fill cursor
     }
-    for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t i = 0; i < messages.size(); ++i) {
       const auto src = static_cast<std::size_t>(messages[i].request.src);
       queue_ids_[static_cast<std::size_t>(per_node[src]++)] =
           static_cast<std::int32_t>(i);
-    }
-
-    // Pass 2 — route every path into the shared hop arena via
-    // `route_links_into` (no per-message route vector allocation, no
-    // per-message LinkSet: the contiguity invariants make_path
-    // re-verified per call hold by construction for every in-tree
-    // router).  Paths are laid out in queue order, so a source's backlog
-    // occupies contiguous arena storage — the order the run actually
-    // visits it.
-    topo::assert_id_fits(total_hops, "dynamic-sim path arena");
-    hops_.reserve(static_cast<std::size_t>(total_hops));
-    advise_hugepages(hops_.data(),
-                     static_cast<std::size_t>(total_hops) * sizeof(PathHop));
-    std::vector<topo::LinkId> route;  // routing scratch, reused per message
-    for (const auto id : queue_ids_) {
-      const auto& m = messages[static_cast<std::size_t>(id)];
-      auto& rt = msgs_[static_cast<std::size_t>(id)];
-      rt.first_hop = static_cast<std::uint32_t>(hops_.size());
-      route.clear();
-      route.push_back(net.injection_link(m.request.src));
-      net.route_links_into(m.request.src, m.request.dst, route);
-      route.push_back(net.ejection_link(m.request.dst));
-      for (const auto link : route) hops_.push_back(PathHop{link, 0});
-      rt.hop_count = static_cast<std::uint32_t>(hops_.size()) - rt.first_hop;
     }
   }
 
@@ -267,25 +179,13 @@ class Simulator {
 
     remaining_ = msgs_.size();
     DynamicResult result;
-    Event ev;
-    std::int64_t time = 0;
-    while (remaining_ > 0 && events_.poll(time, ev)) {
-      if (time > params_.horizon) {
+    while (remaining_ > 0 && !events_.empty()) {
+      const Event ev = events_.pop();
+      if (ev.time > params_.horizon) {
         result.completed = false;
         break;
       }
-      now_ = time;
-      // The next event's message record and hop-arena entry are dependent
-      // random loads the core can't predict; start both while this event
-      // is handled.  `first_hop` rides in the event precisely so the hop
-      // prefetch needs no load of the message record first.
-      // (kIssue subjects are node ids, not message ids — skip those.)
-      if (const Event* next = events_.peek_same_slot();
-          next != nullptr && next->kind != EventKind::kIssue) {
-        __builtin_prefetch(&msgs_[static_cast<std::size_t>(next->subject)]);
-        __builtin_prefetch(hops_.data() + next->first_hop +
-                           static_cast<std::uint32_t>(next->hop));
-      }
+      now_ = ev.time;
       dispatch(ev);
     }
     if (remaining_ > 0) result.completed = false;
@@ -296,15 +196,16 @@ class Simulator {
     // state and attempt tags, so replaying the queue is side-effect-free
     // except for the releases themselves.
     if (result.completed) {
-      while (events_.poll(time, ev)) {
-        now_ = time;
+      while (!events_.empty()) {
+        const Event ev = events_.pop();
+        now_ = ev.time;
         dispatch(ev);
       }
       result.clean_shutdown = true;
       for (const auto mask : free_)
         if (mask != full_mask_) result.clean_shutdown = false;
-      for (const auto& hop : hops_)
-        if (hop.reserved != 0) result.clean_shutdown = false;
+      for (const auto reserved : reserved_)
+        if (reserved != 0) result.clean_shutdown = false;
     }
 
     result.messages.reserve(msgs_.size());
@@ -386,25 +287,21 @@ class Simulator {
 
   void push(std::int64_t time, EventKind kind, std::int32_t subject,
             std::int32_t hop, std::int32_t attempt) {
-    // kIssue subjects are node ids, so they carry no arena offset; every
-    // other kind pushes from a handler that just touched msgs_[subject],
-    // making this lookup an L1 hit.
-    const std::uint32_t first_hop =
-        kind == EventKind::kIssue
-            ? 0u
-            : msgs_[static_cast<std::size_t>(subject)].first_hop;
-    events_.push(time, Event{subject, attempt, first_hop,
-                             static_cast<std::int16_t>(hop), kind});
+    events_.push(Event{time, seq_++, kind, subject, hop, attempt});
   }
 
-  /// This message's path state at `hop` in the shared arena.
-  PathHop& hop_at(const RuntimeMessage& rt, std::int32_t hop) {
-    return hops_[rt.first_hop + static_cast<std::uint32_t>(hop)];
+  /// This message's path link at `hop`.
+  topo::LinkId link_at(const RuntimeMessage& rt, std::int32_t hop) const {
+    return links_[rt.first_hop + static_cast<std::uint32_t>(hop)];
+  }
+
+  /// This message's reservation slot for `hop` in the shared arena.
+  ChannelMask& reserved_at(const RuntimeMessage& rt, std::int32_t hop) {
+    return reserved_[rt.first_hop + static_cast<std::uint32_t>(hop)];
   }
 
   bool is_network(topo::LinkId link) const {
-    return link_kinds_[static_cast<std::size_t>(link)] ==
-           topo::LinkKind::kNetwork;
+    return link_is_network_[static_cast<std::size_t>(link)] != 0;
   }
 
   /// Tracing helpers.  All are no-ops with a null trace; the guards are
@@ -429,7 +326,7 @@ class Simulator {
       const RuntimeMessage& rt, std::int32_t id, const char* outcome) {
     const auto start = attempt_starts_[static_cast<std::size_t>(id)];
     if (start < 0) return;
-    trace_->span(node_track(rt.src), "reserve", "reservation",
+    trace_->span(node_track(rt.message.request.src), "reserve", "reservation",
                  start, now_,
                  {{"msg", std::to_string(id)},
                   {"attempt", std::to_string(rt.attempt)},
@@ -439,7 +336,7 @@ class Simulator {
   [[gnu::cold]] [[gnu::noinline]] void trace_ctrl_drop_cold(
       const RuntimeMessage& rt, std::int32_t id, CtrlTag tag,
       std::int32_t hop) {
-    trace_->instant(node_track(rt.src), "ctrl-drop",
+    trace_->instant(node_track(rt.message.request.src), "ctrl-drop",
                     "ctrl-drop", now_,
                     {{"msg", std::to_string(id)},
                      {"tag", std::to_string(tag)},
@@ -448,7 +345,7 @@ class Simulator {
 
   [[gnu::cold]] [[gnu::noinline]] void trace_timeout_cold(
       const RuntimeMessage& rt, std::int32_t id, std::int32_t attempt) {
-    trace_->instant(node_track(rt.src), "timeout", "timeout",
+    trace_->instant(node_track(rt.message.request.src), "timeout", "timeout",
                     now_,
                     {{"msg", std::to_string(id)},
                      {"attempt", std::to_string(attempt)}});
@@ -456,7 +353,7 @@ class Simulator {
 
   [[gnu::cold]] [[gnu::noinline]] void trace_payload_cold(
       const RuntimeMessage& rt, std::int32_t id) {
-    trace_->span(node_track(rt.src), "payload", "payload",
+    trace_->span(node_track(rt.message.request.src), "payload", "payload",
                  stats_[static_cast<std::size_t>(id)].established, now_,
                  {{"msg", std::to_string(id)},
                   {"channel", std::to_string(rt.channel)},
@@ -467,7 +364,7 @@ class Simulator {
 
   [[gnu::cold]] [[gnu::noinline]] void trace_backoff_cold(
       const RuntimeMessage& rt, std::int32_t id, std::int64_t until) {
-    trace_->span(node_track(rt.src), "backoff", "backoff",
+    trace_->span(node_track(rt.message.request.src), "backoff", "backoff",
                  now_, until,
                  {{"msg", std::to_string(id)},
                   {"retry",
@@ -535,13 +432,12 @@ class Simulator {
                        std::int32_t attempt) {
     auto& rt = msg(id);
     if (stale(rt, attempt)) return;
-    auto& ph = hop_at(rt, hop);
-    const auto link = ph.link;
+    const auto link = link_at(rt, hop);
     ChannelMask avail = rt.mask & free_[static_cast<std::size_t>(link)];
     // A link that is down reads as loss-of-signal at the controller: no
     // channel of it is reservable.
     if (has_link_faults_ && faults_->down(link, now_)) avail = 0;
-    if (avail != 0 && reserve_one_)
+    if (avail != 0 && params_.policy == DynamicParams::Policy::kReserveOne)
       avail &= ChannelMask(0) - avail;  // keep only the lowest set bit
     if (avail == 0) {
       // Reservation failed: NACK back from the previous link.
@@ -549,7 +445,7 @@ class Simulator {
       return;
     }
     free_[static_cast<std::size_t>(link)] &= ~avail;
-    ph.reserved = avail;
+    reserved_at(rt, hop) = avail;
     rt.mask = avail;
     const bool is_last = hop + 1 == static_cast<std::int32_t>(rt.hop_count);
     if (is_last) {
@@ -570,7 +466,7 @@ class Simulator {
   void on_dst_select(std::int32_t id, std::int32_t attempt) {
     auto& rt = msg(id);
     if (stale(rt, attempt)) return;
-    rt.channel = static_cast<std::int16_t>(std::countr_zero(rt.mask));
+    rt.channel = std::countr_zero(rt.mask);
     // The ACK walks the path backwards releasing non-selected channels.
     push(now_, EventKind::kAckStep, id,
          static_cast<std::int32_t>(rt.hop_count) - 1, attempt);
@@ -579,12 +475,12 @@ class Simulator {
   void on_ack_step(std::int32_t id, std::int32_t hop, std::int32_t attempt) {
     auto& rt = msg(id);
     if (stale(rt, attempt)) return;
-    auto& ph = hop_at(rt, hop);
-    const auto link = ph.link;
+    const auto link = link_at(rt, hop);
     const ChannelMask keep = ChannelMask{1}
                              << static_cast<unsigned>(rt.channel);
-    free_[static_cast<std::size_t>(link)] |= ph.reserved & ~keep;
-    ph.reserved = keep;
+    auto& reserved = reserved_at(rt, hop);
+    free_[static_cast<std::size_t>(link)] |= reserved & ~keep;
+    reserved = keep;
     if (hop == 0) {
       establish(id);
       return;
@@ -603,12 +499,12 @@ class Simulator {
     rt.state = MsgState::kTransmitting;
     stats.established = now_;
     stats.slot = rt.channel;
-    const std::int64_t slots = msg_slots_[static_cast<std::size_t>(id)];
     std::int64_t first = 0, stride = 1;
     if (params_.channel == ChannelKind::kWavelength) {
       // The wavelength runs at full rate: one payload per slot.
       first = now_ + 1;
-      push(now_ + slots + 1, EventKind::kDataDone, id, 0, rt.attempt);
+      push(now_ + rt.message.slots + 1, EventKind::kDataDone, id, 0,
+           rt.attempt);
     } else {
       // TDM: first usable slot is the smallest T > now with T mod K ==
       // channel; one payload per frame of K slots thereafter.
@@ -618,19 +514,18 @@ class Simulator {
           ((rt.channel - first) % k + k) % k;
       first += offset;
       stride = k;
-      const std::int64_t last = first + (slots - 1) * k;
+      const std::int64_t last = first + (rt.message.slots - 1) * k;
       push(last + 1, EventKind::kDataDone, id, 0, rt.attempt);
     }
     // Payload losses are decidable now: transmission slots are fixed the
     // moment the circuit is established, and the protocol has no
     // per-payload acknowledgment to react with.
     if (has_link_faults_) {
-      path_scratch_.clear();
-      for (std::uint32_t h = 0; h < rt.hop_count; ++h)
-        path_scratch_.push_back(hops_[rt.first_hop + h].link);
-      lost_scratch_.assign(static_cast<std::size_t>(slots), 0);
-      faults_->mark_lost_payloads(path_scratch_, first, stride,
-                                  lost_scratch_);
+      lost_scratch_.assign(static_cast<std::size_t>(rt.message.slots), 0);
+      faults_->mark_lost_payloads(
+          std::span<const topo::LinkId>(links_).subspan(rt.first_hop,
+                                                        rt.hop_count),
+          first, stride, lost_scratch_);
       stats.payloads_lost = static_cast<std::int64_t>(
           std::count(lost_scratch_.begin(), lost_scratch_.end(), char{1}));
     }
@@ -647,7 +542,7 @@ class Simulator {
     --remaining_;
     // Release travels forward freeing the selected channel hop by hop.
     push(now_, EventKind::kReleaseStep, id, 0, rt.attempt);
-    advance_queue(rt.src);
+    advance_queue(rt.message.request.src);
   }
 
   /// The source moves on to its next queued message.
@@ -659,10 +554,10 @@ class Simulator {
 
   void on_release_step(std::int32_t id, std::int32_t hop) {
     auto& rt = msg(id);
-    auto& ph = hop_at(rt, hop);
-    const auto link = ph.link;
-    free_[static_cast<std::size_t>(link)] |= ph.reserved;
-    ph.reserved = 0;
+    const auto link = link_at(rt, hop);
+    auto& reserved = reserved_at(rt, hop);
+    free_[static_cast<std::size_t>(link)] |= reserved;
+    reserved = 0;
     if (hop + 1 < static_cast<std::int32_t>(rt.hop_count)) {
       const bool network_hop = is_network(link);
       if (network_hop && ctrl_dropped(rt, id, kTagRelease, hop)) {
@@ -691,10 +586,10 @@ class Simulator {
   void on_nack_step(std::int32_t id, std::int32_t hop, std::int32_t attempt) {
     auto& rt = msg(id);
     if (stale(rt, attempt)) return;
-    auto& ph = hop_at(rt, hop);
-    const auto link = ph.link;
-    free_[static_cast<std::size_t>(link)] |= ph.reserved;
-    ph.reserved = 0;
+    const auto link = link_at(rt, hop);
+    auto& reserved = reserved_at(rt, hop);
+    free_[static_cast<std::size_t>(link)] |= reserved;
+    reserved = 0;
     if (hop == 0) {
       retry(id, "nack");
       return;
@@ -727,9 +622,9 @@ class Simulator {
 
   void release_all(RuntimeMessage& rt) {
     for (std::uint32_t h = 0; h < rt.hop_count; ++h) {
-      auto& ph = hops_[rt.first_hop + h];
-      free_[static_cast<std::size_t>(ph.link)] |= ph.reserved;
-      ph.reserved = 0;
+      auto& reserved = reserved_[rt.first_hop + h];
+      free_[static_cast<std::size_t>(links_[rt.first_hop + h])] |= reserved;
+      reserved = 0;
     }
   }
 
@@ -767,7 +662,7 @@ class Simulator {
         rng_.uniform(0, std::max<std::int64_t>(base - 1, 0));
     if (trace_) trace_backoff_cold(rt, id, now_ + base + jitter);
     push(now_ + base + jitter, EventKind::kIssue,
-         rt.src, 0, 0);
+         rt.message.request.src, 0, 0);
   }
 
   /// Retry budget exhausted: report the message failed and unblock the
@@ -778,7 +673,7 @@ class Simulator {
     stats_[static_cast<std::size_t>(id)].outcome = MessageOutcome::kFailed;
     release_all(rt);  // defensive; NACK/timeout paths already released
     --remaining_;
-    advance_queue(rt.src);
+    advance_queue(rt.message.request.src);
   }
 
   RuntimeMessage& msg(std::int32_t id) {
@@ -791,8 +686,6 @@ class Simulator {
   obs::Trace* trace_ = nullptr;
   bool has_faults_ = false;
   bool has_link_faults_ = false;
-  /// Hoisted `params_.policy == kReserveOne` (read on every reserve step).
-  bool reserve_one_ = false;
   std::vector<obs::TrackId> node_tracks_;
   /// Issue time of each message's current attempt (tracing only; sized
   /// only when a trace sink is attached).
@@ -800,21 +693,18 @@ class Simulator {
   util::Rng rng_;
   ChannelMask full_mask_ = 1;
   std::int64_t now_ = 0;
+  std::int64_t seq_ = 0;
   std::int64_t ctrl_dropped_ = 0;
   std::size_t remaining_ = 0;
-  /// Free-channel occupancy words, one 64-bit word per link (sized via
-  /// `Network::occupancy_words`).
   std::vector<ChannelMask> free_;
-  /// SoA link-kind table borrowed from `net_` (which outlives the run).
-  std::span<const topo::LinkKind> link_kinds_;
-  /// Path-hop arena: message m's path is
-  /// `hops_[m.first_hop .. m.first_hop + m.hop_count)`, laid out in
-  /// queue order.
-  std::vector<PathHop> hops_;
+  std::vector<unsigned char> link_is_network_;
+  /// Path-link arena: message m's path is
+  /// `links_[m.first_hop .. m.first_hop + m.hop_count)`.
+  std::vector<topo::LinkId> links_;
+  /// Reservation arena, parallel to `links_`; zeroed outside an in-flight
+  /// reservation.
+  std::vector<ChannelMask> reserved_;
   std::vector<RuntimeMessage> msgs_;
-  /// Cold per-message input: payload size in slots (read once per
-  /// establish).
-  std::vector<std::int64_t> msg_slots_;
   std::vector<DynamicMessageStats> stats_;
   /// Flat per-source FIFO queues over `queue_ids_`.
   std::vector<std::int32_t> queue_ids_;
@@ -822,45 +712,17 @@ class Simulator {
   std::vector<std::int32_t> queue_end_;
   /// Reused payload-loss marking buffer (fault runs only).
   std::vector<char> lost_scratch_;
-  /// Reused path-link buffer for `mark_lost_payloads` (fault runs only).
-  std::vector<topo::LinkId> path_scratch_;
-  SlotQueue<Event> events_;
+  CalendarQueue<Event> events_;
 };
 
 }  // namespace
 
-DynamicResult simulate_dynamic(const topo::Network& net,
-                               std::span<const Message> messages,
-                               const DynamicParams& params,
-                               const SimOptions& options) {
+DynamicResult simulate_dynamic_prepr(const topo::Network& net,
+                                     std::span<const Message> messages,
+                                     const DynamicParams& params) {
   static const FaultTimeline kHealthy;
-  Simulator sim(net, messages, params,
-                options.faults ? *options.faults : kHealthy, options.trace);
-  auto result = sim.run();
-  if (options.report) {
-    auto report = obs::report_dynamic(net, messages, result, params);
-    if (options.counters) report.sched = *options.counters;
-    options.report->accept(report);
-  }
-  return result;
-}
-
-DynamicResult simulate_dynamic(const topo::Network& net,
-                               std::span<const Message> messages,
-                               const DynamicParams& params,
-                               obs::Trace* trace) {
-  static const FaultTimeline kHealthy;
-  Simulator sim(net, messages, params, kHealthy, trace);
+  Simulator sim(net, messages, params, kHealthy, nullptr);
   return sim.run();
 }
 
-DynamicResult simulate_dynamic(const topo::Network& net,
-                               std::span<const Message> messages,
-                               const DynamicParams& params,
-                               const FaultTimeline& faults,
-                               obs::Trace* trace) {
-  Simulator sim(net, messages, params, faults, trace);
-  return sim.run();
-}
-
-}  // namespace optdm::sim
+}  // namespace optdm::legacybench

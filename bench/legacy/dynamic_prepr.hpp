@@ -1,0 +1,29 @@
+#pragma once
+
+#include <span>
+
+#include "sim/dynamic.hpp"
+
+/// \file dynamic_prepr.hpp
+/// Frozen pre-PR snapshot of the dynamic-protocol simulator, kept as a
+/// bench-only A/B reference for the mega-scale layout work: per-message
+/// `core::make_path` routing (one route vector + one LinkSet allocation
+/// per message), input-order arenas, and a combined hot/cold
+/// `RuntimeMessage` record.  The live engine in `src/sim/dynamic.cpp`
+/// replaces that setup path with allocation-free routing into
+/// queue-ordered arenas and a packed hot-state table; `BM_DynamicSim` vs
+/// `BM_DynamicSimPrePR` in `perf_sim.cpp` measures the difference on the
+/// same inputs.  Results are identical to `sim::simulate_dynamic` by
+/// construction (same protocol, same event order) — only the layout and
+/// the setup work differ.  Not part of the library; nothing outside
+/// `bench/` may depend on it.
+
+namespace optdm::legacybench {
+
+/// Pre-PR `simulate_dynamic`, healthy fabric, no trace/report sinks (the
+/// configuration the large benches run).
+sim::DynamicResult simulate_dynamic_prepr(const topo::Network& net,
+                                          std::span<const sim::Message> messages,
+                                          const sim::DynamicParams& params);
+
+}  // namespace optdm::legacybench

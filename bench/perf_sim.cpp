@@ -10,6 +10,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "legacy/dynamic_prepr.hpp"
+
 #include "apps/sweep.hpp"
 #include "apps/workloads.hpp"
 #include "core/switch_program.hpp"
@@ -55,6 +61,66 @@ void BM_DynamicSim(benchmark::State& state) {
                           static_cast<std::int64_t>(messages.size()));
 }
 BENCHMARK(BM_DynamicSim)->Arg(100)->Arg(1000)->Arg(4000);
+
+// Mega-scale rows: the same event loop at 1e5 / 1e6 messages on the
+// 32x32 torus at K=8 (ROADMAP item 3).  Message streams of that size
+// repeat (src, dst) pairs, so they sample with replacement.  The CI
+// advisory bench diff excludes these rows via
+// --benchmark_filter='-BM_DynamicSim(Large|PrePR)' (see
+// .github/workflows/ci.yml); the 1e6 row runs once in its own advisory
+// smoke step — wall-clock this long is smoke-tested, not gated.
+const std::vector<sim::Message>& large_messages(std::int64_t count) {
+  static std::map<std::int64_t, std::vector<sim::Message>> cache;
+  auto [it, fresh] = cache.try_emplace(count);
+  if (fresh) {
+    util::Rng rng(static_cast<std::uint64_t>(count) * 31 + 5);
+    it->second = sim::uniform_messages(
+        patterns::random_pattern_with_replacement(
+            32 * 32, static_cast<int>(count), rng),
+        1);
+  }
+  return it->second;
+}
+
+void BM_DynamicSimLarge(benchmark::State& state) {
+  static const auto net = topo::TorusNetwork::scale_32x32();
+  const auto& messages = large_messages(state.range(0));
+  sim::DynamicParams params;
+  params.multiplexing_degree = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::simulate_dynamic(net, messages, params).total_slots);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(messages.size()));
+}
+BENCHMARK(BM_DynamicSimLarge)
+    ->Arg(100'000)
+    ->Arg(1'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+// A/B reference: the frozen pre-PR engine (bench/legacy/dynamic_prepr)
+// on byte-identical inputs.  The quotient of this row over
+// BM_DynamicSimLarge is the layout win — per-message `make_path`
+// allocations and AoS message records vs. queue-ordered arenas and
+// packed hot state.
+void BM_DynamicSimPrePR(benchmark::State& state) {
+  static const auto net = topo::TorusNetwork::scale_32x32();
+  const auto& messages = large_messages(state.range(0));
+  sim::DynamicParams params;
+  params.multiplexing_degree = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        legacybench::simulate_dynamic_prepr(net, messages, params)
+            .total_slots);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(messages.size()));
+}
+BENCHMARK(BM_DynamicSimPrePR)
+    ->Arg(100'000)
+    ->Arg(1'000'000)
+    ->Unit(benchmark::kMillisecond);
 
 // The faulted variant pays the timeline checks the healthy path hoists
 // out (`down()` scans, timeout events, payload-loss marking).

@@ -108,11 +108,17 @@ class Search {
 
       // Self pairs are link-free and would otherwise all first-fit into
       // the earliest phases; visit candidate phases emptiest-of-selfs
-      // first so they spread out.
-      std::array<int, 64> order{};
-      for (int p = 0; p <= phase_limit; ++p) order[static_cast<std::size_t>(p)] = p;
+      // first so they spread out.  Their order is materialized on the
+      // heap — the phase count is unbounded by 64 (a ring of n needs at
+      // least n phases, and large rings exceed n), so no fixed-size
+      // frame buffer can hold it.  Non-self pairs scan phases in index
+      // order directly and allocate nothing.
+      std::vector<int> order;
       if (pair.length == 0) {
-        std::stable_sort(order.begin(), order.begin() + phase_limit + 1,
+        order.resize(static_cast<std::size_t>(phase_limit) + 1);
+        for (int p = 0; p <= phase_limit; ++p)
+          order[static_cast<std::size_t>(p)] = p;
+        std::stable_sort(order.begin(), order.end(),
                          [this](int a, int b) {
                            return phases_[static_cast<std::size_t>(a)].self_count <
                                   phases_[static_cast<std::size_t>(b)].self_count;
@@ -120,7 +126,8 @@ class Search {
       }
 
       for (int oi = 0; oi <= phase_limit; ++oi) {
-        const int phase = order[static_cast<std::size_t>(oi)];
+        const int phase =
+            order.empty() ? oi : order[static_cast<std::size_t>(oi)];
         auto& state = phases_[static_cast<std::size_t>(phase)];
         const std::uint64_t src_bit = std::uint64_t{1}
                                       << static_cast<unsigned>(pair.src);
@@ -243,6 +250,54 @@ RingSchedule RingSchedule::build(int n) {
 
   auto pairs = enumerate_pairs(n);
   order_pairs(pairs, n);
+
+  // Large rings (the 32x32 / 64x64 scale substrates) are out of reach of
+  // the backtracking search below — its budget explodes with n — so they
+  // use a deterministic first-fit construction instead: walk the pairs in
+  // the same longest-first order and place each into the first phase (and
+  // first feasible direction) that accepts it, opening a fresh phase
+  // whenever none does.  Always succeeds, costs O(pairs x phases) mask
+  // tests, and stays within a small factor of the link lower bound —
+  // close enough for the product construction, where the combined
+  // scheduler competes it against graph coloring anyway.
+  if (n > 16) {
+    std::vector<RingAssignment> table(
+        static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+    std::vector<PhaseState> phases;
+    for (const auto& pair : pairs) {
+      const std::uint64_t src_bit = std::uint64_t{1}
+                                    << static_cast<unsigned>(pair.src);
+      const std::uint64_t dst_bit = std::uint64_t{1}
+                                    << static_cast<unsigned>(pair.dst);
+      bool placed = false;
+      for (std::size_t p = 0; !placed; ++p) {
+        if (p == phases.size()) phases.emplace_back();
+        auto& state = phases[p];
+        if ((state.src_used & src_bit) || (state.dst_used & dst_bit))
+          continue;
+        for (int d = 0; d < pair.dir_count && !placed; ++d) {
+          const std::int32_t dir = pair.dirs[d];
+          const std::uint64_t arc =
+              dir > 0   ? cw_mask(pair.src, pair.length, n)
+              : dir < 0 ? ccw_mask(pair.src, pair.length, n)
+                        : 0;
+          if (dir > 0 && (state.cw_links & arc)) continue;
+          if (dir < 0 && (state.ccw_links & arc)) continue;
+          state.src_used |= src_bit;
+          state.dst_used |= dst_bit;
+          if (dir > 0) state.cw_links |= arc;
+          if (dir < 0) state.ccw_links |= arc;
+          table[static_cast<std::size_t>(pair.src) *
+                    static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(pair.dst)] =
+              RingAssignment{static_cast<std::int32_t>(p), dir};
+          placed = true;
+        }
+      }
+    }
+    return RingSchedule(n, static_cast<int>(phases.size()),
+                        std::move(table));
+  }
 
   // Lower bound on the phase count: each node sources n pairs (self
   // included) and each phase takes at most one per source; each directed

@@ -25,8 +25,11 @@
 /// which is what makes the 8x8-torus product construction land on exactly
 /// N^3/8 = 64 phases (see torus_aapc.hpp).
 ///
-/// The schedule is found once per ring size by a deterministic
-/// backtracking search with symmetry breaking, then cached.
+/// The schedule is found once per ring size, then cached: sizes up to 16
+/// run a deterministic backtracking search with symmetry breaking (tight
+/// phase counts — exactly optimal at N = 8), larger sizes (the 32x32 and
+/// 64x64 scale substrates) a deterministic first-fit construction that
+/// always succeeds at a small constant factor above the link lower bound.
 
 namespace optdm::aapc {
 

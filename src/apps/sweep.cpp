@@ -1,5 +1,14 @@
 #include "apps/sweep.hpp"
 
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
 #include <utility>
 
 #include "util/parallel.hpp"
@@ -10,6 +19,152 @@ namespace {
 
 const sim::FaultTimeline kHealthy;
 
+// --- Shard wire format ---------------------------------------------------
+//
+// One worker process streams its contiguous cell range back to the parent
+// as: header {magic, version, begin, end}, the cells in index order, then
+// a trailer magic.  Everything is fixed-width host-endian — the stream
+// never leaves the machine (it exists for the lifetime of one pipe) — and
+// all repeated payloads are trivially copyable stats records, so cells
+// serialize as length-prefixed memcpys.  The parent refuses the merge
+// unless every stream parses exactly (header, every cell, trailer, no
+// residue) AND every worker exited cleanly.
+
+constexpr std::uint64_t kShardMagic = 0x4f5054444d535750ULL;    // "OPTDMSWP"
+constexpr std::uint64_t kShardTrailer = 0x53574545502d4f4bULL;  // "SWEEP-OK"
+constexpr std::uint32_t kShardVersion = 1;
+
+void put_bytes(std::vector<char>& out, const void* data, std::size_t size) {
+  const auto* p = static_cast<const char*>(data);
+  out.insert(out.end(), p, p + size);
+}
+
+template <typename T>
+void put_pod(std::vector<char>& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put_bytes(out, &value, sizeof value);
+}
+
+template <typename T>
+void put_vec(std::vector<char>& out, const std::vector<T>& values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put_pod(out, static_cast<std::uint64_t>(values.size()));
+  put_bytes(out, values.data(), values.size() * sizeof(T));
+}
+
+class ByteReader {
+ public:
+  ByteReader(const char* data, std::size_t size)
+      : at_(data), end_(data + size) {}
+
+  void get_bytes(void* dst, std::size_t size) {
+    if (static_cast<std::size_t>(end_ - at_) < size)
+      throw std::runtime_error("sweep shard stream truncated");
+    std::memcpy(dst, at_, size);
+    at_ += size;
+  }
+
+  template <typename T>
+  T get_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    get_bytes(&value, sizeof value);
+    return value;
+  }
+
+  template <typename T>
+  void get_vec(std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto count = get_pod<std::uint64_t>();
+    if (count * sizeof(T) > static_cast<std::size_t>(end_ - at_))
+      throw std::runtime_error("sweep shard stream truncated");
+    values.resize(static_cast<std::size_t>(count));
+    get_bytes(values.data(), values.size() * sizeof(T));
+  }
+
+  bool exhausted() const noexcept { return at_ == end_; }
+
+ private:
+  const char* at_;
+  const char* end_;
+};
+
+void put_compiled(std::vector<char>& out, const CompiledCell& cell) {
+  // run_sharded forbids the recovery loop, so `recovery` is never set.
+  put_pod(out, static_cast<std::uint64_t>(cell.phase));
+  put_pod(out, static_cast<std::uint64_t>(cell.fault));
+  put_pod(out, static_cast<std::int32_t>(cell.degree));
+  put_pod(out, static_cast<std::uint8_t>(cell.cache_hit));
+  put_pod(out, cell.result.total_slots);
+  put_pod(out, static_cast<std::int32_t>(cell.result.degree));
+  put_pod(out, cell.result.faults);
+  put_vec(out, cell.result.messages);
+}
+
+void get_compiled(ByteReader& in, CompiledCell& cell) {
+  cell.phase = static_cast<std::size_t>(in.get_pod<std::uint64_t>());
+  cell.fault = static_cast<std::size_t>(in.get_pod<std::uint64_t>());
+  cell.degree = in.get_pod<std::int32_t>();
+  cell.cache_hit = in.get_pod<std::uint8_t>() != 0;
+  cell.result.total_slots = in.get_pod<std::int64_t>();
+  cell.result.degree = in.get_pod<std::int32_t>();
+  cell.result.faults = in.get_pod<sim::FaultStats>();
+  in.get_vec(cell.result.messages);
+}
+
+void put_dynamic(std::vector<char>& out, const DynamicCell& cell) {
+  put_pod(out, static_cast<std::uint64_t>(cell.phase));
+  put_pod(out, static_cast<std::uint64_t>(cell.fault));
+  put_pod(out, static_cast<std::uint64_t>(cell.variant));
+  put_pod(out, static_cast<std::uint64_t>(cell.seed));
+  put_pod(out, cell.result.total_slots);
+  put_pod(out, cell.result.total_retries);
+  put_pod(out, static_cast<std::uint8_t>(cell.result.completed));
+  put_pod(out, static_cast<std::uint8_t>(cell.result.clean_shutdown));
+  put_pod(out, cell.result.faults);
+  put_vec(out, cell.result.messages);
+}
+
+void get_dynamic(ByteReader& in, DynamicCell& cell) {
+  cell.phase = static_cast<std::size_t>(in.get_pod<std::uint64_t>());
+  cell.fault = static_cast<std::size_t>(in.get_pod<std::uint64_t>());
+  cell.variant = static_cast<std::size_t>(in.get_pod<std::uint64_t>());
+  cell.seed = static_cast<std::size_t>(in.get_pod<std::uint64_t>());
+  cell.result.total_slots = in.get_pod<std::int64_t>();
+  cell.result.total_retries = in.get_pod<std::int64_t>();
+  cell.result.completed = in.get_pod<std::uint8_t>() != 0;
+  cell.result.clean_shutdown = in.get_pod<std::uint8_t>() != 0;
+  cell.result.faults = in.get_pod<sim::FaultStats>();
+  in.get_vec(cell.result.messages);
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const auto written = ::write(fd, data, size);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += written;
+    size -= static_cast<std::size_t>(written);
+  }
+  return true;
+}
+
+std::vector<char> read_to_eof(int fd) {
+  std::vector<char> buffer;
+  char chunk[1 << 16];
+  for (;;) {
+    const auto got = ::read(fd, chunk, sizeof chunk);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("run_sharded: reading shard pipe failed");
+    }
+    if (got == 0) return buffer;
+    buffer.insert(buffer.end(), chunk, chunk + got);
+  }
+}
+
 }  // namespace
 
 SweepRunner::SweepRunner(const topo::TorusNetwork& net, SweepOptions options)
@@ -19,7 +174,7 @@ SweepRunner::SweepRunner(const topo::TorusNetwork& net, SweepOptions options)
     recovery_compiler_ = std::make_unique<CommCompiler>(net);
 }
 
-SweepResult SweepRunner::run(const SweepGrid& grid) {
+SweepResult SweepRunner::prepare(const SweepGrid& grid) {
   SweepResult out;
 
   // Stage 1 (serial): draw fault timelines in level order.  All RNG in
@@ -44,9 +199,6 @@ SweepResult SweepRunner::run(const SweepGrid& grid) {
       out.compilations.push_back(pipeline_.compile_phase(phase.pattern()));
   }
 
-  // Stage 3 (parallel): every remaining cell is a pure function of the
-  // inputs prepared above.  Each index writes only its own slot; the
-  // results land in grid order by construction.
   out.variant_count = grid.dynamic.size();
   out.seed_count = grid.seeds.empty() ? 1 : grid.seeds.size();
   const std::size_t compiled_cells =
@@ -55,8 +207,17 @@ SweepResult SweepRunner::run(const SweepGrid& grid) {
                                     out.variant_count * out.seed_count;
   out.compiled.resize(compiled_cells);
   out.dynamic.resize(dynamic_cells);
+  return out;
+}
 
-  util::parallel_for(compiled_cells + dynamic_cells, [&](std::size_t i) {
+void SweepRunner::run_cells(const SweepGrid& grid, SweepResult& out,
+                            std::size_t begin, std::size_t end) {
+  // Stage 3 (parallel): every cell is a pure function of the inputs
+  // `prepare` staged.  Each index writes only its own slot; the results
+  // land in grid order by construction.
+  const std::size_t compiled_cells = out.compiled.size();
+  util::parallel_for(end - begin, [&](std::size_t offset) {
+    const std::size_t i = begin + offset;
     if (i < compiled_cells) {
       auto& cell = out.compiled[i];
       cell.phase = i / out.fault_count;
@@ -93,6 +254,158 @@ SweepResult SweepRunner::run(const SweepGrid& grid) {
         sim::simulate_dynamic(*net_, grid.phases[cell.phase].messages, params,
                               out.timelines[cell.fault], nullptr);
   });
+}
+
+SweepResult SweepRunner::run(const SweepGrid& grid) {
+  auto out = prepare(grid);
+  run_cells(grid, out, 0, out.compiled.size() + out.dynamic.size());
+  return out;
+}
+
+SweepResult SweepRunner::run_sharded(const SweepGrid& grid,
+                                     const ShardOptions& shard) {
+  if (shard.shards < 1)
+    throw std::invalid_argument("run_sharded: shard count must be positive");
+  if (options_.recovery)
+    throw std::invalid_argument(
+        "run_sharded: the recovery loop is not shardable (recovery results "
+        "carry live compiler state); use run()");
+
+  // Stages 1–2 in the parent, before any fork: timelines, compilations,
+  // and cache hit/miss provenance are fixed here, so they cannot depend
+  // on the shard count.  Workers inherit the compilations through fork's
+  // copy-on-write image.
+  auto out = prepare(grid);
+  const std::size_t compiled_cells = out.compiled.size();
+  const std::size_t total = compiled_cells + out.dynamic.size();
+  const auto shards = static_cast<std::size_t>(shard.shards);
+
+  // Contiguous equal partition of [0, total); trailing shards may be
+  // empty when there are more shards than cells.
+  const std::size_t base = total / shards;
+  const std::size_t extra = total % shards;
+
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  std::vector<Worker> workers;
+  workers.reserve(shards);
+
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t begin = s * base + (s < extra ? s : extra);
+    const std::size_t end = begin + base + (s < extra ? 1 : 0);
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      for (const auto& w : workers) ::close(w.fd);
+      for (const auto& w : workers) ::waitpid(w.pid, nullptr, 0);
+      throw std::runtime_error("run_sharded: pipe() failed");
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      for (const auto& w : workers) ::close(w.fd);
+      for (const auto& w : workers) ::waitpid(w.pid, nullptr, 0);
+      throw std::runtime_error("run_sharded: fork() failed");
+    }
+    if (pid == 0) {
+      // Worker process.  Single-threaded (the pool does not survive the
+      // fork; util::parallel runs inline here), exits only via _exit so
+      // no inherited static destructors run.
+      ::close(fds[0]);
+      for (const auto& w : workers) ::close(w.fd);
+      if (static_cast<int>(s) == shard.fail_shard)
+        _exit(13);  // crash simulation: report nothing
+      int status = 0;
+      try {
+        run_cells(grid, out, begin, end);
+        std::vector<char> buffer;
+        put_pod(buffer, kShardMagic);
+        put_pod(buffer, kShardVersion);
+        put_pod(buffer, static_cast<std::uint64_t>(begin));
+        put_pod(buffer, static_cast<std::uint64_t>(end));
+        for (std::size_t i = begin; i < end; ++i) {
+          if (i < compiled_cells)
+            put_compiled(buffer, out.compiled[i]);
+          else
+            put_dynamic(buffer, out.dynamic[i - compiled_cells]);
+        }
+        put_pod(buffer, kShardTrailer);
+        if (!write_all(fds[1], buffer.data(), buffer.size())) status = 1;
+      } catch (...) {
+        status = 2;
+      }
+      ::close(fds[1]);
+      _exit(status);
+    }
+    ::close(fds[1]);
+    workers.push_back(Worker{pid, fds[0], begin, end});
+  }
+
+  // Drain every pipe to EOF (in shard order; workers still compute
+  // concurrently — only the final writes serialize against the parent),
+  // then reap every worker.  Nothing is merged until all streams and all
+  // exit statuses check out, so a crashed shard cannot leave a partially
+  // assembled result behind.
+  std::vector<std::vector<char>> streams;
+  streams.reserve(workers.size());
+  std::string failure;
+  for (const auto& w : workers) {
+    try {
+      streams.push_back(read_to_eof(w.fd));
+    } catch (const std::exception& e) {
+      if (failure.empty()) failure = e.what();
+      streams.emplace_back();
+    }
+    ::close(w.fd);
+  }
+  for (std::size_t s = 0; s < workers.size(); ++s) {
+    int status = 0;
+    if (::waitpid(workers[s].pid, &status, 0) < 0) {
+      if (failure.empty())
+        failure = "run_sharded: waitpid failed for shard " + std::to_string(s);
+      continue;
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      if (failure.empty())
+        failure =
+            "run_sharded: shard " + std::to_string(s) + " of " +
+            std::to_string(shards) +
+            (WIFSIGNALED(status)
+                 ? " was killed by signal " + std::to_string(WTERMSIG(status))
+                 : " exited with status " +
+                       std::to_string(WIFEXITED(status) ? WEXITSTATUS(status)
+                                                        : -1)) +
+            "; no shard results were merged";
+    }
+  }
+  if (!failure.empty()) throw std::runtime_error(failure);
+
+  // Deterministic merge: shard s owns exactly cells [begin_s, end_s), so
+  // reassembling in shard order reproduces run()'s cell-order layout.
+  for (std::size_t s = 0; s < workers.size(); ++s) {
+    ByteReader in(streams[s].data(), streams[s].size());
+    if (in.get_pod<std::uint64_t>() != kShardMagic ||
+        in.get_pod<std::uint32_t>() != kShardVersion)
+      throw std::runtime_error("run_sharded: shard " + std::to_string(s) +
+                               " stream has a bad header");
+    if (in.get_pod<std::uint64_t>() != workers[s].begin ||
+        in.get_pod<std::uint64_t>() != workers[s].end)
+      throw std::runtime_error("run_sharded: shard " + std::to_string(s) +
+                               " reported the wrong cell range");
+    for (std::size_t i = workers[s].begin; i < workers[s].end; ++i) {
+      if (i < compiled_cells)
+        get_compiled(in, out.compiled[i]);
+      else
+        get_dynamic(in, out.dynamic[i - compiled_cells]);
+    }
+    if (in.get_pod<std::uint64_t>() != kShardTrailer || !in.exhausted())
+      throw std::runtime_error("run_sharded: shard " + std::to_string(s) +
+                               " stream is corrupt");
+  }
   return out;
 }
 

@@ -138,6 +138,16 @@ struct SweepResult {
   }
 };
 
+/// Process-level sharding configuration for `SweepRunner::run_sharded`.
+struct ShardOptions {
+  /// Worker processes to fork; each owns a contiguous range of cells.
+  int shards = 1;
+  /// Test hook: this worker index exits before reporting any results,
+  /// simulating a crashed shard (-1 = none).  The parent must then throw
+  /// without merging anything.
+  int fail_shard = -1;
+};
+
 /// Expands and runs sweep grids against one network.  Construction
 /// resolves the pipeline (and, with `recovery`, the recovery compiler);
 /// `run` may be called repeatedly — later sweeps reuse the schedule
@@ -149,11 +159,36 @@ class SweepRunner {
 
   SweepResult run(const SweepGrid& grid);
 
+  /// `run`, with stage 3 fanned across `shards` forked worker processes
+  /// instead of (only) pool threads.  Stages 1–2 still run here in the
+  /// parent — timelines, compilations, and schedule-cache hit/miss
+  /// provenance are decided before the first fork, so they are a function
+  /// of the grid alone — then each worker simulates a contiguous range of
+  /// cells (reusing the parent's compilations via fork's copy-on-write
+  /// image, and the on-disk ScheduleCache tier for anything beyond) and
+  /// streams its cells back over a pipe.  The parent merges shard results
+  /// in cell order only after *every* worker reported a complete, intact
+  /// stream: results are byte-identical to `run` at any shard count, and
+  /// a crashed worker raises `std::runtime_error` with nothing merged.
+  /// Incompatible with `SweepOptions::recovery` (recovery results carry
+  /// live compiler state that does not serialize); throws
+  /// `std::invalid_argument` for that or a non-positive shard count.
+  SweepResult run_sharded(const SweepGrid& grid, const ShardOptions& shard);
+
   Pipeline& pipeline() noexcept { return pipeline_; }
   const topo::TorusNetwork& network() const noexcept { return *net_; }
   const SweepOptions& options() const noexcept { return options_; }
 
  private:
+  /// Stages 1–2 plus grid expansion: timelines, compilations, axis
+  /// extents, and default-constructed cell slots.
+  SweepResult prepare(const SweepGrid& grid);
+
+  /// Stage 3 over the flat cell range `[begin, end)` (compiled cells
+  /// first, then dynamic cells), writing each cell's own slot in `out`.
+  void run_cells(const SweepGrid& grid, SweepResult& out, std::size_t begin,
+                 std::size_t end);
+
   const topo::TorusNetwork* net_;
   SweepOptions options_;
   Pipeline pipeline_;

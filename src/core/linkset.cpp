@@ -25,13 +25,19 @@ LinkSet::LinkSet(int link_count) : universe_(link_count) {
 void LinkSet::insert(topo::LinkId link) {
   if (link < 0 || link >= universe_)
     throw std::out_of_range("LinkSet::insert: link outside universe");
-  words_[word_of(link)] |= bit_of(link);
+  auto& word = words_[word_of(link)];
+  const auto bit = bit_of(link);
+  size_ += (word & bit) == 0;
+  word |= bit;
 }
 
 void LinkSet::erase(topo::LinkId link) {
   if (link < 0 || link >= universe_)
     throw std::out_of_range("LinkSet::erase: link outside universe");
-  words_[word_of(link)] &= ~bit_of(link);
+  auto& word = words_[word_of(link)];
+  const auto bit = bit_of(link);
+  size_ -= (word & bit) != 0;
+  word &= ~bit;
 }
 
 bool LinkSet::contains(topo::LinkId link) const {
@@ -43,17 +49,6 @@ bool LinkSet::contains(topo::LinkId link) const {
   if (link < 0 || link >= universe_)
     throw std::out_of_range("LinkSet::contains: link outside universe");
   return (words_[word_of(link)] & bit_of(link)) != 0;
-}
-
-bool LinkSet::empty() const noexcept {
-  return std::all_of(words_.begin(), words_.end(),
-                     [](std::uint64_t w) { return w == 0; });
-}
-
-int LinkSet::count() const noexcept {
-  int total = 0;
-  for (const auto w : words_) total += std::popcount(w);
-  return total;
 }
 
 void LinkSet::require_same_universe(const LinkSet& other,
@@ -77,18 +72,25 @@ bool LinkSet::intersects(const LinkSet& other) const {
 
 void LinkSet::merge(const LinkSet& other) {
   require_same_universe(other, "merge");
-  for (std::size_t i = 0; i < other.words_.size(); ++i)
+  for (std::size_t i = 0; i < other.words_.size(); ++i) {
+    // Newly set bits = other's bits absent here; keeps size_ exact
+    // without a full rescan.
+    size_ += std::popcount(other.words_[i] & ~words_[i]);
     words_[i] |= other.words_[i];
+  }
 }
 
 void LinkSet::subtract(const LinkSet& other) {
   require_same_universe(other, "subtract");
-  for (std::size_t i = 0; i < other.words_.size(); ++i)
+  for (std::size_t i = 0; i < other.words_.size(); ++i) {
+    size_ -= std::popcount(words_[i] & other.words_[i]);
     words_[i] &= ~other.words_[i];
+  }
 }
 
 void LinkSet::clear() noexcept {
   std::fill(words_.begin(), words_.end(), 0);
+  size_ = 0;
 }
 
 }  // namespace optdm::core

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "topo/ids.hpp"
@@ -29,10 +30,15 @@ class LinkSet {
   bool contains(topo::LinkId link) const;
 
   /// True if no link is set.
-  bool empty() const noexcept;
+  bool empty() const noexcept { return size_ == 0; }
 
-  /// Number of links in the set.
-  int count() const noexcept;
+  /// Number of links in the set.  O(1): the cardinality is maintained
+  /// incrementally by the mutators (word-delta popcounts), so schedulers
+  /// polling set sizes in inner loops no longer rescan the words.
+  int size() const noexcept { return size_; }
+
+  /// Historical name for `size()`.
+  int count() const noexcept { return size_; }
 
   /// True if `*this` and `other` share at least one link.  Throws
   /// `std::invalid_argument` if the universes differ (paths from different
@@ -51,10 +57,16 @@ class LinkSet {
 
   int universe_size() const noexcept { return universe_; }
 
+  /// Read-only view of the 64-bit occupancy words (bit i of word w is
+  /// link 64*w + i).  Exposed so word-level engines and tests can consume
+  /// the representation directly.
+  std::span<const std::uint64_t> words() const noexcept { return words_; }
+
  private:
   void require_same_universe(const LinkSet& other, const char* op) const;
 
   int universe_ = 0;
+  int size_ = 0;
   std::vector<std::uint64_t> words_;
 };
 

@@ -1,0 +1,62 @@
+#include "sim/channels.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace optdm::sim::detail {
+
+namespace {
+
+/// Per-request assignment state: the scheduled instances, the lazily
+/// created channel id of each, and the rotation cursor.
+struct RequestInstances {
+  std::vector<int> slots;
+  std::vector<std::size_t> channel_at;
+  std::size_t next = 0;
+};
+
+constexpr std::size_t kNoChannel = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+std::vector<AssignedChannel> assign_channels(
+    const core::Schedule& schedule, std::span<const Message> messages,
+    std::vector<std::size_t>* channel_of, const char* who) {
+  // Requests are only inserted then looked up — never iterated — so the
+  // unordered map's ordering cannot leak into results, and the per-message
+  // cost is one O(1) probe instead of three O(log n) tree walks.
+  std::unordered_map<std::uint64_t, RequestInstances> by_request;
+  by_request.reserve(messages.size());
+  for (int slot = 0; slot < schedule.degree(); ++slot)
+    for (const auto& path : schedule.configuration(slot).paths())
+      by_request[request_key(path.request)].slots.push_back(slot);
+
+  std::vector<AssignedChannel> channels;
+  if (channel_of) channel_of->assign(messages.size(), 0);
+
+  for (std::size_t m = 0; m < messages.size(); ++m) {
+    const auto& message = messages[m];
+    if (message.slots < 1)
+      throw std::invalid_argument(std::string(who) + ": message size < 1");
+    const auto it = by_request.find(request_key(message.request));
+    if (it == by_request.end())
+      throw std::invalid_argument(std::string(who) +
+                                  ": message request not in the schedule");
+    auto& req = it->second;
+    if (req.channel_at.empty())
+      req.channel_at.assign(req.slots.size(), kNoChannel);
+    const std::size_t which = req.next++ % req.slots.size();
+    auto& channel_id = req.channel_at[which];
+    if (channel_id == kNoChannel) {
+      channel_id = channels.size();
+      channels.push_back(AssignedChannel{req.slots[which], message.request, {}});
+    }
+    channels[channel_id].message_ids.push_back(m);
+    if (channel_of) (*channel_of)[m] = channel_id;
+  }
+  return channels;
+}
+
+}  // namespace optdm::sim::detail

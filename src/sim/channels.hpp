@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "sim/message.hpp"
+
+/// \file channels.hpp
+/// Message-to-channel assignment shared by `simulate_compiled` (analytic,
+/// stepped, faulted) and `execute_on_hardware`.  One scheduled connection
+/// instance = one transmission channel; messages of the same instance
+/// serialize on it in input order.  The engines must agree on this
+/// multiset semantics exactly — table5 compares their outputs row by row
+/// — so the assignment lives in one place.
+
+namespace optdm::sim::detail {
+
+/// One transmission channel: a scheduled (request, instance) pair with
+/// the messages queued on it, in input order.
+struct AssignedChannel {
+  int slot = 0;
+  core::Request request;
+  std::vector<std::size_t> message_ids;
+};
+
+/// Packs a request into a single 64-bit hash key (unique for all int32
+/// endpoint pairs).
+constexpr std::uint64_t request_key(core::Request request) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(request.src))
+          << 32) |
+         static_cast<std::uint32_t>(request.dst);
+}
+
+/// Maps every message onto a scheduled instance of its request, consuming
+/// duplicate instances in schedule order and wrapping around when a
+/// request carries more messages than scheduled instances.  Channel ids
+/// are assigned in first-use (input) order.  When `channel_of` is
+/// non-null it receives each message's channel id.  Throws
+/// `std::invalid_argument` (prefixed with `who`) for a non-positive
+/// message size or a request absent from the schedule.
+std::vector<AssignedChannel> assign_channels(
+    const core::Schedule& schedule, std::span<const Message> messages,
+    std::vector<std::size_t>* channel_of, const char* who);
+
+}  // namespace optdm::sim::detail

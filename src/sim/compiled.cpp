@@ -8,17 +8,11 @@
 
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "sim/channels.hpp"
 
 namespace optdm::sim {
 
 namespace {
-
-/// Messages grouped per scheduled connection instance: messages on the
-/// same channel serialize in input order.
-struct Channel {
-  int slot = 0;
-  std::vector<std::size_t> message_ids;
-};
 
 /// Entry validation (satellite of the robustness PR): reject parameter
 /// garbage instead of silently simulating it.
@@ -29,40 +23,12 @@ void validate_params(const CompiledParams& params, const char* who) {
     throw std::invalid_argument(std::string(who) + ": negative frame_slots");
 }
 
-/// Maps every message onto a scheduled instance of its request, consuming
-/// duplicate instances in schedule order and wrapping around if a request
-/// carries more messages than scheduled instances.
-std::vector<Channel> assign_channels(const core::Schedule& schedule,
-                                     std::span<const Message> messages,
-                                     std::vector<std::size_t>& channel_of) {
-  std::map<core::Request, std::vector<int>> instances;
-  for (int slot = 0; slot < schedule.degree(); ++slot)
-    for (const auto& path : schedule.configuration(slot).paths())
-      instances[path.request].push_back(slot);
-
-  std::vector<Channel> channels;
-  std::map<std::pair<core::Request, int>, std::size_t> channel_index;
-  std::map<core::Request, std::size_t> next_instance;
-  channel_of.assign(messages.size(), 0);
-
-  for (std::size_t m = 0; m < messages.size(); ++m) {
-    const auto& message = messages[m];
-    if (message.slots < 1)
-      throw std::invalid_argument("simulate_compiled: message size < 1");
-    const auto it = instances.find(message.request);
-    if (it == instances.end())
-      throw std::invalid_argument(
-          "simulate_compiled: message request not in the schedule");
-    const auto& slots = it->second;
-    const std::size_t which = next_instance[message.request]++ % slots.size();
-    const auto key = std::make_pair(message.request, static_cast<int>(which));
-    auto [entry, inserted] = channel_index.try_emplace(key, channels.size());
-    if (inserted)
-      channels.push_back(Channel{slots[which], {}});
-    channels[entry->second].message_ids.push_back(m);
-    channel_of[m] = entry->second;
-  }
-  return channels;
+/// Shared assignment (see channels.hpp) with this engine's error prefix.
+std::vector<detail::AssignedChannel> assign_channels(
+    const core::Schedule& schedule, std::span<const Message> messages,
+    std::vector<std::size_t>& channel_of) {
+  return detail::assign_channels(schedule, messages, &channel_of,
+                                 "simulate_compiled");
 }
 
 /// The analytic closed-form model (healthy fabric).

@@ -1,11 +1,12 @@
 #include "sim/hardware.hpp"
 
-#include <map>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "sim/channels.hpp"
 
 namespace optdm::sim {
 
@@ -49,17 +50,20 @@ CompiledResult execute_impl(const topo::Network& net,
     throw std::invalid_argument(
         "execute_on_hardware: frame below the multiplexing degree");
 
-  // Dense per-slot routing tables compiled from the register program:
-  // next[slot][link] = link the crossbars forward it to.
+  // Dense per-slot routing table compiled from the register program, one
+  // flat slot-major array: next[slot * links + link] = link the crossbars
+  // forward it to.  The cell count is computed in 64-bit (`ids.hpp`) so a
+  // 64x64 torus at K=64 sizes without intermediate overflow.
   const auto links = static_cast<std::size_t>(net.link_count());
-  std::vector<std::vector<topo::LinkId>> next(
-      static_cast<std::size_t>(schedule.degree()),
-      std::vector<topo::LinkId>(links, topo::kInvalidLink));
+  std::vector<topo::LinkId> next(
+      static_cast<std::size_t>(
+          topo::link_slot_cells(net.link_count(), schedule.degree())),
+      topo::kInvalidLink);
   for (topo::NodeId sw = 0; sw < program.switch_count(); ++sw) {
     for (int slot = 0; slot < program.slot_count(); ++slot) {
       for (const auto& setting : program.state(sw, slot)) {
-        auto& cell = next[static_cast<std::size_t>(slot)]
-                         [static_cast<std::size_t>(setting.in_link)];
+        auto& cell = next[static_cast<std::size_t>(slot) * links +
+                          static_cast<std::size_t>(setting.in_link)];
         if (cell != topo::kInvalidLink)
           throw std::logic_error(
               "execute_on_hardware: in-port driven twice");
@@ -69,8 +73,9 @@ CompiledResult execute_impl(const topo::Network& net,
   }
 
   // Transmission channels: one per scheduled connection instance, with
-  // the messages of that instance queued in input order (the same
-  // multiset semantics as simulate_compiled).
+  // the messages of that instance queued in input order (the shared
+  // assignment in channels.hpp — identical multiset semantics to
+  // simulate_compiled).
   struct HwChannel {
     int slot = 0;
     core::Request request;
@@ -81,38 +86,18 @@ CompiledResult execute_impl(const topo::Network& net,
     bool misrouted = false;      ///< current message hit a wrong processor
     std::int64_t started = -1;   ///< first payload slot (tracing only)
   };
-  std::map<core::Request, std::vector<int>> instances;
-  for (int slot = 0; slot < schedule.degree(); ++slot)
-    for (const auto& path : schedule.configuration(slot).paths())
-      instances[path.request].push_back(slot);
-
-  std::map<std::pair<core::Request, int>, std::size_t> channel_index;
-  std::map<core::Request, std::size_t> next_instance;
+  auto assigned = detail::assign_channels(schedule, messages, nullptr,
+                                          "execute_on_hardware");
   std::vector<HwChannel> channels;
-  for (std::size_t m = 0; m < messages.size(); ++m) {
-    const auto& message = messages[m];
-    if (message.slots < 1)
-      throw std::invalid_argument("execute_on_hardware: message size < 1");
-    const auto it = instances.find(message.request);
-    if (it == instances.end())
-      throw std::invalid_argument(
-          "execute_on_hardware: message request not in the schedule");
-    const std::size_t which =
-        next_instance[message.request]++ % it->second.size();
-    const auto key = std::make_pair(message.request, static_cast<int>(which));
-    auto [entry, inserted] = channel_index.try_emplace(key, channels.size());
-    if (inserted)
-      channels.push_back(HwChannel{it->second[static_cast<std::size_t>(which)],
-                                   message.request,
-                                   {},
-                                   0,
-                                   0,
-                                   0,
-                                   false});
-    channels[entry->second].queue.push_back(m);
-  }
-  for (auto& channel : channels)
+  channels.reserve(assigned.size());
+  for (auto& a : assigned) {
+    HwChannel channel;
+    channel.slot = a.slot;
+    channel.request = a.request;
+    channel.queue = std::move(a.message_ids);
     channel.remaining = messages[channel.queue.front()].slots;
+    channels.push_back(std::move(channel));
+  }
 
   // Per-slot channel index: each tick visits only the channels that own
   // the active slot instead of scanning all of them.
@@ -125,7 +110,7 @@ CompiledResult execute_impl(const topo::Network& net,
   for (std::int64_t t = params.setup_slots; unfinished > 0; ++t) {
     const auto active = (t - params.setup_slots) % frame;
     if (active >= schedule.degree()) continue;  // padded idle slot
-    const auto& table = next[static_cast<std::size_t>(active)];
+    const auto* table = next.data() + static_cast<std::size_t>(active) * links;
     for (const auto c : channels_by_slot[static_cast<std::size_t>(active)]) {
       auto& channel = channels[c];
       if (channel.at >= channel.queue.size()) continue;
@@ -140,8 +125,10 @@ CompiledResult execute_impl(const topo::Network& net,
       bool delivered_wrong = false;
       bool payload_lost = faults != nullptr && faults->down(at, abs_slot);
       int steps = 0;
+      // The walk reads only the head vertex and kind of each link, so it
+      // runs on the network's SoA tables rather than the full records.
       while (!payload_lost &&
-             net.link(at).kind != topo::LinkKind::kEjection) {
+             net.kind_of(at) != topo::LinkKind::kEjection) {
         const auto out = table[static_cast<std::size_t>(at)];
         if (out == topo::kInvalidLink) {
           if (faults != nullptr) {
@@ -164,7 +151,7 @@ CompiledResult execute_impl(const topo::Network& net,
           throw std::logic_error("execute_on_hardware: walk loops");
         }
       }
-      if (!payload_lost && net.link(at).to != channel.request.dst) {
+      if (!payload_lost && net.to_of(at) != channel.request.dst) {
         if (faults == nullptr)
           throw std::logic_error(
               "execute_on_hardware: payload delivered to the wrong node");

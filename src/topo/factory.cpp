@@ -1,0 +1,74 @@
+#include "topo/factory.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "topo/omega.hpp"
+#include "topo/torus.hpp"
+
+namespace optdm::topo {
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view spec) {
+  throw std::invalid_argument(
+      "bad topology spec '" + std::string(spec) +
+      "': expected torus:CxR (e.g. torus:8x8, torus:32x32, torus:64x64), "
+      "torus:N (square), or omega:N (N a power of two)");
+}
+
+/// Parses a full positive decimal integer out of `text`; returns false
+/// on any non-digit residue (including a sign), empty input, a
+/// non-positive value, or out-of-int range.
+bool parse_int(std::string_view text, int& out) {
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last && out > 0;
+}
+
+}  // namespace
+
+TopologySpec parse_topology_spec(std::string_view spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string_view::npos) bad_spec(spec);
+  const auto family = spec.substr(0, colon);
+  const auto dims = spec.substr(colon + 1);
+
+  TopologySpec result;
+  if (family == "torus") {
+    result.family = TopologySpec::Family::kTorus;
+    const auto x = dims.find('x');
+    if (x == std::string_view::npos) {
+      if (!parse_int(dims, result.cols)) bad_spec(spec);
+      result.rows = result.cols;
+    } else {
+      if (!parse_int(dims.substr(0, x), result.cols) ||
+          !parse_int(dims.substr(x + 1), result.rows))
+        bad_spec(spec);
+    }
+  } else if (family == "omega") {
+    result.family = TopologySpec::Family::kOmega;
+    if (!parse_int(dims, result.cols)) bad_spec(spec);
+    result.rows = 0;
+  } else {
+    bad_spec(spec);
+  }
+  return result;
+}
+
+std::unique_ptr<Network> make_network(const TopologySpec& spec) {
+  switch (spec.family) {
+    case TopologySpec::Family::kTorus:
+      return std::make_unique<TorusNetwork>(spec.cols, spec.rows);
+    case TopologySpec::Family::kOmega:
+      return std::make_unique<OmegaNetwork>(spec.cols);
+  }
+  throw std::logic_error("make_network: unreachable topology family");
+}
+
+std::unique_ptr<Network> make_network(std::string_view spec) {
+  return make_network(parse_topology_spec(spec));
+}
+
+}  // namespace optdm::topo

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "topo/network.hpp"
+
+/// \file factory.hpp
+/// Topology construction from spec strings — the single parser behind
+/// `optdm_sim --topology`, sweep configs, and scale tests.
+///
+/// Grammar (case-sensitive, no whitespace):
+///   "torus:CxR"   2-D torus, C cols x R rows, both >= 2 (e.g. "torus:8x8",
+///                 "torus:32x32", "torus:64x64")
+///   "torus:N"     shorthand for the square "torus:NxN"
+///   "omega:N"     Omega MIN with N PEs, N a power of two >= 2
+///
+/// The paper's substrate is "torus:8x8"; "torus:32x32" / "torus:64x64"
+/// are the mega-scale points of ROADMAP item 3.
+
+namespace optdm::topo {
+
+/// Parsed form of a topology spec.
+struct TopologySpec {
+  enum class Family { kTorus, kOmega };
+  Family family = Family::kTorus;
+  int cols = 0;  ///< torus columns, or omega PE count
+  int rows = 0;  ///< torus rows; unused for omega
+};
+
+/// Parses `spec` or throws `std::invalid_argument` with a message that
+/// names the accepted grammar.
+TopologySpec parse_topology_spec(std::string_view spec);
+
+/// Builds the network a spec describes.  Dimension validation (>= 2,
+/// power of two, id-space fit) is delegated to the concrete constructors.
+std::unique_ptr<Network> make_network(const TopologySpec& spec);
+
+/// Convenience: parse + build in one step.
+std::unique_ptr<Network> make_network(std::string_view spec);
+
+}  // namespace optdm::topo

@@ -1,13 +1,20 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <limits>
+#include <type_traits>
 
 /// \file ids.hpp
 /// Strongly-named index types for the network substrate.
 ///
 /// Signed 32-bit indices are used throughout (C++ Core Guidelines ES.102):
-/// all arithmetic on coordinates and displacements is signed, and the
-/// largest networks exercised here are far below the 2^31 limit.
+/// all arithmetic on coordinates and displacements is signed.  The width
+/// assumptions are now load-bearing — the mega-scale targets (a 64x64
+/// torus at multiplexing degree 64, omega MINs of 4096 PEs) size flat
+/// per-link and per-link-slot tables from these types — so they are
+/// pinned by `static_assert`s and checked by `link_slot_cells` /
+/// `fits_in_id` below instead of being folklore.
 
 namespace optdm::topo {
 
@@ -18,9 +25,63 @@ using NodeId = std::int32_t;
 /// direction, or one side of the processor/switch interface.
 using LinkId = std::int32_t;
 
+/// Index of a TDM slot within a frame (0 <= slot < frame length).
+using SlotId = std::int32_t;
+
 /// Sentinel for "no node" / "no link".
 inline constexpr NodeId kInvalidNode = -1;
 inline constexpr LinkId kInvalidLink = -1;
+
+/// Largest multiplexing degree any engine supports: channel masks and
+/// slot-occupancy rows are single 64-bit words, tested/set/scanned a
+/// whole frame at a time.  Frames longer than one word store
+/// `slot_words(frame)` words per link.
+inline constexpr int kMaxMultiplexingDegree = 64;
+
+/// Bits per slot-occupancy word.
+inline constexpr int kSlotWordBits = 64;
+
+// The simulators' flat tables (per-dimension link arrays, occupancy
+// words, routing tables indexed by slot * links + link) assume ids are
+// 32-bit signed and fit intermediate products in 64 bits.  If anyone
+// widens these types, every `static_cast<std::size_t>` packing below
+// must be re-audited — fail the build instead of overflowing quietly.
+static_assert(std::is_signed_v<NodeId> && sizeof(NodeId) == 4,
+              "NodeId is assumed to be a signed 32-bit index");
+static_assert(std::is_signed_v<LinkId> && sizeof(LinkId) == 4,
+              "LinkId is assumed to be a signed 32-bit index");
+static_assert(std::is_signed_v<SlotId> && sizeof(SlotId) == 4,
+              "SlotId is assumed to be a signed 32-bit index");
+static_assert(std::numeric_limits<std::size_t>::digits >= 63,
+              "flat link x slot tables require a 64-bit size_t");
+
+/// True when `value` (a count or an index bound) is representable as a
+/// `LinkId`/`NodeId`/`SlotId` without overflow.
+constexpr bool fits_in_id(std::int64_t value) noexcept {
+  return value >= 0 &&
+         value <= std::numeric_limits<std::int32_t>::max();
+}
+
+/// Cells of a dense per-link, per-slot table (`slots * links`), computed
+/// in 64-bit so a 64x64 torus at K=64 (24'576 links x 64 slots) — and far
+/// larger — cannot overflow the intermediate product.
+constexpr std::int64_t link_slot_cells(std::int64_t links,
+                                       std::int64_t slots) noexcept {
+  return links * slots;
+}
+
+/// Occupancy words needed for one link's `slots`-bit frame bitmap.
+constexpr std::int64_t slot_words(std::int64_t slots) noexcept {
+  return (slots + kSlotWordBits - 1) / kSlotWordBits;
+}
+
+/// Debug guard for id arithmetic at the mega-scale sizes: asserts the
+/// value still fits the 32-bit id space (no-op in release builds).
+inline void assert_id_fits([[maybe_unused]] std::int64_t value,
+                           [[maybe_unused]] const char* what) noexcept {
+  assert(fits_in_id(value) && "id arithmetic overflowed 32 bits");
+  (void)what;
+}
 
 /// Classification of a directed link.
 ///

@@ -20,9 +20,35 @@ LinkId Network::add_link(NodeId from, NodeId to, LinkKind kind,
                          std::int8_t dim, std::int8_t dir) {
   if (from < 0 || from >= vertex_count_ || to < 0 || to >= vertex_count_)
     throw std::out_of_range("Network::add_link: endpoint out of range");
+  assert_id_fits(static_cast<std::int64_t>(links_.size()) + 1,
+                 "Network link count");
   const auto id = static_cast<LinkId>(links_.size());
   links_.push_back(Link{id, from, to, kind, dim, dir});
+  to_.push_back(to);
+  kind_.push_back(kind);
+  if (kind == LinkKind::kNetwork) {
+    ++network_link_count_;
+    const int d = dim < 0 ? 0 : dim;
+    if (static_cast<std::size_t>(d) >= links_in_dim_.size())
+      links_in_dim_.resize(static_cast<std::size_t>(d) + 1);
+    links_in_dim_[static_cast<std::size_t>(d)].push_back(id);
+  }
   return id;
+}
+
+std::size_t Network::occupancy_words(int frame_slots) const {
+  if (frame_slots <= 0)
+    throw std::invalid_argument(
+        "Network::occupancy_words: frame_slots must be positive");
+  const std::int64_t words =
+      link_slot_cells(link_count(), slot_words(frame_slots));
+  return static_cast<std::size_t>(words);
+}
+
+void Network::route_links_into(NodeId src, NodeId dst,
+                               std::vector<LinkId>& out) const {
+  const auto route = route_links(src, dst);
+  out.insert(out.end(), route.begin(), route.end());
 }
 
 void Network::add_processor_links() {

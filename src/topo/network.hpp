@@ -70,6 +70,84 @@ class Network {
 
   std::span<const Link> links() const noexcept { return links_; }
 
+  // --- Structure-of-arrays link tables -----------------------------------
+  //
+  // The cycle-level engines touch one or two fields of millions of links
+  // per run; the AoS `Link` records above stay as the construction-time /
+  // diagnostic view, while the hot loops read these parallel flat arrays
+  // (kept in sync by `add_link`).
+
+  /// Head vertex of every link, indexed by `LinkId`.
+  std::span<const NodeId> link_to() const noexcept { return to_; }
+
+  /// Kind of every link, indexed by `LinkId`.
+  std::span<const LinkKind> link_kind() const noexcept { return kind_; }
+
+  /// Head vertex of `id` (SoA fast path for the hardware walk).
+  NodeId to_of(LinkId id) const noexcept {
+    assert(id >= 0 && id < link_count());
+    return to_[static_cast<std::size_t>(id)];
+  }
+
+  /// Kind of `id` (SoA fast path).
+  LinkKind kind_of(LinkId id) const noexcept {
+    assert(id >= 0 && id < link_count());
+    return kind_[static_cast<std::size_t>(id)];
+  }
+
+  /// True when `id` is a switch->switch fiber (not injection/ejection).
+  bool is_network_link(LinkId id) const noexcept {
+    return kind_of(id) == LinkKind::kNetwork;
+  }
+
+  /// Number of switch->switch links.
+  int network_link_count() const noexcept { return network_link_count_; }
+
+  /// Number of distinct network-link dimensions (2 for a torus, 1 for a
+  /// ring/linear array, 0 when dimensions are unused — e.g. omega MINs
+  /// tag every stage link dim=0, giving 1).
+  int dimension_count() const noexcept {
+    return static_cast<int>(links_in_dim_.size());
+  }
+
+  /// Ids of the network links in dimension `dim`, in id order.  The
+  /// per-dimension grouping lets sweeps and fault models iterate one
+  /// dimension's state contiguously.
+  std::span<const LinkId> links_in_dim(int dim) const {
+    assert(dim >= 0 && dim < dimension_count());
+    return links_in_dim_[static_cast<std::size_t>(dim)];
+  }
+
+  /// Capability/extents query the simulators size their flat state from.
+  /// All counts are computed in 64-bit; constructors guarantee they fit
+  /// the 32-bit id space (see `ids.hpp`).
+  struct Extents {
+    int nodes = 0;          ///< processors
+    int vertices = 0;       ///< processors + internal switch vertices
+    int links = 0;          ///< all directed links
+    int network_links = 0;  ///< switch->switch fibers only
+    int dimensions = 0;     ///< distinct network-link dimensions
+  };
+  Extents extents() const noexcept {
+    return Extents{node_count_, vertex_count_, link_count(),
+                   network_link_count_, dimension_count()};
+  }
+
+  /// Total 64-bit occupancy words for a dense per-link slot bitmap of a
+  /// `frame_slots`-slot frame: `link_count() * slot_words(frame_slots)`.
+  /// Small topologies pay exactly their own size — an 8x8 torus at K<=64
+  /// is 320 words regardless of how large the type system allows ids to
+  /// get.
+  std::size_t occupancy_words(int frame_slots) const;
+
+  /// Appends the network links of the deterministic `src`->`dst` route to
+  /// `out` (traversal order), without allocating a fresh vector per call.
+  /// Appends nothing when `src == dst`.  Equivalent to appending
+  /// `route_links(src, dst)`; topologies override it with an
+  /// allocation-free walk.
+  virtual void route_links_into(NodeId src, NodeId dst,
+                                std::vector<LinkId>& out) const;
+
   /// The processor->switch link of `node`.
   LinkId injection_link(NodeId node) const {
     assert(node >= 0 && node < node_count_);
@@ -125,6 +203,11 @@ class Network {
   std::vector<Link> links_;
   std::vector<LinkId> injection_;
   std::vector<LinkId> ejection_;
+  // SoA mirrors of `links_`, maintained by add_link.
+  std::vector<NodeId> to_;
+  std::vector<LinkKind> kind_;
+  std::vector<std::vector<LinkId>> links_in_dim_;
+  int network_link_count_ = 0;
 };
 
 }  // namespace optdm::topo

@@ -60,10 +60,16 @@ std::int32_t OmegaNetwork::shuffle(std::int32_t rail) const noexcept {
 }
 
 std::vector<LinkId> OmegaNetwork::route_links(NodeId src, NodeId dst) const {
-  if (src < 0 || src >= node_count() || dst < 0 || dst >= node_count())
-    throw std::out_of_range("OmegaNetwork::route_links: bad endpoints");
   std::vector<LinkId> result;
   result.reserve(static_cast<std::size_t>(stages_ - 1));
+  route_links_into(src, dst, result);
+  return result;
+}
+
+void OmegaNetwork::route_links_into(NodeId src, NodeId dst,
+                                    std::vector<LinkId>& out) const {
+  if (src < 0 || src >= node_count() || dst < 0 || dst >= node_count())
+    throw std::out_of_range("OmegaNetwork::route_links: bad endpoints");
   // Destination-tag self-routing: after the initial shuffle the packet
   // sits in switch shuffle(src)/2; at stage s it exits on the port equal
   // to destination bit (stages-1-s), which the next shuffle carries to
@@ -73,11 +79,10 @@ std::vector<LinkId> OmegaNetwork::route_links(NodeId src, NodeId dst) const {
   for (int s = 0; s + 1 < stages_; ++s) {
     const int k = rail / 2;
     const int port = (dst >> (stages_ - 1 - s)) & 1;
-    result.push_back(out_[static_cast<std::size_t>(s * (rails_ / 2) + k)]
-                         [static_cast<std::size_t>(port)]);
+    out.push_back(out_[static_cast<std::size_t>(s * (rails_ / 2) + k)]
+                      [static_cast<std::size_t>(port)]);
     rail = shuffle(2 * k + port);
   }
-  return result;
 }
 
 int OmegaNetwork::route_hops(NodeId src, NodeId dst) const {

@@ -35,6 +35,8 @@ class OmegaNetwork final : public Network {
 
   std::vector<LinkId> route_links(NodeId src, NodeId dst) const override;
   int route_hops(NodeId src, NodeId dst) const override;
+  void route_links_into(NodeId src, NodeId dst,
+                        std::vector<LinkId>& out) const override;
 
   std::string name() const override;
 

@@ -9,12 +9,22 @@ std::int32_t wrap(std::int32_t v, std::int32_t size) noexcept {
   v %= size;
   return v < 0 ? v + size : v;
 }
+
+// Validates the node count (and the implied 6x link count) in 64-bit
+// before the base-class constructor narrows it to int.
+int checked_torus_nodes(int cols, int rows) {
+  if (cols < 2 || rows < 2)
+    throw std::invalid_argument("TorusNetwork: both dimensions must be >= 2");
+  const std::int64_t nodes =
+      static_cast<std::int64_t>(cols) * static_cast<std::int64_t>(rows);
+  if (!fits_in_id(nodes) || !fits_in_id(nodes * 6))
+    throw std::invalid_argument("TorusNetwork: dimensions overflow id space");
+  return static_cast<int>(nodes);
+}
 }  // namespace
 
 TorusNetwork::TorusNetwork(int cols, int rows)
-    : Network(cols * rows), cols_(cols), rows_(rows) {
-  if (cols < 2 || rows < 2)
-    throw std::invalid_argument("TorusNetwork: both dimensions must be >= 2");
+    : Network(checked_torus_nodes(cols, rows)), cols_(cols), rows_(rows) {
   add_processor_links();
   out_.assign(static_cast<std::size_t>(node_count()),
               {kInvalidLink, kInvalidLink, kInvalidLink, kInvalidLink});
@@ -64,7 +74,10 @@ std::int32_t TorusNetwork::ring_displacement(std::int32_t a, std::int32_t b,
 }
 
 std::vector<LinkId> TorusNetwork::route_links(NodeId src, NodeId dst) const {
-  return route_links_dirs(src, dst, RingDir::kAuto, RingDir::kAuto);
+  std::vector<LinkId> result;
+  result.reserve(static_cast<std::size_t>(route_hops(src, dst)));
+  route_links_into(src, dst, result);
+  return result;
 }
 
 int TorusNetwork::route_hops(NodeId src, NodeId dst) const {
@@ -73,6 +86,29 @@ int TorusNetwork::route_hops(NodeId src, NodeId dst) const {
   const auto dx = ring_displacement(s.x, d.x, cols_, RingDir::kAuto);
   const auto dy = ring_displacement(s.y, d.y, rows_, RingDir::kAuto);
   return std::abs(dx) + std::abs(dy);
+}
+
+void TorusNetwork::route_links_into(NodeId src, NodeId dst,
+                                    std::vector<LinkId>& out) const {
+  const Coord s = coord(src);
+  const Coord d = coord(dst);
+  const std::int32_t dx = ring_displacement(s.x, d.x, cols_, RingDir::kAuto);
+  const std::int32_t dy = ring_displacement(s.y, d.y, rows_, RingDir::kAuto);
+
+  // X-dimension first (row of the source), then Y (column of the
+  // destination): classic dimension-order routing.
+  std::int32_t x = s.x;
+  const int xstep = dx >= 0 ? +1 : -1;
+  for (std::int32_t i = 0; i < std::abs(dx); ++i) {
+    out.push_back(neighbor_link(node_at({x, s.y}), 0, xstep));
+    x = wrap(x + xstep, cols_);
+  }
+  std::int32_t y = s.y;
+  const int ystep = dy >= 0 ? +1 : -1;
+  for (std::int32_t i = 0; i < std::abs(dy); ++i) {
+    out.push_back(neighbor_link(node_at({d.x, y}), 1, ystep));
+    y = wrap(y + ystep, rows_);
+  }
 }
 
 std::vector<LinkId> TorusNetwork::route_links_dirs(NodeId src, NodeId dst,
@@ -86,8 +122,8 @@ std::vector<LinkId> TorusNetwork::route_links_dirs(NodeId src, NodeId dst,
   std::vector<LinkId> result;
   result.reserve(static_cast<std::size_t>(std::abs(dx) + std::abs(dy)));
 
-  // X-dimension first (row of the source), then Y (column of the
-  // destination): classic dimension-order routing.
+  // Same dimension-order walk as route_links_into, with direction
+  // overrides (the AAPC generator forces ring directions per dimension).
   std::int32_t x = s.x;
   const int xstep = dx >= 0 ? +1 : -1;
   for (std::int32_t i = 0; i < std::abs(dx); ++i) {

@@ -43,6 +43,14 @@ class TorusNetwork final : public Network {
   /// one-wide torus has no distinct ring).
   TorusNetwork(int cols, int rows);
 
+  /// The paper's evaluation substrate (64 PEs).
+  static TorusNetwork paper_8x8() { return TorusNetwork(8, 8); }
+  /// Mega-scale substrates (1024 / 4096 PEs); see ROADMAP item 3.  Named
+  /// constructors so sweep configs and tools refer to the supported scale
+  /// points by name rather than re-deriving dimensions.
+  static TorusNetwork scale_32x32() { return TorusNetwork(32, 32); }
+  static TorusNetwork scale_64x64() { return TorusNetwork(64, 64); }
+
   int cols() const noexcept { return cols_; }
   int rows() const noexcept { return rows_; }
 
@@ -57,6 +65,8 @@ class TorusNetwork final : public Network {
 
   std::vector<LinkId> route_links(NodeId src, NodeId dst) const override;
   int route_hops(NodeId src, NodeId dst) const override;
+  void route_links_into(NodeId src, NodeId dst,
+                        std::vector<LinkId>& out) const override;
 
   /// XY route with explicit per-dimension direction control.
   std::vector<LinkId> route_links_dirs(NodeId src, NodeId dst, RingDir xdir,

@@ -1,5 +1,8 @@
 #include "util/parallel.hpp"
 
+#include <pthread.h>
+
+#include <atomic>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -13,6 +16,26 @@ namespace optdm::util {
 namespace {
 
 thread_local bool tls_in_worker = false;
+
+/// Set in the child of every fork().  Worker threads do not survive a
+/// fork, so a forked child (a sweep shard worker) must never touch the
+/// inherited pool object: all parallel helpers run inline there instead.
+/// Shard workers exit via `_exit`, so the dead pool's destructor (which
+/// would join threads that no longer exist) never runs in the child.
+std::atomic<bool> g_forked_child{false};
+
+struct AtforkInstaller {
+  AtforkInstaller() {
+    ::pthread_atfork(nullptr, nullptr,
+                     [] { g_forked_child.store(true,
+                                               std::memory_order_relaxed); });
+  }
+};
+const AtforkInstaller g_atfork_installer;
+
+bool in_forked_child() {
+  return g_forked_child.load(std::memory_order_relaxed);
+}
 
 /// Fixed-size worker pool with a single FIFO task queue.  Workers live for
 /// the process lifetime; the queue only ever holds tasks of currently
@@ -109,7 +132,10 @@ struct Region {
 
 }  // namespace
 
-int parallel_thread_count() { return Pool::instance().thread_count(); }
+int parallel_thread_count() {
+  if (in_forked_child()) return 1;
+  return Pool::instance().thread_count();
+}
 
 bool in_parallel_region() { return tls_in_worker; }
 
@@ -117,6 +143,10 @@ void parallel_for_chunks(
     std::size_t n,
     const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
+  if (in_forked_child()) {  // single-threaded post-fork; see g_forked_child
+    body(0, n);
+    return;
+  }
   auto& pool = Pool::instance();
   const auto threads = static_cast<std::size_t>(pool.thread_count());
   // Nested regions and single-threaded pools run inline; chunk boundaries
@@ -166,6 +196,11 @@ void parallel_for(std::size_t n,
 
 void parallel_invoke(const std::function<void()>& a,
                      const std::function<void()>& b) {
+  if (in_forked_child()) {
+    a();
+    b();
+    return;
+  }
   auto& pool = Pool::instance();
   if (pool.thread_count() <= 1 || tls_in_worker) {
     a();

@@ -33,8 +33,17 @@ std::uint64_t Rng::next_u64() noexcept {
 std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) noexcept {
   if (lo >= hi) return lo;
   const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
-  // Lemire-style rejection-free-ish bounded generation with a rejection
-  // loop to remove modulo bias entirely.
+  // Bounded generation with a rejection loop to remove modulo bias
+  // entirely.  The power-of-two branch is division-free but draws and
+  // rejects bit-identically to the general one (same limit, and
+  // `v % range == v & (range - 1)`) — it exists because the dynamic
+  // simulator's backoff jitter lands here millions of times per run.
+  if (range != 0 && (range & (range - 1)) == 0) {
+    const std::uint64_t limit = std::uint64_t(0) - range;
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return lo + static_cast<std::int64_t>(v & (range - 1));
+  }
   const std::uint64_t limit = std::uint64_t(-1) - std::uint64_t(-1) % range;
   std::uint64_t v = next_u64();
   while (v >= limit) v = next_u64();

@@ -121,8 +121,10 @@ TEST_P(RingScheduleProperty, PhaseInvariantsHold) {
   validate_schedule(GetParam());
 }
 
+// 32 and 64 exercise the first-fit constructive path used for the scale
+// substrates; the smaller sizes run the backtracking search.
 INSTANTIATE_TEST_SUITE_P(EvenSizes, RingScheduleProperty,
-                         ::testing::Values(2, 4, 6, 8, 10, 12));
+                         ::testing::Values(2, 4, 6, 8, 10, 12, 32, 64));
 
 TEST(RingSchedule, SizeEightSaturatesEveryLinkEveryPhase) {
   // At the optimum every directed link is busy in every phase.

@@ -1,0 +1,181 @@
+// Tests for SweepRunner::run_sharded — byte-identical merges at every
+// shard count, fork interplay with a live thread pool, and the crash
+// contract (a failed worker raises with nothing merged).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "apps/sweep.hpp"
+#include "apps/workloads.hpp"
+#include "patterns/random.hpp"
+#include "sim/dynamic.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optdm;
+
+apps::SweepGrid shard_grid() {
+  apps::SweepGrid grid;
+  util::Rng rng(21);
+  for (int i = 0; i < 2; ++i) {
+    apps::CommPhase phase;
+    phase.name = "random-" + std::to_string(i);
+    phase.messages =
+        sim::uniform_messages(patterns::random_pattern(64, 48, rng), 3);
+    grid.phases.push_back(std::move(phase));
+  }
+  for (const int k : {2, 5}) {
+    apps::DynamicVariant variant;
+    variant.label = "K=" + std::to_string(k);
+    variant.params.multiplexing_degree = k;
+    grid.dynamic.push_back(std::move(variant));
+  }
+  grid.faults = {
+      {"none", {}},
+      {"faulty", {0.02, 0.05, 1024, 256, 0.05, false, 0xfa017}},
+  };
+  grid.seeds = {7, 8};
+  return grid;
+}
+
+/// Serializes every observable of a sweep into one string; two sweeps
+/// are byte-identical iff their digests match.  Message-level stats are
+/// included on both sides so a shard-boundary mixup cannot hide.
+std::string digest(const apps::SweepResult& sweep) {
+  std::ostringstream out;
+  out << sweep.fault_count << '/' << sweep.variant_count << '/'
+      << sweep.seed_count << ';';
+  for (const auto& cell : sweep.compiled) {
+    out << 'c' << cell.phase << ',' << cell.fault << ',' << cell.degree
+        << ',' << cell.cache_hit << ',' << cell.result.total_slots << ','
+        << cell.result.degree << ',' << cell.result.faults.payloads_lost
+        << ',' << cell.result.faults.messages_lost << ';';
+    for (const auto& m : cell.result.messages)
+      out << m.slot << ',' << m.completed << ',' << m.payloads_lost << '|';
+  }
+  for (const auto& cell : sweep.dynamic) {
+    out << 'd' << cell.phase << ',' << cell.fault << ',' << cell.variant
+        << ',' << cell.seed << ',' << cell.result.total_slots << ','
+        << cell.result.total_retries << ',' << cell.result.completed << ','
+        << cell.result.clean_shutdown << ','
+        << cell.result.faults.ctrl_dropped << ','
+        << cell.result.faults.messages_failed << ';';
+    for (const auto& m : cell.result.messages)
+      out << m.issued << ',' << m.established << ',' << m.completed << ','
+          << m.retries << ',' << m.timeouts << ',' << m.slot << '|';
+  }
+  return out.str();
+}
+
+TEST(Shard, ByteIdenticalAtEveryShardCount) {
+  const auto grid = shard_grid();
+  topo::TorusNetwork net(8, 8);
+
+  // Fresh runner per variant so the schedule-cache provenance (cold
+  // compiles everywhere) is identical across the comparison.
+  std::string baseline;
+  {
+    apps::SweepRunner runner(net);
+    baseline = digest(runner.run(grid));
+  }
+  ASSERT_FALSE(baseline.empty());
+
+  for (const int shards : {1, 2, 4, 7}) {
+    apps::SweepRunner runner(net);
+    const auto sharded =
+        runner.run_sharded(grid, apps::ShardOptions{.shards = shards});
+    EXPECT_EQ(digest(sharded), baseline) << "shards=" << shards;
+  }
+}
+
+TEST(Shard, MoreShardsThanCellsStillMerges) {
+  apps::SweepGrid grid;
+  util::Rng rng(31);
+  apps::CommPhase phase;
+  phase.name = "tiny";
+  phase.messages =
+      sim::uniform_messages(patterns::random_pattern(64, 20, rng), 2);
+  grid.phases.push_back(std::move(phase));
+
+  topo::TorusNetwork net(8, 8);
+  std::string baseline;
+  {
+    apps::SweepRunner runner(net);
+    baseline = digest(runner.run(grid));
+  }
+  // One compiled cell, zero dynamic cells, eight shards: seven workers
+  // own empty ranges and must still report cleanly.
+  apps::SweepRunner runner(net);
+  const auto sharded =
+      runner.run_sharded(grid, apps::ShardOptions{.shards = 8});
+  EXPECT_EQ(digest(sharded), baseline);
+}
+
+TEST(Shard, ForksCleanlyAfterThePoolIsLive) {
+  // A prior run() spins up the worker-thread pool; the fork in
+  // run_sharded must not deadlock on (or touch) the pool the children
+  // inherit.  Both runners see the same two run calls, so the warm-cache
+  // provenance of the second is identical too.
+  const auto grid = shard_grid();
+  topo::TorusNetwork net(8, 8);
+
+  apps::SweepRunner serial(net);
+  (void)serial.run(grid);
+  const auto baseline = digest(serial.run(grid));
+
+  apps::SweepRunner sharded(net);
+  (void)sharded.run(grid);
+  const auto merged =
+      digest(sharded.run_sharded(grid, apps::ShardOptions{.shards = 4}));
+  EXPECT_EQ(merged, baseline);
+}
+
+TEST(Shard, CrashedWorkerThrowsWithNothingMerged) {
+  const auto grid = shard_grid();
+  topo::TorusNetwork net(8, 8);
+  apps::SweepRunner runner(net);
+  try {
+    (void)runner.run_sharded(grid,
+                             apps::ShardOptions{.shards = 3, .fail_shard = 1});
+    FAIL() << "a crashed shard must raise";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shard 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("no shard results were merged"), std::string::npos)
+        << what;
+  }
+  // The runner (and its schedule cache) survive the failed attempt; a
+  // healthy retry produces the full result.
+  const auto retry = runner.run_sharded(grid, apps::ShardOptions{.shards = 3});
+  EXPECT_EQ(retry.compiled.size(), 4u);
+  EXPECT_EQ(retry.dynamic.size(), 16u);
+}
+
+TEST(Shard, InvalidConfigurationsAreRejected) {
+  const auto grid = shard_grid();
+  topo::TorusNetwork net(8, 8);
+  {
+    apps::SweepRunner runner(net);
+    EXPECT_THROW(
+        (void)runner.run_sharded(grid, apps::ShardOptions{.shards = 0}),
+        std::invalid_argument);
+    EXPECT_THROW(
+        (void)runner.run_sharded(grid, apps::ShardOptions{.shards = -2}),
+        std::invalid_argument);
+  }
+  {
+    apps::SweepOptions options;
+    options.recovery = true;
+    apps::SweepRunner runner(net, options);
+    EXPECT_THROW((void)runner.run_sharded(grid, apps::ShardOptions{}),
+                 std::invalid_argument);
+  }
+}
+
+}  // namespace

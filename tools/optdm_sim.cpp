@@ -1,6 +1,7 @@
 // optdm_sim — command-line simulator driver: the runtime-side companion
-// of optdm_compile.  Takes a pattern (file or built-in), a message size,
-// and runs it under every control regime the library models:
+// of optdm_compile.  Takes a topology, a pattern (file or built-in), a
+// message size, and runs it under every control regime the library
+// models:
 //
 //   compiled      off-line schedule, TDM transmission (the paper's model)
 //   compiled-wdm  same schedule over wavelength channels
@@ -8,33 +9,81 @@
 //   static-aapc   preloaded all-to-all frame (dynamic-pattern fallback)
 //   multihop      hypercube embedding, store-and-forward
 //
-// The compiled regime goes through the phase-aware pipeline, so the
-// schedule cache flags apply (warm runs skip scheduling entirely).
+// The static-AAPC and multihop rows model the paper's 8x8 substrate and
+// only appear there; the mega-scale tori run the compiled and dynamic
+// regimes.  The compiled regime goes through the phase-aware pipeline,
+// so the schedule cache flags apply (warm runs skip scheduling
+// entirely).  The dynamic rows run through apps::SweepRunner — with
+// --shards they fan out over forked worker processes, and the printed
+// table is byte-identical at any shard count.
 //
 // Examples:
 //   optdm_sim --pattern=tscf --slots=2
 //   optdm_sim --pattern-file=phase.txt --slots=16 --algorithm=coloring
 //   optdm_sim --pattern=gs --report=run.json   # compiled-run RunReport JSON
+//   optdm_sim --topology=torus:32x32 --slots=2 --shards=4
 //   optdm_sim --pattern=all-to-all --cache-dir=/tmp/optdm-cache
 
 #include <fstream>
 #include <iostream>
 
 #include "aapc/torus_aapc.hpp"
+#include "apps/sweep.hpp"
 #include "cli.hpp"
 #include "obs/report.hpp"
 #include "sched/combined.hpp"
 #include "sim/dynamic.hpp"
 #include "sim/multihop.hpp"
+#include "topo/factory.hpp"
 #include "topo/torus.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: optdm_sim [flags]
+
+Simulates one communication pattern under every control regime the
+library models and prints a comparison table.
+
+flags:
+  --topology=SPEC   substrate: torus:CxR or torus:N (square); the paper's
+                    torus:8x8 is the default, torus:32x32 / torus:64x64
+                    are the mega-scale points
+  --pattern=NAME    ring|nearest-neighbor|hypercube|tscf|shuffle-exchange|
+                    all-to-all|linear|gs|transpose|bit-reversal
+  --pattern-file=F  `src dst` pattern file (overrides --pattern)
+  --slots=N         message size in payload slots (default 4)
+  --shards=N        fan the dynamic-reservation rows over N forked worker
+                    processes; the output is byte-identical at any N
+  --algorithm=NAME  scheduler registry name (default combined)
+  --cache-dir=DIR   on-disk schedule cache directory
+  --no-cache        disable the schedule cache
+  --report=FILE     dump the compiled run as optdm-run-report/1 JSON
+  --help            this text
+)";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace optdm;
   try {
     const util::CliArgs args(argc, argv);
-    topo::TorusNetwork net(8, 8);
+    if (args.get_bool("help")) {
+      std::cout << kUsage;
+      return 0;
+    }
+
+    const auto spec = topo::parse_topology_spec(args.get("topology",
+                                                         "torus:8x8"));
+    if (spec.family != topo::TopologySpec::Family::kTorus)
+      throw std::runtime_error(
+          "optdm_sim drives the torus substrate; --topology accepts "
+          "torus:CxR / torus:N");
+    topo::TorusNetwork net(spec.cols, spec.rows);
+
+    const auto shards = args.get_int("shards", 1);
+    if (shards < 1) throw std::runtime_error("--shards must be positive");
 
     const auto requests = tools::load_pattern(args, net, "tscf");
     const auto slots = args.get_int("slots", 4);
@@ -77,31 +126,58 @@ int main(int argc, char** argv) {
          util::Table::fmt(std::int64_t{compiled.phase.schedule.degree()}),
          util::Table::fmt(cw.total_slots), "full-rate channels"});
 
+    // The dynamic-reservation rows run as a sweep grid (one phase, one
+    // variant per K, healthy fabric), so --shards can fan them over
+    // forked workers; an inactive timeline is byte-identical to the
+    // direct healthy run, and so is the merge at any shard count.
+    apps::SweepGrid grid;
+    apps::CommPhase phase;
+    phase.name = "cli";
+    phase.messages = messages;
+    grid.phases.push_back(std::move(phase));
     for (const int k : {1, 2, 5, 10}) {
-      sim::DynamicParams params;
-      params.multiplexing_degree = k;
-      const auto run = sim::simulate_dynamic(net, messages, params);
+      apps::DynamicVariant variant;
+      variant.label = "K=" + std::to_string(k);
+      variant.params.multiplexing_degree = k;
+      grid.dynamic.push_back(std::move(variant));
+    }
+    apps::SweepOptions sweep_options;
+    sweep_options.run_compiled = false;  // compiled rows above
+    apps::SweepRunner runner(net, sweep_options);
+    const auto sweep =
+        args.has("shards")
+            ? runner.run_sharded(
+                  grid, apps::ShardOptions{static_cast<int>(shards), -1})
+            : runner.run(grid);
+    for (std::size_t v = 0; v < grid.dynamic.size(); ++v) {
+      const auto& run = sweep.dynamic_cell(0, 0, v).result;
       table.add_row(
-          {"dynamic reservation", util::Table::fmt(std::int64_t{k}),
+          {"dynamic reservation",
+           util::Table::fmt(
+               std::int64_t{grid.dynamic[v].params.multiplexing_degree}),
            run.completed ? util::Table::fmt(run.total_slots) : "dnf",
            util::Table::fmt(run.total_retries) + " retries"});
     }
 
-    const aapc::TorusAapc aapc(net);
-    const auto fallback =
-        sim::simulate_compiled(aapc.full_schedule(), messages);
-    table.add_row({"static AAPC frame", "64",
-                   util::Table::fmt(fallback.total_slots),
-                   "no reservations"});
+    // The preloaded AAPC frame and hypercube embedding are the paper's
+    // 8x8 comparison points; skip them on the scale substrates.
+    if (net.node_count() == 64) {
+      const aapc::TorusAapc aapc(net);
+      const auto fallback =
+          sim::simulate_compiled(aapc.full_schedule(), messages);
+      table.add_row({"static AAPC frame", "64",
+                     util::Table::fmt(fallback.total_slots),
+                     "no reservations"});
 
-    const auto embedding =
-        sched::combined(net, patterns::hypercube(net.node_count()));
-    const auto hop = sim::simulate_multihop(embedding, messages,
-                                            sim::hypercube_next_hop);
-    table.add_row({"hypercube multihop",
-                   util::Table::fmt(std::int64_t{embedding.degree()}),
-                   hop.completed ? util::Table::fmt(hop.total_slots) : "dnf",
-                   "store-and-forward"});
+      const auto embedding =
+          sched::combined(net, patterns::hypercube(net.node_count()));
+      const auto hop = sim::simulate_multihop(embedding, messages,
+                                              sim::hypercube_next_hop);
+      table.add_row({"hypercube multihop",
+                     util::Table::fmt(std::int64_t{embedding.degree()}),
+                     hop.completed ? util::Table::fmt(hop.total_slots) : "dnf",
+                     "store-and-forward"});
+    }
 
     table.print(std::cout);
 

@@ -1,0 +1,39 @@
+# Round-trip check for the optdm_sim scale flags: --help exits cleanly,
+# and the full table printed for a mega-scale topology is byte-identical
+# whether the dynamic rows run in-process or across forked shard workers.
+# Invoked by ctest as:
+#   cmake -DSIM=<path-to-optdm_sim> -P shard_roundtrip.cmake
+
+if(NOT DEFINED SIM)
+  message(FATAL_ERROR "pass -DSIM=<path to optdm_sim>")
+endif()
+
+execute_process(COMMAND ${SIM} --help
+                OUTPUT_VARIABLE help_text RESULT_VARIABLE help_status)
+if(NOT help_status EQUAL 0)
+  message(FATAL_ERROR "optdm_sim --help exited with ${help_status}")
+endif()
+foreach(flag "--topology" "--shards")
+  if(NOT help_text MATCHES "${flag}")
+    message(FATAL_ERROR "optdm_sim --help does not document ${flag}")
+  endif()
+endforeach()
+
+set(flags --topology=torus:32x32 --pattern=ring --slots=1)
+execute_process(COMMAND ${SIM} ${flags} --shards=1
+                OUTPUT_VARIABLE unsharded RESULT_VARIABLE status1)
+execute_process(COMMAND ${SIM} ${flags} --shards=4
+                OUTPUT_VARIABLE sharded RESULT_VARIABLE status4)
+if(NOT status1 EQUAL 0 OR NOT status4 EQUAL 0)
+  message(FATAL_ERROR
+          "optdm_sim failed: --shards=1 -> ${status1}, --shards=4 -> ${status4}")
+endif()
+if(NOT unsharded STREQUAL sharded)
+  message(FATAL_ERROR
+          "sharded output differs from unsharded:\n--- shards=1 ---\n"
+          "${unsharded}\n--- shards=4 ---\n${sharded}")
+endif()
+if(NOT unsharded MATCHES "torus\\(32x32\\)")
+  message(FATAL_ERROR "output does not name the requested topology:\n${unsharded}")
+endif()
+message(STATUS "optdm_sim shard round-trip OK")
