@@ -204,6 +204,11 @@ PhaseCompilation Pipeline::compile_phase(const core::RequestSet& pattern) {
     counters->cache_memory_hits = after.memory_hits - before.memory_hits;
     counters->cache_disk_hits = after.disk_hits - before.disk_hits;
     counters->cache_misses = after.misses - before.misses;
+    // Incident counter: only surfaces when something was quarantined, so
+    // healthy runs keep their report documents unchanged.
+    if (after.disk_quarantined > before.disk_quarantined)
+      counters->cache_quarantined =
+          after.disk_quarantined - before.disk_quarantined;
   }
   return result;
 }
@@ -285,6 +290,9 @@ PipelineProgram Pipeline::compile(const Program& program) {
       counters->cache_memory_hits = after.memory_hits - before.memory_hits;
       counters->cache_disk_hits = after.disk_hits - before.disk_hits;
       counters->cache_misses = after.misses - before.misses;
+      if (after.disk_quarantined > before.disk_quarantined)
+        counters->cache_quarantined =
+            after.disk_quarantined - before.disk_quarantined;
     }
   }
   return out;

@@ -1,12 +1,18 @@
 #include "apps/sched_cache.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "io/cache_io.hpp"
 #include "io/pattern_io.hpp"
+#include "util/failure.hpp"
 
 namespace optdm::apps {
 
@@ -32,6 +38,38 @@ std::string hex64(std::uint64_t value) {
     value >>= 4;
   }
   return out;
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Extracts the `topology <fingerprint>` line from a canonical key string
+/// (second line of the `optdm-cache-key/1` format); empty on any mismatch.
+std::string key_topology(const std::string& canonical) {
+  constexpr std::string_view kPrefix = "topology ";
+  const auto first_nl = canonical.find('\n');
+  if (first_nl == std::string::npos) return {};
+  const auto start = first_nl + 1;
+  if (canonical.compare(start, kPrefix.size(), kPrefix) != 0) return {};
+  const auto end = canonical.find('\n', start);
+  if (end == std::string::npos) return {};
+  const auto value = start + kPrefix.size();
+  return canonical.substr(value, end - value);
 }
 
 }  // namespace
@@ -142,19 +180,27 @@ std::string ScheduleCache::entry_path(const CacheKey& key) const {
 
 std::optional<CachedCompilation> ScheduleCache::disk_lookup(
     const CacheKey& key, const std::string& canonical) {
-  std::ifstream in(entry_path(key), std::ios::binary);
-  if (!in) return std::nullopt;  // absent: a plain miss, not a reject
-
-  auto entry = io::read_cache_entry(in);
+  const std::string path = entry_path(key);
+  std::optional<io::CacheEntry> entry;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;  // absent: a plain miss, not a reject
+    entry = io::read_cache_entry(in);
+  }
   if (!entry) {
-    ++stats_.disk_rejects;  // corrupt / truncated / wrong schema
+    // Corrupt / truncated / wrong schema (util::FailureCode
+    // kCacheEntryCorrupt): move the evidence aside so the next store can
+    // commit a clean replacement without racing a re-read of the wreck.
+    ++stats_.disk_rejects;
+    quarantine_locked(path);
     return std::nullopt;
   }
-  // Hash collision or a stale file from a different run configuration:
-  // the stored full key is the ground truth, the filename is just an
-  // address.
+  // Hash collision or a stale file from a different run configuration
+  // (kCacheEntryStale): the stored full key is the ground truth, the
+  // filename is just an address.
   if (entry->key != canonical) {
     ++stats_.disk_rejects;
+    quarantine_locked(path);
     return std::nullopt;
   }
 
@@ -166,11 +212,27 @@ std::optional<CachedCompilation> ScheduleCache::disk_lookup(
     loaded.schedule = io::read_schedule(text, *net_);
   } catch (const std::exception&) {
     // The schedule body failed link-by-link revalidation against the
-    // network — tampered or mismatched.  Miss; the next store rewrites it.
+    // network — tampered or mismatched.  Quarantine; the next store
+    // rewrites the address.
     ++stats_.disk_rejects;
+    quarantine_locked(path);
     return std::nullopt;
   }
   return loaded;
+}
+
+void ScheduleCache::quarantine_locked(const std::string& path) {
+  std::error_code ec;
+  // rename(2) replaces an existing `.quarantined` from an earlier incident
+  // atomically — we keep the most recent wreck, which is the useful one.
+  std::filesystem::rename(path, path + ".quarantined", ec);
+  if (ec) {
+    // Quarantine is forensic, correctness is deletion: the entry must not
+    // be re-read as corrupt forever.
+    std::filesystem::remove(path, ec);
+    return;
+  }
+  ++stats_.disk_quarantined;
 }
 
 void ScheduleCache::disk_store(const CacheKey& key, const Entry& entry) {
@@ -186,18 +248,113 @@ void ScheduleCache::disk_store(const CacheKey& key, const Entry& entry) {
   io::write_schedule(schedule_text, *net_, entry.value.schedule);
   serialized.schedule_text = schedule_text.str();
 
-  // Write-then-rename so a crash mid-write leaves either the old entry or
-  // none — never a torn file that would read as corrupt forever.
+  std::ostringstream doc;
+  io::write_cache_entry(doc, serialized);
+  const std::string text = doc.str();
+
+  // Commit protocol: exclusive temp -> write -> fsync -> atomic rename.
+  // The pid in the temp name keeps concurrent shard workers sharing one
+  // cache directory off each other's temps; O_EXCL turns any remaining
+  // collision (pid reuse after a crash) into an error instead of an
+  // interleaved file; the fsync bounds what a power cut can tear to the
+  // temp, so readers of the final address see the old document or the new
+  // one — never a prefix.  The whole tier stays best-effort: the memory
+  // tier is already updated, so every bail-out below is just "no persist".
   const std::string final_path = entry_path(key);
-  const std::string tmp_path = final_path + ".tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) return;
-    io::write_cache_entry(out, serialized);
-    if (!out.good()) return;
+  const std::string tmp_path =
+      final_path + ".tmp." + std::to_string(::getpid());
+  int fd = ::open(tmp_path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0 && errno == EEXIST) {
+    // Our own pid's leftover from a crashed earlier run: reclaim it.
+    ::unlink(tmp_path.c_str());
+    fd = ::open(tmp_path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  }
+  if (fd < 0) return;
+  bool ok = write_all(fd, text.data(), text.size());
+  ok = (::fsync(fd) == 0) && ok;
+  ok = (::close(fd) == 0) && ok;
+  if (!ok) {
+    ::unlink(tmp_path.c_str());
+    return;
   }
   std::filesystem::rename(tmp_path, final_path, ec);
   if (ec) std::filesystem::remove(tmp_path, ec);
+}
+
+ScheduleCache::ScrubReport ScheduleCache::scrub() {
+  std::lock_guard lock(mutex_);
+  ScrubReport report;
+  if (options_.disk_dir.empty()) return report;
+
+  std::error_code ec;
+  // Snapshot the listing first: the pass renames and deletes, and mutating
+  // a directory under an active iterator is implementation-defined.
+  std::vector<std::filesystem::path> paths;
+  for (std::filesystem::directory_iterator it(options_.disk_dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->is_regular_file(ec)) paths.push_back(it->path());
+  }
+
+  for (const auto& path : paths) {
+    const std::string name = path.filename().string();
+    if (ends_with(name, ".quarantined")) continue;  // already dealt with
+    if (name.find(".tmp.") != std::string::npos) {
+      // A commit temp with no living writer is a crash leftover; the
+      // not-intended-to-race-writers contract makes deletion safe.
+      std::filesystem::remove(path, ec);
+      if (!ec) ++report.removed_tmp;
+      continue;
+    }
+    if (!ends_with(name, ".json")) continue;  // not ours
+
+    ++report.scanned;
+    std::optional<io::CacheEntry> entry;
+    {
+      std::ifstream in(path, std::ios::binary);
+      if (in) entry = io::read_cache_entry(in);
+    }
+    if (!entry) {
+      quarantine_locked(path.string());
+      ++report.quarantined;
+      continue;
+    }
+    if (key_topology(entry->key) != fingerprint_) {
+      // A different network's entry in a shared directory — valid JSON,
+      // but we cannot revalidate its schedule.  Leave it for its owner.
+      ++report.foreign;
+      continue;
+    }
+    try {
+      std::istringstream text(entry->schedule_text);
+      io::read_schedule(text, *net_);
+    } catch (const std::exception&) {
+      quarantine_locked(path.string());
+      ++report.quarantined;
+      continue;
+    }
+    const std::string expected = hex64(fnv1a(entry->key)) + ".json";
+    if (name != expected) {
+      // Misaddressed (renamed by hand, partial restore): move it back to
+      // its content address unless a document already lives there — then
+      // the resident copy wins and the stray is quarantined as stale.
+      const auto target = path.parent_path() / expected;
+      if (std::filesystem::exists(target, ec)) {
+        quarantine_locked(path.string());
+        ++report.quarantined;
+      } else {
+        std::filesystem::rename(path, target, ec);
+        if (ec) {
+          quarantine_locked(path.string());
+          ++report.quarantined;
+        } else {
+          ++report.repaired;
+        }
+      }
+      continue;
+    }
+    ++report.valid;
+  }
+  return report;
 }
 
 }  // namespace optdm::apps

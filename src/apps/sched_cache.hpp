@@ -29,7 +29,17 @@
 ///  * an in-memory LRU tier (always on; capacity-bounded);
 ///  * an optional on-disk tier (one versioned JSON document per entry,
 ///    `io/cache_io.hpp`); corrupt, stale, or mismatched entries are
-///    ignored — they read as misses and are rewritten by the next store.
+///    **quarantined** — renamed to `<entry>.quarantined` so the evidence
+///    survives for post-mortem — then treated as misses and rewritten by
+///    the next store.
+///
+/// The disk tier is crash-safe and multi-process-safe.  A store commits
+/// via exclusive-temp / write / fsync / rename: the temp name embeds the
+/// writer's pid (shard workers sharing one `--cache-dir` never collide),
+/// `O_EXCL` guarantees no two writers interleave into one temp file, the
+/// fsync bounds what a power cut can tear, and the atomic rename means a
+/// reader sees the old document or the new one — never a prefix.
+/// `scrub()` is the offline repair pass over a cache directory.
 ///
 /// All operations are thread-safe (one mutex; disk I/O happens outside
 /// the hot path's critical section is *not* attempted — correctness over
@@ -91,6 +101,11 @@ struct CacheStats {
   /// On-disk entries ignored as corrupt, version-mismatched, or stale
   /// (key material differed from the requested key).
   std::int64_t disk_rejects = 0;
+  /// Entries successfully moved aside to `<entry>.quarantined` — by
+  /// lookups that rejected them (then also counted in `disk_rejects`) or
+  /// by a `scrub()` pass.  Quarantine is best-effort (a failed rename
+  /// falls back to deletion, uncounted).
+  std::int64_t disk_quarantined = 0;
 
   std::int64_t hits() const noexcept { return memory_hits + disk_hits; }
 };
@@ -128,6 +143,36 @@ class ScheduleCache {
   /// Traffic counters since construction.
   CacheStats stats() const;
 
+  /// What one `scrub()` pass found and did in the disk directory.
+  struct ScrubReport {
+    /// `.json` documents examined.
+    std::int64_t scanned = 0;
+    /// Documents that parsed, revalidated against the network, and sat at
+    /// their content address.
+    std::int64_t valid = 0;
+    /// Valid documents found under the wrong filename (e.g. a directory
+    /// restored from a partial backup) and renamed to their content
+    /// address.
+    std::int64_t repaired = 0;
+    /// Corrupt or revalidation-failing documents moved to
+    /// `<entry>.quarantined`.
+    std::int64_t quarantined = 0;
+    /// Leftover `*.tmp.<pid>` commit temps from crashed writers, deleted.
+    std::int64_t removed_tmp = 0;
+    /// Well-formed entries for a *different* topology, left untouched
+    /// (the directory may legitimately be shared across networks).
+    std::int64_t foreign = 0;
+  };
+
+  /// Offline validate-and-repair pass over the disk directory: deletes
+  /// orphaned commit temps, quarantines documents that fail parsing or
+  /// link-by-link schedule revalidation, and moves misaddressed valid
+  /// entries back to their content address.  No-op (all-zero report) when
+  /// the disk tier is disabled or the directory is unreadable.  Safe to
+  /// run concurrently with lookups/stores in this process; not intended
+  /// to race other *writers* of the same directory.
+  ScrubReport scrub();
+
   const Options& options() const noexcept { return options_; }
   const topo::Network& network() const noexcept { return *net_; }
 
@@ -141,6 +186,10 @@ class ScheduleCache {
   std::optional<CachedCompilation> disk_lookup(const CacheKey& key,
                                                const std::string& canonical);
   void disk_store(const CacheKey& key, const Entry& entry);
+  /// Moves a rejected on-disk document to `<path>.quarantined` (replacing
+  /// any previous quarantine of the same entry) and counts it.  Falls back
+  /// to deletion if the rename fails; never throws.
+  void quarantine_locked(const std::string& path);
   void insert_locked(std::string canonical, CachedCompilation value);
   std::string entry_path(const CacheKey& key) const;
 

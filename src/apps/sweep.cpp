@@ -1,38 +1,59 @@
 #include "apps/sweep.hpp"
 
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <utility>
 
+#include "util/failure.hpp"
 #include "util/parallel.hpp"
 
 namespace optdm::apps {
 
 namespace {
 
+using util::Failure;
+using util::FailureCode;
+
 const sim::FaultTimeline kHealthy;
 
 // --- Shard wire format ---------------------------------------------------
 //
-// One worker process streams its contiguous cell range back to the parent
-// as: header {magic, version, begin, end}, the cells in index order, then
-// a trailer magic.  Everything is fixed-width host-endian — the stream
-// never leaves the machine (it exists for the lifetime of one pipe) — and
-// all repeated payloads are trivially copyable stats records, so cells
-// serialize as length-prefixed memcpys.  The parent refuses the merge
-// unless every stream parses exactly (header, every cell, trailer, no
-// residue) AND every worker exited cleanly.
+// One worker process streams frames back to the parent:
+//
+//   frame := {u32 kind, u32 pad, u64 payload_size, payload}
+//     kind 1 (progress): payload = u64 cells completed so far — the
+//       heartbeat the supervisor's hang detector watches;
+//     kind 2 (result):   payload = {magic, version, begin, end}, the
+//       cells in index order, then a trailer magic.  Exactly one, last.
+//
+// Everything is fixed-width host-endian — the stream never leaves the
+// machine (it exists for the lifetime of one pipe) — and all repeated
+// payloads are trivially copyable stats records, so cells serialize as
+// length-prefixed memcpys.  The parent merges a shard only from a
+// complete stream that parses exactly (header, every cell, trailer, no
+// residue) from a worker that exited cleanly; anything else is a failed
+// attempt the supervisor retries.
 
 constexpr std::uint64_t kShardMagic = 0x4f5054444d535750ULL;    // "OPTDMSWP"
 constexpr std::uint64_t kShardTrailer = 0x53574545502d4f4bULL;  // "SWEEP-OK"
-constexpr std::uint32_t kShardVersion = 1;
+constexpr std::uint32_t kShardVersion = 2;
+
+constexpr std::uint32_t kFrameProgress = 1;
+constexpr std::uint32_t kFrameResult = 2;
 
 void put_bytes(std::vector<char>& out, const void* data, std::size_t size) {
   const auto* p = static_cast<const char*>(data);
@@ -52,6 +73,13 @@ void put_vec(std::vector<char>& out, const std::vector<T>& values) {
   put_bytes(out, values.data(), values.size() * sizeof(T));
 }
 
+void put_frame_header(std::vector<char>& out, std::uint32_t kind,
+                      std::uint64_t payload_size) {
+  put_pod(out, kind);
+  put_pod(out, std::uint32_t{0});
+  put_pod(out, payload_size);
+}
+
 class ByteReader {
  public:
   ByteReader(const char* data, std::size_t size)
@@ -59,7 +87,8 @@ class ByteReader {
 
   void get_bytes(void* dst, std::size_t size) {
     if (static_cast<std::size_t>(end_ - at_) < size)
-      throw std::runtime_error("sweep shard stream truncated");
+      throw Failure(FailureCode::kShardStreamCorrupt,
+                    "sweep shard stream truncated");
     std::memcpy(dst, at_, size);
     at_ += size;
   }
@@ -77,11 +106,22 @@ class ByteReader {
     static_assert(std::is_trivially_copyable_v<T>);
     const auto count = get_pod<std::uint64_t>();
     if (count * sizeof(T) > static_cast<std::size_t>(end_ - at_))
-      throw std::runtime_error("sweep shard stream truncated");
+      throw Failure(FailureCode::kShardStreamCorrupt,
+                    "sweep shard stream truncated");
     values.resize(static_cast<std::size_t>(count));
     get_bytes(values.data(), values.size() * sizeof(T));
   }
 
+  void skip(std::size_t size) {
+    if (static_cast<std::size_t>(end_ - at_) < size)
+      throw Failure(FailureCode::kShardStreamCorrupt,
+                    "sweep shard stream truncated");
+    at_ += size;
+  }
+
+  std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(end_ - at_);
+  }
   bool exhausted() const noexcept { return at_ == end_; }
 
  private:
@@ -121,6 +161,7 @@ void put_dynamic(std::vector<char>& out, const DynamicCell& cell) {
   put_pod(out, cell.result.total_retries);
   put_pod(out, static_cast<std::uint8_t>(cell.result.completed));
   put_pod(out, static_cast<std::uint8_t>(cell.result.clean_shutdown));
+  put_pod(out, static_cast<std::uint8_t>(cell.result.livelock));
   put_pod(out, cell.result.faults);
   put_vec(out, cell.result.messages);
 }
@@ -134,6 +175,7 @@ void get_dynamic(ByteReader& in, DynamicCell& cell) {
   cell.result.total_retries = in.get_pod<std::int64_t>();
   cell.result.completed = in.get_pod<std::uint8_t>() != 0;
   cell.result.clean_shutdown = in.get_pod<std::uint8_t>() != 0;
+  cell.result.livelock = in.get_pod<std::uint8_t>() != 0;
   cell.result.faults = in.get_pod<sim::FaultStats>();
   in.get_vec(cell.result.messages);
 }
@@ -151,18 +193,141 @@ bool write_all(int fd, const char* data, std::size_t size) {
   return true;
 }
 
-std::vector<char> read_to_eof(int fd) {
-  std::vector<char> buffer;
-  char chunk[1 << 16];
-  for (;;) {
-    const auto got = ::read(fd, chunk, sizeof chunk);
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      throw std::runtime_error("run_sharded: reading shard pipe failed");
-    }
-    if (got == 0) return buffer;
-    buffer.insert(buffer.end(), chunk, chunk + got);
+// --- Chaos hook ----------------------------------------------------------
+//
+// `OPTDM_CHAOS=<mode>:shard=<s>[:cell=<c>][:attempt=<a>|all][:seed=<n>]`
+// injects one seeded fault into a `run_sharded` worker — the official
+// promotion of the old `fail_shard` test hook, usable by tests and the CI
+// chaos step:
+//
+//   kill    the worker raises SIGKILL when it reaches the trigger cell;
+//   hang    the worker stops making progress (loops in pause()) — only a
+//           `ShardPolicy::deadline_ms` can reclaim it;
+//   garble  the worker abandons computation at the trigger cell and
+//           reports a seeded-garbage result frame with a clean exit —
+//           stream validation must catch it.
+//
+// `cell` is a *global* cell index the shard owns (default: the first cell
+// of its range); `attempt` selects which attempt misbehaves (default 0 —
+// the first — so default-policy retries recover and the merged digest
+// stays byte-identical to the fault-free run; `all` makes every attempt
+// misbehave, exercising the exhaustion policies).  A malformed spec
+// throws `util::Failure{kInvalidConfig}` in the parent, before any fork.
+
+struct ChaosSpec {
+  enum class Mode { kNone, kKill, kHang, kGarble };
+  Mode mode = Mode::kNone;
+  int shard = -1;
+  std::int64_t cell = -1;  // -1 = first cell of the target shard's range
+  int attempt = 0;         // -1 = every attempt
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+
+  bool armed_for(std::size_t shard_index, int attempt_index) const noexcept {
+    return mode != Mode::kNone &&
+           shard == static_cast<int>(shard_index) &&
+           (attempt < 0 || attempt == attempt_index);
   }
+};
+
+std::int64_t parse_int_or_throw(const std::string& text,
+                                const std::string& spec) {
+  std::size_t used = 0;
+  std::int64_t value = 0;
+  try {
+    value = std::stoll(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != text.size() || text.empty())
+    throw Failure(FailureCode::kInvalidConfig,
+                  "OPTDM_CHAOS: bad integer '" + text + "' in '" + spec + "'");
+  return value;
+}
+
+ChaosSpec parse_chaos_env() {
+  ChaosSpec spec;
+  const char* raw = std::getenv("OPTDM_CHAOS");
+  if (raw == nullptr || *raw == '\0') return spec;
+  const std::string text(raw);
+
+  std::size_t pos = text.find(':');
+  const std::string mode = text.substr(0, pos);
+  if (mode == "kill") spec.mode = ChaosSpec::Mode::kKill;
+  else if (mode == "hang") spec.mode = ChaosSpec::Mode::kHang;
+  else if (mode == "garble") spec.mode = ChaosSpec::Mode::kGarble;
+  else
+    throw Failure(FailureCode::kInvalidConfig,
+                  "OPTDM_CHAOS: unknown mode '" + mode + "' (kill|hang|garble)");
+
+  bool have_shard = false;
+  while (pos != std::string::npos) {
+    const std::size_t next = text.find(':', pos + 1);
+    const std::string field =
+        text.substr(pos + 1, next == std::string::npos ? std::string::npos
+                                                       : next - pos - 1);
+    pos = next;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos)
+      throw Failure(FailureCode::kInvalidConfig,
+                    "OPTDM_CHAOS: expected key=value, got '" + field + "'");
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "shard") {
+      spec.shard = static_cast<int>(parse_int_or_throw(value, text));
+      have_shard = true;
+    } else if (key == "cell") {
+      spec.cell = parse_int_or_throw(value, text);
+    } else if (key == "attempt") {
+      spec.attempt = value == "all"
+                         ? -1
+                         : static_cast<int>(parse_int_or_throw(value, text));
+    } else if (key == "seed") {
+      spec.seed = static_cast<std::uint64_t>(parse_int_or_throw(value, text));
+    } else {
+      throw Failure(FailureCode::kInvalidConfig,
+                    "OPTDM_CHAOS: unknown key '" + key + "'");
+    }
+  }
+  if (!have_shard || spec.shard < 0)
+    throw Failure(FailureCode::kInvalidConfig,
+                  "OPTDM_CHAOS: a non-negative shard=N is required");
+  return spec;
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// In-worker chaos injection at the trigger cell.  `kKill` and `kHang`
+/// never return; `kGarble` writes a seeded-garbage result frame and exits
+/// cleanly so only stream validation can flag the attempt.
+[[noreturn]] void inject_chaos(const ChaosSpec& chaos, int fd) {
+  switch (chaos.mode) {
+    case ChaosSpec::Mode::kKill:
+      ::raise(SIGKILL);
+      break;
+    case ChaosSpec::Mode::kHang:
+      for (;;) ::pause();
+      break;
+    case ChaosSpec::Mode::kGarble: {
+      std::vector<char> frame;
+      std::uint64_t state = chaos.seed;
+      constexpr std::size_t kGarbageBytes = 96;
+      put_frame_header(frame, kFrameResult, kGarbageBytes);
+      for (std::size_t i = 0; i < kGarbageBytes; i += 8)
+        put_pod(frame, splitmix64(state));
+      (void)write_all(fd, frame.data(), frame.size());
+      ::close(fd);
+      _exit(0);
+    }
+    case ChaosSpec::Mode::kNone:
+      break;
+  }
+  _exit(13);  // unreachable for armed modes; defensive for kNone
 }
 
 }  // namespace
@@ -262,19 +427,73 @@ SweepResult SweepRunner::run(const SweepGrid& grid) {
   return out;
 }
 
+// --- The shard supervisor ------------------------------------------------
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Worker {
+  std::size_t index = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  pid_t pid = -1;
+  int fd = -1;  ///< parent-side read end; -1 when not running
+  /// Spawns so far; the running attempt's 0-based index is `attempts - 1`.
+  int attempts = 0;
+  /// Bytes received from the current attempt (frames, possibly partial).
+  std::vector<char> stream;
+  Clock::time_point last_progress{};
+  Clock::time_point respawn_at{};
+  bool respawn_pending = false;
+  bool settled = false;  ///< merged, or abandoned under Salvage
+  bool missing = false;  ///< abandoned under Salvage
+  FailureCode last_failure = FailureCode::kShardCrashed;
+
+  bool running() const noexcept { return fd >= 0; }
+};
+
+/// SIGKILLs and reaps every live worker and closes its pipe — the
+/// all-paths cleanup for throws and for partial-spawn failures, so no fd
+/// or zombie outlives `run_sharded`.
+void kill_all(std::vector<Worker>& workers) {
+  for (auto& w : workers) {
+    if (!w.running()) continue;
+    ::kill(w.pid, SIGKILL);
+    ::close(w.fd);
+    w.fd = -1;
+  }
+  for (auto& w : workers) {
+    if (w.pid < 0) continue;
+    ::waitpid(w.pid, nullptr, 0);
+    w.pid = -1;
+  }
+}
+
+}  // namespace
+
 SweepResult SweepRunner::run_sharded(const SweepGrid& grid,
                                      const ShardOptions& shard) {
   if (shard.shards < 1)
-    throw std::invalid_argument("run_sharded: shard count must be positive");
+    throw Failure(FailureCode::kInvalidConfig,
+                  "run_sharded: shard count must be positive");
   if (options_.recovery)
-    throw std::invalid_argument(
+    throw Failure(
+        FailureCode::kInvalidConfig,
         "run_sharded: the recovery loop is not shardable (recovery results "
         "carry live compiler state); use run()");
+  const ShardPolicy& policy = shard.policy;
+  if (policy.max_retries < 0 || policy.deadline_ms < 0 ||
+      policy.backoff_ms < 0 || policy.max_backoff_ms < 0)
+    throw Failure(FailureCode::kInvalidConfig,
+                  "run_sharded: ShardPolicy fields must be non-negative");
+  // Parsed (and validated) in the parent, once, before any fork.
+  const ChaosSpec chaos = parse_chaos_env();
 
   // Stages 1–2 in the parent, before any fork: timelines, compilations,
   // and cache hit/miss provenance are fixed here, so they cannot depend
-  // on the shard count.  Workers inherit the compilations through fork's
-  // copy-on-write image.
+  // on the shard count or on any supervision incident.  Workers inherit
+  // the compilations through fork's copy-on-write image.
   auto out = prepare(grid);
   const std::size_t compiled_cells = out.compiled.size();
   const std::size_t total = compiled_cells + out.dynamic.size();
@@ -285,56 +504,73 @@ SweepResult SweepRunner::run_sharded(const SweepGrid& grid,
   const std::size_t base = total / shards;
   const std::size_t extra = total % shards;
 
-  struct Worker {
-    pid_t pid = -1;
-    int fd = -1;
-    std::size_t begin = 0;
-    std::size_t end = 0;
-  };
-  std::vector<Worker> workers;
-  workers.reserve(shards);
-
+  std::vector<Worker> workers(shards);
   for (std::size_t s = 0; s < shards; ++s) {
-    const std::size_t begin = s * base + (s < extra ? s : extra);
-    const std::size_t end = begin + base + (s < extra ? 1 : 0);
+    workers[s].index = s;
+    workers[s].begin = s * base + (s < extra ? s : extra);
+    workers[s].end = workers[s].begin + base + (s < extra ? 1 : 0);
+  }
+
+  // Spawns (or respawns) one worker.  The child computes its cells one at
+  // a time, heartbeating a progress frame after each, then reports one
+  // result frame and exits; it exits only via _exit so no inherited
+  // static destructors run.  Returns false when pipe()/fork() fails —
+  // the caller owns cleanup.
+  const auto spawn = [&](Worker& w) -> bool {
     int fds[2];
-    if (::pipe(fds) != 0) {
-      for (const auto& w : workers) ::close(w.fd);
-      for (const auto& w : workers) ::waitpid(w.pid, nullptr, 0);
-      throw std::runtime_error("run_sharded: pipe() failed");
-    }
+    if (::pipe(fds) != 0) return false;
     const pid_t pid = ::fork();
     if (pid < 0) {
       ::close(fds[0]);
       ::close(fds[1]);
-      for (const auto& w : workers) ::close(w.fd);
-      for (const auto& w : workers) ::waitpid(w.pid, nullptr, 0);
-      throw std::runtime_error("run_sharded: fork() failed");
+      return false;
     }
     if (pid == 0) {
       // Worker process.  Single-threaded (the pool does not survive the
-      // fork; util::parallel runs inline here), exits only via _exit so
-      // no inherited static destructors run.
+      // fork; util::parallel runs inline here).
       ::close(fds[0]);
-      for (const auto& w : workers) ::close(w.fd);
-      if (static_cast<int>(s) == shard.fail_shard)
-        _exit(13);  // crash simulation: report nothing
+      for (const auto& other : workers)
+        if (other.running()) ::close(other.fd);
+      ::signal(SIGPIPE, SIG_IGN);  // write failures report as status 1
+      const int attempt_index = w.attempts;  // incremented by the parent
+      const bool chaos_armed = chaos.armed_for(w.index, attempt_index);
+      const std::size_t trigger =
+          chaos.cell < 0 ? w.begin : static_cast<std::size_t>(chaos.cell);
       int status = 0;
       try {
-        run_cells(grid, out, begin, end);
-        std::vector<char> buffer;
-        put_pod(buffer, kShardMagic);
-        put_pod(buffer, kShardVersion);
-        put_pod(buffer, static_cast<std::uint64_t>(begin));
-        put_pod(buffer, static_cast<std::uint64_t>(end));
-        for (std::size_t i = begin; i < end; ++i) {
-          if (i < compiled_cells)
-            put_compiled(buffer, out.compiled[i]);
-          else
-            put_dynamic(buffer, out.dynamic[i - compiled_cells]);
+        std::vector<char> frame;
+        std::uint64_t done = 0;
+        for (std::size_t i = w.begin; i < w.end; ++i) {
+          if (chaos_armed && i == trigger) inject_chaos(chaos, fds[1]);
+          run_cells(grid, out, i, i + 1);
+          ++done;
+          frame.clear();
+          put_frame_header(frame, kFrameProgress, sizeof done);
+          put_pod(frame, done);
+          if (!write_all(fds[1], frame.data(), frame.size())) {
+            status = 1;
+            break;
+          }
         }
-        put_pod(buffer, kShardTrailer);
-        if (!write_all(fds[1], buffer.data(), buffer.size())) status = 1;
+        if (status == 0) {
+          std::vector<char> payload;
+          put_pod(payload, kShardMagic);
+          put_pod(payload, kShardVersion);
+          put_pod(payload, static_cast<std::uint64_t>(w.begin));
+          put_pod(payload, static_cast<std::uint64_t>(w.end));
+          for (std::size_t i = w.begin; i < w.end; ++i) {
+            if (i < compiled_cells)
+              put_compiled(payload, out.compiled[i]);
+            else
+              put_dynamic(payload, out.dynamic[i - compiled_cells]);
+          }
+          put_pod(payload, kShardTrailer);
+          frame.clear();
+          put_frame_header(frame, kFrameResult, payload.size());
+          if (!write_all(fds[1], frame.data(), frame.size()) ||
+              !write_all(fds[1], payload.data(), payload.size()))
+            status = 1;
+        }
       } catch (...) {
         status = 2;
       }
@@ -342,69 +578,282 @@ SweepResult SweepRunner::run_sharded(const SweepGrid& grid,
       _exit(status);
     }
     ::close(fds[1]);
-    workers.push_back(Worker{pid, fds[0], begin, end});
-  }
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    w.pid = pid;
+    w.fd = fds[0];
+    ++w.attempts;
+    w.stream.clear();
+    w.respawn_pending = false;
+    w.last_progress = Clock::now();
+    return true;
+  };
 
-  // Drain every pipe to EOF (in shard order; workers still compute
-  // concurrently — only the final writes serialize against the parent),
-  // then reap every worker.  Nothing is merged until all streams and all
-  // exit statuses check out, so a crashed shard cannot leave a partially
-  // assembled result behind.
-  std::vector<std::vector<char>> streams;
-  streams.reserve(workers.size());
-  std::string failure;
-  for (const auto& w : workers) {
-    try {
-      streams.push_back(read_to_eof(w.fd));
-    } catch (const std::exception& e) {
-      if (failure.empty()) failure = e.what();
-      streams.emplace_back();
+  // Validates one finished attempt's stream and, on success, merges its
+  // cells.  Cells are parsed into scratch vectors first and committed
+  // only after the trailer checks out, so a stream that goes bad halfway
+  // cannot leave partial cells behind.
+  const auto validate_and_merge = [&](Worker& w) {
+    ByteReader in(w.stream.data(), w.stream.size());
+    bool saw_result = false;
+    std::vector<CompiledCell> compiled_scratch;
+    std::vector<DynamicCell> dynamic_scratch;
+    while (!in.exhausted()) {
+      if (saw_result)
+        throw Failure(FailureCode::kShardStreamCorrupt,
+                      "bytes after the result frame");
+      const auto kind = in.get_pod<std::uint32_t>();
+      in.skip(sizeof(std::uint32_t));  // pad
+      const auto size = in.get_pod<std::uint64_t>();
+      if (kind == kFrameProgress) {
+        in.skip(static_cast<std::size_t>(size));
+        continue;
+      }
+      if (kind != kFrameResult)
+        throw Failure(FailureCode::kShardStreamCorrupt,
+                      "unknown frame kind " + std::to_string(kind));
+      if (size != in.remaining())
+        throw Failure(FailureCode::kShardStreamCorrupt,
+                      "result frame size does not match the stream");
+      if (in.get_pod<std::uint64_t>() != kShardMagic ||
+          in.get_pod<std::uint32_t>() != kShardVersion)
+        throw Failure(FailureCode::kShardStreamCorrupt,
+                      "result stream has a bad header");
+      if (in.get_pod<std::uint64_t>() != w.begin ||
+          in.get_pod<std::uint64_t>() != w.end)
+        throw Failure(FailureCode::kShardStreamCorrupt,
+                      "worker reported the wrong cell range");
+      for (std::size_t i = w.begin; i < w.end; ++i) {
+        if (i < compiled_cells) {
+          get_compiled(in, compiled_scratch.emplace_back());
+        } else {
+          get_dynamic(in, dynamic_scratch.emplace_back());
+        }
+      }
+      if (in.get_pod<std::uint64_t>() != kShardTrailer)
+        throw Failure(FailureCode::kShardStreamCorrupt,
+                      "result stream has a bad trailer");
+      saw_result = true;
     }
-    ::close(w.fd);
-  }
-  for (std::size_t s = 0; s < workers.size(); ++s) {
-    int status = 0;
-    if (::waitpid(workers[s].pid, &status, 0) < 0) {
-      if (failure.empty())
-        failure = "run_sharded: waitpid failed for shard " + std::to_string(s);
-      continue;
-    }
-    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-      if (failure.empty())
-        failure =
-            "run_sharded: shard " + std::to_string(s) + " of " +
-            std::to_string(shards) +
-            (WIFSIGNALED(status)
-                 ? " was killed by signal " + std::to_string(WTERMSIG(status))
-                 : " exited with status " +
-                       std::to_string(WIFEXITED(status) ? WEXITSTATUS(status)
-                                                        : -1)) +
-            "; no shard results were merged";
-    }
-  }
-  if (!failure.empty()) throw std::runtime_error(failure);
-
-  // Deterministic merge: shard s owns exactly cells [begin_s, end_s), so
-  // reassembling in shard order reproduces run()'s cell-order layout.
-  for (std::size_t s = 0; s < workers.size(); ++s) {
-    ByteReader in(streams[s].data(), streams[s].size());
-    if (in.get_pod<std::uint64_t>() != kShardMagic ||
-        in.get_pod<std::uint32_t>() != kShardVersion)
-      throw std::runtime_error("run_sharded: shard " + std::to_string(s) +
-                               " stream has a bad header");
-    if (in.get_pod<std::uint64_t>() != workers[s].begin ||
-        in.get_pod<std::uint64_t>() != workers[s].end)
-      throw std::runtime_error("run_sharded: shard " + std::to_string(s) +
-                               " reported the wrong cell range");
-    for (std::size_t i = workers[s].begin; i < workers[s].end; ++i) {
+    if (!saw_result)
+      throw Failure(FailureCode::kShardStreamCorrupt,
+                    "stream ended without a result frame");
+    std::size_t c = 0, d = 0;
+    for (std::size_t i = w.begin; i < w.end; ++i) {
       if (i < compiled_cells)
-        get_compiled(in, out.compiled[i]);
+        out.compiled[i] = std::move(compiled_scratch[c++]);
       else
-        get_dynamic(in, out.dynamic[i - compiled_cells]);
+        out.dynamic[i - compiled_cells] = std::move(dynamic_scratch[d++]);
     }
-    if (in.get_pod<std::uint64_t>() != kShardTrailer || !in.exhausted())
-      throw std::runtime_error("run_sharded: shard " + std::to_string(s) +
-                               " stream is corrupt");
+  };
+
+  std::size_t settled = 0;
+
+  // One attempt is over (EOF + reaped, or killed): validate / retry /
+  // exhaust.  `wait_status` is the waitpid status of the dead worker.
+  const auto finish_attempt = [&](Worker& w, int wait_status,
+                                  std::optional<FailureCode> forced_failure) {
+    std::optional<FailureCode> failure = forced_failure;
+    if (!failure &&
+        (!WIFEXITED(wait_status) || WEXITSTATUS(wait_status) != 0))
+      failure = FailureCode::kShardCrashed;
+    if (!failure) {
+      try {
+        validate_and_merge(w);
+      } catch (const Failure&) {
+        failure = FailureCode::kShardStreamCorrupt;
+      }
+    }
+    if (!failure) {
+      w.settled = true;
+      ++settled;
+      return;
+    }
+
+    w.last_failure = *failure;
+    if (w.attempts <= policy.max_retries) {
+      // Schedule the re-fork after a capped exponential backoff.  Retries
+      // are safe: the cells are pure, so the retry recomputes the exact
+      // bytes the lost attempt would have reported.
+      ++out.supervision.retries;
+      switch (*failure) {
+        case FailureCode::kShardHung:
+          ++out.supervision.restarts_hung;
+          break;
+        case FailureCode::kShardStreamCorrupt:
+          ++out.supervision.restarts_corrupt;
+          break;
+        default:
+          ++out.supervision.restarts_crashed;
+          break;
+      }
+      const int prior = w.attempts;  // 1-based count of finished attempts
+      std::int64_t delay = policy.backoff_ms;
+      for (int a = 1; a < prior && delay < policy.max_backoff_ms; ++a)
+        delay = std::min(delay * 2, policy.max_backoff_ms);
+      delay = std::min(delay, policy.max_backoff_ms);
+      w.respawn_pending = true;
+      w.respawn_at = Clock::now() + std::chrono::milliseconds(delay);
+      return;
+    }
+
+    // Budget spent.
+    if (policy.on_exhaustion == ShardExhaustion::kFail) {
+      kill_all(workers);
+      throw Failure(
+          FailureCode::kShardExhausted,
+          "run_sharded: shard " + std::to_string(w.index) + " of " +
+              std::to_string(shards) + " failed " +
+              std::to_string(w.attempts) + " attempt(s) (last: " +
+              std::string(util::to_string(w.last_failure)) +
+              "); retry budget exhausted, results discarded");
+    }
+    // Salvage: the merged sweep comes back with this shard's cells
+    // explicitly marked missing (coordinates filled, data defaulted).
+    w.settled = true;
+    w.missing = true;
+    ++settled;
+    out.supervision.salvaged_cells +=
+        static_cast<std::int64_t>(w.end - w.begin);
+    for (std::size_t i = w.begin; i < w.end; ++i) {
+      if (i < compiled_cells) {
+        auto& cell = out.compiled[i];
+        cell.phase = i / out.fault_count;
+        cell.fault = i % out.fault_count;
+        cell.missing = true;
+      } else {
+        const std::size_t d = i - compiled_cells;
+        auto& cell = out.dynamic[d];
+        cell.seed = d % out.seed_count;
+        const std::size_t rest = d / out.seed_count;
+        cell.variant = rest % out.variant_count;
+        cell.fault = rest / out.variant_count % out.fault_count;
+        cell.phase = rest / out.variant_count / out.fault_count;
+        cell.missing = true;
+      }
+    }
+  };
+
+  // Reads everything currently available from a running worker; on EOF
+  // reaps it and closes the attempt out.
+  const auto drain = [&](Worker& w) {
+    for (;;) {
+      char chunk[1 << 16];
+      const auto got = ::read(w.fd, chunk, sizeof chunk);
+      if (got > 0) {
+        w.stream.insert(w.stream.end(), chunk, chunk + got);
+        w.last_progress = Clock::now();
+        continue;
+      }
+      if (got == 0) {  // EOF: the attempt is over
+        ::close(w.fd);
+        w.fd = -1;
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+        w.pid = -1;
+        finish_attempt(w, status, std::nullopt);
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      // The pipe itself failed — kill the attempt and let the supervisor
+      // retry it as a resource failure.
+      ::kill(w.pid, SIGKILL);
+      ::close(w.fd);
+      w.fd = -1;
+      ::waitpid(w.pid, nullptr, 0);
+      w.pid = -1;
+      finish_attempt(w, 0, FailureCode::kShardPipeIo);
+      return;
+    }
+  };
+
+  // Initial spawn.  A pipe()/fork() failure here is a Resource failure of
+  // the whole call: kill and reap everything already forked, close every
+  // parent-side fd, and propagate — a partial spawn must not leak.
+  for (auto& w : workers) {
+    if (!spawn(w)) {
+      const int err = errno;
+      kill_all(workers);
+      throw Failure(FailureCode::kShardSpawnFailed,
+                    "run_sharded: pipe()/fork() failed spawning shard " +
+                        std::to_string(w.index) + ": " +
+                        std::string(std::strerror(err)));
+    }
+  }
+
+  // Supervisor loop: poll every running pipe, feed the hang detector,
+  // fire due respawns, until every shard settles.  All throws funnel
+  // through kill_all so no worker or fd outlives this frame.
+  try {
+    while (settled < shards) {
+      std::vector<pollfd> fds;
+      fds.reserve(shards);
+      std::vector<std::size_t> fd_owner;
+      int timeout = -1;
+      const auto consider = [&](Clock::time_point when) {
+        const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            when - Clock::now())
+                            .count();
+        const int clamped = static_cast<int>(std::max<std::int64_t>(ms, 0));
+        timeout = timeout < 0 ? clamped : std::min(timeout, clamped);
+      };
+      for (auto& w : workers) {
+        if (w.running()) {
+          fds.push_back(pollfd{w.fd, POLLIN, 0});
+          fd_owner.push_back(w.index);
+          if (policy.deadline_ms > 0)
+            consider(w.last_progress +
+                     std::chrono::milliseconds(policy.deadline_ms));
+        } else if (w.respawn_pending) {
+          consider(w.respawn_at);
+        }
+      }
+      if (const int rc = ::poll(fds.data(),
+                                static_cast<nfds_t>(fds.size()), timeout);
+          rc < 0 && errno != EINTR) {
+        throw Failure(FailureCode::kShardPipeIo,
+                      "run_sharded: poll() failed: " +
+                          std::string(std::strerror(errno)));
+      }
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        auto& w = workers[fd_owner[i]];
+        if (w.running() && (fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+          drain(w);
+      }
+      // Hang detection: no frame within the deadline means the worker is
+      // stuck inside one cell (heartbeats come after every cell).  SIGKILL
+      // and close the attempt; the retry path re-forks it.
+      if (policy.deadline_ms > 0) {
+        const auto now = Clock::now();
+        for (auto& w : workers) {
+          if (!w.running()) continue;
+          if (now - w.last_progress <
+              std::chrono::milliseconds(policy.deadline_ms))
+            continue;
+          ::kill(w.pid, SIGKILL);
+          ::close(w.fd);
+          w.fd = -1;
+          ::waitpid(w.pid, nullptr, 0);
+          w.pid = -1;
+          finish_attempt(w, 0, FailureCode::kShardHung);
+        }
+      }
+      // Fire due respawns.
+      const auto now = Clock::now();
+      for (auto& w : workers) {
+        if (!w.respawn_pending || now < w.respawn_at) continue;
+        if (!spawn(w)) {
+          const int err = errno;
+          throw Failure(FailureCode::kShardSpawnFailed,
+                        "run_sharded: pipe()/fork() failed respawning shard " +
+                            std::to_string(w.index) + ": " +
+                            std::string(std::strerror(err)));
+        }
+      }
+    }
+  } catch (...) {
+    kill_all(workers);
+    throw;
   }
   return out;
 }

@@ -93,6 +93,10 @@ struct CompiledCell {
   int degree = 0;
   /// Whether the phase's compile came out of the schedule cache.
   bool cache_hit = false;
+  /// Set only by `run_sharded` under `ShardExhaustion::kSalvage`: the
+  /// owning shard exhausted its retries and this cell was never computed.
+  /// Coordinates are still filled in; `result` is default-constructed.
+  bool missing = false;
   /// One-shot simulation result (empty when `recovery` ran instead).
   sim::CompiledResult result;
   std::optional<RecoveryResult> recovery;
@@ -104,7 +108,26 @@ struct DynamicCell {
   std::size_t fault = 0;
   std::size_t variant = 0;
   std::size_t seed = 0;
+  /// Salvage marker — see `CompiledCell::missing`.
+  bool missing = false;
   sim::DynamicResult result;
+};
+
+/// Supervision counters of one `run_sharded` call (all zero for `run` and
+/// for an incident-free sharded sweep).  Mirrored into `SchedCounters`
+/// (`shard_retries` etc.) by report-emitting drivers.
+struct ShardSupervision {
+  /// Worker attempts beyond each shard's first (== total re-forks).
+  std::int64_t retries = 0;
+  /// Re-forks by cause: worker died (signal / nonzero exit), worker
+  /// missed its progress deadline (SIGKILLed), worker stream failed
+  /// validation (garbled / torn).
+  std::int64_t restarts_crashed = 0;
+  std::int64_t restarts_hung = 0;
+  std::int64_t restarts_corrupt = 0;
+  /// Cells marked `missing` because their shard exhausted its retries
+  /// under `ShardExhaustion::kSalvage`.
+  std::int64_t salvaged_cells = 0;
 };
 
 struct SweepResult {
@@ -124,6 +147,9 @@ struct SweepResult {
   std::size_t variant_count = 0;
   std::size_t seed_count = 0;
 
+  /// Shard-supervisor incident counters (all zero for `run`).
+  ShardSupervision supervision;
+
   const CompiledCell& compiled_cell(std::size_t phase,
                                     std::size_t fault = 0) const {
     return compiled.at(phase * fault_count + fault);
@@ -138,14 +164,43 @@ struct SweepResult {
   }
 };
 
+/// What the supervisor does with a shard whose retry budget is spent.
+enum class ShardExhaustion {
+  /// Kill every remaining worker and throw `util::Failure`
+  /// (`kShardExhausted`) — nothing is returned.
+  kFail,
+  /// Return the merged results anyway, with the dead shard's cells
+  /// explicitly marked `missing` and counted in
+  /// `SweepResult::supervision.salvaged_cells`.
+  kSalvage,
+};
+
+/// Per-shard supervision policy for `SweepRunner::run_sharded`.  Retries
+/// are always safe: cells are pure, deterministic functions of inputs
+/// staged before the first fork, so a re-forked worker recomputes
+/// byte-identical results.
+struct ShardPolicy {
+  /// Re-fork attempts per shard beyond the first (0 = fail-stop, the
+  /// pre-supervision behavior).
+  int max_retries = 2;
+  /// Progress deadline, milliseconds: a worker that emits no frame on its
+  /// pipe for this long is declared hung, SIGKILLed, and re-forked.
+  /// Workers heartbeat after every cell, so only a genuinely stuck (or
+  /// pathologically slow) *single cell* can trip this.  0 disables hang
+  /// detection — only worker death is then supervised.
+  std::int64_t deadline_ms = 0;
+  /// Capped exponential backoff before re-forking: attempt `a` (1-based
+  /// retry counter) waits `min(backoff_ms << (a-1), max_backoff_ms)`.
+  std::int64_t backoff_ms = 5;
+  std::int64_t max_backoff_ms = 200;
+  ShardExhaustion on_exhaustion = ShardExhaustion::kFail;
+};
+
 /// Process-level sharding configuration for `SweepRunner::run_sharded`.
 struct ShardOptions {
   /// Worker processes to fork; each owns a contiguous range of cells.
   int shards = 1;
-  /// Test hook: this worker index exits before reporting any results,
-  /// simulating a crashed shard (-1 = none).  The parent must then throw
-  /// without merging anything.
-  int fail_shard = -1;
+  ShardPolicy policy;
 };
 
 /// Expands and runs sweep grids against one network.  Construction
@@ -160,19 +215,37 @@ class SweepRunner {
   SweepResult run(const SweepGrid& grid);
 
   /// `run`, with stage 3 fanned across `shards` forked worker processes
-  /// instead of (only) pool threads.  Stages 1–2 still run here in the
-  /// parent — timelines, compilations, and schedule-cache hit/miss
-  /// provenance are decided before the first fork, so they are a function
-  /// of the grid alone — then each worker simulates a contiguous range of
-  /// cells (reusing the parent's compilations via fork's copy-on-write
-  /// image, and the on-disk ScheduleCache tier for anything beyond) and
-  /// streams its cells back over a pipe.  The parent merges shard results
-  /// in cell order only after *every* worker reported a complete, intact
-  /// stream: results are byte-identical to `run` at any shard count, and
-  /// a crashed worker raises `std::runtime_error` with nothing merged.
+  /// instead of (only) pool threads, under a supervision loop.  Stages
+  /// 1–2 still run here in the parent — timelines, compilations, and
+  /// schedule-cache hit/miss provenance are decided before the first
+  /// fork, so they are a function of the grid alone — then each worker
+  /// simulates a contiguous range of cells (reusing the parent's
+  /// compilations via fork's copy-on-write image, and the on-disk
+  /// ScheduleCache tier for anything beyond) and streams progress
+  /// heartbeats plus its cells back over a pipe.
+  ///
+  /// **Supervision.**  The parent polls every worker pipe concurrently.
+  /// A worker that dies (signal or nonzero exit), misses its
+  /// `ShardPolicy::deadline_ms` progress deadline (it is then SIGKILLed),
+  /// or returns a stream that fails validation is re-forked after a
+  /// capped exponential backoff, up to `ShardPolicy::max_retries` times —
+  /// safe because cells are pure and deterministic.  A shard that
+  /// exhausts its budget either aborts the sweep (`ShardExhaustion::
+  /// kFail`: every remaining worker is killed and `util::Failure` with
+  /// `kShardExhausted` is thrown) or is salvaged (`kSalvage`: its cells
+  /// come back `missing`, counted in `supervision.salvaged_cells`).
+  /// Incidents are tallied in `SweepResult::supervision`.
+  ///
+  /// A shard's cells are merged only from a complete, validated stream,
+  /// so the headline invariant holds: merged results are byte-identical
+  /// to `run` at any shard count under any kill/hang schedule the retry
+  /// budget absorbs.  The `OPTDM_CHAOS` env hook (see sweep.cpp) injects
+  /// seeded kill/hang/garble faults for tests and CI.
+  ///
   /// Incompatible with `SweepOptions::recovery` (recovery results carry
-  /// live compiler state that does not serialize); throws
-  /// `std::invalid_argument` for that or a non-positive shard count.
+  /// live compiler state that does not serialize); throws `util::Failure`
+  /// (`kInvalidConfig`) for that, a non-positive shard count, or a
+  /// malformed `OPTDM_CHAOS` spec.
   SweepResult run_sharded(const SweepGrid& grid, const ShardOptions& shard);
 
   Pipeline& pipeline() noexcept { return pipeline_; }

@@ -139,29 +139,36 @@ void write_cache_entry(std::ostream& out, const CacheEntry& entry) {
       << "\"}\n";
 }
 
-std::optional<CacheEntry> read_cache_entry(std::istream& in) {
+std::optional<CacheEntry> read_cache_entry(std::istream& in,
+                                           std::optional<util::Failure>* why) {
+  const auto reject = [&](const char* what) -> std::optional<CacheEntry> {
+    if (why) why->emplace(util::FailureCode::kCacheEntryCorrupt, what);
+    return std::nullopt;
+  };
+
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  if (!in.good() && !in.eof()) return std::nullopt;
+  if (!in.good() && !in.eof()) return reject("stream read failed");
 
   const std::string text = buffer.str();
   std::map<std::string, std::string> strings;
   std::map<std::string, std::int64_t> numbers;
   FlatObjectParser parser(text);
-  if (!parser.parse(strings, numbers)) return std::nullopt;
+  if (!parser.parse(strings, numbers))
+    return reject("not a single flat JSON object");
 
   const auto schema = strings.find("schema");
   if (schema == strings.end() || schema->second != kSchema)
-    return std::nullopt;
+    return reject("missing or mismatched schema version");
   const auto key = strings.find("key");
   const auto schedule = strings.find("schedule");
   const auto winner = strings.find("winner");
   const auto lower_bound = numbers.find("lower_bound");
   if (key == strings.end() || schedule == strings.end() ||
       winner == strings.end() || lower_bound == numbers.end())
-    return std::nullopt;
+    return reject("required field missing");
   if (lower_bound->second < 0 || lower_bound->second > INT32_MAX)
-    return std::nullopt;
+    return reject("lower_bound out of range");
 
   CacheEntry entry;
   entry.key = key->second;

@@ -5,6 +5,8 @@
 #include <optional>
 #include <string>
 
+#include "util/failure.hpp"
+
 /// \file cache_io.hpp
 /// On-disk format of schedule-cache entries (`apps::ScheduleCache`'s
 /// persistent tier): one JSON document per entry, versioned as
@@ -26,8 +28,11 @@
 ///
 /// The reader is deliberately forgiving about *failure* and strict about
 /// *success*: any malformed, truncated, or version-mismatched document
-/// yields `nullopt` (the cache treats it as a miss and rewrites the
-/// entry); a successfully parsed document round-trips byte-identically.
+/// yields `nullopt` (the cache quarantines the file and treats the lookup
+/// as a miss); a successfully parsed document round-trips byte-identically.
+/// Callers that need to *explain* a rejection (the cache's quarantine
+/// counter, `ScheduleCache::scrub`) pass a diagnosis out-param; the
+/// control flow stays non-throwing either way.
 
 namespace optdm::io {
 
@@ -49,7 +54,10 @@ void write_cache_entry(std::ostream& out, const CacheEntry& entry);
 
 /// Parses an `optdm-sched-cache/1` document.  Returns nullopt (never
 /// throws) on malformed input, an unknown schema version, a missing
-/// field, or trailing garbage.
-std::optional<CacheEntry> read_cache_entry(std::istream& in);
+/// field, or trailing garbage.  When `why` is non-null it is filled on
+/// failure with a `util::Failure` (code `kCacheEntryCorrupt`) describing
+/// what was wrong with the document; it is left untouched on success.
+std::optional<CacheEntry> read_cache_entry(
+    std::istream& in, std::optional<util::Failure>* why = nullptr);
 
 }  // namespace optdm::io

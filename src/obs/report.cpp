@@ -213,6 +213,13 @@ void write_sched(std::ostream& out, const SchedCounters& c) {
   field("cache_misses", c.cache_misses);
   field("distinct_phases", c.distinct_phases);
   field("reconfigurations_saved", c.reconfigurations_saved);
+  field("shard_retries", c.shard_retries);
+  field("shard_restarts_crashed", c.shard_restarts_crashed);
+  field("shard_restarts_hung", c.shard_restarts_hung);
+  field("shard_restarts_corrupt", c.shard_restarts_corrupt);
+  field("salvaged_cells", c.salvaged_cells);
+  field("cache_quarantined", c.cache_quarantined);
+  field("livelock_retries_per_message", c.livelock_retries_per_message);
   if (!c.combined_winner.empty()) {
     if (!first) out << ',';
     out << "\"combined_winner\":\"" << json_escape(c.combined_winner) << '"';

@@ -62,12 +62,29 @@ struct SchedCounters {
   /// adjacent phases share identically-placed configurations.
   std::int64_t reconfigurations_saved = -1;
 
+  /// Execution-robustness counters (the supervised execution layer).
+  /// Shard-supervision incidents of `apps::SweepRunner::run_sharded`
+  /// (worker re-forks by cause, cells salvaged as missing), on-disk
+  /// schedule-cache entries quarantined as corrupt/stale, and the dynamic
+  /// engine's livelock diagnostic (observed retries/message, set only
+  /// when the `DynamicParams::livelock_retries_per_message` threshold
+  /// tripped).  -1 = the corresponding subsystem did not run supervised.
+  std::int64_t shard_retries = -1;
+  std::int64_t shard_restarts_crashed = -1;
+  std::int64_t shard_restarts_hung = -1;
+  std::int64_t shard_restarts_corrupt = -1;
+  std::int64_t salvaged_cells = -1;
+  std::int64_t cache_quarantined = -1;
+  std::int64_t livelock_retries_per_message = -1;
+
   /// True when any field was measured — reports skip the block otherwise.
   bool measured() const noexcept {
     return route_ns >= 0 || graph_build_ns >= 0 || coloring_ns >= 0 ||
            aapc_ns >= 0 || greedy_ns >= 0 || conflict_vertices >= 0 ||
            cache_memory_hits >= 0 || cache_disk_hits >= 0 ||
            cache_misses >= 0 || reconfigurations_saved >= 0 ||
+           shard_retries >= 0 || salvaged_cells >= 0 ||
+           cache_quarantined >= 0 || livelock_retries_per_message >= 0 ||
            !combined_winner.empty();
   }
 };

@@ -1,8 +1,10 @@
 #include "sim/dynamic.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstdint>
+#include <cstdio>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -163,6 +165,12 @@ class Simulator {
     if (params.max_backoff_slots < 0)
       throw std::invalid_argument(
           "simulate_dynamic: negative max_backoff_slots");
+    if (params.livelock_retries_per_message < 0)
+      throw std::invalid_argument(
+          "simulate_dynamic: negative livelock_retries_per_message");
+    if (params.livelock_retries_per_message > 0)
+      livelock_threshold_ = params.livelock_retries_per_message *
+                            static_cast<std::int64_t>(messages.size());
     has_faults_ = faults.active();
     has_link_faults_ = faults.has_link_faults();
     reserve_one_ = params.policy == DynamicParams::Policy::kReserveOne;
@@ -333,6 +341,7 @@ class Simulator {
       }
     }
     result.faults.ctrl_dropped = ctrl_dropped_;
+    result.livelock = livelock_flagged_;
 
     // Fault down-windows, one track per faulted link; a permanent kill is
     // clamped to the end of the run for display.
@@ -725,6 +734,27 @@ class Simulator {
     release_all(rt);
   }
 
+  /// One-shot livelock diagnostic (satisfied exactly once per run, when
+  /// accumulated retries reach the threshold): flag the result and warn —
+  /// once per *process*, so a sweep over collapsing cells prints one line
+  /// instead of thousands.  Observational only: no timing or RNG change.
+  [[gnu::cold]] [[gnu::noinline]] void flag_livelock() {
+    livelock_flagged_ = true;
+    static std::atomic<bool> warned{false};
+    if (warned.exchange(true, std::memory_order_relaxed)) return;
+    std::fprintf(
+        stderr,
+        "optdm: warning: dynamic engine livelock suspected on %s: %lld "
+        "reservation retries across %zu messages (threshold %lld/message) "
+        "and still climbing — the fabric is burning cycles on failed "
+        "reservations (cf. the 64x64 reserve-all collapse, ~21.6k "
+        "retries/message).  Consider Policy::kReserveOne, a smaller "
+        "pattern, or a compiled schedule.  (warned once per process)\n",
+        net_.name().c_str(), static_cast<long long>(running_retries_),
+        msgs_.size(),
+        static_cast<long long>(params_.livelock_retries_per_message));
+  }
+
   void release_all(RuntimeMessage& rt) {
     for (std::uint32_t h = 0; h < rt.hop_count; ++h) {
       auto& ph = hops_[rt.first_hop + h];
@@ -748,6 +778,7 @@ class Simulator {
     // then share a link channel.
     ++rt.attempt;
     ++stats.retries;
+    if (++running_retries_ == livelock_threshold_) flag_livelock();
     if (params_.retry_budget > 0 &&
         stats.retries > params_.retry_budget) {
       fail_message(id);
@@ -824,6 +855,11 @@ class Simulator {
   std::vector<char> lost_scratch_;
   /// Reused path-link buffer for `mark_lost_payloads` (fault runs only).
   std::vector<topo::LinkId> path_scratch_;
+  /// Livelock diagnostic: running retry count across all messages, the
+  /// run-level trip point (0 = disabled), and the one-shot flag.
+  std::int64_t running_retries_ = 0;
+  std::int64_t livelock_threshold_ = 0;
+  bool livelock_flagged_ = false;
   SlotQueue<Event> events_;
 };
 
@@ -840,6 +876,9 @@ DynamicResult simulate_dynamic(const topo::Network& net,
   if (options.report) {
     auto report = obs::report_dynamic(net, messages, result, params);
     if (options.counters) report.sched = *options.counters;
+    if (result.livelock && !messages.empty())
+      report.sched.livelock_retries_per_message =
+          result.total_retries / static_cast<std::int64_t>(messages.size());
     options.report->accept(report);
   }
   return result;

@@ -98,6 +98,15 @@ struct DynamicParams {
   /// min(backoff_slots * 2^a, max_backoff_slots) + jitter.  0 = constant
   /// backoff at `backoff_slots` (the paper's model).
   std::int64_t max_backoff_slots = 0;
+  /// Livelock diagnostic threshold: when the run's accumulated retries
+  /// exceed `livelock_retries_per_message * messages`, the engine flags
+  /// `DynamicResult::livelock`, emits a one-time (per process) warning on
+  /// stderr, and reports the observed retries/message through
+  /// `SchedCounters::livelock_retries_per_message` — instead of silently
+  /// burning cycles (the 64x64 reserve-all collapse reaches ~21.6k
+  /// retries/message; see EXPERIMENTS).  Purely observational: timing,
+  /// RNG draws, and results are unchanged.  0 disables the diagnostic.
+  std::int64_t livelock_retries_per_message = 1000;
   /// Channel realization (TDM slots vs WDM wavelengths); see
   /// `sim::ChannelKind`.
   ChannelKind channel = ChannelKind::kTimeSlot;
@@ -152,6 +161,10 @@ struct DynamicResult {
   /// assert this on every run, fault timelines included: hold timers
   /// must reclaim everything a lost packet stranded.
   bool clean_shutdown = false;
+  /// True when accumulated retries crossed the
+  /// `DynamicParams::livelock_retries_per_message` diagnostic threshold —
+  /// the run spent (almost all of) its cycles on failed reservations.
+  bool livelock = false;
   /// Aggregate fault accounting (all zero on a healthy fabric).
   FaultStats faults;
   std::vector<DynamicMessageStats> messages;

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+/// \file failure.hpp
+/// Structured failure taxonomy for the host-side execution layer.
+///
+/// The paper's compiled-communication bet is that the *network* is
+/// predictable; this header makes the *host* predictable about its own
+/// failures.  Every error the execution layer raises carries a
+/// `FailureCode`, and every code maps to exactly one `FailureCategory`
+/// that prescribes the supervisor's action:
+///
+///  | category    | meaning                          | supervisor action  |
+///  |-------------|----------------------------------|--------------------|
+///  | `kTransient`| the operation may succeed if     | retry (with capped |
+///  |             | simply repeated (crashed or hung | backoff); work is  |
+///  |             | worker — cells are pure)         | pure/deterministic |
+///  | `kCorrupt`  | an artifact failed validation    | quarantine the     |
+///  |             | (torn cache entry, garbled shard | artifact, then     |
+///  |             | stream)                          | regenerate it      |
+///  | `kResource` | the host denied a resource       | retry after        |
+///  |             | (pipe/fork/open/fsync failed)    | backoff; give up   |
+///  |             |                                  | sooner             |
+///  | `kFatal`    | a contract violation or an       | propagate to the   |
+///  |             | exhausted retry budget           | caller             |
+///
+/// `Failure` derives from `std::runtime_error`, so every existing
+/// `catch (const std::runtime_error&)` / `catch (const std::exception&)`
+/// site keeps working; new supervision code catches `util::Failure` and
+/// branches on `category()`.  This is the error contract the planned
+/// `optdm_served` daemon programs against: a service loop retries
+/// `kTransient`, quarantines-and-regenerates `kCorrupt`, sheds load on
+/// `kResource`, and surfaces `kFatal` to the client.
+
+namespace optdm::util {
+
+/// Supervisor-facing classification of a failure.
+enum class FailureCategory {
+  kTransient,  ///< repeatable operation; retry is expected to succeed
+  kCorrupt,    ///< artifact failed validation; quarantine + regenerate
+  kResource,   ///< host resource denied; retry after backoff
+  kFatal,      ///< contract violation / budget exhausted; propagate
+};
+
+/// Specific failure sites across the execution layer.
+enum class FailureCode {
+  // --- shard supervision (apps::SweepRunner::run_sharded) ---------------
+  kShardCrashed,        ///< worker died (signal or nonzero exit)
+  kShardHung,           ///< no progress frame within the deadline
+  kShardStreamCorrupt,  ///< shard result stream failed validation
+  kShardSpawnFailed,    ///< pipe() / fork() for a worker failed
+  kShardPipeIo,         ///< reading a worker pipe failed in the parent
+  kShardExhausted,      ///< per-shard retry budget spent under Fail policy
+  // --- schedule cache (apps::ScheduleCache, io::cache_io) ---------------
+  kCacheEntryCorrupt,   ///< on-disk entry unparseable / wrong schema
+  kCacheEntryStale,     ///< stored key differs from the requested key
+  kCacheIo,             ///< open / write / fsync / rename failed
+  // --- configuration -----------------------------------------------------
+  kInvalidConfig,       ///< caller passed parameter garbage
+};
+
+/// The one place the code → category mapping lives.
+constexpr FailureCategory category_of(FailureCode code) noexcept {
+  switch (code) {
+    case FailureCode::kShardCrashed:
+    case FailureCode::kShardHung:
+      return FailureCategory::kTransient;
+    case FailureCode::kShardStreamCorrupt:
+    case FailureCode::kCacheEntryCorrupt:
+    case FailureCode::kCacheEntryStale:
+      return FailureCategory::kCorrupt;
+    case FailureCode::kShardSpawnFailed:
+    case FailureCode::kShardPipeIo:
+    case FailureCode::kCacheIo:
+      return FailureCategory::kResource;
+    case FailureCode::kShardExhausted:
+    case FailureCode::kInvalidConfig:
+      return FailureCategory::kFatal;
+  }
+  return FailureCategory::kFatal;  // unreachable; keeps -Wreturn-type quiet
+}
+
+/// Whether a supervisor may retry after this category.  Corrupt artifacts
+/// are retryable because every producer in this repo is deterministic:
+/// discarding the artifact and recomputing yields a byte-identical
+/// replacement.  Only `kFatal` is terminal.
+constexpr bool retryable(FailureCategory category) noexcept {
+  return category != FailureCategory::kFatal;
+}
+
+constexpr std::string_view to_string(FailureCategory category) noexcept {
+  switch (category) {
+    case FailureCategory::kTransient: return "transient";
+    case FailureCategory::kCorrupt: return "corrupt";
+    case FailureCategory::kResource: return "resource";
+    case FailureCategory::kFatal: return "fatal";
+  }
+  return "fatal";
+}
+
+constexpr std::string_view to_string(FailureCode code) noexcept {
+  switch (code) {
+    case FailureCode::kShardCrashed: return "shard-crashed";
+    case FailureCode::kShardHung: return "shard-hung";
+    case FailureCode::kShardStreamCorrupt: return "shard-stream-corrupt";
+    case FailureCode::kShardSpawnFailed: return "shard-spawn-failed";
+    case FailureCode::kShardPipeIo: return "shard-pipe-io";
+    case FailureCode::kShardExhausted: return "shard-exhausted";
+    case FailureCode::kCacheEntryCorrupt: return "cache-entry-corrupt";
+    case FailureCode::kCacheEntryStale: return "cache-entry-stale";
+    case FailureCode::kCacheIo: return "cache-io";
+    case FailureCode::kInvalidConfig: return "invalid-config";
+  }
+  return "invalid-config";
+}
+
+/// A structured error: a `FailureCode` plus a human-readable message.
+/// `what()` is "<category>/<code>: <message>" so uncaught failures stay
+/// self-describing in logs.
+class Failure : public std::runtime_error {
+ public:
+  Failure(FailureCode code, const std::string& message)
+      : std::runtime_error(std::string(to_string(category_of(code))) + "/" +
+                           std::string(to_string(code)) + ": " + message),
+        code_(code) {}
+
+  FailureCode code() const noexcept { return code_; }
+  FailureCategory category() const noexcept { return category_of(code_); }
+  bool retryable() const noexcept { return util::retryable(category()); }
+
+ private:
+  FailureCode code_;
+};
+
+}  // namespace optdm::util

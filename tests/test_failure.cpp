@@ -1,0 +1,95 @@
+// Tests for util::Failure — the structured failure taxonomy the
+// supervised execution layer programs against.  The code → category
+// mapping and the retry semantics are contracts: supervisors branch on
+// them, so a drifting mapping silently changes recovery behavior.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/failure.hpp"
+
+namespace {
+
+using namespace optdm::util;
+
+TEST(Failure, EveryCodeMapsToItsContractCategory) {
+  EXPECT_EQ(category_of(FailureCode::kShardCrashed),
+            FailureCategory::kTransient);
+  EXPECT_EQ(category_of(FailureCode::kShardHung), FailureCategory::kTransient);
+  EXPECT_EQ(category_of(FailureCode::kShardStreamCorrupt),
+            FailureCategory::kCorrupt);
+  EXPECT_EQ(category_of(FailureCode::kCacheEntryCorrupt),
+            FailureCategory::kCorrupt);
+  EXPECT_EQ(category_of(FailureCode::kCacheEntryStale),
+            FailureCategory::kCorrupt);
+  EXPECT_EQ(category_of(FailureCode::kShardSpawnFailed),
+            FailureCategory::kResource);
+  EXPECT_EQ(category_of(FailureCode::kShardPipeIo),
+            FailureCategory::kResource);
+  EXPECT_EQ(category_of(FailureCode::kCacheIo), FailureCategory::kResource);
+  EXPECT_EQ(category_of(FailureCode::kShardExhausted),
+            FailureCategory::kFatal);
+  EXPECT_EQ(category_of(FailureCode::kInvalidConfig),
+            FailureCategory::kFatal);
+}
+
+TEST(Failure, OnlyFatalIsNotRetryable) {
+  EXPECT_TRUE(retryable(FailureCategory::kTransient));
+  EXPECT_TRUE(retryable(FailureCategory::kCorrupt));
+  EXPECT_TRUE(retryable(FailureCategory::kResource));
+  EXPECT_FALSE(retryable(FailureCategory::kFatal));
+}
+
+TEST(Failure, WhatIsSelfDescribing) {
+  const Failure f(FailureCode::kShardHung, "no progress for 500 ms");
+  EXPECT_EQ(std::string(f.what()),
+            "transient/shard-hung: no progress for 500 ms");
+  EXPECT_EQ(f.code(), FailureCode::kShardHung);
+  EXPECT_EQ(f.category(), FailureCategory::kTransient);
+  EXPECT_TRUE(f.retryable());
+
+  const Failure fatal(FailureCode::kShardExhausted, "shard 3 spent 4 attempts");
+  EXPECT_EQ(std::string(fatal.what()),
+            "fatal/shard-exhausted: shard 3 spent 4 attempts");
+  EXPECT_FALSE(fatal.retryable());
+}
+
+TEST(Failure, ExistingCatchSitesKeepWorking) {
+  // Failure derives from std::runtime_error so pre-taxonomy handlers
+  // (catch runtime_error / exception) still see these errors; new code
+  // catches Failure first and branches on category().
+  try {
+    throw Failure(FailureCode::kCacheEntryCorrupt, "torn document");
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "corrupt/cache-entry-corrupt: torn document");
+  }
+  try {
+    throw Failure(FailureCode::kInvalidConfig, "shards must be positive");
+  } catch (const Failure& e) {
+    EXPECT_FALSE(e.retryable());
+  }
+}
+
+TEST(Failure, NamesAreStable) {
+  // The names appear in logs, reports, and CI greps — renames are
+  // breaking changes.
+  EXPECT_EQ(to_string(FailureCategory::kTransient), "transient");
+  EXPECT_EQ(to_string(FailureCategory::kCorrupt), "corrupt");
+  EXPECT_EQ(to_string(FailureCategory::kResource), "resource");
+  EXPECT_EQ(to_string(FailureCategory::kFatal), "fatal");
+  EXPECT_EQ(to_string(FailureCode::kShardCrashed), "shard-crashed");
+  EXPECT_EQ(to_string(FailureCode::kShardHung), "shard-hung");
+  EXPECT_EQ(to_string(FailureCode::kShardStreamCorrupt),
+            "shard-stream-corrupt");
+  EXPECT_EQ(to_string(FailureCode::kShardSpawnFailed), "shard-spawn-failed");
+  EXPECT_EQ(to_string(FailureCode::kShardPipeIo), "shard-pipe-io");
+  EXPECT_EQ(to_string(FailureCode::kShardExhausted), "shard-exhausted");
+  EXPECT_EQ(to_string(FailureCode::kCacheEntryCorrupt), "cache-entry-corrupt");
+  EXPECT_EQ(to_string(FailureCode::kCacheEntryStale), "cache-entry-stale");
+  EXPECT_EQ(to_string(FailureCode::kCacheIo), "cache-io");
+  EXPECT_EQ(to_string(FailureCode::kInvalidConfig), "invalid-config");
+}
+
+}  // namespace

@@ -169,6 +169,11 @@ TEST(ScheduleCache, CorruptDiskEntryIsNonFatalAndRewritten) {
   apps::ScheduleCache cache(net, options);
   EXPECT_FALSE(cache.lookup(key).has_value());
   EXPECT_EQ(cache.stats().disk_rejects, 1);
+  // The wreck was moved aside, not left to be re-read as corrupt forever.
+  EXPECT_EQ(cache.stats().disk_quarantined, 1);
+  EXPECT_FALSE(std::filesystem::exists(entry_file(dir, key)));
+  EXPECT_TRUE(
+      std::filesystem::exists(entry_file(dir, key) + ".quarantined"));
 
   // Storing rewrites the corrupt file; a fresh cache then reads it fine.
   cache.store(key, value);
@@ -211,6 +216,168 @@ TEST(ScheduleCache, StaleEntryWithMismatchedKeyIsRejected) {
   apps::ScheduleCache cache(net, options);
   EXPECT_FALSE(cache.lookup(key).has_value());
   EXPECT_EQ(cache.stats().disk_rejects, 1);
+  EXPECT_EQ(cache.stats().disk_quarantined, 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScheduleCache, TruncatedEntryIsQuarantinedThenRecompiled) {
+  // A torn write from a pre-fsync crash (or a full disk) leaves a prefix
+  // of a valid document.  It must read as a miss, move aside, and the
+  // next store must land a clean replacement at the same address.
+  topo::TorusNetwork net(4, 4);
+  const auto dir = fresh_dir("truncated");
+  const auto pattern = patterns::ring(net.node_count());
+  const auto key =
+      apps::make_cache_key(net, pattern, "combined", sched::SchedOptions{});
+  const auto value = compile_ring(net);
+
+  apps::ScheduleCache::Options options;
+  options.disk_dir = dir;
+  {
+    apps::ScheduleCache writer(net, options);
+    writer.store(key, value);
+  }
+  const auto path = entry_file(dir, key);
+  const auto size = std::filesystem::file_size(path);
+  ASSERT_GT(size, 16u);
+  std::filesystem::resize_file(path, size / 2);
+
+  apps::ScheduleCache cache(net, options);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().disk_rejects, 1);
+  EXPECT_EQ(cache.stats().disk_quarantined, 1);
+  EXPECT_TRUE(std::filesystem::exists(path + ".quarantined"));
+
+  cache.store(key, value);
+  const auto hit = cache.lookup(key);  // memory tier
+  ASSERT_TRUE(hit.has_value());
+  apps::ScheduleCache reader(net, options);  // disk tier
+  const auto disk_hit = reader.lookup(key);
+  ASSERT_TRUE(disk_hit.has_value());
+  EXPECT_EQ(text_of(net, disk_hit->schedule), text_of(net, value.schedule));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScheduleCache, RepeatedCorruptionKeepsTheLatestWreck) {
+  // A second incident at the same address must replace the previous
+  // quarantine file, not fail the rename and delete the evidence.
+  topo::TorusNetwork net(4, 4);
+  const auto dir = fresh_dir("requarantine");
+  const auto pattern = patterns::ring(net.node_count());
+  const auto key =
+      apps::make_cache_key(net, pattern, "combined", sched::SchedOptions{});
+
+  std::filesystem::create_directories(dir);
+  apps::ScheduleCache::Options options;
+  options.disk_dir = dir;
+  apps::ScheduleCache cache(net, options);
+  for (const char* wreck : {"first wreck", "second wreck"}) {
+    std::ofstream(entry_file(dir, key)) << wreck;
+    EXPECT_FALSE(cache.lookup(key).has_value());
+  }
+  EXPECT_EQ(cache.stats().disk_quarantined, 2);
+  std::ifstream in(entry_file(dir, key) + ".quarantined");
+  std::string kept;
+  std::getline(in, kept);
+  EXPECT_EQ(kept, "second wreck");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScheduleCache, ScrubRepairsQuarantinesAndSweepsTemps) {
+  topo::TorusNetwork net(4, 4);
+  const auto dir = fresh_dir("scrub");
+  const auto pattern = patterns::ring(net.node_count());
+  const auto key =
+      apps::make_cache_key(net, pattern, "combined", sched::SchedOptions{});
+  const auto other_key = apps::make_cache_key(
+      net, pattern, "combined", sched::SchedOptions{}, /*frame=*/8);
+  const auto value = compile_ring(net);
+
+  apps::ScheduleCache::Options options;
+  options.disk_dir = dir;
+  {
+    apps::ScheduleCache writer(net, options);
+    writer.store(key, value);        // (a) valid, correctly addressed
+    writer.store(other_key, value);  // (b) will be misaddressed below
+  }
+  // (b) valid document at the wrong filename (as after a hand-restore).
+  const auto stray = (std::filesystem::path(dir) / "00deadbeef00.json").string();
+  std::filesystem::rename(entry_file(dir, other_key), stray);
+  // (c) a corrupt document.
+  const auto wreck = (std::filesystem::path(dir) / "0123456789abcdef.json").string();
+  std::ofstream(wreck) << "not a cache entry";
+  // (d) an orphaned commit temp from a crashed writer.
+  std::ofstream(entry_file(dir, key) + ".tmp.99999") << "torn";
+  // (e) a valid entry of a *different* topology sharing the directory.
+  topo::TorusNetwork other_net(8, 8);
+  {
+    apps::ScheduleCache::Options foreign_options;
+    foreign_options.disk_dir = dir;
+    apps::ScheduleCache foreign(other_net, foreign_options);
+    apps::CachedCompilation foreign_value;
+    foreign_value.schedule =
+        sched::combined(other_net, patterns::ring(other_net.node_count()));
+    foreign.store(apps::make_cache_key(other_net,
+                                       patterns::ring(other_net.node_count()),
+                                       "combined", sched::SchedOptions{}),
+                  foreign_value);
+  }
+
+  apps::ScheduleCache cache(net, options);
+  const auto report = cache.scrub();
+  EXPECT_EQ(report.scanned, 4);  // a, b(stray), c, e — the temp is not a doc
+  EXPECT_EQ(report.valid, 1);
+  EXPECT_EQ(report.repaired, 1);
+  EXPECT_EQ(report.quarantined, 1);
+  EXPECT_EQ(report.removed_tmp, 1);
+  EXPECT_EQ(report.foreign, 1);
+
+  // The repaired entry is back at its content address and readable.
+  EXPECT_FALSE(std::filesystem::exists(stray));
+  EXPECT_TRUE(std::filesystem::exists(entry_file(dir, other_key)));
+  EXPECT_TRUE(cache.lookup(other_key).has_value());
+  // The wreck moved aside; the temp is gone.
+  EXPECT_FALSE(std::filesystem::exists(wreck));
+  EXPECT_TRUE(std::filesystem::exists(wreck + ".quarantined"));
+  EXPECT_FALSE(std::filesystem::exists(entry_file(dir, key) + ".tmp.99999"));
+
+  // Scrubbing again is a fixed point: the quarantined wreck is not
+  // rescanned, the repaired entry now counts as valid, the foreign entry
+  // stays foreign.
+  const auto again = cache.scrub();
+  EXPECT_EQ(again.scanned, 3);  // a, repaired b, foreign e
+  EXPECT_EQ(again.valid, 2);
+  EXPECT_EQ(again.repaired, 0);
+  EXPECT_EQ(again.quarantined, 0);
+  EXPECT_EQ(again.removed_tmp, 0);
+  EXPECT_EQ(again.foreign, 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScheduleCache, CommitTempsArePidUniqueAndInvisibleToReaders) {
+  // A leftover temp (crashed writer) must not shadow or corrupt the real
+  // entry, and a store must still commit past it.
+  topo::TorusNetwork net(4, 4);
+  const auto dir = fresh_dir("temps");
+  const auto pattern = patterns::ring(net.node_count());
+  const auto key =
+      apps::make_cache_key(net, pattern, "combined", sched::SchedOptions{});
+  const auto value = compile_ring(net);
+
+  std::filesystem::create_directories(dir);
+  std::ofstream(entry_file(dir, key) + ".tmp.424242") << "someone died here";
+
+  apps::ScheduleCache::Options options;
+  options.disk_dir = dir;
+  apps::ScheduleCache cache(net, options);
+  EXPECT_FALSE(cache.lookup(key).has_value());  // temp is not an entry
+  cache.store(key, value);
+
+  apps::ScheduleCache reader(net, options);
+  const auto hit = reader.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(text_of(net, hit->schedule), text_of(net, value.schedule));
+  EXPECT_EQ(reader.stats().disk_rejects, 0);
   std::filesystem::remove_all(dir);
 }
 

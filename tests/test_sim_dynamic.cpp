@@ -87,6 +87,55 @@ TEST(SimDynamic, ContentionCausesRetriesAtDegreeOne) {
   EXPECT_GT(result.total_retries, 0);
 }
 
+TEST(SimDynamic, LivelockDiagnosticIsObservationalAndThresholded) {
+  topo::TorusNetwork net(8, 8);
+  // The contended fan-in above: plenty of retries, so a threshold of one
+  // retry per message must trip while the default stays quiet.
+  std::vector<Message> messages;
+  for (topo::NodeId s = 1; s <= 8; ++s)
+    messages.push_back({{s, 0}, 2});
+
+  auto sensitive = quiet_params(1);
+  sensitive.livelock_retries_per_message = 1;
+  const auto flagged = simulate_dynamic(net, messages, sensitive);
+  ASSERT_TRUE(flagged.completed);
+  EXPECT_TRUE(flagged.livelock);
+  EXPECT_GE(flagged.total_retries,
+            static_cast<std::int64_t>(messages.size()));
+
+  auto disabled = quiet_params(1);
+  disabled.livelock_retries_per_message = 0;
+  const auto quiet = simulate_dynamic(net, messages, disabled);
+  EXPECT_FALSE(quiet.livelock);
+
+  // Purely observational: flagging changes no timing, outcome, or RNG
+  // draw.
+  EXPECT_EQ(flagged.total_slots, quiet.total_slots);
+  EXPECT_EQ(flagged.total_retries, quiet.total_retries);
+  ASSERT_EQ(flagged.messages.size(), quiet.messages.size());
+  for (std::size_t i = 0; i < flagged.messages.size(); ++i) {
+    EXPECT_EQ(flagged.messages[i].established, quiet.messages[i].established);
+    EXPECT_EQ(flagged.messages[i].completed, quiet.messages[i].completed);
+    EXPECT_EQ(flagged.messages[i].retries, quiet.messages[i].retries);
+  }
+
+  // The default threshold (1000 retries/message) does not fire on this
+  // mildly contended run.
+  const auto healthy = simulate_dynamic(net, messages, quiet_params(1));
+  EXPECT_FALSE(healthy.livelock);
+  EXPECT_LT(healthy.total_retries,
+            1000 * static_cast<std::int64_t>(messages.size()));
+}
+
+TEST(SimDynamic, NegativeLivelockThresholdIsRejected) {
+  topo::TorusNetwork net(8, 8);
+  const std::vector<Message> messages{{{0, 1}, 1}};
+  auto params = quiet_params(1);
+  params.livelock_retries_per_message = -1;
+  EXPECT_THROW((void)simulate_dynamic(net, messages, params),
+               std::invalid_argument);
+}
+
 TEST(SimDynamic, AllMessagesComplete) {
   topo::TorusNetwork net(8, 8);
   util::Rng rng(17);

@@ -56,6 +56,12 @@ flags:
   --slots=N         message size in payload slots (default 4)
   --shards=N        fan the dynamic-reservation rows over N forked worker
                     processes; the output is byte-identical at any N
+  --shard-retries=N    re-forks the supervisor grants each shard before the
+                       exhaustion policy applies (default 2)
+  --shard-deadline-ms=N  SIGKILL + re-fork a shard that makes no progress
+                         for N ms (default 0 = no deadline)
+  --shard-salvage      on an exhausted shard, keep going and mark its cells
+                       missing instead of failing the run
   --algorithm=NAME  scheduler registry name (default combined)
   --cache-dir=DIR   on-disk schedule cache directory
   --no-cache        disable the schedule cache
@@ -144,13 +150,43 @@ int main(int argc, char** argv) {
     apps::SweepOptions sweep_options;
     sweep_options.run_compiled = false;  // compiled rows above
     apps::SweepRunner runner(net, sweep_options);
-    const auto sweep =
-        args.has("shards")
-            ? runner.run_sharded(
-                  grid, apps::ShardOptions{static_cast<int>(shards), -1})
-            : runner.run(grid);
+    apps::ShardOptions shard_options;
+    shard_options.shards = static_cast<int>(shards);
+    shard_options.policy.max_retries =
+        static_cast<int>(args.get_int("shard-retries", 2));
+    shard_options.policy.deadline_ms = args.get_int("shard-deadline-ms", 0);
+    if (args.get_bool("shard-salvage"))
+      shard_options.policy.on_exhaustion = apps::ShardExhaustion::kSalvage;
+    const auto sweep = args.has("shards")
+                           ? runner.run_sharded(grid, shard_options)
+                           : runner.run(grid);
+
+    // Supervision incidents go to stderr (stdout must stay byte-identical
+    // to a fault-free run — CI diffs it) and into the report counters.
+    const auto& sup = sweep.supervision;
+    if (sup.retries > 0 || sup.salvaged_cells > 0) {
+      std::cerr << "shard supervision: " << sup.retries << " retries ("
+                << sup.restarts_crashed << " crashed, " << sup.restarts_hung
+                << " hung, " << sup.restarts_corrupt << " corrupt), "
+                << sup.salvaged_cells << " cells salvaged as missing\n";
+      counters.shard_retries = sup.retries;
+      counters.shard_restarts_crashed = sup.restarts_crashed;
+      counters.shard_restarts_hung = sup.restarts_hung;
+      counters.shard_restarts_corrupt = sup.restarts_corrupt;
+      counters.salvaged_cells = sup.salvaged_cells;
+    }
+
     for (std::size_t v = 0; v < grid.dynamic.size(); ++v) {
-      const auto& run = sweep.dynamic_cell(0, 0, v).result;
+      const auto& cell = sweep.dynamic_cell(0, 0, v);
+      if (cell.missing) {
+        table.add_row(
+            {"dynamic reservation",
+             util::Table::fmt(
+                 std::int64_t{grid.dynamic[v].params.multiplexing_degree}),
+             "missing", "shard salvaged"});
+        continue;
+      }
+      const auto& run = cell.result;
       table.add_row(
           {"dynamic reservation",
            util::Table::fmt(
@@ -182,10 +218,14 @@ int main(int argc, char** argv) {
     table.print(std::cout);
 
     // --report=FILE dumps the compiled run (plus the scheduling-phase and
-    // cache counters) as an `optdm-run-report/1` JSON document.
+    // cache counters) as an `optdm-run-report/1` JSON document.  The sched
+    // block is refreshed from the final counters: shard-supervision
+    // incidents land after the report was captured.
     if (args.has("report")) {
+      obs::RunReport report = report_sink.last();
+      report.sched = counters;
       std::ofstream out(args.get("report"));
-      report_sink.last().write_json(out);
+      report.write_json(out);
       if (!out) throw std::runtime_error("cannot write report file");
       std::cout << "\nwrote report to " << args.get("report") << '\n';
     }
