@@ -9,6 +9,12 @@
 // zero register reloads).
 //
 // Run:  ./stencil_gs [--grid=256] [--iterations=10] [--report=FILE]
+//       [--reconfig-latency=R] [--overlap]
+//
+// --reconfig-latency charges R slots per dirty slot transition
+// (sched/reconfig.hpp); --overlap hides transitions through switches idle
+// on either side.  The default R=0 reproduces the paper's
+// free-reconfiguration output byte for byte.
 
 #include <fstream>
 #include <iostream>
@@ -17,6 +23,7 @@
 #include "apps/program.hpp"
 #include "apps/workloads.hpp"
 #include "obs/report.hpp"
+#include "sched/reconfig.hpp"
 #include "sim/compiled.hpp"
 #include "topo/torus.hpp"
 #include "util/cli.hpp"
@@ -68,16 +75,33 @@ int main(int argc, char** argv) {
             << " iterations\n";
 
   // The registers are loaded once; each half-sweep then pays pure
-  // transmission time.
+  // transmission time.  A nonzero --reconfig-latency additionally charges
+  // the schedule's own transition stalls every frame; at the default R=0
+  // the stall plan is empty and this block changes nothing.
   const auto& schedule = result.compiled.phases.front().schedule;
+  sched::ReconfigOptions reconfig;
+  reconfig.latency = args.get_int("reconfig-latency", 0);
+  reconfig.overlap = args.has("overlap");
+  sim::CompiledParams first_params;
+  if (reconfig.latency > 0) {
+    const auto plan = sched::plan_reconfiguration(net, schedule, reconfig);
+    first_params.stall_slots = plan.stall_before;
+    counters.reconfig_stall_slots = plan.frame_overhead();
+    counters.reconfig_overlap_hidden = plan.overlap_hidden;
+    std::cout << "reconfiguration: R = " << reconfig.latency << ", "
+              << plan.dirty_transitions << " dirty transition(s)/frame, "
+              << plan.frame_overhead() << " stall slot(s)/frame ("
+              << plan.overlap_hidden << " hidden by overlap)\n";
+  }
   obs::CapturingReportSink sink;
   sim::SimOptions sim_options;
   sim_options.counters = &counters;
   sim_options.report = &sink;
   const auto once =
-      sim::simulate_compiled(schedule, red.messages, {}, sim_options);
+      sim::simulate_compiled(schedule, red.messages, first_params, sim_options);
   sim::CompiledParams steady;
   steady.setup_slots = 0;  // network already programmed
+  steady.stall_slots = first_params.stall_slots;
   const auto per_sweep =
       sim::simulate_compiled(schedule, red.messages, steady);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
@@ -69,9 +71,18 @@ PhaseCompilation from_cached(CachedCompilation cached) {
   PhaseCompilation result;
   result.phase.schedule = std::move(cached.schedule);
   result.phase.lower_bound = cached.lower_bound;
-  result.phase.winner = cached.winner == "ordered-aapc"
-                            ? sched::CombinedWinner::kOrderedAapc
-                            : sched::CombinedWinner::kColoring;
+  // Closed vocabulary: "" (a scheduler without winner provenance) round-
+  // trips to the CompiledPhase default; the two combined-scheduler branch
+  // names map exactly.  Anything else is a corrupt entry that slipped past
+  // the disk tier's validation — refuse to guess.
+  if (cached.winner == "ordered-aapc") {
+    result.phase.winner = sched::CombinedWinner::kOrderedAapc;
+  } else if (cached.winner == "coloring") {
+    result.phase.winner = sched::CombinedWinner::kColoring;
+  } else if (!cached.winner.empty()) {
+    throw std::invalid_argument("cache-entry-corrupt: unknown winner '" +
+                                cached.winner + "'");
+  }
   result.cache_hit = true;
   return result;
 }
@@ -86,7 +97,7 @@ std::int64_t StitchReport::saved(int iterations) const {
   return crossings * internal + wraps * wrap_shared;
 }
 
-StitchReport stitch_program(CompiledProgram& compiled) {
+StitchReport stitch_program_greedy(CompiledProgram& compiled) {
   StitchReport report;
   auto& phases = compiled.phases;
   if (phases.empty()) return report;
@@ -153,6 +164,94 @@ StitchReport stitch_program(CompiledProgram& compiled) {
   return report;
 }
 
+StitchReport stitch_program(CompiledProgram& compiled) {
+  StitchReport report = stitch_program_greedy(compiled);
+  auto& phases = compiled.phases;
+  // Single-phase programs have no last-phase freedom (phase 0 is pinned);
+  // the greedy result is already optimal there.
+  if (phases.size() < 2) return report;
+
+  // The greedy pass walked front to back, so the last phase's slots were
+  // placed with only the previous boundary in mind.  Slots it matched
+  // neither backward (previous phase) nor forward (wrap to phase 0) are
+  // free to permute; lining them up with phase 0 turns wrap crossings
+  // into elided reloads without disturbing a single existing match.
+  core::Schedule& last = phases.back().schedule;
+  auto last_fps = fingerprints_of(last);
+  const auto first_fps = fingerprints_of(phases.front().schedule);
+  const auto prev_fps =
+      fingerprints_of(phases[phases.size() - 2].schedule);
+  const int degree = last.degree();
+  const int boundary_window =
+      std::min(static_cast<int>(prev_fps.size()), degree);
+  const int wrap_window =
+      std::min(static_cast<int>(first_fps.size()), degree);
+
+  std::vector<bool> matched(static_cast<std::size_t>(degree), false);
+  for (int j = 0; j < boundary_window; ++j)
+    if (last_fps[static_cast<std::size_t>(j)] ==
+        prev_fps[static_cast<std::size_t>(j)])
+      matched[static_cast<std::size_t>(j)] = true;
+  for (int j = 0; j < wrap_window; ++j)
+    if (last_fps[static_cast<std::size_t>(j)] ==
+        first_fps[static_cast<std::size_t>(j)])
+      matched[static_cast<std::size_t>(j)] = true;
+
+  // fingerprint -> free slots currently holding it, smallest index last
+  // (popped first) for determinism.
+  std::unordered_map<std::string_view, std::vector<int>> pool;
+  for (int i = degree - 1; i >= 0; --i)
+    if (!matched[static_cast<std::size_t>(i)])
+      pool[last_fps[static_cast<std::size_t>(i)]].push_back(i);
+
+  std::vector<int> order(static_cast<std::size_t>(degree));
+  for (int i = 0; i < degree; ++i) order[static_cast<std::size_t>(i)] = i;
+  bool changed = false;
+  for (int j = 0; j < wrap_window; ++j) {
+    if (matched[static_cast<std::size_t>(j)]) continue;
+    const auto it = pool.find(first_fps[static_cast<std::size_t>(j)]);
+    if (it == pool.end() || it->second.empty()) continue;
+    const int src = it->second.back();
+    it->second.pop_back();
+    matched[static_cast<std::size_t>(j)] = true;
+    if (src == j) continue;
+    // Swap the configurations at slots j and src; slot src now holds j's
+    // old fingerprint, so retarget its pool listing.
+    std::swap(order[static_cast<std::size_t>(j)],
+              order[static_cast<std::size_t>(src)]);
+    std::swap(last_fps[static_cast<std::size_t>(j)],
+              last_fps[static_cast<std::size_t>(src)]);
+    auto& displaced = pool[last_fps[static_cast<std::size_t>(src)]];
+    for (int& slot : displaced)
+      if (slot == j) slot = src;
+    changed = true;
+  }
+
+  if (changed) {
+    core::Schedule reordered;
+    for (int j = 0; j < degree; ++j)
+      reordered.append(last.configuration(order[static_cast<std::size_t>(j)]));
+    last = std::move(reordered);
+  }
+
+  // Recount the two boundaries the pass could have touched by direct
+  // comparison — exact, and never below the greedy count (matched slots
+  // were never moved).
+  int boundary_shared = 0;
+  for (int j = 0; j < boundary_window; ++j)
+    if (last_fps[static_cast<std::size_t>(j)] ==
+        prev_fps[static_cast<std::size_t>(j)])
+      ++boundary_shared;
+  report.boundary_shared.back() = boundary_shared;
+  int wrap_shared = 0;
+  for (int j = 0; j < wrap_window; ++j)
+    if (last_fps[static_cast<std::size_t>(j)] ==
+        first_fps[static_cast<std::size_t>(j)])
+      ++wrap_shared;
+  report.wrap_shared = wrap_shared;
+  return report;
+}
+
 Pipeline::Pipeline(const topo::TorusNetwork& net, PipelineOptions options)
     : net_(&net),
       options_(std::move(options)),
@@ -211,6 +310,67 @@ PhaseCompilation Pipeline::compile_phase(const core::RequestSet& pattern) {
           after.disk_quarantined - before.disk_quarantined;
   }
   return result;
+}
+
+Pipeline::ReuseCompilation Pipeline::compile_phase_reusing(
+    const core::RequestSet& pattern, const core::Schedule& stale) {
+  ReuseCompilation out;
+
+  // Viability: the stale schedule must carry a path for every request of
+  // the pattern, duplicates included (a multiset pattern needs one slot
+  // per occurrence).
+  std::unordered_map<std::string, int> available;
+  for (const auto& config : stale.configurations())
+    for (const auto& path : config.paths()) {
+      std::string key = std::to_string(path.request.src) + '>' +
+                        std::to_string(path.request.dst);
+      ++available[key];
+    }
+  bool viable = stale.degree() > 0;
+  for (const auto& request : pattern) {
+    const std::string key =
+        std::to_string(request.src) + '>' + std::to_string(request.dst);
+    const auto it = available.find(key);
+    if (it == available.end() || it->second == 0) {
+      viable = false;
+      break;
+    }
+    --it->second;
+  }
+  out.stale_viable = viable;
+
+  std::int64_t paid = 0;
+  if (viable) {
+    // Estimate the fresh degree without compiling: the pattern's degree
+    // lower bound.  It can only flatter the fresh side, so a "reuse"
+    // verdict survives the true (>= lb) fresh degree.
+    const auto paths = core::route_all(*net_, pattern);
+    const int fresh_lb = sched::multiplexing_lower_bound(*net_, paths);
+    out.decision =
+        sched::decide_reuse(options_.reconfig_latency, stale.degree(),
+                            fresh_lb, options_.reuse_horizon_frames);
+    if (out.decision.reuse) {
+      out.reused = true;
+      out.compilation.phase.schedule = stale;
+      out.compilation.phase.lower_bound = fresh_lb;
+      paid = out.decision.reuse_cost;
+    }
+  }
+  if (!out.reused) {
+    out.compilation = compile_phase(pattern);
+    paid = sched::fresh_load_cost(options_.reconfig_latency,
+                                  out.compilation.phase.schedule.degree());
+  }
+
+  if (auto* counters = options_.sched.counters) {
+    if (counters->reuse_decisions < 0) counters->reuse_decisions = 0;
+    if (counters->reuse_kept_stale < 0) counters->reuse_kept_stale = 0;
+    if (counters->reconfig_slots_paid < 0) counters->reconfig_slots_paid = 0;
+    ++counters->reuse_decisions;
+    if (out.reused) ++counters->reuse_kept_stale;
+    counters->reconfig_slots_paid += paid;
+  }
+  return out;
 }
 
 PipelineProgram Pipeline::compile(const Program& program) {

@@ -8,6 +8,7 @@
 #include "apps/compiler.hpp"
 #include "apps/program.hpp"
 #include "apps/sched_cache.hpp"
+#include "sched/reconfig.hpp"
 #include "sched/scheduler.hpp"
 #include "topo/torus.hpp"
 
@@ -55,6 +56,14 @@ struct PipelineOptions {
   std::size_t cache_capacity = 256;
   /// On-disk cache directory; empty keeps the cache memory-only.
   std::string cache_dir;
+  /// Per-switch-setting reconfiguration latency R (slots) driving the
+  /// reuse-vs-recompile decision of `compile_phase_reusing`.  0 — free
+  /// reconfiguration, the paper's model — makes reuse never pay.
+  std::int64_t reconfig_latency = 0;
+  /// Frames a phase's schedule is expected to run before the next phase
+  /// change; the horizon over which a reused stale schedule keeps paying
+  /// its degree penalty.
+  std::int64_t reuse_horizon_frames = 1;
 };
 
 /// One compiled pattern, with provenance.
@@ -79,11 +88,22 @@ struct StitchReport {
   std::int64_t saved(int iterations) const;
 };
 
+/// Reference stitching pass: greedy boundary matching, front to back.
 /// Reorders configurations *within* each phase of `compiled` (never
 /// across phases, never phase 0) so identical configurations of adjacent
 /// phases land in the same slot.  Per-phase degrees and the configuration
 /// multisets are unchanged — only slot order moves.  Returns the sharing
 /// found; deterministic.
+StitchReport stitch_program_greedy(CompiledProgram& compiled);
+
+/// Reconfiguration-cost minimizer over slot permutations.  Runs the
+/// greedy pass, then improves the wrap-around boundary: last-phase slots
+/// that the greedy pass matched neither to the previous phase nor to
+/// phase 0 are permuted to line up with phase 0's fingerprints.  A swap
+/// never touches a matched slot, so every boundary count is >= the greedy
+/// pass's and `saved()` dominates it for every iteration count
+/// (pinned by tests).  Deterministic; identical-phase programs (where
+/// greedy already aligns everything) come out byte-identical to greedy.
 StitchReport stitch_program(CompiledProgram& compiled);
 
 /// A batch-compiled program with the pipeline's accounting.
@@ -114,6 +134,32 @@ class Pipeline {
   /// Compiles one pattern through the cache.  A warm hit returns a
   /// byte-identical schedule to the cold compile it memoizes.
   PhaseCompilation compile_phase(const core::RequestSet& pattern);
+
+  /// Outcome of a reuse-vs-recompile decision.
+  struct ReuseCompilation {
+    PhaseCompilation compilation;
+    /// True when the stale schedule was kept instead of compiling.
+    bool reused = false;
+    /// Whether the stale schedule even carries every request of the
+    /// pattern (a prerequisite for reuse).
+    bool stale_viable = false;
+    /// The R-weighted cost comparison (meaningful when `stale_viable`).
+    sched::ReuseDecision decision;
+  };
+
+  /// Decides whether to keep running `stale` — a valid schedule for a
+  /// superset of `pattern`, typically a cached compilation of an earlier,
+  /// larger phase — or to compile `pattern` fresh.  Reuse is viable only
+  /// when every request of `pattern` occupies a slot of `stale`; the cost
+  /// model (`sched::decide_reuse`) then weighs the register-load bill of a
+  /// fresh schedule (R x fresh degree, estimated by the pattern's degree
+  /// lower bound) against the per-frame degree penalty of the stale one
+  /// over `reuse_horizon_frames`.  At `reconfig_latency == 0` the fresh
+  /// branch always wins and the call is `compile_phase` plus accounting.
+  /// Feeds `SchedCounters::reuse_decisions` / `reconfig_slots_paid` when
+  /// counters are attached.
+  ReuseCompilation compile_phase_reusing(const core::RequestSet& pattern,
+                                         const core::Schedule& stale);
 
   /// Batch-compiles a program: dedupe phases, compile distinct ones
   /// concurrently (cache-aware), stitch adjacent phases.  The result's

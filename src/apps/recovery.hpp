@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "apps/compiler.hpp"
+#include "sched/reconfig.hpp"
 #include "sim/compiled.hpp"
 #include "sim/faults.hpp"
 
@@ -45,6 +46,19 @@ struct RecoveryParams {
   /// Transmission rounds before the loop gives up on still-lossy
   /// messages (>= 1); round 1 is the original schedule.
   int max_rounds = 8;
+  /// Reconfiguration cost model.  With `reconfig.latency > 0` every
+  /// fresh recovery schedule additionally pays the register-load bill
+  /// `sched::fresh_load_cost(latency, degree)` before its round starts.
+  /// 0 reproduces the pre-R loop byte for byte.
+  sched::ReconfigOptions reconfig;
+  /// Allow a recovery round to *reuse* the previous round's schedule
+  /// instead of recompiling, when (a) every pending message's path in it
+  /// avoids the links dead at decision time and (b)
+  /// `sched::decide_reuse` finds the stale degree penalty cheaper than
+  /// the fresh register-load bill.  A reusing round skips
+  /// `recompile_slots` and the load bill entirely.  Irrelevant at
+  /// `reconfig.latency == 0`, where fresh always wins.
+  bool reuse_schedules = true;
 };
 
 /// Per-round observability record.
@@ -59,6 +73,9 @@ struct RecoveryRound {
   std::int64_t payloads_lost = 0;
   /// Requests that needed two-leg misrouting (0 for round 1).
   int rerouted = 0;
+  /// True when the round ran the previous round's schedule unchanged
+  /// (reuse-vs-recompile chose reuse).
+  bool reused = false;
 };
 
 /// Result of a recovery-loop run.
@@ -74,6 +91,13 @@ struct RecoveryResult {
   std::vector<sim::CompiledMessageStats> messages;
   /// One entry per transmission round, in order.
   std::vector<RecoveryRound> rounds;
+  /// R-weighted reconfiguration slots the loop paid: register-load bills
+  /// of fresh schedules plus degree penalties of reused ones.  0 at
+  /// `reconfig.latency == 0`.
+  std::int64_t reconfig_slots_paid = 0;
+  /// Reuse-vs-recompile comparisons actually evaluated (viable stale
+  /// schedule present); `rounds[i].reused` says how each one went.
+  std::int64_t reuse_decisions = 0;
 
   /// True when every message ended `kDelivered`.
   bool all_delivered() const noexcept {

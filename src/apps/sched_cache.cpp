@@ -204,6 +204,17 @@ std::optional<CachedCompilation> ScheduleCache::disk_lookup(
     return std::nullopt;
   }
 
+  // The winner field is a closed vocabulary ("" for schedulers without
+  // provenance, else a combined-scheduler branch name).  Anything else is
+  // a corrupt or hand-edited document (kCacheEntryCorrupt) — rejecting it
+  // here keeps `from_cached` from silently coercing garbage to kColoring.
+  if (!entry->winner.empty() && entry->winner != "coloring" &&
+      entry->winner != "ordered-aapc") {
+    ++stats_.disk_rejects;
+    quarantine_locked(path);
+    return std::nullopt;
+  }
+
   CachedCompilation loaded;
   loaded.lower_bound = entry->lower_bound;
   loaded.winner = std::move(entry->winner);

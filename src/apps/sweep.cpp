@@ -50,7 +50,8 @@ const sim::FaultTimeline kHealthy;
 
 constexpr std::uint64_t kShardMagic = 0x4f5054444d535750ULL;    // "OPTDMSWP"
 constexpr std::uint64_t kShardTrailer = 0x53574545502d4f4bULL;  // "SWEEP-OK"
-constexpr std::uint32_t kShardVersion = 2;
+// v3: CompiledCell carries the reconfig-axis coordinate.
+constexpr std::uint32_t kShardVersion = 3;
 
 constexpr std::uint32_t kFrameProgress = 1;
 constexpr std::uint32_t kFrameResult = 2;
@@ -133,6 +134,7 @@ void put_compiled(std::vector<char>& out, const CompiledCell& cell) {
   // run_sharded forbids the recovery loop, so `recovery` is never set.
   put_pod(out, static_cast<std::uint64_t>(cell.phase));
   put_pod(out, static_cast<std::uint64_t>(cell.fault));
+  put_pod(out, static_cast<std::uint64_t>(cell.reconfig));
   put_pod(out, static_cast<std::int32_t>(cell.degree));
   put_pod(out, static_cast<std::uint8_t>(cell.cache_hit));
   put_pod(out, cell.result.total_slots);
@@ -144,6 +146,7 @@ void put_compiled(std::vector<char>& out, const CompiledCell& cell) {
 void get_compiled(ByteReader& in, CompiledCell& cell) {
   cell.phase = static_cast<std::size_t>(in.get_pod<std::uint64_t>());
   cell.fault = static_cast<std::size_t>(in.get_pod<std::uint64_t>());
+  cell.reconfig = static_cast<std::size_t>(in.get_pod<std::uint64_t>());
   cell.degree = in.get_pod<std::int32_t>();
   cell.cache_hit = in.get_pod<std::uint8_t>() != 0;
   cell.result.total_slots = in.get_pod<std::int64_t>();
@@ -366,8 +369,11 @@ SweepResult SweepRunner::prepare(const SweepGrid& grid) {
 
   out.variant_count = grid.dynamic.size();
   out.seed_count = grid.seeds.empty() ? 1 : grid.seeds.size();
+  out.reconfig_count = grid.reconfig.empty() ? 1 : grid.reconfig.size();
   const std::size_t compiled_cells =
-      options_.run_compiled ? grid.phases.size() * out.fault_count : 0;
+      options_.run_compiled
+          ? grid.phases.size() * out.fault_count * out.reconfig_count
+          : 0;
   const std::size_t dynamic_cells = grid.phases.size() * out.fault_count *
                                     out.variant_count * out.seed_count;
   out.compiled.resize(compiled_cells);
@@ -385,24 +391,41 @@ void SweepRunner::run_cells(const SweepGrid& grid, SweepResult& out,
     const std::size_t i = begin + offset;
     if (i < compiled_cells) {
       auto& cell = out.compiled[i];
-      cell.phase = i / out.fault_count;
-      cell.fault = i % out.fault_count;
+      cell.reconfig = i % out.reconfig_count;
+      const std::size_t pf = i / out.reconfig_count;
+      cell.phase = pf / out.fault_count;
+      cell.fault = pf % out.fault_count;
       const auto& phase = grid.phases[cell.phase];
       const auto& timeline = out.timelines[cell.fault];
+      // Reconfig level of this cell; the empty axis is one R=0 level,
+      // keeping every parameter byte-identical to the pre-axis engine.
+      static const sched::ReconfigOptions kFreeReconfig{};
+      const sched::ReconfigOptions& reconfig =
+          grid.reconfig.empty() ? kFreeReconfig
+                                : grid.reconfig[cell.reconfig].options;
       if (options_.recovery) {
+        RecoveryParams recovery_params = options_.recovery_params;
+        recovery_params.reconfig = reconfig;
         cell.recovery = run_with_recovery(*recovery_compiler_, phase.messages,
-                                          timeline, options_.recovery_params);
+                                          timeline, recovery_params);
         if (!cell.recovery->rounds.empty())
           cell.degree = cell.recovery->rounds.front().degree;
       } else {
         const auto& compilation = out.compilations[cell.phase];
         cell.cache_hit = compilation.cache_hit;
         cell.degree = compilation.phase.schedule.degree();
+        sim::CompiledParams params = options_.compiled;
+        if (reconfig.latency > 0) {
+          // Pure function of the (already fixed) schedule, so computing
+          // it per cell preserves the determinism contract.
+          const auto plan = sched::plan_reconfiguration(
+              *net_, compilation.phase.schedule, reconfig);
+          params.stall_slots = plan.stall_before;
+        }
         sim::SimOptions sim;
         if (timeline.has_link_faults()) sim.faults = &timeline;
         cell.result = sim::simulate_compiled(compilation.phase.schedule,
-                                             phase.messages, options_.compiled,
-                                             sim);
+                                             phase.messages, params, sim);
       }
       return;
     }
@@ -717,8 +740,10 @@ SweepResult SweepRunner::run_sharded(const SweepGrid& grid,
     for (std::size_t i = w.begin; i < w.end; ++i) {
       if (i < compiled_cells) {
         auto& cell = out.compiled[i];
-        cell.phase = i / out.fault_count;
-        cell.fault = i % out.fault_count;
+        cell.reconfig = i % out.reconfig_count;
+        const std::size_t pf = i / out.reconfig_count;
+        cell.phase = pf / out.fault_count;
+        cell.fault = pf % out.fault_count;
         cell.missing = true;
       } else {
         const std::size_t d = i - compiled_cells;

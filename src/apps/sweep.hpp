@@ -10,6 +10,7 @@
 #include "apps/pipeline.hpp"
 #include "apps/recovery.hpp"
 #include "apps/workloads.hpp"
+#include "sched/reconfig.hpp"
 #include "sim/compiled.hpp"
 #include "sim/dynamic.hpp"
 #include "sim/faults.hpp"
@@ -57,9 +58,16 @@ struct FaultLevel {
   sim::FaultSpec spec;
 };
 
+/// One point of the reconfiguration-cost axis (e.g. "R=4/overlap").
+struct ReconfigLevel {
+  std::string label;
+  sched::ReconfigOptions options;
+};
+
 /// The declarative grid.  Axes may be empty: no fault levels means one
 /// healthy level, no variants means a compiled-only sweep, no seeds means
-/// one run per variant at the variant's own `params.seed`.
+/// one run per variant at the variant's own `params.seed`, no reconfig
+/// levels means one R=0 level (free reconfiguration, the paper's model).
 struct SweepGrid {
   std::vector<CommPhase> phases;
   std::vector<FaultLevel> faults;
@@ -67,6 +75,13 @@ struct SweepGrid {
   /// Seed override axis: when non-empty, every variant runs once per
   /// seed with `params.seed` replaced.
   std::vector<std::uint64_t> seeds;
+  /// Reconfiguration-cost axis for the *compiled* cells: every (phase,
+  /// fault) pair runs once per level, paying the level's transition
+  /// stalls (`sched::plan_reconfiguration` of the phase's schedule).  The
+  /// schedule itself is compiled once per phase — R changes execution
+  /// cost, not the configuration set.  The dynamic side models R through
+  /// `DynamicParams::reconfig_slots` on its own variant axis.
+  std::vector<ReconfigLevel> reconfig;
 };
 
 /// Engine configuration.
@@ -85,10 +100,12 @@ struct SweepOptions {
   RecoveryParams recovery_params;
 };
 
-/// Compiled side of one (phase, fault) pair.
+/// Compiled side of one (phase, fault, reconfig) triple.
 struct CompiledCell {
   std::size_t phase = 0;
   std::size_t fault = 0;
+  /// Index into the expanded reconfig axis (0 when the grid has none).
+  std::size_t reconfig = 0;
   /// Multiplexing degree of the (round-1) schedule.
   int degree = 0;
   /// Whether the phase's compile came out of the schedule cache.
@@ -137,7 +154,9 @@ struct SweepResult {
   /// recovery loop compiled internally); `[p].phase.schedule` is the
   /// schedule the compiled cells of phase `p` ran.
   std::vector<PhaseCompilation> compilations;
-  /// Phase-major, fault-minor; empty when `run_compiled` was false.
+  /// Nested (phase, fault, reconfig), innermost fastest; empty when
+  /// `run_compiled` was false.  With no reconfig axis this is the
+  /// classic phase-major, fault-minor layout.
   std::vector<CompiledCell> compiled;
   /// Nested (phase, fault, variant, seed), innermost fastest.
   std::vector<DynamicCell> dynamic;
@@ -146,13 +165,15 @@ struct SweepResult {
   std::size_t fault_count = 0;
   std::size_t variant_count = 0;
   std::size_t seed_count = 0;
+  std::size_t reconfig_count = 0;
 
   /// Shard-supervisor incident counters (all zero for `run`).
   ShardSupervision supervision;
 
-  const CompiledCell& compiled_cell(std::size_t phase,
-                                    std::size_t fault = 0) const {
-    return compiled.at(phase * fault_count + fault);
+  const CompiledCell& compiled_cell(std::size_t phase, std::size_t fault = 0,
+                                    std::size_t reconfig = 0) const {
+    return compiled.at((phase * fault_count + fault) * reconfig_count +
+                       reconfig);
   }
   const DynamicCell& dynamic_cell(std::size_t phase, std::size_t fault,
                                   std::size_t variant,

@@ -213,6 +213,11 @@ void write_sched(std::ostream& out, const SchedCounters& c) {
   field("cache_misses", c.cache_misses);
   field("distinct_phases", c.distinct_phases);
   field("reconfigurations_saved", c.reconfigurations_saved);
+  field("reconfig_slots_paid", c.reconfig_slots_paid);
+  field("reuse_decisions", c.reuse_decisions);
+  field("reuse_kept_stale", c.reuse_kept_stale);
+  field("reconfig_stall_slots", c.reconfig_stall_slots);
+  field("reconfig_overlap_hidden", c.reconfig_overlap_hidden);
   field("shard_retries", c.shard_retries);
   field("shard_restarts_crashed", c.shard_restarts_crashed);
   field("shard_restarts_hung", c.shard_restarts_hung);

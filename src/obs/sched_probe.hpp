@@ -77,6 +77,22 @@ struct SchedCounters {
   std::int64_t cache_quarantined = -1;
   std::int64_t livelock_retries_per_message = -1;
 
+  /// Reconfiguration-cost counters (nonzero switch-setting latency R).
+  /// `reconfig_slots_paid` accumulates the R-weighted slots the chosen
+  /// alternative pays per `compile_phase_reusing` decision (register-load
+  /// bill of a fresh schedule, or the degree penalty of a reused stale
+  /// one); `reuse_decisions` counts the decisions taken and
+  /// `reuse_kept_stale` how many kept the stale schedule.
+  /// `reconfig_stall_slots` / `reconfig_overlap_hidden` are filled from a
+  /// `sched::ReconfigPlan`: stall slots charged per frame, and dirty
+  /// transitions hidden by overlap reconfiguration.  -1 = no R-aware
+  /// component ran.
+  std::int64_t reconfig_slots_paid = -1;
+  std::int64_t reuse_decisions = -1;
+  std::int64_t reuse_kept_stale = -1;
+  std::int64_t reconfig_stall_slots = -1;
+  std::int64_t reconfig_overlap_hidden = -1;
+
   /// True when any field was measured — reports skip the block otherwise.
   bool measured() const noexcept {
     return route_ns >= 0 || graph_build_ns >= 0 || coloring_ns >= 0 ||
@@ -85,6 +101,8 @@ struct SchedCounters {
            cache_misses >= 0 || reconfigurations_saved >= 0 ||
            shard_retries >= 0 || salvaged_cells >= 0 ||
            cache_quarantined >= 0 || livelock_retries_per_message >= 0 ||
+           reconfig_slots_paid >= 0 || reuse_decisions >= 0 ||
+           reconfig_stall_slots >= 0 || reconfig_overlap_hidden >= 0 ||
            !combined_winner.empty();
   }
 };

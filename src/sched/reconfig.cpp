@@ -1,0 +1,137 @@
+#include "sched/reconfig.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace optdm::sched {
+
+namespace {
+
+/// Canonical (sorted) copy of one switch state, so change detection sees
+/// the crossbar, not the order paths happened to contribute settings in.
+std::vector<core::CrossbarSetting> sorted_state(
+    const std::vector<core::CrossbarSetting>& state) {
+  auto sorted = state;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const core::CrossbarSetting& a, const core::CrossbarSetting& b) {
+              return a.in_link != b.in_link ? a.in_link < b.in_link
+                                            : a.out_link < b.out_link;
+            });
+  return sorted;
+}
+
+/// Per-switch, per-slot canonical states, switch-major.
+std::vector<std::vector<core::CrossbarSetting>> canonical_states(
+    const core::SwitchProgram& program) {
+  const auto switches = static_cast<std::size_t>(program.switch_count());
+  const auto slots = static_cast<std::size_t>(program.slot_count());
+  std::vector<std::vector<core::CrossbarSetting>> states(switches * slots);
+  for (topo::NodeId sw = 0; sw < program.switch_count(); ++sw)
+    for (int slot = 0; slot < program.slot_count(); ++slot)
+      states[static_cast<std::size_t>(sw) * slots +
+             static_cast<std::size_t>(slot)] =
+          sorted_state(program.state(sw, slot));
+  return states;
+}
+
+}  // namespace
+
+ReconfigPlan plan_reconfiguration(const core::SwitchProgram& program,
+                                  const ReconfigOptions& options) {
+  if (options.latency < 0)
+    throw std::invalid_argument("plan_reconfiguration: negative latency");
+  ReconfigPlan plan;
+  const int k = program.slot_count();
+  if (k == 0) return plan;
+  if (options.latency > 0)
+    plan.stall_before.assign(static_cast<std::size_t>(k), 0);
+
+  const auto states = canonical_states(program);
+  const auto slots = static_cast<std::size_t>(k);
+  for (int t = 0; t < k; ++t) {
+    const int prev = (t + k - 1) % k;
+    bool dirty = false;
+    bool forced = false;  // some change goes through an in-use switch
+    for (topo::NodeId sw = 0; sw < program.switch_count(); ++sw) {
+      const auto& before = states[static_cast<std::size_t>(sw) * slots +
+                                  static_cast<std::size_t>(prev)];
+      const auto& after = states[static_cast<std::size_t>(sw) * slots +
+                                 static_cast<std::size_t>(t)];
+      if (before == after) continue;
+      dirty = true;
+      ++plan.switch_changes;
+      // Overlap hides a change when the switch is idle on either side:
+      // idle before = pre-configure during the previous slot; idle after
+      // = tear down lazily inside its own idle slot.  Busy on both sides
+      // means the crossbar is in use right up to (and from) the boundary.
+      if (!before.empty() && !after.empty()) forced = true;
+    }
+    if (!dirty) continue;
+    ++plan.dirty_transitions;
+    const bool stalls = options.overlap ? forced : true;
+    if (options.overlap && !stalls) ++plan.overlap_hidden;
+    if (options.latency > 0 && stalls) {
+      ++plan.stalled_transitions;
+      plan.stall_before[static_cast<std::size_t>(t)] = options.latency;
+    }
+  }
+  return plan;
+}
+
+ReconfigPlan plan_reconfiguration(const topo::Network& net,
+                                  const core::Schedule& schedule,
+                                  const ReconfigOptions& options) {
+  return plan_reconfiguration(core::SwitchProgram(net, schedule), options);
+}
+
+std::optional<std::string> verify_overlap_legality(
+    const core::SwitchProgram& program,
+    std::span<const std::int64_t> stall_before) {
+  if (stall_before.empty()) return std::nullopt;  // R=0: nothing claimed
+  const int k = program.slot_count();
+  if (static_cast<int>(stall_before.size()) != k) {
+    std::ostringstream out;
+    out << "stall vector has " << stall_before.size() << " entries for a "
+        << k << "-slot program";
+    return out.str();
+  }
+  const auto states = canonical_states(program);
+  const auto slots = static_cast<std::size_t>(k);
+  for (int t = 0; t < k; ++t) {
+    if (stall_before[static_cast<std::size_t>(t)] > 0) continue;
+    const int prev = (t + k - 1) % k;
+    for (topo::NodeId sw = 0; sw < program.switch_count(); ++sw) {
+      const auto& before = states[static_cast<std::size_t>(sw) * slots +
+                                  static_cast<std::size_t>(prev)];
+      const auto& after = states[static_cast<std::size_t>(sw) * slots +
+                                 static_cast<std::size_t>(t)];
+      if (before == after || before.empty() || after.empty()) continue;
+      std::ostringstream out;
+      out << "transition into slot " << t
+          << " has no stall but reconfigures switch " << sw
+          << " while it is in use in both adjacent slots";
+      return out.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::int64_t fresh_load_cost(std::int64_t latency, int degree) noexcept {
+  return latency * static_cast<std::int64_t>(std::max(degree, 0));
+}
+
+ReuseDecision decide_reuse(std::int64_t latency, int stale_degree,
+                           int fresh_degree,
+                           std::int64_t horizon_frames) noexcept {
+  ReuseDecision decision;
+  decision.fresh_cost = fresh_load_cost(latency, fresh_degree);
+  decision.reuse_cost =
+      static_cast<std::int64_t>(
+          std::max(stale_degree - fresh_degree, 0)) *
+      std::max<std::int64_t>(horizon_frames, 0);
+  decision.reuse = decision.reuse_cost < decision.fresh_cost;
+  return decision;
+}
+
+}  // namespace optdm::sched

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/switch_program.hpp"
+#include "topo/network.hpp"
+
+/// \file reconfig.hpp
+/// The reconfiguration cost model.  The paper treats switching between
+/// TDM configurations as free; modern circuit-switched photonic work
+/// (PAPERS.md: "To Reconfigure or Not to Reconfigure", SWOT) shows a
+/// switch needs `R` slots to change its crossbar state, and that this
+/// cost must be scheduled around rather than ignored.
+///
+/// The model charges at register granularity: slot `t` of a frame runs
+/// configuration `t mod K`, and the transition *into* slot `t` is dirty
+/// when any switch's crossbar settings differ between configuration
+/// `(t-1+K) mod K` and configuration `t` (transition 0 is the frame
+/// wrap).  All switches reconfigure in parallel, so a dirty transition
+/// stalls the frame clock for `R` slots — unless **overlap** hides it:
+/// a switch idle during slot `t-1` can be reconfigured *during* slot
+/// `t-1` (SWOT-style), and a switch idle during slot `t` can tear down
+/// lazily inside its own idle slot.  With overlap enabled a transition
+/// therefore stalls only when some switch is busy in both adjacent slots
+/// with differing settings.  The legality rule is absolute: overlap never
+/// touches a switch while it carries light (`verify_overlap_legality`,
+/// re-checked independently by `sim::execute_on_hardware`).
+///
+/// `latency == 0` is the paper's free-reconfiguration model and produces
+/// an empty stall vector — the canonical form that keeps every R=0 code
+/// path byte-identical to the pre-R implementation.
+
+namespace optdm::sched {
+
+/// Knobs of the reconfiguration cost model.
+struct ReconfigOptions {
+  /// Slots one switch needs to change its crossbar state (R).  0 = the
+  /// paper's free-reconfiguration model.
+  std::int64_t latency = 0;
+  /// Reconfigure switches idle in a slot during that slot so they are
+  /// ready for the next one; only transitions forced through an in-use
+  /// switch still stall.
+  bool overlap = false;
+};
+
+/// Where a frame stalls and why.  Produced by `plan_reconfiguration`;
+/// `stall_before` feeds `sim::CompiledParams::stall_slots` unchanged.
+struct ReconfigPlan {
+  /// Stall (slots) charged before slot `t` of every frame; index 0 is
+  /// the frame wrap.  Empty when `latency == 0` (the canonical R=0
+  /// form); size K otherwise.
+  std::vector<std::int64_t> stall_before;
+  /// Switch settings that differ across all K transitions of one frame
+  /// (a proxy for register traffic).
+  std::int64_t switch_changes = 0;
+  /// Transitions (of the K per frame) with at least one dirty switch.
+  int dirty_transitions = 0;
+  /// Transitions actually stalling the frame clock (== dirty ones when
+  /// overlap is off and `latency > 0`).
+  int stalled_transitions = 0;
+  /// Dirty transitions overlap hid (0 when overlap is off).
+  int overlap_hidden = 0;
+
+  /// Total stall slots added to each frame.
+  std::int64_t frame_overhead() const noexcept {
+    std::int64_t sum = 0;
+    for (const auto s : stall_before) sum += s;
+    return sum;
+  }
+};
+
+/// Computes the stall plan of one schedule's register program.  Change
+/// detection is order-insensitive within a slot: two states realizing
+/// the same crossbar connections in a different order are identical.
+ReconfigPlan plan_reconfiguration(const core::SwitchProgram& program,
+                                  const ReconfigOptions& options = {});
+
+/// Convenience overload lowering `schedule` first.
+ReconfigPlan plan_reconfiguration(const topo::Network& net,
+                                  const core::Schedule& schedule,
+                                  const ReconfigOptions& options = {});
+
+/// Checks the overlap legality rule against a stall vector: every
+/// transition charged zero stall must be realizable without touching an
+/// in-use switch — each switch busy in both adjacent slots must keep its
+/// settings.  Returns a description of the first violation, or nullopt.
+/// An empty `stall_before` (the R=0 form) is always legal.
+std::optional<std::string> verify_overlap_legality(
+    const core::SwitchProgram& program,
+    std::span<const std::int64_t> stall_before);
+
+/// One-time cost (slots) of switching the fabric to a freshly compiled
+/// schedule of degree `degree`: every switch loads `degree` register
+/// states, `latency` slots each, all switches in parallel.
+std::int64_t fresh_load_cost(std::int64_t latency, int degree) noexcept;
+
+/// The reuse-or-recompile comparison (pure arithmetic; viability of the
+/// stale schedule is the caller's concern).  Reusing an already-loaded
+/// stale schedule of degree `stale_degree` costs nothing to switch to
+/// but runs every one of `horizon_frames` frames `stale_degree -
+/// fresh_degree` slots longer than a fresh schedule would; recompiling
+/// pays `fresh_load_cost(latency, fresh_degree)` once.  `reuse` is true
+/// when the stale schedule is strictly cheaper — never at `latency == 0`,
+/// where a fresh schedule is free to load.
+struct ReuseDecision {
+  bool reuse = false;
+  /// R-weighted register-load cost of switching to the fresh schedule.
+  std::int64_t fresh_cost = 0;
+  /// Extra slots paid by running `horizon_frames` frames at the stale
+  /// degree.
+  std::int64_t reuse_cost = 0;
+};
+
+ReuseDecision decide_reuse(std::int64_t latency, int stale_degree,
+                           int fresh_degree,
+                           std::int64_t horizon_frames) noexcept;
+
+}  // namespace optdm::sched

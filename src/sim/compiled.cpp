@@ -31,6 +31,34 @@ std::vector<detail::AssignedChannel> assign_channels(
                                  "simulate_compiled");
 }
 
+/// Validates `stall_slots` against the schedule and resolves it into
+/// cumulative offsets: entry `t` is the total stall paid within a frame
+/// up to and including the stall before slot `t`, so slot `t` begins at
+/// within-frame position `t + prefix[t]` and the effective frame is
+/// `frame + prefix.back()`.  Empty in, empty out — the R=0 fast path.
+std::vector<std::int64_t> stall_prefix_of(const CompiledParams& params,
+                                          int degree, const char* who) {
+  if (params.stall_slots.empty()) return {};
+  if (params.channel == ChannelKind::kWavelength)
+    throw std::invalid_argument(
+        std::string(who) +
+        ": stall_slots model TDM register transitions; wavelength channels "
+        "have none");
+  if (static_cast<int>(params.stall_slots.size()) != degree)
+    throw std::invalid_argument(
+        std::string(who) + ": stall_slots size does not match the degree");
+  std::vector<std::int64_t> prefix(params.stall_slots.size());
+  std::int64_t sum = 0;
+  for (std::size_t t = 0; t < params.stall_slots.size(); ++t) {
+    if (params.stall_slots[t] < 0)
+      throw std::invalid_argument(std::string(who) +
+                                  ": negative stall_slots entry");
+    sum += params.stall_slots[t];
+    prefix[t] = sum;
+  }
+  return prefix;
+}
+
 /// The analytic closed-form model (healthy fabric).
 CompiledResult run_analytic(const core::Schedule& schedule,
                             std::span<const Message> messages,
@@ -55,6 +83,15 @@ CompiledResult run_analytic(const core::Schedule& schedule,
   if (k < schedule.degree())
     throw std::invalid_argument(
         "simulate_compiled: frame_slots below the multiplexing degree");
+  const auto stall_prefix =
+      stall_prefix_of(params, schedule.degree(), "simulate_compiled");
+  const std::int64_t frame = k + (stall_prefix.empty() ? 0 : stall_prefix.back());
+  const auto offset_of = [&](int slot) {
+    return static_cast<std::int64_t>(slot) +
+           (stall_prefix.empty()
+                ? 0
+                : stall_prefix[static_cast<std::size_t>(slot)]);
+  };
   if (trace && params.setup_slots > 0)
     trace->span(trace->track("runtime"), "setup", "setup", 0,
                 params.setup_slots);
@@ -69,15 +106,18 @@ CompiledResult run_analytic(const core::Schedule& schedule,
         result.messages[m].completed = params.setup_slots + cumulative;
       } else {
         // The i-th owned slot of configuration c begins at absolute time
-        // setup + c + (i-1)*K; its payload is delivered one slot later.
-        result.messages[m].completed =
-            params.setup_slots + channel.slot + (cumulative - 1) * k + 1;
+        // setup + offset(c) + (i-1)*F, where offset folds in the stalls
+        // paid earlier in the frame and F is the stall-extended frame;
+        // the payload is delivered one slot later.
+        result.messages[m].completed = params.setup_slots +
+                                       offset_of(channel.slot) +
+                                       (cumulative - 1) * frame + 1;
       }
       if (trace) {
         const std::int64_t begin =
             params.channel == ChannelKind::kWavelength
                 ? params.setup_slots + prev
-                : params.setup_slots + channel.slot + prev * k;
+                : params.setup_slots + offset_of(channel.slot) + prev * frame;
         trace->span(trace->track("slot " + std::to_string(channel.slot)),
                     "payload", "payload", begin, result.messages[m].completed,
                     {{"msg", std::to_string(m)},
@@ -114,6 +154,9 @@ CompiledResult run_faulted(const core::Schedule& schedule,
 
   const std::int64_t k =
       params.frame_slots > 0 ? params.frame_slots : schedule.degree();
+  const auto stall_prefix =
+      stall_prefix_of(params, schedule.degree(), "simulate_compiled");
+  const std::int64_t frame = k + (stall_prefix.empty() ? 0 : stall_prefix.back());
   for (const auto& channel : channels) {
     std::int64_t cumulative = 0;
     for (const auto m : channel.message_ids) {
@@ -127,8 +170,13 @@ CompiledResult run_faulted(const core::Schedule& schedule,
         base = start_slot + params.setup_slots + cumulative;
         stride = 1;
       } else {
-        base = start_slot + params.setup_slots + channel.slot + cumulative * k;
-        stride = k;
+        const std::int64_t offset =
+            channel.slot +
+            (stall_prefix.empty()
+                 ? 0
+                 : stall_prefix[static_cast<std::size_t>(channel.slot)]);
+        base = start_slot + params.setup_slots + offset + cumulative * frame;
+        stride = frame;
       }
       std::vector<char> lost(static_cast<std::size_t>(message.slots), 0);
       faults.mark_lost_payloads(it->second->links, base, stride, lost);
@@ -231,6 +279,24 @@ CompiledResult simulate_compiled_stepped(const core::Schedule& schedule,
     throw std::invalid_argument(
         "simulate_compiled_stepped: frame_slots below the multiplexing "
         "degree");
+  const auto stall_prefix =
+      stall_prefix_of(params, schedule.degree(), "simulate_compiled_stepped");
+  // Reconfiguration stalls turn the frame into a position table: each
+  // within-frame position is either a configuration slot or a stall/pad
+  // tick (-1) during which no channel transmits.  Empty without stalls —
+  // the plain modulo path below is the R=0 engine, untouched.
+  std::vector<int> slot_at;
+  std::int64_t frame = k;
+  if (!stall_prefix.empty()) {
+    frame = k + stall_prefix.back();
+    slot_at.assign(static_cast<std::size_t>(frame), -1);
+    std::int64_t pos = 0;
+    for (int t = 0; t < schedule.degree(); ++t) {
+      pos += params.stall_slots[static_cast<std::size_t>(t)];
+      slot_at[static_cast<std::size_t>(pos)] = t;
+      ++pos;
+    }
+  }
   // Per-slot channel index: a TDM tick only visits the channels that own
   // the active slot instead of scanning (and mostly skipping) all of
   // them.  A wavelength channel is active every tick, so slot 0 of a
@@ -241,8 +307,17 @@ CompiledResult simulate_compiled_stepped(const core::Schedule& schedule,
   for (std::size_t c = 0; c < channels.size(); ++c)
     by_slot[tdm ? static_cast<std::size_t>(channels[c].slot) : 0].push_back(c);
   for (std::int64_t t = params.setup_slots; unfinished > 0; ++t) {
-    const auto active_slot =
-        tdm ? static_cast<std::size_t>((t - params.setup_slots) % k) : 0;
+    std::size_t active_slot = 0;
+    if (tdm) {
+      const auto within = (t - params.setup_slots) % frame;
+      if (!slot_at.empty()) {
+        const int slot = slot_at[static_cast<std::size_t>(within)];
+        if (slot < 0) continue;  // stall or pad tick
+        active_slot = static_cast<std::size_t>(slot);
+      } else {
+        active_slot = static_cast<std::size_t>(within);
+      }
+    }
     for (const auto c : by_slot[active_slot]) {
       auto& channel = channels[c];
       auto& prog = progress[c];

@@ -39,6 +39,14 @@ struct CompiledParams {
   /// Channel realization; `kWavelength` removes the frame-length factor
   /// from transmission time (each channel runs at full rate).
   ChannelKind channel = ChannelKind::kTimeSlot;
+  /// Reconfiguration stalls (`sched::plan_reconfiguration`): entry `t` is
+  /// the stall (slots) the frame clock pays before slot `t`, entry 0
+  /// being the frame wrap; every frame pays the full vector, so the
+  /// effective frame length is `frame + sum(stall_slots)`.  Empty (the
+  /// canonical R=0 form) reproduces the stall-free engine byte for byte;
+  /// otherwise the size must equal the schedule's degree.  Stalls are a
+  /// TDM register concept — combining them with `kWavelength` throws.
+  std::vector<std::int64_t> stall_slots;
 };
 
 /// Per-message completion record.

@@ -168,6 +168,9 @@ class Simulator {
     if (params.livelock_retries_per_message < 0)
       throw std::invalid_argument(
           "simulate_dynamic: negative livelock_retries_per_message");
+    if (params.reconfig_slots < 0)
+      throw std::invalid_argument(
+          "simulate_dynamic: negative reconfig_slots");
     if (params.livelock_retries_per_message > 0)
       livelock_threshold_ = params.livelock_retries_per_message *
                             static_cast<std::int64_t>(messages.size());
@@ -613,16 +616,19 @@ class Simulator {
     stats.established = now_;
     stats.slot = rt.channel;
     const std::int64_t slots = msg_slots_[static_cast<std::size_t>(id)];
+    // Reconfiguration latency: the granted switches need `reconfig_slots`
+    // after the ACK before they can carry this circuit's light.
+    const std::int64_t ready = now_ + params_.reconfig_slots;
     std::int64_t first = 0, stride = 1;
     if (params_.channel == ChannelKind::kWavelength) {
       // The wavelength runs at full rate: one payload per slot.
-      first = now_ + 1;
-      push(now_ + slots + 1, EventKind::kDataDone, id, 0, rt.attempt);
+      first = ready + 1;
+      push(ready + slots + 1, EventKind::kDataDone, id, 0, rt.attempt);
     } else {
-      // TDM: first usable slot is the smallest T > now with T mod K ==
+      // TDM: first usable slot is the smallest T > ready with T mod K ==
       // channel; one payload per frame of K slots thereafter.
       const std::int64_t k = params_.multiplexing_degree;
-      first = now_ + 1;
+      first = ready + 1;
       const std::int64_t offset =
           ((rt.channel - first) % k + k) % k;
       first += offset;

@@ -107,6 +107,13 @@ struct DynamicParams {
   /// retries/message; see EXPERIMENTS).  Purely observational: timing,
   /// RNG draws, and results are unchanged.  0 disables the diagnostic.
   std::int64_t livelock_retries_per_message = 1000;
+  /// Slots to configure the switches along a granted path before data
+  /// can flow (the per-circuit reconfiguration latency R): after the ACK
+  /// arrives, transmission starts no earlier than `reconfig_slots` later
+  /// (TDM circuits then also wait for their channel's next aligned
+  /// slot).  0 — the paper's free-reconfiguration model — is
+  /// byte-identical to the pre-R engine.
+  std::int64_t reconfig_slots = 0;
   /// Channel realization (TDM slots vs WDM wavelengths); see
   /// `sim::ChannelKind`.
   ChannelKind channel = ChannelKind::kTimeSlot;

@@ -1,6 +1,8 @@
 #include "sim/hardware.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -11,6 +13,41 @@
 namespace optdm::sim {
 
 namespace {
+
+/// Independent overlap-legality check (the sim layer does not trust the
+/// planner): a transition the stall vector claims is free must never
+/// reconfigure a switch while it carries light — every switch whose
+/// crossbar settings differ across the transition must be idle in one of
+/// the two adjacent slots.  Runs only when a stall vector is supplied;
+/// the R=0 form (empty vector) claims nothing.
+void check_overlap_legality(const core::SwitchProgram& program,
+                            const std::vector<std::int64_t>& stall_before) {
+  const int k = program.slot_count();
+  const auto sorted = [](const std::vector<core::CrossbarSetting>& state) {
+    auto copy = state;
+    std::sort(copy.begin(), copy.end(),
+              [](const core::CrossbarSetting& a,
+                 const core::CrossbarSetting& b) {
+                return a.in_link != b.in_link ? a.in_link < b.in_link
+                                              : a.out_link < b.out_link;
+              });
+    return copy;
+  };
+  for (int t = 0; t < k; ++t) {
+    if (stall_before[static_cast<std::size_t>(t)] > 0) continue;
+    const int prev = (t + k - 1) % k;
+    for (topo::NodeId sw = 0; sw < program.switch_count(); ++sw) {
+      const auto& before = program.state(sw, prev);
+      const auto& after = program.state(sw, t);
+      if (before.empty() || after.empty()) continue;
+      if (sorted(before) == sorted(after)) continue;
+      throw std::logic_error(
+          "execute_on_hardware: zero-stall transition into slot " +
+          std::to_string(t) + " reconfigures in-use switch " +
+          std::to_string(sw));
+    }
+  }
+}
 
 /// Shared core of the two public entry points.  `faults == nullptr` is the
 /// historical strict mode: any fabric misbehavior is a hard
@@ -44,11 +81,40 @@ CompiledResult execute_impl(const topo::Network& net,
   if (schedule.degree() == 0)
     throw std::invalid_argument("execute_on_hardware: empty schedule");
 
-  const std::int64_t frame =
+  const std::int64_t padded =
       params.frame_slots > 0 ? params.frame_slots : schedule.degree();
-  if (frame < schedule.degree())
+  if (padded < schedule.degree())
     throw std::invalid_argument(
         "execute_on_hardware: frame below the multiplexing degree");
+
+  // Reconfiguration stalls: validate the vector, verify overlap legality
+  // against the register program, and unroll the frame into a position
+  // table (configuration slot or -1 for a stall/pad tick).  Empty stalls
+  // keep the plain modulo clock — the R=0 path, byte-identical to the
+  // stall-free engine.
+  std::int64_t frame = padded;
+  std::vector<int> slot_at;
+  if (!params.stall_slots.empty()) {
+    if (static_cast<int>(params.stall_slots.size()) != schedule.degree())
+      throw std::invalid_argument(
+          "execute_on_hardware: stall_slots size does not match the degree");
+    std::int64_t total_stall = 0;
+    for (const auto stall : params.stall_slots) {
+      if (stall < 0)
+        throw std::invalid_argument(
+            "execute_on_hardware: negative stall_slots entry");
+      total_stall += stall;
+    }
+    check_overlap_legality(program, params.stall_slots);
+    frame = padded + total_stall;
+    slot_at.assign(static_cast<std::size_t>(frame), -1);
+    std::int64_t pos = 0;
+    for (int slot = 0; slot < schedule.degree(); ++slot) {
+      pos += params.stall_slots[static_cast<std::size_t>(slot)];
+      slot_at[static_cast<std::size_t>(pos)] = slot;
+      ++pos;
+    }
+  }
 
   // Dense per-slot routing table compiled from the register program, one
   // flat slot-major array: next[slot * links + link] = link the crossbars
@@ -108,8 +174,13 @@ CompiledResult execute_impl(const topo::Network& net,
 
   std::size_t unfinished = channels.size();
   for (std::int64_t t = params.setup_slots; unfinished > 0; ++t) {
-    const auto active = (t - params.setup_slots) % frame;
-    if (active >= schedule.degree()) continue;  // padded idle slot
+    std::int64_t active = (t - params.setup_slots) % frame;
+    if (!slot_at.empty()) {
+      active = slot_at[static_cast<std::size_t>(active)];
+      if (active < 0) continue;  // stall or pad tick
+    } else if (active >= schedule.degree()) {
+      continue;  // padded idle slot
+    }
     const auto* table = next.data() + static_cast<std::size_t>(active) * links;
     for (const auto c : channels_by_slot[static_cast<std::size_t>(active)]) {
       auto& channel = channels[c];

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace optdm::util {
@@ -46,9 +47,13 @@ Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
 
 void Histogram::add(double x) noexcept {
   // upper_bound returns the first edge > x; bucket i covers
-  // [edges[i], edges[i+1]).  Values below the first edge are dropped.
+  // [edges[i], edges[i+1]), the last [edges.back(), +inf).
+  ++total_;
   const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
-  if (it == edges_.begin()) return;
+  if (it == edges_.begin()) {
+    ++underflow_;
+    return;
+  }
   const auto bucket =
       static_cast<std::size_t>(std::distance(edges_.begin(), it)) - 1;
   ++counts_[bucket];
@@ -60,6 +65,14 @@ std::size_t Histogram::count(std::size_t bucket) const {
 
 double Histogram::lower_edge(std::size_t bucket) const {
   return edges_.at(bucket);
+}
+
+double Histogram::upper_edge(std::size_t bucket) const {
+  if (bucket >= counts_.size())
+    throw std::out_of_range("Histogram::upper_edge: bucket out of range");
+  if (bucket + 1 == counts_.size())
+    return std::numeric_limits<double>::infinity();
+  return edges_[bucket + 1];
 }
 
 }  // namespace optdm::util

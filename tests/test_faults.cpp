@@ -436,6 +436,61 @@ TEST(Faults, RecoveryReportsUnroutableRequestsAsFailed) {
   EXPECT_EQ(result.messages[1].outcome, MessageOutcome::kDelivered);
 }
 
+TEST(Faults, RecoveryReusesTheStaleScheduleAfterATransientFlap) {
+  topo::TorusNetwork net(8, 8);
+  apps::CommCompiler compiler(net);
+  const core::RequestSet requests{{0, 1}};
+  const std::vector<Message> messages{{{0, 1}, 20}};
+
+  // The flap eats a few mid-message payloads and is long gone by the time
+  // the recovery loop decides round 2; the stale schedule still routes
+  // everything, and at R=8 keeping it is cheaper than a register reload.
+  FaultTimeline tl;
+  tl.flap_link(network_link_of(net, requests[0]), 5, 8);
+  apps::RecoveryParams params;
+  params.reconfig.latency = 8;
+  const auto result =
+      apps::run_with_recovery(compiler, messages, tl, params);
+  EXPECT_TRUE(result.all_delivered());
+  ASSERT_EQ(result.rounds.size(), 2u);
+  EXPECT_TRUE(result.rounds[1].reused);
+  EXPECT_EQ(result.reuse_decisions, 1);
+  EXPECT_EQ(result.faults.recompiles, 0);
+  // Reusing an equal-degree schedule costs nothing; no load bill either.
+  EXPECT_EQ(result.reconfig_slots_paid, 0);
+
+  // With reuse disabled the same run pays a recompile plus the R-weighted
+  // register-load bill.
+  auto no_reuse = params;
+  no_reuse.reuse_schedules = false;
+  const auto paid =
+      apps::run_with_recovery(compiler, messages, tl, no_reuse);
+  EXPECT_TRUE(paid.all_delivered());
+  EXPECT_EQ(paid.faults.recompiles, 1);
+  EXPECT_EQ(paid.reuse_decisions, 0);
+  EXPECT_GT(paid.reconfig_slots_paid, 0);
+  EXPECT_GT(paid.total_slots, result.total_slots);
+}
+
+TEST(Faults, RecoveryAtFreeReconfigurationIgnoresTheReuseKnob) {
+  topo::TorusNetwork net(8, 8);
+  apps::CommCompiler compiler(net);
+  const core::RequestSet requests{{0, 1}};
+  const std::vector<Message> messages{{{0, 1}, 20}};
+  FaultTimeline tl;
+  tl.flap_link(network_link_of(net, requests[0]), 5, 8);
+
+  apps::RecoveryParams on;   // latency = 0, reuse_schedules = true
+  apps::RecoveryParams off;
+  off.reuse_schedules = false;
+  const auto a = apps::run_with_recovery(compiler, messages, tl, on);
+  const auto b = apps::run_with_recovery(compiler, messages, tl, off);
+  EXPECT_EQ(a.total_slots, b.total_slots);
+  EXPECT_EQ(a.faults, b.faults);
+  EXPECT_EQ(a.reconfig_slots_paid, 0);
+  EXPECT_EQ(a.reuse_decisions, 0);
+}
+
 TEST(Faults, RecoveryWithHealthyFabricIsOneCleanRound) {
   topo::TorusNetwork net(8, 8);
   apps::CommCompiler compiler(net);

@@ -118,6 +118,29 @@ TEST(Hardware, DetectsForeignProgramDeliveringWrong) {
                std::logic_error);
 }
 
+TEST(Hardware, RejectsIllegalOverlapStallPlans) {
+  // Two conflicting requests from the same source: switch 0 carries
+  // light on both sides of every transition with differing settings, so
+  // a stall vector claiming those transitions are free is illegal.
+  topo::TorusNetwork net(4, 4);
+  const auto schedule = sched::greedy(net, {{0, 1}, {0, 2}});
+  ASSERT_EQ(schedule.degree(), 2);
+  const SwitchProgram program(net, schedule);
+  const auto messages = sim::uniform_messages({{0, 1}, {0, 2}}, 2);
+  sim::CompiledParams params;
+  params.stall_slots = {0, 0};
+  EXPECT_THROW(
+      execute_on_hardware(net, schedule, program, messages, params),
+      std::logic_error);
+  // The honest plan (every dirty transition stalls) is accepted and
+  // agrees with the analytic model.
+  params.stall_slots = {3, 3};
+  const auto hw =
+      execute_on_hardware(net, schedule, program, messages, params);
+  const auto model = sim::simulate_compiled(schedule, messages, params);
+  EXPECT_EQ(hw.total_slots, model.total_slots);
+}
+
 TEST(Hardware, RejectsWdmMode) {
   topo::TorusNetwork net(4, 4);
   const auto schedule = sched::greedy(net, {{0, 1}});

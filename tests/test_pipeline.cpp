@@ -224,4 +224,153 @@ TEST(Stitching, SavedScalesWithIterations) {
   EXPECT_EQ(report.saved(0), 0);
 }
 
+/// One-path configuration for hand-built schedules with exactly
+/// controlled fingerprints.
+core::Configuration config_of(const topo::Network& net,
+                              const core::Request& request) {
+  auto paths = core::route_all(net, {request});
+  core::Configuration config(net.link_count());
+  EXPECT_TRUE(config.add(std::move(paths.front())));
+  return config;
+}
+
+core::Schedule schedule_of(std::vector<core::Configuration> configs) {
+  core::Schedule schedule;
+  for (auto& config : configs) schedule.append(std::move(config));
+  return schedule;
+}
+
+apps::CompiledProgram program_of(std::vector<core::Schedule> schedules) {
+  apps::CompiledProgram compiled;
+  for (auto& schedule : schedules) {
+    apps::CompiledPhase phase;
+    phase.schedule = std::move(schedule);
+    compiled.max_degree = std::max(compiled.max_degree,
+                                   phase.schedule.degree());
+    compiled.phases.push_back(std::move(phase));
+  }
+  return compiled;
+}
+
+TEST(Stitching, DuplicateFingerprintsEachConsumeOnePoolSlot) {
+  topo::TorusNetwork net(4, 4);
+  const auto x = config_of(net, {0, 1});
+  const auto y = config_of(net, {2, 3});
+  // Phase 0 pins [X, X, Y]; phase 1 starts as [Y, X, X] and the greedy
+  // pass must place both X copies (distinct slots, identical fingerprint).
+  auto compiled =
+      program_of({schedule_of({x, x, y}), schedule_of({y, x, x})});
+  const auto report = apps::stitch_program(compiled);
+  ASSERT_EQ(report.boundary_shared.size(), 1u);
+  EXPECT_EQ(report.boundary_shared[0], 3);
+  EXPECT_EQ(report.wrap_shared, 3);
+}
+
+TEST(Stitching, UnequalDegreesClampTheMatchingWindow) {
+  topo::TorusNetwork net(4, 4);
+  const auto x = config_of(net, {0, 1});
+  const auto y = config_of(net, {2, 3});
+  const auto z = config_of(net, {4, 5});
+  // K=2 against K=3: only the two common slots can ever align; the extra
+  // configuration keeps its place without disturbing the count.
+  auto compiled =
+      program_of({schedule_of({x, y}), schedule_of({y, x, z})});
+  const auto report = apps::stitch_program(compiled);
+  ASSERT_EQ(report.boundary_shared.size(), 1u);
+  EXPECT_EQ(report.boundary_shared[0], 2);
+  EXPECT_EQ(report.wrap_shared, 2);
+  EXPECT_EQ(compiled.phases[1].schedule.degree(), 3);
+}
+
+TEST(Stitching, SinglePhaseProgramSharesOnlyTheWrap) {
+  topo::TorusNetwork net(4, 4);
+  const auto x = config_of(net, {0, 1});
+  const auto y = config_of(net, {2, 3});
+  auto compiled = program_of({schedule_of({x, y})});
+  const auto report = apps::stitch_program(compiled);
+  EXPECT_TRUE(report.boundary_shared.empty());
+  // A phase wrapping onto itself shares every configuration.
+  EXPECT_EQ(report.wrap_shared, 2);
+  EXPECT_EQ(report.saved(3), 2 * 2);  // wrap crossed iterations-1 times
+}
+
+TEST(Stitching, MinimizerIsNeverWorseThanGreedyAndFixesTheWrap) {
+  topo::TorusNetwork net(4, 4);
+  const auto x = config_of(net, {0, 1});
+  const auto y = config_of(net, {2, 3});
+  const auto a = config_of(net, {8, 9});
+  const auto b = config_of(net, {10, 11});
+  // Middle phase shares nothing, so the greedy pass leaves the last
+  // phase's (reversed) order alone and the wrap scores 0; both last-phase
+  // slots are free, and the minimizer permutes them onto phase 0.
+  const std::vector<core::Schedule> shape{
+      schedule_of({x, y}), schedule_of({a, b}), schedule_of({y, x})};
+  auto greedy_program = program_of(shape);
+  const auto greedy = apps::stitch_program_greedy(greedy_program);
+  EXPECT_EQ(greedy.wrap_shared, 0);
+
+  auto minimized_program = program_of(shape);
+  const auto minimized = apps::stitch_program(minimized_program);
+  EXPECT_EQ(minimized.boundary_shared, greedy.boundary_shared);
+  EXPECT_EQ(minimized.wrap_shared, 2);
+  for (const int iterations : {1, 2, 5})
+    EXPECT_GE(minimized.saved(iterations), greedy.saved(iterations));
+
+  // Same configuration multiset, legal schedule.
+  EXPECT_EQ(minimized_program.phases[2].schedule.degree(), 2);
+  EXPECT_EQ(minimized_program.phases[2].schedule.validate_against(
+                {{2, 3}, {0, 1}}),
+            std::nullopt);
+}
+
+TEST(PipelineReuse, KeepsAViableStaleScheduleWhenLoadingIsDear) {
+  topo::TorusNetwork net(8, 8);
+  obs::SchedCounters counters;
+  apps::PipelineOptions options;
+  options.sched.counters = &counters;
+  options.reconfig_latency = 16;
+  options.reuse_horizon_frames = 1;
+  apps::Pipeline pipeline(net, options);
+
+  const auto pattern = patterns::ring(net.node_count());
+  const auto fresh = pipeline.compile_phase(pattern);
+  const auto result =
+      pipeline.compile_phase_reusing(pattern, fresh.phase.schedule);
+  EXPECT_TRUE(result.stale_viable);
+  EXPECT_TRUE(result.decision.reuse);
+  EXPECT_TRUE(result.reused);
+  EXPECT_EQ(text_of(net, result.compilation.phase.schedule),
+            text_of(net, fresh.phase.schedule));
+  EXPECT_EQ(counters.reuse_decisions, 1);
+  EXPECT_EQ(counters.reuse_kept_stale, 1);
+  EXPECT_EQ(counters.reconfig_slots_paid, result.decision.reuse_cost);
+}
+
+TEST(PipelineReuse, RecompilesWhenTheStaleScheduleCannotCarryThePattern) {
+  topo::TorusNetwork net(8, 8);
+  apps::PipelineOptions options;
+  options.reconfig_latency = 16;
+  apps::Pipeline pipeline(net, options);
+
+  const auto ring = patterns::ring(net.node_count());
+  const auto stale = pipeline.compile_phase(ring).phase.schedule;
+  const auto other = patterns::transpose(net.node_count());
+  const auto result = pipeline.compile_phase_reusing(other, stale);
+  EXPECT_FALSE(result.stale_viable);
+  EXPECT_FALSE(result.reused);
+  EXPECT_EQ(result.compilation.phase.schedule.validate_against(other),
+            std::nullopt);
+}
+
+TEST(PipelineReuse, FreeReconfigurationAlwaysRecompiles) {
+  topo::TorusNetwork net(8, 8);
+  apps::PipelineOptions options;  // reconfig_latency = 0
+  apps::Pipeline pipeline(net, options);
+  const auto pattern = patterns::ring(net.node_count());
+  const auto stale = pipeline.compile_phase(pattern).phase.schedule;
+  const auto result = pipeline.compile_phase_reusing(pattern, stale);
+  EXPECT_FALSE(result.decision.reuse);
+  EXPECT_FALSE(result.reused);
+}
+
 }  // namespace

@@ -1,0 +1,182 @@
+// The reconfiguration cost model (sched/reconfig.hpp): stall planning,
+// overlap hiding and its legality rule, and the reuse-or-recompile
+// arithmetic.
+
+#include "sched/reconfig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/path.hpp"
+#include "core/switch_program.hpp"
+#include "sched/coloring.hpp"
+#include "topo/torus.hpp"
+
+namespace {
+
+using namespace optdm;
+
+/// One neighbor hop per row inside a two-column band of a 4x4 torus:
+/// conflict-free (degree 1) and confined to the band's switches.
+core::RequestSet band(const topo::TorusNetwork& net, int col) {
+  core::RequestSet out;
+  for (int r = 0; r < net.rows(); ++r)
+    out.push_back({net.node_at({col, r}), net.node_at({col + 1, r})});
+  return out;
+}
+
+core::Schedule compile(const topo::TorusNetwork& net,
+                       const core::RequestSet& pattern) {
+  return sched::coloring_paths(net, core::route_all(net, pattern));
+}
+
+/// Concatenation of two independently compiled phases.
+core::Schedule concat(const core::Schedule& a, const core::Schedule& b) {
+  core::Schedule out;
+  for (const auto& config : a.configurations()) out.append(config);
+  for (const auto& config : b.configurations()) out.append(config);
+  return out;
+}
+
+TEST(ReconfigPlan, ZeroLatencyIsTheCanonicalEmptyForm) {
+  topo::TorusNetwork net(4, 4);
+  const auto schedule =
+      concat(compile(net, band(net, 0)), compile(net, band(net, 2)));
+  for (const bool overlap : {false, true}) {
+    const auto plan = sched::plan_reconfiguration(
+        net, schedule, {.latency = 0, .overlap = overlap});
+    EXPECT_TRUE(plan.stall_before.empty());
+    EXPECT_EQ(plan.frame_overhead(), 0);
+  }
+}
+
+TEST(ReconfigPlan, NegativeLatencyThrows) {
+  topo::TorusNetwork net(4, 4);
+  const auto schedule = compile(net, band(net, 0));
+  EXPECT_THROW(
+      sched::plan_reconfiguration(net, schedule, {.latency = -1}),
+      std::invalid_argument);
+}
+
+TEST(ReconfigPlan, SingleConfigurationScheduleNeverStalls) {
+  topo::TorusNetwork net(4, 4);
+  const auto schedule = compile(net, band(net, 0));
+  ASSERT_EQ(schedule.degree(), 1);
+  // The frame wrap compares the only configuration with itself.
+  const auto plan =
+      sched::plan_reconfiguration(net, schedule, {.latency = 5});
+  ASSERT_EQ(plan.stall_before.size(), 1u);
+  EXPECT_EQ(plan.stall_before[0], 0);
+  EXPECT_EQ(plan.dirty_transitions, 0);
+  EXPECT_EQ(plan.switch_changes, 0);
+  EXPECT_EQ(plan.frame_overhead(), 0);
+}
+
+TEST(ReconfigPlan, DisjointPhasesStallPlainButOverlapHidesEverything) {
+  topo::TorusNetwork net(4, 4);
+  // Left band in slot 0, right band in slot 1: every transition swings
+  // each affected switch between busy and idle, never busy-to-busy.
+  const auto schedule =
+      concat(compile(net, band(net, 0)), compile(net, band(net, 2)));
+  ASSERT_EQ(schedule.degree(), 2);
+
+  const auto plain =
+      sched::plan_reconfiguration(net, schedule, {.latency = 4});
+  EXPECT_EQ(plain.dirty_transitions, 2);
+  EXPECT_EQ(plain.stalled_transitions, 2);
+  EXPECT_EQ(plain.overlap_hidden, 0);
+  EXPECT_EQ(plain.frame_overhead(), 8);
+  ASSERT_EQ(plain.stall_before.size(), 2u);
+  EXPECT_EQ(plain.stall_before[0], 4);  // frame wrap
+  EXPECT_EQ(plain.stall_before[1], 4);  // phase boundary
+
+  const auto overlapped = sched::plan_reconfiguration(
+      net, schedule, {.latency = 4, .overlap = true});
+  EXPECT_EQ(overlapped.dirty_transitions, 2);
+  EXPECT_EQ(overlapped.stalled_transitions, 0);
+  EXPECT_EQ(overlapped.overlap_hidden, 2);
+  EXPECT_EQ(overlapped.frame_overhead(), 0);
+
+  const core::SwitchProgram program(net, schedule);
+  EXPECT_EQ(sched::verify_overlap_legality(program, overlapped.stall_before),
+            std::nullopt);
+}
+
+TEST(ReconfigPlan, BusyBusyChangesStallEvenWithOverlap) {
+  // 8 columns so the eastward route is strictly shorter and both paths
+  // must cross link (1,0)->(2,0): coloring separates them into two slots,
+  // and switch (1,0) carries light on both sides of each transition with
+  // differing settings.
+  topo::TorusNetwork net(8, 8);
+  const core::RequestSet pattern{
+      {net.node_at({0, 0}), net.node_at({2, 0})},
+      {net.node_at({1, 0}), net.node_at({3, 0})},
+  };
+  const auto schedule = compile(net, pattern);
+  ASSERT_EQ(schedule.degree(), 2);
+
+  const auto overlapped = sched::plan_reconfiguration(
+      net, schedule, {.latency = 3, .overlap = true});
+  EXPECT_GT(overlapped.dirty_transitions, 0);
+  EXPECT_EQ(overlapped.stalled_transitions, overlapped.dirty_transitions);
+  EXPECT_EQ(overlapped.overlap_hidden, 0);
+  EXPECT_EQ(overlapped.frame_overhead(),
+            3 * overlapped.stalled_transitions);
+
+  // Claiming those transitions are free violates the legality rule.
+  const core::SwitchProgram program(net, schedule);
+  const std::vector<std::int64_t> all_free(
+      static_cast<std::size_t>(schedule.degree()), 0);
+  const auto violation = sched::verify_overlap_legality(program, all_free);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("in use in both adjacent slots"),
+            std::string::npos);
+}
+
+TEST(OverlapLegality, EmptyVectorIsAlwaysLegalAndSizeIsChecked) {
+  topo::TorusNetwork net(4, 4);
+  const auto schedule =
+      concat(compile(net, band(net, 0)), compile(net, band(net, 2)));
+  const core::SwitchProgram program(net, schedule);
+  EXPECT_EQ(sched::verify_overlap_legality(program, {}), std::nullopt);
+  const std::vector<std::int64_t> wrong_size{0};
+  const auto violation =
+      sched::verify_overlap_legality(program, wrong_size);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("entries"), std::string::npos);
+}
+
+TEST(FreshLoadCost, ScalesWithLatencyAndDegree) {
+  EXPECT_EQ(sched::fresh_load_cost(0, 5), 0);
+  EXPECT_EQ(sched::fresh_load_cost(3, 4), 12);
+  EXPECT_EQ(sched::fresh_load_cost(3, 0), 0);
+  EXPECT_EQ(sched::fresh_load_cost(3, -2), 0);  // degree clamps at 0
+}
+
+TEST(DecideReuse, NeverReusesUnderFreeReconfiguration) {
+  const auto decision = sched::decide_reuse(0, 6, 4, 2);
+  EXPECT_FALSE(decision.reuse);
+  EXPECT_EQ(decision.fresh_cost, 0);
+  EXPECT_EQ(decision.reuse_cost, 4);  // (6-4) degrees * 2 frames
+}
+
+TEST(DecideReuse, WeighsDegreePenaltyAgainstLoadBill) {
+  // Short horizon: 2 extra slots/frame * 2 frames = 4 < 10*4 load bill.
+  const auto keep = sched::decide_reuse(10, 6, 4, 2);
+  EXPECT_TRUE(keep.reuse);
+  EXPECT_EQ(keep.fresh_cost, 40);
+  EXPECT_EQ(keep.reuse_cost, 4);
+
+  // Long horizon: the stale degree penalty dominates.
+  const auto recompile = sched::decide_reuse(10, 6, 4, 30);
+  EXPECT_FALSE(recompile.reuse);
+  EXPECT_EQ(recompile.reuse_cost, 60);
+
+  // A stale schedule no worse than fresh is free to keep running.
+  const auto equal = sched::decide_reuse(10, 4, 4, 100);
+  EXPECT_TRUE(equal.reuse);
+  EXPECT_EQ(equal.reuse_cost, 0);
+}
+
+}  // namespace

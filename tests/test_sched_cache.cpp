@@ -404,6 +404,42 @@ TEST(ScheduleCache, LruEvictsTheColdestEntry) {
   EXPECT_EQ(cache.stats().evictions, 1);
 }
 
+TEST(ScheduleCache, UnknownWinnerStringIsRejectedAndQuarantined) {
+  // The winner field has a closed vocabulary ("", "coloring",
+  // "ordered-aapc"); anything else is bitrot and must never reach the
+  // pipeline's enum mapping.
+  topo::TorusNetwork net(4, 4);
+  const auto dir = fresh_dir("winner");
+  const auto pattern = patterns::ring(net.node_count());
+  const auto key =
+      apps::make_cache_key(net, pattern, "combined", sched::SchedOptions{});
+  {
+    apps::ScheduleCache::Options options;
+    options.disk_dir = dir;
+    apps::ScheduleCache writer(net, options);
+    writer.store(key, compile_ring(net));
+  }
+  const auto path = entry_file(dir, key);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  auto text = buffer.str();
+  const auto pos = text.find("\"coloring\"");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 10, "\"c0l0ring\"");
+  std::ofstream(path) << text;
+
+  apps::ScheduleCache::Options options;
+  options.disk_dir = dir;
+  apps::ScheduleCache cache(net, options);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().disk_rejects, 1);
+  EXPECT_EQ(cache.stats().disk_quarantined, 1);
+  EXPECT_TRUE(std::filesystem::exists(path + ".quarantined"));
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ScheduleCache, HashIsStableAcrossProcessesByConstruction) {
   // FNV-1a of a pinned canonical string: the on-disk addresses must never
   // change between builds, or every persisted cache silently goes cold.

@@ -47,11 +47,15 @@ apps::SweepGrid shard_grid() {
       {"faulty", {0.02, 0.05, 1024, 256, 0.05, false, 0xfa017}},
   };
   grid.seeds = {7, 8};
+  // A two-level reconfig axis so the shard wire format's reconfig
+  // coordinate (v3) is exercised by every merge in this file.
+  grid.reconfig = {{"R=0", {}}, {"R=4+ov", {.latency = 4, .overlap = true}}};
   return grid;
 }
 
 void digest_cell(std::ostream& out, const apps::CompiledCell& cell) {
-  out << 'c' << cell.phase << ',' << cell.fault << ',' << cell.degree << ','
+  out << 'c' << cell.phase << ',' << cell.fault << ',' << cell.reconfig
+      << ',' << cell.degree << ','
       << cell.cache_hit << ',' << cell.missing << ','
       << cell.result.total_slots << ',' << cell.result.degree << ','
       << cell.result.faults.payloads_lost << ','
@@ -302,6 +306,7 @@ TEST(Shard, SalvagePolicyMarksTheLostCellsMissing) {
       ++missing;
       EXPECT_EQ(cell.phase, serial.compiled[i].phase);
       EXPECT_EQ(cell.fault, serial.compiled[i].fault);
+      EXPECT_EQ(cell.reconfig, serial.compiled[i].reconfig);
       continue;
     }
     std::ostringstream got, want;

@@ -51,6 +51,26 @@ TEST(SimDynamic, LongerPathsCostMoreControlTime) {
   EXPECT_GT(far.messages[0].established, near.messages[0].established);
 }
 
+TEST(SimDynamic, ReconfigSlotsDelayDataAfterEstablishment) {
+  topo::TorusNetwork net(8, 8);
+  const std::vector<Message> messages{{{0, 1}, 10}};
+  const auto base = simulate_dynamic(net, messages, quiet_params(1));
+  auto slow = quiet_params(1);
+  slow.reconfig_slots = 6;
+  const auto delayed = simulate_dynamic(net, messages, slow);
+  ASSERT_TRUE(delayed.completed);
+  // The reservation handshake is unchanged; only the switch-setting time
+  // between ACK and first payload grows.
+  EXPECT_EQ(delayed.messages[0].established, base.messages[0].established);
+  EXPECT_EQ(delayed.messages[0].completed,
+            base.messages[0].completed + 6);
+
+  auto invalid = quiet_params(1);
+  invalid.reconfig_slots = -1;
+  EXPECT_THROW(simulate_dynamic(net, messages, invalid),
+               std::invalid_argument);
+}
+
 TEST(SimDynamic, HigherDegreeStretchesDataTime) {
   topo::TorusNetwork net(8, 8);
   const std::vector<Message> messages{{{0, 1}, 20}};

@@ -58,8 +58,9 @@ apps::SweepGrid small_grid() {
 std::string digest(const apps::SweepResult& sweep) {
   std::ostringstream out;
   for (const auto& cell : sweep.compiled)
-    out << 'c' << cell.phase << ',' << cell.fault << ',' << cell.degree
-        << ',' << cell.cache_hit << ',' << cell.result.total_slots << ','
+    out << 'c' << cell.phase << ',' << cell.fault << ',' << cell.reconfig
+        << ',' << cell.degree << ',' << cell.cache_hit << ','
+        << cell.result.total_slots << ','
         << cell.result.faults.payloads_lost << ';';
   for (const auto& cell : sweep.dynamic) {
     out << 'd' << cell.phase << ',' << cell.fault << ',' << cell.variant
@@ -76,7 +77,14 @@ std::string digest(const apps::SweepResult& sweep) {
 std::string run_digest_grid() {
   topo::TorusNetwork net(8, 8);
   apps::SweepRunner runner(net);
-  return digest(runner.run(small_grid()));
+  // The base grid plus a reconfig-axis variant, so thread invariance also
+  // covers the R-aware stall planning inside parallel cells.
+  auto reconfig_grid = small_grid();
+  reconfig_grid.reconfig = {{"R=0", {}},
+                            {"R=4", {.latency = 4}},
+                            {"R=4+ov", {.latency = 4, .overlap = true}}};
+  return digest(runner.run(small_grid())) + '#' +
+         digest(runner.run(reconfig_grid));
 }
 
 TEST(Sweep, ExpansionOrderIsPhaseFaultVariantSeed) {
@@ -226,6 +234,46 @@ TEST(Sweep, DynamicBatchMatchesSerialRuns) {
     EXPECT_EQ(batch[i].total_slots, direct.total_slots);
     EXPECT_EQ(batch[i].total_retries, direct.total_retries);
   }
+}
+
+TEST(Sweep, ReconfigAxisExpandsInnermostAndPreservesTheBase) {
+  topo::TorusNetwork net(8, 8);
+  auto grid = small_grid();
+  grid.dynamic.clear();  // the axis applies to compiled cells only
+  grid.seeds.clear();
+  apps::SweepRunner runner(net);
+  const auto base = runner.run(grid);
+
+  grid.reconfig = {{"R=0", {}},
+                   {"R=4", {.latency = 4}},
+                   {"R=4+ov", {.latency = 4, .overlap = true}}};
+  const auto sweep = runner.run(grid);
+  ASSERT_EQ(sweep.reconfig_count, 3u);
+  ASSERT_EQ(sweep.compiled.size(), 2u * 2u * 3u);
+
+  std::size_t i = 0;
+  for (std::size_t p = 0; p < 2; ++p)
+    for (std::size_t f = 0; f < 2; ++f)
+      for (std::size_t r = 0; r < 3; ++r, ++i) {
+        EXPECT_EQ(sweep.compiled[i].phase, p);
+        EXPECT_EQ(sweep.compiled[i].fault, f);
+        EXPECT_EQ(sweep.compiled[i].reconfig, r);
+        EXPECT_EQ(&sweep.compiled_cell(p, f, r), &sweep.compiled[i]);
+      }
+
+  for (std::size_t p = 0; p < 2; ++p)
+    for (std::size_t f = 0; f < 2; ++f) {
+      // The R=0 level is the no-axis sweep, cell for cell; R=4 can only
+      // add stall slots, and overlap can only take some back.
+      const auto& free_level = sweep.compiled_cell(p, f, 0);
+      const auto& plain = sweep.compiled_cell(p, f, 1);
+      const auto& overlapped = sweep.compiled_cell(p, f, 2);
+      const auto& reference = base.compiled_cell(p, f);
+      EXPECT_EQ(free_level.degree, reference.degree);
+      EXPECT_EQ(free_level.result.total_slots, reference.result.total_slots);
+      EXPECT_GE(plain.result.total_slots, free_level.result.total_slots);
+      EXPECT_LE(overlapped.result.total_slots, plain.result.total_slots);
+    }
 }
 
 TEST(Sweep, ByteIdenticalAcrossThreadCounts) {

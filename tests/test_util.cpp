@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <vector>
 
@@ -128,6 +129,22 @@ TEST(Percentile, EmptySampleIsZero) {
   EXPECT_EQ(percentile(std::vector<double>{}, 50), 0.0);
 }
 
+TEST(Percentile, SingleSampleAnswersEveryP) {
+  const std::vector<double> v{7.5};
+  for (const double p : {0.0, 50.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(percentile(v, p), 7.5) << "p=" << p;
+}
+
+TEST(Percentile, TwoSamplesFollowNearestRank) {
+  // rank = ceil(p/100 * 2): p=0 and p=50 select the first sample (rank
+  // 0 clamps to 1, rank 1), anything above 50 the second.
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 99), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 2.0);
+}
+
 TEST(HistogramTest, BucketsAndOverflow) {
   Histogram h({0, 10, 20});
   h.add(0);
@@ -139,6 +156,27 @@ TEST(HistogramTest, BucketsAndOverflow) {
   EXPECT_EQ(h.count(0), 2u);
   EXPECT_EQ(h.count(1), 1u);
   EXPECT_EQ(h.count(2), 1u);
+}
+
+TEST(HistogramTest, TracksUnderflowAndTotalExplicitly) {
+  Histogram h({0, 10, 20});
+  h.add(-1);
+  h.add(-100);
+  h.add(5);
+  h.add(25);
+  EXPECT_EQ(h.underflow(), 2u);  // below the first edge, not in a bucket
+  EXPECT_EQ(h.total(), 4u);      // every add, dropped or not
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(h.overflow_bucket()), 1u);
+}
+
+TEST(HistogramTest, ExposesBucketEdgesAndTheOpenEndedTail) {
+  Histogram h({0, 10, 20});
+  EXPECT_EQ(h.overflow_bucket(), 2u);
+  EXPECT_DOUBLE_EQ(h.upper_edge(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.upper_edge(1), 20.0);
+  EXPECT_TRUE(std::isinf(h.upper_edge(h.overflow_bucket())));
+  EXPECT_THROW(h.upper_edge(3), std::out_of_range);
 }
 
 TEST(HistogramTest, RejectsUnsortedEdges) {

@@ -90,6 +90,24 @@ def check_report(report, path):
         util = slot.get("utilization", 0.0)
         if not 0.0 <= util <= 1.0:
             problems.append(f"slots[{i}] utilization {util} outside [0, 1]")
+
+    sched = report.get("sched", {})
+    for field in ("reconfig_slots_paid", "reuse_decisions",
+                  "reuse_kept_stale", "reconfig_stall_slots",
+                  "reconfig_overlap_hidden"):
+        value = sched.get(field)
+        if value is None:
+            continue
+        if not isinstance(value, int) or value < 0:
+            problems.append(
+                f"sched.{field} should be a non-negative int when "
+                f"present, got {value!r}")
+    kept = sched.get("reuse_kept_stale")
+    decisions = sched.get("reuse_decisions")
+    if kept is not None and decisions is not None and kept > decisions:
+        problems.append(
+            f"sched.reuse_kept_stale ({kept}) exceeds "
+            f"sched.reuse_decisions ({decisions})")
     return problems
 
 
