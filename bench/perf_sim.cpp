@@ -136,9 +136,11 @@ void BM_DynamicSimFaulted(benchmark::State& state) {
   spec.flap_probability = 0.05;
   spec.ctrl_loss = 0.05;
   const auto timeline = sim::random_fault_timeline(torus(), spec);
+  sim::SimOptions faulted;
+  faulted.faults = &timeline;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        sim::simulate_dynamic(torus(), messages, params, timeline, nullptr)
+        sim::simulate_dynamic(torus(), messages, params, faulted)
             .total_slots);
   }
 }

@@ -73,8 +73,10 @@ int main(int argc, char** argv) {
 
   // --- Compiled engine, traced. ---
   obs::Trace compiled_trace;
+  sim::SimOptions compiled_options;
+  compiled_options.trace = &compiled_trace;
   const auto compiled = sim::simulate_compiled(phase.schedule, messages, {},
-                                               &compiled_trace);
+                                               compiled_options);
   std::cout << "\ncompiled engine: " << compiled.total_slots << " slots, "
             << compiled_trace.events().size() << " trace events ("
             << compiled_trace.count("payload") << " payload spans)\n";
@@ -94,8 +96,10 @@ int main(int argc, char** argv) {
   params.seed = static_cast<std::uint64_t>(seed);
 
   obs::Trace trace;
-  const auto run = sim::simulate_dynamic(net, messages, params, timeline,
-                                         &trace);
+  sim::SimOptions dyn_options;
+  dyn_options.faults = &timeline;
+  dyn_options.trace = &trace;
+  const auto run = sim::simulate_dynamic(net, messages, params, dyn_options);
   const auto report = obs::report_dynamic(net, messages, run, params);
 
   std::cout << "\ndynamic engine under faults (K=" << params.multiplexing_degree

@@ -283,28 +283,37 @@ CompiledPhase Pipeline::cold_compile(const core::RequestSet& pattern,
 }
 
 PhaseCompilation Pipeline::compile_phase(const core::RequestSet& pattern) {
+  return compile_phase(pattern, options_.sched.counters);
+}
+
+PhaseCompilation Pipeline::compile_phase(const core::RequestSet& pattern,
+                                         obs::SchedCounters* counters) {
   const bool combined = compiler_ != nullptr;
   if (!cache_)
-    return PhaseCompilation{cold_compile(pattern, options_.sched.counters),
-                            false};
+    return PhaseCompilation{cold_compile(pattern, counters), false, false};
 
   const CacheStats before = cache_->stats();
   const auto key = make_cache_key(*net_, pattern, scheduler_->name(),
                                   options_.sched);
   PhaseCompilation result;
-  if (auto hit = cache_->lookup(key)) {
+  bool from_disk = false;
+  if (auto hit = cache_->lookup(key, &from_disk)) {
     result = from_cached(std::move(*hit));
+    result.disk_hit = from_disk;
   } else {
-    result.phase = cold_compile(pattern, options_.sched.counters);
+    result.phase = cold_compile(pattern, counters);
     cache_->store(key, to_cached(result.phase, combined));
   }
-  if (auto* counters = options_.sched.counters) {
-    const CacheStats after = cache_->stats();
-    counters->cache_memory_hits = after.memory_hits - before.memory_hits;
-    counters->cache_disk_hits = after.disk_hits - before.disk_hits;
-    counters->cache_misses = after.misses - before.misses;
+  if (counters) {
+    // This call's own cache traffic, from its lookup outcome — exact even
+    // when concurrent requests share the cache (aggregate-stats deltas
+    // would interleave).
+    counters->cache_memory_hits = (result.cache_hit && !result.disk_hit) ? 1 : 0;
+    counters->cache_disk_hits = result.disk_hit ? 1 : 0;
+    counters->cache_misses = result.cache_hit ? 0 : 1;
     // Incident counter: only surfaces when something was quarantined, so
     // healthy runs keep their report documents unchanged.
+    const CacheStats after = cache_->stats();
     if (after.disk_quarantined > before.disk_quarantined)
       counters->cache_quarantined =
           after.disk_quarantined - before.disk_quarantined;

@@ -71,6 +71,11 @@ struct PhaseCompilation {
   CompiledPhase phase;
   /// True when the schedule came out of the cache (either tier).
   bool cache_hit = false;
+  /// True when the hit came from the on-disk tier specifically (implies
+  /// `cache_hit`).  Per-request provenance: exact even when many
+  /// concurrent requests share one cache, where aggregate stats deltas
+  /// would interleave.
+  bool disk_hit = false;
 };
 
 /// What the stitching pass found at each phase boundary.
@@ -134,6 +139,16 @@ class Pipeline {
   /// Compiles one pattern through the cache.  A warm hit returns a
   /// byte-identical schedule to the cold compile it memoizes.
   PhaseCompilation compile_phase(const core::RequestSet& pattern);
+
+  /// Per-call-counters variant: identical compilation, but the scheduling
+  /// timings and this call's cache traffic land in `counters` instead of
+  /// the construction-time `options().sched.counters`.  This is the entry
+  /// point for callers that share one `Pipeline` across concurrent
+  /// requests and still want exact per-request accounting (the
+  /// compilation service); passing `options().sched.counters` reproduces
+  /// `compile_phase(pattern)` exactly.
+  PhaseCompilation compile_phase(const core::RequestSet& pattern,
+                                 obs::SchedCounters* counters);
 
   /// Outcome of a reuse-vs-recompile decision.
   struct ReuseCompilation {

@@ -183,8 +183,11 @@ RecoveryResult run_with_recovery(const CommCompiler& compiler,
     std::vector<sim::Message> batch;
     batch.reserve(pending.size());
     for (const auto i : pending) batch.push_back(messages[i]);
+    sim::SimOptions round_options;
+    round_options.faults = &faults;
+    round_options.start_slot = clock;
     const auto run =
-        sim::simulate_compiled(schedule, batch, round_params, faults, clock);
+        sim::simulate_compiled(schedule, batch, round_params, round_options);
     if (trace)
       trace->span(trace->track("recovery"),
                   "round " + std::to_string(round), "round", clock,

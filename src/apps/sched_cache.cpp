@@ -119,8 +119,10 @@ ScheduleCache::ScheduleCache(const topo::Network& net, Options options)
   if (options_.capacity == 0) options_.capacity = 1;
 }
 
-std::optional<CachedCompilation> ScheduleCache::lookup(const CacheKey& key) {
+std::optional<CachedCompilation> ScheduleCache::lookup(const CacheKey& key,
+                                                       bool* from_disk) {
   std::lock_guard lock(mutex_);
+  if (from_disk) *from_disk = false;
   if (key.topology != fingerprint_) {
     ++stats_.misses;
     return std::nullopt;
@@ -134,6 +136,7 @@ std::optional<CachedCompilation> ScheduleCache::lookup(const CacheKey& key) {
   if (!options_.disk_dir.empty()) {
     if (auto loaded = disk_lookup(key, canonical)) {
       ++stats_.disk_hits;
+      if (from_disk) *from_disk = true;
       auto copy = *loaded;
       insert_locked(std::move(canonical), std::move(*loaded));
       return copy;

@@ -132,8 +132,12 @@ class ScheduleCache {
   /// Returns the cached compilation for `key`, or nullopt.  Checks the
   /// memory tier, then the disk tier (a disk hit is promoted into
   /// memory).  A key whose topology fingerprint is not this cache's
-  /// network is always a miss.
-  std::optional<CachedCompilation> lookup(const CacheKey& key);
+  /// network is always a miss.  When `from_disk` is non-null it is set to
+  /// whether the hit came from the disk tier — per-lookup provenance that
+  /// stays exact when many requests share one cache (the aggregate
+  /// `stats()` deltas interleave under concurrency).
+  std::optional<CachedCompilation> lookup(const CacheKey& key,
+                                          bool* from_disk = nullptr);
 
   /// Inserts (or refreshes) an entry; evicts the least-recently-used
   /// entry when over capacity, and (when the disk tier is enabled)

@@ -438,9 +438,10 @@ void SweepRunner::run_cells(const SweepGrid& grid, SweepResult& out,
     cell.phase = rest / out.variant_count / out.fault_count;
     auto params = grid.dynamic[cell.variant].params;
     if (!grid.seeds.empty()) params.seed = grid.seeds[cell.seed];
-    cell.result =
-        sim::simulate_dynamic(*net_, grid.phases[cell.phase].messages, params,
-                              out.timelines[cell.fault], nullptr);
+    sim::SimOptions cell_options;
+    cell_options.faults = &out.timelines[cell.fault];
+    cell.result = sim::simulate_dynamic(*net_, grid.phases[cell.phase].messages,
+                                        params, cell_options);
   });
 }
 
@@ -888,9 +889,10 @@ std::vector<sim::DynamicResult> run_dynamic_batch(
   std::vector<sim::DynamicResult> results(runs.size());
   util::parallel_for(runs.size(), [&](std::size_t i) {
     const auto& run = runs[i];
-    results[i] = sim::simulate_dynamic(
-        net, run.messages, run.params,
-        run.faults != nullptr ? *run.faults : kHealthy, nullptr);
+    sim::SimOptions run_options;
+    run_options.faults = run.faults != nullptr ? run.faults : &kHealthy;
+    results[i] =
+        sim::simulate_dynamic(net, run.messages, run.params, run_options);
   });
   return results;
 }

@@ -230,22 +230,6 @@ CompiledResult simulate_compiled(const core::Schedule& schedule,
   return result;
 }
 
-CompiledResult simulate_compiled(const core::Schedule& schedule,
-                                 std::span<const Message> messages,
-                                 const CompiledParams& params,
-                                 obs::Trace* trace) {
-  return run_analytic(schedule, messages, params, trace);
-}
-
-CompiledResult simulate_compiled(const core::Schedule& schedule,
-                                 std::span<const Message> messages,
-                                 const CompiledParams& params,
-                                 const FaultTimeline& faults,
-                                 std::int64_t start_slot,
-                                 obs::Trace* trace) {
-  return run_faulted(schedule, messages, params, faults, start_slot, trace);
-}
-
 CompiledResult simulate_compiled_stepped(const core::Schedule& schedule,
                                          std::span<const Message> messages,
                                          const CompiledParams& params) {

@@ -7,7 +7,6 @@
 #include "sim/faults.hpp"
 #include "sim/message.hpp"
 #include "sim/options.hpp"
-#include "util/compat.hpp"
 
 /// \file compiled.hpp
 /// Simulation of compiled communication on a TDM network (paper Section 4).
@@ -92,23 +91,6 @@ CompiledResult simulate_compiled(const core::Schedule& schedule,
                                  std::span<const Message> messages,
                                  const CompiledParams& params = {},
                                  const SimOptions& options = {});
-
-/// Legacy positional-trace overload; prefer `SimOptions`.
-OPTDM_DEPRECATED("use the SimOptions overload")
-CompiledResult simulate_compiled(const core::Schedule& schedule,
-                                 std::span<const Message> messages,
-                                 const CompiledParams& params,
-                                 obs::Trace* trace);
-
-/// Legacy positional fault overload; prefer `SimOptions`.  An inactive
-/// timeline reproduces the plain run byte for byte.
-OPTDM_DEPRECATED("use the SimOptions overload")
-CompiledResult simulate_compiled(const core::Schedule& schedule,
-                                 std::span<const Message> messages,
-                                 const CompiledParams& params,
-                                 const FaultTimeline& faults,
-                                 std::int64_t start_slot = 0,
-                                 obs::Trace* trace = nullptr);
 
 /// Reference slot-by-slot simulation used by tests to cross-validate the
 /// analytic model; identical results, O(total time x connections).

@@ -890,22 +890,4 @@ DynamicResult simulate_dynamic(const topo::Network& net,
   return result;
 }
 
-DynamicResult simulate_dynamic(const topo::Network& net,
-                               std::span<const Message> messages,
-                               const DynamicParams& params,
-                               obs::Trace* trace) {
-  static const FaultTimeline kHealthy;
-  Simulator sim(net, messages, params, kHealthy, trace);
-  return sim.run();
-}
-
-DynamicResult simulate_dynamic(const topo::Network& net,
-                               std::span<const Message> messages,
-                               const DynamicParams& params,
-                               const FaultTimeline& faults,
-                               obs::Trace* trace) {
-  Simulator sim(net, messages, params, faults, trace);
-  return sim.run();
-}
-
 }  // namespace optdm::sim

@@ -7,7 +7,6 @@
 #include "sim/message.hpp"
 #include "sim/options.hpp"
 #include "topo/network.hpp"
-#include "util/compat.hpp"
 
 /// \file dynamic.hpp
 /// Cycle-level simulation of dynamically controlled communication on a
@@ -197,21 +196,5 @@ DynamicResult simulate_dynamic(const topo::Network& net,
                                std::span<const Message> messages,
                                const DynamicParams& params,
                                const SimOptions& options = {});
-
-/// Legacy positional-trace overload; prefer `SimOptions`.
-OPTDM_DEPRECATED("use the SimOptions overload")
-DynamicResult simulate_dynamic(const topo::Network& net,
-                               std::span<const Message> messages,
-                               const DynamicParams& params,
-                               obs::Trace* trace);
-
-/// Legacy positional fault overload; prefer `SimOptions`.  An inactive
-/// timeline reproduces the plain variant byte for byte.
-OPTDM_DEPRECATED("use the SimOptions overload")
-DynamicResult simulate_dynamic(const topo::Network& net,
-                               std::span<const Message> messages,
-                               const DynamicParams& params,
-                               const FaultTimeline& faults,
-                               obs::Trace* trace = nullptr);
 
 }  // namespace optdm::sim

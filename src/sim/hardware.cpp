@@ -302,29 +302,4 @@ CompiledResult execute_on_hardware(const topo::Network& net,
   return result;
 }
 
-CompiledResult execute_on_hardware(const topo::Network& net,
-                                   const core::Schedule& schedule,
-                                   const core::SwitchProgram& program,
-                                   std::span<const Message> messages,
-                                   const CompiledParams& params,
-                                   obs::Trace* trace) {
-  return execute_impl(net, schedule, program, messages, params, nullptr, 0,
-                      trace);
-}
-
-CompiledResult execute_on_hardware(const topo::Network& net,
-                                   const core::Schedule& schedule,
-                                   const core::SwitchProgram& program,
-                                   std::span<const Message> messages,
-                                   const CompiledParams& params,
-                                   const FaultTimeline& faults,
-                                   std::int64_t start_slot,
-                                   obs::Trace* trace) {
-  if (!faults.has_link_faults())
-    return execute_impl(net, schedule, program, messages, params, nullptr,
-                        start_slot, trace);
-  return execute_impl(net, schedule, program, messages, params, &faults,
-                      start_slot, trace);
-}
-
 }  // namespace optdm::sim

@@ -47,25 +47,4 @@ CompiledResult execute_on_hardware(const topo::Network& net,
                                    const CompiledParams& params = {},
                                    const SimOptions& options = {});
 
-/// Legacy positional-trace overload; prefer `SimOptions`.
-OPTDM_DEPRECATED("use the SimOptions overload")
-CompiledResult execute_on_hardware(const topo::Network& net,
-                                   const core::Schedule& schedule,
-                                   const core::SwitchProgram& program,
-                                   std::span<const Message> messages,
-                                   const CompiledParams& params,
-                                   obs::Trace* trace);
-
-/// Legacy positional fault overload; prefer `SimOptions`.  An inactive
-/// timeline reproduces the strict variant exactly.
-OPTDM_DEPRECATED("use the SimOptions overload")
-CompiledResult execute_on_hardware(const topo::Network& net,
-                                   const core::Schedule& schedule,
-                                   const core::SwitchProgram& program,
-                                   std::span<const Message> messages,
-                                   const CompiledParams& params,
-                                   const FaultTimeline& faults,
-                                   std::int64_t start_slot = 0,
-                                   obs::Trace* trace = nullptr);
-
 }  // namespace optdm::sim

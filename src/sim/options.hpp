@@ -17,9 +17,10 @@
 ///     auto result = sim::simulate_compiled(schedule, messages, {}, options);
 ///
 /// A default-constructed `SimOptions` is the no-op configuration: results
-/// are byte-identical to the legacy no-trace, no-fault code paths (pinned
-/// by the table and trace diff tests).  The legacy positional overloads
-/// remain as forwarding compatibility wrappers.
+/// are byte-identical to the pre-`SimOptions` no-trace, no-fault code
+/// paths (pinned by the table and trace diff tests).  The old positional
+/// overloads (nullable `Trace*` / `FaultTimeline` parameters) have been
+/// removed; `SimOptions` is the only way to pass cross-cutting inputs.
 
 namespace optdm::obs {
 class ReportSink;

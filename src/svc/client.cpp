@@ -1,0 +1,120 @@
+#include "svc/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/failure.hpp"
+
+namespace optdm::svc {
+
+namespace {
+
+using util::Failure;
+using util::FailureCode;
+
+}  // namespace
+
+Client::Client(Options options) : options_(std::move(options)) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw Failure(FailureCode::kSvcIo,
+                  std::string("socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw Failure(FailureCode::kInvalidConfig,
+                  "not an IPv4 address: " + options_.host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw Failure(FailureCode::kSvcIo,
+                  "connect " + options_.host + ":" +
+                      std::to_string(options_.port) + ": " + why);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Frame Client::round_trip(Frame request, FrameType expected) {
+  request.priority = options_.priority;
+  request.id = next_id_++;
+  write_frame(fd_, request);
+  auto response = read_frame(fd_);
+  if (!response)
+    throw Failure(FailureCode::kSvcIo,
+                  "daemon closed the connection before responding");
+  // Error frames are accepted regardless of id: a framing-level reject
+  // has no trustworthy request id to echo (the daemon sends id 0).
+  if (response->type == FrameType::kError) {
+    const auto error = decode_error(response->payload);
+    const auto code = util::code_from_string(error.code);
+    // An unknown code name means a newer daemon; surface it verbatim
+    // rather than inventing a category.
+    if (!code)
+      throw Failure(FailureCode::kSvcInternal,
+                    "daemon reported '" + error.code + "': " + error.message);
+    throw Failure(*code, error.message);
+  }
+  if (response->type != expected)
+    throw Failure(FailureCode::kFrameGarbled,
+                  "expected a " + std::string(to_string(expected)) +
+                      " frame, got " + std::string(to_string(response->type)));
+  if (response->id != request.id)
+    throw Failure(FailureCode::kFrameGarbled,
+                  "response id " + std::to_string(response->id) +
+                      " does not match request id " +
+                      std::to_string(request.id));
+  return *response;
+}
+
+CompileResponse Client::compile(const CompileRequest& request) {
+  Frame frame;
+  frame.type = FrameType::kCompileRequest;
+  frame.payload = encode(request);
+  const auto response =
+      round_trip(std::move(frame), FrameType::kCompileResponse);
+  return decode_compile_response(response.payload);
+}
+
+SimulateResponse Client::simulate(const SimulateRequest& request) {
+  Frame frame;
+  frame.type = FrameType::kSimulateRequest;
+  frame.payload = encode(request);
+  const auto response =
+      round_trip(std::move(frame), FrameType::kSimulateResponse);
+  return decode_simulate_response(response.payload);
+}
+
+void Client::ping() {
+  Frame frame;
+  frame.type = FrameType::kPing;
+  round_trip(std::move(frame), FrameType::kPong);
+}
+
+StatsWire Client::stats() {
+  Frame frame;
+  frame.type = FrameType::kStatsRequest;
+  const auto response =
+      round_trip(std::move(frame), FrameType::kStatsResponse);
+  return decode_stats(response.payload);
+}
+
+void Client::shutdown_server() {
+  Frame frame;
+  frame.type = FrameType::kShutdownRequest;
+  round_trip(std::move(frame), FrameType::kShutdownResponse);
+}
+
+}  // namespace optdm::svc

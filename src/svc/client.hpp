@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "svc/api.hpp"
+#include "svc/serialize.hpp"
+#include "svc/wire.hpp"
+
+/// \file client.hpp
+/// Socket transport of the service API.
+///
+/// `svc::Client` implements the same `svc::Service` interface as the
+/// in-process `svc::Engine`, so callers are written once against the
+/// request/response structs and pick a transport at runtime — the
+/// `--connect host:port` flag on `optdm_compile` / `optdm_sim` swaps an
+/// `Engine` for a `Client` and nothing else changes.
+///
+/// Error contract: a daemon-side reject arrives as an error frame whose
+/// body names the original `util::FailureCode`; the client rethrows it
+/// as a local `util::Failure` with the same code, so remote and local
+/// failures are handled by the same catch sites.  Transport problems
+/// (refused connection, broken stream) are `resource/svc-io`; a
+/// protocol-violating response is `corrupt/frame-garbled` (or the
+/// specific framing code).
+
+namespace optdm::svc {
+
+class Client : public Service {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /// Admission priority stamped on request frames.
+    Priority priority = Priority::kNormal;
+  };
+
+  /// Connects immediately; throws `resource/svc-io` when the daemon is
+  /// unreachable.
+  explicit Client(Options options);
+  ~Client() override;
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  CompileResponse compile(const CompileRequest& request) override;
+  SimulateResponse simulate(const SimulateRequest& request) override;
+
+  /// Round-trips a ping frame (liveness probe).
+  void ping();
+
+  /// Fetches the daemon's aggregate counters.
+  StatsWire stats();
+
+  /// Asks the daemon to shut down cleanly; returns once acknowledged.
+  void shutdown_server();
+
+ private:
+  /// Sends `request` and returns the response frame, which must carry
+  /// `expected` (an error frame is decoded and rethrown instead).
+  Frame round_trip(Frame request, FrameType expected);
+
+  Options options_;
+  int fd_ = -1;
+  std::uint32_t next_id_ = 1;
+};
+
+}  // namespace optdm::svc

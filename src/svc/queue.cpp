@@ -1,0 +1,83 @@
+#include "svc/queue.hpp"
+
+#include "util/failure.hpp"
+
+namespace optdm::svc {
+
+JobQueue::~JobQueue() { stop(StopMode::kAbort); }
+
+void JobQueue::start(std::size_t workers) {
+  std::lock_guard lock(mutex_);
+  if (!workers_.empty() || stopping_) return;
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this] {
+      Job job;
+      while (pop(&job)) {
+        job();
+        job = nullptr;  // release captures before blocking in pop
+      }
+    });
+}
+
+void JobQueue::stop(StopMode mode) {
+  std::vector<std::thread> joinable;
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+    drain_ = mode == StopMode::kDrain;
+    if (!drain_) {
+      for (auto& bucket : buckets_) bucket.clear();
+      depth_ = 0;
+    }
+    joinable.swap(workers_);
+  }
+  ready_.notify_all();
+  for (auto& worker : joinable) worker.join();
+}
+
+void JobQueue::push(Priority priority, Job job) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_)
+      throw util::Failure(util::FailureCode::kSvcDraining,
+                          "service is shutting down");
+    if (depth_ >= capacity_)
+      throw util::Failure(util::FailureCode::kQueueFull,
+                          "queue is at capacity (" +
+                              std::to_string(capacity_) + " jobs)");
+    buckets_[static_cast<std::size_t>(priority)].push_back(std::move(job));
+    ++depth_;
+    if (depth_ > peak_) peak_ = depth_;
+  }
+  ready_.notify_one();
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard lock(mutex_);
+  return depth_;
+}
+
+std::size_t JobQueue::peak_depth() const {
+  std::lock_guard lock(mutex_);
+  return peak_;
+}
+
+bool JobQueue::pop(Job* out) {
+  std::unique_lock lock(mutex_);
+  ready_.wait(lock, [this] { return depth_ > 0 || stopping_; });
+  if (depth_ == 0) return false;        // stopping with nothing queued
+  if (stopping_ && !drain_) return false;
+  for (auto& bucket : buckets_) {
+    if (bucket.empty()) continue;
+    *out = std::move(bucket.front());
+    bucket.pop_front();
+    --depth_;
+    return true;
+  }
+  return false;  // unreachable: depth_ > 0 implies a non-empty bucket
+}
+
+}  // namespace optdm::svc

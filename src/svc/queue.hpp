@@ -1,0 +1,81 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "svc/wire.hpp"
+
+/// \file queue.hpp
+/// The daemon's admission-controlled job queue.
+///
+/// A bounded, prioritized work queue: jobs enter one of
+/// `kPriorityLevels` buckets and workers always drain the
+/// highest-priority non-empty bucket (interactive before normal before
+/// batch; FIFO within a bucket).  The bound is the daemon's backpressure
+/// valve — when `depth() == capacity`, `push` throws
+/// `resource/queue-full` and the connection layer turns that into an
+/// error frame instead of buffering unbounded work.
+///
+/// `stop(kDrain)` finishes queued jobs then joins the workers;
+/// `stop(kAbort)` discards queued jobs (running ones finish).  After
+/// either, `push` throws `resource/svc-draining`.
+
+namespace optdm::svc {
+
+class JobQueue {
+ public:
+  using Job = std::function<void()>;
+
+  enum class StopMode {
+    kDrain,  ///< run queued jobs to completion before joining
+    kAbort,  ///< drop queued jobs; only in-flight jobs finish
+  };
+
+  /// `capacity` bounds the *queued* (not in-flight) job count across all
+  /// priority buckets.
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Spawns `workers` worker threads (idempotent no-op if started).
+  void start(std::size_t workers);
+
+  /// Stops the workers and joins them.  Safe to call twice.
+  void stop(StopMode mode);
+
+  /// Enqueues a job at `priority`.  Throws `resource/queue-full` when the
+  /// queue is at capacity and `resource/svc-draining` after `stop`.
+  void push(Priority priority, Job job);
+
+  /// Jobs currently queued (not including in-flight).
+  std::size_t depth() const;
+
+  /// High-water mark of `depth()` over the queue's lifetime.
+  std::size_t peak_depth() const;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  /// Pops the next job by priority; blocks until one arrives or the
+  /// queue stops.  Returns false when the worker should exit.
+  bool pop(Job* out);
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::array<std::deque<Job>, kPriorityLevels> buckets_;
+  std::size_t depth_ = 0;
+  std::size_t peak_ = 0;
+  bool stopping_ = false;
+  bool drain_ = true;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace optdm::svc

@@ -1,0 +1,423 @@
+#include "svc/serialize.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/failure.hpp"
+
+namespace optdm::svc {
+
+namespace {
+
+using util::Failure;
+using util::FailureCode;
+
+[[noreturn]] void garbled(const std::string& why) {
+  throw Failure(FailureCode::kFrameGarbled, why);
+}
+
+/// Strict, order-sensitive reader over a line-oriented body.
+class Reader {
+ public:
+  explicit Reader(const std::string& body) : body_(body) {}
+
+  /// Consumes one line; throws if the body is exhausted.
+  std::string_view line() {
+    if (pos_ >= body_.size()) garbled("body ended early");
+    const auto nl = body_.find('\n', pos_);
+    if (nl == std::string::npos) garbled("unterminated line");
+    std::string_view out(body_.data() + pos_, nl - pos_);
+    pos_ = nl + 1;
+    return out;
+  }
+
+  /// Consumes `key value` and returns the value.
+  std::string_view value(std::string_view key) {
+    const auto l = line();
+    if (l.size() < key.size() + 2 || l.substr(0, key.size()) != key ||
+        l[key.size()] != ' ')
+      garbled("expected '" + std::string(key) + " <value>', got '" +
+              std::string(l) + "'");
+    return l.substr(key.size() + 1);
+  }
+
+  std::int64_t integer(std::string_view key) {
+    const auto v = value(key);
+    std::int64_t out = 0;
+    const auto [ptr, ec] =
+        std::from_chars(v.data(), v.data() + v.size(), out);
+    if (ec != std::errc{} || ptr != v.data() + v.size())
+      garbled("field '" + std::string(key) + "' is not an integer: '" +
+              std::string(v) + "'");
+    return out;
+  }
+
+  bool boolean(std::string_view key) {
+    const auto v = integer(key);
+    if (v != 0 && v != 1)
+      garbled("field '" + std::string(key) + "' is not 0/1");
+    return v == 1;
+  }
+
+  double real(std::string_view key) {
+    const auto v = value(key);
+    try {
+      std::size_t used = 0;
+      const double out = std::stod(std::string(v), &used);
+      if (used != v.size()) throw std::invalid_argument("trailing bytes");
+      return out;
+    } catch (const std::exception&) {
+      garbled("field '" + std::string(key) + "' is not a number: '" +
+              std::string(v) + "'");
+    }
+  }
+
+  /// Consumes a byte-prefixed block: `key <n>\n` then exactly n raw bytes
+  /// and a trailing newline.
+  std::string bytes(std::string_view key) {
+    const auto n = integer(key);
+    if (n < 0 || static_cast<std::size_t>(n) > body_.size() - pos_)
+      garbled("block '" + std::string(key) + "' overruns the body");
+    std::string out = body_.substr(pos_, static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    if (pos_ >= body_.size() || body_[pos_] != '\n')
+      garbled("block '" + std::string(key) + "' missing terminator");
+    ++pos_;
+    return out;
+  }
+
+  /// The body must end exactly here.
+  void finish() {
+    const auto l = line();
+    if (l != "end") garbled("expected 'end', got '" + std::string(l) + "'");
+    if (pos_ != body_.size()) garbled("trailing bytes after 'end'");
+  }
+
+ private:
+  const std::string& body_;
+  std::size_t pos_ = 0;
+};
+
+void expect_version(Reader& in, std::string_view kind) {
+  const auto l = in.line();
+  const std::string want = "optdm-svc " + std::string(kind) + " 1";
+  if (l != want)
+    garbled("expected '" + want + "', got '" + std::string(l) + "'");
+}
+
+void put_version(std::ostringstream& out, std::string_view kind) {
+  out << "optdm-svc " << kind << " 1\n";
+}
+
+void put_bytes(std::ostringstream& out, std::string_view key,
+               const std::string& data) {
+  out << key << ' ' << data.size() << '\n' << data << '\n';
+}
+
+void put_pattern(std::ostringstream& out, const core::RequestSet& pattern) {
+  out << "pattern " << pattern.size() << '\n';
+  for (const auto& request : pattern)
+    out << request.src << ' ' << request.dst << '\n';
+}
+
+core::RequestSet read_pattern(Reader& in) {
+  const auto n = in.integer("pattern");
+  if (n < 0 || n > 1'000'000) garbled("unreasonable pattern size");
+  core::RequestSet pattern;
+  pattern.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto l = in.line();
+    core::Request request;
+    const char* p = l.data();
+    const char* last = l.data() + l.size();
+    auto r1 = std::from_chars(p, last, request.src);
+    if (r1.ec != std::errc{} || r1.ptr == last || *r1.ptr != ' ')
+      garbled("malformed pattern line '" + std::string(l) + "'");
+    auto r2 = std::from_chars(r1.ptr + 1, last, request.dst);
+    if (r2.ec != std::errc{} || r2.ptr != last)
+      garbled("malformed pattern line '" + std::string(l) + "'");
+    pattern.push_back(request);
+  }
+  return pattern;
+}
+
+/// Field values embedded on a single line must not contain newlines or be
+/// empty; `-` is the canonical empty-string spelling.
+void put_token(std::ostringstream& out, std::string_view key,
+               const std::string& value) {
+  if (value.find('\n') != std::string::npos)
+    garbled("field '" + std::string(key) + "' contains a newline");
+  out << key << ' ' << (value.empty() ? "-" : value) << '\n';
+}
+
+std::string read_token(Reader& in, std::string_view key) {
+  const auto v = in.value(key);
+  return v == "-" ? std::string() : std::string(v);
+}
+
+}  // namespace
+
+std::string encode(const CompileRequest& request) {
+  std::ostringstream out;
+  put_version(out, "compile-request");
+  put_token(out, "topology", request.topology);
+  put_token(out, "scheduler", request.scheduler);
+  out << "use-cache " << (request.use_cache ? 1 : 0) << '\n';
+  out << "report " << (request.want_report ? 1 : 0) << '\n';
+  put_pattern(out, request.pattern);
+  out << "end\n";
+  return out.str();
+}
+
+CompileRequest decode_compile_request(const std::string& body) {
+  Reader in(body);
+  expect_version(in, "compile-request");
+  CompileRequest request;
+  request.topology = read_token(in, "topology");
+  request.scheduler = read_token(in, "scheduler");
+  request.use_cache = in.boolean("use-cache");
+  request.want_report = in.boolean("report");
+  request.pattern = read_pattern(in);
+  in.finish();
+  return request;
+}
+
+std::string encode(const CompileResponse& response) {
+  std::ostringstream out;
+  put_version(out, "compile-response");
+  out << "degree " << response.degree << '\n';
+  out << "lower-bound " << response.lower_bound << '\n';
+  put_token(out, "winner", response.winner);
+  out << "cache-hit " << (response.cache_hit ? 1 : 0) << '\n';
+  out << "disk-hit " << (response.disk_hit ? 1 : 0) << '\n';
+  out << "cache-enabled " << (response.cache_enabled ? 1 : 0) << '\n';
+  put_bytes(out, "schedule-bytes", response.schedule_text);
+  put_bytes(out, "report-bytes", response.report_json);
+  out << "end\n";
+  return out.str();
+}
+
+CompileResponse decode_compile_response(const std::string& body) {
+  Reader in(body);
+  expect_version(in, "compile-response");
+  CompileResponse response;
+  response.degree = static_cast<int>(in.integer("degree"));
+  response.lower_bound = static_cast<int>(in.integer("lower-bound"));
+  response.winner = read_token(in, "winner");
+  response.cache_hit = in.boolean("cache-hit");
+  response.disk_hit = in.boolean("disk-hit");
+  response.cache_enabled = in.boolean("cache-enabled");
+  response.schedule_text = in.bytes("schedule-bytes");
+  response.report_json = in.bytes("report-bytes");
+  in.finish();
+  return response;
+}
+
+std::string encode(const SimulateRequest& request) {
+  std::ostringstream out;
+  put_version(out, "simulate-request");
+  put_token(out, "topology", request.topology);
+  put_token(out, "scheduler", request.scheduler);
+  out << "use-cache " << (request.use_cache ? 1 : 0) << '\n';
+  out << "report " << (request.want_report ? 1 : 0) << '\n';
+  out << "slots " << request.slots << '\n';
+  out << "ks " << request.dynamic_ks.size() << '\n';
+  for (const int k : request.dynamic_ks) out << k << '\n';
+  out << "use-shards " << (request.use_shards ? 1 : 0) << '\n';
+  out << "shards " << request.shards.shards << '\n';
+  out << "shard-retries " << request.shards.policy.max_retries << '\n';
+  out << "shard-deadline-ms " << request.shards.policy.deadline_ms << '\n';
+  out << "shard-salvage "
+      << (request.shards.policy.on_exhaustion ==
+                  apps::ShardExhaustion::kSalvage
+              ? 1
+              : 0)
+      << '\n';
+  put_pattern(out, request.pattern);
+  out << "end\n";
+  return out.str();
+}
+
+SimulateRequest decode_simulate_request(const std::string& body) {
+  Reader in(body);
+  expect_version(in, "simulate-request");
+  SimulateRequest request;
+  request.topology = read_token(in, "topology");
+  request.scheduler = read_token(in, "scheduler");
+  request.use_cache = in.boolean("use-cache");
+  request.want_report = in.boolean("report");
+  request.slots = in.integer("slots");
+  const auto ks = in.integer("ks");
+  if (ks < 0 || ks > 1024) garbled("unreasonable ks count");
+  request.dynamic_ks.clear();
+  for (std::int64_t i = 0; i < ks; ++i) {
+    const auto l = in.line();
+    int k = 0;
+    const auto [ptr, ec] = std::from_chars(l.data(), l.data() + l.size(), k);
+    if (ec != std::errc{} || ptr != l.data() + l.size())
+      garbled("malformed K line '" + std::string(l) + "'");
+    request.dynamic_ks.push_back(k);
+  }
+  request.use_shards = in.boolean("use-shards");
+  request.shards.shards = static_cast<int>(in.integer("shards"));
+  request.shards.policy.max_retries =
+      static_cast<int>(in.integer("shard-retries"));
+  request.shards.policy.deadline_ms = in.integer("shard-deadline-ms");
+  request.shards.policy.on_exhaustion = in.boolean("shard-salvage")
+                                            ? apps::ShardExhaustion::kSalvage
+                                            : apps::ShardExhaustion::kFail;
+  request.pattern = read_pattern(in);
+  in.finish();
+  return request;
+}
+
+std::string encode(const SimulateResponse& response) {
+  std::ostringstream out;
+  put_version(out, "simulate-response");
+  out << "degree " << response.compiled.degree << '\n';
+  out << "lower-bound " << response.compiled.lower_bound << '\n';
+  put_token(out, "winner", response.compiled.winner);
+  out << "cache-hit " << (response.compiled.cache_hit ? 1 : 0) << '\n';
+  out << "disk-hit " << (response.compiled.disk_hit ? 1 : 0) << '\n';
+  out << "cache-enabled " << (response.compiled.cache_enabled ? 1 : 0)
+      << '\n';
+  out << "tdm-slots " << response.tdm_slots << '\n';
+  out << "wdm-slots " << response.wdm_slots << '\n';
+  out << "dynamic " << response.dynamic.size() << '\n';
+  for (const auto& row : response.dynamic)
+    out << row.k << ' ' << row.total_slots << ' ' << row.total_retries << ' '
+        << (row.completed ? 1 : 0) << ' ' << (row.missing ? 1 : 0) << '\n';
+  out << "paper-rows " << (response.has_paper_rows ? 1 : 0) << '\n';
+  out << "aapc-slots " << response.aapc_slots << '\n';
+  out << "multihop-degree " << response.multihop_degree << '\n';
+  out << "multihop-slots " << response.multihop_slots << '\n';
+  out << "multihop-completed " << (response.multihop_completed ? 1 : 0)
+      << '\n';
+  const auto& sup = response.supervision;
+  out << "supervision " << sup.retries << ' ' << sup.restarts_crashed << ' '
+      << sup.restarts_hung << ' ' << sup.restarts_corrupt << ' '
+      << sup.salvaged_cells << '\n';
+  put_bytes(out, "report-bytes", response.report_json);
+  out << "end\n";
+  return out.str();
+}
+
+SimulateResponse decode_simulate_response(const std::string& body) {
+  Reader in(body);
+  expect_version(in, "simulate-response");
+  SimulateResponse response;
+  response.compiled.degree = static_cast<int>(in.integer("degree"));
+  response.compiled.lower_bound =
+      static_cast<int>(in.integer("lower-bound"));
+  response.compiled.winner = read_token(in, "winner");
+  response.compiled.cache_hit = in.boolean("cache-hit");
+  response.compiled.disk_hit = in.boolean("disk-hit");
+  response.compiled.cache_enabled = in.boolean("cache-enabled");
+  response.tdm_slots = in.integer("tdm-slots");
+  response.wdm_slots = in.integer("wdm-slots");
+  const auto rows = in.integer("dynamic");
+  if (rows < 0 || rows > 1024) garbled("unreasonable dynamic row count");
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const auto l = in.line();
+    DynamicRow row;
+    int completed = 0;
+    int missing = 0;
+    std::istringstream fields{std::string(l)};
+    if (!(fields >> row.k >> row.total_slots >> row.total_retries >>
+          completed >> missing) ||
+        !fields.eof() || (completed | missing) > 1 ||
+        (completed | missing) < 0)
+      garbled("malformed dynamic row '" + std::string(l) + "'");
+    row.completed = completed == 1;
+    row.missing = missing == 1;
+    response.dynamic.push_back(row);
+  }
+  response.has_paper_rows = in.boolean("paper-rows");
+  response.aapc_slots = in.integer("aapc-slots");
+  response.multihop_degree = static_cast<int>(in.integer("multihop-degree"));
+  response.multihop_slots = in.integer("multihop-slots");
+  response.multihop_completed = in.boolean("multihop-completed");
+  {
+    const auto l = in.value("supervision");
+    auto& sup = response.supervision;
+    std::istringstream fields{std::string(l)};
+    if (!(fields >> sup.retries >> sup.restarts_crashed >>
+          sup.restarts_hung >> sup.restarts_corrupt >>
+          sup.salvaged_cells) ||
+        !fields.eof())
+      garbled("malformed supervision line '" + std::string(l) + "'");
+  }
+  response.report_json = in.bytes("report-bytes");
+  in.finish();
+  return response;
+}
+
+std::string encode(const StatsWire& stats) {
+  std::ostringstream out;
+  put_version(out, "stats");
+  out << "requests " << stats.requests << '\n';
+  out << "compiles " << stats.compiles << '\n';
+  out << "simulates " << stats.simulates << '\n';
+  out << "ok " << stats.ok << '\n';
+  out << "failed " << stats.failed << '\n';
+  out << "rejected-queue-full " << stats.rejected_queue_full << '\n';
+  out << "reports-emitted " << stats.reports_emitted << '\n';
+  out << "queue-depth " << stats.queue_depth << '\n';
+  out << "queue-peak " << stats.queue_peak << '\n';
+  out << "cache-memory-hits " << stats.cache_memory_hits << '\n';
+  out << "cache-disk-hits " << stats.cache_disk_hits << '\n';
+  out << "cache-misses " << stats.cache_misses << '\n';
+  out << "cache-insertions " << stats.cache_insertions << '\n';
+  out << "cache-hit-rate " << stats.cache_hit_rate << '\n';
+  out << "latency-count " << stats.latency_count << '\n';
+  out << "latency-p50-ms " << stats.latency_p50_ms << '\n';
+  out << "latency-p99-ms " << stats.latency_p99_ms << '\n';
+  out << "end\n";
+  return out.str();
+}
+
+StatsWire decode_stats(const std::string& body) {
+  Reader in(body);
+  expect_version(in, "stats");
+  StatsWire stats;
+  stats.requests = in.integer("requests");
+  stats.compiles = in.integer("compiles");
+  stats.simulates = in.integer("simulates");
+  stats.ok = in.integer("ok");
+  stats.failed = in.integer("failed");
+  stats.rejected_queue_full = in.integer("rejected-queue-full");
+  stats.reports_emitted = in.integer("reports-emitted");
+  stats.queue_depth = in.integer("queue-depth");
+  stats.queue_peak = in.integer("queue-peak");
+  stats.cache_memory_hits = in.integer("cache-memory-hits");
+  stats.cache_disk_hits = in.integer("cache-disk-hits");
+  stats.cache_misses = in.integer("cache-misses");
+  stats.cache_insertions = in.integer("cache-insertions");
+  stats.cache_hit_rate = in.real("cache-hit-rate");
+  stats.latency_count = in.integer("latency-count");
+  stats.latency_p50_ms = in.real("latency-p50-ms");
+  stats.latency_p99_ms = in.real("latency-p99-ms");
+  in.finish();
+  return stats;
+}
+
+std::string encode(const ErrorWire& error) {
+  std::ostringstream out;
+  put_version(out, "error");
+  put_token(out, "code", error.code);
+  put_bytes(out, "message-bytes", error.message);
+  out << "end\n";
+  return out.str();
+}
+
+ErrorWire decode_error(const std::string& body) {
+  Reader in(body);
+  expect_version(in, "error");
+  ErrorWire error;
+  error.code = read_token(in, "code");
+  error.message = in.bytes("message-bytes");
+  in.finish();
+  return error;
+}
+
+}  // namespace optdm::svc

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <string>
+
+#include "svc/api.hpp"
+
+/// \file serialize.hpp
+/// Frame-body serialization for the service wire protocol.
+///
+/// Bodies are line-oriented text: a versioned first line
+/// (`optdm-svc <kind> 1`), then the struct's fields as `key value` lines
+/// in canonical order, then `end`.  Variable-length blocks (the pattern,
+/// the schedule text, report JSON) are count- or byte-prefixed so the
+/// parser never scans for sentinels inside caller data.
+///
+/// Parsing is strict and symmetric with writing: fields must appear in
+/// canonical order, every value must parse, and the body must end exactly
+/// at `end` — anything else throws `corrupt/frame-garbled` with a
+/// diagnostic naming the offending line.  Strictness is the point: the
+/// daemon serves untrusted bytes, and a reject must be a structured
+/// `util::Failure`, not a misparse.
+
+namespace optdm::svc {
+
+std::string encode(const CompileRequest& request);
+CompileRequest decode_compile_request(const std::string& body);
+
+std::string encode(const CompileResponse& response);
+CompileResponse decode_compile_response(const std::string& body);
+
+std::string encode(const SimulateRequest& request);
+SimulateRequest decode_simulate_request(const std::string& body);
+
+std::string encode(const SimulateResponse& response);
+SimulateResponse decode_simulate_response(const std::string& body);
+
+/// The daemon's aggregate counters (stats-response body; see
+/// server.hpp's `ServerStats` for field meaning).
+struct StatsWire {
+  std::int64_t requests = 0;
+  std::int64_t compiles = 0;
+  std::int64_t simulates = 0;
+  std::int64_t ok = 0;
+  std::int64_t failed = 0;
+  std::int64_t rejected_queue_full = 0;
+  std::int64_t reports_emitted = 0;
+  std::int64_t queue_depth = 0;
+  std::int64_t queue_peak = 0;
+  std::int64_t cache_memory_hits = 0;
+  std::int64_t cache_disk_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t cache_insertions = 0;
+  /// hits / lookups over the caches' lifetime; 0 when no lookups yet.
+  double cache_hit_rate = 0.0;
+  std::int64_t latency_count = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+};
+
+std::string encode(const StatsWire& stats);
+StatsWire decode_stats(const std::string& body);
+
+/// Error-frame body: the failure's code name and message.
+struct ErrorWire {
+  std::string code;  ///< `util::to_string(FailureCode)` name
+  std::string message;
+};
+
+std::string encode(const ErrorWire& error);
+ErrorWire decode_error(const std::string& body);
+
+}  // namespace optdm::svc

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "util/failure.hpp"
+
+/// \file wire.hpp
+/// The optdm service wire protocol — versioned, length-prefixed frames.
+///
+/// Every message between `svc::Client` and the `optdm_served` daemon is
+/// one frame: a fixed 16-byte header followed by `length` payload bytes.
+///
+/// ```
+///   offset  size  field
+///   0       4     magic "OTDM"
+///   4       1     protocol version (kWireVersion)
+///   5       1     frame type (FrameType)
+///   6       1     priority (Priority; meaningful on requests)
+///   7       1     reserved, must be 0
+///   8       4     request id, big-endian (echoed in the response)
+///   12      4     payload length, big-endian (<= kMaxPayload)
+/// ```
+///
+/// The parser is strict, and every reject path is a structured
+/// `util::Failure` (the documented contract, pinned by tests):
+///
+///  * stream ends mid-header or mid-payload  -> `corrupt/frame-truncated`
+///  * bad magic, unknown type/priority, or a
+///    nonzero reserved byte                  -> `corrupt/frame-garbled`
+///  * declared length above `kMaxPayload`    -> `corrupt/frame-oversized`
+///  * version byte != `kWireVersion`         -> `fatal/frame-version`
+///  * `read`/`write` on the descriptor fails -> `resource/svc-io`
+///
+/// A stream that ends *between* frames is a clean close: `read_frame`
+/// returns nullopt, never an error.  Header validation happens before the
+/// payload is read, so an oversized or garbled frame costs 16 bytes, not
+/// an allocation — the daemon's first line of admission control.
+
+namespace optdm::svc {
+
+/// Protocol version this build speaks; bump on incompatible frame or
+/// body layout changes.
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Hard ceiling on one frame's payload (16 MiB) — far above any real
+/// request (a 64x64 all-to-all pattern is ~40 KiB), low enough that a
+/// garbled length field cannot drive an allocation bomb.
+inline constexpr std::uint32_t kMaxPayload = 16u << 20;
+
+/// Size of the fixed frame header.
+inline constexpr std::size_t kHeaderSize = 16;
+
+/// Every message kind the protocol carries.
+enum class FrameType : std::uint8_t {
+  kCompileRequest = 1,
+  kCompileResponse = 2,
+  kSimulateRequest = 3,
+  kSimulateResponse = 4,
+  kStatsRequest = 5,
+  kStatsResponse = 6,
+  kError = 7,
+  kPing = 8,
+  kPong = 9,
+  kShutdownRequest = 10,
+  kShutdownResponse = 11,
+};
+
+/// Admission-queue priority a request rides at; lower value = served
+/// first.  Responses echo the request's priority.
+enum class Priority : std::uint8_t {
+  kInteractive = 0,
+  kNormal = 1,
+  kBatch = 2,
+};
+
+/// Number of distinct priority levels (queue buckets).
+inline constexpr std::size_t kPriorityLevels = 3;
+
+std::string_view to_string(FrameType type);
+std::string_view to_string(Priority priority);
+/// Parses a priority name ("interactive" | "normal" | "batch").
+std::optional<Priority> priority_from_string(std::string_view name);
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  Priority priority = Priority::kNormal;
+  /// Caller-chosen correlation id; the daemon echoes it in the response.
+  std::uint32_t id = 0;
+  std::string payload;
+};
+
+/// The validated fields of a frame header.
+struct FrameHeader {
+  FrameType type;
+  Priority priority;
+  std::uint32_t id = 0;
+  std::uint32_t length = 0;
+};
+
+/// Encodes a frame's header into its 16 wire bytes.
+std::array<unsigned char, kHeaderSize> encode_header(const Frame& frame);
+
+/// Strictly validates 16 header bytes; throws `util::Failure` with the
+/// documented code for every reject (see the file comment).
+FrameHeader parse_header(std::span<const unsigned char, kHeaderSize> bytes);
+
+/// Writes one frame to `fd` (header + payload, handling short writes).
+/// Throws `resource/svc-io` on write failure.
+void write_frame(int fd, const Frame& frame);
+
+/// Reads one frame from `fd`.  Returns nullopt on a clean end-of-stream
+/// (no bytes available at a frame boundary); throws `util::Failure`
+/// otherwise (see the file comment for the code contract).
+std::optional<Frame> read_frame(int fd);
+
+}  // namespace optdm::svc

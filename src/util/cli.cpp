@@ -45,6 +45,13 @@ double CliArgs::get_double(std::string_view name, double fallback) const {
   return std::strtod(it->second.c_str(), nullptr);
 }
 
+std::vector<std::string> CliArgs::names() const {
+  std::vector<std::string> out;
+  out.reserve(named_.size());
+  for (const auto& [name, value] : named_) out.push_back(name);
+  return out;
+}
+
 bool CliArgs::get_bool(std::string_view name, bool fallback) const {
   const auto it = named_.find(name);
   if (it == named_.end()) return fallback;

@@ -32,6 +32,11 @@ class CliArgs {
     return positional_;
   }
 
+  /// Names of every `--flag` that was supplied, in sorted order — lets a
+  /// tool with a declared flag table reject typos instead of silently
+  /// ignoring them.
+  std::vector<std::string> names() const;
+
   /// Name of the executable (argv[0]).
   const std::string& program() const noexcept { return program_; }
 

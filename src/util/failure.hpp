@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -30,10 +31,13 @@
 /// `Failure` derives from `std::runtime_error`, so every existing
 /// `catch (const std::runtime_error&)` / `catch (const std::exception&)`
 /// site keeps working; new supervision code catches `util::Failure` and
-/// branches on `category()`.  This is the error contract the planned
-/// `optdm_served` daemon programs against: a service loop retries
+/// branches on `category()`.  This is the error contract the
+/// `optdm_served` daemon programs against: the service loop retries
 /// `kTransient`, quarantines-and-regenerates `kCorrupt`, sheds load on
-/// `kResource`, and surfaces `kFatal` to the client.
+/// `kResource` (`queue-full` is its admission-control reject), and
+/// surfaces `kFatal` to the client.  `svc::Client` rebuilds a `Failure`
+/// from the code name an error frame carries (`code_from_string`), so a
+/// remote reject throws exactly like the local one.
 
 namespace optdm::util {
 
@@ -58,8 +62,30 @@ enum class FailureCode {
   kCacheEntryCorrupt,   ///< on-disk entry unparseable / wrong schema
   kCacheEntryStale,     ///< stored key differs from the requested key
   kCacheIo,             ///< open / write / fsync / rename failed
+  // --- compilation service (svc::, tools/optdm_served) -------------------
+  kFrameTruncated,      ///< connection closed (or stream ended) mid-frame
+  kFrameGarbled,        ///< bad magic / unknown type / unparseable body
+  kFrameOversized,      ///< declared payload length above the wire limit
+  kFrameVersion,        ///< peer speaks a different protocol version
+  kQueueFull,           ///< admission control: job queue at capacity
+  kSvcDraining,         ///< server is shutting down; request not admitted
+  kSvcIo,               ///< socket connect / read / write failed
+  kSvcInternal,         ///< unexpected server-side exception
   // --- configuration -----------------------------------------------------
   kInvalidConfig,       ///< caller passed parameter garbage
+};
+
+/// Every code, for table-driven iteration (`code_from_string`, tests).
+inline constexpr FailureCode kAllFailureCodes[] = {
+    FailureCode::kShardCrashed,       FailureCode::kShardHung,
+    FailureCode::kShardStreamCorrupt, FailureCode::kShardSpawnFailed,
+    FailureCode::kShardPipeIo,        FailureCode::kShardExhausted,
+    FailureCode::kCacheEntryCorrupt,  FailureCode::kCacheEntryStale,
+    FailureCode::kCacheIo,            FailureCode::kFrameTruncated,
+    FailureCode::kFrameGarbled,       FailureCode::kFrameOversized,
+    FailureCode::kFrameVersion,       FailureCode::kQueueFull,
+    FailureCode::kSvcDraining,        FailureCode::kSvcIo,
+    FailureCode::kSvcInternal,        FailureCode::kInvalidConfig,
 };
 
 /// The one place the code → category mapping lives.
@@ -72,11 +98,20 @@ constexpr FailureCategory category_of(FailureCode code) noexcept {
     case FailureCode::kCacheEntryCorrupt:
     case FailureCode::kCacheEntryStale:
       return FailureCategory::kCorrupt;
+    case FailureCode::kFrameTruncated:
+    case FailureCode::kFrameGarbled:
+    case FailureCode::kFrameOversized:
+      return FailureCategory::kCorrupt;
     case FailureCode::kShardSpawnFailed:
     case FailureCode::kShardPipeIo:
     case FailureCode::kCacheIo:
+    case FailureCode::kQueueFull:
+    case FailureCode::kSvcDraining:
+    case FailureCode::kSvcIo:
       return FailureCategory::kResource;
     case FailureCode::kShardExhausted:
+    case FailureCode::kFrameVersion:
+    case FailureCode::kSvcInternal:
     case FailureCode::kInvalidConfig:
       return FailureCategory::kFatal;
   }
@@ -112,9 +147,25 @@ constexpr std::string_view to_string(FailureCode code) noexcept {
     case FailureCode::kCacheEntryCorrupt: return "cache-entry-corrupt";
     case FailureCode::kCacheEntryStale: return "cache-entry-stale";
     case FailureCode::kCacheIo: return "cache-io";
+    case FailureCode::kFrameTruncated: return "frame-truncated";
+    case FailureCode::kFrameGarbled: return "frame-garbled";
+    case FailureCode::kFrameOversized: return "frame-oversized";
+    case FailureCode::kFrameVersion: return "frame-version";
+    case FailureCode::kQueueFull: return "queue-full";
+    case FailureCode::kSvcDraining: return "svc-draining";
+    case FailureCode::kSvcIo: return "svc-io";
+    case FailureCode::kSvcInternal: return "svc-internal";
     case FailureCode::kInvalidConfig: return "invalid-config";
   }
   return "invalid-config";
+}
+
+/// Inverse of `to_string(FailureCode)`, for wire protocols that carry a
+/// failure across a process boundary by name; nullopt for unknown names.
+inline std::optional<FailureCode> code_from_string(std::string_view name) {
+  for (const auto code : kAllFailureCodes)
+    if (to_string(code) == name) return code;
+  return std::nullopt;
 }
 
 /// A structured error: a `FailureCode` plus a human-readable message.

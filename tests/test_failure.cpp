@@ -33,6 +33,25 @@ TEST(Failure, EveryCodeMapsToItsContractCategory) {
             FailureCategory::kFatal);
   EXPECT_EQ(category_of(FailureCode::kInvalidConfig),
             FailureCategory::kFatal);
+
+  // Service codes: framing violations are corrupt (the bytes, not the
+  // host, are bad), admission/transport rejects are resource pressure,
+  // and a version mismatch or server bug is terminal for the request.
+  EXPECT_EQ(category_of(FailureCode::kFrameTruncated),
+            FailureCategory::kCorrupt);
+  EXPECT_EQ(category_of(FailureCode::kFrameGarbled),
+            FailureCategory::kCorrupt);
+  EXPECT_EQ(category_of(FailureCode::kFrameOversized),
+            FailureCategory::kCorrupt);
+  EXPECT_EQ(category_of(FailureCode::kQueueFull),
+            FailureCategory::kResource);
+  EXPECT_EQ(category_of(FailureCode::kSvcDraining),
+            FailureCategory::kResource);
+  EXPECT_EQ(category_of(FailureCode::kSvcIo), FailureCategory::kResource);
+  EXPECT_EQ(category_of(FailureCode::kFrameVersion),
+            FailureCategory::kFatal);
+  EXPECT_EQ(category_of(FailureCode::kSvcInternal),
+            FailureCategory::kFatal);
 }
 
 TEST(Failure, OnlyFatalIsNotRetryable) {
@@ -89,7 +108,26 @@ TEST(Failure, NamesAreStable) {
   EXPECT_EQ(to_string(FailureCode::kCacheEntryCorrupt), "cache-entry-corrupt");
   EXPECT_EQ(to_string(FailureCode::kCacheEntryStale), "cache-entry-stale");
   EXPECT_EQ(to_string(FailureCode::kCacheIo), "cache-io");
+  EXPECT_EQ(to_string(FailureCode::kFrameTruncated), "frame-truncated");
+  EXPECT_EQ(to_string(FailureCode::kFrameGarbled), "frame-garbled");
+  EXPECT_EQ(to_string(FailureCode::kFrameOversized), "frame-oversized");
+  EXPECT_EQ(to_string(FailureCode::kFrameVersion), "frame-version");
+  EXPECT_EQ(to_string(FailureCode::kQueueFull), "queue-full");
+  EXPECT_EQ(to_string(FailureCode::kSvcDraining), "svc-draining");
+  EXPECT_EQ(to_string(FailureCode::kSvcIo), "svc-io");
+  EXPECT_EQ(to_string(FailureCode::kSvcInternal), "svc-internal");
   EXPECT_EQ(to_string(FailureCode::kInvalidConfig), "invalid-config");
+}
+
+TEST(Failure, CodeFromStringInvertsToString) {
+  // The service wire protocol carries failures across the process
+  // boundary by name; every code must survive the round trip, and an
+  // unknown name must be detectable (the client maps it to svc-internal
+  // rather than guessing).
+  for (const auto code : kAllFailureCodes)
+    EXPECT_EQ(code_from_string(to_string(code)), code);
+  EXPECT_EQ(code_from_string("no-such-code"), std::nullopt);
+  EXPECT_EQ(code_from_string(""), std::nullopt);
 }
 
 }  // namespace

@@ -37,6 +37,13 @@ sim::DynamicParams quiet_params(int k) {
   return p;
 }
 
+sim::SimOptions with_faults(const FaultTimeline& tl, std::int64_t start = 0) {
+  sim::SimOptions o;
+  o.faults = &tl;
+  o.start_slot = start;
+  return o;
+}
+
 // ---------------------------------------------------------------- timeline
 
 TEST(FaultTimeline, DownRespectsHalfOpenWindows) {
@@ -115,7 +122,7 @@ TEST(Faults, InactiveTimelineIsByteIdenticalAcrossEngines) {
 
   const auto schedule = sched::coloring(net, requests);
   const auto plain = sim::simulate_compiled(schedule, messages, {});
-  const auto faulty = sim::simulate_compiled(schedule, messages, {}, healthy);
+  const auto faulty = sim::simulate_compiled(schedule, messages, {}, with_faults(healthy));
   ASSERT_EQ(plain.messages.size(), faulty.messages.size());
   EXPECT_EQ(plain.total_slots, faulty.total_slots);
   EXPECT_EQ(faulty.faults, sim::FaultStats{});
@@ -128,13 +135,13 @@ TEST(Faults, InactiveTimelineIsByteIdenticalAcrossEngines) {
   const core::SwitchProgram program(net, schedule);
   const auto hw = sim::execute_on_hardware(net, schedule, program, messages);
   const auto hw_faulty =
-      sim::execute_on_hardware(net, schedule, program, messages, {}, healthy);
+      sim::execute_on_hardware(net, schedule, program, messages, {}, with_faults(healthy));
   EXPECT_EQ(hw.total_slots, hw_faulty.total_slots);
   EXPECT_EQ(hw_faulty.faults, sim::FaultStats{});
 
   const auto dyn = sim::simulate_dynamic(net, messages, quiet_params(2));
   const auto dyn_faulty =
-      sim::simulate_dynamic(net, messages, quiet_params(2), healthy);
+      sim::simulate_dynamic(net, messages, quiet_params(2), with_faults(healthy));
   ASSERT_EQ(dyn.messages.size(), dyn_faulty.messages.size());
   EXPECT_EQ(dyn.total_slots, dyn_faulty.total_slots);
   EXPECT_EQ(dyn.total_retries, dyn_faulty.total_retries);
@@ -160,7 +167,7 @@ TEST(Faults, PermanentKillLosesExactlyTheCrossingMessages) {
   FaultTimeline tl;
   tl.kill_link(network_link_of(net, requests[0]), 0);
 
-  const auto run = sim::simulate_compiled(schedule, messages, {}, tl);
+  const auto run = sim::simulate_compiled(schedule, messages, {}, with_faults(tl));
   EXPECT_EQ(run.messages[0].outcome, MessageOutcome::kLost);
   EXPECT_EQ(run.messages[0].payloads_lost, 6);  // every payload crossed it
   EXPECT_EQ(run.messages[1].outcome, MessageOutcome::kDelivered);
@@ -184,13 +191,13 @@ TEST(Faults, TransientFlapLosesExactlyTheWindowedPayloads) {
   // [5, 8) eats payloads 2, 3, 4 and nothing else.
   FaultTimeline tl;
   tl.flap_link(network_link_of(net, requests[0]), 5, 8);
-  const auto run = sim::simulate_compiled(schedule, messages, {}, tl);
+  const auto run = sim::simulate_compiled(schedule, messages, {}, with_faults(tl));
   EXPECT_EQ(run.messages[0].outcome, MessageOutcome::kLost);
   EXPECT_EQ(run.messages[0].payloads_lost, 3);
   EXPECT_EQ(run.faults.payloads_lost, 3);
 
   // Shifting the run past the repair loses nothing.
-  const auto later = sim::simulate_compiled(schedule, messages, {}, tl, 100);
+  const auto later = sim::simulate_compiled(schedule, messages, {}, with_faults(tl, 100));
   EXPECT_EQ(later.messages[0].outcome, MessageOutcome::kDelivered);
   EXPECT_EQ(later.faults.payloads_lost, 0);
 }
@@ -207,9 +214,9 @@ TEST(Faults, HardwareWalkAgreesWithAnalyticLossModel) {
   tl.kill_link(network_link_of(net, requests[0]), 0);
   tl.flap_link(network_link_of(net, requests[1]), 10, 40);
 
-  const auto analytic = sim::simulate_compiled(schedule, messages, {}, tl);
+  const auto analytic = sim::simulate_compiled(schedule, messages, {}, with_faults(tl));
   const auto hw =
-      sim::execute_on_hardware(net, schedule, program, messages, {}, tl);
+      sim::execute_on_hardware(net, schedule, program, messages, {}, with_faults(tl));
   ASSERT_EQ(analytic.messages.size(), hw.messages.size());
   EXPECT_EQ(analytic.total_slots, hw.total_slots);
   for (std::size_t i = 0; i < hw.messages.size(); ++i) {
@@ -230,7 +237,7 @@ TEST(Faults, DynamicReroutesNothingButRetriesThroughFlap) {
   FaultTimeline tl;
   tl.flap_link(network_link_of(net, {0, 1}), 0, 2000);
 
-  const auto run = sim::simulate_dynamic(net, messages, quiet_params(1), tl);
+  const auto run = sim::simulate_dynamic(net, messages, quiet_params(1), with_faults(tl));
   ASSERT_TRUE(run.completed);
   EXPECT_TRUE(run.clean_shutdown);
   EXPECT_EQ(run.messages[0].outcome, MessageOutcome::kDelivered);
@@ -251,7 +258,7 @@ TEST(Faults, DynamicNeverWedgesUnderTotalControlLoss) {
   tl.set_ctrl_loss(1.0);
   auto params = quiet_params(2);
   params.retry_budget = 3;
-  const auto run = sim::simulate_dynamic(net, messages, params, tl);
+  const auto run = sim::simulate_dynamic(net, messages, params, with_faults(tl));
   ASSERT_TRUE(run.completed);  // every message reached a terminal state
   EXPECT_TRUE(run.clean_shutdown);
   EXPECT_EQ(run.faults.messages_failed,
@@ -274,7 +281,7 @@ TEST(Faults, DynamicSurvivesPartialControlLossAndStaysClean) {
   tl.set_ctrl_loss(0.2);
   auto params = quiet_params(2);
   params.max_backoff_slots = 256;
-  const auto run = sim::simulate_dynamic(net, messages, params, tl);
+  const auto run = sim::simulate_dynamic(net, messages, params, with_faults(tl));
   ASSERT_TRUE(run.completed);
   EXPECT_TRUE(run.clean_shutdown);
   EXPECT_GT(run.faults.ctrl_dropped, 0);
@@ -298,15 +305,15 @@ TEST(Faults, IdenticalSeedsGiveIdenticalFaultStats) {
   params.retry_budget = 6;
   params.max_backoff_slots = 512;
 
-  const auto a = sim::simulate_dynamic(net, messages, params, tl);
-  const auto b = sim::simulate_dynamic(net, messages, params, tl);
+  const auto a = sim::simulate_dynamic(net, messages, params, with_faults(tl));
+  const auto b = sim::simulate_dynamic(net, messages, params, with_faults(tl));
   EXPECT_EQ(a.faults, b.faults);
   EXPECT_EQ(a.total_slots, b.total_slots);
   EXPECT_EQ(a.total_retries, b.total_retries);
 
   const auto schedule = sched::coloring(net, requests);
-  const auto ca = sim::simulate_compiled(schedule, messages, {}, tl);
-  const auto cb = sim::simulate_compiled(schedule, messages, {}, tl);
+  const auto ca = sim::simulate_compiled(schedule, messages, {}, with_faults(tl));
+  const auto cb = sim::simulate_compiled(schedule, messages, {}, with_faults(tl));
   EXPECT_EQ(ca.faults, cb.faults);
 }
 

@@ -24,6 +24,14 @@ namespace {
 
 using namespace optdm;
 
+sim::SimOptions with(const sim::FaultTimeline* faults,
+                     obs::Trace* trace = nullptr) {
+  sim::SimOptions o;
+  o.faults = faults;
+  o.trace = trace;
+  return o;
+}
+
 struct Workload {
   topo::TorusNetwork net{8, 8};
   std::vector<sim::Message> messages;
@@ -50,7 +58,7 @@ TEST(TraceAccounting, DynamicSpansMatchProtocolStats) {
   const Workload w;
   obs::Trace trace;
   const auto run =
-      simulate_dynamic(w.net, w.messages, w.params, w.faults, &trace);
+      simulate_dynamic(w.net, w.messages, w.params, with(&w.faults, &trace));
   ASSERT_TRUE(run.completed);
 
   std::int64_t established = 0;
@@ -90,8 +98,9 @@ TEST(TraceAccounting, NullSinkIsByteIdentical) {
   const Workload w;
   obs::Trace trace;
   const auto traced =
-      simulate_dynamic(w.net, w.messages, w.params, w.faults, &trace);
-  const auto plain = simulate_dynamic(w.net, w.messages, w.params, w.faults);
+      simulate_dynamic(w.net, w.messages, w.params, with(&w.faults, &trace));
+  const auto plain =
+      simulate_dynamic(w.net, w.messages, w.params, with(&w.faults));
 
   EXPECT_EQ(traced.total_slots, plain.total_slots);
   EXPECT_EQ(traced.total_retries, plain.total_retries);
@@ -117,7 +126,7 @@ TEST(TraceAccounting, CompiledPayloadSpansCoverEveryMessage) {
 
   obs::Trace trace;
   const auto traced =
-      sim::simulate_compiled(phase.schedule, messages, {}, &trace);
+      sim::simulate_compiled(phase.schedule, messages, {}, with(nullptr, &trace));
   const auto plain = sim::simulate_compiled(phase.schedule, messages);
 
   EXPECT_EQ(trace.count("payload"), messages.size());
@@ -143,7 +152,8 @@ TEST(TraceAccounting, HardwarePayloadSpansMatchDeliveries) {
 
   obs::Trace trace;
   const auto traced = sim::execute_on_hardware(net, schedule, program,
-                                               messages, {}, &trace);
+                                               messages, {},
+                                               with(nullptr, &trace));
   const auto plain =
       sim::execute_on_hardware(net, schedule, program, messages);
   EXPECT_EQ(trace.count("payload"), messages.size());
@@ -179,7 +189,8 @@ TEST(RunReport, LinkSlotsSumToAggregateForAllEngines) {
       sim::execute_on_hardware(w.net, phase.schedule, program, messages);
   check(obs::report_compiled(phase.schedule, messages, hw, "hardware"));
 
-  const auto dyn = simulate_dynamic(w.net, w.messages, w.params, w.faults);
+  const auto dyn =
+      simulate_dynamic(w.net, w.messages, w.params, with(&w.faults));
   check(obs::report_dynamic(w.net, w.messages, dyn, w.params));
 
   check(obs::report_schedule(phase.schedule, &counters));
@@ -208,7 +219,8 @@ TEST(RunReport, SlotOccupancyMirrorsTheSchedule) {
 
 TEST(RunReport, DynamicStallCausesAccountForRetries) {
   const Workload w;
-  const auto run = simulate_dynamic(w.net, w.messages, w.params, w.faults);
+  const auto run =
+      simulate_dynamic(w.net, w.messages, w.params, with(&w.faults));
   const auto report = obs::report_dynamic(w.net, w.messages, run, w.params);
 
   std::int64_t nack_retries = -1, timeouts = -1;

@@ -22,6 +22,12 @@ DynamicParams quiet_params(int k) {
   return p;
 }
 
+sim::SimOptions with_faults(const sim::FaultTimeline& tl) {
+  sim::SimOptions o;
+  o.faults = &tl;
+  return o;
+}
+
 TEST(SimDynamic, SingleMessageHandComputedTiming) {
   topo::TorusNetwork net(8, 8);
   // (0 -> 1): one network hop.  K = 1.
@@ -339,8 +345,10 @@ TEST(SimDynamic, ZeroTimeoutMeansAutoNotInstantExpiry) {
   auto explicit_params = quiet_params(1);
   explicit_params.timeout_slots = 72;
 
-  const auto a = simulate_dynamic(net, messages, auto_params, faults);
-  const auto b = simulate_dynamic(net, messages, explicit_params, faults);
+  const auto a =
+      simulate_dynamic(net, messages, auto_params, with_faults(faults));
+  const auto b =
+      simulate_dynamic(net, messages, explicit_params, with_faults(faults));
   ASSERT_TRUE(a.completed);
   EXPECT_EQ(a.messages[0].timeouts, 0);  // a sane timer never fired
   EXPECT_EQ(a.messages[0].established, b.messages[0].established);
@@ -361,7 +369,8 @@ TEST(SimDynamic, TinyTimeoutWithBudgetTerminatesCleanly) {
   params.timeout_slots = 1;
   params.retry_budget = 3;
 
-  const auto result = simulate_dynamic(net, messages, params, faults);
+  const auto result =
+      simulate_dynamic(net, messages, params, with_faults(faults));
   ASSERT_TRUE(result.completed);
   EXPECT_TRUE(result.clean_shutdown);
   EXPECT_EQ(result.messages[0].outcome, sim::MessageOutcome::kFailed);
@@ -426,7 +435,8 @@ TEST(SimDynamic, GoldenFaultedTotalsArePinned) {
     params.multiplexing_degree = pin.k;
     params.retry_budget = 8;
     params.max_backoff_slots = 512;
-    const auto result = simulate_dynamic(net, messages, params, timeline);
+    const auto result =
+        simulate_dynamic(net, messages, params, with_faults(timeline));
     EXPECT_TRUE(result.clean_shutdown) << "K=" << pin.k;
     EXPECT_EQ(result.total_slots, pin.total_slots) << "K=" << pin.k;
     EXPECT_EQ(result.total_retries, pin.retries) << "K=" << pin.k;

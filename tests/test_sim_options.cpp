@@ -1,6 +1,8 @@
-// The unified SimOptions API: default options reproduce the legacy
-// positional overloads byte for byte, the legacy overloads still compile
-// and forward, and report sinks receive exactly one report per run.
+// The unified SimOptions API: a default-constructed SimOptions is the
+// no-op configuration (byte-identical to calling the engine without the
+// options argument), each option toggles exactly its own behavior, and
+// report sinks receive exactly one report per run.  The legacy positional
+// overloads are gone; these tests pin the only remaining entry points.
 
 #include "sim/options.hpp"
 
@@ -43,16 +45,16 @@ void expect_same(const sim::CompiledResult& a, const sim::CompiledResult& b) {
   }
 }
 
-TEST(SimOptions, CompiledDefaultsMatchTheLegacyPath) {
+TEST(SimOptions, CompiledDefaultOptionsAreANoOp) {
   Rig s;
-  const auto modern = sim::simulate_compiled(s.schedule, s.messages);
-  // Legacy positional-trace overload (deprecated but supported).
-  const auto legacy = sim::simulate_compiled(s.schedule, s.messages,
-                                             sim::CompiledParams{}, nullptr);
-  expect_same(modern, legacy);
+  const auto plain = sim::simulate_compiled(s.schedule, s.messages);
+  const auto with_defaults = sim::simulate_compiled(
+      s.schedule, s.messages, sim::CompiledParams{}, sim::SimOptions{});
+  expect_same(plain, with_defaults);
+  EXPECT_EQ(with_defaults.faults, sim::FaultStats{});
 }
 
-TEST(SimOptions, CompiledFaultOptionMatchesTheLegacyFaultOverload) {
+TEST(SimOptions, CompiledFaultOptionOnlyChangesFaultAccounting) {
   Rig s;
   sim::FaultTimeline faults;
   faults.flap_link(0, 5, 20);
@@ -60,12 +62,18 @@ TEST(SimOptions, CompiledFaultOptionMatchesTheLegacyFaultOverload) {
   sim::SimOptions options;
   options.faults = &faults;
   options.start_slot = 2;
-  const auto modern =
+  const auto faulted =
       sim::simulate_compiled(s.schedule, s.messages, {}, options);
-  const auto legacy = sim::simulate_compiled(
-      s.schedule, s.messages, sim::CompiledParams{}, faults, 2);
-  expect_same(modern, legacy);
-  EXPECT_EQ(modern.faults.payloads_lost, legacy.faults.payloads_lost);
+  // Compiled senders get no feedback: timing is identical to the healthy
+  // run, only the loss accounting differs.
+  const auto healthy = sim::simulate_compiled(s.schedule, s.messages);
+  expect_same(faulted, healthy);
+
+  // Shifting the run onto the timeline's absolute clock changes which
+  // payloads fall inside the flap window.
+  options.start_slot = 1000;  // far past the repair
+  const auto later = sim::simulate_compiled(s.schedule, s.messages, {}, options);
+  EXPECT_EQ(later.faults.payloads_lost, 0);
 }
 
 TEST(SimOptions, CompiledReportSinkReceivesExactlyOneReport) {
@@ -86,29 +94,28 @@ TEST(SimOptions, CompiledReportSinkReceivesExactlyOneReport) {
   EXPECT_EQ(sink.last().sched.combined_winner, "coloring");
 }
 
-TEST(SimOptions, CompiledTraceOptionMatchesTheLegacyTraceParameter) {
+TEST(SimOptions, CompiledTraceOptionIsResultNeutral) {
   Rig s;
-  obs::Trace modern_trace;
+  obs::Trace trace;
   sim::SimOptions options;
-  options.trace = &modern_trace;
-  const auto modern =
+  options.trace = &trace;
+  const auto traced =
       sim::simulate_compiled(s.schedule, s.messages, {}, options);
 
-  obs::Trace legacy_trace;
-  const auto legacy = sim::simulate_compiled(
-      s.schedule, s.messages, sim::CompiledParams{}, &legacy_trace);
-  expect_same(modern, legacy);
-  EXPECT_EQ(modern_trace.events().size(), legacy_trace.events().size());
+  const auto plain = sim::simulate_compiled(s.schedule, s.messages);
+  expect_same(traced, plain);
+  EXPECT_EQ(trace.count("payload"), s.messages.size());
 }
 
-TEST(SimOptions, HardwareDefaultsMatchTheLegacyPath) {
+TEST(SimOptions, HardwareDefaultOptionsAreANoOp) {
   Rig s;
   const core::SwitchProgram program(s.net, s.schedule);
-  const auto modern =
+  const auto plain =
       sim::execute_on_hardware(s.net, s.schedule, program, s.messages);
-  const auto legacy = sim::execute_on_hardware(
-      s.net, s.schedule, program, s.messages, sim::CompiledParams{}, nullptr);
-  expect_same(modern, legacy);
+  const auto with_defaults =
+      sim::execute_on_hardware(s.net, s.schedule, program, s.messages,
+                               sim::CompiledParams{}, sim::SimOptions{});
+  expect_same(plain, with_defaults);
 }
 
 TEST(SimOptions, HardwareReportSinkSeesTheHardwareEngine) {
@@ -123,36 +130,34 @@ TEST(SimOptions, HardwareReportSinkSeesTheHardwareEngine) {
   EXPECT_EQ(sink.last().engine, "hardware");
 }
 
-TEST(SimOptions, DynamicDefaultsMatchTheLegacyPath) {
+TEST(SimOptions, DynamicDefaultOptionsAreANoOp) {
   Rig s;
   sim::DynamicParams params;
   params.multiplexing_degree = 2;
-  const auto modern = sim::simulate_dynamic(s.net, s.messages, params);
-  const auto legacy =
-      sim::simulate_dynamic(s.net, s.messages, params, nullptr);
-  EXPECT_EQ(modern.total_slots, legacy.total_slots);
-  EXPECT_EQ(modern.total_retries, legacy.total_retries);
-  ASSERT_EQ(modern.messages.size(), legacy.messages.size());
-  for (std::size_t i = 0; i < modern.messages.size(); ++i) {
-    EXPECT_EQ(modern.messages[i].completed, legacy.messages[i].completed);
-    EXPECT_EQ(modern.messages[i].slot, legacy.messages[i].slot);
+  const auto plain = sim::simulate_dynamic(s.net, s.messages, params);
+  const auto with_defaults =
+      sim::simulate_dynamic(s.net, s.messages, params, sim::SimOptions{});
+  EXPECT_EQ(plain.total_slots, with_defaults.total_slots);
+  EXPECT_EQ(plain.total_retries, with_defaults.total_retries);
+  ASSERT_EQ(plain.messages.size(), with_defaults.messages.size());
+  for (std::size_t i = 0; i < plain.messages.size(); ++i) {
+    EXPECT_EQ(plain.messages[i].completed, with_defaults.messages[i].completed);
+    EXPECT_EQ(plain.messages[i].slot, with_defaults.messages[i].slot);
   }
 }
 
-TEST(SimOptions, DynamicFaultOptionMatchesTheLegacyFaultOverload) {
+TEST(SimOptions, DynamicInactiveTimelineMatchesTheHealthyPath) {
   Rig s;
   sim::DynamicParams params;
   params.multiplexing_degree = 2;
-  sim::FaultTimeline faults;
-  faults.flap_link(1, 0, 50);
-
+  const sim::FaultTimeline healthy;  // inactive: no faults, no ctrl loss
   sim::SimOptions options;
-  options.faults = &faults;
-  const auto modern = sim::simulate_dynamic(s.net, s.messages, params, options);
-  const auto legacy = sim::simulate_dynamic(s.net, s.messages, params, faults);
-  EXPECT_EQ(modern.total_slots, legacy.total_slots);
-  EXPECT_EQ(modern.total_retries, legacy.total_retries);
-  EXPECT_EQ(modern.faults.payloads_lost, legacy.faults.payloads_lost);
+  options.faults = &healthy;
+  const auto faulted = sim::simulate_dynamic(s.net, s.messages, params, options);
+  const auto plain = sim::simulate_dynamic(s.net, s.messages, params);
+  EXPECT_EQ(faulted.total_slots, plain.total_slots);
+  EXPECT_EQ(faulted.total_retries, plain.total_retries);
+  EXPECT_EQ(faulted.faults, sim::FaultStats{});
 }
 
 TEST(SimOptions, DynamicReportSinkReceivesTheDynamicEngine) {

@@ -1,0 +1,385 @@
+// The compilation service: admission control on the job queue, the
+// in-process Engine's byte-identity with the pipeline it wraps, and the
+// daemon end to end — concurrent clients over real sockets, one shared
+// schedule cache, structured remote rejects, clean shutdown, no leaked
+// descriptors.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <functional>
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/pipeline.hpp"
+#include "io/pattern_io.hpp"
+#include "patterns/named.hpp"
+#include "svc/client.hpp"
+#include "svc/queue.hpp"
+#include "svc/server.hpp"
+#include "topo/torus.hpp"
+#include "util/failure.hpp"
+
+namespace {
+
+using namespace optdm;
+using util::Failure;
+using util::FailureCode;
+
+int open_fd_count() {
+  int count = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd"))
+    ++count;
+  return count;
+}
+
+FailureCode code_of(const std::function<void()>& call) {
+  try {
+    call();
+  } catch (const Failure& failure) {
+    return failure.code();
+  }
+  ADD_FAILURE() << "call did not throw util::Failure";
+  return FailureCode::kInvalidConfig;
+}
+
+// -------------------------------------------------------------- job queue
+
+TEST(JobQueue, FullQueueRejectsWithQueueFull) {
+  svc::JobQueue queue(2);  // no workers: nothing drains
+  queue.push(svc::Priority::kNormal, [] {});
+  queue.push(svc::Priority::kNormal, [] {});
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(code_of([&] { queue.push(svc::Priority::kNormal, [] {}); }),
+            FailureCode::kQueueFull);
+  // The reject did not consume capacity or damage the queued jobs.
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.peak_depth(), 2u);
+  queue.stop(svc::JobQueue::StopMode::kAbort);
+}
+
+TEST(JobQueue, DrainsInPriorityOrderAndFifoWithinABucket) {
+  svc::JobQueue queue(8);
+  std::vector<std::string> order;
+  queue.push(svc::Priority::kBatch, [&] { order.push_back("batch-1"); });
+  queue.push(svc::Priority::kNormal, [&] { order.push_back("normal-1"); });
+  queue.push(svc::Priority::kBatch, [&] { order.push_back("batch-2"); });
+  queue.push(svc::Priority::kInteractive,
+             [&] { order.push_back("interactive"); });
+  queue.push(svc::Priority::kNormal, [&] { order.push_back("normal-2"); });
+  queue.start(1);  // one worker: execution order == pop order
+  queue.stop(svc::JobQueue::StopMode::kDrain);
+  const std::vector<std::string> want{"interactive", "normal-1", "normal-2",
+                                      "batch-1", "batch-2"};
+  EXPECT_EQ(order, want);
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_EQ(queue.peak_depth(), 5u);
+}
+
+TEST(JobQueue, StoppedQueueRejectsWithDraining) {
+  svc::JobQueue queue(4);
+  queue.start(1);
+  queue.stop(svc::JobQueue::StopMode::kDrain);
+  EXPECT_EQ(code_of([&] { queue.push(svc::Priority::kNormal, [] {}); }),
+            FailureCode::kSvcDraining);
+}
+
+TEST(JobQueue, AbortDropsQueuedJobs) {
+  svc::JobQueue queue(4);
+  std::atomic<int> ran{0};
+  queue.push(svc::Priority::kNormal, [&] { ++ran; });
+  queue.push(svc::Priority::kNormal, [&] { ++ran; });
+  queue.stop(svc::JobQueue::StopMode::kAbort);  // workers never started
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+// ----------------------------------------------------------------- engine
+
+TEST(SvcEngine, CompileIsByteIdenticalToTheDirectPipeline) {
+  const auto pattern = patterns::ring(64);
+
+  topo::TorusNetwork net(8, 8);
+  apps::PipelineOptions pipeline_options;
+  pipeline_options.scheduler = "combined";
+  apps::Pipeline pipeline(net, pipeline_options);
+  const auto direct = pipeline.compile_phase(pattern);
+  std::ostringstream direct_text;
+  io::write_schedule(direct_text, net, direct.phase.schedule);
+
+  svc::Engine engine;
+  svc::CompileRequest request;
+  request.pattern = pattern;
+  const auto response = engine.compile(request);
+  EXPECT_EQ(response.schedule_text, direct_text.str());
+  EXPECT_EQ(response.degree, direct.phase.schedule.degree());
+  EXPECT_EQ(response.lower_bound, direct.phase.lower_bound);
+  EXPECT_FALSE(response.cache_hit);
+}
+
+TEST(SvcEngine, RepeatedRequestsShareOneCache) {
+  svc::Engine engine;
+  svc::CompileRequest request;
+  request.pattern = patterns::transpose(64);
+  const auto cold = engine.compile(request);
+  const auto warm = engine.compile(request);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_FALSE(warm.disk_hit);  // memory tier
+  EXPECT_EQ(warm.schedule_text, cold.schedule_text);
+  const auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.memory_hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.insertions, 1);
+}
+
+TEST(SvcEngine, UncachedRequestsNeverTouchSharedState) {
+  svc::Engine engine;
+  svc::CompileRequest request;
+  request.pattern = patterns::ring(64);
+  request.use_cache = false;
+  const auto response = engine.compile(request);
+  EXPECT_FALSE(response.cache_enabled);
+  EXPECT_FALSE(response.cache_hit);
+  const auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 0);
+  EXPECT_EQ(stats.insertions, 0);
+}
+
+TEST(SvcEngine, ParameterGarbageIsInvalidConfig) {
+  svc::Engine engine;
+  svc::CompileRequest compile;
+  compile.pattern = patterns::ring(64);
+
+  auto bad_topology = compile;
+  bad_topology.topology = "mesh:8x8";
+  EXPECT_EQ(code_of([&] { engine.compile(bad_topology); }),
+            FailureCode::kInvalidConfig);
+
+  auto bad_scheduler = compile;
+  bad_scheduler.scheduler = "no-such-algorithm";
+  EXPECT_EQ(code_of([&] { engine.compile(bad_scheduler); }),
+            FailureCode::kInvalidConfig);
+
+  auto bad_pattern = compile;
+  bad_pattern.pattern.push_back({0, 64});  // node 64 is off an 8x8 torus
+  EXPECT_EQ(code_of([&] { engine.compile(bad_pattern); }),
+            FailureCode::kInvalidConfig);
+
+  svc::SimulateRequest simulate;
+  simulate.pattern = patterns::ring(64);
+  simulate.slots = 0;
+  EXPECT_EQ(code_of([&] { engine.simulate(simulate); }),
+            FailureCode::kInvalidConfig);
+}
+
+// ------------------------------------------------------------- end to end
+
+struct DaemonRig {
+  svc::Server server;
+
+  DaemonRig() : server(options()) { server.start(); }
+  ~DaemonRig() {
+    server.request_stop();
+    server.wait();
+  }
+
+  static svc::Server::Options options() {
+    svc::Server::Options o;
+    o.port = 0;  // ephemeral
+    o.workers = 2;
+    o.queue_capacity = 16;
+    return o;
+  }
+
+  svc::Client client(svc::Priority priority = svc::Priority::kNormal) {
+    svc::Client::Options o;
+    o.port = server.port();
+    o.priority = priority;
+    return svc::Client(o);
+  }
+};
+
+TEST(SvcServer, TwoClientsShareTheCacheAndResponsesAreByteIdentical) {
+  DaemonRig rig;
+  auto first = rig.client();
+  auto second = rig.client(svc::Priority::kInteractive);
+  first.ping();
+
+  svc::CompileRequest request;
+  request.pattern = patterns::ring(64);
+  const auto cold = first.compile(request);
+  const auto warm = second.compile(request);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(warm.cache_hit);  // the first client warmed the second
+  EXPECT_EQ(warm.schedule_text, cold.schedule_text);
+
+  // One API, two transports: the daemon's response is byte-identical to
+  // a local Engine run of the same request.
+  svc::Engine local;
+  const auto direct = local.compile(request);
+  EXPECT_EQ(cold.schedule_text, direct.schedule_text);
+  EXPECT_EQ(cold.degree, direct.degree);
+  EXPECT_EQ(cold.winner, direct.winner);
+
+  const auto stats = first.stats();
+  EXPECT_GE(stats.requests, 2);
+  EXPECT_GE(stats.ok, 2);
+  EXPECT_EQ(stats.cache_memory_hits, 1);
+  EXPECT_GT(stats.cache_hit_rate, 0.0);
+  EXPECT_GE(stats.latency_count, 2);
+}
+
+TEST(SvcServer, SimulateMatchesTheLocalEngine) {
+  DaemonRig rig;
+  auto client = rig.client();
+
+  svc::SimulateRequest request;
+  request.topology = "torus:4x4";
+  request.pattern = patterns::ring(16);
+  request.slots = 2;
+  request.dynamic_ks = {1, 2};
+  const auto remote = client.simulate(request);
+
+  svc::Engine local;
+  const auto direct = local.simulate(request);
+  EXPECT_EQ(remote.tdm_slots, direct.tdm_slots);
+  EXPECT_EQ(remote.wdm_slots, direct.wdm_slots);
+  EXPECT_EQ(remote.compiled.degree, direct.compiled.degree);
+  EXPECT_FALSE(remote.has_paper_rows);  // 16 nodes: no 8x8 fallback rows
+  ASSERT_EQ(remote.dynamic.size(), direct.dynamic.size());
+  for (std::size_t i = 0; i < remote.dynamic.size(); ++i) {
+    EXPECT_EQ(remote.dynamic[i].k, direct.dynamic[i].k);
+    EXPECT_EQ(remote.dynamic[i].total_slots, direct.dynamic[i].total_slots);
+    EXPECT_EQ(remote.dynamic[i].total_retries,
+              direct.dynamic[i].total_retries);
+  }
+}
+
+TEST(SvcServer, RemoteRejectsRethrowWithTheOriginalCode) {
+  DaemonRig rig;
+  auto client = rig.client();
+  svc::CompileRequest bad;
+  bad.pattern = patterns::ring(64);
+  bad.topology = "mesh:8x8";
+  EXPECT_EQ(code_of([&] { client.compile(bad); }),
+            FailureCode::kInvalidConfig);
+  // The connection survives a request-level reject.
+  client.ping();
+  const auto stats = client.stats();
+  EXPECT_GE(stats.failed, 1);
+}
+
+TEST(SvcServer, GarbageBytesGetAnErrorFrameNotACrash) {
+  DaemonRig rig;
+  // A real client first, to prove the daemon outlives the garbage below.
+  auto client = rig.client();
+  client.ping();
+
+  // Hand-rolled connection speaking HTTP at the daemon: the reply is a
+  // structured error frame naming the framing violation, then the daemon
+  // closes that one connection and keeps serving everyone else.
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(rig.server.port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  // Exactly one header's worth of garbage: the daemon consumes all 16
+  // bytes before closing, so its FIN (not an RST) follows the error
+  // frame and both arrive intact.
+  const char http[] = "GET / HTTP/1.1\r\n";
+  static_assert(sizeof(http) - 1 == svc::kHeaderSize);
+  ASSERT_EQ(write(fd, http, sizeof(http) - 1),
+            static_cast<ssize_t>(sizeof(http) - 1));
+
+  const auto reply = svc::read_frame(fd);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, svc::FrameType::kError);
+  const auto error = svc::decode_error(reply->payload);
+  EXPECT_EQ(error.code, "frame-garbled");
+  EXPECT_EQ(svc::read_frame(fd), std::nullopt);  // daemon closed the stream
+  close(fd);
+
+  client.ping();  // the healthy connection is untouched
+}
+
+TEST(SvcServer, ConcurrentClientsAllGetIdenticalSchedules) {
+  DaemonRig rig;
+  constexpr int kClients = 6;
+  svc::CompileRequest request;
+  request.pattern = patterns::transpose(64);
+
+  std::vector<std::string> schedules(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i)
+    threads.emplace_back([&, i] {
+      auto client = rig.client(i % 2 == 0 ? svc::Priority::kInteractive
+                                          : svc::Priority::kBatch);
+      schedules[static_cast<std::size_t>(i)] =
+          client.compile(request).schedule_text;
+    });
+  for (auto& thread : threads) thread.join();
+
+  for (int i = 1; i < kClients; ++i)
+    EXPECT_EQ(schedules[static_cast<std::size_t>(i)], schedules[0]) << i;
+
+  // Exactly one compile was paid; everyone else hit the shared cache.
+  const auto stats = rig.server.engine().cache_stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.memory_hits, kClients - 1);
+  EXPECT_EQ(rig.server.stats().ok, kClients);
+}
+
+TEST(SvcServer, ShutdownFrameStopsTheDaemonCleanly) {
+  auto server_options = DaemonRig::options();
+  svc::Server server(server_options);
+  server.start();
+  {
+    svc::Client::Options options;
+    options.port = server.port();
+    svc::Client client(options);
+    client.ping();
+    client.shutdown_server();
+  }
+  server.wait();  // returns because the frame requested the stop
+  // Idempotent from the local side too.
+  server.request_stop();
+  server.wait();
+}
+
+TEST(SvcServer, ConnectionChurnLeaksNoDescriptors) {
+  DaemonRig rig;
+  {
+    auto warm = rig.client();  // warm thread pools and lazy state
+    warm.ping();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const int before = open_fd_count();
+  for (int i = 0; i < 5; ++i) {
+    auto client = rig.client();
+    client.ping();
+  }
+  // The server reaps its side of each connection on EOF; give its reader
+  // threads a moment before counting.
+  int after = open_fd_count();
+  for (int tries = 0; after != before && tries < 40; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    after = open_fd_count();
+  }
+  EXPECT_EQ(after, before);
+}
+
+}  // namespace

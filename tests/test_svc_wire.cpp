@@ -1,0 +1,367 @@
+// The service wire protocol's reject contract: every malformed frame a
+// peer can send maps to the documented `util::Failure` code, never a
+// crash, never a leaked descriptor, and never a misparse into a valid
+// frame.  These codes are part of the daemon's public surface (clients
+// branch on them), so drifting one is a breaking change.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "patterns/named.hpp"
+#include "svc/serialize.hpp"
+#include "svc/wire.hpp"
+#include "util/failure.hpp"
+
+namespace {
+
+using namespace optdm;
+using svc::Frame;
+using svc::FrameType;
+using svc::Priority;
+using util::Failure;
+using util::FailureCode;
+
+/// Open descriptors of this process (same walk as the shard tests): the
+/// iterator's own fd is included, but it is in both sides of every
+/// comparison, so deltas are exact.
+int open_fd_count() {
+  int count = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd"))
+    ++count;
+  return count;
+}
+
+/// A connected AF_UNIX stream pair; both ends closed on destruction.
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    if (fds[0] >= 0) close(fds[0]);
+    if (fds[1] >= 0) close(fds[1]);
+  }
+  /// Writes raw bytes into the peer end and closes it (end of stream).
+  void send_raw(const void* bytes, std::size_t n) {
+    ASSERT_EQ(write(fds[0], bytes, n), static_cast<ssize_t>(n));
+    close(fds[0]);
+    fds[0] = -1;
+  }
+};
+
+/// Reads one frame from a stream primed with `n` raw bytes and returns
+/// the Failure code the parser rejected it with.
+FailureCode reject_code(const void* bytes, std::size_t n) {
+  SocketPair pair;
+  pair.send_raw(bytes, n);
+  try {
+    svc::read_frame(pair.fds[1]);
+  } catch (const Failure& failure) {
+    return failure.code();
+  }
+  ADD_FAILURE() << "frame was not rejected";
+  return FailureCode::kInvalidConfig;
+}
+
+std::array<unsigned char, svc::kHeaderSize> valid_header() {
+  Frame frame;
+  frame.type = FrameType::kPing;
+  frame.priority = Priority::kNormal;
+  frame.id = 7;
+  return svc::encode_header(frame);
+}
+
+// ----------------------------------------------------------------- header
+
+TEST(SvcWire, HeaderRoundTripsEveryField) {
+  Frame frame;
+  frame.type = FrameType::kSimulateRequest;
+  frame.priority = Priority::kBatch;
+  frame.id = 0xdeadbeef;
+  frame.payload.assign(1234, 'x');
+  const auto bytes = svc::encode_header(frame);
+  const auto header = svc::parse_header(bytes);
+  EXPECT_EQ(header.type, FrameType::kSimulateRequest);
+  EXPECT_EQ(header.priority, Priority::kBatch);
+  EXPECT_EQ(header.id, 0xdeadbeefu);
+  EXPECT_EQ(header.length, 1234u);
+}
+
+TEST(SvcWire, FrameRoundTripsOverAStream) {
+  SocketPair pair;
+  Frame frame;
+  frame.type = FrameType::kCompileRequest;
+  frame.priority = Priority::kInteractive;
+  frame.id = 42;
+  frame.payload = "hello body";
+  svc::write_frame(pair.fds[0], frame);
+  const auto got = svc::read_frame(pair.fds[1]);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, FrameType::kCompileRequest);
+  EXPECT_EQ(got->priority, Priority::kInteractive);
+  EXPECT_EQ(got->id, 42u);
+  EXPECT_EQ(got->payload, "hello body");
+}
+
+TEST(SvcWire, EndOfStreamAtAFrameBoundaryIsACleanClose) {
+  SocketPair pair;
+  close(pair.fds[0]);
+  pair.fds[0] = -1;
+  EXPECT_EQ(svc::read_frame(pair.fds[1]), std::nullopt);
+}
+
+// ----------------------------------------------------------- reject codes
+
+TEST(SvcWire, TruncatedHeaderIsFrameTruncated) {
+  const auto header = valid_header();
+  EXPECT_EQ(reject_code(header.data(), 1), FailureCode::kFrameTruncated);
+  EXPECT_EQ(reject_code(header.data(), svc::kHeaderSize - 1),
+            FailureCode::kFrameTruncated);
+}
+
+TEST(SvcWire, TruncatedPayloadIsFrameTruncated) {
+  Frame frame;
+  frame.type = FrameType::kPing;
+  frame.payload = "ten bytes!";
+  const auto header = svc::encode_header(frame);
+  std::string wire(header.begin(), header.end());
+  wire += "three";  // 5 of the declared 10 payload bytes
+  EXPECT_EQ(reject_code(wire.data(), wire.size()),
+            FailureCode::kFrameTruncated);
+}
+
+TEST(SvcWire, BadMagicIsFrameGarbled) {
+  auto header = valid_header();
+  header[0] = 'X';
+  EXPECT_EQ(reject_code(header.data(), header.size()),
+            FailureCode::kFrameGarbled);
+
+  // A foreign text protocol (first 16 bytes of an HTTP request) is the
+  // canonical accidental client; it must garble, not crash.
+  const char http[] = "GET / HTTP/1.1\r\n";
+  EXPECT_EQ(reject_code(http, svc::kHeaderSize), FailureCode::kFrameGarbled);
+}
+
+TEST(SvcWire, UnknownTypeIsFrameGarbled) {
+  auto header = valid_header();
+  header[5] = 0;  // below the first FrameType
+  EXPECT_EQ(reject_code(header.data(), header.size()),
+            FailureCode::kFrameGarbled);
+  header[5] = 99;
+  EXPECT_EQ(reject_code(header.data(), header.size()),
+            FailureCode::kFrameGarbled);
+}
+
+TEST(SvcWire, UnknownPriorityIsFrameGarbled) {
+  auto header = valid_header();
+  header[6] = 17;
+  EXPECT_EQ(reject_code(header.data(), header.size()),
+            FailureCode::kFrameGarbled);
+}
+
+TEST(SvcWire, NonzeroReservedByteIsFrameGarbled) {
+  auto header = valid_header();
+  header[7] = 1;
+  EXPECT_EQ(reject_code(header.data(), header.size()),
+            FailureCode::kFrameGarbled);
+}
+
+TEST(SvcWire, OversizedLengthIsRejectedFromTheHeaderAlone) {
+  // The declared length exceeds kMaxPayload; the reject must come from
+  // the 16 header bytes, before any payload allocation or read.
+  auto header = valid_header();
+  const std::uint32_t huge = svc::kMaxPayload + 1;
+  header[12] = static_cast<unsigned char>(huge >> 24);
+  header[13] = static_cast<unsigned char>(huge >> 16);
+  header[14] = static_cast<unsigned char>(huge >> 8);
+  header[15] = static_cast<unsigned char>(huge);
+  EXPECT_EQ(reject_code(header.data(), header.size()),
+            FailureCode::kFrameOversized);
+}
+
+TEST(SvcWire, WrongVersionIsFrameVersionEvenWithAGarbledBody) {
+  // Version is checked before type, so a peer speaking a future protocol
+  // gets the version diagnostic, not a garbled-frame one.
+  auto header = valid_header();
+  header[4] = svc::kWireVersion + 1;
+  header[5] = 200;  // also an unknown type
+  EXPECT_EQ(reject_code(header.data(), header.size()),
+            FailureCode::kFrameVersion);
+}
+
+TEST(SvcWire, RejectPathsLeakNoDescriptors) {
+  const auto header = valid_header();
+  open_fd_count();  // warm the iterator
+  const int before = open_fd_count();
+  for (int i = 0; i < 8; ++i) {
+    auto bad = header;
+    bad[0] = 'X';
+    reject_code(bad.data(), bad.size());
+    reject_code(header.data(), 3);
+  }
+  EXPECT_EQ(open_fd_count(), before);
+}
+
+// ----------------------------------------------------------- frame bodies
+
+TEST(SvcWire, CompileRequestBodyRoundTrips) {
+  svc::CompileRequest request;
+  request.topology = "torus:32x32";
+  request.scheduler = "coloring";
+  request.pattern = patterns::ring(16);
+  request.use_cache = false;
+  request.want_report = true;
+  const auto decoded = svc::decode_compile_request(svc::encode(request));
+  EXPECT_EQ(decoded.topology, request.topology);
+  EXPECT_EQ(decoded.scheduler, request.scheduler);
+  ASSERT_EQ(decoded.pattern.size(), request.pattern.size());
+  for (std::size_t i = 0; i < request.pattern.size(); ++i) {
+    EXPECT_EQ(decoded.pattern[i].src, request.pattern[i].src);
+    EXPECT_EQ(decoded.pattern[i].dst, request.pattern[i].dst);
+  }
+  EXPECT_EQ(decoded.use_cache, false);
+  EXPECT_EQ(decoded.want_report, true);
+}
+
+TEST(SvcWire, CompileResponseBodyRoundTripsRawBlocksExactly) {
+  svc::CompileResponse response;
+  response.degree = 4;
+  response.lower_bound = 3;
+  response.winner = "coloring";
+  response.cache_hit = true;
+  response.disk_hit = true;
+  // The schedule block is byte-prefixed, so embedded newlines and even a
+  // line reading "end" survive the round trip untouched.
+  response.schedule_text = "line one\nend\nline three\n";
+  response.report_json = "{\"a\": 1}\n";
+  const auto decoded = svc::decode_compile_response(svc::encode(response));
+  EXPECT_EQ(decoded.degree, 4);
+  EXPECT_EQ(decoded.lower_bound, 3);
+  EXPECT_EQ(decoded.winner, "coloring");
+  EXPECT_TRUE(decoded.cache_hit);
+  EXPECT_TRUE(decoded.disk_hit);
+  EXPECT_EQ(decoded.schedule_text, response.schedule_text);
+  EXPECT_EQ(decoded.report_json, response.report_json);
+}
+
+TEST(SvcWire, SimulateBodiesRoundTrip) {
+  svc::SimulateRequest request;
+  request.pattern = patterns::transpose(16);
+  request.slots = 7;
+  request.dynamic_ks = {1, 3, 9};
+  request.use_shards = true;
+  request.shards.shards = 4;
+  request.shards.policy.max_retries = 5;
+  const auto decoded = svc::decode_simulate_request(svc::encode(request));
+  EXPECT_EQ(decoded.slots, 7);
+  EXPECT_EQ(decoded.dynamic_ks, request.dynamic_ks);
+  EXPECT_TRUE(decoded.use_shards);
+  EXPECT_EQ(decoded.shards.shards, 4);
+  EXPECT_EQ(decoded.shards.policy.max_retries, 5);
+
+  svc::SimulateResponse response;
+  response.compiled.degree = 5;
+  response.tdm_slots = 123;
+  response.wdm_slots = 45;
+  response.dynamic = {{1, 400, 20, true, false}, {2, 0, 0, true, true}};
+  response.has_paper_rows = true;
+  response.aapc_slots = 999;
+  response.multihop_degree = 6;
+  response.multihop_slots = 777;
+  response.supervision.retries = 2;
+  response.supervision.salvaged_cells = 1;
+  const auto out = svc::decode_simulate_response(svc::encode(response));
+  EXPECT_EQ(out.tdm_slots, 123);
+  EXPECT_EQ(out.wdm_slots, 45);
+  ASSERT_EQ(out.dynamic.size(), 2u);
+  EXPECT_EQ(out.dynamic[0].total_slots, 400);
+  EXPECT_TRUE(out.dynamic[1].missing);
+  EXPECT_TRUE(out.has_paper_rows);
+  EXPECT_EQ(out.aapc_slots, 999);
+  EXPECT_EQ(out.supervision.retries, 2);
+  EXPECT_EQ(out.supervision.salvaged_cells, 1);
+}
+
+TEST(SvcWire, StatsAndErrorBodiesRoundTrip) {
+  svc::StatsWire stats;
+  stats.requests = 10;
+  stats.ok = 8;
+  stats.failed = 2;
+  stats.cache_hit_rate = 0.375;
+  stats.latency_p99_ms = 12.5;
+  const auto decoded = svc::decode_stats(svc::encode(stats));
+  EXPECT_EQ(decoded.requests, 10);
+  EXPECT_EQ(decoded.ok, 8);
+  EXPECT_EQ(decoded.failed, 2);
+  EXPECT_DOUBLE_EQ(decoded.cache_hit_rate, 0.375);
+  EXPECT_DOUBLE_EQ(decoded.latency_p99_ms, 12.5);
+
+  svc::ErrorWire error;
+  error.code = "queue-full";
+  error.message = "64 jobs queued";
+  const auto out = svc::decode_error(svc::encode(error));
+  EXPECT_EQ(out.code, "queue-full");
+  EXPECT_EQ(out.message, "64 jobs queued");
+}
+
+TEST(SvcWire, GarbledBodiesAreStructuredRejects) {
+  const auto code_of = [](auto&& decode) {
+    try {
+      decode();
+    } catch (const Failure& failure) {
+      return failure.code();
+    }
+    ADD_FAILURE() << "body was not rejected";
+    return FailureCode::kInvalidConfig;
+  };
+
+  // Empty, junk, wrong kind, wrong body version, and a truncated body
+  // (missing `end`) all garble; none crash or misparse.
+  EXPECT_EQ(code_of([] { svc::decode_compile_request(""); }),
+            FailureCode::kFrameGarbled);
+  EXPECT_EQ(code_of([] { svc::decode_compile_request("total junk\n"); }),
+            FailureCode::kFrameGarbled);
+  EXPECT_EQ(code_of([] {
+              svc::decode_compile_request("optdm-svc compile-response 1\n");
+            }),
+            FailureCode::kFrameGarbled);
+  EXPECT_EQ(code_of([] {
+              svc::decode_compile_request("optdm-svc compile-request 9\n");
+            }),
+            FailureCode::kFrameGarbled);
+  EXPECT_EQ(code_of([] {
+              svc::CompileRequest request;
+              auto body = svc::encode(request);
+              body.resize(body.size() / 2);
+              svc::decode_compile_request(body);
+            }),
+            FailureCode::kFrameGarbled);
+  EXPECT_EQ(code_of([] {
+              // Trailing bytes after `end` are a framing violation too.
+              svc::CompileRequest request;
+              svc::decode_compile_request(svc::encode(request) + "extra\n");
+            }),
+            FailureCode::kFrameGarbled);
+  EXPECT_EQ(code_of([] { svc::decode_stats("optdm-svc stats 1\nend\n"); }),
+            FailureCode::kFrameGarbled);
+}
+
+// ------------------------------------------------------------------ names
+
+TEST(SvcWire, PriorityNamesRoundTrip) {
+  EXPECT_EQ(svc::priority_from_string("interactive"),
+            Priority::kInteractive);
+  EXPECT_EQ(svc::priority_from_string("normal"), Priority::kNormal);
+  EXPECT_EQ(svc::priority_from_string("batch"), Priority::kBatch);
+  EXPECT_EQ(svc::priority_from_string("urgent"), std::nullopt);
+  EXPECT_EQ(svc::to_string(Priority::kInteractive), "interactive");
+  EXPECT_EQ(svc::to_string(FrameType::kCompileRequest), "compile-request");
+}
+
+}  // namespace

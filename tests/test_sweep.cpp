@@ -139,8 +139,10 @@ TEST(Sweep, CellsMatchDirectSerialSimulation) {
         for (std::size_t s = 0; s < grid.seeds.size(); ++s) {
           auto params = grid.dynamic[v].params;
           params.seed = grid.seeds[s];
+          sim::SimOptions direct_options;
+          direct_options.faults = &timeline;
           const auto direct = sim::simulate_dynamic(
-              net, grid.phases[p].messages, params, timeline, nullptr);
+              net, grid.phases[p].messages, params, direct_options);
           const auto& cell = sweep.dynamic_cell(p, f, v, s).result;
           EXPECT_EQ(cell.total_slots, direct.total_slots);
           EXPECT_EQ(cell.total_retries, direct.total_retries);

@@ -2,72 +2,93 @@
 //
 // Reads a communication pattern (a text file of `src dst` lines, or a
 // named built-in pattern), compiles it for a TDM torus through the
-// phase-aware pipeline (scheduler registry + content-addressed schedule
-// cache), reports the multiplexing degree, and optionally emits the
-// schedule file, the per-switch register program, and a run report.
+// compilation service (in-process by default, a remote optdm_served
+// daemon with --connect), reports the multiplexing degree, and
+// optionally emits the schedule file, the per-switch register program,
+// and a run report.  The output is byte-identical on either transport.
 //
 // Examples:
 //   optdm_compile --pattern-file=phase.txt
 //   optdm_compile --pattern=all-to-all --algorithm=aapc --out=sched.txt
 //   optdm_compile --pattern=hypercube --registers --verify
 //   optdm_compile --pattern=all-to-all --cache-dir=/tmp/optdm-cache
-//
-// Flags (see also tools/cli.hpp for the shared set):
-//   --cols/--rows        torus dimensions (default 8x8)
-//   --pattern            built-in pattern name (default ring)
-//   --pattern-file       path to a pattern file (overrides --pattern)
-//   --algorithm          any registry scheduler (default combined)
-//   --cache-dir          on-disk schedule cache directory
-//   --no-cache           disable the schedule cache
-//   --out                write the schedule to this file
-//   --verify             re-load the emitted schedule and re-verify it
-//   --registers          print the switch register program
-//   --report             write a scheduler run report (JSON) to this file
+//   optdm_compile --pattern=all-to-all --connect=127.0.0.1:7440
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "cli.hpp"
 #include "core/switch_program.hpp"
 #include "io/pattern_io.hpp"
-#include "obs/report.hpp"
-#include "sched/combined.hpp"
+#include "topo/factory.hpp"
 #include "topo/torus.hpp"
 #include "util/cli.hpp"
+
+namespace {
+
+const char* kIntro =
+    "Compiles one communication pattern into a TDM connection schedule\n"
+    "and reports the multiplexing degree.";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace optdm;
   try {
     const util::CliArgs args(argc, argv);
-    topo::TorusNetwork net(static_cast<int>(args.get_int("cols", 8)),
-                           static_cast<int>(args.get_int("rows", 8)));
+    const auto flags = tools::flag_table(
+        {{{"cols", "N", "torus columns (default 8)"},
+          {"rows", "N", "torus rows (default 8)"},
+          {"topology", "SPEC",
+           "substrate: torus:CxR or torus:N (overrides --cols/--rows)"}},
+         tools::pattern_flags(),
+         tools::compile_flags(),
+         {{"out", "FILE", "write the schedule to this file"},
+          {"verify", "", "re-load the emitted schedule and re-verify it"},
+          {"registers", "", "print the switch register program"},
+          {"report", "FILE", "write a scheduler run report (JSON) here"}},
+         tools::service_flags()});
+    if (args.get_bool("help")) {
+      std::cout << tools::usage("optdm_compile", kIntro, flags);
+      return 0;
+    }
+    tools::check_flags(args, flags);
 
-    const auto requests = tools::load_pattern(args, net, "ring");
-    auto options = tools::pipeline_options(args);
-    obs::SchedCounters counters;
-    options.sched.counters = &counters;
-    apps::Pipeline pipeline(net, options);
+    const std::string topology =
+        args.has("topology")
+            ? args.get("topology")
+            : "torus:" + std::to_string(args.get_int("cols", 8)) + "x" +
+                  std::to_string(args.get_int("rows", 8));
+    const auto spec = topo::parse_topology_spec(topology);
+    if (spec.family != topo::TopologySpec::Family::kTorus)
+      throw std::runtime_error(
+          "optdm_compile drives the torus substrate; --topology accepts "
+          "torus:CxR / torus:N");
+    topo::TorusNetwork net(spec.cols, spec.rows);
 
-    const auto result = pipeline.compile_phase(requests);
-    const auto& schedule = result.phase.schedule;
-    if (const auto err = schedule.validate_against(requests))
-      throw std::runtime_error("internal error: " + *err);
+    svc::CompileRequest request;
+    tools::fill_request(request, args, topology,
+                        tools::load_pattern(args, net, "ring"));
+    request.want_report = args.has("report");
+
+    const auto service = tools::make_service(args);
+    const auto response = service->compile(request);
 
     std::cout << "network:             " << net.name() << '\n'
-              << "pattern:             " << requests.size() << " requests\n"
-              << "algorithm:           " << options.scheduler << '\n'
-              << "multiplexing degree: " << schedule.degree() << '\n'
-              << "lower bound:         " << result.phase.lower_bound << '\n';
-    if (options.scheduler == "combined")
-      std::cout << "winner:              "
-                << sched::to_string(result.phase.winner) << '\n';
-    if (!options.use_cache)
+              << "pattern:             " << request.pattern.size()
+              << " requests\n"
+              << "algorithm:           " << request.scheduler << '\n'
+              << "multiplexing degree: " << response.degree << '\n'
+              << "lower bound:         " << response.lower_bound << '\n';
+    if (request.scheduler == "combined")
+      std::cout << "winner:              " << response.winner << '\n';
+    if (!response.cache_enabled)
       std::cout << "cache:               disabled\n";
     else
       std::cout << "cache:               "
-                << (result.cache_hit
-                        ? (counters.cache_disk_hits > 0 ? "hit (disk)"
-                                                        : "hit (memory)")
+                << (response.cache_hit
+                        ? (response.disk_hit ? "hit (disk)" : "hit (memory)")
                         : "miss")
                 << '\n';
 
@@ -75,19 +96,23 @@ int main(int argc, char** argv) {
       {
         std::ofstream out(args.get("out"));
         if (!out) throw std::runtime_error("cannot open --out file");
-        io::write_schedule(out, net, schedule);
+        out << response.schedule_text;
       }  // closed before the verification pass re-reads it
       std::cout << "schedule written to " << args.get("out") << '\n';
       if (args.get_bool("verify")) {
         std::ifstream back(args.get("out"));
         const auto reloaded = io::read_schedule(back, net);
-        if (const auto err = reloaded.validate_against(requests))
+        if (const auto err = reloaded.validate_against(request.pattern))
           throw std::runtime_error("round-trip verification failed: " + *err);
         std::cout << "round-trip verification: ok\n";
       }
     }
 
     if (args.get_bool("registers")) {
+      // The response's schedule text round-trips exactly, so the program
+      // built here matches one built in the serving process.
+      std::istringstream in(response.schedule_text);
+      const auto schedule = io::read_schedule(in, net);
       const core::SwitchProgram program(net, schedule);
       if (const auto err = program.verify(net, schedule))
         throw std::runtime_error("register program invalid: " + *err);
@@ -97,9 +122,8 @@ int main(int argc, char** argv) {
     }
 
     if (args.has("report")) {
-      const auto report = obs::report_schedule(schedule, &counters);
       std::ofstream out(args.get("report"));
-      report.write_json(out);
+      out << response.report_json;
       if (!out) throw std::runtime_error("cannot write report file");
       std::cout << "wrote report to " << args.get("report") << '\n';
     }

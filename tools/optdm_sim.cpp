@@ -11,29 +11,22 @@
 //
 // The static-AAPC and multihop rows model the paper's 8x8 substrate and
 // only appear there; the mega-scale tori run the compiled and dynamic
-// regimes.  The compiled regime goes through the phase-aware pipeline,
-// so the schedule cache flags apply (warm runs skip scheduling
-// entirely).  The dynamic rows run through apps::SweepRunner — with
-// --shards they fan out over forked worker processes, and the printed
-// table is byte-identical at any shard count.
+// regimes.  The whole comparison executes through the compilation
+// service — in-process by default, a remote optdm_served daemon with
+// --connect — and the printed table is byte-identical on either
+// transport, at any shard count.
 //
 // Examples:
 //   optdm_sim --pattern=tscf --slots=2
 //   optdm_sim --pattern-file=phase.txt --slots=16 --algorithm=coloring
 //   optdm_sim --pattern=gs --report=run.json   # compiled-run RunReport JSON
 //   optdm_sim --topology=torus:32x32 --slots=2 --shards=4
-//   optdm_sim --pattern=all-to-all --cache-dir=/tmp/optdm-cache
+//   optdm_sim --pattern=all-to-all --connect=127.0.0.1:7440
 
 #include <fstream>
 #include <iostream>
 
-#include "aapc/torus_aapc.hpp"
-#include "apps/sweep.hpp"
 #include "cli.hpp"
-#include "obs/report.hpp"
-#include "sched/combined.hpp"
-#include "sim/dynamic.hpp"
-#include "sim/multihop.hpp"
 #include "topo/factory.hpp"
 #include "topo/torus.hpp"
 #include "util/cli.hpp"
@@ -41,33 +34,9 @@
 
 namespace {
 
-constexpr const char* kUsage = R"(usage: optdm_sim [flags]
-
-Simulates one communication pattern under every control regime the
-library models and prints a comparison table.
-
-flags:
-  --topology=SPEC   substrate: torus:CxR or torus:N (square); the paper's
-                    torus:8x8 is the default, torus:32x32 / torus:64x64
-                    are the mega-scale points
-  --pattern=NAME    ring|nearest-neighbor|hypercube|tscf|shuffle-exchange|
-                    all-to-all|linear|gs|transpose|bit-reversal
-  --pattern-file=F  `src dst` pattern file (overrides --pattern)
-  --slots=N         message size in payload slots (default 4)
-  --shards=N        fan the dynamic-reservation rows over N forked worker
-                    processes; the output is byte-identical at any N
-  --shard-retries=N    re-forks the supervisor grants each shard before the
-                       exhaustion policy applies (default 2)
-  --shard-deadline-ms=N  SIGKILL + re-fork a shard that makes no progress
-                         for N ms (default 0 = no deadline)
-  --shard-salvage      on an exhausted shard, keep going and mark its cells
-                       missing instead of failing the run
-  --algorithm=NAME  scheduler registry name (default combined)
-  --cache-dir=DIR   on-disk schedule cache directory
-  --no-cache        disable the schedule cache
-  --report=FILE     dump the compiled run as optdm-run-report/1 JSON
-  --help            this text
-)";
+const char* kIntro =
+    "Simulates one communication pattern under every control regime the\n"
+    "library models and prints a comparison table.";
 
 }  // namespace
 
@@ -75,13 +44,27 @@ int main(int argc, char** argv) {
   using namespace optdm;
   try {
     const util::CliArgs args(argc, argv);
+    const auto flags = tools::flag_table(
+        {{{"topology", "SPEC",
+           "substrate: torus:CxR or torus:N (square); the paper's\n"
+           "                    torus:8x8 is the default, torus:32x32 / "
+           "torus:64x64\n"
+           "                    are the mega-scale points"}},
+         tools::pattern_flags(),
+         {{"slots", "N", "message size in payload slots (default 4)"}},
+         tools::shard_flags(),
+         tools::compile_flags(),
+         {{"report", "FILE",
+           "dump the compiled run as optdm-run-report/1 JSON"}},
+         tools::service_flags()});
     if (args.get_bool("help")) {
-      std::cout << kUsage;
+      std::cout << tools::usage("optdm_sim", kIntro, flags);
       return 0;
     }
+    tools::check_flags(args, flags);
 
-    const auto spec = topo::parse_topology_spec(args.get("topology",
-                                                         "torus:8x8"));
+    const std::string topology = args.get("topology", "torus:8x8");
+    const auto spec = topo::parse_topology_spec(topology);
     if (spec.family != topo::TopologySpec::Family::kTorus)
       throw std::runtime_error(
           "optdm_sim drives the torus substrate; --topology accepts "
@@ -91,141 +74,82 @@ int main(int argc, char** argv) {
     const auto shards = args.get_int("shards", 1);
     if (shards < 1) throw std::runtime_error("--shards must be positive");
 
-    const auto requests = tools::load_pattern(args, net, "tscf");
-    const auto slots = args.get_int("slots", 4);
-    const auto messages = sim::uniform_messages(requests, slots);
+    svc::SimulateRequest request;
+    tools::fill_request(request, args, topology,
+                        tools::load_pattern(args, net, "tscf"));
+    request.want_report = args.has("report");
+    request.slots = args.get_int("slots", 4);
+    request.use_shards = args.has("shards");
+    request.shards.shards = static_cast<int>(shards);
+    request.shards.policy.max_retries =
+        static_cast<int>(args.get_int("shard-retries", 2));
+    request.shards.policy.deadline_ms = args.get_int("shard-deadline-ms", 0);
+    if (args.get_bool("shard-salvage"))
+      request.shards.policy.on_exhaustion = apps::ShardExhaustion::kSalvage;
 
-    std::cout << "pattern: " << requests.size() << " requests x " << slots
-              << " slots on " << net.name() << "\n\n";
+    std::cout << "pattern: " << request.pattern.size() << " requests x "
+              << request.slots << " slots on " << net.name() << "\n\n";
+
+    const auto service = tools::make_service(args);
+    const auto response = service->simulate(request);
 
     util::Table table({"regime", "K / frame", "slots", "notes"});
 
-    auto options = tools::pipeline_options(args);
-    obs::SchedCounters counters;
-    options.sched.counters = &counters;
-    apps::Pipeline pipeline(net, options);
-    const auto compiled = pipeline.compile_phase(requests);
+    std::string note = request.scheduler == "combined"
+                           ? "winner: " + response.compiled.winner
+                           : "algorithm: " + request.scheduler;
+    if (response.compiled.cache_hit) note += ", cached";
+    table.add_row({"compiled (TDM)",
+                   util::Table::fmt(std::int64_t{response.compiled.degree}),
+                   util::Table::fmt(response.tdm_slots), note});
 
-    // The report sink sees the compiled run through the SimOptions path —
-    // the engine builds the report, we just catch it.
-    obs::CapturingReportSink report_sink;
-    sim::SimOptions sim_options;
-    sim_options.counters = &counters;
-    sim_options.report = args.has("report") ? &report_sink : nullptr;
-    const auto tdm = sim::simulate_compiled(compiled.phase.schedule, messages,
-                                            {}, sim_options);
-    std::string note = options.scheduler == "combined"
-                           ? "winner: " + sched::to_string(compiled.phase.winner)
-                           : "algorithm: " + options.scheduler;
-    if (compiled.cache_hit) note += ", cached";
-    table.add_row(
-        {"compiled (TDM)",
-         util::Table::fmt(std::int64_t{compiled.phase.schedule.degree()}),
-         util::Table::fmt(tdm.total_slots), note});
-
-    sim::CompiledParams wdm;
-    wdm.channel = sim::ChannelKind::kWavelength;
-    const auto cw =
-        sim::simulate_compiled(compiled.phase.schedule, messages, wdm);
-    table.add_row(
-        {"compiled (WDM)",
-         util::Table::fmt(std::int64_t{compiled.phase.schedule.degree()}),
-         util::Table::fmt(cw.total_slots), "full-rate channels"});
-
-    // The dynamic-reservation rows run as a sweep grid (one phase, one
-    // variant per K, healthy fabric), so --shards can fan them over
-    // forked workers; an inactive timeline is byte-identical to the
-    // direct healthy run, and so is the merge at any shard count.
-    apps::SweepGrid grid;
-    apps::CommPhase phase;
-    phase.name = "cli";
-    phase.messages = messages;
-    grid.phases.push_back(std::move(phase));
-    for (const int k : {1, 2, 5, 10}) {
-      apps::DynamicVariant variant;
-      variant.label = "K=" + std::to_string(k);
-      variant.params.multiplexing_degree = k;
-      grid.dynamic.push_back(std::move(variant));
-    }
-    apps::SweepOptions sweep_options;
-    sweep_options.run_compiled = false;  // compiled rows above
-    apps::SweepRunner runner(net, sweep_options);
-    apps::ShardOptions shard_options;
-    shard_options.shards = static_cast<int>(shards);
-    shard_options.policy.max_retries =
-        static_cast<int>(args.get_int("shard-retries", 2));
-    shard_options.policy.deadline_ms = args.get_int("shard-deadline-ms", 0);
-    if (args.get_bool("shard-salvage"))
-      shard_options.policy.on_exhaustion = apps::ShardExhaustion::kSalvage;
-    const auto sweep = args.has("shards")
-                           ? runner.run_sharded(grid, shard_options)
-                           : runner.run(grid);
+    table.add_row({"compiled (WDM)",
+                   util::Table::fmt(std::int64_t{response.compiled.degree}),
+                   util::Table::fmt(response.wdm_slots),
+                   "full-rate channels"});
 
     // Supervision incidents go to stderr (stdout must stay byte-identical
-    // to a fault-free run — CI diffs it) and into the report counters.
-    const auto& sup = sweep.supervision;
-    if (sup.retries > 0 || sup.salvaged_cells > 0) {
+    // to a fault-free run — CI diffs it).
+    const auto& sup = response.supervision;
+    if (sup.retries > 0 || sup.salvaged_cells > 0)
       std::cerr << "shard supervision: " << sup.retries << " retries ("
                 << sup.restarts_crashed << " crashed, " << sup.restarts_hung
                 << " hung, " << sup.restarts_corrupt << " corrupt), "
                 << sup.salvaged_cells << " cells salvaged as missing\n";
-      counters.shard_retries = sup.retries;
-      counters.shard_restarts_crashed = sup.restarts_crashed;
-      counters.shard_restarts_hung = sup.restarts_hung;
-      counters.shard_restarts_corrupt = sup.restarts_corrupt;
-      counters.salvaged_cells = sup.salvaged_cells;
-    }
 
-    for (std::size_t v = 0; v < grid.dynamic.size(); ++v) {
-      const auto& cell = sweep.dynamic_cell(0, 0, v);
-      if (cell.missing) {
-        table.add_row(
-            {"dynamic reservation",
-             util::Table::fmt(
-                 std::int64_t{grid.dynamic[v].params.multiplexing_degree}),
-             "missing", "shard salvaged"});
+    for (const auto& row : response.dynamic) {
+      if (row.missing) {
+        table.add_row({"dynamic reservation",
+                       util::Table::fmt(std::int64_t{row.k}), "missing",
+                       "shard salvaged"});
         continue;
       }
-      const auto& run = cell.result;
-      table.add_row(
-          {"dynamic reservation",
-           util::Table::fmt(
-               std::int64_t{grid.dynamic[v].params.multiplexing_degree}),
-           run.completed ? util::Table::fmt(run.total_slots) : "dnf",
-           util::Table::fmt(run.total_retries) + " retries"});
+      table.add_row({"dynamic reservation", util::Table::fmt(std::int64_t{row.k}),
+                     row.completed ? util::Table::fmt(row.total_slots) : "dnf",
+                     util::Table::fmt(row.total_retries) + " retries"});
     }
 
-    // The preloaded AAPC frame and hypercube embedding are the paper's
-    // 8x8 comparison points; skip them on the scale substrates.
-    if (net.node_count() == 64) {
-      const aapc::TorusAapc aapc(net);
-      const auto fallback =
-          sim::simulate_compiled(aapc.full_schedule(), messages);
+    if (response.has_paper_rows) {
       table.add_row({"static AAPC frame", "64",
-                     util::Table::fmt(fallback.total_slots),
+                     util::Table::fmt(response.aapc_slots),
                      "no reservations"});
-
-      const auto embedding =
-          sched::combined(net, patterns::hypercube(net.node_count()));
-      const auto hop = sim::simulate_multihop(embedding, messages,
-                                              sim::hypercube_next_hop);
-      table.add_row({"hypercube multihop",
-                     util::Table::fmt(std::int64_t{embedding.degree()}),
-                     hop.completed ? util::Table::fmt(hop.total_slots) : "dnf",
-                     "store-and-forward"});
+      table.add_row(
+          {"hypercube multihop",
+           util::Table::fmt(std::int64_t{response.multihop_degree}),
+           response.multihop_completed
+               ? util::Table::fmt(response.multihop_slots)
+               : "dnf",
+           "store-and-forward"});
     }
 
     table.print(std::cout);
 
     // --report=FILE dumps the compiled run (plus the scheduling-phase and
-    // cache counters) as an `optdm-run-report/1` JSON document.  The sched
-    // block is refreshed from the final counters: shard-supervision
-    // incidents land after the report was captured.
+    // cache counters) as an `optdm-run-report/1` JSON document, built by
+    // the serving engine.
     if (args.has("report")) {
-      obs::RunReport report = report_sink.last();
-      report.sched = counters;
       std::ofstream out(args.get("report"));
-      report.write_json(out);
+      out << response.report_json;
       if (!out) throw std::runtime_error("cannot write report file");
       std::cout << "\nwrote report to " << args.get("report") << '\n';
     }
