@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -344,7 +345,13 @@ RingSchedule RingSchedule::build(int n) {
 }
 
 const RingSchedule& RingSchedule::for_size(int n) {
+  // Concurrent schedulers (Pipeline compiles, cache single-flight leaders
+  // for distinct keys) all funnel through this memo; the lock also gives
+  // single-flight builds per size.  Returned references stay valid after
+  // unlock: std::map nodes are stable and entries are never erased.
+  static std::mutex mutex;
   static std::map<int, RingSchedule> cache;
+  const std::lock_guard<std::mutex> lock(mutex);
   const auto it = cache.find(n);
   if (it != cache.end()) return it->second;
   return cache.emplace(n, build(n)).first->second;

@@ -83,6 +83,7 @@ PhaseCompilation from_cached(CachedCompilation cached) {
     throw std::invalid_argument("cache-entry-corrupt: unknown winner '" +
                                 cached.winner + "'");
   }
+  result.schedule_text = std::move(cached.schedule_text);
   result.cache_hit = true;
   return result;
 }
@@ -263,6 +264,8 @@ Pipeline::Pipeline(const topo::TorusNetwork& net, PipelineOptions options)
   if (options_.use_cache) {
     ScheduleCache::Options cache_options;
     cache_options.capacity = options_.cache_capacity;
+    cache_options.shards = options_.cache_shards;
+    cache_options.keep_text = options_.cache_keep_text;
     cache_options.disk_dir = options_.cache_dir;
     cache_ = std::make_unique<ScheduleCache>(net, std::move(cache_options));
   }
@@ -295,15 +298,17 @@ PhaseCompilation Pipeline::compile_phase(const core::RequestSet& pattern,
   const CacheStats before = cache_->stats();
   const auto key = make_cache_key(*net_, pattern, scheduler_->name(),
                                   options_.sched);
-  PhaseCompilation result;
+  // Single-flight get-or-compile: under concurrency, one caller pays the
+  // cold compile per missing key and everyone else takes a memory hit.
   bool from_disk = false;
-  if (auto hit = cache_->lookup(key, &from_disk)) {
-    result = from_cached(std::move(*hit));
-    result.disk_hit = from_disk;
-  } else {
-    result.phase = cold_compile(pattern, counters);
-    cache_->store(key, to_cached(result.phase, combined));
-  }
+  bool computed = false;
+  auto cached = cache_->get_or_compute(
+      key,
+      [&] { return to_cached(cold_compile(pattern, counters), combined); },
+      &from_disk, &computed);
+  PhaseCompilation result = from_cached(std::move(cached));
+  result.cache_hit = !computed;
+  result.disk_hit = from_disk;
   if (counters) {
     // This call's own cache traffic, from its lookup outcome — exact even
     // when concurrent requests share the cache (aggregate-stats deltas

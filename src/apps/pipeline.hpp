@@ -54,6 +54,16 @@ struct PipelineOptions {
   bool use_cache = true;
   /// In-memory cache capacity (entries).
   std::size_t cache_capacity = 256;
+  /// In-memory cache stripe count (rounded up to a power of two).  1 — the
+  /// default — is the historical single-lock cache; services sharing one
+  /// pipeline across worker threads raise this so concurrent requests for
+  /// different keys stop serializing on one mutex.
+  std::size_t cache_shards = 1;
+  /// Memoize each cached schedule's serialized text at store time
+  /// (`ScheduleCache::Options::keep_text`), surfaced through
+  /// `PhaseCompilation::schedule_text`; costs one serialization per store
+  /// and saves one per warm hit.
+  bool cache_keep_text = false;
   /// On-disk cache directory; empty keeps the cache memory-only.
   std::string cache_dir;
   /// Per-switch-setting reconfiguration latency R (slots) driving the
@@ -76,6 +86,10 @@ struct PhaseCompilation {
   /// concurrent requests share one cache, where aggregate stats deltas
   /// would interleave.
   bool disk_hit = false;
+  /// `io::write_schedule` text of `phase.schedule`, carried through the
+  /// cache when `PipelineOptions::cache_keep_text` is set; empty
+  /// otherwise.  Byte-identical to serializing the schedule afresh.
+  std::string schedule_text;
 };
 
 /// What the stitching pass found at each phase boundary.
@@ -137,7 +151,9 @@ class Pipeline {
   Pipeline& operator=(const Pipeline&) = delete;
 
   /// Compiles one pattern through the cache.  A warm hit returns a
-  /// byte-identical schedule to the cold compile it memoizes.
+  /// byte-identical schedule to the cold compile it memoizes.  Concurrent
+  /// calls for the same missing pattern are single-flight: one compiles,
+  /// the rest wait and take memory hits.
   PhaseCompilation compile_phase(const core::RequestSet& pattern);
 
   /// Per-call-counters variant: identical compilation, but the scheduling

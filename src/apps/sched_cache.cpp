@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <filesystem>
 #include <fstream>
@@ -13,22 +14,11 @@
 #include "io/cache_io.hpp"
 #include "io/pattern_io.hpp"
 #include "util/failure.hpp"
+#include "util/hash.hpp"
 
 namespace optdm::apps {
 
 namespace {
-
-/// FNV-1a, 64-bit — stable across platforms and standard-library versions
-/// (std::hash is neither), which the on-disk tier requires: entry
-/// filenames must mean the same thing on every machine.
-std::uint64_t fnv1a(std::string_view text) {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  for (const char c : text) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
 
 std::string hex64(std::uint64_t value) {
   static constexpr char kDigits[] = "0123456789abcdef";
@@ -72,6 +62,12 @@ std::string key_topology(const std::string& canonical) {
   return canonical.substr(value, end - value);
 }
 
+std::size_t round_up_pow2(std::size_t value) {
+  std::size_t pow2 = 1;
+  while (pow2 < value) pow2 <<= 1;
+  return pow2;
+}
+
 }  // namespace
 
 std::string topology_fingerprint(const topo::Network& net) {
@@ -93,7 +89,7 @@ std::string CacheKey::canonical() const {
   return out.str();
 }
 
-std::uint64_t CacheKey::hash() const { return fnv1a(canonical()); }
+std::uint64_t CacheKey::hash() const { return util::fnv1a64(canonical()); }
 
 CacheKey make_cache_key(const topo::Network& net,
                         const core::RequestSet& pattern,
@@ -117,63 +113,168 @@ ScheduleCache::ScheduleCache(const topo::Network& net, Options options)
       options_(std::move(options)),
       fingerprint_(topology_fingerprint(net)) {
   if (options_.capacity == 0) options_.capacity = 1;
+  if (options_.shards == 0) options_.shards = 1;
+  // 1024 is far past any plausible worker count; the cap keeps a typo'd
+  // shard count from allocating a million mutexes.
+  options_.shards = std::min<std::size_t>(round_up_pow2(options_.shards), 1024);
+  shard_capacity_ = std::max<std::size_t>(1, options_.capacity / options_.shards);
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
 }
 
 std::optional<CachedCompilation> ScheduleCache::lookup(const CacheKey& key,
                                                        bool* from_disk) {
-  std::lock_guard lock(mutex_);
   if (from_disk) *from_disk = false;
+  std::string canonical = key.canonical();
+  Shard& shard = shard_of(util::fnv1a64(canonical));
+  std::lock_guard lock(shard.mutex);
   if (key.topology != fingerprint_) {
-    ++stats_.misses;
+    ++shard.stats.misses;
     return std::nullopt;
   }
-  std::string canonical = key.canonical();
-  if (const auto it = index_.find(canonical); it != index_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
-    ++stats_.memory_hits;
+  if (const auto it = shard.index.find(canonical); it != shard.index.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.stats.memory_hits;
     return it->second->value;
   }
   if (!options_.disk_dir.empty()) {
-    if (auto loaded = disk_lookup(key, canonical)) {
-      ++stats_.disk_hits;
+    if (auto loaded = disk_lookup(shard, key, canonical)) {
+      ++shard.stats.disk_hits;
       if (from_disk) *from_disk = true;
       auto copy = *loaded;
-      insert_locked(std::move(canonical), std::move(*loaded));
+      insert_locked(shard, std::move(canonical), std::move(*loaded));
       return copy;
     }
   }
-  ++stats_.misses;
+  ++shard.stats.misses;
   return std::nullopt;
 }
 
+CachedCompilation ScheduleCache::get_or_compute(
+    const CacheKey& key, const std::function<CachedCompilation()>& compute,
+    bool* from_disk, bool* computed) {
+  if (from_disk) *from_disk = false;
+  if (computed) *computed = false;
+  std::string canonical = key.canonical();
+  Shard& shard = shard_of(util::fnv1a64(canonical));
+  std::unique_lock lock(shard.mutex);
+
+  if (key.topology != fingerprint_) {
+    // Foreign key: uncacheable here.  Count the miss and compute without
+    // entering the single-flight table (nothing could ever satisfy a
+    // waiter for it).
+    ++shard.stats.misses;
+    lock.unlock();
+    if (computed) *computed = true;
+    return compute();
+  }
+
+  for (;;) {
+    if (const auto it = shard.index.find(canonical); it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      ++shard.stats.memory_hits;
+      return it->second->value;
+    }
+    if (shard.inflight.count(canonical) == 0) break;
+    // Another caller is compiling this key right now; wait for it to land
+    // (or fail — then we take over via the loop).
+    shard.ready.wait(lock);
+  }
+
+  if (!options_.disk_dir.empty()) {
+    if (auto loaded = disk_lookup(shard, key, canonical)) {
+      ++shard.stats.disk_hits;
+      if (from_disk) *from_disk = true;
+      auto copy = *loaded;
+      insert_locked(shard, std::move(canonical), std::move(*loaded));
+      return copy;
+    }
+  }
+
+  // Leader: claim the key, compile outside the lock, publish, wake waiters.
+  ++shard.stats.misses;
+  shard.inflight.insert(canonical);
+  lock.unlock();
+
+  CachedCompilation value;
+  try {
+    value = compute();
+    if (options_.keep_text && value.schedule_text.empty()) {
+      std::ostringstream text;
+      io::write_schedule(text, *net_, value.schedule);
+      value.schedule_text = text.str();
+    }
+  } catch (...) {
+    lock.lock();
+    shard.inflight.erase(canonical);
+    // Wake everyone, not one: the first waiter becomes the new leader and
+    // the rest re-queue behind it.
+    shard.ready.notify_all();
+    throw;
+  }
+  if (computed) *computed = true;
+
+  lock.lock();
+  shard.inflight.erase(canonical);
+  CachedCompilation result = value;
+  insert_locked(shard, std::move(canonical), std::move(value));
+  ++shard.stats.insertions;
+  if (!options_.disk_dir.empty()) disk_store(key, shard.lru.front());
+  shard.ready.notify_all();
+  return result;
+}
+
 void ScheduleCache::store(const CacheKey& key, const CachedCompilation& value) {
-  std::lock_guard lock(mutex_);
   if (key.topology != fingerprint_) return;
   std::string canonical = key.canonical();
-  if (const auto it = index_.find(canonical); it != index_.end()) {
-    it->second->value = value;
-    lru_.splice(lru_.begin(), lru_, it->second);
-  } else {
-    insert_locked(std::move(canonical), value);
-    ++stats_.insertions;
+  Shard& shard = shard_of(util::fnv1a64(canonical));
+
+  CachedCompilation copy = value;
+  if (options_.keep_text && copy.schedule_text.empty()) {
+    // Serialize before taking the lock — the text is pure function of the
+    // schedule, and this is the expensive part of a store.
+    std::ostringstream text;
+    io::write_schedule(text, *net_, copy.schedule);
+    copy.schedule_text = text.str();
   }
-  if (!options_.disk_dir.empty()) disk_store(key, lru_.front());
+
+  std::lock_guard lock(shard.mutex);
+  if (const auto it = shard.index.find(canonical); it != shard.index.end()) {
+    it->second->value = std::move(copy);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    insert_locked(shard, std::move(canonical), std::move(copy));
+    ++shard.stats.insertions;
+  }
+  if (!options_.disk_dir.empty()) disk_store(key, shard.lru.front());
 }
 
 CacheStats ScheduleCache::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total += shard->stats;
+  }
+  return total;
 }
 
-void ScheduleCache::insert_locked(std::string canonical,
+CacheStats ScheduleCache::shard_stats(std::size_t shard) const {
+  const Shard& s = *shards_.at(shard);
+  std::lock_guard lock(s.mutex);
+  return s.stats;
+}
+
+void ScheduleCache::insert_locked(Shard& shard, std::string canonical,
                                   CachedCompilation value) {
-  while (lru_.size() >= options_.capacity) {
-    index_.erase(lru_.back().canonical);
-    lru_.pop_back();
-    ++stats_.evictions;
+  while (shard.lru.size() >= shard_capacity_) {
+    shard.index.erase(shard.lru.back().canonical);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
   }
-  lru_.push_front(Entry{std::move(canonical), std::move(value)});
-  index_.emplace(std::string_view(lru_.front().canonical), lru_.begin());
+  shard.lru.push_front(Entry{std::move(canonical), std::move(value)});
+  shard.index.emplace(std::string_view(shard.lru.front().canonical),
+                      shard.lru.begin());
 }
 
 std::string ScheduleCache::entry_path(const CacheKey& key) const {
@@ -182,7 +283,7 @@ std::string ScheduleCache::entry_path(const CacheKey& key) const {
 }
 
 std::optional<CachedCompilation> ScheduleCache::disk_lookup(
-    const CacheKey& key, const std::string& canonical) {
+    Shard& shard, const CacheKey& key, const std::string& canonical) {
   const std::string path = entry_path(key);
   std::optional<io::CacheEntry> entry;
   {
@@ -194,16 +295,16 @@ std::optional<CachedCompilation> ScheduleCache::disk_lookup(
     // Corrupt / truncated / wrong schema (util::FailureCode
     // kCacheEntryCorrupt): move the evidence aside so the next store can
     // commit a clean replacement without racing a re-read of the wreck.
-    ++stats_.disk_rejects;
-    quarantine_locked(path);
+    ++shard.stats.disk_rejects;
+    quarantine_locked(path, shard.stats);
     return std::nullopt;
   }
   // Hash collision or a stale file from a different run configuration
   // (kCacheEntryStale): the stored full key is the ground truth, the
   // filename is just an address.
   if (entry->key != canonical) {
-    ++stats_.disk_rejects;
-    quarantine_locked(path);
+    ++shard.stats.disk_rejects;
+    quarantine_locked(path, shard.stats);
     return std::nullopt;
   }
 
@@ -213,8 +314,8 @@ std::optional<CachedCompilation> ScheduleCache::disk_lookup(
   // here keeps `from_cached` from silently coercing garbage to kColoring.
   if (!entry->winner.empty() && entry->winner != "coloring" &&
       entry->winner != "ordered-aapc") {
-    ++stats_.disk_rejects;
-    quarantine_locked(path);
+    ++shard.stats.disk_rejects;
+    quarantine_locked(path, shard.stats);
     return std::nullopt;
   }
 
@@ -228,14 +329,19 @@ std::optional<CachedCompilation> ScheduleCache::disk_lookup(
     // The schedule body failed link-by-link revalidation against the
     // network — tampered or mismatched.  Quarantine; the next store
     // rewrites the address.
-    ++stats_.disk_rejects;
-    quarantine_locked(path);
+    ++shard.stats.disk_rejects;
+    quarantine_locked(path, shard.stats);
     return std::nullopt;
   }
+  // The document's schedule text is the `write_schedule` serialization the
+  // store committed; revalidation just proved it parses back against this
+  // network, so it is exactly the text a hit should serve.
+  if (options_.keep_text) loaded.schedule_text = std::move(entry->schedule_text);
   return loaded;
 }
 
-void ScheduleCache::quarantine_locked(const std::string& path) {
+void ScheduleCache::quarantine_locked(const std::string& path,
+                                      CacheStats& stats) {
   std::error_code ec;
   // rename(2) replaces an existing `.quarantined` from an earlier incident
   // atomically — we keep the most recent wreck, which is the useful one.
@@ -246,7 +352,7 @@ void ScheduleCache::quarantine_locked(const std::string& path) {
     std::filesystem::remove(path, ec);
     return;
   }
-  ++stats_.disk_quarantined;
+  ++stats.disk_quarantined;
 }
 
 void ScheduleCache::disk_store(const CacheKey& key, const Entry& entry) {
@@ -258,9 +364,15 @@ void ScheduleCache::disk_store(const CacheKey& key, const Entry& entry) {
   serialized.key = entry.canonical;
   serialized.lower_bound = entry.value.lower_bound;
   serialized.winner = entry.value.winner;
-  std::ostringstream schedule_text;
-  io::write_schedule(schedule_text, *net_, entry.value.schedule);
-  serialized.schedule_text = schedule_text.str();
+  if (!entry.value.schedule_text.empty()) {
+    // keep_text already serialized this schedule; the document wants the
+    // same bytes.
+    serialized.schedule_text = entry.value.schedule_text;
+  } else {
+    std::ostringstream schedule_text;
+    io::write_schedule(schedule_text, *net_, entry.value.schedule);
+    serialized.schedule_text = schedule_text.str();
+  }
 
   std::ostringstream doc;
   io::write_cache_entry(doc, serialized);
@@ -296,7 +408,15 @@ void ScheduleCache::disk_store(const CacheKey& key, const Entry& entry) {
 }
 
 ScheduleCache::ScrubReport ScheduleCache::scrub() {
-  std::lock_guard lock(mutex_);
+  // The one whole-cache operation: hold every shard so no lookup or store
+  // races the renames below.  Index order is the lock order everywhere.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mutex);
+  // Scrub findings are whole-directory, not per-key; attribute them to
+  // shard 0 — the aggregate `stats()` stays exact.
+  CacheStats& scrub_stats = shards_.front()->stats;
+
   ScrubReport report;
   if (options_.disk_dir.empty()) return report;
 
@@ -328,7 +448,7 @@ ScheduleCache::ScrubReport ScheduleCache::scrub() {
       if (in) entry = io::read_cache_entry(in);
     }
     if (!entry) {
-      quarantine_locked(path.string());
+      quarantine_locked(path.string(), scrub_stats);
       ++report.quarantined;
       continue;
     }
@@ -342,23 +462,23 @@ ScheduleCache::ScrubReport ScheduleCache::scrub() {
       std::istringstream text(entry->schedule_text);
       io::read_schedule(text, *net_);
     } catch (const std::exception&) {
-      quarantine_locked(path.string());
+      quarantine_locked(path.string(), scrub_stats);
       ++report.quarantined;
       continue;
     }
-    const std::string expected = hex64(fnv1a(entry->key)) + ".json";
+    const std::string expected = hex64(util::fnv1a64(entry->key)) + ".json";
     if (name != expected) {
       // Misaddressed (renamed by hand, partial restore): move it back to
       // its content address unless a document already lives there — then
       // the resident copy wins and the stray is quarantined as stale.
       const auto target = path.parent_path() / expected;
       if (std::filesystem::exists(target, ec)) {
-        quarantine_locked(path.string());
+        quarantine_locked(path.string(), scrub_stats);
         ++report.quarantined;
       } else {
         std::filesystem::rename(path, target, ec);
         if (ec) {
-          quarantine_locked(path.string());
+          quarantine_locked(path.string(), scrub_stats);
           ++report.quarantined;
         } else {
           ++report.repaired;

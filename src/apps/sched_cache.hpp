@@ -1,12 +1,17 @@
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "core/schedule.hpp"
 #include "sched/scheduler.hpp"
@@ -26,7 +31,14 @@
 /// byte-identical `Schedule` to the cold compile it memoizes.
 ///
 /// Two tiers:
-///  * an in-memory LRU tier (always on; capacity-bounded);
+///  * an in-memory tier (always on; capacity-bounded), **striped** over
+///    `Options::shards` independent LRU shards so concurrent requests
+///    against different keys never serialize on one mutex (the service
+///    daemon's hot path).  A key's shard is the low bits of its FNV-1a
+///    hash — the same hash that names its on-disk entry, so two shards
+///    never touch the same file.  `shards = 1` (the default) is
+///    behaviorally identical to the historical single-lock cache:
+///    one mutex, one LRU list, one capacity budget.
 ///  * an optional on-disk tier (one versioned JSON document per entry,
 ///    `io/cache_io.hpp`); corrupt, stale, or mismatched entries are
 ///    **quarantined** — renamed to `<entry>.quarantined` so the evidence
@@ -41,10 +53,16 @@
 /// reader sees the old document or the new one — never a prefix.
 /// `scrub()` is the offline repair pass over a cache directory.
 ///
-/// All operations are thread-safe (one mutex; disk I/O happens outside
-/// the hot path's critical section is *not* attempted — correctness over
-/// cleverness: the batched compile driver stores serially, in index
-/// order, to keep cache contents deterministic under any thread count).
+/// All operations are thread-safe.  Locking is per shard: a lookup or
+/// store takes exactly one shard mutex; `stats()` aggregates the
+/// per-shard counters; `scrub()` — the one whole-cache operation —
+/// takes every shard mutex in index order.
+///
+/// `get_or_compute` is the service hot path: concurrent requests for the
+/// same missing key are **single-flight** — the first caller compiles
+/// outside the lock while the rest wait on the shard and then take a
+/// memory hit, so T concurrent requests for one key pay one compile and
+/// count exactly one miss (pinned by the concurrent stress test).
 
 namespace optdm::apps {
 
@@ -70,7 +88,8 @@ struct CacheKey {
   /// canonical strings are equal.
   std::string canonical() const;
 
-  /// Stable 64-bit FNV-1a hash of `canonical()`; names on-disk entries.
+  /// Stable 64-bit FNV-1a hash of `canonical()`; names on-disk entries
+  /// and selects the in-memory shard.
   std::uint64_t hash() const;
 };
 
@@ -89,9 +108,14 @@ struct CachedCompilation {
   int lower_bound = 0;
   /// Winning branch of the combined scheduler; empty when not applicable.
   std::string winner;
+  /// Memoized `io::write_schedule` text of `schedule`; filled on store
+  /// when `Options::keep_text` is set (the service engine's response fast
+  /// path), empty otherwise.  Byte-identical to serializing `schedule`.
+  std::string schedule_text;
 };
 
-/// Monotonic counters of one cache's traffic.
+/// Monotonic counters of one cache's traffic (whole cache, or one shard
+/// via `shard_stats`).
 struct CacheStats {
   std::int64_t memory_hits = 0;
   std::int64_t disk_hits = 0;
@@ -108,6 +132,17 @@ struct CacheStats {
   std::int64_t disk_quarantined = 0;
 
   std::int64_t hits() const noexcept { return memory_hits + disk_hits; }
+
+  CacheStats& operator+=(const CacheStats& other) noexcept {
+    memory_hits += other.memory_hits;
+    disk_hits += other.disk_hits;
+    misses += other.misses;
+    insertions += other.insertions;
+    evictions += other.evictions;
+    disk_rejects += other.disk_rejects;
+    disk_quarantined += other.disk_quarantined;
+    return *this;
+  }
 };
 
 /// Two-tier content-addressed cache of compiled schedules for one
@@ -117,8 +152,17 @@ struct CacheStats {
 class ScheduleCache {
  public:
   struct Options {
-    /// In-memory LRU capacity (entries).  Minimum 1.
+    /// In-memory LRU capacity (entries), split evenly across the shards
+    /// (each shard budgets `max(1, capacity / shards)`).  Minimum 1.
     std::size_t capacity = 256;
+    /// In-memory stripe count; rounded up to a power of two.  1 (the
+    /// default) reproduces the single-lock cache exactly; the service
+    /// engine uses 8.
+    std::size_t shards = 1;
+    /// Memoize the schedule's `io::write_schedule` text in each entry at
+    /// store time so hits can serve the serialized form without another
+    /// serialization pass (the service engine's response fast path).
+    bool keep_text = false;
     /// Directory of the on-disk tier; empty disables it.  Created on
     /// first store if missing.
     std::string disk_dir;
@@ -139,13 +183,33 @@ class ScheduleCache {
   std::optional<CachedCompilation> lookup(const CacheKey& key,
                                           bool* from_disk = nullptr);
 
+  /// Single-flight get-or-compile: returns the cached compilation for
+  /// `key`, calling `compute` (outside any lock) to produce it on a miss.
+  /// Concurrent callers for the same missing key wait for the first
+  /// caller's compute instead of duplicating it, then count as memory
+  /// hits.  On return, `*computed` says whether *this* call paid the
+  /// compute and `*from_disk` whether its hit came from the disk tier.
+  /// If `compute` throws, the exception propagates to this caller only
+  /// and one waiter (if any) takes over the compute.
+  CachedCompilation get_or_compute(
+      const CacheKey& key,
+      const std::function<CachedCompilation()>& compute,
+      bool* from_disk = nullptr, bool* computed = nullptr);
+
   /// Inserts (or refreshes) an entry; evicts the least-recently-used
-  /// entry when over capacity, and (when the disk tier is enabled)
-  /// rewrites the on-disk document.
+  /// entry of the key's shard when over budget, and (when the disk tier
+  /// is enabled) rewrites the on-disk document.
   void store(const CacheKey& key, const CachedCompilation& value);
 
-  /// Traffic counters since construction.
+  /// Aggregate traffic counters since construction (sum over shards).
   CacheStats stats() const;
+
+  /// Stripe count actually in use (power of two).
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Traffic counters of one shard; the per-shard values sum exactly to
+  /// `stats()` (pinned by tests and the service smoke).
+  CacheStats shard_stats(std::size_t shard) const;
 
   /// What one `scrub()` pass found and did in the disk directory.
   struct ScrubReport {
@@ -173,8 +237,9 @@ class ScheduleCache {
   /// link-by-link schedule revalidation, and moves misaddressed valid
   /// entries back to their content address.  No-op (all-zero report) when
   /// the disk tier is disabled or the directory is unreadable.  Safe to
-  /// run concurrently with lookups/stores in this process; not intended
-  /// to race other *writers* of the same directory.
+  /// run concurrently with lookups/stores in this process (it holds every
+  /// shard lock); not intended to race other *writers* of the same
+  /// directory.
   ScrubReport scrub();
 
   const Options& options() const noexcept { return options_; }
@@ -187,24 +252,45 @@ class ScheduleCache {
   };
   using Lru = std::list<Entry>;
 
-  std::optional<CachedCompilation> disk_lookup(const CacheKey& key,
+  /// One stripe of the in-memory tier: its own lock, LRU budget, traffic
+  /// counters, and single-flight table.  Keys map to shards by the low
+  /// bits of their FNV-1a hash.
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Wakes `get_or_compute` waiters when an in-flight compute lands.
+    std::condition_variable ready;
+    Lru lru;  // front = most recent
+    std::unordered_map<std::string_view, Lru::iterator> index;
+    /// Canonical keys currently being computed by a `get_or_compute`
+    /// leader (compute runs outside the lock; waiters block on `ready`).
+    std::unordered_set<std::string> inflight;
+    CacheStats stats;
+  };
+
+  Shard& shard_of(std::uint64_t hash) noexcept {
+    return *shards_[hash & (shards_.size() - 1)];
+  }
+
+  std::optional<CachedCompilation> disk_lookup(Shard& shard,
+                                               const CacheKey& key,
                                                const std::string& canonical);
   void disk_store(const CacheKey& key, const Entry& entry);
   /// Moves a rejected on-disk document to `<path>.quarantined` (replacing
-  /// any previous quarantine of the same entry) and counts it.  Falls back
-  /// to deletion if the rename fails; never throws.
-  void quarantine_locked(const std::string& path);
-  void insert_locked(std::string canonical, CachedCompilation value);
+  /// any previous quarantine of the same entry) and counts it in `stats`.
+  /// Falls back to deletion if the rename fails; never throws.  Caller
+  /// holds the lock guarding `stats`.
+  static void quarantine_locked(const std::string& path, CacheStats& stats);
+  void insert_locked(Shard& shard, std::string canonical,
+                     CachedCompilation value);
   std::string entry_path(const CacheKey& key) const;
 
   const topo::Network* net_;
   Options options_;
   std::string fingerprint_;
+  /// Per-shard LRU budget: `max(1, capacity / shards)`.
+  std::size_t shard_capacity_ = 1;
 
-  mutable std::mutex mutex_;
-  Lru lru_;  // front = most recent
-  std::unordered_map<std::string_view, Lru::iterator> index_;
-  CacheStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace optdm::apps

@@ -15,6 +15,7 @@
 #include "sim/multihop.hpp"
 #include "topo/factory.hpp"
 #include "util/failure.hpp"
+#include "util/hash.hpp"
 
 namespace optdm::svc {
 
@@ -75,6 +76,11 @@ Engine::Entry& Engine::resolve(const std::string& topology,
     pipeline_options.scheduler = scheduler;
     pipeline_options.use_cache = use_cache;
     pipeline_options.cache_capacity = options_.cache_capacity;
+    pipeline_options.cache_shards = options_.cache_shards;
+    // Responses always carry the serialized schedule, so memoizing the
+    // text in the cache trades one serialization per store for one saved
+    // per warm hit — strictly a win on the service path.
+    pipeline_options.cache_keep_text = true;
     pipeline_options.cache_dir = use_cache ? options_.cache_dir : "";
     entry->pipeline =
         std::make_unique<apps::Pipeline>(*entry->net, pipeline_options);
@@ -88,15 +94,15 @@ Engine::Entry& Engine::resolve(const std::string& topology,
   }
 
   // The canonical key normalizes spelling ("torus:8" == "torus:8x8").
+  // FNV-1a, not std::hash: shard placement must be reproducible across
+  // standard-library versions (the same reason cache entries use it).
   const std::string key = "torus:" + std::to_string(spec.cols) + "x" +
                           std::to_string(spec.rows) + "|" + scheduler;
-  Shard& shard =
-      *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  Shard& shard = *shards_[util::fnv1a64(key) % shards_.size()];
   std::lock_guard lock(shard.mutex);
-  for (auto& [entry_key, entry] : shard.entries)
-    if (entry_key == key) return *entry;
-  shard.entries.emplace_back(key, make_entry());
-  return *shard.entries.back().second;
+  if (const auto it = shard.entries.find(key); it != shard.entries.end())
+    return *it->second;
+  return *shard.entries.emplace(key, make_entry()).first->second;
 }
 
 CompileResponse Engine::compile(const CompileRequest& request) {
@@ -107,7 +113,7 @@ CompileResponse Engine::compile(const CompileRequest& request) {
   check_pattern(request.pattern, *entry.net);
 
   obs::SchedCounters counters;
-  const auto result = entry.pipeline->compile_phase(request.pattern, &counters);
+  auto result = entry.pipeline->compile_phase(request.pattern, &counters);
   const auto& schedule = result.phase.schedule;
   if (const auto err = schedule.validate_against(request.pattern))
     throw Failure(FailureCode::kSvcInternal,
@@ -121,7 +127,11 @@ CompileResponse Engine::compile(const CompileRequest& request) {
   response.cache_hit = result.cache_hit;
   response.disk_hit = result.disk_hit;
   response.cache_enabled = request.use_cache;
-  {
+  if (!result.schedule_text.empty()) {
+    // Warm path: the cache memoized this exact serialization at store
+    // time (`cache_keep_text`), byte-identical to serializing afresh.
+    response.schedule_text = std::move(result.schedule_text);
+  } else {
     std::ostringstream out;
     io::write_schedule(out, *entry.net, schedule);
     response.schedule_text = out.str();
@@ -266,20 +276,26 @@ apps::CacheStats Engine::cache_stats() const {
   apps::CacheStats total;
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);
-    for (const auto& [key, entry] : shard->entries) {
-      if (const auto* cache = entry->pipeline->cache()) {
-        const auto s = cache->stats();
-        total.memory_hits += s.memory_hits;
-        total.disk_hits += s.disk_hits;
-        total.misses += s.misses;
-        total.insertions += s.insertions;
-        total.evictions += s.evictions;
-        total.disk_rejects += s.disk_rejects;
-        total.disk_quarantined += s.disk_quarantined;
-      }
-    }
+    for (const auto& [key, entry] : shard->entries)
+      if (const auto* cache = entry->pipeline->cache()) total += cache->stats();
   }
   return total;
+}
+
+std::vector<apps::CacheStats> Engine::cache_shard_stats() const {
+  std::vector<apps::CacheStats> per_shard;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    for (const auto& [key, entry] : shard->entries) {
+      const auto* cache = entry->pipeline->cache();
+      if (!cache) continue;
+      if (per_shard.size() < cache->shard_count())
+        per_shard.resize(cache->shard_count());
+      for (std::size_t i = 0; i < cache->shard_count(); ++i)
+        per_shard[i] += cache->shard_stats(i);
+    }
+  }
+  return per_shard;
 }
 
 }  // namespace optdm::svc

@@ -4,6 +4,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "apps/pipeline.hpp"
@@ -161,6 +162,11 @@ class Engine : public Service {
     std::string cache_dir;
     /// In-memory LRU capacity per (topology, scheduler) cache.
     std::size_t cache_capacity = 256;
+    /// Stripe count of each shared `ScheduleCache`
+    /// (`ScheduleCache::Options::shards`; rounded up to a power of two).
+    /// 8 keeps concurrent warm requests for different keys off each
+    /// other's locks; 1 reproduces the single-lock cache.
+    std::size_t cache_shards = 8;
     /// Buckets the pipeline map is sharded over (lock granularity).
     std::size_t map_shards = 8;
   };
@@ -177,6 +183,13 @@ class Engine : public Service {
 
   /// Aggregated schedule-cache traffic across every shared pipeline.
   apps::CacheStats cache_stats() const;
+
+  /// Per-cache-shard traffic, summed over every shared pipeline:
+  /// element i aggregates shard i of each pipeline's striped cache.  The
+  /// elements sum exactly to `cache_stats()` (pinned by tests and the
+  /// service smoke).  Size = the normalized `Options::cache_shards`
+  /// (power of two); empty when no cached pipeline exists yet.
+  std::vector<apps::CacheStats> cache_shard_stats() const;
 
   /// Attaches a sink that receives every request's RunReport (the daemon
   /// aggregates these).  Null detaches.  The sink must be thread-safe:
@@ -195,7 +208,9 @@ class Engine : public Service {
   };
   struct Shard {
     std::mutex mutex;
-    std::vector<std::pair<std::string, std::unique_ptr<Entry>>> entries;
+    /// Keyed by the canonical "torus:CxR|scheduler" string; values are
+    /// behind unique_ptr so a resolved `Entry&` survives rehashing.
+    std::unordered_map<std::string, std::unique_ptr<Entry>> entries;
   };
 
   /// Finds or creates the shared entry for (topology, scheduler).

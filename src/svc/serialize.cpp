@@ -369,6 +369,8 @@ std::string encode(const StatsWire& stats) {
   out << "cache-misses " << stats.cache_misses << '\n';
   out << "cache-insertions " << stats.cache_insertions << '\n';
   out << "cache-hit-rate " << stats.cache_hit_rate << '\n';
+  out << "cache-shards " << stats.cache_shard_hits.size() << '\n';
+  for (const auto hits : stats.cache_shard_hits) out << hits << '\n';
   out << "latency-count " << stats.latency_count << '\n';
   out << "latency-p50-ms " << stats.latency_p50_ms << '\n';
   out << "latency-p99-ms " << stats.latency_p99_ms << '\n';
@@ -394,6 +396,16 @@ StatsWire decode_stats(const std::string& body) {
   stats.cache_misses = in.integer("cache-misses");
   stats.cache_insertions = in.integer("cache-insertions");
   stats.cache_hit_rate = in.real("cache-hit-rate");
+  const auto shards = in.integer("cache-shards");
+  if (shards < 0 || shards > 4096) garbled("unreasonable cache shard count");
+  for (std::int64_t i = 0; i < shards; ++i) {
+    const auto l = in.line();
+    std::int64_t hits = 0;
+    std::istringstream fields{std::string(l)};
+    if (!(fields >> hits) || !fields.eof())
+      garbled("malformed cache shard hits line '" + std::string(l) + "'");
+    stats.cache_shard_hits.push_back(hits);
+  }
   stats.latency_count = in.integer("latency-count");
   stats.latency_p50_ms = in.real("latency-p50-ms");
   stats.latency_p99_ms = in.real("latency-p99-ms");

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "svc/api.hpp"
 
@@ -52,6 +54,11 @@ struct StatsWire {
   std::int64_t cache_insertions = 0;
   /// hits / lookups over the caches' lifetime; 0 when no lookups yet.
   double cache_hit_rate = 0.0;
+  /// Total hits (memory + disk) of each in-memory cache stripe, summed
+  /// over the engine's shared pipelines; the elements sum to
+  /// `cache_memory_hits + cache_disk_hits` when read quiescently.  Empty
+  /// until the engine has served a cached request.
+  std::vector<std::int64_t> cache_shard_hits;
   std::int64_t latency_count = 0;
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;

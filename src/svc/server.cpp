@@ -14,7 +14,6 @@
 
 #include "svc/serialize.hpp"
 #include "util/failure.hpp"
-#include "util/stats.hpp"
 
 namespace optdm::svc {
 
@@ -22,8 +21,6 @@ namespace {
 
 using util::Failure;
 using util::FailureCode;
-
-constexpr std::size_t kLatencyRing = 512;
 
 double elapsed_ms(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration<double, std::milli>(
@@ -71,8 +68,8 @@ class Server::CountingSink final : public obs::ReportSink {
  public:
   explicit CountingSink(Server& server) : server_(server) {}
   void accept(const obs::RunReport&) override {
-    std::lock_guard lock(server_.stats_mutex_);
-    ++server_.stats_.reports_emitted;
+    auto& slab = server_.stat_slabs_.local();
+    slab.add(slab.reports_emitted);
   }
 
  private:
@@ -82,10 +79,7 @@ class Server::CountingSink final : public obs::ReportSink {
 Server::Server(Options options)
     : options_(std::move(options)),
       engine_(std::make_unique<Engine>(options_.engine)),
-      queue_(std::make_unique<JobQueue>(options_.queue_capacity)),
-      latency_ring_(),
-      latency_hist_(std::vector<double>{1, 5, 20, 100, 500, 2000}) {
-  latency_ring_.reserve(kLatencyRing);
+      queue_(std::make_unique<JobQueue>(options_.queue_capacity)) {
   report_sink_ = std::make_unique<CountingSink>(*this);
   engine_->set_report_sink(report_sink_.get());
 }
@@ -244,8 +238,8 @@ void Server::serve_connection(std::shared_ptr<Connection> conn) {
       case FrameType::kCompileRequest:
       case FrameType::kSimulateRequest: {
         {
-          std::lock_guard lock(stats_mutex_);
-          ++stats_.requests;
+          auto& slab = stat_slabs_.local();
+          slab.add(slab.requests);
         }
         try {
           queue_->push(frame->priority,
@@ -254,10 +248,10 @@ void Server::serve_connection(std::shared_ptr<Connection> conn) {
                        });
         } catch (const Failure& failure) {
           {
-            std::lock_guard lock(stats_mutex_);
-            ++stats_.failed;
+            auto& slab = stat_slabs_.local();
+            slab.add(slab.failed);
             if (failure.code() == FailureCode::kQueueFull)
-              ++stats_.rejected_queue_full;
+              slab.add(slab.rejected_queue_full);
           }
           send_error(*conn, *frame, failure.code(), failure.what());
         }
@@ -278,59 +272,56 @@ void Server::serve_connection(std::shared_ptr<Connection> conn) {
 
 void Server::execute(std::shared_ptr<Connection> conn, Frame request) {
   const auto started = std::chrono::steady_clock::now();
-  // `ok` is counted *before* the response bytes go out, so a client that
-  // holds its response is guaranteed to see itself in a stats query; a
-  // send failure rolls the count back into `failed`.
+  // `ok` is counted and the latency sample recorded *before* the
+  // response bytes go out, so a client that holds its response is
+  // guaranteed to see itself in a stats query; a send failure rolls the
+  // ok count back into `failed`.  The whole request runs on one queue
+  // worker, so every delta below lands on the same slab — and even if it
+  // didn't, only the merged totals are read.
+  auto& slab = stat_slabs_.local();
   bool counted_ok = false;
+  bool latency_recorded = false;
+  const auto finish = [&] {
+    if (!latency_recorded) {
+      record_latency(elapsed_ms(started));
+      latency_recorded = true;
+    }
+  };
   try {
     Frame response;
     response.priority = request.priority;
     response.id = request.id;
     if (request.type == FrameType::kCompileRequest) {
       const auto decoded = decode_compile_request(request.payload);
-      {
-        std::lock_guard lock(stats_mutex_);
-        ++stats_.compiles;
-      }
+      slab.add(slab.compiles);
       response.type = FrameType::kCompileResponse;
       response.payload = encode(engine_->compile(decoded));
     } else {
       const auto decoded = decode_simulate_request(request.payload);
-      {
-        std::lock_guard lock(stats_mutex_);
-        ++stats_.simulates;
-      }
+      slab.add(slab.simulates);
       response.type = FrameType::kSimulateResponse;
       response.payload = encode(engine_->simulate(decoded));
     }
-    {
-      std::lock_guard lock(stats_mutex_);
-      ++stats_.ok;
-    }
+    slab.add(slab.ok);
     counted_ok = true;
+    finish();
     conn->send(response);
   } catch (const Failure& failure) {
-    {
-      std::lock_guard lock(stats_mutex_);
-      if (counted_ok) --stats_.ok;
-      ++stats_.failed;
-    }
+    if (counted_ok) slab.add(slab.ok, -1);
+    slab.add(slab.failed);
+    finish();
     if (!counted_ok)
       send_error(*conn, request, failure.code(), failure.what());
   } catch (const std::invalid_argument& e) {
-    {
-      std::lock_guard lock(stats_mutex_);
-      ++stats_.failed;
-    }
+    slab.add(slab.failed);
+    finish();
     send_error(*conn, request, FailureCode::kInvalidConfig, e.what());
   } catch (const std::exception& e) {
-    {
-      std::lock_guard lock(stats_mutex_);
-      ++stats_.failed;
-    }
+    slab.add(slab.failed);
+    finish();
     send_error(*conn, request, FailureCode::kSvcInternal, e.what());
   }
-  record_latency(elapsed_ms(started));
+  finish();
 }
 
 void Server::send_error(Connection& conn, const Frame& request,
@@ -346,40 +337,23 @@ void Server::send_error(Connection& conn, const Frame& request,
   conn.send(frame);
 }
 
-void Server::record_latency(double ms) {
-  std::lock_guard lock(stats_mutex_);
-  if (latency_ring_.size() < kLatencyRing) {
-    latency_ring_.push_back(ms);
-  } else {
-    latency_ring_[latency_next_] = ms;
-    latency_next_ = (latency_next_ + 1) % kLatencyRing;
-  }
-  ++latency_count_;
-  latency_hist_.add(ms);
-}
+void Server::record_latency(double ms) { stat_slabs_.record_latency(ms); }
 
-ServerStats Server::stats() const {
-  std::lock_guard lock(stats_mutex_);
-  return stats_;
-}
+ServerStats Server::stats() const { return stat_slabs_.totals(); }
 
 std::string Server::stats_body() const {
   StatsWire wire;
-  {
-    std::lock_guard lock(stats_mutex_);
-    wire.requests = stats_.requests;
-    wire.compiles = stats_.compiles;
-    wire.simulates = stats_.simulates;
-    wire.ok = stats_.ok;
-    wire.failed = stats_.failed;
-    wire.rejected_queue_full = stats_.rejected_queue_full;
-    wire.reports_emitted = stats_.reports_emitted;
-    wire.latency_count = latency_count_;
-    if (!latency_ring_.empty()) {
-      wire.latency_p50_ms = util::percentile(latency_ring_, 50);
-      wire.latency_p99_ms = util::percentile(latency_ring_, 99);
-    }
-  }
+  const ServerStats totals = stat_slabs_.totals();
+  wire.requests = totals.requests;
+  wire.compiles = totals.compiles;
+  wire.simulates = totals.simulates;
+  wire.ok = totals.ok;
+  wire.failed = totals.failed;
+  wire.rejected_queue_full = totals.rejected_queue_full;
+  wire.reports_emitted = totals.reports_emitted;
+  wire.latency_count = stat_slabs_.latency_count();
+  wire.latency_p50_ms = stat_slabs_.latency_percentile(50);
+  wire.latency_p99_ms = stat_slabs_.latency_percentile(99);
   wire.queue_depth = static_cast<std::int64_t>(queue_->depth());
   wire.queue_peak = static_cast<std::int64_t>(queue_->peak_depth());
   const auto cache = engine_->cache_stats();
@@ -392,6 +366,10 @@ std::string Server::stats_body() const {
   wire.cache_hit_rate =
       lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups)
                   : 0.0;
+  // Per-cache-shard hit counters; they sum to cache_memory_hits +
+  // cache_disk_hits (the smoke asserts it — guards the merge path).
+  for (const auto& shard : engine_->cache_shard_stats())
+    wire.cache_shard_hits.push_back(shard.hits());
   return encode(wire);
 }
 
@@ -410,20 +388,18 @@ void Server::print_stats_line() const {
   const auto stats = decode_stats(stats_body());
   std::string buckets;
   {
-    std::lock_guard lock(stats_mutex_);
+    const auto merged = stat_slabs_.latency_histogram();
     char edge[64];
-    std::snprintf(edge, sizeof edge, " lat[<1ms]=%zu",
-                  latency_hist_.underflow());
-    buckets += edge;
-    for (std::size_t b = 0; b < latency_hist_.bucket_count(); ++b) {
-      if (latency_hist_.count(b) == 0) continue;
-      if (b == latency_hist_.overflow_bucket())
-        std::snprintf(edge, sizeof edge, " lat[>=%gms]=%zu",
-                      latency_hist_.lower_edge(b), latency_hist_.count(b));
+    for (std::size_t b = 0; b < merged.size(); ++b) {
+      if (merged[b] == 0) continue;
+      if (b == LatencyBuckets::kBuckets)
+        std::snprintf(edge, sizeof edge, " lat[>%gms]=%lld",
+                      LatencyBuckets::upper_edge(b - 1),
+                      static_cast<long long>(merged[b]));
       else
-        std::snprintf(edge, sizeof edge, " lat[%g-%gms]=%zu",
-                      latency_hist_.lower_edge(b),
-                      latency_hist_.upper_edge(b), latency_hist_.count(b));
+        std::snprintf(edge, sizeof edge, " lat[<=%gms]=%lld",
+                      LatencyBuckets::upper_edge(b),
+                      static_cast<long long>(merged[b]));
       buckets += edge;
     }
   }

@@ -12,8 +12,9 @@
 #include "obs/report.hpp"
 #include "svc/api.hpp"
 #include "svc/queue.hpp"
+#include "svc/server_stats.hpp"
+#include "svc/stat_slabs.hpp"
 #include "svc/wire.hpp"
-#include "util/stats.hpp"
 
 /// \file server.hpp
 /// The `optdm_served` daemon: a TCP front end over `svc::Engine`.
@@ -41,18 +42,6 @@
 /// connection, after an error frame when the stream is still writable.
 
 namespace optdm::svc {
-
-/// Aggregate daemon counters; the stats frame serializes these (plus
-/// engine cache totals and latency percentiles) as `StatsWire`.
-struct ServerStats {
-  std::int64_t requests = 0;    ///< work frames accepted off the wire
-  std::int64_t compiles = 0;    ///< compile requests executed
-  std::int64_t simulates = 0;   ///< simulate requests executed
-  std::int64_t ok = 0;          ///< responses that carried a result
-  std::int64_t failed = 0;      ///< error responses (any code)
-  std::int64_t rejected_queue_full = 0;  ///< subset of failed: queue-full
-  std::int64_t reports_emitted = 0;      ///< RunReports seen by the sink
-};
 
 class Server {
  public:
@@ -93,7 +82,9 @@ class Server {
   /// everything.  Idempotent and safe from any thread.
   void request_stop();
 
-  /// Snapshot of the aggregate counters.
+  /// Snapshot of the aggregate counters (merged over the stat slabs;
+  /// exact when quiescent — see stat_slabs.hpp for the consistency
+  /// model under concurrent writers).
   ServerStats stats() const;
 
   /// The shared engine (tests reach through to `cache_stats`).
@@ -128,15 +119,9 @@ class Server {
   std::mutex conn_mutex_;
   std::vector<std::shared_ptr<Connection>> connections_;
 
-  mutable std::mutex stats_mutex_;
-  ServerStats stats_;
-  /// Latency ring (milliseconds) feeding the p50/p99 in stats frames.
-  std::vector<double> latency_ring_;
-  std::size_t latency_next_ = 0;
-  std::int64_t latency_count_ = 0;
-  /// Lifetime latency distribution (the periodic stderr report prints
-  /// its buckets); underflow is the sub-millisecond bucket.
-  util::Histogram latency_hist_;
+  /// Sharded counters + fixed-bucket latency histogram: the hot path
+  /// increments relaxed atomics on a per-thread slab, stats reads merge.
+  ShardedServerStats stat_slabs_;
 
   std::mutex stop_mutex_;
   std::condition_variable stop_cv_;

@@ -1,0 +1,106 @@
+#include "svc/stat_slabs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <thread>
+
+namespace optdm::svc {
+
+namespace {
+
+const std::array<double, LatencyBuckets::kBuckets>& edges() {
+  static const auto table = [] {
+    std::array<double, LatencyBuckets::kBuckets> t{};
+    double edge = LatencyBuckets::kFirstUpperMs;
+    for (auto& upper : t) {
+      upper = edge;
+      edge *= LatencyBuckets::kRatio;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::size_t LatencyBuckets::bucket_of(double ms) noexcept {
+  const auto& table = edges();
+  // First bucket whose upper edge holds the value; past-the-end is the
+  // overflow bucket (index kBuckets).  NaN compares false everywhere and
+  // falls into overflow, which is the honest place for a broken clock.
+  return static_cast<std::size_t>(
+      std::lower_bound(table.begin(), table.end(), ms) - table.begin());
+}
+
+double LatencyBuckets::upper_edge(std::size_t bucket) noexcept {
+  const auto& table = edges();
+  if (bucket >= kBuckets) return table.back() * kRatio;
+  return table[bucket];
+}
+
+StatSlab& ShardedServerStats::local() noexcept {
+  const std::size_t slot =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kSlabs;
+  return slabs_[slot];
+}
+
+void ShardedServerStats::record_latency(double ms) noexcept {
+  StatSlab& slab = local();
+  slab.latency_count.fetch_add(1, std::memory_order_relaxed);
+  slab.latency[LatencyBuckets::bucket_of(ms)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+ServerStats ShardedServerStats::totals() const noexcept {
+  ServerStats out;
+  for (const auto& slab : slabs_) {
+    out.requests += slab.requests.load(std::memory_order_relaxed);
+    out.compiles += slab.compiles.load(std::memory_order_relaxed);
+    out.simulates += slab.simulates.load(std::memory_order_relaxed);
+    out.ok += slab.ok.load(std::memory_order_relaxed);
+    out.failed += slab.failed.load(std::memory_order_relaxed);
+    out.rejected_queue_full +=
+        slab.rejected_queue_full.load(std::memory_order_relaxed);
+    out.reports_emitted += slab.reports_emitted.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::int64_t ShardedServerStats::latency_count() const noexcept {
+  std::int64_t count = 0;
+  for (const auto& slab : slabs_)
+    count += slab.latency_count.load(std::memory_order_relaxed);
+  return count;
+}
+
+std::array<std::int64_t, LatencyBuckets::kBuckets + 1>
+ShardedServerStats::latency_histogram() const noexcept {
+  std::array<std::int64_t, LatencyBuckets::kBuckets + 1> merged{};
+  for (const auto& slab : slabs_)
+    for (std::size_t b = 0; b < merged.size(); ++b)
+      merged[b] += slab.latency[b].load(std::memory_order_relaxed);
+  return merged;
+}
+
+double ShardedServerStats::latency_percentile(double p) const noexcept {
+  const auto merged = latency_histogram();
+  std::int64_t n = 0;
+  for (const auto count : merged) n += count;
+  if (n <= 0) return 0.0;
+  // Nearest-rank, identical to util::percentile's rank arithmetic; the
+  // returned value is the holding bucket's upper edge.
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  const auto rank = std::max<std::int64_t>(
+      static_cast<std::int64_t>(
+          std::ceil(clamped / 100.0 * static_cast<double>(n))),
+      1);
+  std::int64_t cumulative = 0;
+  for (std::size_t b = 0; b < merged.size(); ++b) {
+    cumulative += merged[b];
+    if (cumulative >= rank) return LatencyBuckets::upper_edge(b);
+  }
+  return LatencyBuckets::upper_edge(LatencyBuckets::kBuckets);
+}
+
+}  // namespace optdm::svc

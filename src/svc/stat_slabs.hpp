@@ -1,0 +1,106 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "svc/server_stats.hpp"
+
+/// \file stat_slabs.hpp
+/// Lock-free request accounting for the daemon's hot path.
+///
+/// PR 9's server took one `stats_mutex_` several times per request —
+/// a global serialization point that throttles the warm-cache path long
+/// before the cache does.  `ShardedServerStats` replaces it with a fixed
+/// array of cache-line-aligned **slabs** of relaxed atomic counters; each
+/// thread picks a slab by hashing its id, so concurrent workers almost
+/// never touch the same line.  Reads (`totals()`, percentiles) merge the
+/// slabs — the read side pays for the write side's speed, which is the
+/// right trade at ~2 reads per `--stats` against thousands of requests
+/// per second.
+///
+/// Latency lives in a **fixed-bucket log-spaced histogram** per slab
+/// instead of the old sample ring: memory is capped at the bucket table
+/// regardless of request count, and p50/p99 come out as the upper edge
+/// of the bucket holding the nearest-rank sample.  With ratio-1.25
+/// buckets the reported percentile `h` brackets the exact nearest-rank
+/// value `v` (as `util::percentile` computes it) by
+/// `v <= h < 1.25 * v` for any `v >= 1 microsecond` — the agreement the
+/// unit tests pin.
+///
+/// Consistency model: counters are monotonic and individually exact; a
+/// merged snapshot taken while writers run may be torn *across* counters
+/// (e.g. a request counted whose ok/failed outcome is not yet visible).
+/// Quiescent reads — the stats frame after responses arrived, shutdown —
+/// are exact, which is what the tests and the smoke assert.
+
+namespace optdm::svc {
+
+/// The fixed latency bucket table (milliseconds): upper edges grow
+/// geometrically by `kRatio` from `kFirstUpperMs` (1 microsecond); values
+/// past the last edge land in the overflow bucket.
+struct LatencyBuckets {
+  static constexpr std::size_t kBuckets = 96;
+  static constexpr double kFirstUpperMs = 0.001;
+  static constexpr double kRatio = 1.25;
+  /// Index 0..kBuckets (== kBuckets is the overflow bucket).
+  static std::size_t bucket_of(double ms) noexcept;
+  /// Upper edge of `bucket`; the overflow bucket reports the edge the
+  /// table would continue with (last finite edge * kRatio).
+  static double upper_edge(std::size_t bucket) noexcept;
+};
+
+/// One thread's counter slab.  Cache-line aligned so two slabs never
+/// share a line; all operations relaxed (counters are independent).
+struct alignas(64) StatSlab {
+  std::atomic<std::int64_t> requests{0};
+  std::atomic<std::int64_t> compiles{0};
+  std::atomic<std::int64_t> simulates{0};
+  std::atomic<std::int64_t> ok{0};
+  std::atomic<std::int64_t> failed{0};
+  std::atomic<std::int64_t> rejected_queue_full{0};
+  std::atomic<std::int64_t> reports_emitted{0};
+  std::atomic<std::int64_t> latency_count{0};
+  std::array<std::atomic<std::int64_t>, LatencyBuckets::kBuckets + 1>
+      latency{};
+
+  void add(std::atomic<std::int64_t>& counter,
+           std::int64_t delta = 1) noexcept {
+    counter.fetch_add(delta, std::memory_order_relaxed);
+  }
+};
+
+/// The daemon's sharded counter set: `kSlabs` slabs, merge on read.
+class ShardedServerStats {
+ public:
+  static constexpr std::size_t kSlabs = 16;
+
+  /// The calling thread's slab (stable per thread id).  Increment through
+  /// `StatSlab::add`; a rollback (`--ok; ++failed`) may land on any slab
+  /// — only the merged totals are meaningful.
+  StatSlab& local() noexcept;
+
+  /// Records one request latency into the calling thread's histogram.
+  void record_latency(double ms) noexcept;
+
+  /// Merged counter totals.
+  ServerStats totals() const noexcept;
+
+  /// Merged latency sample count.
+  std::int64_t latency_count() const noexcept;
+
+  /// Merged per-bucket counts (index kBuckets = overflow).
+  std::array<std::int64_t, LatencyBuckets::kBuckets + 1> latency_histogram()
+      const noexcept;
+
+  /// Nearest-rank percentile (p in [0,100]) over the merged histogram,
+  /// reported as the holding bucket's upper edge; 0 when no samples.
+  /// Rank matches `util::percentile`: max(ceil(p/100 * n), 1).
+  double latency_percentile(double p) const noexcept;
+
+ private:
+  std::array<StatSlab, kSlabs> slabs_;
+};
+
+}  // namespace optdm::svc

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <sys/uio.h>
 #include <unistd.h>
 
 namespace optdm::svc {
@@ -146,10 +147,36 @@ void write_frame(int fd, const Frame& frame) {
                             std::to_string(frame.payload.size()) +
                             "-byte payload");
   const auto header = encode_header(frame);
-  write_exact(fd, header.data(), header.size());
-  write_exact(fd,
-              reinterpret_cast<const unsigned char*>(frame.payload.data()),
-              frame.payload.size());
+  // Header and payload go out in one writev(2) — one syscall per frame on
+  // the common path instead of two (and never a header-only packet when
+  // the socket has TCP_NODELAY-style semantics).  The loop only runs
+  // again on a partial write or EINTR.
+  iovec iov[2];
+  iov[0].iov_base = const_cast<unsigned char*>(header.data());
+  iov[0].iov_len = header.size();
+  iov[1].iov_base = const_cast<char*>(frame.payload.data());
+  iov[1].iov_len = frame.payload.size();
+  int first = 0;
+  while (first < 2) {
+    const ssize_t w = ::writev(fd, iov + first, 2 - first);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw util::Failure(util::FailureCode::kSvcIo,
+                          std::string("writev: ") + std::strerror(errno));
+    }
+    std::size_t done = static_cast<std::size_t>(w);
+    if (done == 0 && iov[first].iov_len > 0)
+      throw util::Failure(util::FailureCode::kSvcIo,
+                          "writev: zero-length write with bytes pending");
+    while (first < 2 && done >= iov[first].iov_len) {
+      done -= iov[first].iov_len;
+      ++first;
+    }
+    if (first < 2 && done > 0) {
+      iov[first].iov_base = static_cast<char*>(iov[first].iov_base) + done;
+      iov[first].iov_len -= done;
+    }
+  }
 }
 
 std::optional<Frame> read_frame(int fd) {

@@ -109,7 +109,8 @@ std::array<unsigned char, kHeaderSize> encode_header(const Frame& frame);
 /// documented code for every reject (see the file comment).
 FrameHeader parse_header(std::span<const unsigned char, kHeaderSize> bytes);
 
-/// Writes one frame to `fd` (header + payload, handling short writes).
+/// Writes one frame to `fd` — header and payload gathered into a single
+/// writev(2) on the common path, handling short writes and EINTR.
 /// Throws `resource/svc-io` on write failure.
 void write_frame(int fd, const Frame& frame);
 

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// \file hash.hpp
+/// Stable string hashing shared by every subsystem that addresses data by
+/// content: the schedule cache's on-disk entry names and in-memory shard
+/// placement, and the service engine's pipeline-map shards.
+///
+/// FNV-1a is used instead of `std::hash` because the latter is
+/// implementation-defined: entry filenames must mean the same thing on
+/// every machine, and shard placement must be reproducible across
+/// standard-library versions (a test pinning "key X lands on shard 3"
+/// would otherwise be a portability bug).
+
+namespace optdm::util {
+
+/// FNV-1a, 64-bit, over the bytes of `text`.
+constexpr std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace optdm::util

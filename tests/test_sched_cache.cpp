@@ -10,6 +10,7 @@
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+#include <stdexcept>
 
 #include "io/pattern_io.hpp"
 #include "patterns/named.hpp"
@@ -438,6 +439,171 @@ TEST(ScheduleCache, UnknownWinnerStringIsRejectedAndQuarantined) {
   EXPECT_EQ(cache.stats().disk_quarantined, 1);
   EXPECT_TRUE(std::filesystem::exists(path + ".quarantined"));
   std::filesystem::remove_all(dir);
+}
+
+TEST(ScheduleCache, ShardCountNormalizesToAPowerOfTwo) {
+  topo::TorusNetwork net(4, 4);
+  const auto count_for = [&](std::size_t shards) {
+    apps::ScheduleCache::Options options;
+    options.shards = shards;
+    return apps::ScheduleCache(net, options).shard_count();
+  };
+  EXPECT_EQ(count_for(0), 1u);
+  EXPECT_EQ(count_for(1), 1u);
+  EXPECT_EQ(count_for(5), 8u);
+  EXPECT_EQ(count_for(8), 8u);
+  EXPECT_EQ(count_for(100000), 1024u);  // runaway configs cap out
+}
+
+TEST(ScheduleCache, StripedCacheMatchesSingleLockBehavior) {
+  // shards is a locking knob, not a semantic one: the same store/lookup
+  // sequence against a 1-shard and an 8-shard cache returns byte-identical
+  // schedules and identical aggregate counters.
+  topo::TorusNetwork net(4, 4);
+  const auto value = compile_ring(net);
+  const auto key_of = [&](std::int64_t frame) {
+    return apps::make_cache_key(net, patterns::ring(net.node_count()),
+                                "combined", sched::SchedOptions{}, frame);
+  };
+  apps::ScheduleCache::Options single_options;
+  single_options.shards = 1;
+  apps::ScheduleCache::Options striped_options;
+  striped_options.shards = 8;
+  apps::ScheduleCache single(net, single_options);
+  apps::ScheduleCache striped(net, striped_options);
+
+  for (std::int64_t frame = 1; frame <= 8; ++frame) {
+    single.store(key_of(frame), value);
+    striped.store(key_of(frame), value);
+  }
+  for (std::int64_t frame = 1; frame <= 8; ++frame) {
+    const auto a = single.lookup(key_of(frame));
+    const auto b = striped.lookup(key_of(frame));
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(text_of(net, a->schedule), text_of(net, b->schedule));
+  }
+  EXPECT_EQ(single.stats().memory_hits, striped.stats().memory_hits);
+  EXPECT_EQ(single.stats().insertions, striped.stats().insertions);
+
+  apps::CacheStats summed;
+  for (std::size_t s = 0; s < striped.shard_count(); ++s)
+    summed += striped.shard_stats(s);
+  EXPECT_EQ(summed.memory_hits, striped.stats().memory_hits);
+  EXPECT_EQ(summed.insertions, striped.stats().insertions);
+}
+
+TEST(ScheduleCache, EvictionBudgetIsPerShard) {
+  // capacity=4 over 4 shards = one entry per shard: a second key landing
+  // on an occupied shard must evict within that shard, while other shards
+  // keep their entries.
+  topo::TorusNetwork net(4, 4);
+  apps::ScheduleCache::Options options;
+  options.capacity = 4;
+  options.shards = 4;
+  apps::ScheduleCache cache(net, options);
+  const auto value = compile_ring(net);
+  const auto key_of = [&](std::int64_t frame) {
+    return apps::make_cache_key(net, patterns::ring(net.node_count()),
+                                "combined", sched::SchedOptions{}, frame);
+  };
+
+  // Find two keys that address the same shard and one that does not.
+  const auto shard_of = [&](std::int64_t frame) {
+    return key_of(frame).hash() & 3u;
+  };
+  std::int64_t first = 1;
+  std::int64_t collider = 0;
+  std::int64_t elsewhere = 0;
+  for (std::int64_t frame = 2; frame <= 64; ++frame) {
+    if (collider == 0 && shard_of(frame) == shard_of(first)) collider = frame;
+    if (elsewhere == 0 && shard_of(frame) != shard_of(first))
+      elsewhere = frame;
+  }
+  ASSERT_NE(collider, 0);
+  ASSERT_NE(elsewhere, 0);
+
+  cache.store(key_of(first), value);
+  cache.store(key_of(elsewhere), value);
+  cache.store(key_of(collider), value);  // same shard as `first`: evicts it
+
+  EXPECT_FALSE(cache.lookup(key_of(first)).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(collider)).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(elsewhere)).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(ScheduleCache, KeepTextMemoizesByteIdenticalSerialization) {
+  topo::TorusNetwork net(4, 4);
+  const auto pattern = patterns::ring(net.node_count());
+  const auto key =
+      apps::make_cache_key(net, pattern, "combined", sched::SchedOptions{});
+  const auto value = compile_ring(net);
+
+  apps::ScheduleCache::Options options;
+  options.keep_text = true;
+  apps::ScheduleCache keeping(net, options);
+  keeping.store(key, value);
+  const auto hit = keeping.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->schedule_text, text_of(net, value.schedule));
+
+  // Without keep_text the entry carries no memoized bytes.
+  apps::ScheduleCache plain(net);
+  plain.store(key, value);
+  const auto plain_hit = plain.lookup(key);
+  ASSERT_TRUE(plain_hit.has_value());
+  EXPECT_TRUE(plain_hit->schedule_text.empty());
+}
+
+TEST(ScheduleCache, GetOrComputeServesHitsAndReportsProvenance) {
+  topo::TorusNetwork net(4, 4);
+  apps::ScheduleCache cache(net);
+  const auto key = apps::make_cache_key(net, patterns::ring(net.node_count()),
+                                        "combined", sched::SchedOptions{});
+
+  bool computed = false;
+  bool from_disk = true;
+  const auto first = cache.get_or_compute(
+      key, [&] { return compile_ring(net); }, &from_disk, &computed);
+  EXPECT_TRUE(computed);
+  EXPECT_FALSE(from_disk);
+  EXPECT_GT(first.schedule.degree(), 0);
+
+  computed = true;
+  const auto second = cache.get_or_compute(
+      key,
+      [&]() -> apps::CachedCompilation {
+        ADD_FAILURE() << "compute ran on a warm key";
+        return {};
+      },
+      &from_disk, &computed);
+  EXPECT_FALSE(computed);
+  EXPECT_FALSE(from_disk);
+  EXPECT_EQ(text_of(net, second.schedule), text_of(net, first.schedule));
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().memory_hits, 1);
+}
+
+TEST(ScheduleCache, GetOrComputeLeaderFailureDoesNotPoisonTheKey) {
+  topo::TorusNetwork net(4, 4);
+  apps::ScheduleCache cache(net);
+  const auto key = apps::make_cache_key(net, patterns::ring(net.node_count()),
+                                        "combined", sched::SchedOptions{});
+
+  EXPECT_THROW(cache.get_or_compute(
+                   key, [&]() -> apps::CachedCompilation {
+                     throw std::runtime_error("scheduler exploded");
+                   }),
+               std::runtime_error);
+
+  // The failed flight must not wedge the key: the next caller computes.
+  bool computed = false;
+  const auto value = cache.get_or_compute(
+      key, [&] { return compile_ring(net); }, nullptr, &computed);
+  EXPECT_TRUE(computed);
+  EXPECT_GT(value.schedule.degree(), 0);
+  EXPECT_TRUE(cache.lookup(key).has_value());
 }
 
 TEST(ScheduleCache, HashIsStableAcrossProcessesByConstruction) {

@@ -25,9 +25,12 @@
 #include "patterns/named.hpp"
 #include "svc/client.hpp"
 #include "svc/queue.hpp"
+#include "svc/serialize.hpp"
 #include "svc/server.hpp"
+#include "svc/stat_slabs.hpp"
 #include "topo/torus.hpp"
 #include "util/failure.hpp"
+#include "util/stats.hpp"
 
 namespace {
 
@@ -183,6 +186,108 @@ TEST(SvcEngine, ParameterGarbageIsInvalidConfig) {
             FailureCode::kInvalidConfig);
 }
 
+// ------------------------------------------------------- sharded counters
+
+TEST(StatSlabs, BucketEdgesBracketTheirValues) {
+  // Every value lands in a bucket whose edges bracket it:
+  // lower < v <= upper, with upper / lower == kRatio.
+  for (double ms : {0.0005, 0.001, 0.0013, 0.1, 1.0, 17.0, 900.0}) {
+    const auto bucket = svc::LatencyBuckets::bucket_of(ms);
+    const auto upper = svc::LatencyBuckets::upper_edge(bucket);
+    EXPECT_LE(ms, upper) << ms;
+    if (bucket > 0) {
+      const auto lower = svc::LatencyBuckets::upper_edge(bucket - 1);
+      EXPECT_GT(ms, lower) << ms;
+    }
+  }
+  // Values beyond the table land in the overflow bucket, never out of
+  // range.
+  EXPECT_EQ(svc::LatencyBuckets::bucket_of(1e12),
+            svc::LatencyBuckets::kBuckets);
+}
+
+TEST(StatSlabs, PercentilesAgreeWithExactNearestRankWithinOneBucket) {
+  // The documented bound: for any sample of values >= 1 microsecond the
+  // histogram percentile h brackets the exact nearest-rank value v as
+  // v <= h < kRatio * v.  Small odd/even n included — the rank rule is
+  // max(ceil(p/100 * n), 1), identical to util::percentile.
+  const std::vector<std::vector<double>> samples = {
+      {0.5},
+      {0.002, 8.0},
+      {0.1, 0.2, 0.3},
+      {1.0, 2.0, 4.0, 8.0, 16.0},
+      {0.004, 0.004, 0.004, 900.0},
+  };
+  for (const auto& sample : samples) {
+    svc::ShardedServerStats stats;
+    for (const double ms : sample) stats.record_latency(ms);
+    ASSERT_EQ(stats.latency_count(),
+              static_cast<std::int64_t>(sample.size()));
+    for (const double p : {50.0, 99.0}) {
+      const double exact = util::percentile(sample, p);
+      const double approx = stats.latency_percentile(p);
+      EXPECT_GE(approx, exact) << "p" << p << " n=" << sample.size();
+      EXPECT_LT(approx, exact * svc::LatencyBuckets::kRatio)
+          << "p" << p << " n=" << sample.size();
+    }
+  }
+  // No samples: percentiles report 0, not garbage.
+  svc::ShardedServerStats empty;
+  EXPECT_EQ(empty.latency_percentile(50), 0.0);
+}
+
+TEST(StatSlabs, TotalsMergeAcrossThreadsAndRollbackIsExact) {
+  svc::ShardedServerStats stats;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto& slab = stats.local();
+      for (int i = 0; i < kPerThread; ++i) {
+        slab.add(slab.requests);
+        slab.add(slab.ok);
+        stats.record_latency(0.5);
+      }
+      // The failed-send rollback: the last request of each thread turns
+      // out not deliverable — un-count its ok, count it failed.
+      slab.add(slab.ok, -1);
+      slab.add(slab.failed);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto totals = stats.totals();
+  EXPECT_EQ(totals.requests, kThreads * kPerThread);
+  EXPECT_EQ(totals.ok, kThreads * (kPerThread - 1));
+  EXPECT_EQ(totals.failed, kThreads);
+  EXPECT_EQ(stats.latency_count(), kThreads * kPerThread);
+}
+
+TEST(SvcSerialize, StatsWireRoundTripsPerShardHits) {
+  svc::StatsWire stats;
+  stats.requests = 10;
+  stats.ok = 9;
+  stats.cache_memory_hits = 5;
+  stats.cache_disk_hits = 1;
+  stats.cache_hit_rate = 0.6;
+  stats.cache_shard_hits = {4, 0, 2, 0, 0, 0, 0, 0};
+  stats.latency_count = 10;
+  stats.latency_p50_ms = 0.5;
+  stats.latency_p99_ms = 2.0;
+
+  const auto decoded = svc::decode_stats(svc::encode(stats));
+  EXPECT_EQ(decoded.requests, stats.requests);
+  EXPECT_EQ(decoded.ok, stats.ok);
+  EXPECT_EQ(decoded.cache_shard_hits, stats.cache_shard_hits);
+  EXPECT_EQ(decoded.latency_p50_ms, stats.latency_p50_ms);
+
+  // Empty is representable too (a daemon that served nothing yet).
+  svc::StatsWire idle;
+  EXPECT_TRUE(svc::decode_stats(svc::encode(idle)).cache_shard_hits.empty());
+}
+
 // ------------------------------------------------------------- end to end
 
 struct DaemonRig {
@@ -238,6 +343,35 @@ TEST(SvcServer, TwoClientsShareTheCacheAndResponsesAreByteIdentical) {
   EXPECT_EQ(stats.cache_memory_hits, 1);
   EXPECT_GT(stats.cache_hit_rate, 0.0);
   EXPECT_GE(stats.latency_count, 2);
+}
+
+TEST(SvcServer, PerShardHitCountersSumToTheAggregate) {
+  DaemonRig rig;
+  auto client = rig.client();
+
+  // Several distinct warm keys so hits spread over multiple stripes.
+  for (int round = 0; round < 2; ++round) {
+    for (int shift = 1; shift <= 4; ++shift) {
+      svc::CompileRequest request;
+      for (int src = 0; src < 64; ++src)
+        request.pattern.push_back({src, (src + shift) % 64});
+      (void)client.compile(request);
+    }
+  }
+
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.cache_misses, 4);
+  EXPECT_EQ(stats.cache_memory_hits, 4);
+  ASSERT_FALSE(stats.cache_shard_hits.empty());
+  std::int64_t summed = 0;
+  for (const auto hits : stats.cache_shard_hits) summed += hits;
+  EXPECT_EQ(summed, stats.cache_memory_hits + stats.cache_disk_hits);
+
+  // Matches the engine-side view byte for byte.
+  const auto shard_stats = rig.server.engine().cache_shard_stats();
+  ASSERT_EQ(shard_stats.size(), stats.cache_shard_hits.size());
+  for (std::size_t i = 0; i < shard_stats.size(); ++i)
+    EXPECT_EQ(shard_stats[i].hits(), stats.cache_shard_hits[i]) << i;
 }
 
 TEST(SvcServer, SimulateMatchesTheLocalEngine) {

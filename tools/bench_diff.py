@@ -10,6 +10,11 @@ Typical workflow:
         --benchmark_out=/tmp/now.json
     tools/bench_diff.py bench/BENCH_schedulers.json /tmp/now.json
 
+Committed baselines live in bench/: BENCH_schedulers.json
+(perf_schedulers), BENCH_sim.json (perf_sim, mega-scale rows excluded),
+and BENCH_svc.json (perf_svc — the service layer's striped-cache,
+response-encode, and frame-send paths).
+
 Prints a per-benchmark table of baseline vs current real time and the
 ratio.  Benchmarks slower than baseline by more than the threshold
 (percent, default 15) are flagged as regressions and make the script exit

@@ -56,6 +56,9 @@ int main(int argc, char** argv) {
           {"cache-capacity", "N",
            "in-memory LRU entries per (topology, scheduler) cache\n"
            "                    (default 256)"},
+          {"cache-shards", "N",
+           "in-memory stripes per schedule cache (power of two;\n"
+           "                    default 8, 1 = single lock)"},
           {"stats-interval", "SECS",
            "print aggregate stats to stderr every SECS seconds"},
           {"ping", "HOST:PORT", "probe a running daemon and exit"},
@@ -97,8 +100,11 @@ int main(int argc, char** argv) {
                   << "cache-memory-hits " << stats.cache_memory_hits << '\n'
                   << "cache-disk-hits " << stats.cache_disk_hits << '\n'
                   << "cache-misses " << stats.cache_misses << '\n'
-                  << "cache-hit-rate " << stats.cache_hit_rate << '\n'
-                  << "latency-p50-ms " << stats.latency_p50_ms << '\n'
+                  << "cache-hit-rate " << stats.cache_hit_rate << '\n';
+        for (std::size_t i = 0; i < stats.cache_shard_hits.size(); ++i)
+          std::cout << "cache-shard-hits " << i << ' '
+                    << stats.cache_shard_hits[i] << '\n';
+        std::cout << "latency-p50-ms " << stats.latency_p50_ms << '\n'
                   << "latency-p99-ms " << stats.latency_p99_ms << '\n';
       } else {
         client.shutdown_server();
@@ -120,6 +126,10 @@ int main(int argc, char** argv) {
     options.engine.cache_dir = args.get("cache-dir", "");
     options.engine.cache_capacity =
         static_cast<std::size_t>(args.get_int("cache-capacity", 256));
+    const auto cache_shards = args.get_int("cache-shards", 8);
+    if (cache_shards < 1)
+      throw std::runtime_error("--cache-shards must be positive");
+    options.engine.cache_shards = static_cast<std::size_t>(cache_shards);
 
     svc::Server server(options);
     server.start();

@@ -75,6 +75,23 @@ rate=$(sed -n 's/^cache-hit-rate //p' "$workdir/stats.txt")
 awk -v r="$rate" 'BEGIN { exit (r > 0) ? 0 : 1 }' \
   || { echo "FAIL: cache-hit-rate not positive: '$rate'" >&2; exit 1; }
 
+# The queue saw at least one job (peak is monotone over the daemon's life).
+peak=$(sed -n 's/^queue-peak //p' "$workdir/stats.txt")
+[ -n "$peak" ] && [ "$peak" -ge 1 ] \
+  || { echo "FAIL: queue-peak not reported or zero: '$peak'" >&2; exit 1; }
+
+# Striped cache accounting: the per-shard hit counters must sum to the
+# aggregate hits (memory + disk) — stripes never lose or double-count.
+mem_hits=$(sed -n 's/^cache-memory-hits //p' "$workdir/stats.txt")
+disk_hits=$(sed -n 's/^cache-disk-hits //p' "$workdir/stats.txt")
+shard_sum=$(awk '$1 == "cache-shard-hits" { s += $3 } END { print s + 0 }' \
+  "$workdir/stats.txt")
+if [ "$shard_sum" -ne $((mem_hits + disk_hits)) ]; then
+  echo "FAIL: per-shard hits ($shard_sum) != aggregate hits" \
+    "($mem_hits + $disk_hits)" >&2
+  exit 1
+fi
+
 # Clean shutdown via the protocol, acknowledged before the socket closes.
 "$SERVED" --shutdown="$addr" | grep -q "acknowledged shutdown"
 wait "$pid"

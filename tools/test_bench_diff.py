@@ -132,6 +132,18 @@ class DiffTest(unittest.TestCase):
             run_main([base, cur, "--filter=[unclosed"])
         self.assertIn("regex", str(ctx.exception))
 
+    def test_committed_baselines_parse(self):
+        # Every baseline CI diffs against must load and carry timing rows
+        # (a truncated or hand-edited baseline fails here, not in CI's
+        # advisory step where nobody looks).
+        bench_dir = os.path.join(_HERE, os.pardir, "bench")
+        for name in ("BENCH_schedulers.json", "BENCH_sim.json",
+                     "BENCH_svc.json"):
+            with self.subTest(baseline=name):
+                rows = bench_diff.load_benchmarks(
+                    os.path.join(bench_dir, name))
+                self.assertGreater(len(rows), 0, name)
+
 
 if __name__ == "__main__":
     unittest.main()
